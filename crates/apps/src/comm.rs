@@ -1,0 +1,141 @@
+//! Communication-time providers for the application workloads.
+//!
+//! Application rounds are composed of compute phases (modelled from calibrated
+//! per-sample costs) and communication phases. Communication times come from one of
+//! two providers:
+//!
+//! * [`CommProvider::Hoplite`] — runs the *actual* Hoplite protocol on the simulated
+//!   cluster (`hoplite_cluster::scenarios`) for the requested collective, and memoizes
+//!   the result;
+//! * [`CommProvider::Baseline`] — evaluates the corresponding comparator cost model
+//!   from `hoplite-baselines` (Ray's object store for §5.2–§5.5, OpenMPI/Gloo for the
+//!   synchronous-training comparison of §5.6).
+
+use std::collections::HashMap;
+
+use hoplite_baselines::{Baseline, CollectiveKind, NetworkModel};
+use hoplite_cluster::scenarios::{self, ScenarioEnv};
+use parking_lot::Mutex;
+
+/// Where communication times come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommSystem {
+    /// Full-protocol Hoplite simulation.
+    Hoplite,
+    /// One of the comparator cost models.
+    Baseline(Baseline),
+}
+
+impl CommSystem {
+    /// Label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            CommSystem::Hoplite => "Hoplite".to_string(),
+            CommSystem::Baseline(b) => b.label().to_string(),
+        }
+    }
+}
+
+/// Memoizing provider of collective latencies.
+pub struct CommProvider {
+    system: CommSystem,
+    env: ScenarioEnv,
+    model: NetworkModel,
+    cache: Mutex<HashMap<(CollectiveKind, usize, u64), f64>>,
+}
+
+impl CommProvider {
+    /// Build a provider for the given system on the paper-testbed network.
+    pub fn new(system: CommSystem) -> Self {
+        let env = ScenarioEnv::paper_testbed();
+        let model = NetworkModel::from_network(&env.network);
+        CommProvider { system, env, model, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The system this provider models.
+    pub fn system(&self) -> CommSystem {
+        self.system
+    }
+
+    /// Latency in seconds of one collective over `n` participants and `size`-byte
+    /// objects.
+    pub fn collective(&self, kind: CollectiveKind, n: usize, size: u64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        if let Some(&hit) = self.cache.lock().get(&(kind, n, size)) {
+            return hit;
+        }
+        let value = match self.system {
+            CommSystem::Baseline(b) => b.collective(&self.model, kind, n, size),
+            CommSystem::Hoplite => {
+                let r = match kind {
+                    CollectiveKind::Broadcast => {
+                        scenarios::broadcast_latency(&self.env, n, size, 0.0)
+                    }
+                    CollectiveKind::Gather => scenarios::gather_latency(&self.env, n, size),
+                    CollectiveKind::Reduce => {
+                        scenarios::reduce_latency(&self.env, n, size, None, 0.0)
+                    }
+                    CollectiveKind::AllReduce => {
+                        scenarios::allreduce_latency(&self.env, n, size, 0.0)
+                    }
+                };
+                r.latency_s
+            }
+        };
+        self.cache.lock().insert((kind, n, size), value);
+        value
+    }
+
+    /// Broadcast latency.
+    pub fn broadcast(&self, n: usize, size: u64) -> f64 {
+        self.collective(CollectiveKind::Broadcast, n, size)
+    }
+
+    /// Reduce latency.
+    pub fn reduce(&self, n: usize, size: u64) -> f64 {
+        self.collective(CollectiveKind::Reduce, n, size)
+    }
+
+    /// Gather latency.
+    pub fn gather(&self, n: usize, size: u64) -> f64 {
+        self.collective(CollectiveKind::Gather, n, size)
+    }
+
+    /// AllReduce latency.
+    pub fn allreduce(&self, n: usize, size: u64) -> f64 {
+        self.collective(CollectiveKind::AllReduce, n, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn hoplite_provider_is_memoized_and_sane() {
+        let p = CommProvider::new(CommSystem::Hoplite);
+        let first = p.broadcast(8, 64 * MB);
+        let second = p.broadcast(8, 64 * MB);
+        assert_eq!(first, second);
+        assert!(first > 0.0 && first < 2.0);
+    }
+
+    #[test]
+    fn hoplite_beats_ray_baseline_on_broadcast() {
+        let hoplite = CommProvider::new(CommSystem::Hoplite);
+        let ray = CommProvider::new(CommSystem::Baseline(Baseline::RayLike));
+        let h = hoplite.broadcast(16, 64 * MB);
+        let r = ray.broadcast(16, 64 * MB);
+        assert!(r > 2.0 * h, "hoplite {h:.4}s vs ray {r:.4}s");
+    }
+
+    #[test]
+    fn degenerate_single_participant_costs_nothing() {
+        let p = CommProvider::new(CommSystem::Baseline(Baseline::RayLike));
+        assert_eq!(p.reduce(1, MB), 0.0);
+    }
+}

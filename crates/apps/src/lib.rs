@@ -1,0 +1,29 @@
+//! # hoplite-apps
+//!
+//! The application workloads of the Hoplite paper's evaluation (§5.2–§5.6), built on
+//! top of the simulated Hoplite cluster and the baseline cost models:
+//!
+//! * asynchronous-SGD parameter server (Figure 9),
+//! * reinforcement-learning training, samples- and gradients-optimization (Figure 10),
+//! * ML-ensemble model serving (Figure 11),
+//! * failure / rejoin drills (Figure 12), including a protocol-level broadcast
+//!   failover experiment on the simulated cluster,
+//! * synchronous data-parallel training (Figure 13).
+//!
+//! GPU compute (neural-network forward/backward passes, RL rollouts, inference) is
+//! replaced by calibrated per-sample compute times (see [`params`]); Hoplite's benefit
+//! comes from communication scheduling, so the workloads only need compute to occupy a
+//! realistic share of each round.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod fault;
+pub mod params;
+pub mod workloads;
+
+pub use comm::{CommProvider, CommSystem};
+pub use fault::{broadcast_failover_demo, FailoverResult, TimelinePoint};
+pub use params::ModelSpec;
+pub use workloads::{RlAlgorithm, ThroughputPoint};

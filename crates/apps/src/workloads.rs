@@ -1,0 +1,226 @@
+//! The application workloads of §5.2–§5.6: asynchronous SGD, reinforcement learning
+//! (samples- and gradients-optimization), ML-ensemble model serving, and synchronous
+//! data-parallel training.
+//!
+//! Each workload composes calibrated compute phases with communication phases obtained
+//! from a [`CommProvider`] — the Hoplite provider runs the full protocol on the
+//! simulated cluster, the baseline providers evaluate the comparator cost models — and
+//! reports throughput in the same units as the paper's figures.
+
+use hoplite_baselines::Baseline;
+
+use crate::comm::{CommProvider, CommSystem};
+use crate::params::*;
+
+/// One (system, cluster-size) throughput measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputPoint {
+    /// System label ("Hoplite", "Ray-like", ...).
+    pub system: String,
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// Workload label (model name or algorithm).
+    pub workload: String,
+    /// Throughput in the figure's units (samples/s or queries/s).
+    pub throughput: f64,
+}
+
+fn provider(system: CommSystem) -> CommProvider {
+    CommProvider::new(system)
+}
+
+/// Asynchronous-SGD parameter-server throughput (Figure 9).
+///
+/// One node is the parameter server; the rest are workers. Each round the server
+/// reduces gradients from the first half of the workers that finish and broadcasts the
+/// new weights back to them (exactly the policy described in §5.2).
+pub fn async_sgd_throughput(system: CommSystem, nodes: usize, model: ModelSpec) -> ThroughputPoint {
+    let comm = provider(system);
+    let workers = nodes.saturating_sub(1).max(1);
+    let half = (workers / 2).max(1);
+    let compute = SGD_BATCH_PER_WORKER as f64 * model.compute_per_sample_s;
+    // The reducing/broadcasting group is the parameter server plus the half batch.
+    let group = half + 1;
+    let round = compute + comm.reduce(group, model.size_bytes) + comm.broadcast(group, model.size_bytes);
+    let throughput = workers as f64 * SGD_BATCH_PER_WORKER as f64 / round;
+    ThroughputPoint {
+        system: system.label(),
+        nodes,
+        workload: model.name.to_string(),
+        throughput,
+    }
+}
+
+/// Which RL training architecture (Figure 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RlAlgorithm {
+    /// Samples optimization: the trainer broadcasts the policy, workers return rollouts
+    /// (IMPALA, APPO).
+    Impala,
+    /// Gradients optimization: workers return gradients, the trainer reduces them and
+    /// broadcasts the updated policy (A3C).
+    A3c,
+}
+
+impl RlAlgorithm {
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RlAlgorithm::Impala => "IMPALA",
+            RlAlgorithm::A3c => "A3C",
+        }
+    }
+}
+
+/// RL training throughput in samples per second (Figure 10): 1 trainer + (n-1) workers,
+/// the trainer synchronizes with the first half of the workers each round.
+pub fn rl_throughput(system: CommSystem, nodes: usize, algo: RlAlgorithm) -> ThroughputPoint {
+    let comm = provider(system);
+    let workers = nodes.saturating_sub(1).max(1);
+    let half = (workers / 2).max(1);
+    let group = half + 1;
+    let (round, samples_per_worker) = match algo {
+        RlAlgorithm::Impala => {
+            // Broadcast the policy to the finished half; rollouts returned to the
+            // trainer are small compared to the 64 MB policy.
+            let round = RL_ROLLOUT_S + comm.broadcast(group, RL_MODEL_BYTES);
+            (round, RL_SAMPLES_PER_ROLLOUT as f64)
+        }
+        RlAlgorithm::A3c => {
+            let round = RL_GRADIENT_S
+                + comm.reduce(group, RL_MODEL_BYTES)
+                + comm.broadcast(group, RL_MODEL_BYTES);
+            (round, RL_SAMPLES_PER_GRADIENT as f64)
+        }
+    };
+    ThroughputPoint {
+        system: system.label(),
+        nodes,
+        workload: algo.label().to_string(),
+        throughput: workers as f64 * samples_per_worker / round,
+    }
+}
+
+/// Ensemble model-serving throughput in queries per second (Figure 11): every query is
+/// broadcast to all replicas, each runs its model, results are gathered and voted on.
+pub fn serving_throughput(system: CommSystem, nodes: usize) -> ThroughputPoint {
+    let comm = provider(system);
+    let round = comm.broadcast(nodes, SERVING_QUERY_BYTES)
+        + SERVING_INFERENCE_S
+        + comm.gather(nodes, SERVING_RESULT_BYTES)
+        + SERVING_OVERHEAD_S;
+    ThroughputPoint {
+        system: system.label(),
+        nodes,
+        workload: "ensemble-serving".to_string(),
+        throughput: 1.0 / round,
+    }
+}
+
+/// Synchronous data-parallel training throughput (Figure 13): all `n` nodes compute on
+/// their partition and allreduce the gradients every round.
+pub fn sync_training_throughput(
+    system: CommSystem,
+    nodes: usize,
+    model: ModelSpec,
+) -> ThroughputPoint {
+    let comm = provider(system);
+    let compute = SGD_BATCH_PER_WORKER as f64 * model.compute_per_sample_s;
+    let round = compute + comm.allreduce(nodes, model.size_bytes);
+    ThroughputPoint {
+        system: system.label(),
+        nodes,
+        workload: model.name.to_string(),
+        throughput: nodes as f64 * SGD_BATCH_PER_WORKER as f64 / round,
+    }
+}
+
+/// The systems compared in Figures 9–11 (task-system workloads): Hoplite vs plain Ray.
+pub fn task_workload_systems() -> Vec<CommSystem> {
+    vec![CommSystem::Hoplite, CommSystem::Baseline(Baseline::RayLike)]
+}
+
+/// The systems compared in Figure 13: Hoplite, OpenMPI, Gloo (ring-chunked), Ray.
+pub fn sync_training_systems() -> Vec<CommSystem> {
+    vec![
+        CommSystem::Hoplite,
+        CommSystem::Baseline(Baseline::MpiLike),
+        CommSystem::Baseline(Baseline::GlooRingChunked),
+        CommSystem::Baseline(Baseline::RayLike),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape_async_sgd_speedups() {
+        // At 16 nodes Hoplite speeds up async SGD by roughly 5–8× depending on the
+        // model (paper: 7.8× AlexNet, 7.0× VGG-16, 5.0× ResNet-50).
+        for (model, lo, hi) in [(ALEXNET, 5.0, 11.0), (VGG16, 5.0, 10.0), (RESNET50, 3.0, 7.5)] {
+            let h = async_sgd_throughput(CommSystem::Hoplite, 16, model).throughput;
+            let r = async_sgd_throughput(CommSystem::Baseline(Baseline::RayLike), 16, model)
+                .throughput;
+            let speedup = h / r;
+            assert!(
+                speedup > lo && speedup < hi,
+                "{}: speedup {speedup:.2} outside [{lo}, {hi}]",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn figure10_shape_rl_speedups() {
+        let h8 = rl_throughput(CommSystem::Hoplite, 8, RlAlgorithm::Impala).throughput;
+        let r8 =
+            rl_throughput(CommSystem::Baseline(Baseline::RayLike), 8, RlAlgorithm::Impala).throughput;
+        assert!(h8 / r8 > 1.3 && h8 / r8 < 2.8, "IMPALA 8-node speedup {:.2}", h8 / r8);
+
+        let h16 = rl_throughput(CommSystem::Hoplite, 16, RlAlgorithm::A3c).throughput;
+        let r16 =
+            rl_throughput(CommSystem::Baseline(Baseline::RayLike), 16, RlAlgorithm::A3c).throughput;
+        let h8a = rl_throughput(CommSystem::Hoplite, 8, RlAlgorithm::A3c).throughput;
+        assert!(h16 / r16 > 2.0, "A3C 16-node speedup {:.2}", h16 / r16);
+        // A3C with Hoplite scales close to linearly from 8 to 16 nodes (§5.3).
+        assert!(h16 / h8a > 1.7, "A3C scaling {:.2}", h16 / h8a);
+    }
+
+    #[test]
+    fn figure11_shape_serving_speedup_grows_with_cluster() {
+        let h8 = serving_throughput(CommSystem::Hoplite, 8).throughput;
+        let r8 = serving_throughput(CommSystem::Baseline(Baseline::RayLike), 8).throughput;
+        let h16 = serving_throughput(CommSystem::Hoplite, 16).throughput;
+        let r16 = serving_throughput(CommSystem::Baseline(Baseline::RayLike), 16).throughput;
+        let s8 = h8 / r8;
+        let s16 = h16 / r16;
+        assert!(s8 > 1.5 && s8 < 3.5, "8-node serving speedup {s8:.2}");
+        assert!(s16 > s8, "speedup grows with cluster size");
+        assert!(s16 < 5.0, "16-node serving speedup {s16:.2}");
+    }
+
+    #[test]
+    fn figure13_shape_sync_training_ordering() {
+        // Gloo (ring-chunked) ≥ Hoplite, Hoplite ≈ OpenMPI, Ray far behind.
+        let model = RESNET50;
+        let h = sync_training_throughput(CommSystem::Hoplite, 16, model).throughput;
+        let gloo = sync_training_throughput(
+            CommSystem::Baseline(Baseline::GlooRingChunked),
+            16,
+            model,
+        )
+        .throughput;
+        let mpi =
+            sync_training_throughput(CommSystem::Baseline(Baseline::MpiLike), 16, model).throughput;
+        let ray =
+            sync_training_throughput(CommSystem::Baseline(Baseline::RayLike), 16, model).throughput;
+        assert!(gloo >= h * 0.99, "gloo {gloo:.0} vs hoplite {h:.0}");
+        // The paper reports Hoplite 12–24% behind Gloo; our chain-reduce + chain-
+        // broadcast pays more per-hop pipeline latency on the simulated network, so we
+        // only require the ordering and a bounded gap (see EXPERIMENTS.md).
+        assert!(h / gloo > 0.45, "hoplite within ~2x of gloo, got {:.2}", h / gloo);
+        assert!((h / mpi) > 0.45 && (h / mpi) < 1.4, "hoplite ~ OpenMPI, ratio {:.2}", h / mpi);
+        assert!(h / ray > 3.0, "hoplite much faster than Ray, ratio {:.2}", h / ray);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hoplite-baselines
+//!
+//! The comparator systems of the Hoplite paper's evaluation — OpenMPI, Gloo, Ray's
+//! object store, and Dask — re-created as cost models of their *documented* collective
+//! algorithms, evaluated on exactly the same network parameters (per-NIC bandwidth `B`,
+//! one-way latency `L`, worker↔store memcpy bandwidth) as the simulated Hoplite
+//! deployment in `hoplite-cluster`.
+//!
+//! Hoplite itself is simulated at full protocol granularity (every block, every
+//! directory RPC); the baselines use closed-form models because their data-transfer
+//! schedules are static and well understood:
+//!
+//! | System | Broadcast | Gather | Reduce | AllReduce |
+//! |---|---|---|---|---|
+//! | OpenMPI-like | pipelined binomial tree | linear gather | pipelined binomial tree | tuned: reduce+bcast for small, ring for large |
+//! | Gloo-like | unoptimized (sender fan-out) | — | — | ring-chunked & halving-doubling |
+//! | Ray-like | sender fan-out through the object store (two extra copies, no pipelining) | all-to-root | fetch-all-then-add at the caller | reduce + broadcast, both naive |
+//! | Dask-like | Ray-like plus a central-scheduler hop per transfer | same | same | same |
+//! | Optimal | `S/B` | `(n-1)·S/B` | `(n-1)·S/B` at the root's downlink | `2·(n-1)/n·S/B` |
+//!
+//! The synchronous-semantics difference that Figure 8 highlights is also modelled:
+//! MPI/Gloo reduce and allreduce cannot start before the *last* participant arrives,
+//! whereas the naive object-store baselines and Hoplite make progress with whatever has
+//! already arrived.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod systems;
+
+pub use model::NetworkModel;
+pub use systems::{Baseline, CollectiveKind};

@@ -1,0 +1,77 @@
+//! Shared network parameters for baseline cost models.
+
+use hoplite_simnet::prelude::*;
+
+/// The network parameters every baseline is evaluated against. Constructed from the
+/// same [`NetworkConfig`] the simulated Hoplite cluster uses, so the comparison is
+/// apples-to-apples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Per-NIC bandwidth in bytes/second (full duplex).
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Worker ↔ object-store memcpy bandwidth in bytes/second (the extra copies that
+    /// Ray/Dask pay on both sides of every transfer; Hoplite pays them too but hides
+    /// them with pipelining, §3.3).
+    pub memcpy_bandwidth: f64,
+    /// Fixed per-transfer control overhead of a centralized scheduler (Dask), seconds.
+    pub scheduler_overhead: f64,
+}
+
+impl NetworkModel {
+    /// Derive the model from a simulator network configuration.
+    pub fn from_network(net: &NetworkConfig) -> Self {
+        NetworkModel {
+            bandwidth: net.bandwidth,
+            latency: net.latency.as_secs_f64(),
+            memcpy_bandwidth: 5.0e9,
+            scheduler_overhead: 2e-3,
+        }
+    }
+
+    /// The paper's testbed (10 Gbps, ~85 µs one-way latency).
+    pub fn paper_testbed() -> Self {
+        NetworkModel::from_network(&NetworkConfig::paper_testbed())
+    }
+
+    /// Seconds to move `bytes` across one NIC direction.
+    pub fn wire(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
+    /// Seconds to memcpy `bytes` between a worker and its local store.
+    pub fn copy(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.memcpy_bandwidth
+    }
+
+    /// Ceil of log2 for tree-depth computations.
+    pub fn log2_ceil(n: usize) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_and_copy_scale_linearly() {
+        let m = NetworkModel::paper_testbed();
+        assert!((m.wire(1_250_000_000) - 1.0).abs() < 1e-9);
+        assert!(m.copy(1 << 30) < m.wire(1 << 30), "memcpy is faster than the wire");
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(NetworkModel::log2_ceil(1), 0);
+        assert_eq!(NetworkModel::log2_ceil(2), 1);
+        assert_eq!(NetworkModel::log2_ceil(3), 2);
+        assert_eq!(NetworkModel::log2_ceil(16), 4);
+        assert_eq!(NetworkModel::log2_ceil(17), 5);
+    }
+}

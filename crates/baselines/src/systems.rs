@@ -1,0 +1,327 @@
+//! Cost models of the comparator systems (OpenMPI, Gloo, Ray, Dask, and the
+//! theoretical optimum).
+//!
+//! Notation: `n` participants, object size `S` bytes, NIC bandwidth `B`, one-way
+//! latency `L`, worker↔store memcpy bandwidth `M`, object (de)serialization bandwidth
+//! `P` (Ray and Dask move Python-serialized objects; MPI/Gloo/Hoplite move raw
+//! buffers).
+
+use crate::model::NetworkModel;
+
+/// Which collective is being modelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// One sender, `n - 1` receivers.
+    Broadcast,
+    /// `n - 1` senders, one receiver, no combination.
+    Gather,
+    /// `n` inputs combined into one output at a single node.
+    Reduce,
+    /// `n` inputs combined and the result available on every node.
+    AllReduce,
+}
+
+/// A comparator system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// OpenMPI-like: static, tuned collective schedules (binomial / ring), raw buffers.
+    MpiLike,
+    /// Gloo broadcast path (no broadcast optimization, sender fan-out).
+    GlooBroadcast,
+    /// Gloo ring-chunked allreduce.
+    GlooRingChunked,
+    /// Gloo halving-doubling allreduce.
+    GlooHalvingDoubling,
+    /// Ray's object store: per-receiver fan-out, two extra memcpys, serialization, no
+    /// pipelining, no collectives.
+    RayLike,
+    /// Dask: like Ray but every transfer is brokered by the central scheduler.
+    DaskLike,
+    /// Information-theoretic lower bound on the same network.
+    Optimal,
+}
+
+/// Extra serialization bandwidth applied to Ray/Dask object movement (cloudpickle et
+/// al.), bytes per second.
+const SERIALIZATION_BANDWIDTH: f64 = 1.0e9;
+
+impl Baseline {
+    /// Human-readable label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Baseline::MpiLike => "OpenMPI-like",
+            Baseline::GlooBroadcast => "Gloo (Broadcast)",
+            Baseline::GlooRingChunked => "Gloo (Ring Chunked)",
+            Baseline::GlooHalvingDoubling => "Gloo (Halving Doubling)",
+            Baseline::RayLike => "Ray-like",
+            Baseline::DaskLike => "Dask-like",
+            Baseline::Optimal => "Optimal",
+        }
+    }
+
+    /// Every baseline that appears in the paper's collective-latency figures.
+    pub fn all() -> Vec<Baseline> {
+        vec![
+            Baseline::MpiLike,
+            Baseline::GlooBroadcast,
+            Baseline::GlooRingChunked,
+            Baseline::GlooHalvingDoubling,
+            Baseline::RayLike,
+            Baseline::DaskLike,
+            Baseline::Optimal,
+        ]
+    }
+
+    /// Round-trip time of a point-to-point exchange of `size`-byte objects (Figure 6).
+    pub fn p2p_rtt(&self, m: &NetworkModel, size: u64) -> f64 {
+        let wire = m.wire(size);
+        match self {
+            Baseline::Optimal => 2.0 * wire,
+            Baseline::MpiLike | Baseline::GlooBroadcast | Baseline::GlooRingChunked
+            | Baseline::GlooHalvingDoubling => 2.0 * (wire + m.latency),
+            Baseline::RayLike => 2.0 * self.store_transfer(m, size),
+            Baseline::DaskLike => 2.0 * self.store_transfer(m, size),
+        }
+    }
+
+    /// One unpipelined transfer through an object store: serialize, copy into the
+    /// store, cross the wire (twice for Dask, via the scheduler), copy out, pay the
+    /// object-directory / scheduler control latency.
+    fn store_transfer(&self, m: &NetworkModel, size: u64) -> f64 {
+        let ser = size as f64 / SERIALIZATION_BANDWIDTH;
+        let copies = 2.0 * m.copy(size);
+        let control = 4.0 * m.latency;
+        match self {
+            Baseline::DaskLike => ser + copies + 2.0 * m.wire(size) + control + m.scheduler_overhead,
+            _ => ser + copies + m.wire(size) + control,
+        }
+    }
+
+    /// Latency of a collective over `n` participants with `size`-byte objects, all
+    /// inputs ready at time zero (Figures 7 and 14).
+    pub fn collective(&self, m: &NetworkModel, kind: CollectiveKind, n: usize, size: u64) -> f64 {
+        let n = n.max(2);
+        let s = size as f64;
+        let wire = m.wire(size);
+        let depth = f64::from(NetworkModel::log2_ceil(n));
+        let block = (4u64 << 20).min(size.max(1));
+        let block_wire = m.wire(block);
+        match (self, kind) {
+            // ------------------------------------------------------------- optimal --
+            (Baseline::Optimal, CollectiveKind::Broadcast) => wire,
+            (Baseline::Optimal, CollectiveKind::Gather) => (n as f64 - 1.0) * wire,
+            (Baseline::Optimal, CollectiveKind::Reduce) => wire,
+            (Baseline::Optimal, CollectiveKind::AllReduce) => {
+                2.0 * (n as f64 - 1.0) / n as f64 * wire
+            }
+            // ----------------------------------------------------------------- MPI --
+            (Baseline::MpiLike, CollectiveKind::Broadcast) => {
+                // Pipelined binomial tree: latency per level plus one object time plus
+                // one block per extra level of depth.
+                depth * m.latency + wire + depth * block_wire
+            }
+            (Baseline::MpiLike, CollectiveKind::Gather) => {
+                m.latency + (n as f64 - 1.0) * wire
+            }
+            (Baseline::MpiLike, CollectiveKind::Reduce) => {
+                // Pipelined binary-tree reduce: every interior node receives two child
+                // streams through one downlink.
+                depth * m.latency + 2.0 * wire + depth * block_wire
+            }
+            (Baseline::MpiLike, CollectiveKind::AllReduce) => {
+                // OpenMPI switches algorithms with size/node count; take the better of
+                // reduce+broadcast and ring (which is why its latency is not monotonic
+                // in the paper's Figure 7).
+                let tree = self.collective(m, CollectiveKind::Reduce, n, size)
+                    + self.collective(m, CollectiveKind::Broadcast, n, size);
+                let ring = 2.0 * (n as f64 - 1.0) / n as f64 * wire
+                    + 2.0 * (n as f64 - 1.0) * m.latency;
+                tree.min(ring)
+            }
+            // ---------------------------------------------------------------- Gloo --
+            (Baseline::GlooBroadcast, CollectiveKind::Broadcast) => {
+                m.latency + (n as f64 - 1.0) * wire
+            }
+            (Baseline::GlooRingChunked, CollectiveKind::AllReduce) => {
+                2.0 * (n as f64 - 1.0) / n as f64 * wire + 2.0 * (n as f64 - 1.0) * m.latency
+            }
+            (Baseline::GlooHalvingDoubling, CollectiveKind::AllReduce) => {
+                // Fewer latency terms than the ring, but the recursive halves touch
+                // non-contiguous buffers, which costs it ~15% of effective bandwidth —
+                // that is why ring-chunked wins for large objects in the paper.
+                2.0 * (n as f64 - 1.0) / n as f64 * wire * 1.15 + 2.0 * depth * m.latency
+            }
+            // Gloo implements only broadcast and allreduce (§5.1.2); other collectives
+            // fall back to the naive pattern.
+            (Baseline::GlooBroadcast, k)
+            | (Baseline::GlooRingChunked, k)
+            | (Baseline::GlooHalvingDoubling, k) => Baseline::RayLike.collective(m, k, n, size),
+            // ------------------------------------------------------------ Ray-like --
+            (Baseline::RayLike, CollectiveKind::Broadcast) => {
+                // The owner serializes once, then pushes a full copy to every receiver
+                // through its single uplink; each receiver copies out of its store.
+                s / SERIALIZATION_BANDWIDTH
+                    + m.copy(size)
+                    + (n as f64 - 1.0) * wire
+                    + m.copy(size)
+                    + 2.0 * m.latency
+            }
+            (Baseline::RayLike, CollectiveKind::Gather)
+            | (Baseline::RayLike, CollectiveKind::Reduce) => {
+                // Every remote object crosses the caller's downlink; the caller
+                // deserializes and (for reduce) adds them one by one.
+                s / SERIALIZATION_BANDWIDTH
+                    + (n as f64 - 1.0) * (wire + s / SERIALIZATION_BANDWIDTH / (n as f64 - 1.0))
+                    + 2.0 * m.copy(size)
+                    + 2.0 * m.latency
+            }
+            (Baseline::RayLike, CollectiveKind::AllReduce) => {
+                self.collective(m, CollectiveKind::Reduce, n, size)
+                    + self.collective(m, CollectiveKind::Broadcast, n, size)
+            }
+            // ----------------------------------------------------------- Dask-like --
+            (Baseline::DaskLike, kind) => {
+                // Every transfer is brokered by the centralized scheduler and relayed
+                // through it, so the scheduler's NIC carries every byte twice.
+                let ray = Baseline::RayLike.collective(m, kind, n, size);
+                let relayed_bytes = match kind {
+                    CollectiveKind::Broadcast | CollectiveKind::Gather | CollectiveKind::Reduce => {
+                        (n as f64 - 1.0) * s
+                    }
+                    CollectiveKind::AllReduce => 2.0 * (n as f64 - 1.0) * s,
+                };
+                ray + relayed_bytes / m.bandwidth + (n as f64 - 1.0) * m.scheduler_overhead
+            }
+        }
+    }
+
+    /// Latency of a collective when participant `i` arrives at `i · interval_s`
+    /// (Figure 8). Measured from the first arrival, like the Hoplite scenarios.
+    pub fn collective_staggered(
+        &self,
+        m: &NetworkModel,
+        kind: CollectiveKind,
+        n: usize,
+        size: u64,
+        interval_s: f64,
+    ) -> f64 {
+        let base = self.collective(m, kind, n, size);
+        if interval_s <= 0.0 {
+            return base;
+        }
+        let last_arrival = (n.max(1) as f64 - 1.0) * interval_s;
+        match (self, kind) {
+            // Static-schedule systems cannot finish a reduce/allreduce before the last
+            // participant shows up, and then still pay the full collective.
+            (
+                Baseline::MpiLike
+                | Baseline::GlooRingChunked
+                | Baseline::GlooHalvingDoubling
+                | Baseline::GlooBroadcast,
+                CollectiveKind::Reduce | CollectiveKind::AllReduce,
+            ) => last_arrival + base,
+            // MPI broadcast makes partial progress when arrivals happen to follow rank
+            // order (§7 "Asynchronous MPI"): earlier ranks are already serving their
+            // subtrees, so only the last arrival's own transfer remains.
+            (Baseline::MpiLike, CollectiveKind::Broadcast) => {
+                base.max(last_arrival + m.wire(size) + m.latency)
+            }
+            // Naive object stores serve receivers as they arrive; the sender's uplink
+            // may or may not still be the bottleneck.
+            (Baseline::RayLike | Baseline::DaskLike | Baseline::GlooBroadcast, _) => {
+                base.max(last_arrival + Baseline::RayLike.store_transfer(m, size))
+            }
+            (Baseline::Optimal, _) => base.max(last_arrival + m.wire(size)),
+            _ => last_arrival + base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    fn m() -> NetworkModel {
+        NetworkModel::paper_testbed()
+    }
+
+    #[test]
+    fn figure6_shape_rtt_ordering() {
+        // OpenMPI < Ray < Dask for every size; optimal is the floor.
+        for size in [1024u64, MB, GB] {
+            let mpi = Baseline::MpiLike.p2p_rtt(&m(), size);
+            let ray = Baseline::RayLike.p2p_rtt(&m(), size);
+            let dask = Baseline::DaskLike.p2p_rtt(&m(), size);
+            let opt = Baseline::Optimal.p2p_rtt(&m(), size);
+            assert!(opt <= mpi && mpi < ray && ray < dask, "size {size}");
+        }
+        // At 1 GB the gap between MPI and optimal is small (bandwidth dominates).
+        let mpi = Baseline::MpiLike.p2p_rtt(&m(), GB);
+        let opt = Baseline::Optimal.p2p_rtt(&m(), GB);
+        assert!(mpi / opt < 1.05);
+    }
+
+    #[test]
+    fn figure7_shape_broadcast() {
+        // MPI's tree broadcast beats the sender fan-out of Ray/Dask/Gloo at 16 nodes.
+        let n = 16;
+        let mpi = Baseline::MpiLike.collective(&m(), CollectiveKind::Broadcast, n, GB);
+        let ray = Baseline::RayLike.collective(&m(), CollectiveKind::Broadcast, n, GB);
+        let gloo = Baseline::GlooBroadcast.collective(&m(), CollectiveKind::Broadcast, n, GB);
+        let dask = Baseline::DaskLike.collective(&m(), CollectiveKind::Broadcast, n, GB);
+        assert!(mpi < ray / 4.0);
+        assert!(ray < dask);
+        assert!(gloo > mpi, "Gloo does not optimize broadcast");
+    }
+
+    #[test]
+    fn figure7_shape_allreduce() {
+        // Gloo's ring-chunked allreduce is the fastest allreduce for large objects.
+        let n = 16;
+        let ring = Baseline::GlooRingChunked.collective(&m(), CollectiveKind::AllReduce, n, GB);
+        let hd = Baseline::GlooHalvingDoubling.collective(&m(), CollectiveKind::AllReduce, n, GB);
+        let mpi = Baseline::MpiLike.collective(&m(), CollectiveKind::AllReduce, n, GB);
+        let ray = Baseline::RayLike.collective(&m(), CollectiveKind::AllReduce, n, GB);
+        assert!(ring <= hd);
+        assert!(ring <= mpi * 1.05);
+        assert!(ray > 3.0 * ring);
+    }
+
+    #[test]
+    fn figure8_shape_staggered_reduce() {
+        // With a 0.3 s arrival interval over 16 nodes, MPI cannot go below 4.5 s while
+        // the theoretical lower bound barely moves.
+        let n = 16;
+        let interval = 0.3;
+        let mpi = Baseline::MpiLike.collective_staggered(
+            &m(),
+            CollectiveKind::Reduce,
+            n,
+            GB,
+            interval,
+        );
+        assert!(mpi > (n as f64 - 1.0) * interval);
+        let opt =
+            Baseline::Optimal.collective_staggered(&m(), CollectiveKind::Reduce, n, GB, interval);
+        assert!(opt < mpi);
+    }
+
+    #[test]
+    fn gather_scales_linearly_for_everyone() {
+        let n8 = Baseline::MpiLike.collective(&m(), CollectiveKind::Gather, 8, 32 * MB);
+        let n16 = Baseline::MpiLike.collective(&m(), CollectiveKind::Gather, 16, 32 * MB);
+        assert!(n16 > 1.8 * n8 && n16 < 2.4 * n8);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<&str> = Baseline::all().iter().map(|b| b.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

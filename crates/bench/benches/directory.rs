@@ -1,0 +1,62 @@
+//! Criterion benches for the object directory shard: registration, query, and the
+//! small-object inline fast path (§3.2, §5.1.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hoplite_core::buffer::Payload;
+use hoplite_core::config::HopliteConfig;
+use hoplite_core::directory::DirectoryShard;
+use hoplite_core::object::{NodeId, ObjectId, ObjectStatus};
+
+fn bench_register_query(c: &mut Criterion) {
+    c.bench_function("directory_register_then_query_1k_objects", |b| {
+        b.iter(|| {
+            let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
+            let mut out = Vec::new();
+            for i in 0..1000u32 {
+                let obj = ObjectId::from_name(&format!("obj-{i}"));
+                shard.register(obj, NodeId(i % 16), ObjectStatus::Complete, 1 << 20, &mut out);
+                shard.query(obj, NodeId((i + 1) % 16), u64::from(i), vec![], &mut out);
+                out.clear();
+            }
+            shard.len()
+        })
+    });
+}
+
+fn bench_inline_cache(c: &mut Criterion) {
+    c.bench_function("directory_inline_put_and_query", |b| {
+        b.iter(|| {
+            let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
+            let mut out = Vec::new();
+            for i in 0..500u32 {
+                let obj = ObjectId::from_name(&format!("small-{i}"));
+                shard.put_inline(obj, NodeId(0), Payload::zeros(512), &mut out);
+                shard.query(obj, NodeId(1), u64::from(i), vec![], &mut out);
+                out.clear();
+            }
+            shard.len()
+        })
+    });
+}
+
+fn bench_broadcast_chain_assignment(c: &mut Criterion) {
+    // The hot path of receiver-driven broadcast: each new receiver queries while all
+    // earlier receivers hold partial copies.
+    c.bench_function("directory_broadcast_chain_64_receivers", |b| {
+        b.iter(|| {
+            let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
+            let mut out = Vec::new();
+            let obj = ObjectId::from_name("bcast");
+            shard.register(obj, NodeId(0), ObjectStatus::Complete, 1 << 30, &mut out);
+            for r in 1..64u32 {
+                shard.query(obj, NodeId(r), u64::from(r), vec![], &mut out);
+                shard.register(obj, NodeId(r), ObjectStatus::Partial, 1 << 30, &mut out);
+                out.clear();
+            }
+            shard.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_register_query, bench_inline_cache, bench_broadcast_chain_assignment);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the data-plane building blocks: streaming progress buffers,
+//! block slicing, element-wise reduction, and wire framing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hoplite_core::buffer::{Payload, ProgressBuffer};
+use hoplite_core::object::ObjectId;
+use hoplite_core::reduce::ReduceSpec;
+use hoplite_transport::framing::{decode_body, encode_body};
+
+fn bench_progress_buffer(c: &mut Criterion) {
+    let block = Payload::zeros(4 * 1024 * 1024);
+    let total = 64 * 1024 * 1024u64;
+    let mut group = c.benchmark_group("progress_buffer_append_64MB");
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function("4MB_blocks", |b| {
+        b.iter(|| {
+            let mut buf = ProgressBuffer::new(total, false);
+            let mut offset = 0;
+            while offset < total {
+                buf.append_at(offset, &block);
+                offset += block.len();
+            }
+            buf.is_complete()
+        })
+    });
+    group.finish();
+}
+
+fn bench_reduce_combine(c: &mut Criterion) {
+    let spec = ReduceSpec::sum_f32();
+    let target = ObjectId::from_name("bench");
+    let a = Payload::from_f32s(&vec![1.0f32; 1 << 20]);
+    let b_payload = Payload::from_f32s(&vec![2.0f32; 1 << 20]);
+    let mut group = c.benchmark_group("reduce_combine_f32");
+    group.throughput(Throughput::Bytes((1 << 20) * 4));
+    group.bench_function("4MB_block", |bench| {
+        bench.iter(|| spec.combine(target, &a, &b_payload).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let msg = hoplite_core::protocol::Message::PushBlock {
+        object: ObjectId::from_name("frame"),
+        offset: 0,
+        total_size: 4 * 1024 * 1024,
+        payload: Payload::zeros(4 * 1024 * 1024),
+        complete: false,
+    };
+    let encoded = encode_body(&msg).unwrap();
+    let mut group = c.benchmark_group("framing_push_block_4MB");
+    group.throughput(Throughput::Bytes(4 * 1024 * 1024));
+    group.bench_function("encode", |b| b.iter(|| encode_body(&msg).unwrap()));
+    group.bench_function("decode", |b| b.iter(|| decode_body(&encoded).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_progress_buffer, bench_reduce_combine, bench_framing);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the dynamic reduce tree: shape construction, in-order
+//! assignment, and failure repair (the data structures behind Figure 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoplite_core::object::{NodeId, ObjectId};
+use hoplite_core::reduce::{DegreeModel, ReduceInput, ReduceTreePlan, TreeShape};
+
+fn bench_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_shape_build");
+    for n in [16usize, 256, 4096] {
+        for d in [1usize, 2, 8] {
+            group.bench_with_input(BenchmarkId::new(format!("d{d}"), n), &(n, d), |b, &(n, d)| {
+                b.iter(|| TreeShape::new(n, d))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_assignment");
+    for n in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut plan = ReduceTreePlan::new(n, 2);
+                for i in 0..n {
+                    plan.offer_input(ReduceInput {
+                        object: ObjectId::from_name(&format!("o{i}")),
+                        node: NodeId(i as u32),
+                    });
+                }
+                plan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_repair(c: &mut Criterion) {
+    c.bench_function("tree_failure_repair_1024", |b| {
+        b.iter(|| {
+            let mut plan = ReduceTreePlan::new(1024, 2);
+            for i in 0..1026usize {
+                plan.offer_input(ReduceInput {
+                    object: ObjectId::from_name(&format!("o{i}")),
+                    node: NodeId(i as u32),
+                });
+            }
+            for failed in [3u32, 511, 900] {
+                plan.on_node_failed(NodeId(failed));
+            }
+            plan
+        })
+    });
+}
+
+fn bench_degree_model(c: &mut Criterion) {
+    let model = DegreeModel::paper_testbed();
+    c.bench_function("degree_model_choose", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in 2..64usize {
+                for size in [1024u64, 1 << 20, 1 << 25] {
+                    acc += model.choose(&[1, 2, 0], n, size);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_shape, bench_assignment, bench_failure_repair, bench_degree_model);
+criterion_main!(benches);

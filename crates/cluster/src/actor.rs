@@ -1,0 +1,101 @@
+//! The adapter that runs a [`hoplite_core::node::ObjectStoreNode`] as a simulator
+//! actor.
+
+use std::collections::HashMap;
+
+use hoplite_core::prelude::*;
+use hoplite_simnet::prelude::*;
+
+/// Record of one completed client operation.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// When the reply was produced (simulated time).
+    pub at: SimTime,
+    /// The reply itself.
+    pub reply: ClientReply,
+}
+
+/// A simulator actor hosting one Hoplite object-store node.
+pub struct HopliteActor {
+    node: ObjectStoreNode,
+    completions: HashMap<OpId, Vec<Completion>>,
+}
+
+impl HopliteActor {
+    /// Wrap a freshly-created node.
+    pub fn new(node: ObjectStoreNode) -> Self {
+        HopliteActor { node, completions: HashMap::new() }
+    }
+
+    /// Submit a client operation (called from an external simulation event).
+    pub fn submit(&mut self, op_id: OpId, op: ClientOp, ctx: &mut SimContext<'_, Message>) {
+        let now = Time(ctx.now().as_nanos());
+        let mut effects = Vec::new();
+        self.node.handle_client(now, op_id, op, &mut effects);
+        self.apply(effects, ctx);
+    }
+
+    /// All replies recorded for an operation (most ops produce exactly one; `Reduce`
+    /// produces `ReduceAccepted` followed by `ReduceComplete`).
+    pub fn completions(&self, op: OpId) -> &[Completion] {
+        self.completions.get(&op).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The underlying node (metrics, store inspection).
+    pub fn node(&self) -> &ObjectStoreNode {
+        &self.node
+    }
+
+    fn apply(&mut self, effects: Vec<Effect>, ctx: &mut SimContext<'_, Message>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    ctx.send(to.index(), msg, bytes);
+                }
+                Effect::Reply { op, reply } => {
+                    self.completions
+                        .entry(op)
+                        .or_default()
+                        .push(Completion { at: ctx.now(), reply });
+                }
+                Effect::SetTimer { token, delay } => {
+                    ctx.set_timer(SimDuration::from_nanos(delay.as_nanos()), token.0);
+                }
+                Effect::LocalProgress { .. } => {}
+            }
+        }
+    }
+}
+
+impl SimActor for HopliteActor {
+    type Msg = Message;
+
+    fn on_message(&mut self, from: usize, msg: Message, ctx: &mut SimContext<'_, Message>) {
+        let now = Time(ctx.now().as_nanos());
+        let mut effects = Vec::new();
+        self.node.handle_message(now, NodeId(from as u32), msg, &mut effects);
+        self.apply(effects, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SimContext<'_, Message>) {
+        let now = Time(ctx.now().as_nanos());
+        let mut effects = Vec::new();
+        self.node.handle_timer(now, TimerToken(token), &mut effects);
+        self.apply(effects, ctx);
+    }
+
+    fn on_peer_failed(&mut self, peer: usize, ctx: &mut SimContext<'_, Message>) {
+        let now = Time(ctx.now().as_nanos());
+        let mut effects = Vec::new();
+        self.node.handle_peer_failed(now, NodeId(peer as u32), &mut effects);
+        self.apply(effects, ctx);
+    }
+
+    fn on_peer_recovered(&mut self, peer: usize, ctx: &mut SimContext<'_, Message>) {
+        let now = Time(ctx.now().as_nanos());
+        let mut effects = Vec::new();
+        self.node.handle_peer_recovered(now, NodeId(peer as u32), &mut effects);
+        self.apply(effects, ctx);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hoplite-cluster
+//!
+//! Drivers that turn the sans-IO `hoplite-core` state machines into running clusters:
+//!
+//! * [`sim_cluster::SimCluster`] — every node on the deterministic discrete-event
+//!   network of `hoplite-simnet`, with synthetic payloads and pipelined put modelling.
+//!   This is the environment in which the paper's figures are regenerated.
+//! * [`local::LocalCluster`] — one OS thread per node over in-process channels or
+//!   localhost TCP, moving real bytes. This is the environment used by the examples,
+//!   the task framework, and the data-plane correctness tests.
+//! * [`scenarios`] — the §5.1 microbenchmark methodology (point-to-point, broadcast,
+//!   gather, reduce, allreduce, asynchronous arrivals, directory fast path) packaged as
+//!   reusable functions for the benchmark harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod actor;
+pub mod local;
+pub mod scenarios;
+pub mod sim_cluster;
+
+pub use actor::HopliteActor;
+pub use local::{HopliteClient, LocalCluster, LocalFabric};
+pub use scenarios::{ScenarioEnv, ScenarioResult};
+pub use sim_cluster::{OpHandle, SimCluster};

@@ -1,0 +1,327 @@
+//! Collective-communication measurement scenarios on the simulated cluster.
+//!
+//! These functions reproduce the microbenchmark methodology of §5.1 of the paper:
+//! input objects are created first (`Put`), and the measured phase starts once they are
+//! ready. For the asynchrony experiments (Figure 8) the participants instead arrive
+//! sequentially with a fixed interval and the measurement starts at the first arrival.
+
+use hoplite_core::prelude::*;
+use hoplite_simnet::prelude::*;
+
+use crate::sim_cluster::{OpHandle, SimCluster};
+
+/// Parameters shared by every scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioEnv {
+    /// Hoplite configuration (block size, inline threshold, degree candidates, ...).
+    pub hoplite: HopliteConfig,
+    /// Simulated network characteristics.
+    pub network: NetworkConfig,
+}
+
+impl Default for ScenarioEnv {
+    fn default() -> Self {
+        ScenarioEnv {
+            hoplite: HopliteConfig::paper_testbed(),
+            network: NetworkConfig::paper_testbed(),
+        }
+    }
+}
+
+impl ScenarioEnv {
+    /// The paper's testbed environment.
+    pub fn paper_testbed() -> Self {
+        ScenarioEnv::default()
+    }
+
+    fn cluster(&self, n: usize) -> SimCluster {
+        SimCluster::new(n, self.hoplite.clone(), self.network.clone())
+    }
+}
+
+/// Outcome of one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Latency of the measured phase in seconds.
+    pub latency_s: f64,
+    /// Total data-plane bytes sent across the cluster during the whole run.
+    pub data_bytes_sent: u64,
+    /// Total protocol messages delivered by the simulator.
+    pub messages: u64,
+}
+
+const SETTLE: f64 = 1.0;
+
+fn settle(cluster: &mut SimCluster) -> SimTime {
+    let end = cluster.run();
+    // Start the measured phase strictly after the preparation phase has quiesced.
+    SimTime::from_secs_f64(end.as_secs_f64().max(0.0) + SETTLE)
+}
+
+fn result(cluster: &SimCluster, latency_s: f64) -> ScenarioResult {
+    ScenarioResult {
+        latency_s,
+        data_bytes_sent: cluster.total_metrics().data_bytes_sent,
+        messages: cluster.sim_stats().messages_delivered,
+    }
+}
+
+fn object(name: &str, i: usize) -> ObjectId {
+    ObjectId::from_name(&format!("{name}-{i}"))
+}
+
+/// Round-trip latency of point-to-point communication (Figure 6): node 0 sends an
+/// object to node 1, node 1 sends an equally-sized object back.
+pub fn p2p_rtt(env: &ScenarioEnv, size: u64) -> ScenarioResult {
+    let mut cluster = env.cluster(2);
+    let a = ObjectId::from_name("p2p-a");
+    let b = ObjectId::from_name("p2p-b");
+    cluster.submit_at(SimTime::ZERO, 0, ClientOp::Put { object: a, payload: Payload::synthetic(size) });
+    let start = settle(&mut cluster);
+    let get_a = cluster.submit_at(start, 1, ClientOp::Get { object: a });
+    cluster.run();
+    let mid = cluster.done_time(get_a).expect("forward transfer completed");
+    // The reply object is created only once the forward transfer is done, mirroring a
+    // request/response exchange.
+    cluster.submit_at(mid, 1, ClientOp::Put { object: b, payload: Payload::synthetic(size) });
+    let get_b = cluster.submit_at(mid, 0, ClientOp::Get { object: b });
+    cluster.run();
+    let done = cluster.done_time(get_b).expect("return transfer completed");
+    result(&cluster, (done - start).as_secs_f64())
+}
+
+/// Broadcast latency (Figures 7, 8, 14): node 0 owns the object, nodes `1..n` `Get` it.
+/// Receivers arrive `interval_s` apart (0 = all at once); latency is measured from the
+/// first arrival to the last completion.
+pub fn broadcast_latency(env: &ScenarioEnv, n: usize, size: u64, interval_s: f64) -> ScenarioResult {
+    assert!(n >= 2);
+    let mut cluster = env.cluster(n);
+    let obj = ObjectId::from_name("bcast");
+    cluster.submit_at(SimTime::ZERO, 0, ClientOp::Put { object: obj, payload: Payload::synthetic(size) });
+    let start = settle(&mut cluster);
+    let gets: Vec<OpHandle> = (1..n)
+        .map(|node| {
+            let at = SimTime::from_secs_f64(start.as_secs_f64() + (node - 1) as f64 * interval_s);
+            cluster.submit_at(at, node, ClientOp::Get { object: obj })
+        })
+        .collect();
+    cluster.run();
+    let last = gets
+        .iter()
+        .map(|&h| cluster.done_time(h).expect("broadcast receiver finished"))
+        .max()
+        .unwrap();
+    result(&cluster, (last - start).as_secs_f64())
+}
+
+/// Gather latency (Figures 7, 14): every node `Put`s one object, node 0 `Get`s them all.
+pub fn gather_latency(env: &ScenarioEnv, n: usize, size: u64) -> ScenarioResult {
+    assert!(n >= 2);
+    let mut cluster = env.cluster(n);
+    let objects: Vec<ObjectId> = (1..n).map(|i| object("gather", i)).collect();
+    for (i, &obj) in objects.iter().enumerate() {
+        cluster.submit_at(
+            SimTime::ZERO,
+            i + 1,
+            ClientOp::Put { object: obj, payload: Payload::synthetic(size) },
+        );
+    }
+    let start = settle(&mut cluster);
+    let gets: Vec<OpHandle> =
+        objects.iter().map(|&obj| cluster.submit_at(start, 0, ClientOp::Get { object: obj })).collect();
+    cluster.run();
+    let last = gets
+        .iter()
+        .map(|&h| cluster.done_time(h).expect("gather get finished"))
+        .max()
+        .unwrap();
+    result(&cluster, (last - start).as_secs_f64())
+}
+
+/// Reduce latency (Figures 7, 8, 14, 15): every node `Put`s one object, node 0 calls
+/// `Reduce` over all of them and `Get`s the result. `degree` forces the tree degree
+/// (used by the Appendix-B ablation); `interval_s > 0` staggers the input arrivals and
+/// starts the measurement at the `Reduce` call instead.
+pub fn reduce_latency(
+    env: &ScenarioEnv,
+    n: usize,
+    size: u64,
+    degree: Option<usize>,
+    interval_s: f64,
+) -> ScenarioResult {
+    assert!(n >= 2);
+    let mut cluster = env.cluster(n);
+    let sources: Vec<ObjectId> = (0..n).map(|i| object("reduce", i)).collect();
+    let target = ObjectId::from_name("reduce-result");
+    let start = if interval_s == 0.0 {
+        for (i, &src) in sources.iter().enumerate() {
+            cluster.submit_at(
+                SimTime::ZERO,
+                i,
+                ClientOp::Put { object: src, payload: Payload::synthetic(size) },
+            );
+        }
+        settle(&mut cluster)
+    } else {
+        let start = SimTime::from_secs_f64(SETTLE);
+        for (i, &src) in sources.iter().enumerate() {
+            let at = SimTime::from_secs_f64(start.as_secs_f64() + i as f64 * interval_s);
+            cluster.submit_at(at, i, ClientOp::Put { object: src, payload: Payload::synthetic(size) });
+        }
+        start
+    };
+    cluster.submit_at(
+        start,
+        0,
+        ClientOp::Reduce {
+            target,
+            sources,
+            num_objects: None,
+            spec: ReduceSpec::sum_f32(),
+            degree,
+        },
+    );
+    let get = cluster.submit_at(start, 0, ClientOp::Get { object: target });
+    cluster.run();
+    let done = cluster.done_time(get).expect("reduce result fetched");
+    result(&cluster, (done - start).as_secs_f64())
+}
+
+/// AllReduce latency (Figures 7, 8, 14): a `Reduce` followed by every node `Get`ting the
+/// result (§3.4.3), which is exactly how Hoplite expresses allreduce.
+pub fn allreduce_latency(
+    env: &ScenarioEnv,
+    n: usize,
+    size: u64,
+    interval_s: f64,
+) -> ScenarioResult {
+    assert!(n >= 2);
+    let mut cluster = env.cluster(n);
+    let sources: Vec<ObjectId> = (0..n).map(|i| object("allreduce", i)).collect();
+    let target = ObjectId::from_name("allreduce-result");
+    let start = if interval_s == 0.0 {
+        for (i, &src) in sources.iter().enumerate() {
+            cluster.submit_at(
+                SimTime::ZERO,
+                i,
+                ClientOp::Put { object: src, payload: Payload::synthetic(size) },
+            );
+        }
+        settle(&mut cluster)
+    } else {
+        let start = SimTime::from_secs_f64(SETTLE);
+        for (i, &src) in sources.iter().enumerate() {
+            let at = SimTime::from_secs_f64(start.as_secs_f64() + i as f64 * interval_s);
+            cluster.submit_at(at, i, ClientOp::Put { object: src, payload: Payload::synthetic(size) });
+        }
+        start
+    };
+    cluster.submit_at(
+        start,
+        0,
+        ClientOp::Reduce {
+            target,
+            sources,
+            num_objects: None,
+            spec: ReduceSpec::sum_f32(),
+            degree: None,
+        },
+    );
+    let gets: Vec<OpHandle> =
+        (0..n).map(|node| cluster.submit_at(start, node, ClientOp::Get { object: target })).collect();
+    cluster.run();
+    let last = gets
+        .iter()
+        .map(|&h| cluster.done_time(h).expect("allreduce receiver finished"))
+        .max()
+        .unwrap();
+    result(&cluster, (last - start).as_secs_f64())
+}
+
+/// Directory microbenchmark (§5.1.1): latency of fetching a small (inline-cached)
+/// object from another node, which is one location query round trip.
+pub fn directory_fetch_latency(env: &ScenarioEnv, size: u64) -> ScenarioResult {
+    let mut cluster = env.cluster(2);
+    let obj = ObjectId::from_name("dir-small");
+    cluster.submit_at(SimTime::ZERO, 0, ClientOp::Put { object: obj, payload: Payload::synthetic(size) });
+    let start = settle(&mut cluster);
+    let get = cluster.submit_at(start, 1, ClientOp::Get { object: obj });
+    cluster.run();
+    let done = cluster.done_time(get).expect("small object fetched");
+    result(&cluster, (done - start).as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    #[test]
+    fn p2p_rtt_tracks_bandwidth_for_large_objects() {
+        let env = ScenarioEnv::paper_testbed();
+        let r = p2p_rtt(&env, GB);
+        let optimal = 2.0 * GB as f64 / 1.25e9;
+        assert!(r.latency_s > optimal * 0.95, "cannot beat the wire: {}", r.latency_s);
+        assert!(r.latency_s < optimal * 1.6, "pipelining keeps overhead bounded: {}", r.latency_s);
+    }
+
+    #[test]
+    fn p2p_rtt_small_objects_latency_bound() {
+        let env = ScenarioEnv::paper_testbed();
+        let r = p2p_rtt(&env, 1024);
+        // Two directory-served (inline) fetches: a handful of RPC latencies, well under
+        // a millisecond on the simulated network.
+        assert!(r.latency_s < 2e-3, "{}", r.latency_s);
+    }
+
+    #[test]
+    fn broadcast_beats_sender_fanout_and_loses_to_nothing() {
+        let env = ScenarioEnv::paper_testbed();
+        let r = broadcast_latency(&env, 8, 256 * MB, 0.0);
+        let one_copy = 256.0 * MB as f64 / 1.25e9;
+        assert!(r.latency_s >= one_copy, "at least one copy time");
+        assert!(r.latency_s < 3.0 * one_copy, "roughly bandwidth-optimal, got {}", r.latency_s);
+    }
+
+    #[test]
+    fn reduce_degree_override_changes_behaviour() {
+        let env = ScenarioEnv::paper_testbed();
+        let chain = reduce_latency(&env, 8, 64 * MB, Some(1), 0.0);
+        let star = reduce_latency(&env, 8, 64 * MB, Some(0), 0.0);
+        // For large objects the chain must beat the star (Appendix B).
+        assert!(
+            chain.latency_s < star.latency_s,
+            "chain {} vs star {}",
+            chain.latency_s,
+            star.latency_s
+        );
+    }
+
+    #[test]
+    fn staggered_broadcast_overlaps_arrivals() {
+        let env = ScenarioEnv::paper_testbed();
+        let sync = broadcast_latency(&env, 8, 256 * MB, 0.0);
+        let staggered = broadcast_latency(&env, 8, 256 * MB, 0.1);
+        // Receivers arriving 0.1 s apart: the last arrives 0.6 s in; total latency grows
+        // by far less than 0.6 s because earlier receivers finish and serve later ones.
+        assert!(staggered.latency_s < sync.latency_s + 0.65);
+        assert!(staggered.latency_s >= sync.latency_s * 0.8);
+    }
+
+    #[test]
+    fn allreduce_completes_everywhere() {
+        let env = ScenarioEnv::paper_testbed();
+        let r = allreduce_latency(&env, 4, 16 * MB, 0.0);
+        assert!(r.latency_s > 0.0 && r.latency_s < 1.0);
+    }
+
+    #[test]
+    fn directory_fetch_is_a_couple_of_rpcs() {
+        let env = ScenarioEnv::paper_testbed();
+        let r = directory_fetch_latency(&env, 1024);
+        assert!(r.latency_s < 1e-3, "{}", r.latency_s);
+        assert!(r.latency_s >= 150e-6, "{}", r.latency_s);
+    }
+}

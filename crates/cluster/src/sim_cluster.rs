@@ -1,0 +1,233 @@
+//! A simulated Hoplite deployment: `n` object-store nodes on the discrete-event
+//! network, with helpers for submitting client operations at chosen times and reading
+//! back completion timestamps.
+
+use hoplite_core::prelude::*;
+use hoplite_simnet::prelude::*;
+
+use crate::actor::{Completion, HopliteActor};
+
+/// Handle for a submitted client operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpHandle {
+    /// Node the operation was submitted on.
+    pub node: usize,
+    /// Operation id on that node.
+    pub op: OpId,
+}
+
+/// A cluster of Hoplite nodes running on the simulator.
+pub struct SimCluster {
+    sim: Simulation<HopliteActor>,
+    next_op: u64,
+}
+
+impl SimCluster {
+    /// Build a simulated cluster of `n` nodes. Payloads are synthetic (length-only) and
+    /// `Put`s model the pipelined worker→store copy, exactly as the paper's evaluation
+    /// environment would behave.
+    pub fn new(n: usize, cfg: HopliteConfig, net: NetworkConfig) -> Self {
+        let cluster = ClusterView::of_size(n);
+        let opts = NodeOptions { synthetic_data: true, pipelined_put: true };
+        let actors = cluster
+            .nodes
+            .iter()
+            .map(|&id| {
+                HopliteActor::new(ObjectStoreNode::new(id, cfg.clone(), cluster.clone(), opts.clone()))
+            })
+            .collect();
+        SimCluster { sim: Simulation::new(net, actors), next_op: 1 }
+    }
+
+    /// Build a cluster with the paper's testbed parameters.
+    pub fn paper_testbed(n: usize) -> Self {
+        SimCluster::new(n, HopliteConfig::paper_testbed(), NetworkConfig::paper_testbed())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// `true` for an empty cluster.
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Submit a client operation to `node` at simulated time `at`.
+    pub fn submit_at(&mut self, at: SimTime, node: usize, op: ClientOp) -> OpHandle {
+        let op_id = OpId(self.next_op);
+        self.next_op += 1;
+        self.sim.call_at(at, node, move |actor, ctx| actor.submit(op_id, op, ctx));
+        OpHandle { node, op: op_id }
+    }
+
+    /// Schedule a node failure.
+    pub fn fail_node_at(&mut self, at: SimTime, node: usize) {
+        self.sim.fail_node_at(at, node);
+    }
+
+    /// Schedule a node recovery (the node comes back with an empty store).
+    pub fn recover_node_at(&mut self, at: SimTime, node: usize) {
+        self.sim.recover_node_at(at, node);
+    }
+
+    /// Run until no events remain; returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.sim.run_to_completion()
+    }
+
+    /// Run until no events remain or `deadline` passes.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.sim.run_until_idle(deadline)
+    }
+
+    /// All completions recorded for a handle.
+    pub fn completions(&self, handle: OpHandle) -> &[Completion] {
+        self.sim.actor(handle.node).completions(handle.op)
+    }
+
+    /// Time of the first completion matching `pred`, if any.
+    pub fn completion_time_where<F>(&self, handle: OpHandle, pred: F) -> Option<SimTime>
+    where
+        F: Fn(&ClientReply) -> bool,
+    {
+        self.completions(handle).iter().find(|c| pred(&c.reply)).map(|c| c.at)
+    }
+
+    /// Time at which a `Get` finished (or a `Put` completed, etc.): the first
+    /// non-error completion.
+    pub fn done_time(&self, handle: OpHandle) -> Option<SimTime> {
+        self.completion_time_where(handle, |r| !matches!(r, ClientReply::Error { .. }))
+    }
+
+    /// `true` if any completion for the handle was an error.
+    pub fn failed(&self, handle: OpHandle) -> bool {
+        self.completions(handle).iter().any(|c| matches!(c.reply, ClientReply::Error { .. }))
+    }
+
+    /// Aggregated metrics over every node.
+    pub fn total_metrics(&self) -> NodeMetrics {
+        let mut total = NodeMetrics::default();
+        for i in 0..self.sim.len() {
+            total.merge(self.sim.actor(i).node().metrics());
+        }
+        total
+    }
+
+    /// Metrics of a single node.
+    pub fn node_metrics(&self, node: usize) -> NodeMetrics {
+        self.sim.actor(node).node().metrics().clone()
+    }
+
+    /// Whether `node` currently holds a complete copy of `object`.
+    pub fn node_has_complete(&self, node: usize, object: ObjectId) -> bool {
+        self.sim.actor(node).node().has_complete(object)
+    }
+
+    /// Simulator statistics (message/byte counts).
+    pub fn sim_stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn put_get_on_sim_cluster() {
+        let mut cluster = SimCluster::paper_testbed(4);
+        let object = ObjectId::from_name("x");
+        let put = cluster.submit_at(
+            SimTime::ZERO,
+            0,
+            ClientOp::Put { object, payload: Payload::synthetic(64 * MB) },
+        );
+        let get = cluster.submit_at(
+            SimTime::from_secs_f64(0.5),
+            3,
+            ClientOp::Get { object },
+        );
+        cluster.run();
+        let put_done = cluster.done_time(put).expect("put completed");
+        let get_done = cluster.done_time(get).expect("get completed");
+        assert!(put_done < get_done);
+        // 64 MB at 10 Gbps is ~51 ms of wire time; the get should take roughly that
+        // (plus latency), not multiples of it.
+        let transfer = get_done.as_secs_f64() - 0.5;
+        assert!(transfer > 0.045 && transfer < 0.2, "transfer = {transfer}");
+        assert!(cluster.node_has_complete(3, object));
+    }
+
+    #[test]
+    fn broadcast_scales_better_than_naive_sender_fanout() {
+        // 8 receivers × 64 MB: receiver-driven broadcast must beat 8 × S/B at the
+        // sender, because receivers chain off each other.
+        let mut cluster = SimCluster::paper_testbed(9);
+        let object = ObjectId::from_name("model");
+        cluster.submit_at(
+            SimTime::ZERO,
+            0,
+            ClientOp::Put { object, payload: Payload::synthetic(64 * MB) },
+        );
+        let start = SimTime::from_secs_f64(0.5);
+        let gets: Vec<OpHandle> = (1..9)
+            .map(|node| cluster.submit_at(start, node, ClientOp::Get { object }))
+            .collect();
+        cluster.run();
+        let last = gets
+            .iter()
+            .map(|&h| cluster.done_time(h).expect("get completed"))
+            .max()
+            .unwrap();
+        let elapsed = last.as_secs_f64() - 0.5;
+        let naive = 8.0 * 64.0 * 1024.0 * 1024.0 / 1.25e9;
+        assert!(
+            elapsed < naive * 0.6,
+            "broadcast took {elapsed:.3}s, naive sender fan-out would take {naive:.3}s"
+        );
+    }
+
+    #[test]
+    fn reduce_on_sim_cluster_completes() {
+        let n = 8;
+        let mut cluster = SimCluster::paper_testbed(n);
+        let sources: Vec<ObjectId> =
+            (0..n).map(|i| ObjectId::from_name(&format!("g{i}"))).collect();
+        for (i, &src) in sources.iter().enumerate() {
+            cluster.submit_at(
+                SimTime::ZERO,
+                i,
+                ClientOp::Put { object: src, payload: Payload::synthetic(32 * MB) },
+            );
+        }
+        let target = ObjectId::from_name("sum");
+        let start = SimTime::from_secs_f64(0.5);
+        cluster.submit_at(
+            start,
+            0,
+            ClientOp::Reduce {
+                target,
+                sources,
+                num_objects: None,
+                spec: ReduceSpec::sum_f32(),
+                degree: None,
+            },
+        );
+        let get = cluster.submit_at(start, 0, ClientOp::Get { object: target });
+        cluster.run();
+        let done = cluster.done_time(get).expect("reduce result fetched");
+        let elapsed = done.as_secs_f64() - 0.5;
+        // Naive: everyone sends to node 0 → 8·S/B ≈ 0.21 s. The tree reduce should be
+        // well under that; allow generous slack for latency terms.
+        assert!(elapsed < 0.15, "reduce took {elapsed:.3}s");
+    }
+}

@@ -1,0 +1,327 @@
+//! Object payloads and streaming (partially-received) buffers.
+//!
+//! Hoplite moves objects as sequences of fixed-size blocks. Two payload kinds exist:
+//!
+//! * [`Payload::Bytes`] carries real data. The real transports and the data-plane
+//!   correctness tests use this kind, and reduce operations perform real arithmetic on
+//!   it.
+//! * [`Payload::Synthetic`] carries only a length. The discrete-event simulator uses it
+//!   so that cluster-scale experiments (16 nodes × 1 GiB objects) model timing without
+//!   allocating or copying gigabytes of memory. Every protocol path treats the two
+//!   kinds identically; only the arithmetic differs.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The contents (or modelled contents) of an object or of a single transferred block.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Real bytes.
+    Bytes(#[serde(with = "serde_bytes_compat")] Bytes),
+    /// A length-only stand-in used by the simulator.
+    Synthetic {
+        /// Modelled length in bytes.
+        len: u64,
+    },
+}
+
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Payload {
+    /// A real payload from a byte vector.
+    pub fn from_vec(data: Vec<u8>) -> Payload {
+        Payload::Bytes(Bytes::from(data))
+    }
+
+    /// A real payload of `len` zero bytes (useful in tests).
+    pub fn zeros(len: usize) -> Payload {
+        Payload::Bytes(Bytes::from(vec![0u8; len]))
+    }
+
+    /// A synthetic payload of `len` modelled bytes.
+    pub fn synthetic(len: u64) -> Payload {
+        Payload::Synthetic { len }
+    }
+
+    /// A real payload encoding a slice of `f32`s in little-endian order.
+    pub fn from_f32s(values: &[f32]) -> Payload {
+        let mut out = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Payload::from_vec(out)
+    }
+
+    /// Decode a real payload as little-endian `f32`s. Panics on synthetic payloads or
+    /// lengths not divisible by four (callers check [`Payload::is_synthetic`] first).
+    pub fn to_f32s(&self) -> Vec<f32> {
+        match self {
+            Payload::Bytes(b) => {
+                assert!(b.len() % 4 == 0, "payload length {} not a multiple of 4", b.len());
+                b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+            }
+            Payload::Synthetic { .. } => panic!("cannot decode a synthetic payload"),
+        }
+    }
+
+    /// Length in (real or modelled) bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Synthetic { len } => *len,
+        }
+    }
+
+    /// `true` when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for simulator (length-only) payloads.
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self, Payload::Synthetic { .. })
+    }
+
+    /// Borrow the real bytes, if any.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            Payload::Synthetic { .. } => None,
+        }
+    }
+
+    /// Sub-range `[offset, offset + len)` of this payload. Cheap (zero-copy) for real
+    /// payloads, trivial for synthetic ones.
+    pub fn slice(&self, offset: u64, len: u64) -> Payload {
+        let end = (offset + len).min(self.len());
+        let offset = offset.min(end);
+        match self {
+            Payload::Bytes(b) => Payload::Bytes(b.slice(offset as usize..end as usize)),
+            Payload::Synthetic { .. } => Payload::Synthetic { len: end - offset },
+        }
+    }
+
+    /// Concatenate two payloads. Mixing real and synthetic payloads degrades to a
+    /// synthetic result (only the simulator ever does this).
+    pub fn concat(&self, other: &Payload) -> Payload {
+        match (self, other) {
+            (Payload::Bytes(a), Payload::Bytes(b)) => {
+                let mut v = Vec::with_capacity(a.len() + b.len());
+                v.extend_from_slice(a);
+                v.extend_from_slice(b);
+                Payload::from_vec(v)
+            }
+            _ => Payload::Synthetic { len: self.len() + other.len() },
+        }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Bytes(b) => write!(f, "Payload::Bytes({} bytes)", b.len()),
+            Payload::Synthetic { len } => write!(f, "Payload::Synthetic({len} bytes)"),
+        }
+    }
+}
+
+/// An object that is being created or received block by block.
+///
+/// The buffer tracks a *watermark*: the number of contiguous bytes available from the
+/// start of the object. Pipelining (§3.3) works by letting other parties read up to the
+/// watermark while the rest of the object is still in flight.
+#[derive(Clone, Debug)]
+pub struct ProgressBuffer {
+    total_size: u64,
+    watermark: u64,
+    data: PayloadAccum,
+}
+
+#[derive(Clone, Debug)]
+enum PayloadAccum {
+    Real(Vec<u8>),
+    Synthetic,
+}
+
+impl ProgressBuffer {
+    /// Start an empty buffer for an object of `total_size` bytes. `synthetic` selects
+    /// the length-only representation used by the simulator.
+    pub fn new(total_size: u64, synthetic: bool) -> Self {
+        let data = if synthetic {
+            PayloadAccum::Synthetic
+        } else {
+            PayloadAccum::Real(Vec::with_capacity(total_size.min(64 * 1024 * 1024) as usize))
+        };
+        ProgressBuffer { total_size, watermark: 0, data }
+    }
+
+    /// Build an already-complete buffer from a payload (the `Put` path).
+    pub fn complete_from(payload: Payload) -> Self {
+        let total = payload.len();
+        let data = match payload {
+            Payload::Bytes(b) => PayloadAccum::Real(b.to_vec()),
+            Payload::Synthetic { .. } => PayloadAccum::Synthetic,
+        };
+        ProgressBuffer { total_size: total, watermark: total, data }
+    }
+
+    /// Total object size in bytes.
+    pub fn total_size(&self) -> u64 {
+        self.total_size
+    }
+
+    /// Contiguous bytes available from the start of the object.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// `true` once every byte has been appended.
+    pub fn is_complete(&self) -> bool {
+        self.watermark >= self.total_size
+    }
+
+    /// `true` if the buffer stores only modelled lengths.
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self.data, PayloadAccum::Synthetic)
+    }
+
+    /// Append a block at `offset`. Blocks must arrive in order (offset == watermark);
+    /// out-of-order appends indicate a protocol bug and return `false` without
+    /// modifying the buffer. Duplicate (already-covered) blocks are ignored and return
+    /// `true`, which makes retransmission after sender failover idempotent.
+    pub fn append_at(&mut self, offset: u64, payload: &Payload) -> bool {
+        let len = payload.len();
+        if offset + len <= self.watermark {
+            return true; // duplicate block, e.g. replayed after a failover
+        }
+        if offset > self.watermark {
+            return false; // gap: the protocol only ever streams contiguously
+        }
+        // Possibly overlapping head; keep only the new suffix.
+        let skip = self.watermark - offset;
+        let fresh = payload.slice(skip, len - skip);
+        if let PayloadAccum::Real(v) = &mut self.data {
+            match fresh.as_bytes() {
+                Some(b) => v.extend_from_slice(b),
+                None => {
+                    // A synthetic block arriving into a real buffer would corrupt it.
+                    // This only happens if a driver mixes modes, which is a bug.
+                    return false;
+                }
+            }
+        }
+        self.watermark = (offset + len).min(self.total_size);
+        true
+    }
+
+    /// Read `[offset, offset+len)` if it is already below the watermark.
+    pub fn read(&self, offset: u64, len: u64) -> Option<Payload> {
+        let end = (offset + len).min(self.total_size);
+        if end > self.watermark || offset > end {
+            return None;
+        }
+        Some(match &self.data {
+            PayloadAccum::Real(v) => {
+                Payload::Bytes(Bytes::copy_from_slice(&v[offset as usize..end as usize]))
+            }
+            PayloadAccum::Synthetic => Payload::Synthetic { len: end - offset },
+        })
+    }
+
+    /// The complete payload; `None` until [`ProgressBuffer::is_complete`].
+    pub fn to_payload(&self) -> Option<Payload> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(match &self.data {
+            PayloadAccum::Real(v) => Payload::Bytes(Bytes::from(v.clone())),
+            PayloadAccum::Synthetic => Payload::Synthetic { len: self.total_size },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_slice_and_concat() {
+        let p = Payload::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(p.slice(1, 3).as_bytes().unwrap().as_ref(), &[2, 3, 4]);
+        assert_eq!(p.slice(4, 10).len(), 1);
+        let q = Payload::from_vec(vec![6, 7]);
+        assert_eq!(p.concat(&q).len(), 7);
+        let s = Payload::synthetic(100);
+        assert_eq!(s.slice(90, 20).len(), 10);
+        assert!(p.concat(&s).is_synthetic());
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let values = vec![1.0f32, -2.5, 3.25, 0.0];
+        let p = Payload::from_f32s(&values);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.to_f32s(), values);
+    }
+
+    #[test]
+    fn progress_buffer_in_order() {
+        let mut b = ProgressBuffer::new(10, false);
+        assert!(!b.is_complete());
+        assert!(b.append_at(0, &Payload::from_vec(vec![0, 1, 2, 3])));
+        assert_eq!(b.watermark(), 4);
+        // Gap is rejected.
+        assert!(!b.append_at(6, &Payload::from_vec(vec![9])));
+        // Duplicate is accepted and ignored.
+        assert!(b.append_at(0, &Payload::from_vec(vec![0, 1])));
+        assert_eq!(b.watermark(), 4);
+        // Overlapping append keeps only the new suffix.
+        assert!(b.append_at(2, &Payload::from_vec(vec![2, 3, 4, 5])));
+        assert_eq!(b.watermark(), 6);
+        assert!(b.append_at(6, &Payload::from_vec(vec![6, 7, 8, 9])));
+        assert!(b.is_complete());
+        let all = b.to_payload().unwrap();
+        assert_eq!(all.as_bytes().unwrap().as_ref(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn progress_buffer_read_respects_watermark() {
+        let mut b = ProgressBuffer::new(8, false);
+        b.append_at(0, &Payload::from_vec(vec![1, 2, 3, 4]));
+        assert!(b.read(2, 4).is_none());
+        assert_eq!(b.read(1, 3).unwrap().as_bytes().unwrap().as_ref(), &[2, 3, 4]);
+        assert!(b.to_payload().is_none());
+    }
+
+    #[test]
+    fn synthetic_progress_buffer() {
+        let mut b = ProgressBuffer::new(1000, true);
+        assert!(b.append_at(0, &Payload::synthetic(400)));
+        assert!(b.append_at(400, &Payload::synthetic(600)));
+        assert!(b.is_complete());
+        assert!(b.to_payload().unwrap().is_synthetic());
+        assert_eq!(b.read(100, 50).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn complete_from_payload() {
+        let b = ProgressBuffer::complete_from(Payload::from_vec(vec![9; 32]));
+        assert!(b.is_complete());
+        assert_eq!(b.total_size(), 32);
+        assert_eq!(b.read(30, 10).unwrap().len(), 2);
+    }
+}

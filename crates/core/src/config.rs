@@ -1,0 +1,132 @@
+//! Configuration of a Hoplite deployment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Duration;
+
+/// Size thresholds and protocol parameters of a Hoplite node.
+///
+/// Defaults mirror the paper's implementation: 4 MiB pipelining blocks, a 64 KiB
+/// small-object threshold under which objects are cached inline in the object
+/// directory, and reduce degree chosen from `{1, 2, n}` (§4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HopliteConfig {
+    /// Pipelining block size in bytes. Transfers, reductions and worker↔store copies
+    /// all operate at this granularity (the paper uses 4 MiB).
+    pub block_size: u64,
+    /// Objects at or below this size are cached inline in the directory shard and
+    /// served directly from location-query replies (§3.2, 64 KiB in the paper).
+    pub inline_threshold: u64,
+    /// Candidate reduce-tree degrees evaluated by the degree model. `0` stands for
+    /// `n` (a star rooted at the receiver).
+    pub reduce_degrees: Vec<usize>,
+    /// Estimated one-way network latency used by the reduce degree model (the paper
+    /// measures this empirically at runtime; we expose it as a calibrated estimate
+    /// that drivers may overwrite with live measurements).
+    pub estimated_latency: Duration,
+    /// Estimated per-node network bandwidth in bytes per second used by the reduce
+    /// degree model.
+    pub estimated_bandwidth: f64,
+    /// Local store capacity in bytes; additional unpinned copies are evicted LRU when
+    /// the store fills up (§6 "Garbage collection").
+    pub store_capacity: u64,
+    /// Memory-copy bandwidth between a worker and its local store in bytes per second
+    /// (used by the simulator to model the extra copies that pipelining hides, §3.3).
+    pub memcpy_bandwidth: f64,
+    /// How long a node waits for a pull to make progress before it suspects the sender
+    /// has failed and re-queries the directory. Real deployments detect failures via
+    /// socket liveness (the paper measures 0.74 s detection latency); the simulator
+    /// injects explicit failure events and uses this as an upper bound.
+    pub pull_timeout: Duration,
+    /// Number of directory shards. Defaults to one shard per node (shard `i` is hosted
+    /// by node `i % num_nodes`).
+    pub directory_shards: Option<usize>,
+}
+
+impl Default for HopliteConfig {
+    fn default() -> Self {
+        HopliteConfig {
+            block_size: 4 * 1024 * 1024,
+            inline_threshold: 64 * 1024,
+            reduce_degrees: vec![1, 2, 0],
+            estimated_latency: Duration::from_micros(170),
+            estimated_bandwidth: 1.25e9, // 10 Gbps
+            store_capacity: 64 * 1024 * 1024 * 1024,
+            memcpy_bandwidth: 5.0e9,
+            pull_timeout: Duration::from_millis(750),
+            directory_shards: None,
+        }
+    }
+}
+
+impl HopliteConfig {
+    /// Configuration matching the paper's testbed (16 × m5.4xlarge, 10 Gbps, Linux).
+    pub fn paper_testbed() -> Self {
+        HopliteConfig::default()
+    }
+
+    /// Configuration for fast unit tests: tiny blocks so pipelining paths are exercised
+    /// with small objects, and a small store to exercise eviction.
+    pub fn small_for_tests() -> Self {
+        HopliteConfig {
+            block_size: 1024,
+            inline_threshold: 64,
+            store_capacity: 64 * 1024 * 1024,
+            ..HopliteConfig::default()
+        }
+    }
+
+    /// Number of whole blocks needed to hold `size` bytes.
+    pub fn num_blocks(&self, size: u64) -> u64 {
+        if size == 0 {
+            0
+        } else {
+            size.div_ceil(self.block_size)
+        }
+    }
+
+    /// Size of block `index` of an object of `size` bytes (the final block may be
+    /// short).
+    pub fn block_len(&self, size: u64, index: u64) -> u64 {
+        let start = index * self.block_size;
+        debug_assert!(start < size || size == 0);
+        (size - start).min(self.block_size)
+    }
+
+    /// Whether an object of `size` bytes takes the small-object fast path.
+    pub fn is_inline(&self, size: u64) -> bool {
+        size <= self.inline_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = HopliteConfig::default();
+        assert_eq!(cfg.block_size, 4 * 1024 * 1024);
+        assert_eq!(cfg.inline_threshold, 64 * 1024);
+        assert_eq!(cfg.reduce_degrees, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn block_math() {
+        let cfg = HopliteConfig { block_size: 100, ..HopliteConfig::default() };
+        assert_eq!(cfg.num_blocks(0), 0);
+        assert_eq!(cfg.num_blocks(1), 1);
+        assert_eq!(cfg.num_blocks(100), 1);
+        assert_eq!(cfg.num_blocks(101), 2);
+        assert_eq!(cfg.block_len(250, 0), 100);
+        assert_eq!(cfg.block_len(250, 2), 50);
+    }
+
+    #[test]
+    fn inline_threshold() {
+        let cfg = HopliteConfig::default();
+        assert!(cfg.is_inline(1024));
+        assert!(cfg.is_inline(64 * 1024));
+        assert!(!cfg.is_inline(64 * 1024 + 1));
+    }
+}

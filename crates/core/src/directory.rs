@@ -1,0 +1,552 @@
+//! The object directory service (§3.2 of the paper).
+//!
+//! The directory is a sharded hash table mapping each `ObjectID` to its size and the
+//! set of node locations holding a partial or complete copy. This module implements a
+//! single shard as a pure state machine; the owning [`crate::node::ObjectStoreNode`]
+//! routes directory messages into it and sends the messages it returns.
+//!
+//! The shard also implements the two behaviours that make Hoplite's broadcast
+//! receiver-driven (§3.4.1):
+//!
+//! * when answering a location query it *leases* the chosen sender to the requester
+//!   (recording an in-flight `receiver -> sender` edge), so each copy serves at most
+//!   one receiver at a time and later receivers are spread over earlier ones;
+//! * it tracks those edges to refuse assignments that would create cyclic fetch
+//!   dependencies after a failure (§3.5.1).
+//!
+//! Finally, objects at or below the inline threshold are cached in the shard itself
+//! and served straight from the query reply (the small-object fast path).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::buffer::Payload;
+use crate::config::HopliteConfig;
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::protocol::{Message, QueryResult};
+
+/// One location entry for an object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Location {
+    status: ObjectStatus,
+    /// Receiver currently pulling from this holder, if any.
+    leased_to: Option<NodeId>,
+}
+
+/// A parked synchronous query waiting for a location to appear.
+#[derive(Clone, Debug)]
+struct PendingQuery {
+    requester: NodeId,
+    query_id: u64,
+    exclude: Vec<NodeId>,
+}
+
+/// Directory state for one object.
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    size: Option<u64>,
+    locations: HashMap<NodeId, Location>,
+    inline: Option<Payload>,
+    pending: VecDeque<PendingQuery>,
+    subscribers: HashSet<NodeId>,
+    /// In-flight pulls: receiver -> sender. Used both for leasing and for cycle
+    /// avoidance.
+    pulls: HashMap<NodeId, NodeId>,
+    deleted: bool,
+}
+
+/// One shard of the object directory.
+#[derive(Debug)]
+pub struct DirectoryShard {
+    shard_id: usize,
+    cfg: HopliteConfig,
+    entries: HashMap<ObjectId, Entry>,
+}
+
+impl DirectoryShard {
+    /// Create an empty shard.
+    pub fn new(shard_id: usize, cfg: HopliteConfig) -> Self {
+        DirectoryShard { shard_id, cfg, entries: HashMap::new() }
+    }
+
+    /// The shard's index.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// Number of objects this shard currently tracks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the shard tracks no objects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Known locations of an object (for tests and introspection).
+    pub fn locations(&self, object: ObjectId) -> Vec<(NodeId, ObjectStatus)> {
+        self.entries
+            .get(&object)
+            .map(|e| e.locations.iter().map(|(n, l)| (*n, l.status)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Register a location. Also answers parked queries and publishes to subscribers.
+    pub fn register(
+        &mut self,
+        object: ObjectId,
+        holder: NodeId,
+        status: ObjectStatus,
+        size: u64,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        let entry = self.entries.entry(object).or_default();
+        if entry.deleted {
+            // The task framework may recreate a deleted object id (lineage
+            // reconstruction); a fresh registration revives the entry.
+            *entry = Entry::default();
+        }
+        entry.size = Some(size);
+        let loc = entry.locations.entry(holder).or_insert(Location { status, leased_to: None });
+        loc.status = status;
+        // A holder that finished its copy is no longer pulling from anyone.
+        if status.is_complete() {
+            if let Some(sender) = entry.pulls.remove(&holder) {
+                if let Some(s) = entry.locations.get_mut(&sender) {
+                    if s.leased_to == Some(holder) {
+                        s.leased_to = None;
+                    }
+                }
+            }
+        }
+        for sub in entry.subscribers.iter() {
+            out.push((*sub, Message::DirPublish { object, holder, status, size }));
+        }
+        self.drain_pending(object, out);
+    }
+
+    /// Cache a small object inline (§3.2 fast path) and answer parked queries.
+    pub fn put_inline(
+        &mut self,
+        object: ObjectId,
+        holder: NodeId,
+        payload: Payload,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        let size = payload.len();
+        let entry = self.entries.entry(object).or_default();
+        if entry.deleted {
+            *entry = Entry::default();
+        }
+        entry.size = Some(size);
+        entry.inline = Some(payload);
+        entry
+            .locations
+            .insert(holder, Location { status: ObjectStatus::Complete, leased_to: None });
+        for sub in entry.subscribers.iter() {
+            out.push((
+                *sub,
+                Message::DirPublish { object, holder, status: ObjectStatus::Complete, size },
+            ));
+        }
+        self.drain_pending(object, out);
+    }
+
+    /// Remove one holder's location (local eviction or an explicit unregister).
+    pub fn unregister(&mut self, object: ObjectId, holder: NodeId) {
+        if let Some(entry) = self.entries.get_mut(&object) {
+            entry.locations.remove(&holder);
+            // Any lease the holder was granting disappears with it.
+            let receivers: Vec<NodeId> = entry
+                .pulls
+                .iter()
+                .filter_map(|(r, s)| (*s == holder).then_some(*r))
+                .collect();
+            for r in receivers {
+                entry.pulls.remove(&r);
+            }
+        }
+    }
+
+    /// Handle a synchronous location query. Replies immediately when possible,
+    /// otherwise parks the query until a usable location is registered.
+    pub fn query(
+        &mut self,
+        object: ObjectId,
+        requester: NodeId,
+        query_id: u64,
+        exclude: Vec<NodeId>,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        let entry = self.entries.entry(object).or_default();
+        if entry.deleted {
+            out.push((
+                requester,
+                Message::DirQueryReply { object, query_id, result: QueryResult::Deleted },
+            ));
+            return;
+        }
+        entry.pending.push_back(PendingQuery { requester, query_id, exclude });
+        self.drain_pending(object, out);
+    }
+
+    /// Subscribe to location publications; current locations are published right away.
+    pub fn subscribe(
+        &mut self,
+        object: ObjectId,
+        subscriber: NodeId,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        let entry = self.entries.entry(object).or_default();
+        entry.subscribers.insert(subscriber);
+        let size = entry.size.unwrap_or(0);
+        for (holder, loc) in entry.locations.iter() {
+            out.push((
+                subscriber,
+                Message::DirPublish { object, holder: *holder, status: loc.status, size },
+            ));
+        }
+    }
+
+    /// A receiver finished copying from `sender`: clear the lease edge so the sender is
+    /// available to other receivers again (§3.4.1 "adds the sender's location back").
+    pub fn transfer_done(&mut self, object: ObjectId, receiver: NodeId, sender: NodeId) {
+        if let Some(entry) = self.entries.get_mut(&object) {
+            if entry.pulls.get(&receiver) == Some(&sender) {
+                entry.pulls.remove(&receiver);
+            }
+            if let Some(loc) = entry.locations.get_mut(&sender) {
+                if loc.leased_to == Some(receiver) {
+                    loc.leased_to = None;
+                }
+            }
+        }
+    }
+
+    /// Delete an object: answer parked queries with `Deleted`, tell every holder to
+    /// drop its copy, and tombstone the entry.
+    pub fn delete(&mut self, object: ObjectId, out: &mut Vec<(NodeId, Message)>) {
+        let entry = self.entries.entry(object).or_default();
+        entry.deleted = true;
+        entry.inline = None;
+        for pending in entry.pending.drain(..) {
+            out.push((
+                pending.requester,
+                Message::DirQueryReply {
+                    object,
+                    query_id: pending.query_id,
+                    result: QueryResult::Deleted,
+                },
+            ));
+        }
+        for holder in entry.locations.keys() {
+            out.push((*holder, Message::StoreRelease { object }));
+        }
+        entry.locations.clear();
+        entry.pulls.clear();
+        entry.subscribers.clear();
+    }
+
+    /// Purge all state belonging to a failed node: its locations, leases, parked
+    /// queries and subscriptions (§3.5).
+    pub fn node_failed(&mut self, node: NodeId) {
+        for entry in self.entries.values_mut() {
+            entry.locations.remove(&node);
+            entry.subscribers.remove(&node);
+            entry.pending.retain(|p| p.requester != node);
+            // Clear pull edges in either direction.
+            entry.pulls.retain(|receiver, sender| *receiver != node && *sender != node);
+            for loc in entry.locations.values_mut() {
+                if loc.leased_to == Some(node) {
+                    loc.leased_to = None;
+                }
+            }
+        }
+    }
+
+    /// Answer as many parked queries for `object` as possible.
+    fn drain_pending(&mut self, object: ObjectId, out: &mut Vec<(NodeId, Message)>) {
+        let Some(entry) = self.entries.get_mut(&object) else { return };
+        let mut still_waiting = VecDeque::new();
+        while let Some(q) = entry.pending.pop_front() {
+            if let Some(reply) = Self::try_answer(&self.cfg, object, entry, &q) {
+                out.push((q.requester, reply));
+            } else {
+                still_waiting.push_back(q);
+            }
+        }
+        entry.pending = still_waiting;
+    }
+
+    /// Try to answer a single query against the current entry state.
+    fn try_answer(
+        cfg: &HopliteConfig,
+        object: ObjectId,
+        entry: &mut Entry,
+        q: &PendingQuery,
+    ) -> Option<Message> {
+        // Fast path: inline cache.
+        if let Some(payload) = &entry.inline {
+            if payload.len() <= cfg.inline_threshold {
+                return Some(Message::DirQueryReply {
+                    object,
+                    query_id: q.query_id,
+                    result: QueryResult::Inline { payload: payload.clone() },
+                });
+            }
+        }
+        let size = entry.size?;
+        // Candidate senders: not the requester, not excluded, not already leased, and
+        // not (transitively) depending on the requester.
+        let mut candidates: Vec<(NodeId, ObjectStatus)> = entry
+            .locations
+            .iter()
+            .filter(|(holder, loc)| {
+                **holder != q.requester
+                    && !q.exclude.contains(holder)
+                    && loc.leased_to.is_none()
+                    && !Self::depends_on(entry, **holder, q.requester)
+            })
+            .map(|(holder, loc)| (*holder, loc.status))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Prefer complete copies; break ties deterministically by node id so simulated
+        // runs are reproducible.
+        candidates.sort_by_key(|(node, status)| (!status.is_complete(), node.0));
+        let (holder, status) = candidates[0];
+        // Lease the chosen sender to the requester and record the pull edge; the
+        // requester will immediately register itself as a partial location (§3.4.1).
+        if let Some(loc) = entry.locations.get_mut(&holder) {
+            loc.leased_to = Some(q.requester);
+        }
+        entry.pulls.insert(q.requester, holder);
+        Some(Message::DirQueryReply {
+            object,
+            query_id: q.query_id,
+            result: QueryResult::Location { node: holder, status, size },
+        })
+    }
+
+    /// `true` if `node` transitively pulls from `target` (so assigning `node` as a
+    /// sender for `target` would create a cycle).
+    fn depends_on(entry: &Entry, node: NodeId, target: NodeId) -> bool {
+        let mut cur = node;
+        let mut hops = 0;
+        while let Some(&sender) = entry.pulls.get(&cur) {
+            if sender == target {
+                return true;
+            }
+            cur = sender;
+            hops += 1;
+            if hops > entry.pulls.len() {
+                // Defensive: a cycle in the edge map itself (should not happen).
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> DirectoryShard {
+        DirectoryShard::new(0, HopliteConfig { inline_threshold: 64, ..HopliteConfig::default() })
+    }
+
+    fn obj(name: &str) -> ObjectId {
+        ObjectId::from_name(name)
+    }
+
+    fn query_reply(out: &[(NodeId, Message)]) -> Vec<(NodeId, QueryResult)> {
+        out.iter()
+            .filter_map(|(to, m)| match m {
+                Message::DirQueryReply { result, .. } => Some((*to, result.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_waits_until_location_registered() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.query(obj("x"), NodeId(2), 1, vec![], &mut out);
+        assert!(query_reply(&out).is_empty(), "no location yet, query parks");
+        s.register(obj("x"), NodeId(0), ObjectStatus::Partial, 1 << 20, &mut out);
+        let replies = query_reply(&out);
+        assert_eq!(replies.len(), 1);
+        match &replies[0].1 {
+            QueryResult::Location { node, status, size } => {
+                assert_eq!(*node, NodeId(0));
+                assert_eq!(*status, ObjectStatus::Partial);
+                assert_eq!(*size, 1 << 20);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_copies_are_preferred() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(5), ObjectStatus::Partial, 100, &mut out);
+        s.register(obj("x"), NodeId(3), ObjectStatus::Complete, 100, &mut out);
+        out.clear();
+        s.query(obj("x"), NodeId(9), 7, vec![], &mut out);
+        match &query_reply(&out)[0].1 {
+            QueryResult::Location { node, .. } => assert_eq!(*node, NodeId(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leased_sender_is_not_reused() {
+        // Figure 4: S sends to R1; when R2 arrives, S is busy so R2 is pointed at R1's
+        // partial copy.
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 100, &mut out);
+        out.clear();
+        s.query(obj("x"), NodeId(1), 1, vec![], &mut out); // R1 takes S
+        out.clear();
+        // R1 registers itself as a partial location as soon as it starts pulling.
+        s.register(obj("x"), NodeId(1), ObjectStatus::Partial, 100, &mut out);
+        out.clear();
+        s.query(obj("x"), NodeId(2), 2, vec![], &mut out); // R2 must get R1
+        match &query_reply(&out)[0].1 {
+            QueryResult::Location { node, status, .. } => {
+                assert_eq!(*node, NodeId(1));
+                assert_eq!(*status, ObjectStatus::Partial);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_done_releases_the_lease() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 100, &mut out);
+        s.query(obj("x"), NodeId(1), 1, vec![], &mut out);
+        out.clear();
+        // While R1 still pulls from S, a third receiver parks (R1 hasn't registered).
+        s.query(obj("x"), NodeId(2), 2, vec![], &mut out);
+        assert!(query_reply(&out).is_empty());
+        s.transfer_done(obj("x"), NodeId(1), NodeId(0));
+        s.register(obj("x"), NodeId(1), ObjectStatus::Complete, 100, &mut out);
+        let replies = query_reply(&out);
+        assert_eq!(replies.len(), 1, "parked query answered once the lease clears");
+    }
+
+    #[test]
+    fn cyclic_dependencies_are_refused() {
+        // R1 pulls from S. S fails. R1 re-queries excluding S; the only other location
+        // is R2 which is pulling from R1 — the shard must not return R2 to R1.
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 100, &mut out);
+        s.query(obj("x"), NodeId(1), 1, vec![], &mut out); // R1 <- S
+        s.register(obj("x"), NodeId(1), ObjectStatus::Partial, 100, &mut out);
+        s.query(obj("x"), NodeId(2), 2, vec![], &mut out); // R2 <- R1
+        s.register(obj("x"), NodeId(2), ObjectStatus::Partial, 100, &mut out);
+        out.clear();
+        s.node_failed(NodeId(0));
+        s.query(obj("x"), NodeId(1), 3, vec![NodeId(0)], &mut out);
+        assert!(
+            query_reply(&out).is_empty(),
+            "R2 depends on R1, so R1's re-query must park instead of creating a cycle"
+        );
+        // Once R2 finishes (complete copy, no longer pulling), R1 can fetch from it —
+        // this is exactly Figure 4(c')/(d') with roles swapped.
+        s.register(obj("x"), NodeId(2), ObjectStatus::Complete, 100, &mut out);
+        let replies = query_reply(&out);
+        assert_eq!(replies.len(), 1);
+        match &replies[0].1 {
+            QueryResult::Location { node, .. } => assert_eq!(*node, NodeId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_objects_served_from_cache() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.put_inline(obj("small"), NodeId(0), Payload::from_vec(vec![7; 32]), &mut out);
+        out.clear();
+        s.query(obj("small"), NodeId(4), 11, vec![], &mut out);
+        match &query_reply(&out)[0].1 {
+            QueryResult::Inline { payload } => assert_eq!(payload.len(), 32),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribe_publishes_current_and_future_locations() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Partial, 10, &mut out);
+        out.clear();
+        s.subscribe(obj("x"), NodeId(8), &mut out);
+        assert_eq!(out.len(), 1, "existing location published immediately");
+        out.clear();
+        s.register(obj("x"), NodeId(1), ObjectStatus::Complete, 10, &mut out);
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == NodeId(8) && matches!(m, Message::DirPublish { .. })));
+    }
+
+    #[test]
+    fn delete_tombstones_and_notifies_holders() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 10, &mut out);
+        s.register(obj("x"), NodeId(1), ObjectStatus::Complete, 10, &mut out);
+        out.clear();
+        s.delete(obj("x"), &mut out);
+        let releases: Vec<NodeId> = out
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Message::StoreRelease { .. }).then_some(*to))
+            .collect();
+        assert_eq!(releases.len(), 2);
+        out.clear();
+        s.query(obj("x"), NodeId(5), 9, vec![], &mut out);
+        assert!(matches!(query_reply(&out)[0].1, QueryResult::Deleted));
+        // A later registration revives the id (lineage reconstruction can recreate a
+        // deleted object).
+        s.register(obj("x"), NodeId(2), ObjectStatus::Complete, 10, &mut out);
+        assert_eq!(s.locations(obj("x")).len(), 1);
+    }
+
+    #[test]
+    fn node_failure_purges_locations_and_pending() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 10, &mut out);
+        s.query(obj("y"), NodeId(0), 1, vec![], &mut out);
+        s.node_failed(NodeId(0));
+        assert!(s.locations(obj("x")).is_empty());
+        // The parked query from the failed node is gone: registering y produces no
+        // reply destined to node 0.
+        out.clear();
+        s.register(obj("y"), NodeId(1), ObjectStatus::Complete, 10, &mut out);
+        assert!(!out.iter().any(|(to, _)| *to == NodeId(0)));
+    }
+
+    #[test]
+    fn excluded_nodes_are_skipped() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 10, &mut out);
+        s.register(obj("x"), NodeId(1), ObjectStatus::Complete, 10, &mut out);
+        out.clear();
+        s.query(obj("x"), NodeId(2), 1, vec![NodeId(0)], &mut out);
+        match &query_reply(&out)[0].1 {
+            QueryResult::Location { node, .. } => assert_eq!(*node, NodeId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-node counters used by tests, benchmarks and the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters maintained by an [`crate::node::ObjectStoreNode`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// Protocol messages sent.
+    pub messages_sent: u64,
+    /// Bytes of payload sent on the data plane (pull blocks + reduce blocks).
+    pub data_bytes_sent: u64,
+    /// Bytes of payload received on the data plane.
+    pub data_bytes_received: u64,
+    /// Objects created locally via `Put`.
+    pub objects_put: u64,
+    /// `Get` operations completed for local clients.
+    pub gets_completed: u64,
+    /// Remote pull requests served (acting as a broadcast intermediate or origin).
+    pub pulls_served: u64,
+    /// Blocks forwarded as a reduce participant.
+    pub reduce_blocks_sent: u64,
+    /// Reduce operations coordinated by this node.
+    pub reduces_coordinated: u64,
+    /// Times this node re-queried the directory because a sender failed.
+    pub broadcast_failovers: u64,
+    /// Times a reduce subtree on this node was cleared because of a failure.
+    pub reduce_resets: u64,
+    /// Directory queries answered by the shard hosted on this node.
+    pub directory_queries_served: u64,
+    /// Directory registrations processed by the shard hosted on this node.
+    pub directory_registrations: u64,
+    /// Inline (small-object) directory hits served by the shard hosted on this node.
+    pub directory_inline_hits: u64,
+}
+
+impl NodeMetrics {
+    /// Fold another node's metrics into this one (used to aggregate per-cluster stats).
+    pub fn merge(&mut self, other: &NodeMetrics) {
+        self.messages_sent += other.messages_sent;
+        self.data_bytes_sent += other.data_bytes_sent;
+        self.data_bytes_received += other.data_bytes_received;
+        self.objects_put += other.objects_put;
+        self.gets_completed += other.gets_completed;
+        self.pulls_served += other.pulls_served;
+        self.reduce_blocks_sent += other.reduce_blocks_sent;
+        self.reduces_coordinated += other.reduces_coordinated;
+        self.broadcast_failovers += other.broadcast_failovers;
+        self.reduce_resets += other.reduce_resets;
+        self.directory_queries_served += other.directory_queries_served;
+        self.directory_registrations += other.directory_registrations;
+        self.directory_inline_hits += other.directory_inline_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = NodeMetrics { messages_sent: 2, data_bytes_sent: 10, ..Default::default() };
+        let b = NodeMetrics { messages_sent: 3, gets_completed: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 5);
+        assert_eq!(a.data_bytes_sent, 10);
+        assert_eq!(a.gets_completed, 1);
+    }
+}

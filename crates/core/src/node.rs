@@ -1,0 +1,1569 @@
+//! The per-node Hoplite state machine.
+//!
+//! An [`ObjectStoreNode`] combines the local object store, the directory shard this
+//! node hosts, the receiver-driven broadcast logic (§3.4.1), the reduce coordinator and
+//! participant logic (§3.4.2), and the failure-adaptation rules (§3.5). It is entirely
+//! sans-IO: drivers feed it client operations, protocol messages, timer expirations and
+//! peer-failure notifications, and it returns [`Effect`]s (messages to send, client
+//! replies, timers to arm).
+//!
+//! The same state machine runs unchanged under the discrete-event simulator (cluster
+//! scale, synthetic payloads) and over the real in-process / TCP transports (real
+//! bytes, real reductions).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::buffer::Payload;
+use crate::config::HopliteConfig;
+use crate::directory::DirectoryShard;
+use crate::error::HopliteError;
+use crate::metrics::NodeMetrics;
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::protocol::{
+    ClientOp, ClientReply, Effect, Message, OpId, QueryResult, ReduceInstruction, ReduceParent,
+    TimerToken,
+};
+use crate::reduce::{DegreeModel, ReduceInput, ReduceSpec, ReduceTreePlan};
+use crate::store::LocalStore;
+use crate::time::Time;
+
+/// Static description of the cluster shared by every node: the node set and the
+/// directory sharding function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterView {
+    /// All node ids, in index order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl ClusterView {
+    /// A cluster of `n` nodes numbered `0..n`.
+    pub fn of_size(n: usize) -> ClusterView {
+        ClusterView { nodes: (0..n as u32).map(NodeId).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for an empty cluster (never used in practice).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node hosting the directory shard responsible for `object`. The directory is
+    /// a sharded hash table distributed across all nodes (§3.2); we use one shard per
+    /// node and hash the object id onto it.
+    pub fn shard_node(&self, object: ObjectId) -> NodeId {
+        let h = u64::from_le_bytes(object.0[..8].try_into().expect("object id width"));
+        self.nodes[(h % self.nodes.len() as u64) as usize]
+    }
+}
+
+/// Node-level options that are not protocol parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeOptions {
+    /// Use length-only payloads (simulator mode).
+    pub synthetic_data: bool,
+    /// Model the worker→store copy of `Put` as a pipelined, timed copy instead of an
+    /// instantaneous one (§3.3). The simulator enables this; real transports complete
+    /// the copy inline.
+    pub pipelined_put: bool,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions { synthetic_data: false, pipelined_put: false }
+    }
+}
+
+/// State of one in-progress `Get` (broadcast receive) on this node.
+#[derive(Debug, Default)]
+struct GetState {
+    /// Local client operations waiting for the object.
+    waiting_ops: Vec<OpId>,
+    /// The sender we are currently pulling from, if any.
+    pulling_from: Option<NodeId>,
+    /// Senders we must not be pointed back at (observed failures).
+    excluded: Vec<NodeId>,
+    /// Outstanding directory query id, if any.
+    query_id: Option<u64>,
+}
+
+/// One transfer we are serving to a remote receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OutgoingTransfer {
+    to: NodeId,
+    next_offset: u64,
+}
+
+/// One accumulating block of a reduce participant.
+#[derive(Debug, Clone, Default)]
+struct BlockAccum {
+    payload: Option<Payload>,
+    inputs_applied: usize,
+}
+
+/// Per-slot reduce participant state.
+#[derive(Debug)]
+struct ReduceParticipant {
+    instr: ReduceInstruction,
+    blocks: Vec<BlockAccum>,
+    /// Number of own-object blocks already folded into `blocks`.
+    own_blocks_ingested: u64,
+    /// Next block index to emit (to the parent, or into the local result object for
+    /// the root).
+    next_emit_block: u64,
+    /// Root only: whether the result object has been created in the local store.
+    root_started: bool,
+}
+
+impl ReduceParticipant {
+    fn new(instr: ReduceInstruction) -> Self {
+        let num_blocks = num_blocks(instr.object_size, instr.block_size) as usize;
+        ReduceParticipant {
+            instr,
+            blocks: vec![BlockAccum::default(); num_blocks.max(1)],
+            own_blocks_ingested: 0,
+            next_emit_block: 0,
+            root_started: false,
+        }
+    }
+
+    fn reset(&mut self) {
+        for b in &mut self.blocks {
+            *b = BlockAccum::default();
+        }
+        self.own_blocks_ingested = 0;
+        self.next_emit_block = 0;
+        self.root_started = false;
+    }
+}
+
+/// Coordinator state for a reduce initiated on this node.
+#[derive(Debug)]
+struct ReduceCoordinator {
+    target: ObjectId,
+    /// Kept for diagnostics and future feasibility checks (`lost > len - num_objects`).
+    #[allow(dead_code)]
+    sources: Vec<ObjectId>,
+    num_objects: usize,
+    spec: ReduceSpec,
+    degree_override: Option<usize>,
+    object_size: Option<u64>,
+    plan: Option<ReduceTreePlan>,
+    notify_op: Option<OpId>,
+    done: bool,
+}
+
+/// The Hoplite state machine for one node.
+pub struct ObjectStoreNode {
+    id: NodeId,
+    cfg: HopliteConfig,
+    opts: NodeOptions,
+    cluster: ClusterView,
+    store: LocalStore,
+    shard: DirectoryShard,
+    metrics: NodeMetrics,
+
+    next_query_id: u64,
+    next_timer: u64,
+
+    /// In-progress local `Get`s, keyed by object.
+    gets: HashMap<ObjectId, GetState>,
+    /// Map from outstanding query id to object (to validate replies).
+    queries: HashMap<u64, ObjectId>,
+    /// Transfers we are serving, keyed by object.
+    outgoing: HashMap<ObjectId, Vec<OutgoingTransfer>>,
+    /// Pipelined `Put`s in progress: object -> (payload, next offset, op).
+    pending_puts: HashMap<ObjectId, (Payload, u64, OpId)>,
+    /// Timer token -> pipelined put object.
+    put_timers: HashMap<TimerToken, ObjectId>,
+    /// Reduce coordinators keyed by target object.
+    coordinators: HashMap<ObjectId, ReduceCoordinator>,
+    /// Source object -> reduce targets coordinated here that consume it.
+    source_routing: HashMap<ObjectId, Vec<ObjectId>>,
+    /// Reduce participants keyed by (target, slot).
+    participants: HashMap<(ObjectId, usize), ReduceParticipant>,
+    /// Local object -> participant keys that use it as their own input.
+    own_object_routing: HashMap<ObjectId, Vec<(ObjectId, usize)>>,
+    /// Messages this node sent to itself, processed at the end of each handler.
+    self_queue: VecDeque<Message>,
+}
+
+fn num_blocks(size: u64, block: u64) -> u64 {
+    if size == 0 {
+        0
+    } else {
+        size.div_ceil(block)
+    }
+}
+
+impl ObjectStoreNode {
+    /// Create a node.
+    pub fn new(id: NodeId, cfg: HopliteConfig, cluster: ClusterView, opts: NodeOptions) -> Self {
+        let shard = DirectoryShard::new(id.index(), cfg.clone());
+        let store = LocalStore::new(cfg.store_capacity);
+        ObjectStoreNode {
+            id,
+            cfg,
+            opts,
+            cluster,
+            store,
+            shard,
+            metrics: NodeMetrics::default(),
+            next_query_id: 1,
+            next_timer: 1,
+            gets: HashMap::new(),
+            queries: HashMap::new(),
+            outgoing: HashMap::new(),
+            pending_puts: HashMap::new(),
+            put_timers: HashMap::new(),
+            coordinators: HashMap::new(),
+            source_routing: HashMap::new(),
+            participants: HashMap::new(),
+            own_object_routing: HashMap::new(),
+            self_queue: VecDeque::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &HopliteConfig {
+        &self.cfg
+    }
+
+    /// Metrics counters.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// Read-only access to the local store (tests and drivers).
+    pub fn store(&self) -> &LocalStore {
+        &self.store
+    }
+
+    /// Whether this node currently holds a complete copy of `object`.
+    pub fn has_complete(&self, object: ObjectId) -> bool {
+        self.store.is_complete(object)
+    }
+
+    // ------------------------------------------------------------------ client ops --
+
+    /// Submit a client operation.
+    pub fn handle_client(&mut self, now: Time, op_id: OpId, op: ClientOp, out: &mut Vec<Effect>) {
+        match op {
+            ClientOp::Put { object, payload } => self.client_put(now, op_id, object, payload, out),
+            ClientOp::Get { object } => self.client_get(now, op_id, object, out),
+            ClientOp::Reduce { target, sources, num_objects, spec, degree } => {
+                self.client_reduce(now, op_id, target, sources, num_objects, spec, degree, out)
+            }
+            ClientOp::Delete { object } => self.client_delete(now, op_id, object, out),
+        }
+        self.drain_self_queue(now, out);
+    }
+
+    /// Deliver a protocol message from `from`.
+    pub fn handle_message(&mut self, now: Time, from: NodeId, msg: Message, out: &mut Vec<Effect>) {
+        self.dispatch_message(now, from, msg, out);
+        self.drain_self_queue(now, out);
+    }
+
+    /// A timer armed via [`Effect::SetTimer`] fired.
+    pub fn handle_timer(&mut self, now: Time, token: TimerToken, out: &mut Vec<Effect>) {
+        if let Some(object) = self.put_timers.remove(&token) {
+            self.advance_pipelined_put(now, object, out);
+        }
+        self.drain_self_queue(now, out);
+    }
+
+    /// A peer node failed (detected by the driver: socket liveness in real deployments,
+    /// an explicit event in the simulator).
+    pub fn handle_peer_failed(&mut self, now: Time, peer: NodeId, out: &mut Vec<Effect>) {
+        if peer == self.id {
+            return;
+        }
+        // Directory shard forgets everything about the failed node.
+        self.shard.node_failed(peer);
+        // Stop serving transfers destined to it.
+        for transfers in self.outgoing.values_mut() {
+            transfers.retain(|t| t.to != peer);
+        }
+        // Broadcast receivers that were pulling from it fail over (§3.5.1).
+        let failed_objects: Vec<ObjectId> = self
+            .gets
+            .iter()
+            .filter(|(_, g)| g.pulling_from == Some(peer))
+            .map(|(o, _)| *o)
+            .collect();
+        for object in failed_objects {
+            self.metrics.broadcast_failovers += 1;
+            self.restart_get(now, object, Some(peer), out);
+        }
+        // Reduce coordinators repair their trees (§3.5.2).
+        let targets: Vec<ObjectId> = self.coordinators.keys().copied().collect();
+        for target in targets {
+            let mut coord = self.coordinators.remove(&target).expect("coordinator exists");
+            if let Some(plan) = coord.plan.as_mut() {
+                let delta = plan.on_node_failed(peer);
+                self.issue_instructions(&coord, &delta.affected_slots, out);
+            }
+            self.coordinators.insert(target, coord);
+        }
+        self.drain_self_queue(now, out);
+    }
+
+    /// A previously-failed peer came back (empty). Nothing is required of the protocol
+    /// here — recovered nodes re-register objects as they recreate them — but drivers
+    /// call it for symmetry and future extensions.
+    pub fn handle_peer_recovered(&mut self, _now: Time, _peer: NodeId, _out: &mut Vec<Effect>) {}
+
+    // ------------------------------------------------------------------------ put --
+
+    fn client_put(
+        &mut self,
+        now: Time,
+        op_id: OpId,
+        object: ObjectId,
+        payload: Payload,
+        out: &mut Vec<Effect>,
+    ) {
+        let size = payload.len();
+        if self.store.contains(object) {
+            out.push(Effect::Reply {
+                op: op_id,
+                reply: ClientReply::Error { error: HopliteError::ObjectAlreadyExists(object) },
+            });
+            return;
+        }
+        self.metrics.objects_put += 1;
+        // Small objects take the directory fast path (§3.2): cache the whole object in
+        // the directory shard; there is no block pipeline to run.
+        if self.cfg.is_inline(size) {
+            if let Err(error) = self.store.put_complete(object, payload.clone(), true) {
+                out.push(Effect::Reply { op: op_id, reply: ClientReply::Error { error } });
+                return;
+            }
+            let shard = self.cluster.shard_node(object);
+            self.send(shard, Message::DirPutInline { object, holder: self.id, payload }, out);
+            out.push(Effect::Reply { op: op_id, reply: ClientReply::PutDone { object } });
+            return;
+        }
+        if self.opts.pipelined_put && size > self.cfg.block_size {
+            // Model the worker→store memcpy as a timed, block-granular copy so that the
+            // network transfer can overlap with it (§3.3). The object is registered as
+            // a partial location immediately.
+            if let Err(error) = self.store.begin_receive(object, size, payload.is_synthetic()) {
+                out.push(Effect::Reply { op: op_id, reply: ClientReply::Error { error } });
+                return;
+            }
+            self.store.set_pinned(object, true);
+            let shard = self.cluster.shard_node(object);
+            self.send(
+                shard,
+                Message::DirRegister {
+                    object,
+                    holder: self.id,
+                    status: ObjectStatus::Partial,
+                    size,
+                },
+                out,
+            );
+            self.pending_puts.insert(object, (payload, 0, op_id));
+            self.schedule_put_step(now, object, out);
+        } else {
+            if let Err(error) = self.store.put_complete(object, payload, true) {
+                out.push(Effect::Reply { op: op_id, reply: ClientReply::Error { error } });
+                return;
+            }
+            let shard = self.cluster.shard_node(object);
+            self.send(
+                shard,
+                Message::DirRegister {
+                    object,
+                    holder: self.id,
+                    status: ObjectStatus::Complete,
+                    size,
+                },
+                out,
+            );
+            out.push(Effect::Reply { op: op_id, reply: ClientReply::PutDone { object } });
+            self.object_became_complete(now, object, out);
+        }
+    }
+
+    fn schedule_put_step(&mut self, _now: Time, object: ObjectId, out: &mut Vec<Effect>) {
+        let token = TimerToken(self.next_timer);
+        self.next_timer += 1;
+        self.put_timers.insert(token, object);
+        let step = (self.cfg.block_size as f64 / self.cfg.memcpy_bandwidth).max(0.0);
+        out.push(Effect::SetTimer { token, delay: crate::time::Duration::from_secs_f64(step) });
+    }
+
+    fn advance_pipelined_put(&mut self, now: Time, object: ObjectId, out: &mut Vec<Effect>) {
+        let Some((payload, offset, op_id)) = self.pending_puts.remove(&object) else { return };
+        let total = payload.len();
+        let len = self.cfg.block_size.min(total - offset);
+        let block = payload.slice(offset, len);
+        if self.store.append(object, offset, &block).is_err() {
+            // The object was deleted mid-copy; drop the put.
+            out.push(Effect::Reply {
+                op: op_id,
+                reply: ClientReply::Error { error: HopliteError::ObjectDeleted(object) },
+            });
+            return;
+        }
+        let new_offset = offset + len;
+        if new_offset >= total {
+            out.push(Effect::Reply { op: op_id, reply: ClientReply::PutDone { object } });
+            self.object_became_complete(now, object, out);
+        } else {
+            self.pending_puts.insert(object, (payload, new_offset, op_id));
+            out.push(Effect::LocalProgress { object, watermark: new_offset, total_size: total });
+            self.pump_outgoing(object, out);
+            self.pump_participants_for(now, object, out);
+            self.schedule_put_step(now, object, out);
+        }
+    }
+
+    // ------------------------------------------------------------------------ get --
+
+    fn client_get(&mut self, now: Time, op_id: OpId, object: ObjectId, out: &mut Vec<Effect>) {
+        if let Some(payload) = self.store.get_complete(object) {
+            self.metrics.gets_completed += 1;
+            out.push(Effect::Reply { op: op_id, reply: ClientReply::GetDone { object, payload } });
+            return;
+        }
+        let already_tracking = self.gets.contains_key(&object) || self.store.contains(object);
+        let entry = self.gets.entry(object).or_default();
+        entry.waiting_ops.push(op_id);
+        if already_tracking {
+            // Either a pull is already in flight, or the object is being created
+            // locally (pipelined put / reduce root); the reply happens on completion.
+            return;
+        }
+        self.issue_directory_query(now, object, out);
+    }
+
+    fn issue_directory_query(&mut self, _now: Time, object: ObjectId, out: &mut Vec<Effect>) {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let exclude = self.gets.get(&object).map(|g| g.excluded.clone()).unwrap_or_default();
+        if let Some(g) = self.gets.get_mut(&object) {
+            g.query_id = Some(query_id);
+            g.pulling_from = None;
+        }
+        self.queries.insert(query_id, object);
+        let shard = self.cluster.shard_node(object);
+        self.send(
+            shard,
+            Message::DirQuery { object, requester: self.id, query_id, exclude },
+            out,
+        );
+    }
+
+    fn restart_get(
+        &mut self,
+        now: Time,
+        object: ObjectId,
+        failed_sender: Option<NodeId>,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(g) = self.gets.get_mut(&object) else { return };
+        if let Some(failed) = failed_sender {
+            if !g.excluded.contains(&failed) {
+                g.excluded.push(failed);
+            }
+        }
+        g.pulling_from = None;
+        self.issue_directory_query(now, object, out);
+    }
+
+    fn handle_query_reply(
+        &mut self,
+        now: Time,
+        object: ObjectId,
+        query_id: u64,
+        result: QueryResult,
+        out: &mut Vec<Effect>,
+    ) {
+        if self.queries.remove(&query_id) != Some(object) {
+            return; // stale reply from an abandoned query
+        }
+        let Some(get) = self.gets.get_mut(&object) else { return };
+        if get.query_id != Some(query_id) {
+            return;
+        }
+        get.query_id = None;
+        match result {
+            QueryResult::Inline { payload } => {
+                self.metrics.directory_inline_hits += 1;
+                if !self.store.contains(object) {
+                    let _ = self.store.put_complete(object, payload, false);
+                }
+                self.object_became_complete(now, object, out);
+            }
+            QueryResult::Location { node, status: _, size } => {
+                if !self.store.contains(object) {
+                    if let Err(error) =
+                        self.store.begin_receive(object, size, self.opts.synthetic_data)
+                    {
+                        self.fail_gets(object, error, out);
+                        return;
+                    }
+                }
+                // Register ourselves as a partial location right away so later
+                // receivers can chain off us (§3.4.1), then pull from the chosen
+                // sender starting at our current watermark (resume-friendly, §3.5.1).
+                let watermark = self.store.watermark(object).unwrap_or(0);
+                if let Some(g) = self.gets.get_mut(&object) {
+                    g.pulling_from = Some(node);
+                }
+                let shard = self.cluster.shard_node(object);
+                self.send(
+                    shard,
+                    Message::DirRegister {
+                        object,
+                        holder: self.id,
+                        status: ObjectStatus::Partial,
+                        size,
+                    },
+                    out,
+                );
+                self.send(
+                    node,
+                    Message::PullRequest { object, requester: self.id, offset: watermark },
+                    out,
+                );
+            }
+            QueryResult::Deleted => {
+                self.fail_gets(object, HopliteError::ObjectDeleted(object), out);
+            }
+        }
+    }
+
+    fn fail_gets(&mut self, object: ObjectId, error: HopliteError, out: &mut Vec<Effect>) {
+        if let Some(get) = self.gets.remove(&object) {
+            for op in get.waiting_ops {
+                out.push(Effect::Reply {
+                    op,
+                    reply: ClientReply::Error { error: error.clone() },
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------- transfers --
+
+    fn handle_pull_request(
+        &mut self,
+        _now: Time,
+        object: ObjectId,
+        requester: NodeId,
+        offset: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        if !self.store.contains(object) {
+            self.send(
+                requester,
+                Message::PullError { object, reason: "object not in store".to_string() },
+                out,
+            );
+            return;
+        }
+        self.metrics.pulls_served += 1;
+        let transfers = self.outgoing.entry(object).or_default();
+        transfers.retain(|t| t.to != requester);
+        transfers.push(OutgoingTransfer { to: requester, next_offset: offset });
+        self.pump_outgoing(object, out);
+    }
+
+    /// Push as many blocks as are locally available to every active outgoing transfer
+    /// of `object`.
+    fn pump_outgoing(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        let Some(watermark) = self.store.watermark(object) else { return };
+        let Some(total) = self.store.total_size(object) else { return };
+        let Some(transfers) = self.outgoing.get_mut(&object) else { return };
+        let block = self.cfg.block_size;
+        let mut sends: Vec<(NodeId, u64, u64)> = Vec::new();
+        for t in transfers.iter_mut() {
+            while t.next_offset < watermark {
+                let len = block.min(watermark - t.next_offset);
+                sends.push((t.to, t.next_offset, len));
+                t.next_offset += len;
+            }
+        }
+        transfers.retain(|t| t.next_offset < total);
+        if self.outgoing.get(&object).map(|t| t.is_empty()).unwrap_or(false) {
+            self.outgoing.remove(&object);
+        }
+        for (to, offset, len) in sends {
+            let payload = self
+                .store
+                .read(object, offset, len)
+                .expect("offsets below the watermark are always readable");
+            self.metrics.data_bytes_sent += payload.len();
+            let complete = offset + len >= total;
+            self.send(
+                to,
+                Message::PushBlock { object, offset, total_size: total, payload, complete },
+                out,
+            );
+        }
+    }
+
+    fn handle_push_block(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        object: ObjectId,
+        offset: u64,
+        total_size: u64,
+        payload: Payload,
+        out: &mut Vec<Effect>,
+    ) {
+        // Ignore stale blocks from a sender we already abandoned.
+        if let Some(get) = self.gets.get(&object) {
+            if let Some(current) = get.pulling_from {
+                if current != from {
+                    return;
+                }
+            }
+        }
+        if !self.store.contains(object) {
+            if self.store.begin_receive(object, total_size, self.opts.synthetic_data).is_err() {
+                return;
+            }
+        }
+        self.metrics.data_bytes_received += payload.len();
+        match self.store.append(object, offset, &payload) {
+            Ok(watermark) => {
+                out.push(Effect::LocalProgress { object, watermark, total_size });
+                // Forward to any receivers chained off us, and to reduce participants
+                // that use this object as their own input.
+                self.pump_outgoing(object, out);
+                self.pump_participants_for(now, object, out);
+                if watermark >= total_size {
+                    self.object_became_complete(now, object, out);
+                }
+            }
+            Err(_) => {
+                // Out-of-order data (e.g. from a sender we failed over from); ignore.
+            }
+        }
+    }
+
+    fn handle_pull_error(&mut self, now: Time, from: NodeId, object: ObjectId, out: &mut Vec<Effect>) {
+        if let Some(get) = self.gets.get(&object) {
+            if get.pulling_from == Some(from) {
+                self.metrics.broadcast_failovers += 1;
+                self.restart_get(now, object, Some(from), out);
+            }
+        }
+    }
+
+    /// Bookkeeping common to every way an object can become locally complete: a
+    /// finished pull, a finished pipelined put, the inline fast path, or a reduce root
+    /// materializing its result.
+    fn object_became_complete(&mut self, now: Time, object: ObjectId, out: &mut Vec<Effect>) {
+        let size = self.store.total_size(object).unwrap_or(0);
+        out.push(Effect::LocalProgress { object, watermark: size, total_size: size });
+        let shard = self.cluster.shard_node(object);
+        // Tell the directory we now hold a complete copy, and release the sender we
+        // pulled from (if any) so it can serve other receivers again.
+        let pulled_from = self.gets.get(&object).and_then(|g| g.pulling_from);
+        if !self.cfg.is_inline(size) {
+            self.send(
+                shard,
+                Message::DirRegister {
+                    object,
+                    holder: self.id,
+                    status: ObjectStatus::Complete,
+                    size,
+                },
+                out,
+            );
+        }
+        if let Some(sender) = pulled_from {
+            self.send(
+                shard,
+                Message::DirTransferDone { object, receiver: self.id, sender },
+                out,
+            );
+        }
+        // Wake up local clients blocked on Get.
+        if let Some(get) = self.gets.remove(&object) {
+            if !get.waiting_ops.is_empty() {
+                let payload =
+                    self.store.get_complete(object).expect("object is complete");
+                for op in get.waiting_ops {
+                    self.metrics.gets_completed += 1;
+                    out.push(Effect::Reply {
+                        op,
+                        reply: ClientReply::GetDone { object, payload: payload.clone() },
+                    });
+                }
+            }
+        }
+        // Serve any receivers chained off us and reduce participants waiting on it.
+        self.pump_outgoing(object, out);
+        self.pump_participants_for(now, object, out);
+    }
+
+    // --------------------------------------------------------------------- delete --
+
+    fn client_delete(&mut self, _now: Time, op_id: OpId, object: ObjectId, out: &mut Vec<Effect>) {
+        let shard = self.cluster.shard_node(object);
+        self.send(shard, Message::DirDelete { object }, out);
+        out.push(Effect::Reply { op: op_id, reply: ClientReply::DeleteDone { object } });
+    }
+
+    fn handle_store_release(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        self.store.delete(object);
+        self.pending_puts.remove(&object);
+        // Anyone pulling from us can no longer be served.
+        if let Some(transfers) = self.outgoing.remove(&object) {
+            for t in transfers {
+                self.send(
+                    t.to,
+                    Message::PullError { object, reason: "object deleted".to_string() },
+                    out,
+                );
+            }
+        }
+        self.fail_gets(object, HopliteError::ObjectDeleted(object), out);
+    }
+
+    // --------------------------------------------------------------------- reduce --
+
+    #[allow(clippy::too_many_arguments)]
+    fn client_reduce(
+        &mut self,
+        _now: Time,
+        op_id: OpId,
+        target: ObjectId,
+        sources: Vec<ObjectId>,
+        num_objects: Option<usize>,
+        spec: ReduceSpec,
+        degree: Option<usize>,
+        out: &mut Vec<Effect>,
+    ) {
+        let n = num_objects.unwrap_or(sources.len());
+        if n == 0 || n > sources.len() || sources.is_empty() {
+            out.push(Effect::Reply {
+                op: op_id,
+                reply: ClientReply::Error {
+                    error: HopliteError::NotEnoughReduceInputs {
+                        target,
+                        requested: n,
+                        available: sources.len(),
+                    },
+                },
+            });
+            return;
+        }
+        self.metrics.reduces_coordinated += 1;
+        let coord = ReduceCoordinator {
+            target,
+            sources: sources.clone(),
+            num_objects: n,
+            spec,
+            degree_override: degree,
+            object_size: None,
+            plan: None,
+            notify_op: Some(op_id),
+            done: false,
+        };
+        self.coordinators.insert(target, coord);
+        // Subscribe to every source's directory shard; publications drive the dynamic
+        // tree construction in arrival order (§3.4.2).
+        for source in sources {
+            self.source_routing.entry(source).or_default().push(target);
+            let shard = self.cluster.shard_node(source);
+            self.send(shard, Message::DirSubscribe { object: source, subscriber: self.id }, out);
+        }
+        out.push(Effect::Reply { op: op_id, reply: ClientReply::ReduceAccepted { target } });
+    }
+
+    fn handle_dir_publish(
+        &mut self,
+        now: Time,
+        object: ObjectId,
+        holder: NodeId,
+        _status: ObjectStatus,
+        size: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(targets) = self.source_routing.get(&object).cloned() else { return };
+        for target in targets {
+            let Some(mut coord) = self.coordinators.remove(&target) else { continue };
+            if coord.done {
+                self.coordinators.insert(target, coord);
+                continue;
+            }
+            if coord.object_size.is_none() {
+                coord.object_size = Some(size);
+            }
+            if coord.plan.is_none() {
+                let object_size = coord.object_size.expect("size just set");
+                let resolved_degree = match coord.degree_override {
+                    Some(d) => {
+                        if d == 0 || d >= coord.num_objects {
+                            coord.num_objects
+                        } else {
+                            d
+                        }
+                    }
+                    None => {
+                        let model = DegreeModel {
+                            latency: self.cfg.estimated_latency,
+                            bandwidth: self.cfg.estimated_bandwidth,
+                        };
+                        model.choose(&self.cfg.reduce_degrees, coord.num_objects, object_size)
+                    }
+                };
+                coord.plan = Some(ReduceTreePlan::new(coord.num_objects, resolved_degree.max(1)));
+            }
+            let delta = coord
+                .plan
+                .as_mut()
+                .expect("plan created above")
+                .offer_input(ReduceInput { object, node: holder });
+            self.issue_instructions(&coord, &delta.affected_slots, out);
+            self.coordinators.insert(target, coord);
+        }
+        let _ = now;
+    }
+
+    fn issue_instructions(
+        &mut self,
+        coord: &ReduceCoordinator,
+        slots: &[usize],
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(plan) = coord.plan.as_ref() else { return };
+        let Some(object_size) = coord.object_size else { return };
+        for &slot in slots {
+            let Some(view) = plan.slot_view(slot) else { continue };
+            let instr = ReduceInstruction {
+                target: coord.target,
+                coordinator: self.id,
+                slot,
+                own_object: view.input.object,
+                spec: coord.spec,
+                object_size,
+                block_size: self.cfg.block_size,
+                num_inputs: view.num_inputs,
+                epoch: view.epoch,
+                parent: view.parent.map(|(pslot, pinput, pepoch)| ReduceParent {
+                    slot: pslot,
+                    node: pinput.node,
+                    epoch: pepoch,
+                }),
+                children: view
+                    .children
+                    .iter()
+                    .map(|(cslot, cinput)| (*cslot, cinput.node, cinput.object))
+                    .collect(),
+                is_root: view.is_root,
+                total_slots: plan.shape().len(),
+            };
+            self.send(view.input.node, Message::ReduceInstruction(instr), out);
+        }
+    }
+
+    fn handle_reduce_instruction(
+        &mut self,
+        now: Time,
+        instr: ReduceInstruction,
+        out: &mut Vec<Effect>,
+    ) {
+        let key = (instr.target, instr.slot);
+        let own_object = instr.own_object;
+        match self.participants.get_mut(&key) {
+            Some(existing) => {
+                let epoch_bumped = instr.epoch > existing.instr.epoch;
+                let parent_changed = existing.instr.parent != instr.parent;
+                let previous_root_started = existing.root_started;
+                existing.instr = instr;
+                if epoch_bumped {
+                    self.metrics.reduce_resets += 1;
+                    existing.reset();
+                    // The root clears the partially-materialized result object too.
+                    if previous_root_started {
+                        let target = key.0;
+                        self.invalidate_local_object(target, out);
+                    }
+                } else if parent_changed {
+                    // Same accumulated data, new (or restarted) parent: re-send our
+                    // finalized blocks from the start.
+                    existing.next_emit_block = 0;
+                }
+            }
+            None => {
+                let participant = ReduceParticipant::new(instr);
+                self.own_object_routing.entry(own_object).or_default().push(key);
+                self.participants.insert(key, participant);
+            }
+        }
+        self.pump_participant(now, key, out);
+    }
+
+    fn handle_reduce_block(
+        &mut self,
+        now: Time,
+        target: ObjectId,
+        to_slot: usize,
+        from_slot: usize,
+        parent_epoch: u64,
+        block_index: u64,
+        object_size: u64,
+        payload: Payload,
+        out: &mut Vec<Effect>,
+    ) {
+        let key = (target, to_slot);
+        let Some(p) = self.participants.get_mut(&key) else { return };
+        if parent_epoch != p.instr.epoch {
+            return; // stale block from before a repair
+        }
+        if object_size != p.instr.object_size {
+            return;
+        }
+        self.metrics.data_bytes_received += payload.len();
+        let idx = block_index as usize;
+        if idx >= p.blocks.len() {
+            return;
+        }
+        let spec = p.instr.spec;
+        let accum = &mut p.blocks[idx];
+        match accum.payload.take() {
+            None => accum.payload = Some(payload),
+            Some(existing) => match spec.combine(target, &existing, &payload) {
+                Ok(combined) => accum.payload = Some(combined),
+                Err(_) => {
+                    accum.payload = Some(existing);
+                    return;
+                }
+            },
+        }
+        accum.inputs_applied += 1;
+        let _ = from_slot;
+        self.pump_participant(now, key, out);
+    }
+
+    /// Re-pump every participant whose own input object is `object` (called when that
+    /// object's local watermark advances).
+    fn pump_participants_for(&mut self, now: Time, object: ObjectId, out: &mut Vec<Effect>) {
+        if let Some(keys) = self.own_object_routing.get(&object).cloned() {
+            for key in keys {
+                self.pump_participant(now, key, out);
+            }
+        }
+    }
+
+    /// Ingest newly-available own-object blocks and emit every finalized block in
+    /// order, either to the parent slot or — for the root — into the local result
+    /// object.
+    fn pump_participant(&mut self, now: Time, key: (ObjectId, usize), out: &mut Vec<Effect>) {
+        let Some(p) = self.participants.get_mut(&key) else { return };
+        let target = p.instr.target;
+        let spec = p.instr.spec;
+        let block_size = p.instr.block_size;
+        let object_size = p.instr.object_size;
+        let total_blocks = num_blocks(object_size, block_size);
+
+        // 1. Fold in own-object blocks that are now below the local watermark.
+        let own = p.instr.own_object;
+        let own_watermark = self.store.watermark(own).unwrap_or(0);
+        let mut ingested = p.own_blocks_ingested;
+        let mut to_ingest: Vec<(u64, u64, u64)> = Vec::new();
+        while ingested < total_blocks {
+            let offset = ingested * block_size;
+            let len = block_size.min(object_size - offset);
+            if offset + len > own_watermark {
+                break;
+            }
+            to_ingest.push((ingested, offset, len));
+            ingested += 1;
+        }
+        for (block_idx, offset, len) in to_ingest {
+            let Some(block) = self.store.read(own, offset, len) else { break };
+            let p = self.participants.get_mut(&key).expect("participant exists");
+            let accum = &mut p.blocks[block_idx as usize];
+            match accum.payload.take() {
+                None => accum.payload = Some(block),
+                Some(existing) => match spec.combine(target, &existing, &block) {
+                    Ok(combined) => accum.payload = Some(combined),
+                    Err(_) => {
+                        accum.payload = Some(existing);
+                        break;
+                    }
+                },
+            }
+            accum.inputs_applied += 1;
+            p.own_blocks_ingested = block_idx + 1;
+        }
+
+        // 2. Emit finalized blocks in order.
+        loop {
+            let p = self.participants.get_mut(&key).expect("participant exists");
+            let idx = p.next_emit_block;
+            if idx >= total_blocks {
+                break;
+            }
+            let num_inputs = p.instr.num_inputs;
+            let ready = p.blocks[idx as usize].inputs_applied >= num_inputs
+                && p.blocks[idx as usize].payload.is_some();
+            if !ready {
+                break;
+            }
+            let payload =
+                p.blocks[idx as usize].payload.clone().expect("checked above");
+            let is_root = p.instr.is_root;
+            let parent = p.instr.parent;
+            let epoch = p.instr.epoch;
+            let slot = p.instr.slot;
+            let coordinator = p.instr.coordinator;
+            if is_root {
+                // Materialize the result object locally, registering it as a partial
+                // location right away so a following broadcast can start (§3.3).
+                if !p.root_started {
+                    p.root_started = true;
+                    if !self.store.contains(target) {
+                        let _ = self.store.begin_receive(
+                            target,
+                            object_size,
+                            self.opts.synthetic_data || payload.is_synthetic(),
+                        );
+                        let shard = self.cluster.shard_node(target);
+                        if !self.cfg.is_inline(object_size) {
+                            self.send(
+                                shard,
+                                Message::DirRegister {
+                                    object: target,
+                                    holder: self.id,
+                                    status: ObjectStatus::Partial,
+                                    size: object_size,
+                                },
+                                out,
+                            );
+                        }
+                    }
+                }
+                let offset = idx * block_size;
+                if self.store.append(target, offset, &payload).is_ok() {
+                    let p = self.participants.get_mut(&key).expect("participant exists");
+                    p.next_emit_block = idx + 1;
+                    let watermark = self.store.watermark(target).unwrap_or(0);
+                    out.push(Effect::LocalProgress {
+                        object: target,
+                        watermark,
+                        total_size: object_size,
+                    });
+                    self.pump_outgoing(target, out);
+                    if watermark >= object_size {
+                        // Small results go through the inline fast path like any Put.
+                        if self.cfg.is_inline(object_size) {
+                            if let Some(full) = self.store.get_complete(target) {
+                                let shard = self.cluster.shard_node(target);
+                                self.send(
+                                    shard,
+                                    Message::DirPutInline {
+                                        object: target,
+                                        holder: self.id,
+                                        payload: full,
+                                    },
+                                    out,
+                                );
+                            }
+                        }
+                        self.object_became_complete(now, target, out);
+                        self.send(coordinator, Message::ReduceDone { target, root: self.id }, out);
+                    }
+                } else {
+                    break;
+                }
+            } else {
+                let Some(parent) = parent else { break };
+                self.metrics.reduce_blocks_sent += 1;
+                self.metrics.data_bytes_sent += payload.len();
+                self.send(
+                    parent.node,
+                    Message::ReduceBlock {
+                        target,
+                        to_slot: parent.slot,
+                        from_slot: slot,
+                        parent_epoch: parent.epoch,
+                        block_index: idx,
+                        object_size,
+                        payload,
+                    },
+                    out,
+                );
+                let p = self.participants.get_mut(&key).expect("participant exists");
+                p.next_emit_block = idx + 1;
+                let _ = epoch;
+            }
+        }
+    }
+
+    fn handle_reduce_done(&mut self, op_target: ObjectId, out: &mut Vec<Effect>) {
+        if let Some(coord) = self.coordinators.get_mut(&op_target) {
+            if !coord.done {
+                coord.done = true;
+                if let Some(op) = coord.notify_op {
+                    out.push(Effect::Reply {
+                        op,
+                        reply: ClientReply::ReduceComplete { target: op_target },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drop an invalid local partial copy (used when a reduce root clears its result):
+    /// unregister from the directory, abort downstream pullers, and restart any local
+    /// gets from scratch.
+    fn invalidate_local_object(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        if !self.store.contains(object) {
+            return;
+        }
+        self.store.delete(object);
+        let shard = self.cluster.shard_node(object);
+        self.send(shard, Message::DirUnregister { object, holder: self.id }, out);
+        if let Some(transfers) = self.outgoing.remove(&object) {
+            for t in transfers {
+                self.send(
+                    t.to,
+                    Message::PullError { object, reason: "reduce result reset".to_string() },
+                    out,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ dispatch --
+
+    fn dispatch_message(&mut self, now: Time, from: NodeId, msg: Message, out: &mut Vec<Effect>) {
+        match msg {
+            // Directory plane: this node hosts the shard responsible for the object.
+            Message::DirRegister { object, holder, status, size } => {
+                self.metrics.directory_registrations += 1;
+                let mut replies = Vec::new();
+                self.shard.register(object, holder, status, size, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirPutInline { object, holder, payload } => {
+                self.metrics.directory_registrations += 1;
+                let mut replies = Vec::new();
+                self.shard.put_inline(object, holder, payload, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirUnregister { object, holder } => {
+                self.shard.unregister(object, holder);
+            }
+            Message::DirQuery { object, requester, query_id, exclude } => {
+                self.metrics.directory_queries_served += 1;
+                let mut replies = Vec::new();
+                self.shard.query(object, requester, query_id, exclude, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirSubscribe { object, subscriber } => {
+                let mut replies = Vec::new();
+                self.shard.subscribe(object, subscriber, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirTransferDone { object, receiver, sender } => {
+                self.shard.transfer_done(object, receiver, sender);
+            }
+            Message::DirDelete { object } => {
+                let mut replies = Vec::new();
+                self.shard.delete(object, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            // Directory replies and publications addressed to this node.
+            Message::DirQueryReply { object, query_id, result } => {
+                self.handle_query_reply(now, object, query_id, result, out);
+            }
+            Message::DirPublish { object, holder, status, size } => {
+                self.handle_dir_publish(now, object, holder, status, size, out);
+            }
+            Message::StoreRelease { object } => {
+                self.handle_store_release(object, out);
+            }
+            // Data plane.
+            Message::PullRequest { object, requester, offset } => {
+                self.handle_pull_request(now, object, requester, offset, out);
+            }
+            Message::PullCancel { object, requester } => {
+                if let Some(transfers) = self.outgoing.get_mut(&object) {
+                    transfers.retain(|t| t.to != requester);
+                }
+            }
+            Message::PushBlock { object, offset, total_size, payload, complete: _ } => {
+                self.handle_push_block(now, from, object, offset, total_size, payload, out);
+            }
+            Message::PullError { object, reason: _ } => {
+                self.handle_pull_error(now, from, object, out);
+            }
+            // Reduce plane.
+            Message::ReduceInstruction(instr) => {
+                self.handle_reduce_instruction(now, instr, out);
+            }
+            Message::ReduceBlock {
+                target,
+                to_slot,
+                from_slot,
+                parent_epoch,
+                block_index,
+                object_size,
+                payload,
+            } => {
+                self.handle_reduce_block(
+                    now,
+                    target,
+                    to_slot,
+                    from_slot,
+                    parent_epoch,
+                    block_index,
+                    object_size,
+                    payload,
+                    out,
+                );
+            }
+            Message::ReduceDone { target, root: _ } => {
+                self.handle_reduce_done(target, out);
+            }
+        }
+    }
+
+    fn forward_shard_replies(&mut self, replies: Vec<(NodeId, Message)>, out: &mut Vec<Effect>) {
+        for (to, msg) in replies {
+            self.send(to, msg, out);
+        }
+    }
+
+    /// Send a message, short-circuiting messages addressed to this node through an
+    /// internal queue (drained at the end of every public handler) so drivers never
+    /// have to route loopback traffic.
+    fn send(&mut self, to: NodeId, msg: Message, out: &mut Vec<Effect>) {
+        if to == self.id {
+            self.self_queue.push_back(msg);
+        } else {
+            self.metrics.messages_sent += 1;
+            out.push(Effect::Send { to, msg });
+        }
+    }
+
+    fn drain_self_queue(&mut self, now: Time, out: &mut Vec<Effect>) {
+        // Bounded by a generous limit to surface accidental ping-pong loops in tests
+        // instead of hanging.
+        let mut budget = 100_000;
+        while let Some(msg) = self.self_queue.pop_front() {
+            self.dispatch_message(now, self.id, msg, out);
+            budget -= 1;
+            if budget == 0 {
+                panic!("self-message loop did not terminate");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Effect;
+
+    fn setup(n: usize) -> (Vec<ObjectStoreNode>, ClusterView) {
+        let cluster = ClusterView::of_size(n);
+        let cfg = HopliteConfig::small_for_tests();
+        let nodes = cluster
+            .nodes
+            .iter()
+            .map(|&id| {
+                ObjectStoreNode::new(id, cfg.clone(), cluster.clone(), NodeOptions::default())
+            })
+            .collect();
+        (nodes, cluster)
+    }
+
+    /// Deliver effects until quiescence, returning all client replies. Batches are
+    /// processed FIFO, preserving the per-link ordering that real transports (one TCP
+    /// connection per peer) and the simulator provide.
+    fn run_to_quiescence(
+        nodes: &mut Vec<ObjectStoreNode>,
+        effects: Vec<(NodeId, Vec<Effect>)>,
+    ) -> Vec<(NodeId, OpId, ClientReply)> {
+        let mut effects: std::collections::VecDeque<(NodeId, Vec<Effect>)> =
+            effects.into_iter().collect();
+        let mut replies = Vec::new();
+        let mut steps = 0;
+        while let Some((from, batch)) = effects.pop_front() {
+            for effect in batch {
+                match effect {
+                    Effect::Send { to, msg } => {
+                        let mut out = Vec::new();
+                        nodes[to.index()].handle_message(Time::ZERO, from, msg, &mut out);
+                        effects.push_back((to, out));
+                    }
+                    Effect::Reply { op, reply } => replies.push((from, op, reply)),
+                    Effect::SetTimer { .. } | Effect::LocalProgress { .. } => {}
+                }
+            }
+            steps += 1;
+            assert!(steps < 100_000, "message storm");
+        }
+        replies
+    }
+
+    #[test]
+    fn put_then_remote_get_delivers_bytes() {
+        let (mut nodes, _) = setup(4);
+        let object = ObjectId::from_name("payload");
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+
+        let mut out = Vec::new();
+        nodes[0].handle_client(
+            Time::ZERO,
+            OpId(1),
+            ClientOp::Put { object, payload: Payload::from_vec(data.clone()) },
+            &mut out,
+        );
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+        assert!(replies
+            .iter()
+            .any(|(_, op, r)| *op == OpId(1) && matches!(r, ClientReply::PutDone { .. })));
+
+        let mut out = Vec::new();
+        nodes[2].handle_client(Time::ZERO, OpId(2), ClientOp::Get { object }, &mut out);
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(2), out)]);
+        let got = replies
+            .iter()
+            .find_map(|(_, op, r)| match (op, r) {
+                (OpId(2), ClientReply::GetDone { payload, .. }) => Some(payload.clone()),
+                _ => None,
+            })
+            .expect("get completed");
+        assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
+        assert!(nodes[2].has_complete(object));
+    }
+
+    #[test]
+    fn small_objects_use_inline_fast_path() {
+        let (mut nodes, _) = setup(3);
+        let object = ObjectId::from_name("tiny");
+        let mut out = Vec::new();
+        nodes[1].handle_client(
+            Time::ZERO,
+            OpId(1),
+            ClientOp::Put { object, payload: Payload::from_vec(vec![42; 16]) },
+            &mut out,
+        );
+        run_to_quiescence(&mut nodes, vec![(NodeId(1), out)]);
+        let mut out = Vec::new();
+        nodes[0].handle_client(Time::ZERO, OpId(2), ClientOp::Get { object }, &mut out);
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+        assert!(replies.iter().any(|(_, _, r)| matches!(r, ClientReply::GetDone { .. })));
+        // The fast path serves from the directory: the creator never received a pull.
+        assert_eq!(nodes[1].metrics().pulls_served, 0);
+    }
+
+    #[test]
+    fn broadcast_to_many_receivers_completes_everywhere() {
+        let (mut nodes, _) = setup(8);
+        let object = ObjectId::from_name("model");
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut out = Vec::new();
+        nodes[0].handle_client(
+            Time::ZERO,
+            OpId(1),
+            ClientOp::Put { object, payload: Payload::from_vec(data.clone()) },
+            &mut out,
+        );
+        run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+
+        let mut initial = Vec::new();
+        for r in 1..8u32 {
+            let mut out = Vec::new();
+            nodes[r as usize].handle_client(
+                Time::ZERO,
+                OpId(100 + r as u64),
+                ClientOp::Get { object },
+                &mut out,
+            );
+            initial.push((NodeId(r), out));
+        }
+        let replies = run_to_quiescence(&mut nodes, initial);
+        let done = replies
+            .iter()
+            .filter(|(_, _, r)| matches!(r, ClientReply::GetDone { .. }))
+            .count();
+        assert_eq!(done, 7);
+        for r in 1..8 {
+            assert!(nodes[r].has_complete(object));
+            assert_eq!(
+                nodes[r].store().total_size(object),
+                Some(data.len() as u64),
+                "receiver {r} has full object"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_sums_across_nodes() {
+        let (mut nodes, _) = setup(5);
+        let sources: Vec<ObjectId> =
+            (0..4).map(|i| ObjectId::from_name(&format!("grad-{i}"))).collect();
+        // Each of nodes 1..=4 puts a gradient of 600 floats.
+        let mut initial = Vec::new();
+        for (i, &src) in sources.iter().enumerate() {
+            let values: Vec<f32> = (0..600).map(|j| (i as f32) + (j as f32) * 0.001).collect();
+            let mut out = Vec::new();
+            nodes[i + 1].handle_client(
+                Time::ZERO,
+                OpId(10 + i as u64),
+                ClientOp::Put { object: src, payload: Payload::from_f32s(&values) },
+                &mut out,
+            );
+            initial.push((NodeId((i + 1) as u32), out));
+        }
+        run_to_quiescence(&mut nodes, initial);
+
+        let target = ObjectId::from_name("sum");
+        let mut out = Vec::new();
+        nodes[0].handle_client(
+            Time::ZERO,
+            OpId(1),
+            ClientOp::Reduce {
+                target,
+                sources: sources.clone(),
+                num_objects: None,
+                spec: ReduceSpec::sum_f32(),
+                degree: None,
+            },
+            &mut out,
+        );
+        run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+
+        let mut out = Vec::new();
+        nodes[0].handle_client(Time::ZERO, OpId(2), ClientOp::Get { object: target }, &mut out);
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+        let payload = replies
+            .iter()
+            .find_map(|(_, op, r)| match (op, r) {
+                (OpId(2), ClientReply::GetDone { payload, .. }) => Some(payload.clone()),
+                _ => None,
+            })
+            .expect("reduce result fetched");
+        let values = payload.to_f32s();
+        assert_eq!(values.len(), 600);
+        for (j, v) in values.iter().enumerate() {
+            let expected = (0..4).map(|i| i as f32 + j as f32 * 0.001).sum::<f32>();
+            assert!((v - expected).abs() < 1e-3, "element {j}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_all_copies() {
+        let (mut nodes, _) = setup(3);
+        let object = ObjectId::from_name("temp");
+        let mut out = Vec::new();
+        nodes[0].handle_client(
+            Time::ZERO,
+            OpId(1),
+            ClientOp::Put { object, payload: Payload::zeros(4000) },
+            &mut out,
+        );
+        run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+        let mut out = Vec::new();
+        nodes[1].handle_client(Time::ZERO, OpId(2), ClientOp::Get { object }, &mut out);
+        run_to_quiescence(&mut nodes, vec![(NodeId(1), out)]);
+        assert!(nodes[1].has_complete(object));
+
+        let mut out = Vec::new();
+        nodes[2].handle_client(Time::ZERO, OpId(3), ClientOp::Delete { object }, &mut out);
+        run_to_quiescence(&mut nodes, vec![(NodeId(2), out)]);
+        assert!(!nodes[0].store().contains(object));
+        assert!(!nodes[1].store().contains(object));
+    }
+
+    #[test]
+    fn get_before_put_parks_until_data_exists() {
+        let (mut nodes, _) = setup(2);
+        let object = ObjectId::from_name("future");
+        let mut out = Vec::new();
+        nodes[1].handle_client(Time::ZERO, OpId(1), ClientOp::Get { object }, &mut out);
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(1), out)]);
+        assert!(replies.is_empty(), "nothing to reply yet");
+
+        let mut out = Vec::new();
+        nodes[0].handle_client(
+            Time::ZERO,
+            OpId(2),
+            ClientOp::Put { object, payload: Payload::zeros(5000) },
+            &mut out,
+        );
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+        assert!(replies
+            .iter()
+            .any(|(node, op, r)| *node == NodeId(1)
+                && *op == OpId(1)
+                && matches!(r, ClientReply::GetDone { .. })));
+    }
+
+    #[test]
+    fn reduce_subset_uses_earliest_arrivals() {
+        let (mut nodes, _) = setup(6);
+        let sources: Vec<ObjectId> =
+            (0..5).map(|i| ObjectId::from_name(&format!("s{i}"))).collect();
+        let target = ObjectId::from_name("partial-sum");
+        // Start the reduce before any source exists.
+        let mut out = Vec::new();
+        nodes[0].handle_client(
+            Time::ZERO,
+            OpId(1),
+            ClientOp::Reduce {
+                target,
+                sources: sources.clone(),
+                num_objects: Some(3),
+                spec: ReduceSpec::sum_f32(),
+                degree: Some(2),
+            },
+            &mut out,
+        );
+        run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+
+        // Only three sources ever appear (on nodes 1..=3), each a constant vector.
+        let mut initial = Vec::new();
+        for i in 0..3usize {
+            let values = vec![(i + 1) as f32; 300];
+            let mut out = Vec::new();
+            nodes[i + 1].handle_client(
+                Time::ZERO,
+                OpId(10 + i as u64),
+                ClientOp::Put { object: sources[i], payload: Payload::from_f32s(&values) },
+                &mut out,
+            );
+            initial.push((NodeId((i + 1) as u32), out));
+        }
+        run_to_quiescence(&mut nodes, initial);
+
+        let mut out = Vec::new();
+        nodes[0].handle_client(Time::ZERO, OpId(2), ClientOp::Get { object: target }, &mut out);
+        let replies = run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
+        let payload = replies
+            .iter()
+            .find_map(|(_, op, r)| match (op, r) {
+                (OpId(2), ClientReply::GetDone { payload, .. }) => Some(payload.clone()),
+                _ => None,
+            })
+            .expect("subset reduce completed with 3 of 5 sources");
+        for v in payload.to_f32s() {
+            assert!((v - 6.0).abs() < 1e-4, "1 + 2 + 3 = 6, got {v}");
+        }
+    }
+}

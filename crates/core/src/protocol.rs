@@ -1,0 +1,457 @@
+//! Wire protocol of the Hoplite control and data planes, and the effect type through
+//! which the sans-IO node state machine talks to its driver.
+//!
+//! The paper's implementation uses gRPC for the directory service and raw TCP pushes
+//! for the data plane (§4). This reproduction keeps a single message enum; drivers are
+//! free to map it onto any transport (the simulator models its size, the TCP transport
+//! frames it).
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::Payload;
+use crate::error::HopliteError;
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::reduce::ReduceSpec;
+use crate::time::Duration;
+
+/// Identifier correlating a client request with its reply on one node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+/// Identifier of a timer registered by the node with its driver.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TimerToken(pub u64);
+
+/// Result of a directory location query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// Small object served straight from the directory cache (§3.2 fast path).
+    Inline {
+        /// The object contents.
+        payload: Payload,
+    },
+    /// A location to pull from. The directory has recorded the requester as an
+    /// in-flight receiver of `node` (one receiver per sender at a time, §3.4.1).
+    Location {
+        /// Chosen sender.
+        node: NodeId,
+        /// Whether the sender currently holds a partial or complete copy.
+        status: ObjectStatus,
+        /// Total object size.
+        size: u64,
+    },
+    /// The object was deleted while the query was pending.
+    Deleted,
+}
+
+/// Everything one reduce participant needs to know about its place in the tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceInstruction {
+    /// The reduce output object id; doubles as the reduce identifier.
+    pub target: ObjectId,
+    /// Node coordinating the reduce (where the client called `Reduce`).
+    pub coordinator: NodeId,
+    /// The slot this participant owns (generalized in-order rank).
+    pub slot: usize,
+    /// The participant's own input object.
+    pub own_object: ObjectId,
+    /// Operator and element type.
+    pub spec: ReduceSpec,
+    /// Size in bytes of every input object (and of the output).
+    pub object_size: u64,
+    /// Pipelining block size to use for streaming partial results.
+    pub block_size: u64,
+    /// Number of inputs this slot combines: its own object plus one stream per child
+    /// slot (children counted even if not yet assigned).
+    pub num_inputs: usize,
+    /// Accumulation epoch; a higher epoch than previously seen means "clear partial
+    /// results and start over" (§3.5.2).
+    pub epoch: u64,
+    /// Parent slot (`None` for the root, which materializes the result object).
+    pub parent: Option<ReduceParent>,
+    /// Currently-assigned children, for diagnostics and eager validation.
+    pub children: Vec<(usize, NodeId, ObjectId)>,
+    /// Whether this slot is the root.
+    pub is_root: bool,
+    /// Total number of slots in the tree.
+    pub total_slots: usize,
+}
+
+/// Identity of a reduce participant's parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceParent {
+    /// Parent slot index.
+    pub slot: usize,
+    /// Node that owns the parent slot.
+    pub node: NodeId,
+    /// Parent's accumulation epoch; streamed blocks are tagged with it so stale blocks
+    /// can be discarded after a repair.
+    pub epoch: u64,
+}
+
+/// Node-to-node protocol messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    // ---------------------------------------------------------------- directory ----
+    /// Register (or refresh) a location for an object. Sent both when a local client
+    /// creates the object via `Put` (immediately, with `Partial` status, to enable
+    /// pipelining) and when a copy finishes arriving from a remote node (§3.2).
+    DirRegister {
+        /// The object.
+        object: ObjectId,
+        /// The node holding the copy.
+        holder: NodeId,
+        /// Partial or complete.
+        status: ObjectStatus,
+        /// Total object size.
+        size: u64,
+    },
+    /// Small-object fast path: ship the whole object to the directory shard, which
+    /// caches it and serves it inline from query replies (§3.2).
+    DirPutInline {
+        /// The object.
+        object: ObjectId,
+        /// The node that created it.
+        holder: NodeId,
+        /// Full contents.
+        payload: Payload,
+    },
+    /// Remove one holder's location (e.g. after local eviction).
+    DirUnregister {
+        /// The object.
+        object: ObjectId,
+        /// The holder to remove.
+        holder: NodeId,
+    },
+    /// Synchronous location query: answered as soon as a usable location exists (which
+    /// may be immediately, or later when one is registered).
+    DirQuery {
+        /// The object.
+        object: ObjectId,
+        /// Node asking (and future receiver).
+        requester: NodeId,
+        /// Correlation id, unique per requester.
+        query_id: u64,
+        /// Nodes the requester knows to be unusable (e.g. a failed previous sender).
+        exclude: Vec<NodeId>,
+    },
+    /// Reply to [`Message::DirQuery`].
+    DirQueryReply {
+        /// The object.
+        object: ObjectId,
+        /// Correlation id from the query.
+        query_id: u64,
+        /// Chosen location / inline payload.
+        result: QueryResult,
+    },
+    /// Subscribe to location publications for an object (asynchronous query, §3.2).
+    DirSubscribe {
+        /// The object.
+        object: ObjectId,
+        /// Subscriber node.
+        subscriber: NodeId,
+    },
+    /// Location publication pushed to subscribers.
+    DirPublish {
+        /// The object.
+        object: ObjectId,
+        /// Holder being published.
+        holder: NodeId,
+        /// Partial or complete.
+        status: ObjectStatus,
+        /// Total object size.
+        size: u64,
+    },
+    /// Release the in-flight edge `receiver -> sender` once a transfer completes, so
+    /// the sender becomes eligible for other receivers again (§3.4.1).
+    DirTransferDone {
+        /// The object.
+        object: ObjectId,
+        /// The receiver that completed its copy.
+        receiver: NodeId,
+        /// The sender it copied from.
+        sender: NodeId,
+    },
+    /// Delete every copy of the object (Table 1 `Delete`).
+    DirDelete {
+        /// The object.
+        object: ObjectId,
+    },
+    /// Directory shard → holder: drop your local copy (delete fan-out).
+    StoreRelease {
+        /// The object.
+        object: ObjectId,
+    },
+
+    // --------------------------------------------------------------- data plane ----
+    /// Ask `holder` to stream an object starting at `offset` (the receiver-driven pull
+    /// of §3.4.1; `offset > 0` happens when resuming after a sender failure, §3.5.1).
+    PullRequest {
+        /// The object.
+        object: ObjectId,
+        /// The receiver.
+        requester: NodeId,
+        /// Byte offset to start from.
+        offset: u64,
+    },
+    /// Cancel an in-flight pull (receiver found a better source or is shutting down).
+    PullCancel {
+        /// The object.
+        object: ObjectId,
+        /// The receiver that is cancelling.
+        requester: NodeId,
+    },
+    /// One pipelining block of object data pushed from sender to receiver.
+    PushBlock {
+        /// The object.
+        object: ObjectId,
+        /// Byte offset of this block.
+        offset: u64,
+        /// Total object size (repeated so receivers can allocate on first block).
+        total_size: u64,
+        /// Block contents.
+        payload: Payload,
+        /// `true` on the final block.
+        complete: bool,
+    },
+    /// The sender cannot serve the pull (object evicted or deleted).
+    PullError {
+        /// The object.
+        object: ObjectId,
+        /// Human-readable reason.
+        reason: String,
+    },
+
+    // ------------------------------------------------------------------- reduce ----
+    /// Coordinator → participant: your place in the reduce tree (sent initially and
+    /// re-sent whenever the dynamic tree changes, §3.4.2 / §3.5.2).
+    ReduceInstruction(ReduceInstruction),
+    /// Participant → parent: one block of (partially) reduced data.
+    ReduceBlock {
+        /// Reduce identifier (the target object id).
+        target: ObjectId,
+        /// Parent slot this block is destined for.
+        to_slot: usize,
+        /// Sender's slot.
+        from_slot: usize,
+        /// The parent epoch this block belongs to.
+        parent_epoch: u64,
+        /// Block index.
+        block_index: u64,
+        /// Total object size.
+        object_size: u64,
+        /// Block contents (already reduced over the sender's subtree).
+        payload: Payload,
+    },
+    /// Participant → coordinator: the root finished materializing the target object.
+    ReduceDone {
+        /// Reduce identifier.
+        target: ObjectId,
+        /// Node holding the result.
+        root: NodeId,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bytes, used by the simulator's bandwidth model. Control
+    /// messages are small and fixed-size; data-plane messages are dominated by their
+    /// payload.
+    pub fn wire_size(&self) -> u64 {
+        const CONTROL: u64 = 96;
+        match self {
+            Message::PushBlock { payload, .. } => CONTROL + payload.len(),
+            Message::ReduceBlock { payload, .. } => CONTROL + payload.len(),
+            Message::DirPutInline { payload, .. } => CONTROL + payload.len(),
+            Message::DirQueryReply { result: QueryResult::Inline { payload }, .. } => {
+                CONTROL + payload.len()
+            }
+            Message::ReduceInstruction(instr) => CONTROL + 24 * instr.children.len() as u64,
+            Message::DirQuery { exclude, .. } => CONTROL + 4 * exclude.len() as u64,
+            _ => CONTROL,
+        }
+    }
+
+    /// `true` for messages that belong to the bulk data plane (used by the simulator to
+    /// prioritize control traffic the way small RPCs win on a real network).
+    pub fn is_bulk(&self) -> bool {
+        matches!(self, Message::PushBlock { .. } | Message::ReduceBlock { .. })
+    }
+}
+
+/// A client-facing operation submitted to the local Hoplite node (Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientOp {
+    /// Store an object in the local store and publish its location.
+    Put {
+        /// The new object's id.
+        object: ObjectId,
+        /// Object contents (real or synthetic).
+        payload: Payload,
+    },
+    /// Fetch an object into the local store (and hand it to the caller).
+    Get {
+        /// The object to fetch.
+        object: ObjectId,
+    },
+    /// Create `target` by reducing `num_objects` of the given source objects.
+    Reduce {
+        /// Output object id.
+        target: ObjectId,
+        /// Candidate source objects (futures; they may not exist yet).
+        sources: Vec<ObjectId>,
+        /// How many of the sources to fold in (`None` = all of them).
+        num_objects: Option<usize>,
+        /// Operator and element type.
+        spec: ReduceSpec,
+        /// Force a specific tree degree instead of the runtime model's choice
+        /// (`None` = pick from [`crate::config::HopliteConfig::reduce_degrees`]; used by
+        /// the Appendix-B ablation).
+        degree: Option<usize>,
+    },
+    /// Delete every copy of an object cluster-wide.
+    Delete {
+        /// The object to delete.
+        object: ObjectId,
+    },
+}
+
+/// Reply to a [`ClientOp`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientReply {
+    /// `Put` finished copying into the local store.
+    PutDone {
+        /// The stored object.
+        object: ObjectId,
+    },
+    /// `Get` completed; the payload is a complete copy of the object.
+    GetDone {
+        /// The fetched object.
+        object: ObjectId,
+        /// The object contents.
+        payload: Payload,
+    },
+    /// `Reduce` was accepted and the coordinator is building the tree; fetch the target
+    /// object with `Get` to obtain the result.
+    ReduceAccepted {
+        /// The reduce output object.
+        target: ObjectId,
+    },
+    /// The target object of a `Reduce` issued on this node is now fully materialized at
+    /// the tree root.
+    ReduceComplete {
+        /// The reduce output object.
+        target: ObjectId,
+    },
+    /// `Delete` was dispatched.
+    DeleteDone {
+        /// The deleted object.
+        object: ObjectId,
+    },
+    /// The operation failed.
+    Error {
+        /// What failed.
+        error: HopliteError,
+    },
+}
+
+/// Side effects requested by the node state machine; the driver executes them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// Send a protocol message to a peer node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Complete a client operation.
+    Reply {
+        /// The operation being answered.
+        op: OpId,
+        /// Its result.
+        reply: ClientReply,
+    },
+    /// Ask the driver to call `handle_timer` with this token after `delay`.
+    SetTimer {
+        /// Token to hand back.
+        token: TimerToken,
+        /// Delay from now.
+        delay: Duration,
+    },
+    /// Advisory: a local block of `object` became readable at the store (watermark
+    /// advanced). Drivers that model worker-side pipelined `Get`s use this to stream
+    /// data to workers before the object is complete; other drivers may ignore it.
+    LocalProgress {
+        /// The object making progress.
+        object: ObjectId,
+        /// New watermark in bytes.
+        watermark: u64,
+        /// Total size in bytes.
+        total_size: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = Message::DirQuery {
+            object: ObjectId::from_name("x"),
+            requester: NodeId(0),
+            query_id: 1,
+            exclude: vec![],
+        };
+        let big = Message::PushBlock {
+            object: ObjectId::from_name("x"),
+            offset: 0,
+            total_size: 4096,
+            payload: Payload::synthetic(4096),
+            complete: true,
+        };
+        assert!(small.wire_size() < 200);
+        assert!(big.wire_size() > 4096);
+        assert!(big.is_bulk());
+        assert!(!small.is_bulk());
+    }
+
+    #[test]
+    fn messages_serialize_roundtrip() {
+        let msg = Message::PushBlock {
+            object: ObjectId::from_name("y"),
+            offset: 128,
+            total_size: 256,
+            payload: Payload::from_vec(vec![1, 2, 3]),
+            complete: false,
+        };
+        // Serialization itself is exercised by the transport crate; here we make sure
+        // the serde derives compile and the message is cloneable/comparable.
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(_t: &T) {}
+        assert_serde(&msg);
+        let copy = msg.clone();
+        assert_eq!(copy, msg);
+    }
+
+    #[test]
+    fn reduce_instruction_equality() {
+        let instr = ReduceInstruction {
+            target: ObjectId::from_name("t"),
+            coordinator: NodeId(0),
+            slot: 3,
+            own_object: ObjectId::from_name("s"),
+            spec: ReduceSpec::sum_f32(),
+            object_size: 1024,
+            block_size: 256,
+            num_inputs: 3,
+            epoch: 0,
+            parent: Some(ReduceParent { slot: 5, node: NodeId(2), epoch: 1 }),
+            children: vec![(1, NodeId(4), ObjectId::from_name("c"))],
+            is_root: false,
+            total_slots: 6,
+        };
+        assert_eq!(instr.clone(), instr);
+        let m = Message::ReduceInstruction(instr);
+        assert!(m.wire_size() >= 96);
+    }
+}

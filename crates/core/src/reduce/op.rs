@@ -1,0 +1,255 @@
+//! Reduce operations (the paper's `ReduceOp`: sum, min, max) over typed element arrays.
+//!
+//! The `Reduce` API requires the operation to be commutative and associative (§3.1),
+//! which is what allows Hoplite to reduce objects in arrival order rather than rank
+//! order. Real payloads are combined element-wise; synthetic payloads (simulator mode)
+//! are combined by length only.
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::Payload;
+use crate::error::{HopliteError, Result};
+use crate::object::ObjectId;
+
+/// Element type of the arrays being reduced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 floats (the paper's microbenchmarks use arrays of these).
+    F32,
+    /// 64-bit IEEE-754 floats.
+    F64,
+    /// 32-bit signed integers.
+    I32,
+    /// 64-bit signed integers.
+    I64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn element_size(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+        }
+    }
+}
+
+/// Commutative, associative reduction operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise addition (`ray.ADD` in the paper's pseudo-code).
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+/// A fully-specified reduction: operator plus element type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReduceSpec {
+    /// Operator.
+    pub op: ReduceOp,
+    /// Element type of every input object.
+    pub dtype: DType,
+}
+
+impl ReduceSpec {
+    /// Element-wise sum of `f32` arrays — the common case for gradient aggregation.
+    pub fn sum_f32() -> Self {
+        ReduceSpec { op: ReduceOp::Sum, dtype: DType::F32 }
+    }
+
+    /// Combine two payloads element-wise. Inputs must have equal length; synthetic
+    /// payloads short-circuit to a synthetic result of the same length.
+    pub fn combine(&self, target: ObjectId, a: &Payload, b: &Payload) -> Result<Payload> {
+        if a.len() != b.len() {
+            return Err(HopliteError::ReduceShapeMismatch {
+                target,
+                detail: format!("length mismatch: {} vs {}", a.len(), b.len()),
+            });
+        }
+        let (abytes, bbytes) = match (a.as_bytes(), b.as_bytes()) {
+            (Some(x), Some(y)) => (x, y),
+            // Simulator mode: no arithmetic, only sizes.
+            _ => return Ok(Payload::synthetic(a.len())),
+        };
+        if a.len() % self.dtype.element_size() != 0 {
+            return Err(HopliteError::ReduceShapeMismatch {
+                target,
+                detail: format!(
+                    "length {} not a multiple of element size {}",
+                    a.len(),
+                    self.dtype.element_size()
+                ),
+            });
+        }
+        let out = match self.dtype {
+            DType::F32 => combine_typed::<f32, 4>(abytes, bbytes, self.op),
+            DType::F64 => combine_typed::<f64, 8>(abytes, bbytes, self.op),
+            DType::I32 => combine_typed::<i32, 4>(abytes, bbytes, self.op),
+            DType::I64 => combine_typed::<i64, 8>(abytes, bbytes, self.op),
+        };
+        Ok(Payload::from_vec(out))
+    }
+}
+
+/// Element trait implemented for the supported numeric types.
+trait Element: Copy {
+    fn from_le(bytes: &[u8]) -> Self;
+    fn to_le(self, out: &mut Vec<u8>);
+    fn sum(self, other: Self) -> Self;
+    fn min_v(self, other: Self) -> Self;
+    fn max_v(self, other: Self) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $n:expr) => {
+        impl Element for $t {
+            fn from_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("element width"))
+            }
+            fn to_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn sum(self, other: Self) -> Self {
+                self + other
+            }
+            fn min_v(self, other: Self) -> Self {
+                if self < other {
+                    self
+                } else {
+                    other
+                }
+            }
+            fn max_v(self, other: Self) -> Self {
+                if self > other {
+                    self
+                } else {
+                    other
+                }
+            }
+        }
+    };
+}
+
+impl_element!(f32, 4);
+impl_element!(f64, 8);
+impl_element!(i32, 4);
+impl_element!(i64, 8);
+
+fn combine_typed<T: Element, const W: usize>(a: &[u8], b: &[u8], op: ReduceOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(a.len());
+    for (ca, cb) in a.chunks_exact(W).zip(b.chunks_exact(W)) {
+        let x = T::from_le(ca);
+        let y = T::from_le(cb);
+        let v = match op {
+            ReduceOp::Sum => x.sum(y),
+            ReduceOp::Min => x.min_v(y),
+            ReduceOp::Max => x.max_v(y),
+        };
+        v.to_le(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> ObjectId {
+        ObjectId::from_name("reduce-target")
+    }
+
+    #[test]
+    fn sum_f32_elementwise() {
+        let a = Payload::from_f32s(&[1.0, 2.0, 3.0]);
+        let b = Payload::from_f32s(&[0.5, -2.0, 10.0]);
+        let spec = ReduceSpec::sum_f32();
+        let out = spec.combine(target(), &a, &b).unwrap();
+        assert_eq!(out.to_f32s(), vec![1.5, 0.0, 13.0]);
+    }
+
+    #[test]
+    fn min_max_i64() {
+        let enc = |vals: &[i64]| {
+            let mut v = Vec::new();
+            for x in vals {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+            Payload::from_vec(v)
+        };
+        let a = enc(&[3, -7, 100]);
+        let b = enc(&[5, -2, 50]);
+        let min = ReduceSpec { op: ReduceOp::Min, dtype: DType::I64 };
+        let max = ReduceSpec { op: ReduceOp::Max, dtype: DType::I64 };
+        let min_out = min.combine(target(), &a, &b).unwrap();
+        let max_out = max.combine(target(), &a, &b).unwrap();
+        let dec = |p: &Payload| {
+            p.as_bytes()
+                .unwrap()
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(dec(&min_out), vec![3, -7, 50]);
+        assert_eq!(dec(&max_out), vec![5, -2, 100]);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = Payload::from_f32s(&[1.0, 2.0]);
+        let b = Payload::from_f32s(&[1.0]);
+        assert!(matches!(
+            ReduceSpec::sum_f32().combine(target(), &a, &b),
+            Err(HopliteError::ReduceShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_combine_keeps_length() {
+        let a = Payload::synthetic(1024);
+        let b = Payload::synthetic(1024);
+        let out = ReduceSpec::sum_f32().combine(target(), &a, &b).unwrap();
+        assert!(out.is_synthetic());
+        assert_eq!(out.len(), 1024);
+    }
+
+    #[test]
+    fn mixed_real_and_synthetic_degrades_to_synthetic() {
+        let a = Payload::zeros(16);
+        let b = Payload::synthetic(16);
+        let out = ReduceSpec::sum_f32().combine(target(), &a, &b).unwrap();
+        assert!(out.is_synthetic());
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.element_size(), 4);
+        assert_eq!(DType::F64.element_size(), 8);
+        assert_eq!(DType::I32.element_size(), 4);
+        assert_eq!(DType::I64.element_size(), 8);
+    }
+
+    #[test]
+    fn commutativity_and_associativity_sum() {
+        let spec = ReduceSpec::sum_f32();
+        let a = Payload::from_f32s(&[1.0, 2.0]);
+        let b = Payload::from_f32s(&[3.0, 4.0]);
+        let c = Payload::from_f32s(&[5.0, 6.0]);
+        let ab_c = spec
+            .combine(target(), &spec.combine(target(), &a, &b).unwrap(), &c)
+            .unwrap()
+            .to_f32s();
+        let a_bc = spec
+            .combine(target(), &a, &spec.combine(target(), &b, &c).unwrap())
+            .unwrap()
+            .to_f32s();
+        let ba_c = spec
+            .combine(target(), &spec.combine(target(), &b, &a).unwrap(), &c)
+            .unwrap()
+            .to_f32s();
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, ba_c);
+    }
+}

@@ -1,0 +1,577 @@
+//! Dynamic d-ary reduce trees (§3.4.2 and §3.5.2 of the paper).
+//!
+//! The *shape* of a reduce tree over `n` objects with degree `d` is fixed: it is the
+//! most balanced `d`-ary tree with `n` slots, and slots are numbered by the paper's
+//! generalized in-order traversal (first child subtree, the node itself, remaining
+//! child subtrees). What is dynamic is the *assignment* of arriving objects to slots:
+//! the `k`-th object to become ready takes slot `k`, which lets early arrivals start
+//! streaming into their parent before later participants even exist.
+//!
+//! Failure handling follows §3.5.2: a failed slot is vacated and refilled by the next
+//! ready object (possibly the same object recreated elsewhere by the task framework),
+//! and every ancestor of the failed slot bumps its *epoch*, which instructs it to clear
+//! its partial accumulation and its children to re-send.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::{NodeId, ObjectId};
+
+/// Static description of one slot in the tree shape.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotShape {
+    /// In-order rank of this slot (also its index).
+    pub index: usize,
+    /// Parent slot, `None` for the root.
+    pub parent: Option<usize>,
+    /// Child slots (at most `d`).
+    pub children: Vec<usize>,
+    /// Depth below the root (root = 0).
+    pub depth: usize,
+}
+
+/// The static shape of a reduce tree: `n` slots arranged as a balanced `d`-ary tree and
+/// numbered by generalized in-order traversal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeShape {
+    slots: Vec<SlotShape>,
+    degree: usize,
+    root: usize,
+}
+
+impl TreeShape {
+    /// Build the shape for `n` slots and degree `d` (`d >= 1`; `d >= n` produces a
+    /// star).
+    pub fn new(n: usize, degree: usize) -> TreeShape {
+        assert!(n >= 1, "a reduce tree needs at least one slot");
+        let degree = degree.max(1);
+        // Recursively build raw nodes, then renumber by in-order rank.
+        #[derive(Debug)]
+        struct Raw {
+            children: Vec<usize>,
+        }
+        let mut raw: Vec<Raw> = Vec::with_capacity(n);
+        // Returns the raw id of the subtree root for a subtree of `count` nodes.
+        fn build(raw: &mut Vec<Raw>, count: usize, degree: usize) -> usize {
+            debug_assert!(count >= 1);
+            let id = raw.len();
+            raw.push(Raw { children: Vec::new() });
+            let remaining = count - 1;
+            if remaining == 0 {
+                return id;
+            }
+            let child_count = remaining.min(degree);
+            // Distribute the remaining nodes across child subtrees as evenly as
+            // possible; earlier subtrees get the extras so that in-order ranks of the
+            // left-most subtree stay small.
+            let base = remaining / child_count;
+            let extra = remaining % child_count;
+            let mut children = Vec::with_capacity(child_count);
+            for c in 0..child_count {
+                let sz = base + usize::from(c < extra);
+                debug_assert!(sz >= 1);
+                let child = build(raw, sz, degree);
+                children.push(child);
+            }
+            raw[id].children = children;
+            id
+        }
+        let raw_root = build(&mut raw, n, degree);
+
+        // Generalized in-order traversal: first child subtree, the node, remaining
+        // child subtrees.
+        fn traverse(raw: &[Raw], node: usize, order: &mut Vec<usize>) {
+            let children = &raw[node].children;
+            if let Some(&first) = children.first() {
+                traverse(raw, first, order);
+            }
+            order.push(node);
+            for &c in children.iter().skip(1) {
+                traverse(raw, c, order);
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        traverse(&raw, raw_root, &mut order);
+        debug_assert_eq!(order.len(), n);
+        let mut rank_of = vec![usize::MAX; n];
+        for (rank, &raw_id) in order.iter().enumerate() {
+            rank_of[raw_id] = rank;
+        }
+
+        let mut slots: Vec<SlotShape> = (0..n)
+            .map(|i| SlotShape { index: i, parent: None, children: Vec::new(), depth: 0 })
+            .collect();
+        for (raw_id, node) in raw.iter().enumerate() {
+            let rank = rank_of[raw_id];
+            for &child in &node.children {
+                let crank = rank_of[child];
+                slots[crank].parent = Some(rank);
+                slots[rank].children.push(crank);
+            }
+        }
+        for s in &mut slots {
+            s.children.sort_unstable();
+        }
+        let root = rank_of[raw_root];
+        // Compute depths with an explicit stack (the tree may be a chain of length n).
+        let mut stack = vec![(root, 0usize)];
+        while let Some((slot, depth)) = stack.pop() {
+            slots[slot].depth = depth;
+            for &c in slots[slot].children.clone().iter() {
+                stack.push((c, depth + 1));
+            }
+        }
+        TreeShape { slots, degree, root }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the tree has no slots (never constructed; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Requested degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Root slot index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Shape of one slot.
+    pub fn slot(&self, index: usize) -> &SlotShape {
+        &self.slots[index]
+    }
+
+    /// All slots.
+    pub fn slots(&self) -> &[SlotShape] {
+        &self.slots
+    }
+
+    /// All ancestors of `index`, nearest first (excluding `index` itself).
+    pub fn ancestors(&self, index: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.slots[index].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.slots[p].parent;
+        }
+        out
+    }
+
+    /// Height of the tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.slots.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+}
+
+/// A ready reduce input: an object and the node that holds (or is creating) it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceInput {
+    /// Source object.
+    pub object: ObjectId,
+    /// Node holding the source object.
+    pub node: NodeId,
+}
+
+/// Dynamic assignment state layered over a [`TreeShape`].
+#[derive(Clone, Debug)]
+pub struct ReduceTreePlan {
+    shape: TreeShape,
+    /// Slot -> assigned input.
+    assignment: Vec<Option<ReduceInput>>,
+    /// Accumulation epoch per slot (bumped when the slot must clear partial results).
+    epoch: Vec<u64>,
+    /// Objects that have ever been offered, with their current node (if alive).
+    ready_pool: Vec<ReduceInput>,
+    /// Objects currently assigned to a slot.
+    assigned_objects: HashMap<ObjectId, usize>,
+    /// Objects that were offered but are currently unusable (their holder failed).
+    lost_objects: HashSet<ObjectId>,
+}
+
+/// The view of a slot that the coordinator turns into a participant instruction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotView {
+    /// Slot index.
+    pub slot: usize,
+    /// Input assigned to this slot.
+    pub input: ReduceInput,
+    /// This slot's accumulation epoch.
+    pub epoch: u64,
+    /// Total number of inputs this slot combines: its own object plus one stream per
+    /// child slot (whether or not those child slots are assigned yet).
+    pub num_inputs: usize,
+    /// Parent slot owner, its slot index, and its current epoch; `None` for the root.
+    pub parent: Option<(usize, ReduceInput, u64)>,
+    /// Currently-assigned children (slot, input).
+    pub children: Vec<(usize, ReduceInput)>,
+    /// `true` when this slot is the tree root (it materializes the reduce result).
+    pub is_root: bool,
+}
+
+/// Result of feeding an event into the plan: the set of slots whose instructions must
+/// be (re-)issued to participants.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanDelta {
+    /// Slots whose instructions changed.
+    pub affected_slots: Vec<usize>,
+}
+
+impl ReduceTreePlan {
+    /// Create a plan for `num_objects` inputs using `degree` (resolved, i.e. `>= 1`).
+    pub fn new(num_objects: usize, degree: usize) -> ReduceTreePlan {
+        let shape = TreeShape::new(num_objects, degree);
+        let n = shape.len();
+        ReduceTreePlan {
+            shape,
+            assignment: vec![None; n],
+            epoch: vec![0; n],
+            ready_pool: Vec::new(),
+            assigned_objects: HashMap::new(),
+            lost_objects: HashSet::new(),
+        }
+    }
+
+    /// The underlying static shape.
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// Current assignment of a slot.
+    pub fn assignment(&self, slot: usize) -> Option<ReduceInput> {
+        self.assignment[slot]
+    }
+
+    /// Current epoch of a slot.
+    pub fn epoch(&self, slot: usize) -> u64 {
+        self.epoch[slot]
+    }
+
+    /// Number of assigned slots.
+    pub fn assigned_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// `true` once every slot has an input.
+    pub fn fully_assigned(&self) -> bool {
+        self.assigned_count() == self.shape.len()
+    }
+
+    /// Slot that materializes the final result, with its owner (if assigned).
+    pub fn root_input(&self) -> Option<ReduceInput> {
+        self.assignment[self.shape.root()]
+    }
+
+    /// Offer a ready input (an object that now has a partial or complete copy at
+    /// `node`). Returns the slots whose instructions changed. Offering an object that
+    /// is already assigned or already pooled is a no-op (duplicate directory
+    /// publications are expected).
+    pub fn offer_input(&mut self, input: ReduceInput) -> PlanDelta {
+        if self.assigned_objects.contains_key(&input.object) {
+            return PlanDelta::default();
+        }
+        self.lost_objects.remove(&input.object);
+        if let Some(existing) = self.ready_pool.iter_mut().find(|i| i.object == input.object) {
+            // The object moved (e.g. recreated on another node after recovery).
+            existing.node = input.node;
+        } else {
+            self.ready_pool.push(input);
+        }
+        self.fill_vacancies()
+    }
+
+    /// Handle the failure of `node`: vacate every slot it owned, drop it from the ready
+    /// pool, bump ancestor epochs, and refill vacancies from the pool. Returns all
+    /// affected slots (vacated ancestors and any refills).
+    pub fn on_node_failed(&mut self, node: NodeId) -> PlanDelta {
+        let mut affected = HashSet::new();
+        // Drop pooled inputs that lived on the failed node.
+        self.ready_pool.retain(|i| {
+            if i.node == node {
+                self.lost_objects.insert(i.object);
+                false
+            } else {
+                true
+            }
+        });
+        // Vacate slots owned by the failed node.
+        let vacated: Vec<usize> = self
+            .assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, a)| match a {
+                Some(input) if input.node == node => Some(slot),
+                _ => None,
+            })
+            .collect();
+        for slot in vacated {
+            let input = self.assignment[slot].take().expect("slot was assigned");
+            self.assigned_objects.remove(&input.object);
+            self.lost_objects.insert(input.object);
+            affected.insert(slot);
+            // Every ancestor clears its partial result (§3.5.2: at most log_d n nodes).
+            for anc in self.shape.ancestors(slot) {
+                self.epoch[anc] += 1;
+                affected.insert(anc);
+                // The ancestor's other children must re-send, so their instructions
+                // change too (new parent epoch).
+                for &c in &self.shape.slot(anc).children {
+                    affected.insert(c);
+                }
+            }
+            // Children of the vacated slot will need to point at the replacement owner
+            // once one is found; include them so instructions are refreshed.
+            for &c in &self.shape.slot(slot).children {
+                affected.insert(c);
+            }
+        }
+        let refill = self.fill_vacancies();
+        affected.extend(refill.affected_slots);
+        let mut affected: Vec<usize> =
+            affected.into_iter().filter(|&s| self.assignment[s].is_some()).collect();
+        affected.sort_unstable();
+        PlanDelta { affected_slots: affected }
+    }
+
+    /// Number of inputs that are known to be unusable (holder failed and not yet
+    /// recreated). The coordinator uses this to decide whether `num_objects` can still
+    /// be satisfied from the remaining source list.
+    pub fn lost_count(&self) -> usize {
+        self.lost_objects.len()
+    }
+
+    /// The view of a slot used to build its participant instruction. `None` if the slot
+    /// has no assignment yet.
+    pub fn slot_view(&self, slot: usize) -> Option<SlotView> {
+        let input = self.assignment[slot]?;
+        let shape = self.shape.slot(slot);
+        let parent = shape.parent.and_then(|p| {
+            self.assignment[p].map(|pi| (p, pi, self.epoch[p]))
+        });
+        let children = shape
+            .children
+            .iter()
+            .filter_map(|&c| self.assignment[c].map(|ci| (c, ci)))
+            .collect();
+        Some(SlotView {
+            slot,
+            input,
+            epoch: self.epoch[slot],
+            num_inputs: shape.children.len() + 1,
+            parent,
+            children,
+            is_root: shape.parent.is_none(),
+        })
+    }
+
+    /// Assign pooled inputs to vacant slots in in-order-rank order.
+    fn fill_vacancies(&mut self) -> PlanDelta {
+        let mut affected = HashSet::new();
+        for slot in 0..self.shape.len() {
+            if self.assignment[slot].is_some() {
+                continue;
+            }
+            let Some(next) = self.next_pooled() else { break };
+            self.assignment[slot] = Some(next);
+            self.assigned_objects.insert(next.object, slot);
+            affected.insert(slot);
+            // The parent and the already-assigned children see a new counterpart.
+            if let Some(p) = self.shape.slot(slot).parent {
+                if self.assignment[p].is_some() {
+                    affected.insert(p);
+                }
+            }
+            for &c in &self.shape.slot(slot).children {
+                if self.assignment[c].is_some() {
+                    affected.insert(c);
+                }
+            }
+        }
+        let mut affected: Vec<usize> = affected.into_iter().collect();
+        affected.sort_unstable();
+        PlanDelta { affected_slots: affected }
+    }
+
+    fn next_pooled(&mut self) -> Option<ReduceInput> {
+        if self.ready_pool.is_empty() {
+            None
+        } else {
+            Some(self.ready_pool.remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(i: u32) -> ReduceInput {
+        ReduceInput { object: ObjectId::from_name(&format!("obj-{i}")), node: NodeId(i) }
+    }
+
+    #[test]
+    fn chain_shape_in_order() {
+        // d = 1: slot k's parent is slot k + 1; the root is the last slot.
+        let shape = TreeShape::new(5, 1);
+        assert_eq!(shape.root(), 4);
+        for k in 0..4 {
+            assert_eq!(shape.slot(k).parent, Some(k + 1));
+        }
+        assert_eq!(shape.slot(4).parent, None);
+        assert_eq!(shape.height(), 4);
+    }
+
+    #[test]
+    fn star_shape_in_order() {
+        // d >= n: the root is the *second* arrival (first child subtree is traversed
+        // before the root in generalized in-order traversal).
+        let shape = TreeShape::new(6, 6);
+        assert_eq!(shape.root(), 1);
+        assert_eq!(shape.slot(1).children.len(), 5);
+        assert_eq!(shape.height(), 1);
+    }
+
+    #[test]
+    fn binary_tree_of_six_matches_paper_figure() {
+        // Figure 5a: arrivals R1..R6; R2 reduces {R1, R2, R3}; the root is R4; R6
+        // reduces {R5, R6}.
+        let shape = TreeShape::new(6, 2);
+        assert_eq!(shape.root(), 3, "R4 (index 3) is the root");
+        let root = shape.slot(3);
+        assert_eq!(root.children, vec![1, 5]);
+        assert_eq!(shape.slot(1).children, vec![0, 2]);
+        assert_eq!(shape.slot(5).children, vec![4]);
+        assert_eq!(shape.ancestors(1), vec![3]);
+        assert_eq!(shape.ancestors(0), vec![1, 3]);
+    }
+
+    #[test]
+    fn every_slot_has_at_most_degree_children() {
+        for n in 1..40 {
+            for d in [1usize, 2, 3, 4, 7, n.max(1)] {
+                let shape = TreeShape::new(n, d);
+                assert_eq!(shape.len(), n);
+                let mut seen_children = 0;
+                for s in shape.slots() {
+                    assert!(s.children.len() <= d.max(1));
+                    seen_children += s.children.len();
+                    for &c in &s.children {
+                        assert_eq!(shape.slot(c).parent, Some(s.index));
+                    }
+                }
+                assert_eq!(seen_children, n - 1, "every non-root slot has a parent");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_follows_arrival_order() {
+        let mut plan = ReduceTreePlan::new(6, 2);
+        for i in 0..6 {
+            let delta = plan.offer_input(input(i));
+            assert!(delta.affected_slots.contains(&(i as usize)));
+        }
+        assert!(plan.fully_assigned());
+        // Slot k is owned by the k-th arrival.
+        for k in 0..6 {
+            assert_eq!(plan.assignment(k).unwrap().node, NodeId(k as u32));
+        }
+        assert_eq!(plan.root_input().unwrap().node, NodeId(3));
+    }
+
+    #[test]
+    fn duplicate_offers_are_ignored() {
+        let mut plan = ReduceTreePlan::new(3, 2);
+        plan.offer_input(input(0));
+        let delta = plan.offer_input(input(0));
+        assert!(delta.affected_slots.is_empty());
+        assert_eq!(plan.assigned_count(), 1);
+    }
+
+    #[test]
+    fn subset_reduce_takes_first_arrivals() {
+        // Reduce 3 out of 5 offered objects: only the first three get slots.
+        let mut plan = ReduceTreePlan::new(3, 2);
+        for i in 0..5 {
+            plan.offer_input(input(i));
+        }
+        assert!(plan.fully_assigned());
+        let assigned: Vec<NodeId> = (0..3).map(|k| plan.assignment(k).unwrap().node).collect();
+        assert_eq!(assigned, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn failure_vacates_bumps_ancestors_and_refills() {
+        // Mirror of Figure 5b: R2 (slot 1) fails, R7 replaces it, ancestors clear.
+        let mut plan = ReduceTreePlan::new(6, 2);
+        for i in 0..6 {
+            plan.offer_input(input(i));
+        }
+        let root_epoch_before = plan.epoch(3);
+        let delta = plan.on_node_failed(NodeId(1));
+        // Slot 1 is vacated; no replacement is available yet.
+        assert_eq!(plan.assignment(1), None);
+        assert_eq!(plan.epoch(3), root_epoch_before + 1, "the root clears its result");
+        assert_eq!(plan.epoch(5), 0, "the sibling subtree is untouched");
+        assert!(delta.affected_slots.contains(&3));
+        // R7 arrives and takes the vacated slot.
+        let delta = plan.offer_input(input(7));
+        assert!(delta.affected_slots.contains(&1));
+        assert_eq!(plan.assignment(1).unwrap().node, NodeId(7));
+        assert!(plan.fully_assigned());
+    }
+
+    #[test]
+    fn recovered_object_can_rejoin() {
+        let mut plan = ReduceTreePlan::new(3, 2);
+        for i in 0..3 {
+            plan.offer_input(input(i));
+        }
+        plan.on_node_failed(NodeId(0));
+        assert_eq!(plan.lost_count(), 1);
+        // The failed object is recreated on another node and rejoins the same slot.
+        let rejoined = ReduceInput { object: input(0).object, node: NodeId(9) };
+        let delta = plan.offer_input(rejoined);
+        assert!(delta.affected_slots.contains(&0));
+        assert_eq!(plan.assignment(0).unwrap().node, NodeId(9));
+        assert_eq!(plan.lost_count(), 0);
+    }
+
+    #[test]
+    fn slot_view_reports_parent_and_children() {
+        let mut plan = ReduceTreePlan::new(6, 2);
+        for i in 0..4 {
+            plan.offer_input(input(i));
+        }
+        let v = plan.slot_view(1).unwrap();
+        assert_eq!(v.num_inputs, 3);
+        assert!(!v.is_root);
+        assert_eq!(v.parent.unwrap().0, 3);
+        assert_eq!(v.children.len(), 2);
+        let root = plan.slot_view(3).unwrap();
+        assert!(root.is_root);
+        assert_eq!(root.parent, None);
+        // Slot 5 is unassigned so far.
+        assert!(plan.slot_view(5).is_none());
+        assert_eq!(root.children.len(), 1, "only the assigned child is listed");
+    }
+
+    #[test]
+    fn failure_of_pooled_input_is_tracked() {
+        let mut plan = ReduceTreePlan::new(2, 2);
+        plan.offer_input(input(0));
+        plan.offer_input(input(1));
+        plan.offer_input(input(2)); // pooled, unassigned
+        plan.on_node_failed(NodeId(2));
+        assert_eq!(plan.lost_count(), 1);
+        assert!(plan.fully_assigned());
+    }
+}

@@ -1,0 +1,79 @@
+//! Network and cluster configuration for the simulator.
+
+use crate::time::SimDuration;
+
+/// Characteristics of the simulated cluster network.
+///
+/// The model matches the paper's testbed assumptions (§5, §6): a uniform, full-duplex
+/// network where every node has the same NIC bandwidth, plus a fixed one-way
+/// propagation/RPC latency. Messages below [`NetworkConfig::control_cutoff`] bytes are
+/// treated as control RPCs: they only pay latency (plus a per-byte cost folded into the
+/// latency constant), which mirrors how small gRPC messages interleave with bulk TCP
+/// traffic at packet granularity on a real network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// Per-node NIC bandwidth, bytes/second, applied independently to the transmit and
+    /// receive directions (full duplex).
+    pub bandwidth: f64,
+    /// One-way latency between two distinct nodes.
+    pub latency: SimDuration,
+    /// Latency of a node messaging itself (directory shard co-located with a client).
+    pub loopback_latency: SimDuration,
+    /// Messages at or below this size bypass NIC queuing and only pay latency.
+    pub control_cutoff: u64,
+    /// How long after a node fails the remaining nodes learn about it. The paper
+    /// measures 0.74 s for Hoplite's socket-liveness detection (§5.5).
+    pub failure_detection_delay: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::paper_testbed()
+    }
+}
+
+impl NetworkConfig {
+    /// The paper's testbed: 16 × m5.4xlarge with 10 Gbps networking and ~85 µs one-way
+    /// latency (the measured 167–177 µs directory round trips include request +
+    /// response plus service time).
+    pub fn paper_testbed() -> Self {
+        NetworkConfig {
+            bandwidth: 1.25e9,
+            latency: SimDuration::from_micros(85),
+            loopback_latency: SimDuration::from_micros(2),
+            control_cutoff: 4096,
+            failure_detection_delay: SimDuration::from_millis(740),
+        }
+    }
+
+    /// A slower network, useful in tests to magnify bandwidth effects.
+    pub fn slow(bandwidth: f64, latency: SimDuration) -> Self {
+        NetworkConfig { bandwidth, latency, ..NetworkConfig::paper_testbed() }
+    }
+
+    /// Time to serialize `bytes` onto (or off) a NIC.
+    pub fn serialization_delay(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_values() {
+        let cfg = NetworkConfig::paper_testbed();
+        assert_eq!(cfg.bandwidth, 1.25e9);
+        assert!(cfg.latency.as_secs_f64() < 1e-3);
+    }
+
+    #[test]
+    fn serialization_delay_scales_linearly() {
+        let cfg = NetworkConfig { bandwidth: 1e9, ..NetworkConfig::paper_testbed() };
+        let one_mb = cfg.serialization_delay(1_000_000);
+        assert!((one_mb.as_secs_f64() - 1e-3).abs() < 1e-9);
+        let two_mb = cfg.serialization_delay(2_000_000);
+        assert_eq!(two_mb.as_nanos(), 2 * one_mb.as_nanos());
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-node NIC model: full-duplex serialization queues.
+//!
+//! Every node has a transmit queue and a receive queue, each draining at the configured
+//! bandwidth. A message first serializes through the sender's transmit queue, then
+//! crosses the network (propagation latency), then serializes through the receiver's
+//! receive queue. This simple FIFO model captures the three effects the paper's
+//! evaluation depends on:
+//!
+//! * a node sending the same object to `n` receivers is limited by its uplink
+//!   (`n·S/B`), which is what makes naive broadcast slow;
+//! * a node receiving from `n` senders is limited by its downlink, which is what makes
+//!   naive gather/reduce slow;
+//! * a chain of transfers pipelines: while block `k+1` serializes at the sender, block
+//!   `k` can serialize at the receiver, so a relay adds only per-block latency.
+
+use crate::config::NetworkConfig;
+use crate::time::SimTime;
+#[cfg(test)]
+use crate::time::SimDuration;
+
+/// One direction (transmit or receive) of a NIC.
+#[derive(Clone, Debug, Default)]
+pub struct NicQueue {
+    busy_until: SimTime,
+    bytes_total: u64,
+}
+
+impl NicQueue {
+    /// Schedule `bytes` through the queue starting no earlier than `now`; returns the
+    /// time at which the last byte has passed through.
+    pub fn enqueue(&mut self, now: SimTime, bytes: u64, cfg: &NetworkConfig) -> SimTime {
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let finish = start + cfg.serialization_delay(bytes);
+        self.busy_until = finish;
+        self.bytes_total += bytes;
+        finish
+    }
+
+    /// Total bytes that have passed through this queue.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// When the queue drains, given no further arrivals.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+/// The full-duplex NIC of one node.
+#[derive(Clone, Debug, Default)]
+pub struct Nic {
+    /// Transmit direction.
+    pub tx: NicQueue,
+    /// Receive direction.
+    pub rx: NicQueue,
+}
+
+impl Nic {
+    /// Reset the NIC (used when a node recovers from a failure).
+    pub fn reset(&mut self) {
+        self.tx = NicQueue::default();
+        self.rx = NicQueue::default();
+    }
+}
+
+/// Compute when a message leaves the sender's NIC and when it arrives at the receiver's
+/// NIC input, for a bulk message sent at `now`.
+pub fn tx_and_propagate(
+    nic: &mut Nic,
+    now: SimTime,
+    bytes: u64,
+    cfg: &NetworkConfig,
+) -> (SimTime, SimTime) {
+    let tx_done = nic.tx.enqueue(now, bytes, cfg);
+    (tx_done, tx_done + cfg.latency)
+}
+
+/// Compute when an arriving message finishes serializing into the receiver.
+pub fn rx_deliver(nic: &mut Nic, arrival: SimTime, bytes: u64, cfg: &NetworkConfig) -> SimTime {
+    nic.rx.enqueue(arrival, bytes, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig { bandwidth: 1e9, latency: SimDuration::from_micros(100), ..Default::default() }
+    }
+
+    #[test]
+    fn queue_serializes_back_to_back() {
+        let cfg = cfg();
+        let mut q = NicQueue::default();
+        let first = q.enqueue(SimTime::ZERO, 1_000_000, &cfg); // 1 ms
+        let second = q.enqueue(SimTime::ZERO, 1_000_000, &cfg); // queued behind: 2 ms
+        assert_eq!(first.as_nanos(), 1_000_000);
+        assert_eq!(second.as_nanos(), 2_000_000);
+        assert_eq!(q.bytes_total(), 2_000_000);
+    }
+
+    #[test]
+    fn idle_queue_starts_at_now() {
+        let cfg = cfg();
+        let mut q = NicQueue::default();
+        q.enqueue(SimTime::ZERO, 1_000, &cfg);
+        let later = q.enqueue(SimTime(10_000_000), 1_000, &cfg);
+        assert_eq!(later.as_nanos(), 10_000_000 + 1_000);
+    }
+
+    #[test]
+    fn tx_rx_pipeline_adds_latency_once_per_hop() {
+        let cfg = cfg();
+        let mut a = Nic::default();
+        let mut b = Nic::default();
+        let (tx_done, arrival) = tx_and_propagate(&mut a, SimTime::ZERO, 1_000_000, &cfg);
+        let delivered = rx_deliver(&mut b, arrival, 1_000_000, &cfg);
+        assert_eq!(tx_done.as_nanos(), 1_000_000);
+        assert_eq!(arrival.as_nanos(), 1_100_000);
+        assert_eq!(delivered.as_nanos(), 2_100_000);
+    }
+
+    #[test]
+    fn incast_is_limited_by_receiver_downlink() {
+        let cfg = cfg();
+        let mut receiver = Nic::default();
+        // Four senders each deliver 1 MB arriving at the same instant.
+        let mut last = SimTime::ZERO;
+        for _ in 0..4 {
+            last = rx_deliver(&mut receiver, SimTime(100), 1_000_000, &cfg);
+        }
+        assert_eq!(last.as_nanos(), 100 + 4_000_000);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hoplite-task
+//!
+//! A miniature task-based distributed framework ("mini-Ray") layered on a real
+//! [`hoplite_cluster::LocalCluster`]. It provides the substrate the paper assumes from
+//! Ray (§2.1):
+//!
+//! * **dynamic tasks** — closures registered by name and invoked at runtime, returning
+//!   an [`ObjectRef`] *future* immediately;
+//! * **object futures** — task arguments may be `ObjectRef`s of results that do not
+//!   exist yet; the worker blocks on the Hoplite object store until they do;
+//! * **a scheduler** — tasks are placed round-robin across nodes (the paper's point is
+//!   that placement is *not* known in advance, which is exactly what defeats static
+//!   collective schedules);
+//! * **lineage-based reconstruction** — every task's specification is recorded, so a
+//!   lost object can be recomputed after a worker failure, letting the failed
+//!   participant rejoin an ongoing collective (§3.5).
+//!
+//! Objects put through this layer live in the Hoplite object store, so collective
+//! communication (broadcast via `get`, `reduce` via [`TaskSystem::reduce`]) is
+//! available to tasks with no extra plumbing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod system;
+
+pub use system::{ObjectRef, TaskError, TaskSystem};

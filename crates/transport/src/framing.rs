@@ -1,0 +1,300 @@
+//! Wire framing for the real transports.
+//!
+//! The paper's implementation splits traffic into a gRPC control plane and a raw-TCP
+//! data plane (§4). We mirror that split inside a single framed stream: bulk messages
+//! (`PushBlock`, `ReduceBlock`) are encoded with a compact fixed binary header followed
+//! by the raw payload bytes, while every other (small, infrequent) control message is
+//! encoded as JSON. Each frame is length-prefixed.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! +----------------+--------+----------------------------+
+//! | length: u32 BE | tag u8 | body (length - 1 bytes)    |
+//! +----------------+--------+----------------------------+
+//! tag 0 = JSON control message
+//! tag 1 = PushBlock     (binary)
+//! tag 2 = ReduceBlock   (binary)
+//! ```
+
+use bytes::Bytes;
+use hoplite_core::prelude::*;
+// The core prelude exports its own single-parameter `Result` alias; framing uses the
+// standard two-parameter form.
+use std::result::Result;
+
+/// Errors produced while encoding or decoding frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The frame is shorter than its header or otherwise malformed.
+    Malformed(String),
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Json(m) => write!(f, "json frame error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const TAG_JSON: u8 = 0;
+const TAG_PUSH_BLOCK: u8 = 1;
+const TAG_REDUCE_BLOCK: u8 = 2;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> Result<u64, FrameError> {
+    buf.get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_be_bytes)
+        .ok_or_else(|| FrameError::Malformed("truncated u64".into()))
+}
+
+fn encode_payload(out: &mut Vec<u8>, payload: &Payload) {
+    match payload {
+        Payload::Bytes(b) => {
+            out.push(0);
+            put_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Payload::Synthetic { len } => {
+            out.push(1);
+            put_u64(out, *len);
+        }
+    }
+}
+
+fn decode_payload(buf: &[u8], at: usize) -> Result<(Payload, usize), FrameError> {
+    let kind = *buf.get(at).ok_or_else(|| FrameError::Malformed("missing payload kind".into()))?;
+    let len = get_u64(buf, at + 1)? as usize;
+    match kind {
+        0 => {
+            let start = at + 9;
+            let data = buf
+                .get(start..start + len)
+                .ok_or_else(|| FrameError::Malformed("truncated payload".into()))?;
+            Ok((Payload::Bytes(Bytes::copy_from_slice(data)), start + len))
+        }
+        1 => Ok((Payload::synthetic(len as u64), at + 9)),
+        other => Err(FrameError::Malformed(format!("unknown payload kind {other}"))),
+    }
+}
+
+/// Encode a message body (without the outer length prefix).
+pub fn encode_body(msg: &Message) -> Result<Vec<u8>, FrameError> {
+    let mut out = Vec::new();
+    match msg {
+        Message::PushBlock { object, offset, total_size, payload, complete } => {
+            out.push(TAG_PUSH_BLOCK);
+            out.extend_from_slice(&object.0);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *total_size);
+            out.push(u8::from(*complete));
+            encode_payload(&mut out, payload);
+        }
+        Message::ReduceBlock {
+            target,
+            to_slot,
+            from_slot,
+            parent_epoch,
+            block_index,
+            object_size,
+            payload,
+        } => {
+            out.push(TAG_REDUCE_BLOCK);
+            out.extend_from_slice(&target.0);
+            put_u64(&mut out, *to_slot as u64);
+            put_u64(&mut out, *from_slot as u64);
+            put_u64(&mut out, *parent_epoch);
+            put_u64(&mut out, *block_index);
+            put_u64(&mut out, *object_size);
+            encode_payload(&mut out, payload);
+        }
+        other => {
+            out.push(TAG_JSON);
+            let json = serde_json::to_vec(other).map_err(|e| FrameError::Json(e.to_string()))?;
+            out.extend_from_slice(&json);
+        }
+    }
+    Ok(out)
+}
+
+/// Decode a message body produced by [`encode_body`].
+pub fn decode_body(buf: &[u8]) -> Result<Message, FrameError> {
+    let tag = *buf.first().ok_or_else(|| FrameError::Malformed("empty frame".into()))?;
+    match tag {
+        TAG_JSON => serde_json::from_slice(&buf[1..]).map_err(|e| FrameError::Json(e.to_string())),
+        TAG_PUSH_BLOCK => {
+            let mut object = [0u8; 16];
+            object.copy_from_slice(
+                buf.get(1..17).ok_or_else(|| FrameError::Malformed("truncated object id".into()))?,
+            );
+            let offset = get_u64(buf, 17)?;
+            let total_size = get_u64(buf, 25)?;
+            let complete = *buf
+                .get(33)
+                .ok_or_else(|| FrameError::Malformed("truncated complete flag".into()))?
+                != 0;
+            let (payload, _) = decode_payload(buf, 34)?;
+            Ok(Message::PushBlock {
+                object: ObjectId(object),
+                offset,
+                total_size,
+                payload,
+                complete,
+            })
+        }
+        TAG_REDUCE_BLOCK => {
+            let mut target = [0u8; 16];
+            target.copy_from_slice(
+                buf.get(1..17).ok_or_else(|| FrameError::Malformed("truncated target id".into()))?,
+            );
+            let to_slot = get_u64(buf, 17)? as usize;
+            let from_slot = get_u64(buf, 25)? as usize;
+            let parent_epoch = get_u64(buf, 33)?;
+            let block_index = get_u64(buf, 41)?;
+            let object_size = get_u64(buf, 49)?;
+            let (payload, _) = decode_payload(buf, 57)?;
+            Ok(Message::ReduceBlock {
+                target: ObjectId(target),
+                to_slot,
+                from_slot,
+                parent_epoch,
+                block_index,
+                object_size,
+                payload,
+            })
+        }
+        other => Err(FrameError::Malformed(format!("unknown frame tag {other}"))),
+    }
+}
+
+/// Encode a whole frame: `u32` big-endian length followed by the body.
+pub fn encode_frame(msg: &Message) -> Result<Vec<u8>, FrameError> {
+    let body = encode_body(msg)?;
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Write a framed message to a writer.
+pub fn write_frame<W: std::io::Write>(w: &mut W, msg: &Message) -> std::io::Result<()> {
+    let frame = encode_frame(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(&frame)
+}
+
+/// Read one framed message from a reader.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Message> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    decode_body(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoplite_core::reduce::ReduceSpec;
+
+    fn roundtrip(msg: Message) {
+        let body = encode_body(&msg).unwrap();
+        let decoded = decode_body(&body).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn push_block_roundtrip() {
+        roundtrip(Message::PushBlock {
+            object: ObjectId::from_name("x"),
+            offset: 12345,
+            total_size: 99999,
+            payload: Payload::from_vec((0..255).collect()),
+            complete: true,
+        });
+    }
+
+    #[test]
+    fn reduce_block_roundtrip() {
+        roundtrip(Message::ReduceBlock {
+            target: ObjectId::from_name("t"),
+            to_slot: 3,
+            from_slot: 9,
+            parent_epoch: 2,
+            block_index: 7,
+            object_size: 4096,
+            payload: Payload::from_f32s(&[1.0, -2.0, 3.5]),
+        });
+    }
+
+    #[test]
+    fn synthetic_payload_roundtrip() {
+        roundtrip(Message::PushBlock {
+            object: ObjectId::from_name("s"),
+            offset: 0,
+            total_size: 10,
+            payload: Payload::synthetic(10),
+            complete: false,
+        });
+    }
+
+    #[test]
+    fn control_messages_roundtrip_via_json() {
+        roundtrip(Message::DirQuery {
+            object: ObjectId::from_name("q"),
+            requester: NodeId(4),
+            query_id: 77,
+            exclude: vec![NodeId(1), NodeId(2)],
+        });
+        roundtrip(Message::DirRegister {
+            object: ObjectId::from_name("r"),
+            holder: NodeId(0),
+            status: ObjectStatus::Partial,
+            size: 123,
+        });
+        roundtrip(Message::ReduceDone { target: ObjectId::from_name("d"), root: NodeId(3) });
+        let _ = ReduceSpec::sum_f32();
+    }
+
+    #[test]
+    fn stream_roundtrip_through_a_buffer() {
+        let messages = vec![
+            Message::DirDelete { object: ObjectId::from_name("a") },
+            Message::PushBlock {
+                object: ObjectId::from_name("b"),
+                offset: 4,
+                total_size: 8,
+                payload: Payload::from_vec(vec![9, 9, 9, 9]),
+                complete: true,
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &messages {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &messages {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        assert!(decode_body(&[]).is_err());
+        assert!(decode_body(&[42]).is_err());
+        assert!(decode_body(&[TAG_PUSH_BLOCK, 1, 2]).is_err());
+        assert!(decode_body(&[TAG_JSON, b'{']).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Localhost TCP fabric.
+//!
+//! Each node listens on an ephemeral `127.0.0.1` port. Senders open (and cache) one TCP
+//! connection per destination; the first frame on a connection is a hello that carries
+//! the sender's node id, after which framed [`Message`]s flow. A reader thread per
+//! accepted connection decodes frames and pushes them onto the destination node's
+//! receive queue, preserving per-sender FIFO order exactly like the in-process fabric.
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use hoplite_core::prelude::*;
+use parking_lot::Mutex;
+
+use crate::fabric::{Fabric, FabricSender};
+use crate::framing::{read_frame, write_frame};
+
+/// Hello message: the sender announces its node id as a `DirUnregister` frame with a
+/// reserved object id (a tiny hack that avoids a second frame format).
+fn hello_object() -> ObjectId {
+    ObjectId::from_name("__hoplite_tcp_hello__")
+}
+
+/// A TCP-backed fabric for `n` co-hosted (or genuinely remote) nodes.
+pub struct TcpFabric {
+    addrs: Arc<Vec<SocketAddr>>,
+    receivers: Vec<Option<Receiver<(NodeId, Message)>>>,
+    _listeners: Vec<thread::JoinHandle<()>>,
+}
+
+/// Sender half of [`TcpFabric`].
+#[derive(Clone)]
+pub struct TcpFabricSender {
+    addrs: Arc<Vec<SocketAddr>>,
+    connections: Arc<Mutex<HashMap<(u32, u32), Arc<Mutex<BufWriter<TcpStream>>>>>>,
+}
+
+impl TcpFabric {
+    /// Bind `n` listeners on localhost and start their accept loops.
+    pub fn new(n: usize) -> std::io::Result<Self> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        let mut accept_threads = Vec::new();
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let (tx, rx) = unbounded();
+            receivers.push(Some(rx));
+            listeners.push((listener, tx));
+        }
+        for (listener, tx) in listeners {
+            accept_threads.push(thread::spawn(move || accept_loop(listener, tx)));
+        }
+        Ok(TcpFabric { addrs: Arc::new(addrs), receivers, _listeners: accept_threads })
+    }
+
+    /// Addresses of every node's listener (diagnostics).
+    pub fn addresses(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<(NodeId, Message)>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { return };
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let mut stream = stream;
+            // First frame identifies the peer.
+            let Ok(hello) = read_frame(&mut stream) else { return };
+            let from = match hello {
+                Message::DirUnregister { object, holder } if object == hello_object() => holder,
+                _ => return,
+            };
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(msg) => {
+                        if tx.send((from, msg)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+    }
+}
+
+impl Fabric for TcpFabric {
+    type Sender = TcpFabricSender;
+
+    fn take_receiver(&mut self, node: NodeId) -> Receiver<(NodeId, Message)> {
+        self.receivers[node.index()].take().expect("receiver already taken")
+    }
+
+    fn sender(&self) -> TcpFabricSender {
+        TcpFabricSender { addrs: self.addrs.clone(), connections: Arc::new(Mutex::new(HashMap::new())) }
+    }
+}
+
+impl TcpFabricSender {
+    fn connection(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> std::io::Result<Arc<Mutex<BufWriter<TcpStream>>>> {
+        let key = (from.0, to.0);
+        if let Some(existing) = self.connections.lock().get(&key) {
+            return Ok(existing.clone());
+        }
+        let stream = TcpStream::connect(self.addrs[to.index()])?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, &Message::DirUnregister { object: hello_object(), holder: from })?;
+        use std::io::Write;
+        writer.flush()?;
+        let conn = Arc::new(Mutex::new(writer));
+        self.connections.lock().insert(key, conn.clone());
+        Ok(conn)
+    }
+}
+
+impl FabricSender for TcpFabricSender {
+    fn send(&self, from: NodeId, to: NodeId, msg: Message) {
+        let Ok(conn) = self.connection(from, to) else { return };
+        let mut writer = conn.lock();
+        use std::io::Write;
+        if write_frame(&mut *writer, &msg).is_err() || writer.flush().is_err() {
+            // Connection broke (peer died); drop it so a later send reconnects, and let
+            // the failure detector handle the rest.
+            self.connections.lock().remove(&(from.0, to.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration as StdDuration;
+
+    #[test]
+    fn tcp_fabric_delivers_messages_with_sender_identity() {
+        let mut fabric = TcpFabric::new(2).unwrap();
+        let rx = fabric.take_receiver(NodeId(1));
+        let sender = fabric.sender();
+        sender.send(
+            NodeId(0),
+            NodeId(1),
+            Message::PushBlock {
+                object: ObjectId::from_name("tcp"),
+                offset: 0,
+                total_size: 4,
+                payload: Payload::from_vec(vec![1, 2, 3, 4]),
+                complete: true,
+            },
+        );
+        let (from, msg) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!(from, NodeId(0));
+        match msg {
+            Message::PushBlock { payload, complete, .. } => {
+                assert!(complete);
+                assert_eq!(payload.as_bytes().unwrap().as_ref(), &[1, 2, 3, 4]);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_fabric_preserves_order_and_reuses_connections() {
+        let mut fabric = TcpFabric::new(2).unwrap();
+        let rx = fabric.take_receiver(NodeId(1));
+        let sender = fabric.sender();
+        for i in 0..50u64 {
+            sender.send(
+                NodeId(0),
+                NodeId(1),
+                Message::PushBlock {
+                    object: ObjectId::from_name("seq"),
+                    offset: i,
+                    total_size: 50,
+                    payload: Payload::synthetic(1),
+                    complete: false,
+                },
+            );
+        }
+        let mut expected = 0;
+        while expected < 50 {
+            let (_, msg) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+            if let Message::PushBlock { offset, .. } = msg {
+                assert_eq!(offset, expected);
+                expected += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Asynchronous SGD with a parameter server on the mini task framework (§5.2 and
+//! Figure 1 of the paper): workers produce gradients as futures, the driver reduces
+//! whichever half finishes first with Hoplite's `Reduce`, applies the update, and
+//! broadcasts the new policy implicitly by letting the next round of tasks `get` it.
+//!
+//! Run with: `cargo run --example async_sgd`
+
+use hoplite::apps::comm::CommSystem;
+use hoplite::apps::params::RESNET50;
+use hoplite::apps::workloads::async_sgd_throughput;
+use hoplite::core::prelude::*;
+use hoplite::task::TaskSystem;
+
+fn main() {
+    // ---- Part 1: a small but real run on the task framework -------------------------
+    let dim = 50_000usize;
+    let workers = 4;
+    let ts = TaskSystem::new(workers + 1, HopliteConfig::default());
+
+    // A "rollout": compute a gradient from the current policy (here: policy * 0.1).
+    ts.register("gradient", |args| {
+        let policy = args[0].to_f32s();
+        Payload::from_f32s(&policy.iter().map(|w| w * 0.1).collect::<Vec<_>>())
+    });
+
+    let mut policy: Vec<f32> = vec![1.0; dim];
+    for round in 0..3 {
+        let policy_ref = ts.put(Payload::from_f32s(&policy)).expect("put policy");
+        let grads: Vec<_> = (0..workers)
+            .map(|_| ts.submit("gradient", vec![policy_ref]).expect("submit"))
+            .collect();
+        // Reduce a *subset* (the first half to finish), exactly like Figure 1b.
+        let reduced = ts
+            .reduce(&grads, Some(workers / 2), ReduceSpec::sum_f32())
+            .expect("reduce");
+        let update = ts.get(reduced).expect("get reduced gradient").to_f32s();
+        for (w, u) in policy.iter_mut().zip(update) {
+            *w += u / (workers / 2) as f32;
+        }
+        println!("round {round}: policy[0] = {:.4}", policy[0]);
+    }
+
+    // ---- Part 2: the paper-scale throughput projection (Figure 9) -------------------
+    for system in [CommSystem::Hoplite, CommSystem::Baseline(hoplite::baselines::Baseline::RayLike)]
+    {
+        let p = async_sgd_throughput(system, 16, RESNET50);
+        println!("{:<10} 16 nodes, ResNet-50: {:8.1} samples/s", p.system, p.throughput);
+    }
+}

@@ -1,0 +1,65 @@
+//! Ensemble model serving (§5.4): every query is broadcast to all model replicas, each
+//! replica classifies the batch, and the results are gathered for a majority vote.
+//!
+//! Run with: `cargo run --example model_serving`
+
+use hoplite::apps::comm::CommSystem;
+use hoplite::apps::workloads::serving_throughput;
+use hoplite::baselines::Baseline;
+use hoplite::core::prelude::*;
+use hoplite::task::TaskSystem;
+
+fn main() {
+    // ---- Part 1: a real ensemble on the task framework ------------------------------
+    let replicas = 4;
+    let ts = TaskSystem::new(replicas, HopliteConfig::default());
+
+    // Each "model" classifies by thresholding at a different value, so they disagree
+    // and the majority vote matters.
+    ts.register("classify", |args| {
+        let threshold = args[0].to_f32s()[0];
+        let pixels = args[1].to_f32s();
+        let votes: Vec<f32> =
+            pixels.chunks(64).map(|img| {
+                let mean = img.iter().sum::<f32>() / img.len() as f32;
+                if mean > threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Payload::from_f32s(&votes)
+    });
+
+    // One query: a batch of 32 tiny "images".
+    let query: Vec<f32> = (0..32 * 64).map(|i| (i % 97) as f32 / 97.0).collect();
+    let query_ref = ts.put(Payload::from_f32s(&query)).expect("put query");
+
+    let outputs: Vec<_> = (0..replicas)
+        .map(|r| {
+            let threshold = ts.put(Payload::from_f32s(&[0.3 + 0.1 * r as f32])).expect("put");
+            ts.submit("classify", vec![threshold, query_ref]).expect("submit")
+        })
+        .collect();
+
+    // Majority vote across the ensemble.
+    let mut tallies = vec![0u32; 32];
+    for out in &outputs {
+        for (i, v) in ts.get(*out).expect("get votes").to_f32s().iter().enumerate() {
+            if *v > 0.5 {
+                tallies[i] += 1;
+            }
+        }
+    }
+    let positives = tallies.iter().filter(|&&t| t * 2 > replicas as u32).count();
+    println!("ensemble of {replicas} models: {positives}/32 images classified positive");
+
+    // ---- Part 2: the paper-scale throughput projection (Figure 11) ------------------
+    for system in [CommSystem::Hoplite, CommSystem::Baseline(Baseline::RayLike)] {
+        for nodes in [8usize, 16] {
+            let p = serving_throughput(system, nodes);
+            println!("{:<10} {:>2} replicas: {:6.2} queries/s", p.system, nodes, p.throughput);
+        }
+    }
+}

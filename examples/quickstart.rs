@@ -1,0 +1,39 @@
+//! Quickstart: Put / Get / Reduce on a real (threaded) Hoplite cluster.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hoplite::cluster::LocalCluster;
+use hoplite::core::prelude::*;
+
+fn main() {
+    // Three Hoplite nodes in this process, moving real bytes over channels.
+    let cluster = LocalCluster::new(3, HopliteConfig::default());
+
+    // Node 0 creates an object; node 2 fetches it (an implicit broadcast path).
+    let weights = ObjectId::from_name("weights-round-0");
+    let values: Vec<f32> = (0..100_000).map(|i| i as f32 * 0.001).collect();
+    cluster.client(0).put(weights, Payload::from_f32s(&values)).expect("put");
+    let fetched = cluster.client(2).get(weights).expect("get");
+    println!("node 2 fetched {} bytes of weights", fetched.len());
+
+    // Every node contributes a gradient; node 0 reduces them and reads the sum.
+    let gradients: Vec<ObjectId> =
+        (0..3).map(|i| ObjectId::from_name(&format!("gradient-{i}"))).collect();
+    for (i, &g) in gradients.iter().enumerate() {
+        let grad = vec![(i + 1) as f32; 100_000];
+        cluster.client(i).put(g, Payload::from_f32s(&grad)).expect("put gradient");
+    }
+    let summed = ObjectId::from_name("gradient-sum");
+    cluster
+        .client(0)
+        .reduce(summed, gradients, None, ReduceSpec::sum_f32())
+        .expect("reduce accepted");
+    let result = cluster.client(0).get(summed).expect("reduce result");
+    let first = result.to_f32s()[0];
+    println!("sum of gradients[0] = {first} (expected 6)");
+    assert!((first - 6.0).abs() < 1e-4);
+
+    // Objects are immutable and pinned at their creator until deleted.
+    cluster.client(0).delete(weights).expect("delete");
+    println!("quickstart finished");
+}

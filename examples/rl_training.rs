@@ -1,0 +1,40 @@
+//! Reinforcement-learning training throughput (§5.3, Figure 10): the IMPALA-style
+//! samples-optimization loop broadcasts the policy to the workers that finished their
+//! rollouts; the A3C-style gradients-optimization loop also reduces their gradients.
+//!
+//! Run with: `cargo run --example rl_training`
+
+use hoplite::apps::comm::CommSystem;
+use hoplite::apps::workloads::{rl_throughput, RlAlgorithm};
+use hoplite::baselines::Baseline;
+use hoplite::cluster::scenarios::{broadcast_latency, reduce_latency, ScenarioEnv};
+
+fn main() {
+    // The communication pattern behind one RL round, measured on the simulated
+    // 16-node cluster: broadcast a 64 MB policy to the finished half of the workers,
+    // then (for A3C) reduce their 64 MB gradients.
+    let env = ScenarioEnv::paper_testbed();
+    let policy = 64 * 1024 * 1024;
+    let bcast = broadcast_latency(&env, 8, policy, 0.0);
+    let reduce = reduce_latency(&env, 8, policy, None, 0.0);
+    println!("one Hoplite round over 8 participants:");
+    println!("  policy broadcast : {:.3} s", bcast.latency_s);
+    println!("  gradient reduce  : {:.3} s", reduce.latency_s);
+
+    println!();
+    println!("projected training throughput (Figure 10):");
+    for algo in [RlAlgorithm::Impala, RlAlgorithm::A3c] {
+        for nodes in [8usize, 16] {
+            let hoplite = rl_throughput(CommSystem::Hoplite, nodes, algo);
+            let ray = rl_throughput(CommSystem::Baseline(Baseline::RayLike), nodes, algo);
+            println!(
+                "  {:<7} {:>2} nodes: Hoplite {:7.1} samples/s   Ray {:7.1} samples/s   ({:.1}x)",
+                algo.label(),
+                nodes,
+                hoplite.throughput,
+                ray.throughput,
+                hoplite.throughput / ray.throughput
+            );
+        }
+    }
+}

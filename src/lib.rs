@@ -1,0 +1,31 @@
+//! Umbrella crate for the Hoplite-RS workspace: re-exports the public APIs of every
+//! member crate so the examples and integration tests can use a single dependency.
+//!
+//! See the individual crates for documentation:
+//!
+//! * [`hoplite_core`] — the sans-IO Hoplite protocol (object store, directory,
+//!   receiver-driven broadcast, dynamic tree reduce, fault handling);
+//! * [`hoplite_simnet`] — the discrete-event cluster network simulator;
+//! * [`hoplite_transport`] — real in-process and TCP fabrics;
+//! * [`hoplite_cluster`] — simulated (`SimCluster`) and real (`LocalCluster`) drivers
+//!   plus the §5.1 measurement scenarios;
+//! * [`hoplite_baselines`] — OpenMPI/Gloo/Ray/Dask comparator models;
+//! * [`hoplite_task`] — the mini task-based framework (dynamic tasks, futures,
+//!   lineage);
+//! * [`hoplite_apps`] — the paper's application workloads (async SGD, RL, serving,
+//!   synchronous training, failure drills).
+
+pub use hoplite_apps as apps;
+pub use hoplite_baselines as baselines;
+pub use hoplite_cluster as cluster;
+pub use hoplite_simnet as simnet;
+pub use hoplite_task as task;
+pub use hoplite_transport as transport;
+
+/// Re-export of `hoplite-core` (named `core_api` to avoid clashing with `std::core`).
+pub use hoplite_core as core_api;
+/// Also available under its natural name for `hoplite::core::...` paths in examples.
+pub use hoplite_core as core;
+
+/// Re-export of the comparator enum used throughout the examples.
+pub use hoplite_baselines::Baseline;
