@@ -48,11 +48,7 @@ pub fn broadcast_failover_demo(n: usize, size: u64, fail_at_s: f64) -> FailoverR
         let start = 1.0;
         let gets: Vec<_> = (1..n)
             .map(|node| {
-                cluster.submit_at(
-                    SimTime::from_secs_f64(start),
-                    node,
-                    ClientOp::Get { object },
-                )
+                cluster.submit_at(SimTime::from_secs_f64(start), node, ClientOp::Get { object })
             })
             .collect();
         if inject {
@@ -214,13 +210,7 @@ mod tests {
         // unlike Ray whose latency visibly drops because it fans out to one fewer
         // replica.
         assert!((t[30].latency_s - normal).abs() < 0.10 * normal);
-        let ray = serving_failure_timeline(
-            CommSystem::Baseline(Baseline::RayLike),
-            8,
-            70,
-            20,
-            45,
-        );
+        let ray = serving_failure_timeline(CommSystem::Baseline(Baseline::RayLike), 8, 70, 20, 45);
         assert!(ray[30].latency_s < ray[5].latency_s, "Ray latency drops with one fewer replica");
     }
 

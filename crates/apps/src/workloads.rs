@@ -41,14 +41,10 @@ pub fn async_sgd_throughput(system: CommSystem, nodes: usize, model: ModelSpec) 
     let compute = SGD_BATCH_PER_WORKER as f64 * model.compute_per_sample_s;
     // The reducing/broadcasting group is the parameter server plus the half batch.
     let group = half + 1;
-    let round = compute + comm.reduce(group, model.size_bytes) + comm.broadcast(group, model.size_bytes);
+    let round =
+        compute + comm.reduce(group, model.size_bytes) + comm.broadcast(group, model.size_bytes);
     let throughput = workers as f64 * SGD_BATCH_PER_WORKER as f64 / round;
-    ThroughputPoint {
-        system: system.label(),
-        nodes,
-        workload: model.name.to_string(),
-        throughput,
-    }
+    ThroughputPoint { system: system.label(), nodes, workload: model.name.to_string(), throughput }
 }
 
 /// Which RL training architecture (Figure 10).
@@ -160,8 +156,8 @@ mod tests {
         // model (paper: 7.8× AlexNet, 7.0× VGG-16, 5.0× ResNet-50).
         for (model, lo, hi) in [(ALEXNET, 5.0, 11.0), (VGG16, 5.0, 10.0), (RESNET50, 3.0, 7.5)] {
             let h = async_sgd_throughput(CommSystem::Hoplite, 16, model).throughput;
-            let r = async_sgd_throughput(CommSystem::Baseline(Baseline::RayLike), 16, model)
-                .throughput;
+            let r =
+                async_sgd_throughput(CommSystem::Baseline(Baseline::RayLike), 16, model).throughput;
             let speedup = h / r;
             assert!(
                 speedup > lo && speedup < hi,
@@ -174,8 +170,8 @@ mod tests {
     #[test]
     fn figure10_shape_rl_speedups() {
         let h8 = rl_throughput(CommSystem::Hoplite, 8, RlAlgorithm::Impala).throughput;
-        let r8 =
-            rl_throughput(CommSystem::Baseline(Baseline::RayLike), 8, RlAlgorithm::Impala).throughput;
+        let r8 = rl_throughput(CommSystem::Baseline(Baseline::RayLike), 8, RlAlgorithm::Impala)
+            .throughput;
         assert!(h8 / r8 > 1.3 && h8 / r8 < 2.8, "IMPALA 8-node speedup {:.2}", h8 / r8);
 
         let h16 = rl_throughput(CommSystem::Hoplite, 16, RlAlgorithm::A3c).throughput;
@@ -205,12 +201,9 @@ mod tests {
         // Gloo (ring-chunked) ≥ Hoplite, Hoplite ≈ OpenMPI, Ray far behind.
         let model = RESNET50;
         let h = sync_training_throughput(CommSystem::Hoplite, 16, model).throughput;
-        let gloo = sync_training_throughput(
-            CommSystem::Baseline(Baseline::GlooRingChunked),
-            16,
-            model,
-        )
-        .throughput;
+        let gloo =
+            sync_training_throughput(CommSystem::Baseline(Baseline::GlooRingChunked), 16, model)
+                .throughput;
         let mpi =
             sync_training_throughput(CommSystem::Baseline(Baseline::MpiLike), 16, model).throughput;
         let ray =

@@ -77,7 +77,9 @@ impl Baseline {
         let wire = m.wire(size);
         match self {
             Baseline::Optimal => 2.0 * wire,
-            Baseline::MpiLike | Baseline::GlooBroadcast | Baseline::GlooRingChunked
+            Baseline::MpiLike
+            | Baseline::GlooBroadcast
+            | Baseline::GlooRingChunked
             | Baseline::GlooHalvingDoubling => 2.0 * (wire + m.latency),
             Baseline::RayLike => 2.0 * self.store_transfer(m, size),
             Baseline::DaskLike => 2.0 * self.store_transfer(m, size),
@@ -92,7 +94,9 @@ impl Baseline {
         let copies = 2.0 * m.copy(size);
         let control = 4.0 * m.latency;
         match self {
-            Baseline::DaskLike => ser + copies + 2.0 * m.wire(size) + control + m.scheduler_overhead,
+            Baseline::DaskLike => {
+                ser + copies + 2.0 * m.wire(size) + control + m.scheduler_overhead
+            }
             _ => ser + copies + m.wire(size) + control,
         }
     }
@@ -120,9 +124,7 @@ impl Baseline {
                 // one block per extra level of depth.
                 depth * m.latency + wire + depth * block_wire
             }
-            (Baseline::MpiLike, CollectiveKind::Gather) => {
-                m.latency + (n as f64 - 1.0) * wire
-            }
+            (Baseline::MpiLike, CollectiveKind::Gather) => m.latency + (n as f64 - 1.0) * wire,
             (Baseline::MpiLike, CollectiveKind::Reduce) => {
                 // Pipelined binary-tree reduce: every interior node receives two child
                 // streams through one downlink.
@@ -134,8 +136,8 @@ impl Baseline {
                 // in the paper's Figure 7).
                 let tree = self.collective(m, CollectiveKind::Reduce, n, size)
                     + self.collective(m, CollectiveKind::Broadcast, n, size);
-                let ring = 2.0 * (n as f64 - 1.0) / n as f64 * wire
-                    + 2.0 * (n as f64 - 1.0) * m.latency;
+                let ring =
+                    2.0 * (n as f64 - 1.0) / n as f64 * wire + 2.0 * (n as f64 - 1.0) * m.latency;
                 tree.min(ring)
             }
             // ---------------------------------------------------------------- Gloo --
@@ -296,13 +298,8 @@ mod tests {
         // the theoretical lower bound barely moves.
         let n = 16;
         let interval = 0.3;
-        let mpi = Baseline::MpiLike.collective_staggered(
-            &m(),
-            CollectiveKind::Reduce,
-            n,
-            GB,
-            interval,
-        );
+        let mpi =
+            Baseline::MpiLike.collective_staggered(&m(), CollectiveKind::Reduce, n, GB, interval);
         assert!(mpi > (n as f64 - 1.0) * interval);
         let opt =
             Baseline::Optimal.collective_staggered(&m(), CollectiveKind::Reduce, n, GB, interval);

@@ -58,5 +58,10 @@ fn bench_broadcast_chain_assignment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_register_query, bench_inline_cache, bench_broadcast_chain_assignment);
+criterion_group!(
+    benches,
+    bench_register_query,
+    bench_inline_cache,
+    bench_broadcast_chain_assignment
+);
 criterion_main!(benches);

@@ -12,8 +12,7 @@
 //! paper-vs-measured comparison for each of them.
 
 use hoplite_apps::fault::{
-    async_sgd_failure_timeline, broadcast_failover_demo, figure12_systems,
-    serving_failure_timeline,
+    async_sgd_failure_timeline, broadcast_failover_demo, figure12_systems, serving_failure_timeline,
 };
 use hoplite_apps::params::{ALEXNET, SGD_MODELS};
 use hoplite_apps::workloads::{

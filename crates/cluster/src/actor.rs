@@ -1,10 +1,14 @@
 //! The adapter that runs a [`hoplite_core::node::ObjectStoreNode`] as a simulator
-//! actor.
+//! actor, by plugging the shared [`NodeRuntime`] into the discrete-event engine: sim
+//! callbacks become [`NodeEvent`]s, and effects route through a [`DriverPort`] that
+//! speaks [`SimContext`].
 
 use std::collections::HashMap;
 
 use hoplite_core::prelude::*;
 use hoplite_simnet::prelude::*;
+
+use crate::driver::{DriverPort, NodeEvent, NodeRuntime};
 
 /// Record of one completed client operation.
 #[derive(Clone, Debug)]
@@ -17,22 +21,40 @@ pub struct Completion {
 
 /// A simulator actor hosting one Hoplite object-store node.
 pub struct HopliteActor {
-    node: ObjectStoreNode,
+    runtime: NodeRuntime,
     completions: HashMap<OpId, Vec<Completion>>,
+}
+
+/// [`DriverPort`] implementation over a simulation callback context.
+struct SimPort<'a, 'b> {
+    ctx: &'a mut SimContext<'b, Message>,
+    completions: &'a mut HashMap<OpId, Vec<Completion>>,
+}
+
+impl DriverPort for SimPort<'_, '_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let bytes = msg.wire_size();
+        self.ctx.send(to.index(), msg, bytes);
+    }
+
+    fn reply(&mut self, op: OpId, reply: ClientReply) {
+        self.completions.entry(op).or_default().push(Completion { at: self.ctx.now(), reply });
+    }
+
+    fn set_timer(&mut self, token: TimerToken, delay: Duration) {
+        self.ctx.set_timer(SimDuration::from_nanos(delay.as_nanos()), token.0);
+    }
 }
 
 impl HopliteActor {
     /// Wrap a freshly-created node.
     pub fn new(node: ObjectStoreNode) -> Self {
-        HopliteActor { node, completions: HashMap::new() }
+        HopliteActor { runtime: NodeRuntime::new(node), completions: HashMap::new() }
     }
 
     /// Submit a client operation (called from an external simulation event).
     pub fn submit(&mut self, op_id: OpId, op: ClientOp, ctx: &mut SimContext<'_, Message>) {
-        let now = Time(ctx.now().as_nanos());
-        let mut effects = Vec::new();
-        self.node.handle_client(now, op_id, op, &mut effects);
-        self.apply(effects, ctx);
+        self.drive(NodeEvent::Client { op: op_id, request: op }, ctx);
     }
 
     /// All replies recorded for an operation (most ops produce exactly one; `Reduce`
@@ -43,28 +65,13 @@ impl HopliteActor {
 
     /// The underlying node (metrics, store inspection).
     pub fn node(&self) -> &ObjectStoreNode {
-        &self.node
+        self.runtime.node()
     }
 
-    fn apply(&mut self, effects: Vec<Effect>, ctx: &mut SimContext<'_, Message>) {
-        for effect in effects {
-            match effect {
-                Effect::Send { to, msg } => {
-                    let bytes = msg.wire_size();
-                    ctx.send(to.index(), msg, bytes);
-                }
-                Effect::Reply { op, reply } => {
-                    self.completions
-                        .entry(op)
-                        .or_default()
-                        .push(Completion { at: ctx.now(), reply });
-                }
-                Effect::SetTimer { token, delay } => {
-                    ctx.set_timer(SimDuration::from_nanos(delay.as_nanos()), token.0);
-                }
-                Effect::LocalProgress { .. } => {}
-            }
-        }
+    fn drive(&mut self, event: NodeEvent, ctx: &mut SimContext<'_, Message>) {
+        let now = Time(ctx.now().as_nanos());
+        let mut port = SimPort { ctx, completions: &mut self.completions };
+        self.runtime.handle(now, event, &mut port);
     }
 }
 
@@ -72,30 +79,18 @@ impl SimActor for HopliteActor {
     type Msg = Message;
 
     fn on_message(&mut self, from: usize, msg: Message, ctx: &mut SimContext<'_, Message>) {
-        let now = Time(ctx.now().as_nanos());
-        let mut effects = Vec::new();
-        self.node.handle_message(now, NodeId(from as u32), msg, &mut effects);
-        self.apply(effects, ctx);
+        self.drive(NodeEvent::Message { from: NodeId(from as u32), msg }, ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut SimContext<'_, Message>) {
-        let now = Time(ctx.now().as_nanos());
-        let mut effects = Vec::new();
-        self.node.handle_timer(now, TimerToken(token), &mut effects);
-        self.apply(effects, ctx);
+        self.drive(NodeEvent::Timer(TimerToken(token)), ctx);
     }
 
     fn on_peer_failed(&mut self, peer: usize, ctx: &mut SimContext<'_, Message>) {
-        let now = Time(ctx.now().as_nanos());
-        let mut effects = Vec::new();
-        self.node.handle_peer_failed(now, NodeId(peer as u32), &mut effects);
-        self.apply(effects, ctx);
+        self.drive(NodeEvent::PeerFailed(NodeId(peer as u32)), ctx);
     }
 
     fn on_peer_recovered(&mut self, peer: usize, ctx: &mut SimContext<'_, Message>) {
-        let now = Time(ctx.now().as_nanos());
-        let mut effects = Vec::new();
-        self.node.handle_peer_recovered(now, NodeId(peer as u32), &mut effects);
-        self.apply(effects, ctx);
+        self.drive(NodeEvent::PeerRecovered(NodeId(peer as u32)), ctx);
     }
 }

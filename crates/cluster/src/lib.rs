@@ -11,16 +11,22 @@
 //! * [`scenarios`] — the §5.1 microbenchmark methodology (point-to-point, broadcast,
 //!   gather, reduce, allreduce, asynchronous arrivals, directory fast path) packaged as
 //!   reusable functions for the benchmark harness.
+//!
+//! Both cluster flavours drive their nodes through the shared [`driver::NodeRuntime`]:
+//! backends only implement a [`driver::DriverPort`] (how to move a message, complete a
+//! client op, and arm a timer on *their* fabric) and feed [`driver::NodeEvent`]s in.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod actor;
+pub mod driver;
 pub mod local;
 pub mod scenarios;
 pub mod sim_cluster;
 
 pub use actor::HopliteActor;
+pub use driver::{DriverPort, NodeEvent, NodeRuntime};
 pub use local::{HopliteClient, LocalCluster, LocalFabric};
 pub use scenarios::{ScenarioEnv, ScenarioResult};
 pub use sim_cluster::{OpHandle, SimCluster};

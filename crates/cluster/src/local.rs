@@ -4,17 +4,26 @@
 //! `LocalCluster` is what the examples, the task framework and the data-plane
 //! correctness tests use. It exposes a blocking client API ([`HopliteClient`]) with the
 //! paper's four calls: `Put`, `Get`, `Reduce`, `Delete` (Table 1).
+//!
+//! Each node thread drives its state machine through the shared
+//! [`NodeRuntime`](crate::driver::NodeRuntime) — the same runtime the simulator
+//! uses — over a single unified event queue: fabric messages are forwarded into it by
+//! a small pump thread, client commands and failure notices are enqueued directly, and
+//! timers are kept in a local deadline heap serviced with `recv_timeout`.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hoplite_core::prelude::*;
 use hoplite_transport::fabric::{ChannelFabric, Fabric, FabricSender};
 use hoplite_transport::tcp::TcpFabric;
+
+use crate::driver::{DriverPort, NodeEvent, NodeRuntime};
 
 /// Commands delivered to a node's event loop besides fabric messages.
 enum NodeCommand {
@@ -23,11 +32,17 @@ enum NodeCommand {
     Shutdown,
 }
 
+/// Everything a node's unified event queue can carry.
+enum LoopEvent {
+    Fabric(NodeId, Message),
+    Command(NodeCommand),
+}
+
 /// Blocking client bound to one node of a [`LocalCluster`].
 #[derive(Clone)]
 pub struct HopliteClient {
     node: NodeId,
-    commands: Sender<NodeCommand>,
+    events: Sender<LoopEvent>,
     next_op: Arc<AtomicU64>,
 }
 
@@ -42,11 +57,14 @@ impl HopliteClient {
         let op_id = OpId(self.next_op.fetch_add(1, Ordering::Relaxed));
         // A send failure means the node was shut down; the disconnected receiver will
         // surface that as an error to the caller below.
-        let _ = self.commands.send(NodeCommand::Client { op_id, op, reply: tx });
+        let _ = self.events.send(LoopEvent::Command(NodeCommand::Client { op_id, op, reply: tx }));
         rx
     }
 
-    fn wait<F: Fn(&ClientReply) -> bool>(rx: Receiver<ClientReply>, accept: F) -> Result<ClientReply> {
+    fn wait<F: Fn(&ClientReply) -> bool>(
+        rx: Receiver<ClientReply>,
+        accept: F,
+    ) -> Result<ClientReply> {
         loop {
             match rx.recv() {
                 Ok(ClientReply::Error { error }) => return Err(error),
@@ -61,19 +79,17 @@ impl HopliteClient {
 
     /// Store an object (Table 1 `Put`): blocks until the local store holds it.
     pub fn put(&self, object: ObjectId, payload: Payload) -> Result<()> {
-        Self::wait(
-            self.submit(ClientOp::Put { object, payload }),
-            |r| matches!(r, ClientReply::PutDone { .. }),
-        )
+        Self::wait(self.submit(ClientOp::Put { object, payload }), |r| {
+            matches!(r, ClientReply::PutDone { .. })
+        })
         .map(|_| ())
     }
 
     /// Fetch an object (Table 1 `Get`): blocks until a complete copy is local.
     pub fn get(&self, object: ObjectId) -> Result<Payload> {
-        match Self::wait(
-            self.submit(ClientOp::Get { object }),
-            |r| matches!(r, ClientReply::GetDone { .. }),
-        )? {
+        match Self::wait(self.submit(ClientOp::Get { object }), |r| {
+            matches!(r, ClientReply::GetDone { .. })
+        })? {
             ClientReply::GetDone { payload, .. } => Ok(payload),
             _ => unreachable!("wait() only accepts GetDone"),
         }
@@ -98,16 +114,15 @@ impl HopliteClient {
 
     /// Delete every copy of an object cluster-wide (Table 1 `Delete`).
     pub fn delete(&self, object: ObjectId) -> Result<()> {
-        Self::wait(
-            self.submit(ClientOp::Delete { object }),
-            |r| matches!(r, ClientReply::DeleteDone { .. }),
-        )
+        Self::wait(self.submit(ClientOp::Delete { object }), |r| {
+            matches!(r, ClientReply::DeleteDone { .. })
+        })
         .map(|_| ())
     }
 }
 
 struct NodeThread {
-    commands: Sender<NodeCommand>,
+    events: Sender<LoopEvent>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -149,7 +164,20 @@ impl LocalCluster {
         for id in cluster_view.nodes.clone() {
             let rx_fabric = fabric.take_receiver(id);
             let tx_fabric = fabric.sender();
-            let (cmd_tx, cmd_rx) = unbounded();
+            let (events_tx, events_rx) = unbounded();
+            // Pump fabric messages into the unified event queue; exits when either the
+            // fabric or the node loop goes away.
+            let pump_tx = events_tx.clone();
+            thread::Builder::new()
+                .name(format!("hoplite-fabric-pump-{}", id.0))
+                .spawn(move || {
+                    for (from, msg) in rx_fabric.iter() {
+                        if pump_tx.send(LoopEvent::Fabric(from, msg)).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn fabric pump thread");
             let node = ObjectStoreNode::new(
                 id,
                 cfg.clone(),
@@ -158,9 +186,9 @@ impl LocalCluster {
             );
             let handle = thread::Builder::new()
                 .name(format!("hoplite-node-{}", id.0))
-                .spawn(move || node_event_loop(node, rx_fabric, cmd_rx, tx_fabric))
+                .spawn(move || node_event_loop(node, events_rx, tx_fabric))
                 .expect("spawn node thread");
-            nodes.push(NodeThread { commands: cmd_tx, handle: Some(handle) });
+            nodes.push(NodeThread { events: events_tx, handle: Some(handle) });
         }
         LocalCluster { nodes, next_op }
     }
@@ -179,7 +207,7 @@ impl LocalCluster {
     pub fn client(&self, node: usize) -> HopliteClient {
         HopliteClient {
             node: NodeId(node as u32),
-            commands: self.nodes[node].commands.clone(),
+            events: self.nodes[node].events.clone(),
             next_op: self.next_op.clone(),
         }
     }
@@ -187,13 +215,15 @@ impl LocalCluster {
     /// Kill a node's event loop and notify every other node, as a real failure detector
     /// (socket liveness in the paper, §5.5) eventually would.
     pub fn kill_node(&mut self, node: usize) {
-        let _ = self.nodes[node].commands.send(NodeCommand::Shutdown);
+        let _ = self.nodes[node].events.send(LoopEvent::Command(NodeCommand::Shutdown));
         if let Some(handle) = self.nodes[node].handle.take() {
             let _ = handle.join();
         }
         for (i, other) in self.nodes.iter().enumerate() {
             if i != node {
-                let _ = other.commands.send(NodeCommand::PeerFailed(NodeId(node as u32)));
+                let _ = other
+                    .events
+                    .send(LoopEvent::Command(NodeCommand::PeerFailed(NodeId(node as u32))));
             }
         }
     }
@@ -202,7 +232,7 @@ impl LocalCluster {
 impl Drop for LocalCluster {
     fn drop(&mut self) {
         for node in &self.nodes {
-            let _ = node.commands.send(NodeCommand::Shutdown);
+            let _ = node.events.send(LoopEvent::Command(NodeCommand::Shutdown));
         }
         for node in &mut self.nodes {
             if let Some(handle) = node.handle.take() {
@@ -212,49 +242,93 @@ impl Drop for LocalCluster {
     }
 }
 
+/// [`DriverPort`] over a real fabric: messages go out through the fabric sender,
+/// replies to the per-op channels, and timers into the loop's deadline heap.
+struct RealPort<'a, S: FabricSender> {
+    me: NodeId,
+    fabric: &'a S,
+    pending_replies: &'a mut HashMap<OpId, Sender<ClientReply>>,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+}
+
+impl<S: FabricSender> DriverPort for RealPort<'_, S> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.fabric.send(self.me, to, msg);
+    }
+
+    fn reply(&mut self, op: OpId, reply: ClientReply) {
+        // `ReduceAccepted` is the only non-terminal reply (`ReduceComplete` follows);
+        // everything else finishes the op, so its sender can be dropped to keep the
+        // map from growing with every operation ever submitted.
+        let terminal = !matches!(reply, ClientReply::ReduceAccepted { .. });
+        if terminal {
+            if let Some(tx) = self.pending_replies.remove(&op) {
+                let _ = tx.send(reply);
+            }
+        } else if let Some(tx) = self.pending_replies.get(&op) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    fn set_timer(&mut self, token: TimerToken, delay: Duration) {
+        self.timers.push(Reverse((Instant::now() + delay.to_std(), token)));
+    }
+}
+
 fn node_event_loop<S: FabricSender>(
-    mut node: ObjectStoreNode,
-    fabric_rx: Receiver<(NodeId, Message)>,
-    cmd_rx: Receiver<NodeCommand>,
+    node: ObjectStoreNode,
+    events: Receiver<LoopEvent>,
     fabric_tx: S,
 ) {
     let epoch = Instant::now();
     let me = node.id();
+    let mut runtime = NodeRuntime::new(node);
     let mut pending_replies: HashMap<OpId, Sender<ClientReply>> = HashMap::new();
-    let now = |epoch: Instant| Time(epoch.elapsed().as_nanos() as u64);
+    let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
+    // With no timers armed, sleep in generous slices so shutdown stays responsive even
+    // if a sender leaks.
+    const IDLE_SLICE: StdDuration = StdDuration::from_secs(3600);
 
     loop {
-        let mut effects = Vec::new();
-        crossbeam_channel::select! {
-            recv(fabric_rx) -> msg => match msg {
-                Ok((from, msg)) => node.handle_message(now(epoch), from, msg, &mut effects),
-                Err(_) => return,
-            },
-            recv(cmd_rx) -> cmd => match cmd {
-                Ok(NodeCommand::Client { op_id, op, reply }) => {
-                    pending_replies.insert(op_id, reply);
-                    node.handle_client(now(epoch), op_id, op, &mut effects);
-                }
-                Ok(NodeCommand::PeerFailed(peer)) => {
-                    node.handle_peer_failed(now(epoch), peer, &mut effects);
-                }
-                Ok(NodeCommand::Shutdown) | Err(_) => return,
-            },
-        }
-        for effect in effects {
-            match effect {
-                Effect::Send { to, msg } => fabric_tx.send(me, to, msg),
-                Effect::Reply { op, reply } => {
-                    if let Some(tx) = pending_replies.get(&op) {
-                        let _ = tx.send(reply);
-                    }
-                }
-                // LocalCluster runs with pipelined puts disabled, so the core never
-                // arms timers; LocalProgress is only needed by drivers that model
-                // worker-side streaming.
-                Effect::SetTimer { .. } | Effect::LocalProgress { .. } => {}
+        // Fire every due timer first.
+        let now_wall = Instant::now();
+        while let Some(&Reverse((deadline, token))) = timers.peek() {
+            if deadline > now_wall {
+                break;
             }
+            timers.pop();
+            let now = Time(epoch.elapsed().as_nanos() as u64);
+            let mut port = RealPort {
+                me,
+                fabric: &fabric_tx,
+                pending_replies: &mut pending_replies,
+                timers: &mut timers,
+            };
+            runtime.handle(now, NodeEvent::Timer(token), &mut port);
         }
+        let timeout = timers
+            .peek()
+            .map(|&Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_SLICE);
+        let event = match events.recv_timeout(timeout) {
+            Ok(LoopEvent::Fabric(from, msg)) => NodeEvent::Message { from, msg },
+            Ok(LoopEvent::Command(NodeCommand::Client { op_id, op, reply })) => {
+                pending_replies.insert(op_id, reply);
+                NodeEvent::Client { op: op_id, request: op }
+            }
+            Ok(LoopEvent::Command(NodeCommand::PeerFailed(peer))) => NodeEvent::PeerFailed(peer),
+            Ok(LoopEvent::Command(NodeCommand::Shutdown)) => return,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let now = Time(epoch.elapsed().as_nanos() as u64);
+        let mut port = RealPort {
+            me,
+            fabric: &fabric_tx,
+            pending_replies: &mut pending_replies,
+            timers: &mut timers,
+        };
+        runtime.handle(now, event, &mut port);
     }
 }
 
@@ -275,7 +349,8 @@ mod tests {
     #[test]
     fn reduce_over_channels_produces_exact_sums() {
         let cluster = LocalCluster::new(4, HopliteConfig::small_for_tests());
-        let sources: Vec<ObjectId> = (0..4).map(|i| ObjectId::from_name(&format!("lg{i}"))).collect();
+        let sources: Vec<ObjectId> =
+            (0..4).map(|i| ObjectId::from_name(&format!("lg{i}"))).collect();
         for (i, &src) in sources.iter().enumerate() {
             let values = vec![i as f32 + 1.0; 500];
             cluster.client(i).put(src, Payload::from_f32s(&values)).unwrap();
@@ -312,5 +387,16 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(300));
         let err = cluster.client(2).get(obj);
         assert!(err.is_err(), "expected deleted-object error, got {err:?}");
+    }
+
+    #[test]
+    fn kill_node_then_survivors_keep_working() {
+        let mut cluster = LocalCluster::new(4, HopliteConfig::small_for_tests());
+        let obj = ObjectId::from_name("pre-kill");
+        cluster.client(0).put(obj, Payload::zeros(3000)).unwrap();
+        cluster.kill_node(3);
+        // The survivors still serve traffic through the shared runtime.
+        let got = cluster.client(1).get(obj).unwrap();
+        assert_eq!(got.len(), 3000);
     }
 }

@@ -76,7 +76,11 @@ pub fn p2p_rtt(env: &ScenarioEnv, size: u64) -> ScenarioResult {
     let mut cluster = env.cluster(2);
     let a = ObjectId::from_name("p2p-a");
     let b = ObjectId::from_name("p2p-b");
-    cluster.submit_at(SimTime::ZERO, 0, ClientOp::Put { object: a, payload: Payload::synthetic(size) });
+    cluster.submit_at(
+        SimTime::ZERO,
+        0,
+        ClientOp::Put { object: a, payload: Payload::synthetic(size) },
+    );
     let start = settle(&mut cluster);
     let get_a = cluster.submit_at(start, 1, ClientOp::Get { object: a });
     cluster.run();
@@ -93,11 +97,20 @@ pub fn p2p_rtt(env: &ScenarioEnv, size: u64) -> ScenarioResult {
 /// Broadcast latency (Figures 7, 8, 14): node 0 owns the object, nodes `1..n` `Get` it.
 /// Receivers arrive `interval_s` apart (0 = all at once); latency is measured from the
 /// first arrival to the last completion.
-pub fn broadcast_latency(env: &ScenarioEnv, n: usize, size: u64, interval_s: f64) -> ScenarioResult {
+pub fn broadcast_latency(
+    env: &ScenarioEnv,
+    n: usize,
+    size: u64,
+    interval_s: f64,
+) -> ScenarioResult {
     assert!(n >= 2);
     let mut cluster = env.cluster(n);
     let obj = ObjectId::from_name("bcast");
-    cluster.submit_at(SimTime::ZERO, 0, ClientOp::Put { object: obj, payload: Payload::synthetic(size) });
+    cluster.submit_at(
+        SimTime::ZERO,
+        0,
+        ClientOp::Put { object: obj, payload: Payload::synthetic(size) },
+    );
     let start = settle(&mut cluster);
     let gets: Vec<OpHandle> = (1..n)
         .map(|node| {
@@ -127,14 +140,13 @@ pub fn gather_latency(env: &ScenarioEnv, n: usize, size: u64) -> ScenarioResult 
         );
     }
     let start = settle(&mut cluster);
-    let gets: Vec<OpHandle> =
-        objects.iter().map(|&obj| cluster.submit_at(start, 0, ClientOp::Get { object: obj })).collect();
-    cluster.run();
-    let last = gets
+    let gets: Vec<OpHandle> = objects
         .iter()
-        .map(|&h| cluster.done_time(h).expect("gather get finished"))
-        .max()
-        .unwrap();
+        .map(|&obj| cluster.submit_at(start, 0, ClientOp::Get { object: obj }))
+        .collect();
+    cluster.run();
+    let last =
+        gets.iter().map(|&h| cluster.done_time(h).expect("gather get finished")).max().unwrap();
     result(&cluster, (last - start).as_secs_f64())
 }
 
@@ -166,7 +178,11 @@ pub fn reduce_latency(
         let start = SimTime::from_secs_f64(SETTLE);
         for (i, &src) in sources.iter().enumerate() {
             let at = SimTime::from_secs_f64(start.as_secs_f64() + i as f64 * interval_s);
-            cluster.submit_at(at, i, ClientOp::Put { object: src, payload: Payload::synthetic(size) });
+            cluster.submit_at(
+                at,
+                i,
+                ClientOp::Put { object: src, payload: Payload::synthetic(size) },
+            );
         }
         start
     };
@@ -212,7 +228,11 @@ pub fn allreduce_latency(
         let start = SimTime::from_secs_f64(SETTLE);
         for (i, &src) in sources.iter().enumerate() {
             let at = SimTime::from_secs_f64(start.as_secs_f64() + i as f64 * interval_s);
-            cluster.submit_at(at, i, ClientOp::Put { object: src, payload: Payload::synthetic(size) });
+            cluster.submit_at(
+                at,
+                i,
+                ClientOp::Put { object: src, payload: Payload::synthetic(size) },
+            );
         }
         start
     };
@@ -227,8 +247,9 @@ pub fn allreduce_latency(
             degree: None,
         },
     );
-    let gets: Vec<OpHandle> =
-        (0..n).map(|node| cluster.submit_at(start, node, ClientOp::Get { object: target })).collect();
+    let gets: Vec<OpHandle> = (0..n)
+        .map(|node| cluster.submit_at(start, node, ClientOp::Get { object: target }))
+        .collect();
     cluster.run();
     let last = gets
         .iter()
@@ -243,7 +264,11 @@ pub fn allreduce_latency(
 pub fn directory_fetch_latency(env: &ScenarioEnv, size: u64) -> ScenarioResult {
     let mut cluster = env.cluster(2);
     let obj = ObjectId::from_name("dir-small");
-    cluster.submit_at(SimTime::ZERO, 0, ClientOp::Put { object: obj, payload: Payload::synthetic(size) });
+    cluster.submit_at(
+        SimTime::ZERO,
+        0,
+        ClientOp::Put { object: obj, payload: Payload::synthetic(size) },
+    );
     let start = settle(&mut cluster);
     let get = cluster.submit_at(start, 1, ClientOp::Get { object: obj });
     cluster.run();

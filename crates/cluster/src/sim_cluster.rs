@@ -33,7 +33,12 @@ impl SimCluster {
             .nodes
             .iter()
             .map(|&id| {
-                HopliteActor::new(ObjectStoreNode::new(id, cfg.clone(), cluster.clone(), opts.clone()))
+                HopliteActor::new(ObjectStoreNode::new(
+                    id,
+                    cfg.clone(),
+                    cluster.clone(),
+                    opts.clone(),
+                ))
             })
             .collect();
         SimCluster { sim: Simulation::new(net, actors), next_op: 1 }
@@ -151,11 +156,7 @@ mod tests {
             0,
             ClientOp::Put { object, payload: Payload::synthetic(64 * MB) },
         );
-        let get = cluster.submit_at(
-            SimTime::from_secs_f64(0.5),
-            3,
-            ClientOp::Get { object },
-        );
+        let get = cluster.submit_at(SimTime::from_secs_f64(0.5), 3, ClientOp::Get { object });
         cluster.run();
         let put_done = cluster.done_time(put).expect("put completed");
         let get_done = cluster.done_time(get).expect("get completed");
@@ -179,15 +180,11 @@ mod tests {
             ClientOp::Put { object, payload: Payload::synthetic(64 * MB) },
         );
         let start = SimTime::from_secs_f64(0.5);
-        let gets: Vec<OpHandle> = (1..9)
-            .map(|node| cluster.submit_at(start, node, ClientOp::Get { object }))
-            .collect();
+        let gets: Vec<OpHandle> =
+            (1..9).map(|node| cluster.submit_at(start, node, ClientOp::Get { object })).collect();
         cluster.run();
-        let last = gets
-            .iter()
-            .map(|&h| cluster.done_time(h).expect("get completed"))
-            .max()
-            .unwrap();
+        let last =
+            gets.iter().map(|&h| cluster.done_time(h).expect("get completed")).max().unwrap();
         let elapsed = last.as_secs_f64() - 0.5;
         let naive = 8.0 * 64.0 * 1024.0 * 1024.0 / 1.25e9;
         assert!(

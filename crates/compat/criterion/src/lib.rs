@@ -1,0 +1,255 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the macro/API surface the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`], benchmark
+//! groups with `sample_size` / `throughput` / `bench_with_input`, and
+//! [`Bencher::iter`]. Each benchmark runs a short warm-up followed by `sample_size`
+//! timed samples and prints the mean, min, and max wall time per iteration (plus
+//! throughput when configured) in a stable one-line format that `BENCH_NOTES.md`
+//! snapshots can diff against.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, passed by `criterion_group!` into each bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.default_sample_size);
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation used to derive bytes/second rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` form.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Attach a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name), self.throughput);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// End the group (accepted for API compatibility; reporting is per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Handle through which a benchmark body times its workload.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { sample_size, samples: Vec::new() }
+    }
+
+    /// Time `routine`: a short warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: at least one run, more for very fast routines.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let first = warmup_start.elapsed();
+        if first < Duration::from_millis(1) {
+            for _ in 0..10 {
+                black_box(routine());
+            }
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            // Fast routines are batched so timer resolution does not dominate.
+            let batch = if first < Duration::from_micros(50) { 100u32 } else { 1 };
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let rate = match throughput {
+            Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+                let gib = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0 * 1024.0);
+                format!("  thrpt: {gib:8.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let meps = n as f64 / mean.as_secs_f64() / 1e6;
+                format!("  thrpt: {meps:8.3} Melem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{name:<50} time: [{} {} {}]{rate}",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main()` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; they are irrelevant here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

@@ -13,32 +13,17 @@
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// The contents (or modelled contents) of an object or of a single transferred block.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub enum Payload {
     /// Real bytes.
-    Bytes(#[serde(with = "serde_bytes_compat")] Bytes),
+    Bytes(Bytes),
     /// A length-only stand-in used by the simulator.
     Synthetic {
         /// Modelled length in bytes.
         len: u64,
     },
-}
-
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Payload {

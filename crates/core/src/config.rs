@@ -1,7 +1,5 @@
 //! Configuration of a Hoplite deployment.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Duration;
 
 /// Size thresholds and protocol parameters of a Hoplite node.
@@ -9,7 +7,7 @@ use crate::time::Duration;
 /// Defaults mirror the paper's implementation: 4 MiB pipelining blocks, a 64 KiB
 /// small-object threshold under which objects are cached inline in the object
 /// directory, and reduce degree chosen from `{1, 2, n}` (§4).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HopliteConfig {
     /// Pipelining block size in bytes. Transfers, reductions and worker↔store copies
     /// all operate at this granularity (the paper uses 4 MiB).

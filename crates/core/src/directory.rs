@@ -157,11 +157,8 @@ impl DirectoryShard {
         if let Some(entry) = self.entries.get_mut(&object) {
             entry.locations.remove(&holder);
             // Any lease the holder was granting disappears with it.
-            let receivers: Vec<NodeId> = entry
-                .pulls
-                .iter()
-                .filter_map(|(r, s)| (*s == holder).then_some(*r))
-                .collect();
+            let receivers: Vec<NodeId> =
+                entry.pulls.iter().filter_map(|(r, s)| (*s == holder).then_some(*r)).collect();
             for r in receivers {
                 entry.pulls.remove(&r);
             }

@@ -20,10 +20,15 @@
 //! | Object directory service with inline small-object cache (§3.2) | [`directory`] |
 //! | Local object store, pinning, LRU eviction (§6) | [`store`] |
 //! | Fine-grained pipelining buffers (§3.3) | [`buffer`] |
-//! | Receiver-driven broadcast, pull protocol (§3.4.1) | [`node`] |
-//! | Dynamic d-ary reduce trees and the degree model (§3.4.2, Appendix B) | [`reduce`] |
-//! | Fault-tolerant schedule adaptation (§3.5) | [`node`] + [`reduce::tree`] |
+//! | Receiver-driven broadcast, pull protocol (§3.4.1) | [`node`] (`node/broadcast.rs`) |
+//! | Dynamic d-ary reduce trees and the degree model (§3.4.2, Appendix B) | [`node`] (`node/reduce.rs`) + [`reduce`] |
+//! | Fault-tolerant schedule adaptation (§3.5) | [`node`] (`node/failure.rs`) + [`reduce::tree`] |
 //! | `Put` / `Get` / `Delete` / `Reduce` API (Table 1) | [`protocol::ClientOp`] |
+//!
+//! [`node::ObjectStoreNode`] itself is a thin facade: the broadcast, reduce, and
+//! failure engines each own their state in a `node/` submodule, communicate through a
+//! shared context, and are pumped by the driver-side `NodeRuntime` in
+//! `hoplite-cluster`.
 //!
 //! ## Quick example (two in-memory nodes, hand-driven)
 //!

@@ -1,9 +1,7 @@
 //! Per-node counters used by tests, benchmarks and the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Monotonic counters maintained by an [`crate::node::ObjectStoreNode`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeMetrics {
     /// Protocol messages sent.
     pub messages_sent: u64,

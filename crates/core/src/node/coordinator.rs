@@ -1,0 +1,196 @@
+//! The reduce *coordinator* engine (§3.4.2): grows a dynamic d-ary tree in input
+//! arrival order and keeps every participant's instruction current.
+//!
+//! The coordinator lives on the node where the client called `Reduce`. It subscribes
+//! to every source object's directory shard; each location publication offers that
+//! object to the [`ReduceTreePlan`], which assigns it the next in-order slot and
+//! reports which slots' instructions changed. The failure half of coordination — slot
+//! vacation, epoch bumps, refills — lives in [`super::failure`].
+
+use crate::error::HopliteError;
+use crate::object::{NodeId, ObjectId};
+use crate::protocol::{ClientReply, Effect, Message, OpId, ReduceInstruction, ReduceParent};
+use crate::reduce::{DegreeModel, ReduceInput, ReduceSpec, ReduceTreePlan};
+
+use super::reduce::ReduceEngine;
+use super::{trace, NodeContext};
+
+/// Coordinator state for a reduce initiated on this node.
+#[derive(Debug)]
+pub(crate) struct ReduceCoordinator {
+    pub(super) target: ObjectId,
+    /// Kept for diagnostics and future feasibility checks (`lost > len - num_objects`).
+    #[allow(dead_code)]
+    sources: Vec<ObjectId>,
+    num_objects: usize,
+    spec: ReduceSpec,
+    degree_override: Option<usize>,
+    object_size: Option<u64>,
+    pub(crate) plan: Option<ReduceTreePlan>,
+    notify_op: Option<OpId>,
+    done: bool,
+}
+
+impl ReduceEngine {
+    // -------------------------------------------------------------- coordination --
+
+    /// Start coordinating a reduce on this node (Table 1 `Reduce`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn client_reduce(
+        &mut self,
+        ctx: &mut NodeContext,
+        op_id: OpId,
+        target: ObjectId,
+        sources: Vec<ObjectId>,
+        num_objects: Option<usize>,
+        spec: ReduceSpec,
+        degree: Option<usize>,
+        out: &mut Vec<Effect>,
+    ) {
+        let n = num_objects.unwrap_or(sources.len());
+        if n == 0 || n > sources.len() || sources.is_empty() {
+            out.push(Effect::Reply {
+                op: op_id,
+                reply: ClientReply::Error {
+                    error: HopliteError::NotEnoughReduceInputs {
+                        target,
+                        requested: n,
+                        available: sources.len(),
+                    },
+                },
+            });
+            return;
+        }
+        ctx.metrics.reduces_coordinated += 1;
+        let coord = ReduceCoordinator {
+            target,
+            sources: sources.clone(),
+            num_objects: n,
+            spec,
+            degree_override: degree,
+            object_size: None,
+            plan: None,
+            notify_op: Some(op_id),
+            done: false,
+        };
+        self.coordinators.insert(target, coord);
+        // Subscribe to every source's directory shard; publications drive the dynamic
+        // tree construction in arrival order (§3.4.2).
+        for source in sources {
+            self.source_routing.entry(source).or_default().push(target);
+            let shard = ctx.shard_node(source);
+            ctx.send(shard, Message::DirSubscribe { object: source, subscriber: ctx.id }, out);
+        }
+        out.push(Effect::Reply { op: op_id, reply: ClientReply::ReduceAccepted { target } });
+    }
+
+    /// A directory publication for a subscribed source arrived: offer it to every plan
+    /// consuming it and (re-)issue the affected instructions.
+    pub(crate) fn on_dir_publish(
+        &mut self,
+        ctx: &mut NodeContext,
+        object: ObjectId,
+        holder: NodeId,
+        size: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(targets) = self.source_routing.get(&object).cloned() else { return };
+        trace!("[n{}] publish {:?} holder={:?} size={}", ctx.id.0, object, holder, size);
+        for target in targets {
+            let Some(mut coord) = self.coordinators.remove(&target) else { continue };
+            if coord.done {
+                self.coordinators.insert(target, coord);
+                continue;
+            }
+            if coord.object_size.is_none() {
+                coord.object_size = Some(size);
+            }
+            if coord.plan.is_none() {
+                let object_size = coord.object_size.expect("size just set");
+                let resolved_degree = match coord.degree_override {
+                    Some(d) => {
+                        if d == 0 || d >= coord.num_objects {
+                            coord.num_objects
+                        } else {
+                            d
+                        }
+                    }
+                    None => {
+                        let model = DegreeModel {
+                            latency: ctx.cfg.estimated_latency,
+                            bandwidth: ctx.cfg.estimated_bandwidth,
+                        };
+                        model.choose(&ctx.cfg.reduce_degrees, coord.num_objects, object_size)
+                    }
+                };
+                coord.plan = Some(ReduceTreePlan::new(coord.num_objects, resolved_degree.max(1)));
+            }
+            let delta = coord
+                .plan
+                .as_mut()
+                .expect("plan created above")
+                .offer_input(ReduceInput { object, node: holder });
+            Self::issue_instructions(ctx, &coord, &delta.affected_slots, out);
+            self.coordinators.insert(target, coord);
+        }
+    }
+
+    /// Send (or re-send) the participant instructions for the given slots.
+    pub(crate) fn issue_instructions(
+        ctx: &mut NodeContext,
+        coord: &ReduceCoordinator,
+        slots: &[usize],
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(plan) = coord.plan.as_ref() else { return };
+        let Some(object_size) = coord.object_size else { return };
+        for &slot in slots {
+            let Some(view) = plan.slot_view(slot) else { continue };
+            let instr = ReduceInstruction {
+                target: coord.target,
+                coordinator: ctx.id,
+                slot,
+                own_object: view.input.object,
+                spec: coord.spec,
+                object_size,
+                block_size: ctx.cfg.block_size,
+                num_inputs: view.num_inputs,
+                epoch: view.epoch,
+                parent: view.parent.map(|(pslot, pinput, pepoch)| ReduceParent {
+                    slot: pslot,
+                    node: pinput.node,
+                    epoch: pepoch,
+                }),
+                children: view
+                    .children
+                    .iter()
+                    .map(|(cslot, cinput)| (*cslot, cinput.node, cinput.object))
+                    .collect(),
+                is_root: view.is_root,
+                total_slots: plan.shape().len(),
+            };
+            trace!(
+                "[n{}] instr slot={} -> {:?} epoch={} parent={:?} num_inputs={}",
+                ctx.id.0,
+                slot,
+                view.input.node,
+                view.epoch,
+                instr.parent,
+                view.num_inputs
+            );
+            ctx.send(view.input.node, Message::ReduceInstruction(instr), out);
+        }
+    }
+
+    /// The root finished materializing `target`; complete the client's reduce.
+    pub(crate) fn on_reduce_done(&mut self, target: ObjectId, out: &mut Vec<Effect>) {
+        if let Some(coord) = self.coordinators.get_mut(&target) {
+            if !coord.done {
+                coord.done = true;
+                if let Some(op) = coord.notify_op {
+                    out.push(Effect::Reply { op, reply: ClientReply::ReduceComplete { target } });
+                }
+            }
+        }
+    }
+}

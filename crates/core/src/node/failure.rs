@@ -1,0 +1,109 @@
+//! Failure-adaptation rules (§3.5).
+//!
+//! Hoplite adapts in-flight collectives instead of restarting them:
+//!
+//! * **Broadcast (§3.5.1)** — a receiver whose sender failed keeps the blocks it
+//!   already has, excludes the failed sender, and re-queries the directory; the reply
+//!   points it at another (possibly partial) copy and the pull resumes from its
+//!   current watermark. The directory shard refuses assignments that would create
+//!   cyclic fetch dependencies among the survivors.
+//! * **Reduce (§3.5.2)** — the coordinator vacates every slot the failed node owned,
+//!   bumps the accumulation epoch of the slot's ancestors (at most `log_d n` of them),
+//!   and refills vacancies from the ready pool. Participants receiving a higher epoch
+//!   clear their partial accumulation; participants whose parent changed re-send their
+//!   finalized blocks from the start (re-parenting).
+//!
+//! This module hosts the facade-level orchestration plus the failure-specific methods
+//! of the broadcast and reduce engines, so every §3.5 rule lives in one place.
+
+use crate::object::{NodeId, ObjectId};
+use crate::protocol::Effect;
+use crate::time::Time;
+
+use super::broadcast::BroadcastEngine;
+use super::reduce::ReduceEngine;
+use super::{NodeContext, ObjectStoreNode};
+
+impl ObjectStoreNode {
+    /// Facade-level handling of a peer failure: purge directory state, stop serving
+    /// the failed node, fail over in-flight pulls, and repair reduce trees.
+    pub(crate) fn peer_failed_impl(&mut self, now: Time, peer: NodeId, out: &mut Vec<Effect>) {
+        if peer == self.ctx.id {
+            return;
+        }
+        // Directory shard forgets everything about the failed node.
+        self.shard.node_failed(peer);
+        // Stop serving transfers destined to it.
+        self.broadcast.drop_transfers_to(peer);
+        // Broadcast receivers that were pulling from it fail over (§3.5.1).
+        for object in self.broadcast.pulls_from(peer) {
+            self.ctx.metrics.broadcast_failovers += 1;
+            self.broadcast.restart_get(&mut self.ctx, now, object, Some(peer), out);
+        }
+        // Reduce coordinators repair their trees (§3.5.2).
+        self.reduce.on_peer_failed(&mut self.ctx, peer, out);
+    }
+}
+
+impl BroadcastEngine {
+    /// Restart a `Get` after its sender became unusable: remember the exclusion and
+    /// re-query the directory. Data below the current watermark is kept; the next pull
+    /// resumes from it (§3.5.1).
+    pub(crate) fn restart_get(
+        &mut self,
+        ctx: &mut NodeContext,
+        now: Time,
+        object: ObjectId,
+        failed_sender: Option<NodeId>,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(g) = self.gets.get_mut(&object) else { return };
+        if let Some(failed) = failed_sender {
+            if !g.excluded.contains(&failed) {
+                g.excluded.push(failed);
+            }
+        }
+        g.pulling_from = None;
+        self.issue_directory_query(ctx, now, object, out);
+    }
+
+    /// The sender reported it cannot serve our pull (evicted, deleted, or reset): fail
+    /// over exactly as if the sender had died.
+    pub(crate) fn on_pull_error(
+        &mut self,
+        ctx: &mut NodeContext,
+        now: Time,
+        from: NodeId,
+        object: ObjectId,
+        out: &mut Vec<Effect>,
+    ) {
+        if let Some(get) = self.gets.get(&object) {
+            if get.pulling_from == Some(from) {
+                ctx.metrics.broadcast_failovers += 1;
+                self.restart_get(ctx, now, object, Some(from), out);
+            }
+        }
+    }
+}
+
+impl ReduceEngine {
+    /// Repair every coordinated reduce tree after `peer` failed: vacate its slots,
+    /// bump ancestor epochs, refill from the ready pool, and re-issue the affected
+    /// instructions (§3.5.2).
+    pub(crate) fn on_peer_failed(
+        &mut self,
+        ctx: &mut NodeContext,
+        peer: NodeId,
+        out: &mut Vec<Effect>,
+    ) {
+        let targets: Vec<ObjectId> = self.coordinators.keys().copied().collect();
+        for target in targets {
+            let mut coord = self.coordinators.remove(&target).expect("coordinator exists");
+            if let Some(plan) = coord.plan.as_mut() {
+                let delta = plan.on_node_failed(peer);
+                ReduceEngine::issue_instructions(ctx, &coord, &delta.affected_slots, out);
+            }
+            self.coordinators.insert(target, coord);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The per-node Hoplite state machine.
+//!
+//! An [`ObjectStoreNode`] is a *facade* over three layered protocol engines plus the
+//! directory shard this node hosts:
+//!
+//! * [`broadcast`] — the receiver-driven broadcast engine (§3.4.1): in-progress `Get`s,
+//!   the pull protocol, outgoing block transfers, and the pipelined `Put` ingest path
+//!   (§3.3);
+//! * [`reduce`] — the reduce engines (§3.4.2): the coordinator that grows dynamic
+//!   d-ary trees from arrival order, and the per-slot participant that accumulates and
+//!   streams partially-reduced blocks;
+//! * [`failure`] — the failure-adaptation rules (§3.5): broadcast re-pull after sender
+//!   loss and reduce-tree re-parenting with epoch bumps.
+//!
+//! Each engine owns its state and talks to the world exclusively through the shared
+//! [`NodeContext`] (identity, config, local store, metrics, loopback queue), emitting
+//! [`Effect`]s for the driver to execute. The facade dispatches client operations,
+//! protocol messages, timers and peer-failure notifications to the right engine and
+//! routes cross-engine follow-ups (an object making local progress wakes both the
+//! broadcast forwarding path and any reduce participants consuming it).
+//!
+//! The node is entirely sans-IO: the same state machine runs unchanged under the
+//! discrete-event simulator (cluster scale, synthetic payloads) and over the real
+//! in-process / TCP transports (real bytes, real reductions), driven by the shared
+//! `NodeRuntime` in `hoplite-cluster`.
+
+mod broadcast;
+mod coordinator;
+mod failure;
+mod reduce;
+#[cfg(test)]
+mod tests;
+
+use std::collections::VecDeque;
+
+use crate::config::HopliteConfig;
+use crate::directory::DirectoryShard;
+use crate::metrics::NodeMetrics;
+use crate::object::{NodeId, ObjectId};
+use crate::protocol::{ClientOp, Effect, Message, OpId, TimerToken};
+use crate::store::LocalStore;
+use crate::time::Time;
+
+use broadcast::BroadcastEngine;
+use reduce::{ReduceEngine, ReduceEvent};
+
+/// Protocol-level debug tracing, enabled by setting `HOPLITE_TRACE=1` in the
+/// environment. Used to diagnose message-ordering races; costs one cached boolean
+/// check per site when disabled.
+macro_rules! trace {
+    ($($t:tt)*) => {
+        if $crate::node::trace_enabled() {
+            eprintln!($($t)*);
+        }
+    };
+}
+pub(crate) use trace;
+
+/// Whether `HOPLITE_TRACE` tracing is on (computed once per process).
+pub(crate) fn trace_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("HOPLITE_TRACE").is_some())
+}
+
+/// Static description of the cluster shared by every node: the node set and the
+/// directory sharding function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterView {
+    /// All node ids, in index order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl ClusterView {
+    /// A cluster of `n` nodes numbered `0..n`.
+    pub fn of_size(n: usize) -> ClusterView {
+        ClusterView { nodes: (0..n as u32).map(NodeId).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for an empty cluster (never used in practice).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node hosting the directory shard responsible for `object`. The directory is
+    /// a sharded hash table distributed across all nodes (§3.2); we use one shard per
+    /// node and hash the object id onto it.
+    pub fn shard_node(&self, object: ObjectId) -> NodeId {
+        let h = u64::from_le_bytes(object.0[..8].try_into().expect("object id width"));
+        self.nodes[(h % self.nodes.len() as u64) as usize]
+    }
+}
+
+/// Node-level options that are not protocol parameters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeOptions {
+    /// Use length-only payloads (simulator mode).
+    pub synthetic_data: bool,
+    /// Model the worker→store copy of `Put` as a pipelined, timed copy instead of an
+    /// instantaneous one (§3.3). The simulator enables this; real transports complete
+    /// the copy inline.
+    pub pipelined_put: bool,
+}
+
+/// Shared, engine-agnostic node state: identity, configuration, the local object
+/// store, metrics, and the loopback message queue. Engines receive `&mut NodeContext`
+/// with every call and emit [`Effect`]s through it.
+pub(crate) struct NodeContext {
+    pub(crate) id: NodeId,
+    pub(crate) cfg: HopliteConfig,
+    pub(crate) opts: NodeOptions,
+    pub(crate) cluster: ClusterView,
+    pub(crate) store: LocalStore,
+    pub(crate) metrics: NodeMetrics,
+    next_query_id: u64,
+    next_timer: u64,
+    /// Messages this node sent to itself, processed at the end of each handler.
+    self_queue: VecDeque<Message>,
+}
+
+impl NodeContext {
+    /// Send a message, short-circuiting messages addressed to this node through the
+    /// internal loopback queue (drained at the end of every public handler) so drivers
+    /// never have to route loopback traffic.
+    pub(crate) fn send(&mut self, to: NodeId, msg: Message, out: &mut Vec<Effect>) {
+        if to == self.id {
+            self.self_queue.push_back(msg);
+        } else {
+            self.metrics.messages_sent += 1;
+            out.push(Effect::Send { to, msg });
+        }
+    }
+
+    /// The node hosting the directory shard for `object`.
+    pub(crate) fn shard_node(&self, object: ObjectId) -> NodeId {
+        self.cluster.shard_node(object)
+    }
+
+    /// A fresh directory-query correlation id.
+    pub(crate) fn fresh_query_id(&mut self) -> u64 {
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        id
+    }
+
+    /// A fresh timer token.
+    pub(crate) fn fresh_timer(&mut self) -> TimerToken {
+        let token = TimerToken(self.next_timer);
+        self.next_timer += 1;
+        token
+    }
+}
+
+/// A local-store progress notification routed between engines by the facade: `object`
+/// advanced its watermark, and `completed` when it reached its total size.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Progress {
+    pub(crate) object: ObjectId,
+    pub(crate) completed: bool,
+}
+
+impl Progress {
+    pub(crate) fn advanced(object: ObjectId) -> Progress {
+        Progress { object, completed: false }
+    }
+
+    pub(crate) fn completed(object: ObjectId) -> Progress {
+        Progress { object, completed: true }
+    }
+}
+
+/// The Hoplite state machine for one node: directory shard + broadcast engine +
+/// reduce engines behind one dispatch facade.
+pub struct ObjectStoreNode {
+    ctx: NodeContext,
+    shard: DirectoryShard,
+    broadcast: BroadcastEngine,
+    reduce: ReduceEngine,
+}
+
+impl ObjectStoreNode {
+    /// Create a node.
+    pub fn new(id: NodeId, cfg: HopliteConfig, cluster: ClusterView, opts: NodeOptions) -> Self {
+        let shard = DirectoryShard::new(id.index(), cfg.clone());
+        let store = LocalStore::new(cfg.store_capacity);
+        ObjectStoreNode {
+            ctx: NodeContext {
+                id,
+                cfg,
+                opts,
+                cluster,
+                store,
+                metrics: NodeMetrics::default(),
+                next_query_id: 1,
+                next_timer: 1,
+                self_queue: VecDeque::new(),
+            },
+            shard,
+            broadcast: BroadcastEngine::default(),
+            reduce: ReduceEngine::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.ctx.id
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &HopliteConfig {
+        &self.ctx.cfg
+    }
+
+    /// Metrics counters.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.ctx.metrics
+    }
+
+    /// Read-only access to the local store (tests and drivers).
+    pub fn store(&self) -> &LocalStore {
+        &self.ctx.store
+    }
+
+    /// Whether this node currently holds a complete copy of `object`.
+    pub fn has_complete(&self, object: ObjectId) -> bool {
+        self.ctx.store.is_complete(object)
+    }
+
+    // ------------------------------------------------------------------ client ops --
+
+    /// Submit a client operation.
+    pub fn handle_client(&mut self, now: Time, op_id: OpId, op: ClientOp, out: &mut Vec<Effect>) {
+        match op {
+            ClientOp::Put { object, payload } => {
+                let progress =
+                    self.broadcast.client_put(&mut self.ctx, now, op_id, object, payload, out);
+                self.route_progress(now, progress, out);
+            }
+            ClientOp::Get { object } => {
+                self.broadcast.client_get(&mut self.ctx, now, op_id, object, out);
+            }
+            ClientOp::Reduce { target, sources, num_objects, spec, degree } => {
+                self.reduce.client_reduce(
+                    &mut self.ctx,
+                    op_id,
+                    target,
+                    sources,
+                    num_objects,
+                    spec,
+                    degree,
+                    out,
+                );
+            }
+            ClientOp::Delete { object } => {
+                let shard = self.ctx.shard_node(object);
+                self.ctx.send(shard, Message::DirDelete { object }, out);
+                out.push(Effect::Reply {
+                    op: op_id,
+                    reply: crate::protocol::ClientReply::DeleteDone { object },
+                });
+            }
+        }
+        self.drain_self_queue(now, out);
+    }
+
+    /// Deliver a protocol message from `from`.
+    pub fn handle_message(&mut self, now: Time, from: NodeId, msg: Message, out: &mut Vec<Effect>) {
+        self.dispatch_message(now, from, msg, out);
+        self.drain_self_queue(now, out);
+    }
+
+    /// A timer armed via [`Effect::SetTimer`] fired.
+    pub fn handle_timer(&mut self, now: Time, token: TimerToken, out: &mut Vec<Effect>) {
+        if let Some(object) = self.broadcast.take_put_timer(token) {
+            let progress = self.broadcast.advance_pipelined_put(&mut self.ctx, now, object, out);
+            self.route_progress(now, progress, out);
+        }
+        self.drain_self_queue(now, out);
+    }
+
+    /// A peer node failed (detected by the driver: socket liveness in real deployments,
+    /// an explicit event in the simulator). See [`failure`] for the adaptation rules.
+    pub fn handle_peer_failed(&mut self, now: Time, peer: NodeId, out: &mut Vec<Effect>) {
+        self.peer_failed_impl(now, peer, out);
+        self.drain_self_queue(now, out);
+    }
+
+    /// A previously-failed peer came back (empty). Nothing is required of the protocol
+    /// here — recovered nodes re-register objects as they recreate them — but drivers
+    /// call it for symmetry and future extensions.
+    pub fn handle_peer_recovered(&mut self, _now: Time, _peer: NodeId, _out: &mut Vec<Effect>) {}
+
+    // ------------------------------------------------------------------ dispatch --
+
+    fn dispatch_message(&mut self, now: Time, from: NodeId, msg: Message, out: &mut Vec<Effect>) {
+        match msg {
+            // Directory plane: this node hosts the shard responsible for the object.
+            Message::DirRegister { object, holder, status, size } => {
+                self.ctx.metrics.directory_registrations += 1;
+                let mut replies = Vec::new();
+                self.shard.register(object, holder, status, size, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirPutInline { object, holder, payload } => {
+                self.ctx.metrics.directory_registrations += 1;
+                let mut replies = Vec::new();
+                self.shard.put_inline(object, holder, payload, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirUnregister { object, holder } => {
+                self.shard.unregister(object, holder);
+            }
+            Message::DirQuery { object, requester, query_id, exclude } => {
+                self.ctx.metrics.directory_queries_served += 1;
+                let mut replies = Vec::new();
+                self.shard.query(object, requester, query_id, exclude, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirSubscribe { object, subscriber } => {
+                let mut replies = Vec::new();
+                self.shard.subscribe(object, subscriber, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            Message::DirTransferDone { object, receiver, sender } => {
+                self.shard.transfer_done(object, receiver, sender);
+            }
+            Message::DirDelete { object } => {
+                let mut replies = Vec::new();
+                self.shard.delete(object, &mut replies);
+                self.forward_shard_replies(replies, out);
+            }
+            // Directory replies and publications addressed to this node.
+            Message::DirQueryReply { object, query_id, result } => {
+                let progress = self.broadcast.handle_query_reply(
+                    &mut self.ctx,
+                    now,
+                    object,
+                    query_id,
+                    result,
+                    out,
+                );
+                self.route_progress(now, progress, out);
+            }
+            Message::DirPublish { object, holder, status: _, size } => {
+                self.reduce.on_dir_publish(&mut self.ctx, object, holder, size, out);
+            }
+            Message::StoreRelease { object } => {
+                self.broadcast.handle_store_release(&mut self.ctx, object, out);
+            }
+            // Data plane.
+            Message::PullRequest { object, requester, offset } => {
+                self.broadcast.handle_pull_request(&mut self.ctx, object, requester, offset, out);
+            }
+            Message::PullCancel { object, requester } => {
+                self.broadcast.cancel_pull(object, requester);
+            }
+            Message::PushBlock { object, offset, total_size, payload, complete: _ } => {
+                let progress = self.broadcast.handle_push_block(
+                    &mut self.ctx,
+                    from,
+                    object,
+                    offset,
+                    total_size,
+                    payload,
+                    out,
+                );
+                self.route_progress(now, progress, out);
+            }
+            Message::PullError { object, reason: _ } => {
+                self.broadcast.on_pull_error(&mut self.ctx, now, from, object, out);
+            }
+            // Reduce plane.
+            Message::ReduceInstruction(instr) => {
+                let events = self.reduce.on_instruction(&mut self.ctx, instr, out);
+                self.route_reduce_events(now, events, out);
+            }
+            Message::ReduceBlock {
+                target,
+                to_slot,
+                from_slot,
+                parent_epoch,
+                block_index,
+                object_size,
+                payload,
+            } => {
+                let events = self.reduce.on_block(
+                    &mut self.ctx,
+                    target,
+                    to_slot,
+                    from_slot,
+                    parent_epoch,
+                    block_index,
+                    object_size,
+                    payload,
+                    out,
+                );
+                self.route_reduce_events(now, events, out);
+            }
+            Message::ReduceDone { target, root: _ } => {
+                self.reduce.on_reduce_done(target, out);
+            }
+        }
+    }
+
+    fn forward_shard_replies(&mut self, replies: Vec<(NodeId, Message)>, out: &mut Vec<Effect>) {
+        for (to, msg) in replies {
+            self.ctx.send(to, msg, out);
+        }
+    }
+
+    // ----------------------------------------------------------- progress routing --
+
+    /// Route local-store progress between engines until quiescent: forwarding chained
+    /// broadcast receivers, completing parked `Get`s, and feeding reduce participants
+    /// whose own input advanced. A reduce root materializing its result produces more
+    /// progress, so this loops until no engine has follow-up work.
+    pub(crate) fn route_progress(
+        &mut self,
+        now: Time,
+        progress: Vec<Progress>,
+        out: &mut Vec<Effect>,
+    ) {
+        let mut queue: VecDeque<Progress> = progress.into();
+        while let Some(p) = queue.pop_front() {
+            if p.completed {
+                self.broadcast.on_object_complete(&mut self.ctx, p.object, out);
+            } else {
+                self.broadcast.pump_outgoing(&mut self.ctx, p.object, out);
+            }
+            let events = self.reduce.pump_for(&mut self.ctx, p.object, out);
+            self.enqueue_reduce_events(events, &mut queue, out);
+        }
+        let _ = now;
+    }
+
+    /// Route reduce-engine events produced outside the progress loop.
+    pub(crate) fn route_reduce_events(
+        &mut self,
+        now: Time,
+        events: Vec<ReduceEvent>,
+        out: &mut Vec<Effect>,
+    ) {
+        let mut queue = VecDeque::new();
+        self.enqueue_reduce_events(events, &mut queue, out);
+        self.route_progress(now, queue.into_iter().collect(), out);
+    }
+
+    fn enqueue_reduce_events(
+        &mut self,
+        events: Vec<ReduceEvent>,
+        queue: &mut VecDeque<Progress>,
+        out: &mut Vec<Effect>,
+    ) {
+        for event in events {
+            match event {
+                ReduceEvent::Progress { object, completed } => {
+                    queue.push_back(Progress { object, completed });
+                }
+                ReduceEvent::Invalidate { object } => {
+                    // A reduce root cleared a partially-materialized result (§3.5.2):
+                    // abort anyone pulling it so they restart against fresh data.
+                    self.broadcast.abort_outgoing(
+                        &mut self.ctx,
+                        object,
+                        "reduce result reset",
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    fn drain_self_queue(&mut self, now: Time, out: &mut Vec<Effect>) {
+        // Bounded by a generous limit to surface accidental ping-pong loops in tests
+        // instead of hanging.
+        let mut budget = 100_000;
+        while let Some(msg) = self.ctx.self_queue.pop_front() {
+            let me = self.ctx.id;
+            self.dispatch_message(now, me, msg, out);
+            budget -= 1;
+            if budget == 0 {
+                panic!("self-message loop did not terminate");
+            }
+        }
+    }
+}

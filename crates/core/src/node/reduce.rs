@@ -1,0 +1,456 @@
+//! The reduce engines (§3.4.2): the coordinator that grows dynamic d-ary trees in
+//! arrival order, and the per-slot participant that accumulates and streams
+//! partially-reduced blocks.
+//!
+//! The coordinator subscribes to every source object's directory shard; each location
+//! publication offers the object to the [`ReduceTreePlan`], which assigns it the next
+//! in-order slot and reports which slots' instructions changed. Participants receive
+//! those instructions, fold their own object's blocks together with the streams from
+//! their child slots, and emit finalized blocks upward — or, at the root, into the
+//! local result object.
+//!
+//! The engine owns all reduce state and reports store-level side effects back to the
+//! facade as [`ReduceEvent`]s: root writes advance the result object (which may have
+//! chained broadcast receivers), and epoch bumps invalidate a partially-materialized
+//! result (which must abort anyone pulling it).
+
+use std::collections::HashMap;
+
+use crate::buffer::Payload;
+use crate::object::{ObjectId, ObjectStatus};
+use crate::protocol::{Effect, Message, ReduceInstruction};
+
+use super::coordinator::ReduceCoordinator;
+use super::{trace, NodeContext};
+
+/// Store-level side effects of reduce processing, routed by the facade.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ReduceEvent {
+    /// The (root's local) result object advanced; `completed` when fully materialized.
+    Progress {
+        /// The object that advanced.
+        object: ObjectId,
+        /// `true` once the object is complete.
+        completed: bool,
+    },
+    /// A partially-materialized local object was dropped (epoch bump, §3.5.2).
+    Invalidate {
+        /// The dropped object.
+        object: ObjectId,
+    },
+}
+
+/// One accumulating block of a reduce participant.
+#[derive(Debug, Clone, Default)]
+struct BlockAccum {
+    payload: Option<Payload>,
+    inputs_applied: usize,
+}
+
+/// Per-slot reduce participant state.
+#[derive(Debug)]
+struct ReduceParticipant {
+    instr: ReduceInstruction,
+    blocks: Vec<BlockAccum>,
+    /// Number of own-object blocks already folded into `blocks`.
+    own_blocks_ingested: u64,
+    /// Next block index to emit (to the parent, or into the local result object for
+    /// the root).
+    next_emit_block: u64,
+    /// Root only: whether the result object has been created in the local store.
+    root_started: bool,
+}
+
+impl ReduceParticipant {
+    fn new(instr: ReduceInstruction) -> Self {
+        let num_blocks = num_blocks(instr.object_size, instr.block_size) as usize;
+        ReduceParticipant {
+            instr,
+            blocks: vec![BlockAccum::default(); num_blocks.max(1)],
+            own_blocks_ingested: 0,
+            next_emit_block: 0,
+            root_started: false,
+        }
+    }
+
+    fn reset(&mut self) {
+        for b in &mut self.blocks {
+            *b = BlockAccum::default();
+        }
+        self.own_blocks_ingested = 0;
+        self.next_emit_block = 0;
+        self.root_started = false;
+    }
+}
+
+fn num_blocks(size: u64, block: u64) -> u64 {
+    if size == 0 {
+        0
+    } else {
+        size.div_ceil(block)
+    }
+}
+
+/// A reduce block that arrived before this node learned it owns the destination
+/// slot. Children start streaming as soon as they know their parent's identity, and
+/// nothing orders a child's first block after the parent's own instruction (the two
+/// race on different links, or through the loopback queue when the slots are
+/// co-located), so early blocks are parked here and replayed once the instruction
+/// arrives.
+#[derive(Debug)]
+struct EarlyBlock {
+    from_slot: usize,
+    parent_epoch: u64,
+    block_index: u64,
+    object_size: u64,
+    payload: Payload,
+}
+
+/// Cap on parked early blocks per slot; once full, later arrivals are discarded (the
+/// child re-sends from scratch after the next repair, so this only bounds memory while
+/// the instruction is in flight — normally a handful of blocks).
+const MAX_EARLY_BLOCKS: usize = 256;
+
+/// The reduce coordinator + participant engine.
+#[derive(Default)]
+pub(crate) struct ReduceEngine {
+    /// Reduce coordinators keyed by target object.
+    pub(crate) coordinators: HashMap<ObjectId, ReduceCoordinator>,
+    /// Source object -> reduce targets coordinated here that consume it.
+    pub(super) source_routing: HashMap<ObjectId, Vec<ObjectId>>,
+    /// Reduce participants keyed by (target, slot).
+    participants: HashMap<(ObjectId, usize), ReduceParticipant>,
+    /// Local object -> participant keys that use it as their own input.
+    own_object_routing: HashMap<ObjectId, Vec<(ObjectId, usize)>>,
+    /// Blocks that arrived before their slot's instruction, keyed by (target, slot).
+    early_blocks: HashMap<(ObjectId, usize), Vec<EarlyBlock>>,
+}
+
+impl ReduceEngine {
+    // -------------------------------------------------------------- participation --
+
+    /// A (new or updated) instruction for a slot this node owns.
+    pub(crate) fn on_instruction(
+        &mut self,
+        ctx: &mut NodeContext,
+        instr: ReduceInstruction,
+        out: &mut Vec<Effect>,
+    ) -> Vec<ReduceEvent> {
+        let key = (instr.target, instr.slot);
+        let own_object = instr.own_object;
+        trace!(
+            "[n{}] got instr slot={} epoch={} own={:?} parent={:?}",
+            ctx.id.0,
+            instr.slot,
+            instr.epoch,
+            instr.own_object,
+            instr.parent
+        );
+        let mut events = Vec::new();
+        match self.participants.get_mut(&key) {
+            Some(existing) => {
+                let epoch_bumped = instr.epoch > existing.instr.epoch;
+                let parent_changed = existing.instr.parent != instr.parent;
+                let previous_root_started = existing.root_started;
+                existing.instr = instr;
+                if epoch_bumped {
+                    ctx.metrics.reduce_resets += 1;
+                    existing.reset();
+                    // The root clears the partially-materialized result object too.
+                    if previous_root_started {
+                        let target = key.0;
+                        if self.invalidate_local_object(ctx, target, out) {
+                            events.push(ReduceEvent::Invalidate { object: target });
+                        }
+                    }
+                } else if parent_changed {
+                    // Same accumulated data, new (or restarted) parent: re-send our
+                    // finalized blocks from the start.
+                    existing.next_emit_block = 0;
+                }
+            }
+            None => {
+                let participant = ReduceParticipant::new(instr);
+                self.own_object_routing.entry(own_object).or_default().push(key);
+                self.participants.insert(key, participant);
+                // Replay any child blocks that raced ahead of this instruction.
+                if let Some(early) = self.early_blocks.remove(&key) {
+                    let p = self.participants.get_mut(&key).expect("just inserted");
+                    for block in early {
+                        Self::apply_block(ctx, p, key.0, &block);
+                    }
+                }
+            }
+        }
+        events.extend(self.pump_participant(ctx, key, out));
+        events
+    }
+
+    /// Fold one child block into a participant's accumulator, discarding stale or
+    /// mismatched blocks.
+    fn apply_block(
+        ctx: &mut NodeContext,
+        p: &mut ReduceParticipant,
+        target: ObjectId,
+        block: &EarlyBlock,
+    ) {
+        if block.parent_epoch != p.instr.epoch {
+            return; // stale block from before a repair
+        }
+        if block.object_size != p.instr.object_size {
+            return;
+        }
+        trace!(
+            "[n{}] reduce block target={:?} to_slot={} from_slot={} epoch={} idx={}",
+            ctx.id.0,
+            target,
+            p.instr.slot,
+            block.from_slot,
+            block.parent_epoch,
+            block.block_index
+        );
+        ctx.metrics.data_bytes_received += block.payload.len();
+        let idx = block.block_index as usize;
+        if idx >= p.blocks.len() {
+            return;
+        }
+        let spec = p.instr.spec;
+        let accum = &mut p.blocks[idx];
+        match accum.payload.take() {
+            None => accum.payload = Some(block.payload.clone()),
+            Some(existing) => match spec.combine(target, &existing, &block.payload) {
+                Ok(combined) => accum.payload = Some(combined),
+                Err(_) => {
+                    accum.payload = Some(existing);
+                    return;
+                }
+            },
+        }
+        accum.inputs_applied += 1;
+    }
+
+    /// A partially-reduced block arrived from a child slot.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_block(
+        &mut self,
+        ctx: &mut NodeContext,
+        target: ObjectId,
+        to_slot: usize,
+        from_slot: usize,
+        parent_epoch: u64,
+        block_index: u64,
+        object_size: u64,
+        payload: Payload,
+        out: &mut Vec<Effect>,
+    ) -> Vec<ReduceEvent> {
+        let key = (target, to_slot);
+        let block = EarlyBlock { from_slot, parent_epoch, block_index, object_size, payload };
+        let Some(p) = self.participants.get_mut(&key) else {
+            // The sender learned about this slot's assignment before we did (its
+            // instruction and our instruction race on independent links). Park the
+            // block; it is replayed when our instruction arrives.
+            trace!(
+                "[n{}] parking early block target={:?} to_slot={} from_slot={} idx={}",
+                ctx.id.0,
+                target,
+                to_slot,
+                from_slot,
+                block_index
+            );
+            let parked = self.early_blocks.entry(key).or_default();
+            if parked.len() < MAX_EARLY_BLOCKS {
+                parked.push(block);
+            }
+            return Vec::new();
+        };
+        Self::apply_block(ctx, p, target, &block);
+        self.pump_participant(ctx, key, out)
+    }
+
+    /// Re-pump every participant whose own input object is `object` (called by the
+    /// facade when that object's local watermark advances).
+    pub(crate) fn pump_for(
+        &mut self,
+        ctx: &mut NodeContext,
+        object: ObjectId,
+        out: &mut Vec<Effect>,
+    ) -> Vec<ReduceEvent> {
+        let mut events = Vec::new();
+        if let Some(keys) = self.own_object_routing.get(&object).cloned() {
+            for key in keys {
+                events.extend(self.pump_participant(ctx, key, out));
+            }
+        }
+        events
+    }
+
+    /// Ingest newly-available own-object blocks and emit every finalized block in
+    /// order, either to the parent slot or — for the root — into the local result
+    /// object.
+    fn pump_participant(
+        &mut self,
+        ctx: &mut NodeContext,
+        key: (ObjectId, usize),
+        out: &mut Vec<Effect>,
+    ) -> Vec<ReduceEvent> {
+        let mut events = Vec::new();
+        let Some(p) = self.participants.get_mut(&key) else { return events };
+        let target = p.instr.target;
+        let spec = p.instr.spec;
+        let block_size = p.instr.block_size;
+        let object_size = p.instr.object_size;
+        let total_blocks = num_blocks(object_size, block_size);
+
+        // 1. Fold in own-object blocks that are now below the local watermark.
+        let own = p.instr.own_object;
+        let own_watermark = ctx.store.watermark(own).unwrap_or(0);
+        let mut ingested = p.own_blocks_ingested;
+        let mut to_ingest: Vec<(u64, u64, u64)> = Vec::new();
+        while ingested < total_blocks {
+            let offset = ingested * block_size;
+            let len = block_size.min(object_size - offset);
+            if offset + len > own_watermark {
+                break;
+            }
+            to_ingest.push((ingested, offset, len));
+            ingested += 1;
+        }
+        for (block_idx, offset, len) in to_ingest {
+            let Some(block) = ctx.store.read(own, offset, len) else { break };
+            let p = self.participants.get_mut(&key).expect("participant exists");
+            let accum = &mut p.blocks[block_idx as usize];
+            match accum.payload.take() {
+                None => accum.payload = Some(block),
+                Some(existing) => match spec.combine(target, &existing, &block) {
+                    Ok(combined) => accum.payload = Some(combined),
+                    Err(_) => {
+                        accum.payload = Some(existing);
+                        break;
+                    }
+                },
+            }
+            accum.inputs_applied += 1;
+            p.own_blocks_ingested = block_idx + 1;
+        }
+
+        // 2. Emit finalized blocks in order.
+        loop {
+            let p = self.participants.get_mut(&key).expect("participant exists");
+            let idx = p.next_emit_block;
+            if idx >= total_blocks {
+                break;
+            }
+            let num_inputs = p.instr.num_inputs;
+            let ready = p.blocks[idx as usize].inputs_applied >= num_inputs
+                && p.blocks[idx as usize].payload.is_some();
+            if !ready {
+                break;
+            }
+            let payload = p.blocks[idx as usize].payload.clone().expect("checked above");
+            let is_root = p.instr.is_root;
+            let parent = p.instr.parent;
+            let slot = p.instr.slot;
+            let coordinator = p.instr.coordinator;
+            if is_root {
+                // Materialize the result object locally, registering it as a partial
+                // location right away so a following broadcast can start (§3.3).
+                if !p.root_started {
+                    p.root_started = true;
+                    if !ctx.store.contains(target) {
+                        let _ = ctx.store.begin_receive(
+                            target,
+                            object_size,
+                            ctx.opts.synthetic_data || payload.is_synthetic(),
+                        );
+                        let shard = ctx.shard_node(target);
+                        if !ctx.cfg.is_inline(object_size) {
+                            ctx.send(
+                                shard,
+                                Message::DirRegister {
+                                    object: target,
+                                    holder: ctx.id,
+                                    status: ObjectStatus::Partial,
+                                    size: object_size,
+                                },
+                                out,
+                            );
+                        }
+                    }
+                }
+                let offset = idx * block_size;
+                if ctx.store.append(target, offset, &payload).is_ok() {
+                    let p = self.participants.get_mut(&key).expect("participant exists");
+                    p.next_emit_block = idx + 1;
+                    let watermark = ctx.store.watermark(target).unwrap_or(0);
+                    out.push(Effect::LocalProgress {
+                        object: target,
+                        watermark,
+                        total_size: object_size,
+                    });
+                    if watermark >= object_size {
+                        // Small results go through the inline fast path like any Put.
+                        if ctx.cfg.is_inline(object_size) {
+                            if let Some(full) = ctx.store.get_complete(target) {
+                                let shard = ctx.shard_node(target);
+                                ctx.send(
+                                    shard,
+                                    Message::DirPutInline {
+                                        object: target,
+                                        holder: ctx.id,
+                                        payload: full,
+                                    },
+                                    out,
+                                );
+                            }
+                        }
+                        trace!("[n{}] root completed {:?}", ctx.id.0, target);
+                        events.push(ReduceEvent::Progress { object: target, completed: true });
+                        ctx.send(coordinator, Message::ReduceDone { target, root: ctx.id }, out);
+                    } else {
+                        events.push(ReduceEvent::Progress { object: target, completed: false });
+                    }
+                } else {
+                    break;
+                }
+            } else {
+                let Some(parent) = parent else { break };
+                ctx.metrics.reduce_blocks_sent += 1;
+                ctx.metrics.data_bytes_sent += payload.len();
+                ctx.send(
+                    parent.node,
+                    Message::ReduceBlock {
+                        target,
+                        to_slot: parent.slot,
+                        from_slot: slot,
+                        parent_epoch: parent.epoch,
+                        block_index: idx,
+                        object_size,
+                        payload,
+                    },
+                    out,
+                );
+                let p = self.participants.get_mut(&key).expect("participant exists");
+                p.next_emit_block = idx + 1;
+            }
+        }
+        events
+    }
+
+    /// Drop an invalid local partial copy (used when a reduce root clears its result):
+    /// delete it from the store and unregister from the directory. Returns `true` when
+    /// a copy was actually dropped (so the facade aborts downstream pullers).
+    fn invalidate_local_object(
+        &mut self,
+        ctx: &mut NodeContext,
+        object: ObjectId,
+        out: &mut Vec<Effect>,
+    ) -> bool {
+        if !ctx.store.contains(object) {
+            return false;
+        }
+        ctx.store.delete(object);
+        let shard = ctx.shard_node(object);
+        ctx.send(shard, Message::DirUnregister { object, holder: ctx.id }, out);
+        true
+    }
+}

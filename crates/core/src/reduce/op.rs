@@ -5,14 +5,12 @@
 //! order. Real payloads are combined element-wise; synthetic payloads (simulator mode)
 //! are combined by length only.
 
-use serde::{Deserialize, Serialize};
-
 use crate::buffer::Payload;
 use crate::error::{HopliteError, Result};
 use crate::object::ObjectId;
 
 /// Element type of the arrays being reduced.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit IEEE-754 floats (the paper's microbenchmarks use arrays of these).
     F32,
@@ -35,7 +33,7 @@ impl DType {
 }
 
 /// Commutative, associative reduction operator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
     /// Element-wise addition (`ray.ADD` in the paper's pseudo-code).
     Sum,
@@ -46,7 +44,7 @@ pub enum ReduceOp {
 }
 
 /// A fully-specified reduction: operator plus element type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ReduceSpec {
     /// Operator.
     pub op: ReduceOp,
@@ -74,7 +72,7 @@ impl ReduceSpec {
             // Simulator mode: no arithmetic, only sizes.
             _ => return Ok(Payload::synthetic(a.len())),
         };
-        if a.len() % self.dtype.element_size() != 0 {
+        if !a.len().is_multiple_of(self.dtype.element_size()) {
             return Err(HopliteError::ReduceShapeMismatch {
                 target,
                 detail: format!(
@@ -237,18 +235,12 @@ mod tests {
         let a = Payload::from_f32s(&[1.0, 2.0]);
         let b = Payload::from_f32s(&[3.0, 4.0]);
         let c = Payload::from_f32s(&[5.0, 6.0]);
-        let ab_c = spec
-            .combine(target(), &spec.combine(target(), &a, &b).unwrap(), &c)
-            .unwrap()
-            .to_f32s();
-        let a_bc = spec
-            .combine(target(), &a, &spec.combine(target(), &b, &c).unwrap())
-            .unwrap()
-            .to_f32s();
-        let ba_c = spec
-            .combine(target(), &spec.combine(target(), &b, &a).unwrap(), &c)
-            .unwrap()
-            .to_f32s();
+        let ab_c =
+            spec.combine(target(), &spec.combine(target(), &a, &b).unwrap(), &c).unwrap().to_f32s();
+        let a_bc =
+            spec.combine(target(), &a, &spec.combine(target(), &b, &c).unwrap()).unwrap().to_f32s();
+        let ba_c =
+            spec.combine(target(), &spec.combine(target(), &b, &a).unwrap(), &c).unwrap().to_f32s();
         assert_eq!(ab_c, a_bc);
         assert_eq!(ab_c, ba_c);
     }

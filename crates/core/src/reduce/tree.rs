@@ -14,12 +14,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::object::{NodeId, ObjectId};
 
 /// Static description of one slot in the tree shape.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SlotShape {
     /// In-order rank of this slot (also its index).
     pub index: usize,
@@ -33,7 +31,7 @@ pub struct SlotShape {
 
 /// The static shape of a reduce tree: `n` slots arranged as a balanced `d`-ary tree and
 /// numbered by generalized in-order traversal.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TreeShape {
     slots: Vec<SlotShape>,
     degree: usize,
@@ -173,7 +171,7 @@ impl TreeShape {
 }
 
 /// A ready reduce input: an object and the node that holds (or is creating) it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReduceInput {
     /// Source object.
     pub object: ObjectId,
@@ -198,7 +196,7 @@ pub struct ReduceTreePlan {
 }
 
 /// The view of a slot that the coordinator turns into a participant instruction.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SlotView {
     /// Slot index.
     pub slot: usize,
@@ -353,14 +351,9 @@ impl ReduceTreePlan {
     pub fn slot_view(&self, slot: usize) -> Option<SlotView> {
         let input = self.assignment[slot]?;
         let shape = self.shape.slot(slot);
-        let parent = shape.parent.and_then(|p| {
-            self.assignment[p].map(|pi| (p, pi, self.epoch[p]))
-        });
-        let children = shape
-            .children
-            .iter()
-            .filter_map(|&c| self.assignment[c].map(|ci| (c, ci)))
-            .collect();
+        let parent = shape.parent.and_then(|p| self.assignment[p].map(|pi| (p, pi, self.epoch[p])));
+        let children =
+            shape.children.iter().filter_map(|&c| self.assignment[c].map(|ci| (c, ci))).collect();
         Some(SlotView {
             slot,
             input,

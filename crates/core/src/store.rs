@@ -124,8 +124,7 @@ impl LocalStore {
 
     /// Append a block to an in-progress object. Returns the new watermark.
     pub fn append(&mut self, object: ObjectId, offset: u64, payload: &Payload) -> Result<u64> {
-        let entry =
-            self.objects.get_mut(&object).ok_or(HopliteError::ObjectNotFound(object))?;
+        let entry = self.objects.get_mut(&object).ok_or(HopliteError::ObjectNotFound(object))?;
         if !entry.buffer.append_at(offset, payload) {
             return Err(HopliteError::Protocol(format!(
                 "out-of-order append to {object:?}: offset {offset}, watermark {}",

@@ -1,76 +1,130 @@
-//! Property-based tests (proptest) for the core data structures and invariants.
+//! Randomized property tests for the core data structures and invariants.
+//!
+//! The build environment is offline, so instead of `proptest` these use a small
+//! deterministic xorshift generator: each property is checked against a few hundred
+//! pseudo-random cases with a fixed seed, which keeps failures reproducible while
+//! covering the same invariants the original property suite asserted.
 
 use hoplite_core::buffer::{Payload, ProgressBuffer};
 use hoplite_core::object::{NodeId, ObjectId};
 use hoplite_core::reduce::{DegreeModel, ReduceInput, ReduceSpec, ReduceTreePlan, TreeShape};
 use hoplite_core::time::Duration;
-use proptest::prelude::*;
 
-proptest! {
-    /// The tree shape is a well-formed tree for every (n, d): exactly one root, every
-    /// other slot has a parent, children counts respect the degree, and parent/child
-    /// links agree.
-    #[test]
-    fn tree_shape_is_well_formed(n in 1usize..200, d in 1usize..12) {
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 11) as f32 / (1u64 << 53) as f32;
+        lo + unit * (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+/// The tree shape is a well-formed tree for every (n, d): exactly one root, every
+/// other slot has a parent, children counts respect the degree, and parent/child
+/// links agree.
+#[test]
+fn tree_shape_is_well_formed() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..300 {
+        let n = rng.usize(1, 200);
+        let d = rng.usize(1, 12);
         let shape = TreeShape::new(n, d);
-        prop_assert_eq!(shape.len(), n);
+        assert_eq!(shape.len(), n);
         let mut roots = 0;
         let mut child_edges = 0;
         for slot in shape.slots() {
             if slot.parent.is_none() {
                 roots += 1;
             }
-            prop_assert!(slot.children.len() <= d);
+            assert!(slot.children.len() <= d, "n={n} d={d}: degree exceeded");
             child_edges += slot.children.len();
             for &c in &slot.children {
-                prop_assert_eq!(shape.slot(c).parent, Some(slot.index));
+                assert_eq!(shape.slot(c).parent, Some(slot.index), "n={n} d={d}");
             }
         }
-        prop_assert_eq!(roots, 1);
-        prop_assert_eq!(child_edges, n - 1);
-        // Every slot reaches the root, and ancestor chains never exceed n.
+        assert_eq!(roots, 1, "n={n} d={d}: exactly one root");
+        assert_eq!(child_edges, n - 1, "n={n} d={d}: every non-root has a parent");
         for slot in shape.slots() {
-            prop_assert!(shape.ancestors(slot.index).len() < n);
+            assert!(shape.ancestors(slot.index).len() < n, "n={n} d={d}: bounded ancestry");
         }
     }
+}
 
-    /// Chain trees (d = 1) have height n - 1; stars (d >= n) have height 1.
-    #[test]
-    fn tree_height_extremes(n in 2usize..100) {
-        prop_assert_eq!(TreeShape::new(n, 1).height(), n - 1);
-        prop_assert_eq!(TreeShape::new(n, n).height(), 1);
+/// Chain trees (d = 1) have height n - 1; stars (d >= n) have height 1.
+#[test]
+fn tree_height_extremes() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..100 {
+        let n = rng.usize(2, 100);
+        assert_eq!(TreeShape::new(n, 1).height(), n - 1);
+        assert_eq!(TreeShape::new(n, n).height(), 1);
     }
+}
 
-    /// Offering objects in any order assigns each object at most one slot, fills slots
-    /// in in-order rank order, and never assigns more than `n` objects.
-    #[test]
-    fn plan_assignment_is_injective(n in 1usize..40, extra in 0usize..10, d in 1usize..5) {
+/// Offering objects in any order assigns each object at most one slot, fills slots
+/// in in-order rank order, and never assigns more than `n` objects.
+#[test]
+fn plan_assignment_is_injective() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..200 {
+        let n = rng.usize(1, 40);
+        let extra = rng.usize(0, 10);
+        let d = rng.usize(1, 5);
         let mut plan = ReduceTreePlan::new(n, d);
-        let total = n + extra;
-        for i in 0..total {
+        for i in 0..n + extra {
             plan.offer_input(ReduceInput {
                 object: ObjectId::from_name(&format!("obj{i}")),
                 node: NodeId(i as u32),
             });
         }
-        prop_assert!(plan.fully_assigned());
+        assert!(plan.fully_assigned(), "n={n} extra={extra} d={d}");
         let mut seen = std::collections::HashSet::new();
         for slot in 0..n {
             let input = plan.assignment(slot).unwrap();
-            prop_assert!(seen.insert(input.object), "object assigned twice");
+            assert!(seen.insert(input.object), "object assigned twice (n={n} d={d})");
             // Slot k holds the k-th arrival.
-            prop_assert_eq!(input.node, NodeId(slot as u32));
+            assert_eq!(input.node, NodeId(slot as u32));
         }
     }
+}
 
-    /// After any sequence of failures and re-offers, no failed node owns a slot and no
-    /// object is assigned twice.
-    #[test]
-    fn plan_failures_never_double_assign(
-        n in 2usize..20,
-        d in 1usize..4,
-        failures in proptest::collection::vec(0u32..20, 0..6),
-    ) {
+/// After any sequence of failures and re-offers, no failed node owns a slot and no
+/// object is assigned twice.
+#[test]
+fn plan_failures_never_double_assign() {
+    let mut rng = Rng::new(0xDEAD);
+    for _ in 0..200 {
+        let n = rng.usize(2, 20);
+        let d = rng.usize(1, 4);
+        let num_failures = rng.usize(0, 6);
         let mut plan = ReduceTreePlan::new(n, d);
         for i in 0..n {
             plan.offer_input(ReduceInput {
@@ -79,7 +133,8 @@ proptest! {
             });
         }
         let mut failed = std::collections::HashSet::new();
-        for (round, f) in failures.into_iter().enumerate() {
+        for round in 0..num_failures {
+            let f = rng.range(0, 20) as u32;
             plan.on_node_failed(NodeId(f));
             failed.insert(f);
             // A replacement object appears on a fresh node.
@@ -91,84 +146,104 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for slot in 0..n {
             if let Some(input) = plan.assignment(slot) {
-                prop_assert!(!failed.contains(&input.node.0), "failed node still assigned");
-                prop_assert!(seen.insert(input.object));
+                assert!(
+                    !failed.contains(&input.node.0),
+                    "failed node still assigned (n={n} d={d})"
+                );
+                assert!(seen.insert(input.object), "double assignment (n={n} d={d})");
             }
         }
     }
+}
 
-    /// The degree model never returns a degree outside [1, n] and its prediction is
-    /// positive and finite.
-    #[test]
-    fn degree_model_is_bounded(n in 1usize..128, size in 1u64..(1 << 30)) {
-        let model = DegreeModel { latency: Duration::from_micros(100), bandwidth: 1.25e9 };
+/// The degree model never returns a degree outside [1, n] and its prediction is
+/// positive and finite.
+#[test]
+fn degree_model_is_bounded() {
+    let mut rng = Rng::new(0xFACE);
+    let model = DegreeModel { latency: Duration::from_micros(100), bandwidth: 1.25e9 };
+    for _ in 0..500 {
+        let n = rng.usize(1, 128);
+        let size = rng.range(1, 1 << 30);
         let d = model.choose(&[1, 2, 0], n, size);
-        prop_assert!(d >= 1 && d <= n.max(1));
+        assert!(d >= 1 && d <= n.max(1), "n={n} size={size}: chose {d}");
         let t = model.predict(d, n, size);
-        prop_assert!(t.as_secs_f64() > 0.0);
+        assert!(t.as_secs_f64() > 0.0, "n={n} size={size}");
     }
+}
 
-    /// Appending arbitrary in-order chunks to a progress buffer reconstructs the
-    /// original bytes, regardless of how the object is split.
-    #[test]
-    fn progress_buffer_reassembles_any_split(
-        data in proptest::collection::vec(any::<u8>(), 1..2000),
-        cuts in proptest::collection::vec(1usize..50, 0..40),
-    ) {
+/// Appending arbitrary in-order chunks to a progress buffer reconstructs the
+/// original bytes, regardless of how the object is split.
+#[test]
+fn progress_buffer_reassembles_any_split() {
+    let mut rng = Rng::new(0xFEED);
+    for _ in 0..200 {
+        let len = rng.usize(1, 2000);
+        let data = rng.bytes(len);
         let total = data.len() as u64;
         let mut buf = ProgressBuffer::new(total, false);
         let mut offset = 0usize;
-        let mut cut_iter = cuts.into_iter();
         while offset < data.len() {
-            let len = cut_iter.next().unwrap_or(17).min(data.len() - offset);
+            let len = rng.usize(1, 50).min(data.len() - offset);
             let chunk = Payload::from_vec(data[offset..offset + len].to_vec());
-            prop_assert!(buf.append_at(offset as u64, &chunk));
+            assert!(buf.append_at(offset as u64, &chunk));
             offset += len;
         }
-        prop_assert!(buf.is_complete());
+        assert!(buf.is_complete());
         let reassembled = buf.to_payload().unwrap();
-        prop_assert_eq!(reassembled.as_bytes().unwrap().as_ref(), data.as_slice());
+        assert_eq!(reassembled.as_bytes().unwrap().as_ref(), data.as_slice());
     }
+}
 
-    /// Out-of-order (gapped) appends are always rejected and leave the watermark
-    /// untouched.
-    #[test]
-    fn progress_buffer_rejects_gaps(gap in 1u64..1000, len in 1u64..100) {
+/// Out-of-order (gapped) appends are always rejected and leave the watermark
+/// untouched.
+#[test]
+fn progress_buffer_rejects_gaps() {
+    let mut rng = Rng::new(0x9A9);
+    for _ in 0..300 {
+        let gap = rng.range(1, 1000);
+        let len = rng.range(1, 100);
         let mut buf = ProgressBuffer::new(10_000, false);
         let before = buf.watermark();
-        prop_assert!(!buf.append_at(before + gap, &Payload::zeros(len as usize)));
-        prop_assert_eq!(buf.watermark(), before);
+        assert!(!buf.append_at(before + gap, &Payload::zeros(len as usize)));
+        assert_eq!(buf.watermark(), before);
     }
+}
 
-    /// Element-wise sum is commutative for arbitrary f32 vectors (no NaNs).
-    #[test]
-    fn reduce_sum_commutes(
-        a in proptest::collection::vec(-1e6f32..1e6, 1..256),
-        b_seed in proptest::collection::vec(-1e6f32..1e6, 1..256),
-    ) {
-        let len = a.len().min(b_seed.len());
-        let a = &a[..len];
-        let b = &b_seed[..len];
-        let spec = ReduceSpec::sum_f32();
-        let target = ObjectId::from_name("prop");
+/// Element-wise sum is commutative for arbitrary f32 vectors (no NaNs).
+#[test]
+fn reduce_sum_commutes() {
+    let mut rng = Rng::new(0x5EED);
+    let spec = ReduceSpec::sum_f32();
+    let target = ObjectId::from_name("prop");
+    for _ in 0..200 {
+        let len = rng.usize(1, 256);
+        let a: Vec<f32> = (0..len).map(|_| rng.f32(-1e6, 1e6)).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.f32(-1e6, 1e6)).collect();
         let ab = spec
-            .combine(target, &Payload::from_f32s(a), &Payload::from_f32s(b))
+            .combine(target, &Payload::from_f32s(&a), &Payload::from_f32s(&b))
             .unwrap()
             .to_f32s();
         let ba = spec
-            .combine(target, &Payload::from_f32s(b), &Payload::from_f32s(a))
+            .combine(target, &Payload::from_f32s(&b), &Payload::from_f32s(&a))
             .unwrap()
             .to_f32s();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
+}
 
-    /// Payload slicing never exceeds the underlying length and concatenation preserves
-    /// total length.
-    #[test]
-    fn payload_slice_concat_lengths(len in 0u64..4096, off in 0u64..5000, take in 0u64..5000) {
+/// Payload slicing never exceeds the underlying length and concatenation preserves
+/// total length.
+#[test]
+fn payload_slice_concat_lengths() {
+    let mut rng = Rng::new(0x51105);
+    for _ in 0..500 {
+        let len = rng.range(0, 4096);
+        let off = rng.range(0, 5000);
+        let take = rng.range(0, 5000);
         let p = Payload::synthetic(len);
         let s = p.slice(off, take);
-        prop_assert!(s.len() <= len);
-        prop_assert_eq!(p.concat(&s).len(), len + s.len());
+        assert!(s.len() <= len);
+        assert_eq!(p.concat(&s).len(), len + s.len());
     }
 }

@@ -14,9 +14,9 @@
 //!   `k` can serialize at the receiver, so a relay adds only per-block latency.
 
 use crate::config::NetworkConfig;
-use crate::time::SimTime;
 #[cfg(test)]
 use crate::time::SimDuration;
+use crate::time::SimTime;
 
 /// One direction (transmit or receive) of a NIC.
 #[derive(Clone, Debug, Default)]
@@ -86,7 +86,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> NetworkConfig {
-        NetworkConfig { bandwidth: 1e9, latency: SimDuration::from_micros(100), ..Default::default() }
+        NetworkConfig {
+            bandwidth: 1e9,
+            latency: SimDuration::from_micros(100),
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -73,8 +73,7 @@ impl<'a, M> SimContext<'a, M> {
     }
 }
 
-type ExternalCall<A> =
-    Box<dyn FnOnce(&mut A, &mut SimContext<'_, <A as SimActor>::Msg>) + 'static>;
+type ExternalCall<A> = Box<dyn FnOnce(&mut A, &mut SimContext<'_, <A as SimActor>::Msg>) + 'static>;
 
 enum EventKind<A: SimActor> {
     /// A bulk message reached the receiver's NIC input.
@@ -277,8 +276,7 @@ impl<A: SimActor> Simulation<A> {
                 self.stats.bytes_delivered += bytes;
                 let mut actions = Vec::new();
                 {
-                    let mut ctx =
-                        SimContext { node: to, now: self.now, actions: &mut actions };
+                    let mut ctx = SimContext { node: to, now: self.now, actions: &mut actions };
                     self.actors[to].on_message(from, msg, &mut ctx);
                 }
                 self.apply_actions(to, actions);
@@ -289,8 +287,7 @@ impl<A: SimActor> Simulation<A> {
                 }
                 let mut actions = Vec::new();
                 {
-                    let mut ctx =
-                        SimContext { node, now: self.now, actions: &mut actions };
+                    let mut ctx = SimContext { node, now: self.now, actions: &mut actions };
                     self.actors[node].on_timer(token, &mut ctx);
                 }
                 self.apply_actions(node, actions);
@@ -304,7 +301,10 @@ impl<A: SimActor> Simulation<A> {
                 let notice_at = self.now + self.cfg.failure_detection_delay;
                 for other in 0..self.actors.len() {
                     if other != node && self.alive[other] {
-                        self.push(notice_at, EventKind::PeerFailedNotice { node: other, peer: node });
+                        self.push(
+                            notice_at,
+                            EventKind::PeerFailedNotice { node: other, peer: node },
+                        );
                     }
                 }
             }
@@ -316,8 +316,7 @@ impl<A: SimActor> Simulation<A> {
                 self.nics[node].reset();
                 let mut actions = Vec::new();
                 {
-                    let mut ctx =
-                        SimContext { node, now: self.now, actions: &mut actions };
+                    let mut ctx = SimContext { node, now: self.now, actions: &mut actions };
                     self.actors[node].on_start(&mut ctx);
                 }
                 self.apply_actions(node, actions);
@@ -337,8 +336,7 @@ impl<A: SimActor> Simulation<A> {
                 }
                 let mut actions = Vec::new();
                 {
-                    let mut ctx =
-                        SimContext { node, now: self.now, actions: &mut actions };
+                    let mut ctx = SimContext { node, now: self.now, actions: &mut actions };
                     self.actors[node].on_peer_failed(peer, &mut ctx);
                 }
                 self.apply_actions(node, actions);
@@ -349,8 +347,7 @@ impl<A: SimActor> Simulation<A> {
                 }
                 let mut actions = Vec::new();
                 {
-                    let mut ctx =
-                        SimContext { node, now: self.now, actions: &mut actions };
+                    let mut ctx = SimContext { node, now: self.now, actions: &mut actions };
                     self.actors[node].on_peer_recovered(peer, &mut ctx);
                 }
                 self.apply_actions(node, actions);
@@ -361,8 +358,7 @@ impl<A: SimActor> Simulation<A> {
                 }
                 let mut actions = Vec::new();
                 {
-                    let mut ctx =
-                        SimContext { node, now: self.now, actions: &mut actions };
+                    let mut ctx = SimContext { node, now: self.now, actions: &mut actions };
                     call(&mut self.actors[node], &mut ctx);
                 }
                 self.apply_actions(node, actions);
@@ -449,15 +445,9 @@ mod tests {
         sim.run_to_completion();
         // The last receiver can only finish after the sender pushed all 40 MB through
         // its uplink: >= 40 ms.
-        let latest = (1..5)
-            .map(|i| sim.actor(i).received_at.expect("received"))
-            .max()
-            .unwrap();
+        let latest = (1..5).map(|i| sim.actor(i).received_at.expect("received")).max().unwrap();
         assert!(latest.as_secs_f64() >= 0.040, "latest = {latest:?}");
-        let earliest = (1..5)
-            .map(|i| sim.actor(i).received_at.expect("received"))
-            .min()
-            .unwrap();
+        let earliest = (1..5).map(|i| sim.actor(i).received_at.expect("received")).min().unwrap();
         assert!(earliest.as_secs_f64() >= 0.010 && earliest.as_secs_f64() < 0.025);
     }
 
@@ -520,7 +510,8 @@ mod tests {
                 }
             }
         }
-        let mut sim = Simulation::new(NetworkConfig::paper_testbed(), vec![Ticker { fired: vec![] }]);
+        let mut sim =
+            Simulation::new(NetworkConfig::paper_testbed(), vec![Ticker { fired: vec![] }]);
         sim.call_at(SimTime::ZERO, 0, |_a, ctx| ctx.set_timer(SimDuration::from_millis(5), 1));
         sim.run_to_completion();
         let fired = &sim.actor(0).fired;

@@ -1,10 +1,11 @@
 //! Wire framing for the real transports.
 //!
 //! The paper's implementation splits traffic into a gRPC control plane and a raw-TCP
-//! data plane (§4). We mirror that split inside a single framed stream: bulk messages
-//! (`PushBlock`, `ReduceBlock`) are encoded with a compact fixed binary header followed
-//! by the raw payload bytes, while every other (small, infrequent) control message is
-//! encoded as JSON. Each frame is length-prefixed.
+//! data plane (§4). We mirror that split inside a single framed stream: every message
+//! is encoded with a compact fixed binary layout — one tag byte selecting the variant,
+//! followed by the variant's fields in declaration order. Bulk messages (`PushBlock`,
+//! `ReduceBlock`) keep their historical tags so the payload bytes sit at a fixed,
+//! copy-friendly offset. Each frame is length-prefixed.
 //!
 //! Frame layout:
 //!
@@ -12,13 +13,19 @@
 //! +----------------+--------+----------------------------+
 //! | length: u32 BE | tag u8 | body (length - 1 bytes)    |
 //! +----------------+--------+----------------------------+
-//! tag 0 = JSON control message
-//! tag 1 = PushBlock     (binary)
-//! tag 2 = ReduceBlock   (binary)
+//! tag  1 = PushBlock        (bulk)
+//! tag  2 = ReduceBlock      (bulk)
+//! tag  3+ = control messages (one tag per variant, see `tags`)
 //! ```
+//!
+//! Integers are big-endian. Variable-length fields (`Vec`, `String`, payloads) are
+//! length-prefixed. The codec is hand-rolled and dependency-free; the decode side
+//! bounds-checks every read and rejects trailing or truncated bytes.
 
 use bytes::Bytes;
 use hoplite_core::prelude::*;
+use hoplite_core::protocol::ReduceParent;
+use hoplite_core::reduce::{DType, ReduceOp};
 // The core prelude exports its own single-parameter `Result` alias; framing uses the
 // standard two-parameter form.
 use std::result::Result;
@@ -28,77 +35,246 @@ use std::result::Result;
 pub enum FrameError {
     /// The frame is shorter than its header or otherwise malformed.
     Malformed(String),
-    /// JSON (de)serialization failed.
-    Json(String),
 }
 
 impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
-            FrameError::Json(m) => write!(f, "json frame error: {m}"),
         }
     }
 }
 
 impl std::error::Error for FrameError {}
 
-const TAG_JSON: u8 = 0;
-const TAG_PUSH_BLOCK: u8 = 1;
-const TAG_REDUCE_BLOCK: u8 = 2;
+fn malformed(what: &str) -> FrameError {
+    FrameError::Malformed(what.to_string())
+}
+
+/// Message tags. Bulk tags 1/2 are stable; control tags follow.
+mod tags {
+    pub const PUSH_BLOCK: u8 = 1;
+    pub const REDUCE_BLOCK: u8 = 2;
+    pub const DIR_REGISTER: u8 = 3;
+    pub const DIR_PUT_INLINE: u8 = 4;
+    pub const DIR_UNREGISTER: u8 = 5;
+    pub const DIR_QUERY: u8 = 6;
+    pub const DIR_QUERY_REPLY: u8 = 7;
+    pub const DIR_SUBSCRIBE: u8 = 8;
+    pub const DIR_PUBLISH: u8 = 9;
+    pub const DIR_TRANSFER_DONE: u8 = 10;
+    pub const DIR_DELETE: u8 = 11;
+    pub const STORE_RELEASE: u8 = 12;
+    pub const PULL_REQUEST: u8 = 13;
+    pub const PULL_CANCEL: u8 = 14;
+    pub const PULL_ERROR: u8 = 15;
+    pub const REDUCE_INSTRUCTION: u8 = 16;
+    pub const REDUCE_DONE: u8 = 17;
+}
+
+// ------------------------------------------------------------------ write helpers --
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn get_u64(buf: &[u8], at: usize) -> Result<u64, FrameError> {
-    buf.get(at..at + 8)
-        .and_then(|s| s.try_into().ok())
-        .map(u64::from_be_bytes)
-        .ok_or_else(|| FrameError::Malformed("truncated u64".into()))
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
 }
 
-fn encode_payload(out: &mut Vec<u8>, payload: &Payload) {
+fn put_object(out: &mut Vec<u8>, object: ObjectId) {
+    out.extend_from_slice(&object.0);
+}
+
+fn put_node(out: &mut Vec<u8>, node: NodeId) {
+    put_u32(out, node.0);
+}
+
+fn put_status(out: &mut Vec<u8>, status: ObjectStatus) {
+    put_u8(
+        out,
+        match status {
+            ObjectStatus::Partial => 0,
+            ObjectStatus::Complete => 1,
+        },
+    );
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: ReduceSpec) {
+    put_u8(
+        out,
+        match spec.op {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => 1,
+            ReduceOp::Max => 2,
+        },
+    );
+    put_u8(
+        out,
+        match spec.dtype {
+            DType::F32 => 0,
+            DType::F64 => 1,
+            DType::I32 => 2,
+            DType::I64 => 3,
+        },
+    );
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[NodeId]) {
+    put_u64(out, nodes.len() as u64);
+    for &n in nodes {
+        put_node(out, n);
+    }
+}
+
+fn put_payload(out: &mut Vec<u8>, payload: &Payload) {
     match payload {
         Payload::Bytes(b) => {
-            out.push(0);
+            put_u8(out, 0);
             put_u64(out, b.len() as u64);
             out.extend_from_slice(b);
         }
         Payload::Synthetic { len } => {
-            out.push(1);
+            put_u8(out, 1);
             put_u64(out, *len);
         }
     }
 }
 
-fn decode_payload(buf: &[u8], at: usize) -> Result<(Payload, usize), FrameError> {
-    let kind = *buf.get(at).ok_or_else(|| FrameError::Malformed("missing payload kind".into()))?;
-    let len = get_u64(buf, at + 1)? as usize;
-    match kind {
-        0 => {
-            let start = at + 9;
-            let data = buf
-                .get(start..start + len)
-                .ok_or_else(|| FrameError::Malformed("truncated payload".into()))?;
-            Ok((Payload::Bytes(Bytes::copy_from_slice(data)), start + len))
+// ------------------------------------------------------------------- read helpers --
+
+/// Bounds-checked cursor over a received frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let slice =
+            self.buf.get(self.at..self.at + n).ok_or_else(|| malformed("truncated field"))?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn usize_checked(&mut self) -> Result<usize, FrameError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| malformed("length overflows usize"))
+    }
+
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn object(&mut self) -> Result<ObjectId, FrameError> {
+        Ok(ObjectId(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    fn node(&mut self) -> Result<NodeId, FrameError> {
+        Ok(NodeId(self.u32()?))
+    }
+
+    fn status(&mut self) -> Result<ObjectStatus, FrameError> {
+        match self.u8()? {
+            0 => Ok(ObjectStatus::Partial),
+            1 => Ok(ObjectStatus::Complete),
+            other => Err(malformed(&format!("unknown object status {other}"))),
         }
-        1 => Ok((Payload::synthetic(len as u64), at + 9)),
-        other => Err(FrameError::Malformed(format!("unknown payload kind {other}"))),
+    }
+
+    fn spec(&mut self) -> Result<ReduceSpec, FrameError> {
+        let op = match self.u8()? {
+            0 => ReduceOp::Sum,
+            1 => ReduceOp::Min,
+            2 => ReduceOp::Max,
+            other => return Err(malformed(&format!("unknown reduce op {other}"))),
+        };
+        let dtype = match self.u8()? {
+            0 => DType::F32,
+            1 => DType::F64,
+            2 => DType::I32,
+            3 => DType::I64,
+            other => return Err(malformed(&format!("unknown dtype {other}"))),
+        };
+        Ok(ReduceSpec { op, dtype })
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.usize_checked()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("invalid utf-8 string"))
+    }
+
+    fn nodes(&mut self) -> Result<Vec<NodeId>, FrameError> {
+        let len = self.usize_checked()?;
+        if len > self.buf.len() {
+            return Err(malformed("node list longer than frame"));
+        }
+        (0..len).map(|_| self.node()).collect()
+    }
+
+    fn payload(&mut self) -> Result<Payload, FrameError> {
+        match self.u8()? {
+            0 => {
+                let len = self.usize_checked()?;
+                Ok(Payload::Bytes(Bytes::copy_from_slice(self.take(len)?)))
+            }
+            1 => Ok(Payload::synthetic(self.u64()?)),
+            other => Err(malformed(&format!("unknown payload kind {other}"))),
+        }
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(malformed("trailing bytes after message"))
+        }
     }
 }
+
+// ------------------------------------------------------------------------- encode --
 
 /// Encode a message body (without the outer length prefix).
 pub fn encode_body(msg: &Message) -> Result<Vec<u8>, FrameError> {
     let mut out = Vec::new();
     match msg {
         Message::PushBlock { object, offset, total_size, payload, complete } => {
-            out.push(TAG_PUSH_BLOCK);
-            out.extend_from_slice(&object.0);
+            put_u8(&mut out, tags::PUSH_BLOCK);
+            put_object(&mut out, *object);
             put_u64(&mut out, *offset);
             put_u64(&mut out, *total_size);
-            out.push(u8::from(*complete));
-            encode_payload(&mut out, payload);
+            put_bool(&mut out, *complete);
+            put_payload(&mut out, payload);
         }
         Message::ReduceBlock {
             target,
@@ -109,72 +285,253 @@ pub fn encode_body(msg: &Message) -> Result<Vec<u8>, FrameError> {
             object_size,
             payload,
         } => {
-            out.push(TAG_REDUCE_BLOCK);
-            out.extend_from_slice(&target.0);
+            put_u8(&mut out, tags::REDUCE_BLOCK);
+            put_object(&mut out, *target);
             put_u64(&mut out, *to_slot as u64);
             put_u64(&mut out, *from_slot as u64);
             put_u64(&mut out, *parent_epoch);
             put_u64(&mut out, *block_index);
             put_u64(&mut out, *object_size);
-            encode_payload(&mut out, payload);
+            put_payload(&mut out, payload);
         }
-        other => {
-            out.push(TAG_JSON);
-            let json = serde_json::to_vec(other).map_err(|e| FrameError::Json(e.to_string()))?;
-            out.extend_from_slice(&json);
+        Message::DirRegister { object, holder, status, size } => {
+            put_u8(&mut out, tags::DIR_REGISTER);
+            put_object(&mut out, *object);
+            put_node(&mut out, *holder);
+            put_status(&mut out, *status);
+            put_u64(&mut out, *size);
+        }
+        Message::DirPutInline { object, holder, payload } => {
+            put_u8(&mut out, tags::DIR_PUT_INLINE);
+            put_object(&mut out, *object);
+            put_node(&mut out, *holder);
+            put_payload(&mut out, payload);
+        }
+        Message::DirUnregister { object, holder } => {
+            put_u8(&mut out, tags::DIR_UNREGISTER);
+            put_object(&mut out, *object);
+            put_node(&mut out, *holder);
+        }
+        Message::DirQuery { object, requester, query_id, exclude } => {
+            put_u8(&mut out, tags::DIR_QUERY);
+            put_object(&mut out, *object);
+            put_node(&mut out, *requester);
+            put_u64(&mut out, *query_id);
+            put_nodes(&mut out, exclude);
+        }
+        Message::DirQueryReply { object, query_id, result } => {
+            put_u8(&mut out, tags::DIR_QUERY_REPLY);
+            put_object(&mut out, *object);
+            put_u64(&mut out, *query_id);
+            match result {
+                QueryResult::Inline { payload } => {
+                    put_u8(&mut out, 0);
+                    put_payload(&mut out, payload);
+                }
+                QueryResult::Location { node, status, size } => {
+                    put_u8(&mut out, 1);
+                    put_node(&mut out, *node);
+                    put_status(&mut out, *status);
+                    put_u64(&mut out, *size);
+                }
+                QueryResult::Deleted => put_u8(&mut out, 2),
+            }
+        }
+        Message::DirSubscribe { object, subscriber } => {
+            put_u8(&mut out, tags::DIR_SUBSCRIBE);
+            put_object(&mut out, *object);
+            put_node(&mut out, *subscriber);
+        }
+        Message::DirPublish { object, holder, status, size } => {
+            put_u8(&mut out, tags::DIR_PUBLISH);
+            put_object(&mut out, *object);
+            put_node(&mut out, *holder);
+            put_status(&mut out, *status);
+            put_u64(&mut out, *size);
+        }
+        Message::DirTransferDone { object, receiver, sender } => {
+            put_u8(&mut out, tags::DIR_TRANSFER_DONE);
+            put_object(&mut out, *object);
+            put_node(&mut out, *receiver);
+            put_node(&mut out, *sender);
+        }
+        Message::DirDelete { object } => {
+            put_u8(&mut out, tags::DIR_DELETE);
+            put_object(&mut out, *object);
+        }
+        Message::StoreRelease { object } => {
+            put_u8(&mut out, tags::STORE_RELEASE);
+            put_object(&mut out, *object);
+        }
+        Message::PullRequest { object, requester, offset } => {
+            put_u8(&mut out, tags::PULL_REQUEST);
+            put_object(&mut out, *object);
+            put_node(&mut out, *requester);
+            put_u64(&mut out, *offset);
+        }
+        Message::PullCancel { object, requester } => {
+            put_u8(&mut out, tags::PULL_CANCEL);
+            put_object(&mut out, *object);
+            put_node(&mut out, *requester);
+        }
+        Message::PullError { object, reason } => {
+            put_u8(&mut out, tags::PULL_ERROR);
+            put_object(&mut out, *object);
+            put_string(&mut out, reason);
+        }
+        Message::ReduceInstruction(instr) => {
+            put_u8(&mut out, tags::REDUCE_INSTRUCTION);
+            put_object(&mut out, instr.target);
+            put_node(&mut out, instr.coordinator);
+            put_u64(&mut out, instr.slot as u64);
+            put_object(&mut out, instr.own_object);
+            put_spec(&mut out, instr.spec);
+            put_u64(&mut out, instr.object_size);
+            put_u64(&mut out, instr.block_size);
+            put_u64(&mut out, instr.num_inputs as u64);
+            put_u64(&mut out, instr.epoch);
+            match &instr.parent {
+                None => put_u8(&mut out, 0),
+                Some(p) => {
+                    put_u8(&mut out, 1);
+                    put_u64(&mut out, p.slot as u64);
+                    put_node(&mut out, p.node);
+                    put_u64(&mut out, p.epoch);
+                }
+            }
+            put_u64(&mut out, instr.children.len() as u64);
+            for (slot, node, object) in &instr.children {
+                put_u64(&mut out, *slot as u64);
+                put_node(&mut out, *node);
+                put_object(&mut out, *object);
+            }
+            put_bool(&mut out, instr.is_root);
+            put_u64(&mut out, instr.total_slots as u64);
+        }
+        Message::ReduceDone { target, root } => {
+            put_u8(&mut out, tags::REDUCE_DONE);
+            put_object(&mut out, *target);
+            put_node(&mut out, *root);
         }
     }
     Ok(out)
 }
 
+// ------------------------------------------------------------------------- decode --
+
 /// Decode a message body produced by [`encode_body`].
 pub fn decode_body(buf: &[u8]) -> Result<Message, FrameError> {
-    let tag = *buf.first().ok_or_else(|| FrameError::Malformed("empty frame".into()))?;
-    match tag {
-        TAG_JSON => serde_json::from_slice(&buf[1..]).map_err(|e| FrameError::Json(e.to_string())),
-        TAG_PUSH_BLOCK => {
-            let mut object = [0u8; 16];
-            object.copy_from_slice(
-                buf.get(1..17).ok_or_else(|| FrameError::Malformed("truncated object id".into()))?,
-            );
-            let offset = get_u64(buf, 17)?;
-            let total_size = get_u64(buf, 25)?;
-            let complete = *buf
-                .get(33)
-                .ok_or_else(|| FrameError::Malformed("truncated complete flag".into()))?
-                != 0;
-            let (payload, _) = decode_payload(buf, 34)?;
-            Ok(Message::PushBlock {
-                object: ObjectId(object),
-                offset,
-                total_size,
-                payload,
-                complete,
-            })
+    let tag = *buf.first().ok_or_else(|| malformed("empty frame"))?;
+    let mut r = Reader::new(&buf[1..]);
+    let msg = match tag {
+        tags::PUSH_BLOCK => Message::PushBlock {
+            object: r.object()?,
+            offset: r.u64()?,
+            total_size: r.u64()?,
+            complete: r.bool()?,
+            payload: r.payload()?,
+        },
+        tags::REDUCE_BLOCK => Message::ReduceBlock {
+            target: r.object()?,
+            to_slot: r.usize_checked()?,
+            from_slot: r.usize_checked()?,
+            parent_epoch: r.u64()?,
+            block_index: r.u64()?,
+            object_size: r.u64()?,
+            payload: r.payload()?,
+        },
+        tags::DIR_REGISTER => Message::DirRegister {
+            object: r.object()?,
+            holder: r.node()?,
+            status: r.status()?,
+            size: r.u64()?,
+        },
+        tags::DIR_PUT_INLINE => {
+            Message::DirPutInline { object: r.object()?, holder: r.node()?, payload: r.payload()? }
         }
-        TAG_REDUCE_BLOCK => {
-            let mut target = [0u8; 16];
-            target.copy_from_slice(
-                buf.get(1..17).ok_or_else(|| FrameError::Malformed("truncated target id".into()))?,
-            );
-            let to_slot = get_u64(buf, 17)? as usize;
-            let from_slot = get_u64(buf, 25)? as usize;
-            let parent_epoch = get_u64(buf, 33)?;
-            let block_index = get_u64(buf, 41)?;
-            let object_size = get_u64(buf, 49)?;
-            let (payload, _) = decode_payload(buf, 57)?;
-            Ok(Message::ReduceBlock {
-                target: ObjectId(target),
-                to_slot,
-                from_slot,
-                parent_epoch,
-                block_index,
+        tags::DIR_UNREGISTER => Message::DirUnregister { object: r.object()?, holder: r.node()? },
+        tags::DIR_QUERY => Message::DirQuery {
+            object: r.object()?,
+            requester: r.node()?,
+            query_id: r.u64()?,
+            exclude: r.nodes()?,
+        },
+        tags::DIR_QUERY_REPLY => {
+            let object = r.object()?;
+            let query_id = r.u64()?;
+            let result = match r.u8()? {
+                0 => QueryResult::Inline { payload: r.payload()? },
+                1 => QueryResult::Location { node: r.node()?, status: r.status()?, size: r.u64()? },
+                2 => QueryResult::Deleted,
+                other => return Err(malformed(&format!("unknown query result {other}"))),
+            };
+            Message::DirQueryReply { object, query_id, result }
+        }
+        tags::DIR_SUBSCRIBE => Message::DirSubscribe { object: r.object()?, subscriber: r.node()? },
+        tags::DIR_PUBLISH => Message::DirPublish {
+            object: r.object()?,
+            holder: r.node()?,
+            status: r.status()?,
+            size: r.u64()?,
+        },
+        tags::DIR_TRANSFER_DONE => {
+            Message::DirTransferDone { object: r.object()?, receiver: r.node()?, sender: r.node()? }
+        }
+        tags::DIR_DELETE => Message::DirDelete { object: r.object()? },
+        tags::STORE_RELEASE => Message::StoreRelease { object: r.object()? },
+        tags::PULL_REQUEST => {
+            Message::PullRequest { object: r.object()?, requester: r.node()?, offset: r.u64()? }
+        }
+        tags::PULL_CANCEL => Message::PullCancel { object: r.object()?, requester: r.node()? },
+        tags::PULL_ERROR => Message::PullError { object: r.object()?, reason: r.string()? },
+        tags::REDUCE_INSTRUCTION => {
+            let target = r.object()?;
+            let coordinator = r.node()?;
+            let slot = r.usize_checked()?;
+            let own_object = r.object()?;
+            let spec = r.spec()?;
+            let object_size = r.u64()?;
+            let block_size = r.u64()?;
+            let num_inputs = r.usize_checked()?;
+            let epoch = r.u64()?;
+            let parent = match r.u8()? {
+                0 => None,
+                1 => Some(ReduceParent {
+                    slot: r.usize_checked()?,
+                    node: r.node()?,
+                    epoch: r.u64()?,
+                }),
+                other => return Err(malformed(&format!("unknown parent flag {other}"))),
+            };
+            let num_children = r.usize_checked()?;
+            if num_children > buf.len() {
+                return Err(malformed("child list longer than frame"));
+            }
+            let mut children = Vec::with_capacity(num_children);
+            for _ in 0..num_children {
+                children.push((r.usize_checked()?, r.node()?, r.object()?));
+            }
+            Message::ReduceInstruction(ReduceInstruction {
+                target,
+                coordinator,
+                slot,
+                own_object,
+                spec,
                 object_size,
-                payload,
+                block_size,
+                num_inputs,
+                epoch,
+                parent,
+                children,
+                is_root: r.bool()?,
+                total_slots: r.usize_checked()?,
             })
         }
-        other => Err(FrameError::Malformed(format!("unknown frame tag {other}"))),
-    }
+        tags::REDUCE_DONE => Message::ReduceDone { target: r.object()?, root: r.node()? },
+        other => return Err(malformed(&format!("unknown frame tag {other}"))),
+    };
+    r.finish()?;
+    Ok(msg)
 }
 
 /// Encode a whole frame: `u32` big-endian length followed by the body.
@@ -207,6 +564,7 @@ pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Message> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hoplite_core::protocol::ReduceParent;
     use hoplite_core::reduce::ReduceSpec;
 
     fn roundtrip(msg: Message) {
@@ -251,21 +609,94 @@ mod tests {
     }
 
     #[test]
-    fn control_messages_roundtrip_via_json() {
-        roundtrip(Message::DirQuery {
-            object: ObjectId::from_name("q"),
-            requester: NodeId(4),
-            query_id: 77,
-            exclude: vec![NodeId(1), NodeId(2)],
-        });
+    fn every_control_message_roundtrips() {
+        let obj = ObjectId::from_name("ctl");
         roundtrip(Message::DirRegister {
-            object: ObjectId::from_name("r"),
+            object: obj,
             holder: NodeId(0),
             status: ObjectStatus::Partial,
             size: 123,
         });
-        roundtrip(Message::ReduceDone { target: ObjectId::from_name("d"), root: NodeId(3) });
-        let _ = ReduceSpec::sum_f32();
+        roundtrip(Message::DirPutInline {
+            object: obj,
+            holder: NodeId(3),
+            payload: Payload::from_vec(vec![1, 2, 3]),
+        });
+        roundtrip(Message::DirUnregister { object: obj, holder: NodeId(1) });
+        roundtrip(Message::DirQuery {
+            object: obj,
+            requester: NodeId(4),
+            query_id: 77,
+            exclude: vec![NodeId(1), NodeId(2)],
+        });
+        roundtrip(Message::DirQueryReply {
+            object: obj,
+            query_id: 9,
+            result: QueryResult::Inline { payload: Payload::zeros(8) },
+        });
+        roundtrip(Message::DirQueryReply {
+            object: obj,
+            query_id: 10,
+            result: QueryResult::Location {
+                node: NodeId(5),
+                status: ObjectStatus::Complete,
+                size: 4096,
+            },
+        });
+        roundtrip(Message::DirQueryReply {
+            object: obj,
+            query_id: 11,
+            result: QueryResult::Deleted,
+        });
+        roundtrip(Message::DirSubscribe { object: obj, subscriber: NodeId(7) });
+        roundtrip(Message::DirPublish {
+            object: obj,
+            holder: NodeId(2),
+            status: ObjectStatus::Complete,
+            size: 1 << 30,
+        });
+        roundtrip(Message::DirTransferDone { object: obj, receiver: NodeId(8), sender: NodeId(9) });
+        roundtrip(Message::DirDelete { object: obj });
+        roundtrip(Message::StoreRelease { object: obj });
+        roundtrip(Message::PullRequest { object: obj, requester: NodeId(1), offset: 512 });
+        roundtrip(Message::PullCancel { object: obj, requester: NodeId(1) });
+        roundtrip(Message::PullError { object: obj, reason: "object deleted".to_string() });
+        roundtrip(Message::ReduceDone { target: obj, root: NodeId(3) });
+    }
+
+    #[test]
+    fn reduce_instruction_roundtrips() {
+        roundtrip(Message::ReduceInstruction(ReduceInstruction {
+            target: ObjectId::from_name("t"),
+            coordinator: NodeId(0),
+            slot: 3,
+            own_object: ObjectId::from_name("s"),
+            spec: ReduceSpec::sum_f32(),
+            object_size: 1024,
+            block_size: 256,
+            num_inputs: 3,
+            epoch: 5,
+            parent: Some(ReduceParent { slot: 5, node: NodeId(2), epoch: 1 }),
+            children: vec![(1, NodeId(4), ObjectId::from_name("c"))],
+            is_root: false,
+            total_slots: 6,
+        }));
+        // Root variant: no parent, no children.
+        roundtrip(Message::ReduceInstruction(ReduceInstruction {
+            target: ObjectId::from_name("t2"),
+            coordinator: NodeId(1),
+            slot: 0,
+            own_object: ObjectId::from_name("s2"),
+            spec: ReduceSpec::sum_f32(),
+            object_size: 8,
+            block_size: 8,
+            num_inputs: 1,
+            epoch: 0,
+            parent: None,
+            children: vec![],
+            is_root: true,
+            total_slots: 1,
+        }));
     }
 
     #[test]
@@ -294,7 +725,21 @@ mod tests {
     fn corrupt_frames_are_rejected() {
         assert!(decode_body(&[]).is_err());
         assert!(decode_body(&[42]).is_err());
-        assert!(decode_body(&[TAG_PUSH_BLOCK, 1, 2]).is_err());
-        assert!(decode_body(&[TAG_JSON, b'{']).is_err());
+        assert!(decode_body(&[super::tags::PUSH_BLOCK, 1, 2]).is_err());
+        // A valid message with trailing garbage is rejected too.
+        let mut body =
+            encode_body(&Message::DirDelete { object: ObjectId::from_name("x") }).unwrap();
+        body.push(0);
+        assert!(decode_body(&body).is_err());
+        // Truncated node list length.
+        let mut q = encode_body(&Message::DirQuery {
+            object: ObjectId::from_name("q"),
+            requester: NodeId(0),
+            query_id: 1,
+            exclude: vec![NodeId(1)],
+        })
+        .unwrap();
+        q.truncate(q.len() - 2);
+        assert!(decode_body(&q).is_err());
     }
 }

@@ -32,11 +32,14 @@ pub struct TcpFabric {
     _listeners: Vec<thread::JoinHandle<()>>,
 }
 
+/// One cached, framed connection shared by everyone sending over the same edge.
+type SharedConn = Arc<Mutex<BufWriter<TcpStream>>>;
+
 /// Sender half of [`TcpFabric`].
 #[derive(Clone)]
 pub struct TcpFabricSender {
     addrs: Arc<Vec<SocketAddr>>,
-    connections: Arc<Mutex<HashMap<(u32, u32), Arc<Mutex<BufWriter<TcpStream>>>>>>,
+    connections: Arc<Mutex<HashMap<(u32, u32), SharedConn>>>,
 }
 
 impl TcpFabric {
@@ -99,16 +102,15 @@ impl Fabric for TcpFabric {
     }
 
     fn sender(&self) -> TcpFabricSender {
-        TcpFabricSender { addrs: self.addrs.clone(), connections: Arc::new(Mutex::new(HashMap::new())) }
+        TcpFabricSender {
+            addrs: self.addrs.clone(),
+            connections: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 }
 
 impl TcpFabricSender {
-    fn connection(
-        &self,
-        from: NodeId,
-        to: NodeId,
-    ) -> std::io::Result<Arc<Mutex<BufWriter<TcpStream>>>> {
+    fn connection(&self, from: NodeId, to: NodeId) -> std::io::Result<SharedConn> {
         let key = (from.0, to.0);
         if let Some(existing) = self.connections.lock().get(&key) {
             return Ok(existing.clone());

@@ -30,9 +30,7 @@ fn main() {
             .map(|_| ts.submit("gradient", vec![policy_ref]).expect("submit"))
             .collect();
         // Reduce a *subset* (the first half to finish), exactly like Figure 1b.
-        let reduced = ts
-            .reduce(&grads, Some(workers / 2), ReduceSpec::sum_f32())
-            .expect("reduce");
+        let reduced = ts.reduce(&grads, Some(workers / 2), ReduceSpec::sum_f32()).expect("reduce");
         let update = ts.get(reduced).expect("get reduced gradient").to_f32s();
         for (w, u) in policy.iter_mut().zip(update) {
             *w += u / (workers / 2) as f32;

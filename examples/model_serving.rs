@@ -19,8 +19,9 @@ fn main() {
     ts.register("classify", |args| {
         let threshold = args[0].to_f32s()[0];
         let pixels = args[1].to_f32s();
-        let votes: Vec<f32> =
-            pixels.chunks(64).map(|img| {
+        let votes: Vec<f32> = pixels
+            .chunks(64)
+            .map(|img| {
                 let mean = img.iter().sum::<f32>() / img.len() as f32;
                 if mean > threshold {
                     1.0
@@ -44,7 +45,7 @@ fn main() {
         .collect();
 
     // Majority vote across the ensemble.
-    let mut tallies = vec![0u32; 32];
+    let mut tallies = [0u32; 32];
     for out in &outputs {
         for (i, v) in ts.get(*out).expect("get votes").to_f32s().iter().enumerate() {
             if *v > 0.5 {

@@ -23,9 +23,7 @@ fn real_cluster_broadcast_delivers_identical_bytes_everywhere() {
     let handles: Vec<std::thread::JoinHandle<Vec<u8>>> = (1..5)
         .map(|i| {
             let client = cluster.client(i);
-            std::thread::spawn(move || {
-                client.get(object).unwrap().as_bytes().unwrap().to_vec()
-            })
+            std::thread::spawn(move || client.get(object).unwrap().as_bytes().unwrap().to_vec())
         })
         .collect();
     for h in handles {
@@ -127,11 +125,11 @@ fn simulated_reduce_subset_makes_progress_without_stragglers() {
     // complete (this is the asynchrony property of §3.4.2).
     let mut cluster = SimCluster::paper_testbed(8);
     let sources: Vec<ObjectId> = (0..8).map(|i| ObjectId::from_name(&format!("sub-{i}"))).collect();
-    for i in 0..4usize {
+    for (i, &source) in sources.iter().enumerate().take(4) {
         cluster.submit_at(
             SimTime::ZERO,
             i,
-            ClientOp::Put { object: sources[i], payload: Payload::synthetic(32 * MB) },
+            ClientOp::Put { object: source, payload: Payload::synthetic(32 * MB) },
         );
     }
     let target = ObjectId::from_name("sub-sum");
