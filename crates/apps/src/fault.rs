@@ -1,18 +1,22 @@
 //! Fault-tolerance experiments (§5.5, Figure 12).
 //!
-//! Two artifacts are produced:
+//! Three artifacts are produced:
 //!
 //! * [`broadcast_failover_demo`] — a *protocol-level* experiment on the simulated
 //!   cluster: a broadcast intermediate is killed mid-transfer and the remaining
 //!   receivers must still complete by failing over to other senders (§3.5.1). It
 //!   returns the latency with and without the failure, demonstrating that the recovery
 //!   cost is bounded by the failure-detection delay rather than a restart.
+//! * [`directory_failover_demo`] — the metadata-plane counterpart: the *directory
+//!   primary* of the broadcast object is killed mid-broadcast; the shard's backup is
+//!   promoted and must hold every object-location record (the directory is
+//!   replicated, §3.5), so the broadcast completes and nothing is forgotten.
 //! * [`serving_failure_timeline`] / [`async_sgd_failure_timeline`] — per-query /
 //!   per-iteration latency traces around a worker failure and rejoin, the format of
 //!   Figure 12.
 
 use hoplite_baselines::{Baseline, CollectiveKind};
-use hoplite_cluster::scenarios::ScenarioEnv;
+use hoplite_cluster::scenarios::{directory_failover_broadcast, ScenarioEnv};
 use hoplite_cluster::sim_cluster::SimCluster;
 use hoplite_core::prelude::*;
 use hoplite_simnet::prelude::SimTime;
@@ -69,6 +73,38 @@ pub fn broadcast_failover_demo(n: usize, size: u64, fail_at_s: f64) -> FailoverR
     let (baseline_s, _, _) = run(false);
     let (with_failure_s, completed_receivers, failovers) = run(true);
     FailoverResult { baseline_s, with_failure_s, completed_receivers, failovers }
+}
+
+/// Result of the directory-primary failover experiment.
+#[derive(Clone, Debug)]
+pub struct DirectoryFailoverResult {
+    /// Broadcast latency with the directory primary killed mid-broadcast, seconds.
+    pub with_failure_s: f64,
+    /// Receivers that completed despite the metadata-plane failure.
+    pub completed_receivers: usize,
+    /// `true` when the promoted backup holds a location record for the source and
+    /// every receiver — i.e. zero object-location records were lost.
+    pub metadata_intact: bool,
+    /// Outstanding location queries re-issued at the promoted backup.
+    pub directory_failovers: u64,
+}
+
+/// Kill the directory primary of the broadcast object mid-broadcast and check that
+/// the replicated directory keeps both the data plane and the metadata intact. The
+/// last node is dedicated to hosting the shard primary (no object data), so the kill
+/// isolates the metadata plane.
+pub fn directory_failover_demo(n: usize, size: u64, fail_at_s: f64) -> DirectoryFailoverResult {
+    let env = ScenarioEnv::paper_testbed();
+    let r = directory_failover_broadcast(&env, n, size, fail_at_s);
+    // Expected holders: the source (node 0) plus the n-2 receivers (nodes 1..n-1).
+    let metadata_intact =
+        (0..(n - 1) as u32).all(|id| r.locations_at_new_primary.iter().any(|h| h.0 == id));
+    DirectoryFailoverResult {
+        with_failure_s: r.latency_s,
+        completed_receivers: r.completed_receivers,
+        metadata_intact,
+        directory_failovers: r.directory_failovers,
+    }
 }
 
 /// One point in a Figure-12 style latency timeline.
@@ -196,6 +232,14 @@ mod tests {
             r.with_failure_s,
             r.baseline_s
         );
+    }
+
+    #[test]
+    fn directory_failover_keeps_metadata_and_completions() {
+        let r = directory_failover_demo(8, 512 * MB, 0.05);
+        assert_eq!(r.completed_receivers, 6, "all receivers finish");
+        assert!(r.metadata_intact, "promoted backup lost location records");
+        assert!(r.directory_failovers >= 1, "the late receiver re-drove its query");
     }
 
     #[test]

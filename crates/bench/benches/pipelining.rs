@@ -47,7 +47,8 @@ fn bench_framing(c: &mut Criterion) {
         payload: Payload::zeros(4 * 1024 * 1024),
         complete: false,
     };
-    let encoded = encode_body(&msg).unwrap();
+    // Decode consumes a shared receive buffer, exactly as `read_frame` hands it over.
+    let encoded = bytes::Bytes::from(encode_body(&msg).unwrap());
     let mut group = c.benchmark_group("framing_push_block_4MB");
     group.throughput(Throughput::Bytes(4 * 1024 * 1024));
     group.bench_function("encode", |b| b.iter(|| encode_body(&msg).unwrap()));

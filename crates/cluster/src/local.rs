@@ -399,4 +399,26 @@ mod tests {
         let got = cluster.client(1).get(obj).unwrap();
         assert_eq!(got.len(), 3000);
     }
+
+    #[test]
+    fn kill_directory_primary_then_get_still_resolves() {
+        // Real-byte counterpart of the simulated directory-failover scenario: the
+        // object's location record was replicated to the shard's backup before the
+        // primary died, so a Get issued afterwards resolves through the promoted
+        // backup instead of hanging.
+        let mut cluster = LocalCluster::new(4, HopliteConfig::small_for_tests());
+        let obj = (0u64..)
+            .map(|k| ObjectId::from_name(&format!("dir-kill-{k}")))
+            .find(|&o| ClusterView::of_size(4).shard_node(o).index() == 3)
+            .unwrap();
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
+        cluster.client(1).put(obj, Payload::from_vec(data.clone())).unwrap();
+        // Give the async log shipment a moment to reach the backup, then kill the
+        // primary (node 3 holds no copy of the object itself).
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        cluster.kill_node(3);
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let got = cluster.client(2).get(obj).unwrap();
+        assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
+    }
 }

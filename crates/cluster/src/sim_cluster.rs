@@ -135,6 +135,23 @@ impl SimCluster {
         self.sim.actor(node).node().has_complete(object)
     }
 
+    /// Object locations recorded in `node`'s replica of `object`'s directory shard
+    /// (`None` when that node hosts no replica of the shard). Failover scenarios use
+    /// this to assert zero metadata loss across a primary kill.
+    pub fn directory_locations(&self, node: usize, object: ObjectId) -> Option<Vec<NodeId>> {
+        self.sim
+            .actor(node)
+            .node()
+            .directory_locations(object)
+            .map(|locs| locs.into_iter().map(|(n, _)| n).collect())
+    }
+
+    /// The node that `viewer` currently believes is the primary of `object`'s
+    /// directory shard.
+    pub fn directory_primary(&self, viewer: usize, object: ObjectId) -> Option<NodeId> {
+        self.sim.actor(viewer).node().directory_primary_for(object)
+    }
+
     /// Simulator statistics (message/byte counts).
     pub fn sim_stats(&self) -> &SimStats {
         self.sim.stats()

@@ -15,6 +15,16 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Sample-count override for smoke runs: `HOPLITE_BENCH_SAMPLES=1 cargo bench` runs
+/// every benchmark once (CI uses this to catch bench-breaking regressions cheaply
+/// without paying for statistically meaningful timings).
+fn sample_override() -> Option<usize> {
+    std::env::var("HOPLITE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|n: usize| n.max(1))
+}
+
 /// Top-level benchmark driver, passed by `criterion_group!` into each bench function.
 pub struct Criterion {
     default_sample_size: usize,
@@ -22,7 +32,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10 }
+        Criterion { default_sample_size: sample_override().unwrap_or(10) }
     }
 }
 
@@ -40,12 +50,8 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            _criterion: self,
-            name: name.to_string(),
-            sample_size: 10,
-            throughput: None,
-        }
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size, throughput: None }
     }
 }
 
@@ -90,9 +96,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark (the `HOPLITE_BENCH_SAMPLES` smoke
+    /// override wins over per-group settings).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = sample_override().unwrap_or_else(|| n.max(1));
         self
     }
 

@@ -39,6 +39,10 @@ pub struct HopliteConfig {
     /// Number of directory shards. Defaults to one shard per node (shard `i` is hosted
     /// by node `i % num_nodes`).
     pub directory_shards: Option<usize>,
+    /// Number of replicas (primary + backups) of every directory shard (§3.5: the
+    /// paper replicates the object directory so metadata survives node failures).
+    /// Clamped to the cluster size at placement time; `1` disables replication.
+    pub directory_replication: usize,
 }
 
 impl Default for HopliteConfig {
@@ -53,6 +57,7 @@ impl Default for HopliteConfig {
             memcpy_bandwidth: 5.0e9,
             pull_timeout: Duration::from_millis(750),
             directory_shards: None,
+            directory_replication: 2,
         }
     }
 }

@@ -1,0 +1,256 @@
+//! The failover-aware directory client.
+//!
+//! Every node talks to the directory exclusively through a [`DirectoryClient`]: it
+//! resolves the current primary of an object's shard from the same deterministic
+//! placement + failure view the servers use, and it journals the durable *intent*
+//! this node has expressed to the directory — locations it registered, inline objects
+//! it published, subscriptions it opened.
+//!
+//! That journal is what makes the client failover-aware. Replication means a promoted
+//! backup already holds everything the old primary had applied; the remaining loss
+//! window is the messages that were in flight *to* the dying primary and never entered
+//! the replicated log. When the failure detector reports a primary death,
+//! [`DirectoryClient::on_peer_failed`] returns exactly the state to re-drive at the
+//! new primary: registrations and subscriptions for the failed-over shards (the node
+//! facade re-sends them, and `node/failure.rs` re-issues outstanding location
+//! queries). All three re-drives are idempotent at the shard.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::buffer::Payload;
+use crate::config::HopliteConfig;
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::protocol::Message;
+
+use super::service::DirectoryPlacement;
+
+/// The journaled intent of one registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Registration {
+    /// Last status this node registered for the object.
+    pub status: ObjectStatus,
+    /// Object size as registered.
+    pub size: u64,
+    /// Whether the object went through the inline (small-object) fast path, in which
+    /// case a re-drive must re-ship the payload, not just the location.
+    pub inline: bool,
+}
+
+/// State to re-drive at the new primaries after a failover, computed by
+/// [`DirectoryClient::on_peer_failed`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailoverRedrive {
+    /// Shards whose primary changed with this failure.
+    pub changed_shards: Vec<usize>,
+    /// Registrations to re-send (this node's journaled locations in those shards).
+    pub reregister: Vec<(ObjectId, Registration)>,
+    /// Subscriptions to re-open in those shards.
+    pub resubscribe: Vec<ObjectId>,
+}
+
+/// Per-node client of the replicated directory service.
+#[derive(Debug)]
+pub struct DirectoryClient {
+    me: NodeId,
+    placement: DirectoryPlacement,
+    failed: HashSet<NodeId>,
+    registrations: HashMap<ObjectId, Registration>,
+    subscriptions: HashSet<ObjectId>,
+}
+
+impl DirectoryClient {
+    /// Create the client for node `me`.
+    pub fn new(me: NodeId, cfg: &HopliteConfig, nodes: &[NodeId]) -> Self {
+        DirectoryClient {
+            me,
+            placement: DirectoryPlacement::from_config(cfg, nodes),
+            failed: HashSet::new(),
+            registrations: HashMap::new(),
+            subscriptions: HashSet::new(),
+        }
+    }
+
+    /// The shard responsible for `object`.
+    pub fn shard_of(&self, object: ObjectId) -> usize {
+        self.placement.shard_of(object)
+    }
+
+    /// The current primary for `object`'s shard in this client's failure view;
+    /// `None` once every replica of the shard is dead.
+    pub fn primary_for(&self, object: ObjectId) -> Option<NodeId> {
+        self.placement.primary_for(object, &self.failed)
+    }
+
+    /// Number of open subscriptions (GC tests).
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    fn to_primary(&self, object: ObjectId, msg: Message) -> Option<(NodeId, Message)> {
+        self.primary_for(object).map(|primary| (primary, msg))
+    }
+
+    /// Register (or refresh) this node as a location of `object`.
+    pub fn register(
+        &mut self,
+        object: ObjectId,
+        status: ObjectStatus,
+        size: u64,
+    ) -> Option<(NodeId, Message)> {
+        self.registrations.insert(object, Registration { status, size, inline: false });
+        self.to_primary(object, Message::DirRegister { object, holder: self.me, status, size })
+    }
+
+    /// Publish a small object through the inline fast path.
+    pub fn put_inline(&mut self, object: ObjectId, payload: Payload) -> Option<(NodeId, Message)> {
+        self.registrations.insert(
+            object,
+            Registration { status: ObjectStatus::Complete, size: payload.len(), inline: true },
+        );
+        self.to_primary(object, Message::DirPutInline { object, holder: self.me, payload })
+    }
+
+    /// Withdraw this node's location for `object`.
+    pub fn unregister(&mut self, object: ObjectId) -> Option<(NodeId, Message)> {
+        self.registrations.remove(&object);
+        self.to_primary(object, Message::DirUnregister { object, holder: self.me })
+    }
+
+    /// Issue a synchronous location query.
+    pub fn query(
+        &mut self,
+        object: ObjectId,
+        query_id: u64,
+        exclude: Vec<NodeId>,
+    ) -> Option<(NodeId, Message)> {
+        self.to_primary(object, Message::DirQuery { object, requester: self.me, query_id, exclude })
+    }
+
+    /// Open a location subscription.
+    pub fn subscribe(&mut self, object: ObjectId) -> Option<(NodeId, Message)> {
+        self.subscriptions.insert(object);
+        self.to_primary(object, Message::DirSubscribe { object, subscriber: self.me })
+    }
+
+    /// Close a location subscription.
+    pub fn unsubscribe(&mut self, object: ObjectId) -> Option<(NodeId, Message)> {
+        self.subscriptions.remove(&object);
+        self.to_primary(object, Message::DirUnsubscribe { object, subscriber: self.me })
+    }
+
+    /// Report a finished transfer so the sender's lease is released.
+    pub fn transfer_done(&mut self, object: ObjectId, sender: NodeId) -> Option<(NodeId, Message)> {
+        self.to_primary(object, Message::DirTransferDone { object, receiver: self.me, sender })
+    }
+
+    /// Delete every copy of `object` cluster-wide.
+    pub fn delete(&mut self, object: ObjectId) -> Option<(NodeId, Message)> {
+        self.registrations.remove(&object);
+        self.subscriptions.remove(&object);
+        self.to_primary(object, Message::DirDelete { object })
+    }
+
+    /// The local copy of `object` is gone (delete fan-out or eviction): drop the
+    /// journaled registration so a failover does not resurrect it.
+    pub fn forget(&mut self, object: ObjectId) {
+        self.registrations.remove(&object);
+    }
+
+    /// Digest a peer failure: fold it into the failure view and return the state to
+    /// re-drive at shards whose primary just changed.
+    pub fn on_peer_failed(&mut self, peer: NodeId) -> FailoverRedrive {
+        if !self.failed.insert(peer) {
+            return FailoverRedrive::default();
+        }
+        let mut before = self.failed.clone();
+        before.remove(&peer);
+        let changed_shards: Vec<usize> = (0..self.placement.num_shards())
+            .filter(|&s| {
+                self.placement.primary(s, &before) == Some(peer)
+                    && self.placement.primary(s, &self.failed).is_some()
+            })
+            .collect();
+        if changed_shards.is_empty() {
+            return FailoverRedrive { changed_shards, ..FailoverRedrive::default() };
+        }
+        let in_changed = |o: &ObjectId| changed_shards.contains(&self.placement.shard_of(*o));
+        let reregister = self
+            .registrations
+            .iter()
+            .filter(|(o, _)| in_changed(o))
+            .map(|(o, r)| (*o, *r))
+            .collect();
+        let resubscribe = self.subscriptions.iter().filter(|o| in_changed(o)).copied().collect();
+        FailoverRedrive { changed_shards, reregister, resubscribe }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(n: u32, me: u32) -> DirectoryClient {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        DirectoryClient::new(NodeId(me), &HopliteConfig::small_for_tests(), &nodes)
+    }
+
+    fn obj_with_primary(c: &DirectoryClient, primary: u32) -> ObjectId {
+        (0u64..)
+            .map(|k| ObjectId::from_name(&format!("cli-{k}")))
+            .find(|&o| c.primary_for(o) == Some(NodeId(primary)))
+            .unwrap()
+    }
+
+    #[test]
+    fn routes_to_the_current_primary() {
+        let mut c = client(4, 2);
+        let o = obj_with_primary(&c, 1);
+        let (to, msg) = c.register(o, ObjectStatus::Complete, 10).unwrap();
+        assert_eq!(to, NodeId(1));
+        assert!(matches!(msg, Message::DirRegister { .. }));
+        // After node 1 dies the same object routes to the next replica (node 2).
+        c.on_peer_failed(NodeId(1));
+        let (to, _) = c.query(o, 1, vec![]).unwrap();
+        assert_eq!(to, NodeId(2));
+    }
+
+    #[test]
+    fn failover_redrives_journaled_state_for_changed_shards_only() {
+        let mut c = client(4, 0);
+        let on_dead = obj_with_primary(&c, 3);
+        let elsewhere = obj_with_primary(&c, 1);
+        c.register(on_dead, ObjectStatus::Complete, 10).unwrap();
+        c.register(elsewhere, ObjectStatus::Partial, 20).unwrap();
+        c.subscribe(on_dead).unwrap();
+        c.subscribe(elsewhere).unwrap();
+        let redrive = c.on_peer_failed(NodeId(3));
+        assert_eq!(redrive.changed_shards, vec![3]);
+        assert_eq!(redrive.reregister.len(), 1);
+        assert_eq!(redrive.reregister[0].0, on_dead);
+        assert_eq!(redrive.resubscribe, vec![on_dead]);
+        // A repeated notification is a no-op.
+        assert_eq!(c.on_peer_failed(NodeId(3)), FailoverRedrive::default());
+    }
+
+    #[test]
+    fn forgotten_and_deleted_objects_are_not_redriven() {
+        let mut c = client(3, 0);
+        let a = obj_with_primary(&c, 2);
+        c.put_inline(a, Payload::zeros(16)).unwrap();
+        c.forget(a);
+        let redrive = c.on_peer_failed(NodeId(2));
+        assert!(redrive.reregister.is_empty());
+    }
+
+    #[test]
+    fn exhausted_replica_set_yields_no_target() {
+        let mut c = client(2, 0);
+        let o = obj_with_primary(&c, 1);
+        c.on_peer_failed(NodeId(1));
+        // replication = 2 on a 2-node cluster: replicas are nodes 1 and 0.
+        assert_eq!(c.primary_for(o), Some(NodeId(0)));
+        c.on_peer_failed(NodeId(0));
+        assert_eq!(c.primary_for(o), None);
+        assert!(c.query(o, 9, vec![]).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! The replicated object directory (§3.2 storage model, §3.5 fault tolerance).
+//!
+//! The directory is a sharded hash table mapping each `ObjectID` to its size and the
+//! set of node locations holding a partial or complete copy. The seed implemented it
+//! as one unreplicated [`DirectoryShard`] per node; this module layers the paper's
+//! fault-tolerance story on top of that state machine:
+//!
+//! | Layer | Module | Responsibility |
+//! |---|---|---|
+//! | shard | [`shard`] | One shard as a pure, deterministic state machine (unchanged semantics: leases, pull-edge cycle avoidance, parked queries, inline cache) |
+//! | replication | [`replication`] | Primary/backup replicas of a shard: op-log shipping, suppressed replies on backups, epoch-stamped promotion |
+//! | service | [`service`] | Placement (shard → replica set), op routing, and promotion when a primary dies |
+//! | client | [`client`] | The failover-aware façade every engine calls: resolves the current primary, journals registrations/subscriptions, and computes the re-drive set after a failover |
+//!
+//! Shard state flows through the system exactly once on the happy path: a client op
+//! reaches the shard's primary, the primary applies it and log-ships the op to its
+//! backups, and because the shard is deterministic the backups converge to the same
+//! state — including leases and parked queries, so a promoted backup can answer a
+//! query that parked on its predecessor.
+
+pub mod client;
+pub mod replication;
+pub mod service;
+pub mod shard;
+
+pub use client::{DirectoryClient, FailoverRedrive, Registration};
+pub use replication::{ReplicaRole, ShardReplica};
+pub use service::{DirectoryPlacement, DirectoryService};
+pub use shard::DirectoryShard;

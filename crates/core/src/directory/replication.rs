@@ -1,0 +1,274 @@
+//! Primary/backup replication of one directory shard (§3.5).
+//!
+//! The paper keeps the object directory available across node failures by
+//! replicating it; this module implements the per-replica half of that design as a
+//! pure state machine layered on [`DirectoryShard`]:
+//!
+//! * the **primary** applies every client op, emits the replies, and log-ships the op
+//!   to its backups (the op stream *is* the log — [`DirectoryShard`] is deterministic,
+//!   so replaying it reproduces the full shard state including leases, parked queries
+//!   and subscriptions);
+//! * a **backup** replays shipped ops against its mirror shard with replies
+//!   suppressed — only the primary talks to clients;
+//! * on promotion the new primary bumps its **epoch**; replicated ops stamped with a
+//!   lower epoch (stragglers from a deposed primary) are rejected, which keeps a
+//!   once-demoted primary from rewinding a promoted replica's state.
+//!
+//! Which replica *is* the primary is decided by the placement layer in
+//! [`super::service`]; this module only implements the mechanics.
+
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::protocol::{DirOp, Message};
+
+use super::shard::DirectoryShard;
+
+/// The role a replica currently plays for its shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Applies client ops, sends replies, ships the op log to backups.
+    Primary,
+    /// Mirrors the primary by replaying its op log; replies are suppressed.
+    Backup,
+}
+
+/// One replica of one directory shard: the shard state machine plus its replication
+/// role and promotion epoch.
+#[derive(Debug)]
+pub struct ShardReplica {
+    shard: DirectoryShard,
+    role: ReplicaRole,
+    epoch: u64,
+}
+
+impl ShardReplica {
+    /// Create an empty replica with the given starting role.
+    pub fn new(shard: DirectoryShard, role: ReplicaRole) -> Self {
+        ShardReplica { shard, role, epoch: 0 }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Current promotion epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Read-only view of the underlying shard (introspection and tests).
+    pub fn shard(&self) -> &DirectoryShard {
+        &self.shard
+    }
+
+    /// Promote this replica to primary at `epoch`, so stragglers from any deposed
+    /// predecessor are recognizably stale. The caller derives `epoch` from the
+    /// replica's rank in the replica set (rank k becomes primary only after all k
+    /// predecessors died, and predecessor k-1 never shipped above epoch k-1), which
+    /// keeps epochs strictly increasing along the promotion chain even when an
+    /// intermediate primary lived too briefly for its shipments to arrive. A `+1`
+    /// bump instead would collide: two successive primaries could both ship at the
+    /// same epoch, letting the deposed one's stragglers rewind the promoted replica.
+    /// Never lowers an epoch already learned from the replication stream.
+    pub fn promote_to(&mut self, epoch: u64) {
+        self.role = ReplicaRole::Primary;
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Apply a client op as the primary: mutate the shard, collect the replies it
+    /// wants delivered, and return the op so the caller can ship it to the backups.
+    ///
+    /// Panics in debug builds if called on a backup — the service layer routes ops to
+    /// the primary before applying.
+    pub fn apply_primary(&mut self, op: &DirOp, out: &mut Vec<(NodeId, Message)>) {
+        debug_assert_eq!(self.role, ReplicaRole::Primary, "client ops apply on the primary");
+        apply_op(&mut self.shard, op, out);
+    }
+
+    /// Replay a replicated op shipped by the shard's primary. Returns `false` (and
+    /// applies nothing) when the op's epoch is below this replica's — a deposed
+    /// primary's straggler. Replies are discarded: only the primary talks to clients.
+    pub fn apply_replicated(&mut self, epoch: u64, op: &DirOp) -> bool {
+        if epoch < self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        let mut suppressed = Vec::new();
+        apply_op(&mut self.shard, op, &mut suppressed);
+        true
+    }
+
+    /// Purge everything the shard knows about a failed node. Applied directly on
+    /// every replica (the failure detector notifies all nodes, and the purge is
+    /// deterministic), so it does not travel through the replication log.
+    pub fn node_failed(&mut self, node: NodeId) {
+        self.shard.node_failed(node);
+    }
+
+    /// Known locations of an object (introspection for failover assertions).
+    pub fn locations(&self, object: ObjectId) -> Vec<(NodeId, ObjectStatus)> {
+        self.shard.locations(object)
+    }
+}
+
+/// Dispatch one op into a shard.
+fn apply_op(shard: &mut DirectoryShard, op: &DirOp, out: &mut Vec<(NodeId, Message)>) {
+    match op {
+        DirOp::Register { object, holder, status, size } => {
+            shard.register(*object, *holder, *status, *size, out)
+        }
+        DirOp::PutInline { object, holder, payload } => {
+            shard.put_inline(*object, *holder, payload.clone(), out)
+        }
+        DirOp::Unregister { object, holder } => shard.unregister(*object, *holder),
+        DirOp::Query { object, requester, query_id, exclude } => {
+            shard.query(*object, *requester, *query_id, exclude.clone(), out)
+        }
+        DirOp::Subscribe { object, subscriber } => shard.subscribe(*object, *subscriber, out),
+        DirOp::Unsubscribe { object, subscriber } => shard.unsubscribe(*object, *subscriber),
+        DirOp::TransferDone { object, receiver, sender } => {
+            shard.transfer_done(*object, *receiver, *sender)
+        }
+        DirOp::Delete { object } => shard.delete(*object, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HopliteConfig;
+    use crate::protocol::QueryResult;
+
+    fn obj(name: &str) -> ObjectId {
+        ObjectId::from_name(name)
+    }
+
+    fn pair() -> (ShardReplica, ShardReplica) {
+        let cfg = HopliteConfig::small_for_tests();
+        (
+            ShardReplica::new(DirectoryShard::new(0, cfg.clone()), ReplicaRole::Primary),
+            ShardReplica::new(DirectoryShard::new(0, cfg), ReplicaRole::Backup),
+        )
+    }
+
+    #[test]
+    fn backup_mirrors_the_primary_through_the_op_log() {
+        let (mut primary, mut backup) = pair();
+        let ops = vec![
+            DirOp::Register {
+                object: obj("a"),
+                holder: NodeId(1),
+                status: ObjectStatus::Complete,
+                size: 100,
+            },
+            DirOp::Query { object: obj("a"), requester: NodeId(2), query_id: 7, exclude: vec![] },
+            DirOp::Register {
+                object: obj("a"),
+                holder: NodeId(2),
+                status: ObjectStatus::Partial,
+                size: 100,
+            },
+            DirOp::Subscribe { object: obj("b"), subscriber: NodeId(3) },
+        ];
+        let mut replies = Vec::new();
+        for op in &ops {
+            primary.apply_primary(op, &mut replies);
+            assert!(backup.apply_replicated(primary.epoch(), op));
+        }
+        // The primary answered the query; the backup replayed it silently but holds
+        // the identical post-query state: same locations, same lease on node 1.
+        assert!(replies.iter().any(|(to, m)| *to == NodeId(2)
+            && matches!(
+                m,
+                Message::DirQueryReply {
+                    result: QueryResult::Location { node: NodeId(1), .. },
+                    ..
+                }
+            )));
+        let sorted = |mut v: Vec<(NodeId, ObjectStatus)>| {
+            v.sort_by_key(|(n, _)| n.0);
+            v
+        };
+        assert_eq!(sorted(primary.locations(obj("a"))), sorted(backup.locations(obj("a"))));
+        assert_eq!(backup.shard().subscriber_count(obj("b")), 1);
+    }
+
+    #[test]
+    fn promotion_bumps_epoch_and_rejects_stragglers() {
+        let (mut primary, mut backup) = pair();
+        let op = DirOp::Register {
+            object: obj("x"),
+            holder: NodeId(0),
+            status: ObjectStatus::Complete,
+            size: 10,
+        };
+        let mut out = Vec::new();
+        primary.apply_primary(&op, &mut out);
+        assert!(backup.apply_replicated(primary.epoch(), &op));
+
+        // The primary dies; the backup (rank 1 in the replica set) is promoted.
+        backup.promote_to(1);
+        assert_eq!(backup.role(), ReplicaRole::Primary);
+        assert_eq!(backup.epoch(), 1);
+
+        // A straggler shipped by the deposed primary (epoch 0) must be rejected.
+        let stale = DirOp::Delete { object: obj("x") };
+        assert!(!backup.apply_replicated(0, &stale));
+        assert_eq!(backup.locations(obj("x")).len(), 1, "stale delete was not applied");
+
+        // Promotion is idempotent and never lowers an epoch.
+        backup.promote_to(1);
+        assert_eq!(backup.epoch(), 1);
+    }
+
+    #[test]
+    fn rank_epochs_reject_a_short_lived_predecessors_stragglers() {
+        // Replicas [A, B, C]. A dies; B (rank 1) promotes and ships an op at epoch 1
+        // that C never receives before B dies too. C (rank 2) promotes to its rank —
+        // epoch 2, not epoch 1 — so B's straggler is recognizably stale. A naive
+        // `+1` promotion would have put C at epoch 1 and accepted the straggler.
+        let cfg = HopliteConfig::small_for_tests();
+        let mut c = ShardReplica::new(DirectoryShard::new(0, cfg), ReplicaRole::Backup);
+        let register = DirOp::Register {
+            object: obj("x"),
+            holder: NodeId(3),
+            status: ObjectStatus::Complete,
+            size: 10,
+        };
+        assert!(c.apply_replicated(0, &register), "A's shipment at epoch 0");
+        c.promote_to(2);
+        assert_eq!(c.epoch(), 2);
+        let straggler = DirOp::Delete { object: obj("x") };
+        assert!(!c.apply_replicated(1, &straggler), "B's epoch-1 straggler rejected");
+        assert_eq!(c.locations(obj("x")).len(), 1);
+    }
+
+    #[test]
+    fn promoted_backup_answers_parked_queries() {
+        // A query parks on the primary, is replicated, the primary dies, and the
+        // promoted backup answers it when a location finally registers: no metadata —
+        // not even parked queries — is lost with the primary.
+        let (mut primary, mut backup) = pair();
+        let query =
+            DirOp::Query { object: obj("w"), requester: NodeId(5), query_id: 3, exclude: vec![] };
+        let mut out = Vec::new();
+        primary.apply_primary(&query, &mut out);
+        assert!(out.is_empty(), "no location yet; the query parks");
+        assert!(backup.apply_replicated(primary.epoch(), &query));
+
+        backup.promote_to(1);
+        backup.node_failed(NodeId(0));
+        let register = DirOp::Register {
+            object: obj("w"),
+            holder: NodeId(4),
+            status: ObjectStatus::Complete,
+            size: 50,
+        };
+        let mut replies = Vec::new();
+        backup.apply_primary(&register, &mut replies);
+        assert!(replies
+            .iter()
+            .any(|(to, m)| *to == NodeId(5)
+                && matches!(m, Message::DirQueryReply { query_id: 3, .. })));
+    }
+}

@@ -1,0 +1,345 @@
+//! Shard placement and the per-node directory service.
+//!
+//! [`DirectoryPlacement`] is the pure, cluster-wide map from objects to shards and
+//! from shards to replica sets: shard `s` lives on nodes `s % n, (s+1) % n, ...`
+//! (`directory_replication` of them), and the *primary* is the first replica the
+//! failure detector has not declared dead. Because every node runs the same
+//! deterministic computation over the same failure notifications, all survivors agree
+//! on the current primary without any coordination round.
+//!
+//! Placement is **failure-monotonic**: a node that recovers is not restored as a
+//! primary candidate (its replica state is empty; failing back would lose the shard).
+//! Re-integrating recovered replicas via state transfer is future work — see
+//! `ROADMAP.md`.
+//!
+//! [`DirectoryService`] is the server half living inside each node: the shard
+//! replicas this node hosts, op routing (apply as primary / forward as backup), log
+//! shipping to backups, and epoch-stamped promotion when a primary dies (§3.5).
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::config::HopliteConfig;
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::protocol::{DirOp, Message};
+
+use super::replication::{ReplicaRole, ShardReplica};
+use super::shard::DirectoryShard;
+
+/// The static map from objects to shards and shards to replica sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectoryPlacement {
+    nodes: Vec<NodeId>,
+    num_shards: usize,
+    replication: usize,
+}
+
+impl DirectoryPlacement {
+    /// Build the placement for a cluster. `num_shards` defaults to one shard per node
+    /// and `replication` is clamped to the cluster size.
+    pub fn new(nodes: Vec<NodeId>, num_shards: Option<usize>, replication: usize) -> Self {
+        assert!(!nodes.is_empty(), "placement needs at least one node");
+        let num_shards = num_shards.unwrap_or(nodes.len()).max(1);
+        let replication = replication.clamp(1, nodes.len());
+        DirectoryPlacement { nodes, num_shards, replication }
+    }
+
+    /// Build the placement from a node's configuration.
+    pub fn from_config(cfg: &HopliteConfig, nodes: &[NodeId]) -> Self {
+        DirectoryPlacement::new(nodes.to_vec(), cfg.directory_shards, cfg.directory_replication)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of replicas per shard.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The shard responsible for `object` (same hash the unreplicated seed used, so
+    /// the initial primary of an object's shard is `ClusterView::shard_node`).
+    pub fn shard_of(&self, object: ObjectId) -> usize {
+        let h = u64::from_le_bytes(object.0[..8].try_into().expect("object id width"));
+        (h % self.num_shards as u64) as usize
+    }
+
+    /// The replica set of a shard, primary-candidate order: the node owning the shard
+    /// first, then its successors on the ring.
+    pub fn replica_set(&self, shard: usize) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        (0..self.replication).map(|i| self.nodes[(shard + i) % n]).collect()
+    }
+
+    /// Whether `node` hosts a replica of `shard`.
+    pub fn hosts(&self, node: NodeId, shard: usize) -> bool {
+        self.replica_set(shard).contains(&node)
+    }
+
+    /// The current primary of a shard: the first replica not in `failed`. `None` when
+    /// every replica is dead (the shard's metadata is lost).
+    pub fn primary(&self, shard: usize, failed: &HashSet<NodeId>) -> Option<NodeId> {
+        self.replica_set(shard).into_iter().find(|n| !failed.contains(n))
+    }
+
+    /// The current primary of the shard responsible for `object`.
+    pub fn primary_for(&self, object: ObjectId, failed: &HashSet<NodeId>) -> Option<NodeId> {
+        self.primary(self.shard_of(object), failed)
+    }
+
+    /// Shards for which `node` is a replica.
+    pub fn shards_hosted_by(&self, node: NodeId) -> Vec<usize> {
+        (0..self.num_shards).filter(|&s| self.hosts(node, s)).collect()
+    }
+}
+
+/// The directory server half of one node: every shard replica it hosts, plus the
+/// routing and promotion logic around them.
+#[derive(Debug)]
+pub struct DirectoryService {
+    me: NodeId,
+    placement: DirectoryPlacement,
+    failed: HashSet<NodeId>,
+    /// Shard index -> this node's replica of it. `BTreeMap` so iteration order (and
+    /// therefore promotion order on failure) is deterministic.
+    replicas: BTreeMap<usize, ShardReplica>,
+}
+
+impl DirectoryService {
+    /// Create the service for node `me`, instantiating a replica for every shard the
+    /// placement assigns it.
+    pub fn new(me: NodeId, cfg: &HopliteConfig, nodes: &[NodeId]) -> Self {
+        let placement = DirectoryPlacement::from_config(cfg, nodes);
+        let replicas = placement
+            .shards_hosted_by(me)
+            .into_iter()
+            .map(|shard| {
+                let role = if placement.replica_set(shard)[0] == me {
+                    ReplicaRole::Primary
+                } else {
+                    ReplicaRole::Backup
+                };
+                (shard, ShardReplica::new(DirectoryShard::new(shard, cfg.clone()), role))
+            })
+            .collect();
+        DirectoryService { me, placement, failed: HashSet::new(), replicas }
+    }
+
+    /// The placement in effect.
+    pub fn placement(&self) -> &DirectoryPlacement {
+        &self.placement
+    }
+
+    /// The current primary of the shard responsible for `object`, in this node's view.
+    pub fn primary_for(&self, object: ObjectId) -> Option<NodeId> {
+        self.placement.primary_for(object, &self.failed)
+    }
+
+    /// Whether this node believes it is the primary for `object`'s shard.
+    pub fn is_primary_for(&self, object: ObjectId) -> bool {
+        self.primary_for(object) == Some(self.me)
+    }
+
+    /// This node's replica of `shard`, if it hosts one.
+    pub fn replica(&self, shard: usize) -> Option<&ShardReplica> {
+        self.replicas.get(&shard)
+    }
+
+    /// Known locations of `object` in this node's replica of its shard; `None` when
+    /// this node hosts no replica of that shard.
+    pub fn locations(&self, object: ObjectId) -> Option<Vec<(NodeId, ObjectStatus)>> {
+        self.replicas.get(&self.placement.shard_of(object)).map(|r| r.locations(object))
+    }
+
+    /// Route one client directory op: apply it if this node is the shard's primary
+    /// (emitting replies and log-shipping the op to the backups), forward it to the
+    /// believed primary otherwise. Ops for a shard whose every replica died are
+    /// dropped — that metadata is gone.
+    pub fn handle_op(&mut self, op: DirOp, out: &mut Vec<(NodeId, Message)>) -> bool {
+        let shard = self.placement.shard_of(op.object());
+        match self.placement.primary(shard, &self.failed) {
+            Some(primary) if primary == self.me => {
+                let replica = self.replicas.get_mut(&shard).expect("primary hosts its shard");
+                replica.apply_primary(&op, out);
+                let epoch = replica.epoch();
+                for backup in self.placement.replica_set(shard) {
+                    if backup != self.me && !self.failed.contains(&backup) {
+                        out.push((
+                            backup,
+                            Message::DirReplicate { shard: shard as u64, epoch, op: op.clone() },
+                        ));
+                    }
+                }
+                true
+            }
+            Some(primary) => {
+                // A client with a staler failure view than ours (or a scheduling race
+                // around a promotion) sent the op here; pass it along.
+                out.push((primary, op.into_message()));
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Replay an op shipped by a shard's primary into this node's backup replica.
+    /// Ops for shards this node does not host (a stale primary's view) and ops from a
+    /// deposed primary's epoch are discarded.
+    pub fn handle_replicate(&mut self, shard: usize, epoch: u64, op: &DirOp) -> bool {
+        match self.replicas.get_mut(&shard) {
+            Some(replica) => replica.apply_replicated(epoch, op),
+            None => false,
+        }
+    }
+
+    /// Digest a peer failure: purge the dead node from every hosted replica, and
+    /// promote this node's replicas wherever it just became the first surviving
+    /// member of a replica set. Returns the shards promoted here (for tracing).
+    pub fn on_peer_failed(&mut self, peer: NodeId) -> Vec<usize> {
+        self.failed.insert(peer);
+        let mut promoted = Vec::new();
+        for (&shard, replica) in self.replicas.iter_mut() {
+            replica.node_failed(peer);
+            if self.placement.primary(shard, &self.failed) == Some(self.me)
+                && replica.role() == ReplicaRole::Backup
+            {
+                // Promotion epoch = this replica's rank in the replica set: every
+                // ranked predecessor is dead (that is what made us primary) and rank
+                // k-1 never shipped above epoch k-1, so rank k is strictly fresher
+                // than anything a deposed predecessor still has in flight.
+                let rank = self
+                    .placement
+                    .replica_set(shard)
+                    .iter()
+                    .position(|&n| n == self.me)
+                    .expect("hosted shards include this node") as u64;
+                replica.promote_to(rank);
+                promoted.push(shard);
+            }
+        }
+        promoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn obj(name: &str) -> ObjectId {
+        ObjectId::from_name(name)
+    }
+
+    #[test]
+    fn placement_matches_seed_hash_and_clamps_replication() {
+        let p = DirectoryPlacement::new(nodes(4), None, 2);
+        assert_eq!(p.num_shards(), 4);
+        assert_eq!(p.replica_set(3), vec![NodeId(3), NodeId(0)]);
+        // Replication larger than the cluster is clamped.
+        let p1 = DirectoryPlacement::new(nodes(2), None, 5);
+        assert_eq!(p1.replication(), 2);
+        // The object hash is the seed's: initial primary == the old shard_node.
+        let p = DirectoryPlacement::new(nodes(7), None, 3);
+        let o = obj("some-object");
+        let h = u64::from_le_bytes(o.0[..8].try_into().unwrap());
+        assert_eq!(p.primary_for(o, &HashSet::new()), Some(NodeId((h % 7) as u32)));
+    }
+
+    #[test]
+    fn primary_skips_failed_replicas() {
+        let p = DirectoryPlacement::new(nodes(4), None, 3);
+        let mut failed = HashSet::new();
+        assert_eq!(p.primary(1, &failed), Some(NodeId(1)));
+        failed.insert(NodeId(1));
+        assert_eq!(p.primary(1, &failed), Some(NodeId(2)));
+        failed.insert(NodeId(2));
+        assert_eq!(p.primary(1, &failed), Some(NodeId(3)));
+        failed.insert(NodeId(3));
+        assert_eq!(p.primary(1, &failed), None, "all replicas dead");
+    }
+
+    #[test]
+    fn service_applies_as_primary_and_ships_the_log() {
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(4);
+        let mut svc = DirectoryService::new(NodeId(0), &cfg, &ns);
+        // Find an object whose shard is primaried by node 0.
+        let o = (0u64..)
+            .map(|k| obj(&format!("svc-{k}")))
+            .find(|&o| svc.primary_for(o) == Some(NodeId(0)))
+            .unwrap();
+        let mut out = Vec::new();
+        let applied = svc.handle_op(
+            DirOp::Register {
+                object: o,
+                holder: NodeId(2),
+                status: ObjectStatus::Complete,
+                size: 10,
+            },
+            &mut out,
+        );
+        assert!(applied);
+        assert_eq!(svc.locations(o).unwrap().len(), 1);
+        // The op was shipped to the one backup of the shard.
+        let shard = svc.placement().shard_of(o) as u64;
+        assert!(out.iter().any(
+            |(_, m)| matches!(m, Message::DirReplicate { shard: s, epoch: 0, .. } if *s == shard)
+        ));
+    }
+
+    #[test]
+    fn non_primary_forwards_to_the_believed_primary() {
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(4);
+        let mut svc = DirectoryService::new(NodeId(3), &cfg, &ns);
+        let o = (0u64..)
+            .map(|k| obj(&format!("fwd-{k}")))
+            .find(|&o| svc.primary_for(o) == Some(NodeId(1)))
+            .unwrap();
+        let mut out = Vec::new();
+        let applied =
+            svc.handle_op(DirOp::Subscribe { object: o, subscriber: NodeId(3) }, &mut out);
+        assert!(!applied);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(1));
+        assert!(matches!(out[0].1, Message::DirSubscribe { .. }));
+    }
+
+    #[test]
+    fn backup_promotes_when_the_primary_dies() {
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(3);
+        // Node 1 backs up shard 0 (replica set [0, 1]).
+        let mut svc = DirectoryService::new(NodeId(1), &cfg, &ns);
+        let o = (0u64..)
+            .map(|k| obj(&format!("promo-{k}")))
+            .find(|&o| svc.placement().shard_of(o) == 0)
+            .unwrap();
+        // Replicated state arrives from the primary before it dies.
+        assert!(svc.handle_replicate(
+            0,
+            0,
+            &DirOp::Register {
+                object: o,
+                holder: NodeId(2),
+                status: ObjectStatus::Complete,
+                size: 64,
+            },
+        ));
+        let promoted = svc.on_peer_failed(NodeId(0));
+        assert_eq!(promoted, vec![0]);
+        assert_eq!(svc.primary_for(o), Some(NodeId(1)));
+        // The replicated record survived the failover, and the promoted replica now
+        // answers ops itself.
+        let mut out = Vec::new();
+        assert!(svc.handle_op(
+            DirOp::Query { object: o, requester: NodeId(2), query_id: 1, exclude: vec![] },
+            &mut out,
+        ));
+        assert!(svc.locations(o).unwrap().iter().any(|(n, _)| *n == NodeId(2)));
+    }
+}

@@ -1,9 +1,14 @@
-//! The object directory service (§3.2 of the paper).
+//! One directory shard as a pure state machine (§3.2 of the paper).
 //!
 //! The directory is a sharded hash table mapping each `ObjectID` to its size and the
 //! set of node locations holding a partial or complete copy. This module implements a
-//! single shard as a pure state machine; the owning [`crate::node::ObjectStoreNode`]
-//! routes directory messages into it and sends the messages it returns.
+//! single shard as a pure, deterministic state machine; the replication layer
+//! ([`super::replication`]) wraps it in a replica role, and the service layer
+//! ([`super::service`]) routes client operations into the right replica.
+//!
+//! Determinism matters here: backups replay the primary's op log against their own
+//! mirror shard, so applying the same ops in the same order must produce the same
+//! state (including lease and pull-edge bookkeeping) on every replica.
 //!
 //! The shard also implements the two behaviours that make Hoplite's broadcast
 //! receiver-driven (§3.4.1):
@@ -167,6 +172,12 @@ impl DirectoryShard {
 
     /// Handle a synchronous location query. Replies immediately when possible,
     /// otherwise parks the query until a usable location is registered.
+    ///
+    /// A fresh query supersedes whatever assignment the requester held before: its
+    /// previous pull edge and the matching lease are released (the requester only
+    /// re-queries after abandoning that pull, §3.5.1), and a parked duplicate with the
+    /// same correlation id is replaced rather than queued twice — which makes the
+    /// failover-aware client's re-issued queries idempotent.
     pub fn query(
         &mut self,
         object: ObjectId,
@@ -183,6 +194,14 @@ impl DirectoryShard {
             ));
             return;
         }
+        if let Some(old_sender) = entry.pulls.remove(&requester) {
+            if let Some(loc) = entry.locations.get_mut(&old_sender) {
+                if loc.leased_to == Some(requester) {
+                    loc.leased_to = None;
+                }
+            }
+        }
+        entry.pending.retain(|p| !(p.requester == requester && p.query_id == query_id));
         entry.pending.push_back(PendingQuery { requester, query_id, exclude });
         self.drain_pending(object, out);
     }
@@ -203,6 +222,19 @@ impl DirectoryShard {
                 Message::DirPublish { object, holder: *holder, status: loc.status, size },
             ));
         }
+    }
+
+    /// Drop a subscription (the asynchronous counterpart of a query timeout; reduce
+    /// coordinators unsubscribe when their reduce completes).
+    pub fn unsubscribe(&mut self, object: ObjectId, subscriber: NodeId) {
+        if let Some(entry) = self.entries.get_mut(&object) {
+            entry.subscribers.remove(&subscriber);
+        }
+    }
+
+    /// Number of subscribers of an object (introspection for GC tests).
+    pub fn subscriber_count(&self, object: ObjectId) -> usize {
+        self.entries.get(&object).map(|e| e.subscribers.len()).unwrap_or(0)
     }
 
     /// A receiver finished copying from `sender`: clear the lease edge so the sender is
@@ -531,6 +563,50 @@ mod tests {
         out.clear();
         s.register(obj("y"), NodeId(1), ObjectStatus::Complete, 10, &mut out);
         assert!(!out.iter().any(|(to, _)| *to == NodeId(0)));
+    }
+
+    #[test]
+    fn requery_releases_previous_lease_and_dedupes() {
+        // R1 pulls from S, then re-queries (e.g. after a pull error): S's lease must be
+        // released so the re-query can be answered — excluding S — by another holder.
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 100, &mut out);
+        s.register(obj("x"), NodeId(2), ObjectStatus::Complete, 100, &mut out);
+        s.query(obj("x"), NodeId(1), 1, vec![], &mut out); // R1 <- S (node 0, lowest id)
+        out.clear();
+        s.query(obj("x"), NodeId(1), 2, vec![NodeId(0)], &mut out);
+        match &query_reply(&out)[0].1 {
+            QueryResult::Location { node, .. } => assert_eq!(*node, NodeId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        out.clear();
+        // Node 0's lease was cleared by the re-query, so a third receiver can use it.
+        s.query(obj("x"), NodeId(3), 3, vec![], &mut out);
+        match &query_reply(&out)[0].1 {
+            QueryResult::Location { node, .. } => assert_eq!(*node, NodeId(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A re-issued duplicate of a parked query replaces it instead of stacking.
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.query(obj("y"), NodeId(4), 9, vec![], &mut out);
+        s.query(obj("y"), NodeId(4), 9, vec![], &mut out);
+        s.register(obj("y"), NodeId(0), ObjectStatus::Complete, 10, &mut out);
+        assert_eq!(query_reply(&out).len(), 1, "one reply for the deduplicated query");
+    }
+
+    #[test]
+    fn unsubscribe_stops_publications() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.subscribe(obj("x"), NodeId(8), &mut out);
+        assert_eq!(s.subscriber_count(obj("x")), 1);
+        s.unsubscribe(obj("x"), NodeId(8));
+        assert_eq!(s.subscriber_count(obj("x")), 0);
+        out.clear();
+        s.register(obj("x"), NodeId(1), ObjectStatus::Complete, 10, &mut out);
+        assert!(!out.iter().any(|(to, _)| *to == NodeId(8)));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | Paper concept | Module |
 //! |---|---|
 //! | `ObjectID`, partial/complete locations | [`object`] |
-//! | Object directory service with inline small-object cache (§3.2) | [`directory`] |
+//! | Replicated object directory with inline small-object cache (§3.2, §3.5) | [`directory`] (shard / replication / service / client layers) |
 //! | Local object store, pinning, LRU eviction (§6) | [`store`] |
 //! | Fine-grained pipelining buffers (§3.3) | [`buffer`] |
 //! | Receiver-driven broadcast, pull protocol (§3.4.1) | [`node`] (`node/broadcast.rs`) |
@@ -86,12 +86,14 @@ pub mod time;
 pub mod prelude {
     pub use crate::buffer::{Payload, ProgressBuffer};
     pub use crate::config::HopliteConfig;
+    pub use crate::directory::{DirectoryPlacement, DirectoryShard};
     pub use crate::error::{HopliteError, Result};
     pub use crate::metrics::NodeMetrics;
     pub use crate::node::{ClusterView, NodeOptions, ObjectStoreNode};
     pub use crate::object::{NodeId, ObjectId, ObjectStatus};
     pub use crate::protocol::{
-        ClientOp, ClientReply, Effect, Message, OpId, QueryResult, ReduceInstruction, TimerToken,
+        ClientOp, ClientReply, DirOp, Effect, Message, OpId, QueryResult, ReduceInstruction,
+        TimerToken,
     };
     pub use crate::reduce::{DType, DegreeModel, ReduceOp, ReduceSpec, ReduceTreePlan, TreeShape};
     pub use crate::store::LocalStore;

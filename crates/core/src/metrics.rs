@@ -21,6 +21,9 @@ pub struct NodeMetrics {
     pub reduces_coordinated: u64,
     /// Times this node re-queried the directory because a sender failed.
     pub broadcast_failovers: u64,
+    /// Times this node re-issued an outstanding directory query because the shard's
+    /// primary failed over to a backup replica.
+    pub directory_failovers: u64,
     /// Times a reduce subtree on this node was cleared because of a failure.
     pub reduce_resets: u64,
     /// Directory queries answered by the shard hosted on this node.
@@ -43,6 +46,7 @@ impl NodeMetrics {
         self.reduce_blocks_sent += other.reduce_blocks_sent;
         self.reduces_coordinated += other.reduces_coordinated;
         self.broadcast_failovers += other.broadcast_failovers;
+        self.directory_failovers += other.directory_failovers;
         self.reduce_resets += other.reduce_resets;
         self.directory_queries_served += other.directory_queries_served;
         self.directory_registrations += other.directory_registrations;

@@ -88,8 +88,7 @@ impl BroadcastEngine {
                 out.push(Effect::Reply { op: op_id, reply: ClientReply::Error { error } });
                 return Vec::new();
             }
-            let shard = ctx.shard_node(object);
-            ctx.send(shard, Message::DirPutInline { object, holder: ctx.id, payload }, out);
+            ctx.dir_put_inline(object, payload, out);
             out.push(Effect::Reply { op: op_id, reply: ClientReply::PutDone { object } });
             return Vec::new();
         }
@@ -102,17 +101,7 @@ impl BroadcastEngine {
                 return Vec::new();
             }
             ctx.store.set_pinned(object, true);
-            let shard = ctx.shard_node(object);
-            ctx.send(
-                shard,
-                Message::DirRegister {
-                    object,
-                    holder: ctx.id,
-                    status: ObjectStatus::Partial,
-                    size,
-                },
-                out,
-            );
+            ctx.dir_register(object, ObjectStatus::Partial, size, out);
             self.pending_puts.insert(object, (payload, 0, op_id));
             self.schedule_put_step(ctx, now, object, out);
             Vec::new()
@@ -121,17 +110,7 @@ impl BroadcastEngine {
                 out.push(Effect::Reply { op: op_id, reply: ClientReply::Error { error } });
                 return Vec::new();
             }
-            let shard = ctx.shard_node(object);
-            ctx.send(
-                shard,
-                Message::DirRegister {
-                    object,
-                    holder: ctx.id,
-                    status: ObjectStatus::Complete,
-                    size,
-                },
-                out,
-            );
+            ctx.dir_register(object, ObjectStatus::Complete, size, out);
             out.push(Effect::Reply { op: op_id, reply: ClientReply::PutDone { object } });
             vec![Progress::completed(object)]
         }
@@ -228,12 +207,13 @@ impl BroadcastEngine {
         let query_id = ctx.fresh_query_id();
         let exclude = self.gets.get(&object).map(|g| g.excluded.clone()).unwrap_or_default();
         if let Some(g) = self.gets.get_mut(&object) {
-            g.query_id = Some(query_id);
+            if let Some(old) = g.query_id.replace(query_id) {
+                self.queries.remove(&old); // abandoned query; drop its reply on arrival
+            }
             g.pulling_from = None;
         }
         self.queries.insert(query_id, object);
-        let shard = ctx.shard_node(object);
-        ctx.send(shard, Message::DirQuery { object, requester: ctx.id, query_id, exclude }, out);
+        ctx.dir_query(object, query_id, exclude, out);
     }
 
     /// Process a directory query reply: either an inline payload, a location to pull
@@ -280,17 +260,7 @@ impl BroadcastEngine {
                 if let Some(g) = self.gets.get_mut(&object) {
                     g.pulling_from = Some(node);
                 }
-                let shard = ctx.shard_node(object);
-                ctx.send(
-                    shard,
-                    Message::DirRegister {
-                        object,
-                        holder: ctx.id,
-                        status: ObjectStatus::Partial,
-                        size,
-                    },
-                    out,
-                );
+                ctx.dir_register(object, ObjectStatus::Partial, size, out);
                 ctx.send(
                     node,
                     Message::PullRequest { object, requester: ctx.id, offset: watermark },
@@ -446,24 +416,14 @@ impl BroadcastEngine {
         let size = ctx.store.total_size(object).unwrap_or(0);
         trace!("[n{}] object complete {:?} size={}", ctx.id.0, object, size);
         out.push(Effect::LocalProgress { object, watermark: size, total_size: size });
-        let shard = ctx.shard_node(object);
         // Tell the directory we now hold a complete copy, and release the sender we
         // pulled from (if any) so it can serve other receivers again.
         let pulled_from = self.gets.get(&object).and_then(|g| g.pulling_from);
         if !ctx.cfg.is_inline(size) {
-            ctx.send(
-                shard,
-                Message::DirRegister {
-                    object,
-                    holder: ctx.id,
-                    status: ObjectStatus::Complete,
-                    size,
-                },
-                out,
-            );
+            ctx.dir_register(object, ObjectStatus::Complete, size, out);
         }
         if let Some(sender) = pulled_from {
-            ctx.send(shard, Message::DirTransferDone { object, receiver: ctx.id, sender }, out);
+            ctx.dir_transfer_done(object, sender, out);
         }
         // Wake up local clients blocked on Get.
         if let Some(get) = self.gets.remove(&object) {
@@ -492,6 +452,7 @@ impl BroadcastEngine {
         out: &mut Vec<Effect>,
     ) {
         ctx.store.delete(object);
+        ctx.directory.forget(object);
         self.pending_puts.remove(&object);
         // Anyone pulling from us can no longer be served.
         self.abort_outgoing(ctx, object, "object deleted", out);

@@ -19,8 +19,7 @@ use super::{trace, NodeContext};
 #[derive(Debug)]
 pub(crate) struct ReduceCoordinator {
     pub(super) target: ObjectId,
-    /// Kept for diagnostics and future feasibility checks (`lost > len - num_objects`).
-    #[allow(dead_code)]
+    /// Source set, used to unsubscribe on completion (and for diagnostics).
     sources: Vec<ObjectId>,
     num_objects: usize,
     spec: ReduceSpec,
@@ -28,7 +27,6 @@ pub(crate) struct ReduceCoordinator {
     object_size: Option<u64>,
     pub(crate) plan: Option<ReduceTreePlan>,
     notify_op: Option<OpId>,
-    done: bool,
 }
 
 impl ReduceEngine {
@@ -71,15 +69,14 @@ impl ReduceEngine {
             object_size: None,
             plan: None,
             notify_op: Some(op_id),
-            done: false,
         };
         self.coordinators.insert(target, coord);
         // Subscribe to every source's directory shard; publications drive the dynamic
-        // tree construction in arrival order (§3.4.2).
+        // tree construction in arrival order (§3.4.2). Going through the directory
+        // client journals the subscription, so it survives a shard-primary failover.
         for source in sources {
             self.source_routing.entry(source).or_default().push(target);
-            let shard = ctx.shard_node(source);
-            ctx.send(shard, Message::DirSubscribe { object: source, subscriber: ctx.id }, out);
+            ctx.dir_subscribe(source, out);
         }
         out.push(Effect::Reply { op: op_id, reply: ClientReply::ReduceAccepted { target } });
     }
@@ -97,11 +94,9 @@ impl ReduceEngine {
         let Some(targets) = self.source_routing.get(&object).cloned() else { return };
         trace!("[n{}] publish {:?} holder={:?} size={}", ctx.id.0, object, holder, size);
         for target in targets {
+            // A completed reduce is no longer in the map (torn down by
+            // on_reduce_done), so a late publication for it falls through here.
             let Some(mut coord) = self.coordinators.remove(&target) else { continue };
-            if coord.done {
-                self.coordinators.insert(target, coord);
-                continue;
-            }
             if coord.object_size.is_none() {
                 coord.object_size = Some(size);
             }
@@ -182,15 +177,39 @@ impl ReduceEngine {
         }
     }
 
-    /// The root finished materializing `target`; complete the client's reduce.
-    pub(crate) fn on_reduce_done(&mut self, target: ObjectId, out: &mut Vec<Effect>) {
-        if let Some(coord) = self.coordinators.get_mut(&target) {
-            if !coord.done {
-                coord.done = true;
-                if let Some(op) = coord.notify_op {
-                    out.push(Effect::Reply { op, reply: ClientReply::ReduceComplete { target } });
+    /// The root finished materializing `target`: complete the client's reduce, then
+    /// tear the whole reduce down — unsubscribe from the sources, tell every
+    /// participant node to release its slots, and drop the coordinator itself. A
+    /// straggling duplicate `ReduceDone` finds no coordinator and is a no-op.
+    pub(crate) fn on_reduce_done(
+        &mut self,
+        ctx: &mut NodeContext,
+        target: ObjectId,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(coord) = self.coordinators.remove(&target) else { return };
+        if let Some(op) = coord.notify_op {
+            out.push(Effect::Reply { op, reply: ClientReply::ReduceComplete { target } });
+        }
+        for source in &coord.sources {
+            if let Some(targets) = self.source_routing.get_mut(source) {
+                targets.retain(|t| *t != target);
+                if targets.is_empty() {
+                    self.source_routing.remove(source);
+                    ctx.dir_unsubscribe(*source, out);
                 }
             }
         }
+        if let Some(plan) = &coord.plan {
+            let mut notified = std::collections::HashSet::new();
+            for slot in 0..plan.shape().len() {
+                if let Some(input) = plan.assignment(slot) {
+                    if notified.insert(input.node) {
+                        ctx.send(input.node, Message::ReduceRelease { target }, out);
+                    }
+                }
+            }
+        }
+        trace!("[n{}] reduce {:?} complete, state released", ctx.id.0, target);
     }
 }

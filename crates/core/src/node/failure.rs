@@ -13,6 +13,12 @@
 //!   clear their partial accumulation; participants whose parent changed re-send their
 //!   finalized blocks from the start (re-parenting).
 //!
+//! * **Directory (§3.5)** — the directory is replicated; when a shard primary dies,
+//!   a surviving backup is promoted (deterministically, from the shared placement and
+//!   failure view) and every client re-drives at the new primary whatever could have
+//!   been in flight to the dead one: its journaled registrations, its open
+//!   subscriptions, and its outstanding location queries.
+//!
 //! This module hosts the facade-level orchestration plus the failure-specific methods
 //! of the broadcast and reduce engines, so every §3.5 rule lives in one place.
 
@@ -22,18 +28,49 @@ use crate::time::Time;
 
 use super::broadcast::BroadcastEngine;
 use super::reduce::ReduceEngine;
-use super::{NodeContext, ObjectStoreNode};
+use super::{trace, NodeContext, ObjectStoreNode};
 
 impl ObjectStoreNode {
-    /// Facade-level handling of a peer failure: purge directory state, stop serving
-    /// the failed node, fail over in-flight pulls, and repair reduce trees.
+    /// Facade-level handling of a peer failure: promote and purge directory replicas,
+    /// re-drive directory client state, stop serving the failed node, fail over
+    /// in-flight pulls, and repair reduce trees.
     pub(crate) fn peer_failed_impl(&mut self, now: Time, peer: NodeId, out: &mut Vec<Effect>) {
         if peer == self.ctx.id {
             return;
         }
-        // Directory shard forgets everything about the failed node.
-        self.shard.node_failed(peer);
-        // Stop serving transfers destined to it.
+        // Service side first: every hosted replica purges the dead node, and this
+        // node promotes itself wherever it just became the first surviving replica —
+        // before any client re-drive below can loop back into the service.
+        let promoted = self.directory.on_peer_failed(peer);
+        if !promoted.is_empty() {
+            trace!("[n{}] promoted to primary of shards {:?}", self.ctx.id.0, promoted);
+        }
+        // Client side: fold the failure into the routing view, then re-drive at the
+        // new primaries everything whose delivery to the old one is uncertain. The
+        // promoted backup already holds all replicated state; the re-drive closes the
+        // in-flight window, and every re-driven op is idempotent at the shard.
+        let redrive = self.ctx.directory.on_peer_failed(peer);
+        for (object, reg) in redrive.reregister {
+            if !self.ctx.store.contains(object) {
+                // The journaled copy is gone (evicted or deleted mid-flight).
+                self.ctx.directory.forget(object);
+                continue;
+            }
+            if reg.inline {
+                if let Some(payload) = self.ctx.store.get_complete(object) {
+                    self.ctx.dir_put_inline(object, payload, out);
+                    continue;
+                }
+            }
+            self.ctx.dir_register(object, reg.status, reg.size, out);
+        }
+        for object in redrive.resubscribe {
+            self.ctx.dir_subscribe(object, out);
+        }
+        // Broadcast receivers whose outstanding location query was addressed to a
+        // failed-over shard re-issue it (same correlation id; the shard deduplicates).
+        self.broadcast.requery_after_failover(&mut self.ctx, now, &redrive.changed_shards, out);
+        // Stop serving transfers destined to the dead node.
         self.broadcast.drop_transfers_to(peer);
         // Broadcast receivers that were pulling from it fail over (§3.5.1).
         for object in self.broadcast.pulls_from(peer) {
@@ -65,6 +102,36 @@ impl BroadcastEngine {
         }
         g.pulling_from = None;
         self.issue_directory_query(ctx, now, object, out);
+    }
+
+    /// Re-issue every outstanding directory query that was addressed to a shard whose
+    /// primary just changed. The reply from the dead primary may or may not have been
+    /// sent; re-issuing with the *same* correlation id is safe because the shard
+    /// replaces a parked duplicate instead of stacking it, and the client ignores
+    /// replies for ids it no longer tracks.
+    pub(crate) fn requery_after_failover(
+        &mut self,
+        ctx: &mut NodeContext,
+        _now: Time,
+        changed_shards: &[usize],
+        out: &mut Vec<Effect>,
+    ) {
+        if changed_shards.is_empty() {
+            return;
+        }
+        let stranded: Vec<(ObjectId, u64)> = self
+            .gets
+            .iter()
+            .filter(|(object, g)| {
+                g.query_id.is_some() && changed_shards.contains(&ctx.directory.shard_of(**object))
+            })
+            .map(|(object, g)| (*object, g.query_id.expect("filtered on Some")))
+            .collect();
+        for (object, query_id) in stranded {
+            ctx.metrics.directory_failovers += 1;
+            let exclude = self.gets.get(&object).map(|g| g.excluded.clone()).unwrap_or_default();
+            ctx.dir_query(object, query_id, exclude, out);
+        }
     }
 
     /// The sender reported it cannot serve our pull (evicted, deleted, or reset): fail

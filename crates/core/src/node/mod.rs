@@ -33,11 +33,12 @@ mod tests;
 
 use std::collections::VecDeque;
 
+use crate::buffer::Payload;
 use crate::config::HopliteConfig;
-use crate::directory::DirectoryShard;
+use crate::directory::{DirectoryClient, DirectoryService};
 use crate::metrics::NodeMetrics;
-use crate::object::{NodeId, ObjectId};
-use crate::protocol::{ClientOp, Effect, Message, OpId, TimerToken};
+use crate::object::{NodeId, ObjectId, ObjectStatus};
+use crate::protocol::{ClientOp, DirOp, Effect, Message, OpId, TimerToken};
 use crate::store::LocalStore;
 use crate::time::Time;
 
@@ -86,9 +87,11 @@ impl ClusterView {
         self.nodes.is_empty()
     }
 
-    /// The node hosting the directory shard responsible for `object`. The directory is
-    /// a sharded hash table distributed across all nodes (§3.2); we use one shard per
-    /// node and hash the object id onto it.
+    /// The node that *initially* hosts the primary of the directory shard responsible
+    /// for `object` (§3.2: a sharded hash table, one shard per node by default). With
+    /// replication (§3.5) the primary can move to a backup after a failure; live
+    /// routing goes through [`crate::directory::DirectoryClient`], which uses the same
+    /// hash, so this function stays correct for failure-free placement reasoning.
     pub fn shard_node(&self, object: ObjectId) -> NodeId {
         let h = u64::from_le_bytes(object.0[..8].try_into().expect("object id width"));
         self.nodes[(h % self.nodes.len() as u64) as usize]
@@ -107,15 +110,18 @@ pub struct NodeOptions {
 }
 
 /// Shared, engine-agnostic node state: identity, configuration, the local object
-/// store, metrics, and the loopback message queue. Engines receive `&mut NodeContext`
-/// with every call and emit [`Effect`]s through it.
+/// store, the failover-aware directory client, metrics, and the loopback message
+/// queue. Engines receive `&mut NodeContext` with every call and emit [`Effect`]s
+/// through it.
 pub(crate) struct NodeContext {
     pub(crate) id: NodeId,
     pub(crate) cfg: HopliteConfig,
     pub(crate) opts: NodeOptions,
-    pub(crate) cluster: ClusterView,
     pub(crate) store: LocalStore,
     pub(crate) metrics: NodeMetrics,
+    /// Every directory interaction of this node goes through this client: it resolves
+    /// the shard's current primary and journals what must be re-driven on failover.
+    pub(crate) directory: DirectoryClient,
     next_query_id: u64,
     next_timer: u64,
     /// Messages this node sent to itself, processed at the end of each handler.
@@ -135,9 +141,82 @@ impl NodeContext {
         }
     }
 
-    /// The node hosting the directory shard for `object`.
-    pub(crate) fn shard_node(&self, object: ObjectId) -> NodeId {
-        self.cluster.shard_node(object)
+    fn dir_send(&mut self, routed: Option<(NodeId, Message)>, out: &mut Vec<Effect>) {
+        // `None` means every replica of the shard is dead; the op has nowhere to go
+        // and is dropped, exactly as a message to a dead node would be.
+        if let Some((to, msg)) = routed {
+            self.send(to, msg, out);
+        }
+    }
+
+    /// Register (or refresh) this node as a location of `object`.
+    pub(crate) fn dir_register(
+        &mut self,
+        object: ObjectId,
+        status: ObjectStatus,
+        size: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        let routed = self.directory.register(object, status, size);
+        self.dir_send(routed, out);
+    }
+
+    /// Publish a small object through the directory's inline fast path.
+    pub(crate) fn dir_put_inline(
+        &mut self,
+        object: ObjectId,
+        payload: Payload,
+        out: &mut Vec<Effect>,
+    ) {
+        let routed = self.directory.put_inline(object, payload);
+        self.dir_send(routed, out);
+    }
+
+    /// Withdraw this node's location for `object`.
+    pub(crate) fn dir_unregister(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        let routed = self.directory.unregister(object);
+        self.dir_send(routed, out);
+    }
+
+    /// Issue a synchronous location query.
+    pub(crate) fn dir_query(
+        &mut self,
+        object: ObjectId,
+        query_id: u64,
+        exclude: Vec<NodeId>,
+        out: &mut Vec<Effect>,
+    ) {
+        let routed = self.directory.query(object, query_id, exclude);
+        self.dir_send(routed, out);
+    }
+
+    /// Open a location subscription.
+    pub(crate) fn dir_subscribe(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        let routed = self.directory.subscribe(object);
+        self.dir_send(routed, out);
+    }
+
+    /// Close a location subscription.
+    pub(crate) fn dir_unsubscribe(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        let routed = self.directory.unsubscribe(object);
+        self.dir_send(routed, out);
+    }
+
+    /// Report a finished transfer so the sender's lease is released.
+    pub(crate) fn dir_transfer_done(
+        &mut self,
+        object: ObjectId,
+        sender: NodeId,
+        out: &mut Vec<Effect>,
+    ) {
+        let routed = self.directory.transfer_done(object, sender);
+        self.dir_send(routed, out);
+    }
+
+    /// Delete every copy of `object` cluster-wide.
+    pub(crate) fn dir_delete(&mut self, object: ObjectId, out: &mut Vec<Effect>) {
+        let routed = self.directory.delete(object);
+        self.dir_send(routed, out);
     }
 
     /// A fresh directory-query correlation id.
@@ -173,11 +252,11 @@ impl Progress {
     }
 }
 
-/// The Hoplite state machine for one node: directory shard + broadcast engine +
-/// reduce engines behind one dispatch facade.
+/// The Hoplite state machine for one node: the directory service (this node's shard
+/// replicas) + broadcast engine + reduce engines behind one dispatch facade.
 pub struct ObjectStoreNode {
     ctx: NodeContext,
-    shard: DirectoryShard,
+    directory: DirectoryService,
     broadcast: BroadcastEngine,
     reduce: ReduceEngine,
 }
@@ -185,21 +264,22 @@ pub struct ObjectStoreNode {
 impl ObjectStoreNode {
     /// Create a node.
     pub fn new(id: NodeId, cfg: HopliteConfig, cluster: ClusterView, opts: NodeOptions) -> Self {
-        let shard = DirectoryShard::new(id.index(), cfg.clone());
+        let directory = DirectoryService::new(id, &cfg, &cluster.nodes);
+        let dir_client = DirectoryClient::new(id, &cfg, &cluster.nodes);
         let store = LocalStore::new(cfg.store_capacity);
         ObjectStoreNode {
             ctx: NodeContext {
                 id,
                 cfg,
                 opts,
-                cluster,
                 store,
                 metrics: NodeMetrics::default(),
+                directory: dir_client,
                 next_query_id: 1,
                 next_timer: 1,
                 self_queue: VecDeque::new(),
             },
-            shard,
+            directory,
             broadcast: BroadcastEngine::default(),
             reduce: ReduceEngine::default(),
         }
@@ -230,6 +310,36 @@ impl ObjectStoreNode {
         self.ctx.store.is_complete(object)
     }
 
+    /// The node this node currently believes is the primary of `object`'s directory
+    /// shard (`None` once every replica of the shard has failed).
+    pub fn directory_primary_for(&self, object: ObjectId) -> Option<NodeId> {
+        self.directory.primary_for(object)
+    }
+
+    /// Whether this node currently acts as the primary for `object`'s shard.
+    pub fn is_directory_primary_for(&self, object: ObjectId) -> bool {
+        self.directory.is_primary_for(object)
+    }
+
+    /// Object locations recorded in this node's replica of `object`'s shard; `None`
+    /// when this node hosts no replica of that shard. Failover tests use this to
+    /// assert that no location record was lost with a primary.
+    pub fn directory_locations(&self, object: ObjectId) -> Option<Vec<(NodeId, ObjectStatus)>> {
+        self.directory.locations(object)
+    }
+
+    /// `true` when every reduce-related map on this node is empty (participants,
+    /// coordinators, routing tables, parked early blocks). Reduce-state GC tests
+    /// assert this after completion.
+    pub fn reduce_state_is_empty(&self) -> bool {
+        self.reduce.is_idle()
+    }
+
+    /// Number of directory subscriptions this node currently holds open.
+    pub fn directory_subscription_count(&self) -> usize {
+        self.ctx.directory.subscription_count()
+    }
+
     // ------------------------------------------------------------------ client ops --
 
     /// Submit a client operation.
@@ -256,8 +366,7 @@ impl ObjectStoreNode {
                 );
             }
             ClientOp::Delete { object } => {
-                let shard = self.ctx.shard_node(object);
-                self.ctx.send(shard, Message::DirDelete { object }, out);
+                self.ctx.dir_delete(object, out);
                 out.push(Effect::Reply {
                     op: op_id,
                     reply: crate::protocol::ClientReply::DeleteDone { object },
@@ -298,40 +407,34 @@ impl ObjectStoreNode {
 
     fn dispatch_message(&mut self, now: Time, from: NodeId, msg: Message, out: &mut Vec<Effect>) {
         match msg {
-            // Directory plane: this node hosts the shard responsible for the object.
+            // Directory plane: this node hosts a replica of the shard responsible for
+            // the object (or forwards to the node it believes does).
             Message::DirRegister { object, holder, status, size } => {
-                self.ctx.metrics.directory_registrations += 1;
-                let mut replies = Vec::new();
-                self.shard.register(object, holder, status, size, &mut replies);
-                self.forward_shard_replies(replies, out);
+                self.apply_dir_op(DirOp::Register { object, holder, status, size }, out);
             }
             Message::DirPutInline { object, holder, payload } => {
-                self.ctx.metrics.directory_registrations += 1;
-                let mut replies = Vec::new();
-                self.shard.put_inline(object, holder, payload, &mut replies);
-                self.forward_shard_replies(replies, out);
+                self.apply_dir_op(DirOp::PutInline { object, holder, payload }, out);
             }
             Message::DirUnregister { object, holder } => {
-                self.shard.unregister(object, holder);
+                self.apply_dir_op(DirOp::Unregister { object, holder }, out);
             }
             Message::DirQuery { object, requester, query_id, exclude } => {
-                self.ctx.metrics.directory_queries_served += 1;
-                let mut replies = Vec::new();
-                self.shard.query(object, requester, query_id, exclude, &mut replies);
-                self.forward_shard_replies(replies, out);
+                self.apply_dir_op(DirOp::Query { object, requester, query_id, exclude }, out);
             }
             Message::DirSubscribe { object, subscriber } => {
-                let mut replies = Vec::new();
-                self.shard.subscribe(object, subscriber, &mut replies);
-                self.forward_shard_replies(replies, out);
+                self.apply_dir_op(DirOp::Subscribe { object, subscriber }, out);
+            }
+            Message::DirUnsubscribe { object, subscriber } => {
+                self.apply_dir_op(DirOp::Unsubscribe { object, subscriber }, out);
             }
             Message::DirTransferDone { object, receiver, sender } => {
-                self.shard.transfer_done(object, receiver, sender);
+                self.apply_dir_op(DirOp::TransferDone { object, receiver, sender }, out);
             }
             Message::DirDelete { object } => {
-                let mut replies = Vec::new();
-                self.shard.delete(object, &mut replies);
-                self.forward_shard_replies(replies, out);
+                self.apply_dir_op(DirOp::Delete { object }, out);
+            }
+            Message::DirReplicate { shard, epoch, op } => {
+                self.directory.handle_replicate(shard as usize, epoch, &op);
             }
             // Directory replies and publications addressed to this node.
             Message::DirQueryReply { object, query_id, result } => {
@@ -401,12 +504,28 @@ impl ObjectStoreNode {
                 self.route_reduce_events(now, events, out);
             }
             Message::ReduceDone { target, root: _ } => {
-                self.reduce.on_reduce_done(target, out);
+                self.reduce.on_reduce_done(&mut self.ctx, target, out);
+            }
+            Message::ReduceRelease { target } => {
+                self.reduce.on_release(target);
             }
         }
     }
 
-    fn forward_shard_replies(&mut self, replies: Vec<(NodeId, Message)>, out: &mut Vec<Effect>) {
+    /// Route one directory op into this node's service layer and forward whatever it
+    /// produced: query replies and publications when we applied as primary, log
+    /// shipments to backups, or the forwarded op when the primary is elsewhere.
+    fn apply_dir_op(&mut self, op: DirOp, out: &mut Vec<Effect>) {
+        let is_query = matches!(op, DirOp::Query { .. });
+        let is_registration = matches!(op, DirOp::Register { .. } | DirOp::PutInline { .. });
+        let mut replies = Vec::new();
+        if self.directory.handle_op(op, &mut replies) {
+            if is_query {
+                self.ctx.metrics.directory_queries_served += 1;
+            } else if is_registration {
+                self.ctx.metrics.directory_registrations += 1;
+            }
+        }
         for (to, msg) in replies {
             self.ctx.send(to, msg, out);
         }

@@ -362,18 +362,8 @@ impl ReduceEngine {
                             object_size,
                             ctx.opts.synthetic_data || payload.is_synthetic(),
                         );
-                        let shard = ctx.shard_node(target);
                         if !ctx.cfg.is_inline(object_size) {
-                            ctx.send(
-                                shard,
-                                Message::DirRegister {
-                                    object: target,
-                                    holder: ctx.id,
-                                    status: ObjectStatus::Partial,
-                                    size: object_size,
-                                },
-                                out,
-                            );
+                            ctx.dir_register(target, ObjectStatus::Partial, object_size, out);
                         }
                     }
                 }
@@ -391,16 +381,7 @@ impl ReduceEngine {
                         // Small results go through the inline fast path like any Put.
                         if ctx.cfg.is_inline(object_size) {
                             if let Some(full) = ctx.store.get_complete(target) {
-                                let shard = ctx.shard_node(target);
-                                ctx.send(
-                                    shard,
-                                    Message::DirPutInline {
-                                        object: target,
-                                        holder: ctx.id,
-                                        payload: full,
-                                    },
-                                    out,
-                                );
+                                ctx.dir_put_inline(target, full, out);
                             }
                         }
                         trace!("[n{}] root completed {:?}", ctx.id.0, target);
@@ -436,6 +417,28 @@ impl ReduceEngine {
         events
     }
 
+    /// Release every participant slot, parked early block, and routing entry for a
+    /// completed reduce (the coordinator broadcasts [`Message::ReduceRelease`] once
+    /// the root reports done). Without this, long-lived serving clusters accumulate
+    /// one participant + accumulator set per reduce ever run.
+    pub(crate) fn on_release(&mut self, target: ObjectId) {
+        self.participants.retain(|(t, _), _| *t != target);
+        self.early_blocks.retain(|(t, _), _| *t != target);
+        self.own_object_routing.retain(|_, keys| {
+            keys.retain(|(t, _)| *t != target);
+            !keys.is_empty()
+        });
+    }
+
+    /// `true` when the engine holds no reduce state at all (GC tests).
+    pub(crate) fn is_idle(&self) -> bool {
+        self.participants.is_empty()
+            && self.coordinators.is_empty()
+            && self.early_blocks.is_empty()
+            && self.source_routing.is_empty()
+            && self.own_object_routing.is_empty()
+    }
+
     /// Drop an invalid local partial copy (used when a reduce root clears its result):
     /// delete it from the store and unregister from the directory. Returns `true` when
     /// a copy was actually dropped (so the facade aborts downstream pullers).
@@ -449,8 +452,7 @@ impl ReduceEngine {
             return false;
         }
         ctx.store.delete(object);
-        let shard = ctx.shard_node(object);
-        ctx.send(shard, Message::DirUnregister { object, holder: ctx.id }, out);
+        ctx.dir_unregister(object, out);
         true
     }
 }

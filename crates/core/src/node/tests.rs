@@ -558,6 +558,132 @@ fn get_survives_total_copy_loss_until_recreation() {
     assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
 }
 
+/// Reduce-state GC: once a reduce completes, every node's reduce maps (participants,
+/// coordinators, routing, parked blocks) are empty and the coordinator's directory
+/// subscriptions are closed.
+#[test]
+fn reduce_state_is_released_after_completion() {
+    let mut tc = TestCluster::new(5);
+    let sources: Vec<ObjectId> = (0..4).map(|i| ObjectId::from_name(&format!("gc-{i}"))).collect();
+    for (i, &src) in sources.iter().enumerate() {
+        tc.client(
+            i + 1,
+            OpId(10 + i as u64),
+            ClientOp::Put { object: src, payload: Payload::from_f32s(&vec![1.0f32; 400]) },
+        );
+    }
+    tc.run();
+    let target = ObjectId::from_name("gc-sum");
+    tc.client(
+        0,
+        OpId(1),
+        ClientOp::Reduce {
+            target,
+            sources,
+            num_objects: None,
+            spec: ReduceSpec::sum_f32(),
+            degree: Some(2),
+        },
+    );
+    tc.run();
+    tc.client(0, OpId(2), ClientOp::Get { object: target });
+    tc.run();
+    assert!(tc.reply_payload(OpId(2)).is_some(), "reduce completed");
+    for (i, node) in tc.nodes.iter().enumerate() {
+        assert!(node.reduce_state_is_empty(), "node {i} still holds reduce state");
+        assert_eq!(
+            node.directory_subscription_count(),
+            0,
+            "node {i} still holds directory subscriptions"
+        );
+    }
+}
+
+// ------------------------------------------------- directory failover seam tests --
+
+/// §3.5: killing the primary of a directory shard loses no object-location records —
+/// the promoted backup has the full replicated state and keeps serving queries.
+#[test]
+fn directory_primary_failure_preserves_metadata() {
+    let mut tc = TestCluster::new(4);
+    // Shard s is primaried by node s with node (s+1) % 4 as backup. Use shard 3.
+    let object = (0u64..)
+        .map(|k| ObjectId::from_name(&format!("dir-fo-{k}")))
+        .find(|&o| ClusterView::of_size(4).shard_node(o).index() == 3)
+        .unwrap();
+    let data: Vec<u8> = (0..6000u32).map(|i| (i * 11 % 251) as u8).collect();
+    tc.client(1, OpId(1), ClientOp::Put { object, payload: Payload::from_vec(data.clone()) });
+    tc.run();
+    assert!(tc.nodes[3].is_directory_primary_for(object));
+    let at_primary = tc.nodes[3].directory_locations(object).expect("primary hosts the shard");
+    assert!(at_primary.iter().any(|(n, _)| *n == NodeId(1)), "location registered");
+
+    // The primary dies. The backup (node 0) promotes itself and still has the record.
+    tc.kill(3);
+    tc.run();
+    assert!(tc.nodes[0].is_directory_primary_for(object), "backup promoted");
+    let at_backup = tc.nodes[0].directory_locations(object).expect("backup hosts the shard");
+    assert_eq!(at_backup, at_primary, "no location record lost with the primary");
+
+    // And the metadata is live: a fresh Get resolves through the new primary.
+    tc.client(2, OpId(2), ClientOp::Get { object });
+    tc.run();
+    let got = tc.reply_payload(OpId(2)).expect("get served after directory failover");
+    assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
+}
+
+/// A location query that parked on the old primary is not lost: the requester
+/// re-issues it at the promoted backup (same correlation id, deduplicated by the
+/// shard) and it completes once the object appears.
+#[test]
+fn parked_query_survives_primary_failure() {
+    let mut tc = TestCluster::new(4);
+    let object = (0u64..)
+        .map(|k| ObjectId::from_name(&format!("parked-fo-{k}")))
+        .find(|&o| ClusterView::of_size(4).shard_node(o).index() == 3)
+        .unwrap();
+    // The Get parks: no location exists yet.
+    tc.client(2, OpId(1), ClientOp::Get { object });
+    tc.run();
+    assert!(tc.reply_payload(OpId(1)).is_none());
+
+    // The shard primary dies while the query is parked on it (and replicated).
+    tc.kill(3);
+    tc.run();
+    assert!(
+        tc.nodes[2].metrics().directory_failovers >= 1,
+        "requester re-issued its outstanding query at the new primary"
+    );
+
+    // The object appears; the promoted backup answers the parked query.
+    let data = vec![3u8; 4000];
+    tc.client(1, OpId(2), ClientOp::Put { object, payload: Payload::from_vec(data.clone()) });
+    tc.run();
+    let got = tc.reply_payload(OpId(1)).expect("parked get completed after failover");
+    assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
+}
+
+/// An inline (small) object survives a directory-primary failure: the creator
+/// re-drives the payload-bearing registration so the promoted backup can keep
+/// serving the inline fast path.
+#[test]
+fn inline_object_survives_primary_failure() {
+    let mut tc = TestCluster::new(4);
+    let object = (0u64..)
+        .map(|k| ObjectId::from_name(&format!("inline-fo-{k}")))
+        .find(|&o| ClusterView::of_size(4).shard_node(o).index() == 3)
+        .unwrap();
+    let data: Vec<u8> = (0..32u32).map(|i| i as u8).collect(); // below inline threshold
+    tc.client(1, OpId(1), ClientOp::Put { object, payload: Payload::from_vec(data.clone()) });
+    tc.run();
+    tc.kill(3);
+    tc.run();
+    tc.client(2, OpId(2), ClientOp::Get { object });
+    tc.run();
+    let got = tc.reply_payload(OpId(2)).expect("inline get served by the promoted backup");
+    assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
+}
+
 /// Puts of an object that already exists fail fast with `ObjectAlreadyExists`.
 #[test]
 fn duplicate_put_is_rejected() {

@@ -87,6 +87,124 @@ pub struct ReduceParent {
     pub epoch: u64,
 }
 
+/// One mutating directory operation, in the form the replication layer ships between
+/// replicas of a shard (§3.5: the paper replicates the object directory). Every
+/// client-facing `Dir*` message maps onto one `DirOp`; the primary applies the op and
+/// log-ships it to its backups inside [`Message::DirReplicate`], and a backup replays
+/// the identical op against its mirror shard with outbound replies suppressed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DirOp {
+    /// See [`Message::DirRegister`].
+    Register {
+        /// The object.
+        object: ObjectId,
+        /// The node holding the copy.
+        holder: NodeId,
+        /// Partial or complete.
+        status: ObjectStatus,
+        /// Total object size.
+        size: u64,
+    },
+    /// See [`Message::DirPutInline`].
+    PutInline {
+        /// The object.
+        object: ObjectId,
+        /// The node that created it.
+        holder: NodeId,
+        /// Full contents.
+        payload: Payload,
+    },
+    /// See [`Message::DirUnregister`].
+    Unregister {
+        /// The object.
+        object: ObjectId,
+        /// The holder to remove.
+        holder: NodeId,
+    },
+    /// See [`Message::DirQuery`]. Queries mutate shard state (leases, pull edges,
+    /// parked entries), so they are part of the replicated log like every other op.
+    Query {
+        /// The object.
+        object: ObjectId,
+        /// Node asking.
+        requester: NodeId,
+        /// Correlation id, unique per requester.
+        query_id: u64,
+        /// Nodes the requester knows to be unusable.
+        exclude: Vec<NodeId>,
+    },
+    /// See [`Message::DirSubscribe`].
+    Subscribe {
+        /// The object.
+        object: ObjectId,
+        /// Subscriber node.
+        subscriber: NodeId,
+    },
+    /// See [`Message::DirUnsubscribe`].
+    Unsubscribe {
+        /// The object.
+        object: ObjectId,
+        /// Subscriber node.
+        subscriber: NodeId,
+    },
+    /// See [`Message::DirTransferDone`].
+    TransferDone {
+        /// The object.
+        object: ObjectId,
+        /// The receiver that completed its copy.
+        receiver: NodeId,
+        /// The sender it copied from.
+        sender: NodeId,
+    },
+    /// See [`Message::DirDelete`].
+    Delete {
+        /// The object.
+        object: ObjectId,
+    },
+}
+
+impl DirOp {
+    /// The object this op concerns (every directory op targets exactly one object,
+    /// which is what the placement layer routes on).
+    pub fn object(&self) -> ObjectId {
+        match self {
+            DirOp::Register { object, .. }
+            | DirOp::PutInline { object, .. }
+            | DirOp::Unregister { object, .. }
+            | DirOp::Query { object, .. }
+            | DirOp::Subscribe { object, .. }
+            | DirOp::Unsubscribe { object, .. }
+            | DirOp::TransferDone { object, .. }
+            | DirOp::Delete { object } => *object,
+        }
+    }
+
+    /// Reconstruct the client-facing message form (used when a backup forwards an op
+    /// it received by mistake to the shard's current primary).
+    pub fn into_message(self) -> Message {
+        match self {
+            DirOp::Register { object, holder, status, size } => {
+                Message::DirRegister { object, holder, status, size }
+            }
+            DirOp::PutInline { object, holder, payload } => {
+                Message::DirPutInline { object, holder, payload }
+            }
+            DirOp::Unregister { object, holder } => Message::DirUnregister { object, holder },
+            DirOp::Query { object, requester, query_id, exclude } => {
+                Message::DirQuery { object, requester, query_id, exclude }
+            }
+            DirOp::Subscribe { object, subscriber } => Message::DirSubscribe { object, subscriber },
+            DirOp::Unsubscribe { object, subscriber } => {
+                Message::DirUnsubscribe { object, subscriber }
+            }
+            DirOp::TransferDone { object, receiver, sender } => {
+                Message::DirTransferDone { object, receiver, sender }
+            }
+            DirOp::Delete { object } => Message::DirDelete { object },
+        }
+    }
+}
+
 /// Node-to-node protocol messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
@@ -149,6 +267,14 @@ pub enum Message {
         /// Subscriber node.
         subscriber: NodeId,
     },
+    /// Drop a subscription (reduce coordinators unsubscribe once their reduce
+    /// completes, so long-lived clusters do not accumulate dead subscribers).
+    DirUnsubscribe {
+        /// The object.
+        object: ObjectId,
+        /// Subscriber node.
+        subscriber: NodeId,
+    },
     /// Location publication pushed to subscribers.
     DirPublish {
         /// The object.
@@ -179,6 +305,17 @@ pub enum Message {
     StoreRelease {
         /// The object.
         object: ObjectId,
+    },
+    /// Primary replica → backup replica: apply one directory op to your mirror of
+    /// `shard`. Stamped with the primary's promotion epoch; backups reject ops from a
+    /// lower epoch than they have seen (a deposed primary's stragglers).
+    DirReplicate {
+        /// Shard index the op belongs to.
+        shard: u64,
+        /// The shipping primary's promotion epoch.
+        epoch: u64,
+        /// The op to replay.
+        op: DirOp,
     },
 
     // --------------------------------------------------------------- data plane ----
@@ -248,6 +385,12 @@ pub enum Message {
         /// Node holding the result.
         root: NodeId,
     },
+    /// Coordinator → participants: the reduce completed; release every participant
+    /// slot, parked early block, and routing entry for `target` (reduce-state GC).
+    ReduceRelease {
+        /// Reduce identifier.
+        target: ObjectId,
+    },
 }
 
 impl Message {
@@ -265,6 +408,11 @@ impl Message {
             }
             Message::ReduceInstruction(instr) => CONTROL + 24 * instr.children.len() as u64,
             Message::DirQuery { exclude, .. } => CONTROL + 4 * exclude.len() as u64,
+            Message::DirReplicate { op, .. } => match op {
+                DirOp::PutInline { payload, .. } => 2 * CONTROL + payload.len(),
+                DirOp::Query { exclude, .. } => 2 * CONTROL + 4 * exclude.len() as u64,
+                _ => 2 * CONTROL,
+            },
             _ => CONTROL,
         }
     }

@@ -12,7 +12,7 @@
 //! and every ancestor of the failed slot bumps its *epoch*, which instructs it to clear
 //! its partial accumulation and its children to re-send.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use crate::object::{NodeId, ObjectId};
 
@@ -180,6 +180,13 @@ pub struct ReduceInput {
 }
 
 /// Dynamic assignment state layered over a [`TreeShape`].
+///
+/// The ready pool is a FIFO over object ids plus a membership map, so offering an
+/// input, updating its holder, and popping the next pooled input are all O(1) —
+/// assigning `n` arrivals is linear instead of the O(n²) that `Vec::remove(0)` plus a
+/// linear membership scan used to cost (`tree_assignment/1024` in `BENCH_NOTES.md`).
+/// An id can appear in the FIFO more than once (re-offered after a failure); the
+/// membership map is authoritative and stale FIFO entries are skipped on pop.
 #[derive(Clone, Debug)]
 pub struct ReduceTreePlan {
     shape: TreeShape,
@@ -187,8 +194,19 @@ pub struct ReduceTreePlan {
     assignment: Vec<Option<ReduceInput>>,
     /// Accumulation epoch per slot (bumped when the slot must clear partial results).
     epoch: Vec<u64>,
-    /// Objects that have ever been offered, with their current node (if alive).
-    ready_pool: Vec<ReduceInput>,
+    /// Arrival order of pooled (offered, not yet assigned) objects, as
+    /// (object, admission generation) pairs.
+    ready_queue: VecDeque<(ObjectId, u64)>,
+    /// Pooled object -> (current holder, admission generation). Membership here is
+    /// what "in the pool" means; `ready_queue` entries whose generation does not
+    /// match are stale (left behind by a failure + re-offer) and skipped on pop, so a
+    /// re-admitted object queues at the back like any fresh arrival.
+    pooled: HashMap<ObjectId, (NodeId, u64)>,
+    /// Monotonic counter feeding admission generations.
+    admissions: u64,
+    /// Unassigned slots, in in-order rank order, so refilling does not rescan the
+    /// whole assignment vector per offer.
+    vacant: BTreeSet<usize>,
     /// Objects currently assigned to a slot.
     assigned_objects: HashMap<ObjectId, usize>,
     /// Objects that were offered but are currently unusable (their holder failed).
@@ -232,7 +250,10 @@ impl ReduceTreePlan {
             shape,
             assignment: vec![None; n],
             epoch: vec![0; n],
-            ready_pool: Vec::new(),
+            ready_queue: VecDeque::new(),
+            pooled: HashMap::new(),
+            admissions: 0,
+            vacant: (0..n).collect(),
             assigned_objects: HashMap::new(),
             lost_objects: HashSet::new(),
         }
@@ -277,11 +298,15 @@ impl ReduceTreePlan {
             return PlanDelta::default();
         }
         self.lost_objects.remove(&input.object);
-        if let Some(existing) = self.ready_pool.iter_mut().find(|i| i.object == input.object) {
-            // The object moved (e.g. recreated on another node after recovery).
-            existing.node = input.node;
-        } else {
-            self.ready_pool.push(input);
+        // Insert-or-move-holder in O(1); only a new pool admission takes a FIFO slot
+        // (an object already pooled just updates its holder in place).
+        match self.pooled.get_mut(&input.object) {
+            Some((holder, _)) => *holder = input.node,
+            None => {
+                self.admissions += 1;
+                self.pooled.insert(input.object, (input.node, self.admissions));
+                self.ready_queue.push_back((input.object, self.admissions));
+            }
         }
         self.fill_vacancies()
     }
@@ -291,10 +316,11 @@ impl ReduceTreePlan {
     /// affected slots (vacated ancestors and any refills).
     pub fn on_node_failed(&mut self, node: NodeId) -> PlanDelta {
         let mut affected = HashSet::new();
-        // Drop pooled inputs that lived on the failed node.
-        self.ready_pool.retain(|i| {
-            if i.node == node {
-                self.lost_objects.insert(i.object);
+        // Drop pooled inputs that lived on the failed node (their FIFO entries go
+        // stale and are skipped on pop).
+        self.pooled.retain(|object, (holder, _)| {
+            if *holder == node {
+                self.lost_objects.insert(*object);
                 false
             } else {
                 true
@@ -312,6 +338,7 @@ impl ReduceTreePlan {
             .collect();
         for slot in vacated {
             let input = self.assignment[slot].take().expect("slot was assigned");
+            self.vacant.insert(slot);
             self.assigned_objects.remove(&input.object);
             self.lost_objects.insert(input.object);
             affected.insert(slot);
@@ -368,11 +395,10 @@ impl ReduceTreePlan {
     /// Assign pooled inputs to vacant slots in in-order-rank order.
     fn fill_vacancies(&mut self) -> PlanDelta {
         let mut affected = HashSet::new();
-        for slot in 0..self.shape.len() {
-            if self.assignment[slot].is_some() {
-                continue;
-            }
+        while let Some(&slot) = self.vacant.first() {
+            debug_assert!(self.assignment[slot].is_none());
             let Some(next) = self.next_pooled() else { break };
+            self.vacant.remove(&slot);
             self.assignment[slot] = Some(next);
             self.assigned_objects.insert(next.object, slot);
             affected.insert(slot);
@@ -394,11 +420,18 @@ impl ReduceTreePlan {
     }
 
     fn next_pooled(&mut self) -> Option<ReduceInput> {
-        if self.ready_pool.is_empty() {
-            None
-        } else {
-            Some(self.ready_pool.remove(0))
+        while let Some((object, generation)) = self.ready_queue.pop_front() {
+            // Stale FIFO entries (dropped by a failure, possibly re-admitted later
+            // under a newer generation) are skipped; only the live admission counts.
+            match self.pooled.get(&object) {
+                Some(&(node, live)) if live == generation => {
+                    self.pooled.remove(&object);
+                    return Some(ReduceInput { object, node });
+                }
+                _ => continue,
+            }
         }
+        None
     }
 }
 

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --example fault_tolerance`
 
 use hoplite::apps::comm::CommSystem;
-use hoplite::apps::fault::{broadcast_failover_demo, serving_failure_timeline};
+use hoplite::apps::fault::{
+    broadcast_failover_demo, directory_failover_demo, serving_failure_timeline,
+};
 use hoplite::baselines::Baseline;
 
 fn main() {
@@ -14,7 +16,15 @@ fn main() {
     println!("  latency without failure : {:.3} s", demo.baseline_s);
     println!("  latency with failure    : {:.3} s", demo.with_failure_s);
     println!("  surviving receivers done: {}", demo.completed_receivers);
-    println!("  directory failovers     : {}", demo.failovers);
+    println!("  broadcast failovers     : {}", demo.failovers);
+    println!();
+
+    let dir = directory_failover_demo(8, 512 * 1024 * 1024, 0.05);
+    println!("512 MB broadcast, the object's directory *primary* killed 50 ms in:");
+    println!("  latency with failure    : {:.3} s", dir.with_failure_s);
+    println!("  receivers completed     : {}", dir.completed_receivers);
+    println!("  metadata intact         : {}", dir.metadata_intact);
+    println!("  queries re-driven       : {}", dir.directory_failovers);
     println!();
 
     println!("model-serving latency per query around a failure (fail @20, rejoin @45):");
