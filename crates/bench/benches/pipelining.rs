@@ -23,6 +23,19 @@ fn bench_progress_buffer(c: &mut Criterion) {
             buf.is_complete()
         })
     });
+    // Appends are zero-copy segment adoptions; this variant also materializes the
+    // complete payload, which pays the one remaining coalesce copy.
+    group.bench_function("4MB_blocks_coalesced", |b| {
+        b.iter(|| {
+            let mut buf = ProgressBuffer::new(total, false);
+            let mut offset = 0;
+            while offset < total {
+                buf.append_at(offset, &block);
+                offset += block.len();
+            }
+            buf.to_payload().unwrap().len()
+        })
+    });
     group.finish();
 }
 

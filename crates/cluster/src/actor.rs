@@ -20,9 +20,19 @@ pub struct Completion {
 }
 
 /// A simulator actor hosting one Hoplite object-store node.
+///
+/// The actor keeps the ingredients to rebuild its node: when the simulator recovers
+/// a failed node it calls [`SimActor::on_start`] again, and the actor models a real
+/// process restart — a fresh, empty [`ObjectStoreNode`] that immediately begins
+/// directory recovery (snapshot requests, log catch-up, `DirResynced` announcement).
 pub struct HopliteActor {
+    id: NodeId,
+    cfg: HopliteConfig,
+    cluster: ClusterView,
+    opts: NodeOptions,
     runtime: NodeRuntime,
     completions: HashMap<OpId, Vec<Completion>>,
+    booted: bool,
 }
 
 /// [`DriverPort`] implementation over a simulation callback context.
@@ -47,9 +57,18 @@ impl DriverPort for SimPort<'_, '_> {
 }
 
 impl HopliteActor {
-    /// Wrap a freshly-created node.
-    pub fn new(node: ObjectStoreNode) -> Self {
-        HopliteActor { runtime: NodeRuntime::new(node), completions: HashMap::new() }
+    /// Build the actor (and its initial node) from the node's construction parts.
+    pub fn new(id: NodeId, cfg: HopliteConfig, cluster: ClusterView, opts: NodeOptions) -> Self {
+        let node = ObjectStoreNode::new(id, cfg.clone(), cluster.clone(), opts.clone());
+        HopliteActor {
+            id,
+            cfg,
+            cluster,
+            opts,
+            runtime: NodeRuntime::new(node),
+            completions: HashMap::new(),
+            booted: false,
+        }
     }
 
     /// Submit a client operation (called from an external simulation event).
@@ -77,6 +96,24 @@ impl HopliteActor {
 
 impl SimActor for HopliteActor {
     type Msg = Message;
+
+    fn on_start(&mut self, ctx: &mut SimContext<'_, Message>) {
+        if !self.booted {
+            // Cold boot: the node constructed in `new` is already current.
+            self.booted = true;
+            return;
+        }
+        // Recovery restart: model a fresh process — empty store, empty directory
+        // replicas — that must resync before leading any shard again.
+        let node = ObjectStoreNode::new(
+            self.id,
+            self.cfg.clone(),
+            self.cluster.clone(),
+            self.opts.clone(),
+        );
+        self.runtime = NodeRuntime::new(node);
+        self.drive(NodeEvent::Restarted, ctx);
+    }
 
     fn on_message(&mut self, from: usize, msg: Message, ctx: &mut SimContext<'_, Message>) {
         self.drive(NodeEvent::Message { from: NodeId(from as u32), msg }, ctx);

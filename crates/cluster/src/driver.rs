@@ -37,6 +37,10 @@ pub enum NodeEvent {
     PeerFailed(NodeId),
     /// The failure detector declared a previously-dead peer recovered.
     PeerRecovered(NodeId),
+    /// This node itself was just restarted with empty state: begin directory
+    /// recovery (snapshot requests + log catch-up + `DirResynced` announcement).
+    /// Backends deliver this exactly once, as the first event of a restarted node.
+    Restarted,
 }
 
 /// How a backend executes the effects the core requests. One implementation per
@@ -92,6 +96,7 @@ impl NodeRuntime {
             NodeEvent::PeerRecovered(peer) => {
                 self.node.handle_peer_recovered(now, peer, &mut self.effects)
             }
+            NodeEvent::Restarted => self.node.begin_recovery(now, &mut self.effects),
         }
         for effect in self.effects.drain(..) {
             match effect {

@@ -32,14 +32,7 @@ impl SimCluster {
         let actors = cluster
             .nodes
             .iter()
-            .map(|&id| {
-                HopliteActor::new(ObjectStoreNode::new(
-                    id,
-                    cfg.clone(),
-                    cluster.clone(),
-                    opts.clone(),
-                ))
-            })
+            .map(|&id| HopliteActor::new(id, cfg.clone(), cluster.clone(), opts.clone()))
             .collect();
         SimCluster { sim: Simulation::new(net, actors), next_op: 1 }
     }
@@ -77,9 +70,27 @@ impl SimCluster {
         self.sim.fail_node_at(at, node);
     }
 
-    /// Schedule a node recovery (the node comes back with an empty store).
+    /// Schedule a node restart: the node comes back as a fresh process (empty store,
+    /// empty directory replicas) and immediately begins directory recovery — snapshot
+    /// requests, log catch-up, and the `DirResynced` re-admission announcement.
+    pub fn restart_node_at(&mut self, at: SimTime, node: usize) {
+        self.sim.recover_node_at(at, node);
+    }
+
+    /// Schedule a node recovery (alias of [`SimCluster::restart_node_at`], kept for
+    /// symmetry with the simulator's vocabulary).
     pub fn recover_node_at(&mut self, at: SimTime, node: usize) {
         self.sim.recover_node_at(at, node);
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.sim.is_alive(node)
+    }
+
+    /// Whether `node` has finished (or never needed) directory resync.
+    pub fn directory_resync_done(&self, node: usize) -> bool {
+        !self.sim.actor(node).node().directory_is_resyncing()
     }
 
     /// Run until no events remain; returns the final simulated time.

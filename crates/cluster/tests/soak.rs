@@ -1,0 +1,111 @@
+//! Seeded fault-injection soak lane.
+//!
+//! Every test here sweeps the failure scenarios across a bank of fixed seeds, each
+//! seed deriving a different cluster size, object size, and fault timing from a tiny
+//! deterministic LCG. The simulator itself is deterministic, so a failing seed
+//! reproduces exactly: the failure message names it, and re-running
+//! `cargo test -p hoplite-cluster --release soak_ -- --ignored` locally replays the
+//! identical schedule.
+//!
+//! The tests are `#[ignore]`d so the regular `cargo test` tier stays fast; CI runs
+//! them as the dedicated `scenario-soak` step.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use hoplite_cluster::scenarios::{
+    directory_failover_broadcast, rolling_restart_collectives, ScenarioEnv,
+};
+use hoplite_core::prelude::NodeId;
+
+const MB: u64 = 1024 * 1024;
+const SEEDS: u64 = 32;
+
+/// Minimal deterministic parameter generator (64-bit LCG, MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+fn with_seed(name: &str, seed: u64, f: impl FnOnce()) {
+    if let Err(e) = catch_unwind(AssertUnwindSafe(f)) {
+        eprintln!(
+            "SOAK FAILURE: scenario `{name}` failed at seed {seed} — rerun this seed to reproduce"
+        );
+        resume_unwind(e);
+    }
+}
+
+/// Primary-kill failover under varying cluster sizes, object sizes, and kill times:
+/// the broadcast must complete, the promoted backup must hold every location record,
+/// and the late receiver's query must have been re-driven.
+#[test]
+#[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
+fn soak_directory_failover_seeds() {
+    for seed in 0..SEEDS {
+        with_seed("directory_failover_broadcast", seed, || {
+            let mut lcg = Lcg::new(seed);
+            let n = lcg.pick(4, 9) as usize;
+            let size = lcg.pick(2, 64) * MB;
+            let fail_at = 0.01 + lcg.pick(0, 12) as f64 * 0.01;
+            let env = ScenarioEnv::paper_testbed();
+            let r = directory_failover_broadcast(&env, n, size, fail_at);
+            assert_eq!(
+                r.completed_receivers,
+                n - 2,
+                "seed {seed}: every receiver completed (n={n} size={size} fail_at={fail_at})"
+            );
+            let mut holders = r.locations_at_new_primary.clone();
+            holders.sort_by_key(|h| h.0);
+            holders.dedup();
+            let expected: Vec<NodeId> = (0..(n - 1) as u32).map(NodeId).collect();
+            assert_eq!(holders, expected, "seed {seed}: location records survived the kill");
+            assert!(r.directory_failovers >= 1, "seed {seed}: late query re-driven");
+        });
+    }
+    eprintln!("soak_directory_failover_seeds: {SEEDS} seeds green");
+}
+
+/// Rolling restart of the whole cluster under live traffic, across seeds: zero lost
+/// location records, every wave and re-fetch completes, and the restarted nodes are
+/// re-admitted and lead shards again.
+#[test]
+#[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
+fn soak_rolling_restart_seeds() {
+    for seed in 0..SEEDS {
+        with_seed("rolling_restart_collectives", seed, || {
+            let mut lcg = Lcg::new(seed ^ 0xDEADBEEF);
+            let n = lcg.pick(4, 8) as usize;
+            let size = lcg.pick(2, 16) * MB;
+            let kill_gap = 2.6 + lcg.pick(0, 7) as f64 * 0.2;
+            let env = ScenarioEnv::paper_testbed();
+            let r = rolling_restart_collectives(&env, n, size, kill_gap);
+            assert_eq!(
+                r.waves_completed, r.waves_expected,
+                "seed {seed}: live-traffic waves completed (n={n} size={size} gap={kill_gap})"
+            );
+            assert_eq!(r.refetches_completed, n, "seed {seed}: restarted nodes re-fetched W");
+            assert!(r.reduce_ok, "seed {seed}: mid-sequence reduce completed");
+            let expected: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            assert_eq!(r.holders, expected, "seed {seed}: zero lost location records");
+            assert!(
+                r.primaries_restored >= n - 1,
+                "seed {seed}: original owners lead again ({} of {n})",
+                r.primaries_restored
+            );
+            assert!(r.resyncs >= n as u64, "seed {seed}: snapshot resync ran per restart");
+        });
+    }
+    eprintln!("soak_rolling_restart_seeds: {SEEDS} seeds green");
+}

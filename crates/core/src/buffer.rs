@@ -129,6 +129,13 @@ impl fmt::Debug for Payload {
 /// The buffer tracks a *watermark*: the number of contiguous bytes available from the
 /// start of the object. Pipelining (§3.3) works by letting other parties read up to the
 /// watermark while the rest of the object is still in flight.
+///
+/// Real data is stored as a sequence of contiguous **segments** adopted zero-copy
+/// from the incoming blocks (which are themselves zero-copy views into receive
+/// frames): an append is a refcount bump, not a memcpy. Reads that fall inside one
+/// segment — the common case, since blocks are appended and forwarded at the same
+/// block granularity — are zero-copy slices too. The one remaining copy is a single
+/// coalesce the first time the complete payload is materialized.
 #[derive(Clone, Debug)]
 pub struct ProgressBuffer {
     total_size: u64,
@@ -138,7 +145,12 @@ pub struct ProgressBuffer {
 
 #[derive(Clone, Debug)]
 enum PayloadAccum {
-    Real(Vec<u8>),
+    /// In-order contiguous segments; `starts[i]` is the object offset of
+    /// `segments[i]`, and the segments jointly cover `0..watermark`.
+    Real {
+        segments: Vec<Bytes>,
+        starts: Vec<u64>,
+    },
     Synthetic,
 }
 
@@ -149,16 +161,17 @@ impl ProgressBuffer {
         let data = if synthetic {
             PayloadAccum::Synthetic
         } else {
-            PayloadAccum::Real(Vec::with_capacity(total_size.min(64 * 1024 * 1024) as usize))
+            PayloadAccum::Real { segments: Vec::new(), starts: Vec::new() }
         };
         ProgressBuffer { total_size, watermark: 0, data }
     }
 
-    /// Build an already-complete buffer from a payload (the `Put` path).
+    /// Build an already-complete buffer from a payload (the `Put` path). Zero-copy:
+    /// the payload becomes the buffer's single segment.
     pub fn complete_from(payload: Payload) -> Self {
         let total = payload.len();
         let data = match payload {
-            Payload::Bytes(b) => PayloadAccum::Real(b.to_vec()),
+            Payload::Bytes(b) => PayloadAccum::Real { segments: vec![b], starts: vec![0] },
             Payload::Synthetic { .. } => PayloadAccum::Synthetic,
         };
         ProgressBuffer { total_size: total, watermark: total, data }
@@ -188,6 +201,8 @@ impl ProgressBuffer {
     /// out-of-order appends indicate a protocol bug and return `false` without
     /// modifying the buffer. Duplicate (already-covered) blocks are ignored and return
     /// `true`, which makes retransmission after sender failover idempotent.
+    ///
+    /// Real blocks are adopted as shared segments — no per-block memcpy.
     pub fn append_at(&mut self, offset: u64, payload: &Payload) -> bool {
         let len = payload.len();
         if offset + len <= self.watermark {
@@ -199,9 +214,14 @@ impl ProgressBuffer {
         // Possibly overlapping head; keep only the new suffix.
         let skip = self.watermark - offset;
         let fresh = payload.slice(skip, len - skip);
-        if let PayloadAccum::Real(v) = &mut self.data {
+        if let PayloadAccum::Real { segments, starts } = &mut self.data {
             match fresh.as_bytes() {
-                Some(b) => v.extend_from_slice(b),
+                Some(b) => {
+                    if !b.is_empty() {
+                        starts.push(self.watermark);
+                        segments.push(b.clone());
+                    }
+                }
                 None => {
                     // A synthetic block arriving into a real buffer would corrupt it.
                     // This only happens if a driver mixes modes, which is a bug.
@@ -213,27 +233,70 @@ impl ProgressBuffer {
         true
     }
 
-    /// Read `[offset, offset+len)` if it is already below the watermark.
+    /// Read `[offset, offset+len)` if it is already below the watermark. Zero-copy
+    /// when the range falls inside one received segment (the common, block-aligned
+    /// case); otherwise the spanned segments are copied into a fresh payload.
     pub fn read(&self, offset: u64, len: u64) -> Option<Payload> {
         let end = (offset + len).min(self.total_size);
         if end > self.watermark || offset > end {
             return None;
         }
-        Some(match &self.data {
-            PayloadAccum::Real(v) => {
-                Payload::Bytes(Bytes::copy_from_slice(&v[offset as usize..end as usize]))
+        match &self.data {
+            PayloadAccum::Real { segments, starts } => {
+                if offset == end {
+                    return Some(Payload::Bytes(Bytes::new()));
+                }
+                // Last segment starting at or before `offset`.
+                let idx = starts.partition_point(|&s| s <= offset) - 1;
+                let seg_start = starts[idx];
+                let seg = &segments[idx];
+                if end <= seg_start + seg.len() as u64 {
+                    let a = (offset - seg_start) as usize;
+                    let b = (end - seg_start) as usize;
+                    return Some(Payload::Bytes(seg.slice(a..b)));
+                }
+                // Range spans segments: copy the covered pieces out.
+                let mut v = Vec::with_capacity((end - offset) as usize);
+                let mut at = offset;
+                for (i, seg) in segments.iter().enumerate().skip(idx) {
+                    if at >= end {
+                        break;
+                    }
+                    let seg_start = starts[i];
+                    let a = (at - seg_start) as usize;
+                    let b = ((end - seg_start) as usize).min(seg.len());
+                    v.extend_from_slice(&seg.as_slice()[a..b]);
+                    at = seg_start + b as u64;
+                }
+                Some(Payload::Bytes(Bytes::from(v)))
             }
-            PayloadAccum::Synthetic => Payload::Synthetic { len: end - offset },
-        })
+            PayloadAccum::Synthetic => Some(Payload::Synthetic { len: end - offset }),
+        }
     }
 
-    /// The complete payload; `None` until [`ProgressBuffer::is_complete`].
-    pub fn to_payload(&self) -> Option<Payload> {
+    /// The complete payload; `None` until [`ProgressBuffer::is_complete`]. The first
+    /// call on a multi-segment buffer coalesces it into one segment (the single
+    /// remaining copy on the receive path); subsequent calls are zero-copy clones.
+    pub fn to_payload(&mut self) -> Option<Payload> {
         if !self.is_complete() {
             return None;
         }
-        Some(match &self.data {
-            PayloadAccum::Real(v) => Payload::Bytes(Bytes::from(v.clone())),
+        Some(match &mut self.data {
+            PayloadAccum::Real { segments, starts } => {
+                if segments.len() > 1 {
+                    let total: usize = segments.iter().map(|s| s.len()).sum();
+                    let mut v = Vec::with_capacity(total);
+                    for seg in segments.iter() {
+                        v.extend_from_slice(seg);
+                    }
+                    *segments = vec![Bytes::from(v)];
+                    *starts = vec![0];
+                }
+                match segments.first() {
+                    Some(seg) => Payload::Bytes(seg.clone()),
+                    None => Payload::Bytes(Bytes::new()),
+                }
+            }
             PayloadAccum::Synthetic => Payload::Synthetic { len: self.total_size },
         })
     }

@@ -1,28 +1,28 @@
 //! The failover-aware directory client.
 //!
 //! Every node talks to the directory exclusively through a [`DirectoryClient`]: it
-//! resolves the current primary of an object's shard from the same deterministic
-//! placement + failure view the servers use, and it journals the durable *intent*
-//! this node has expressed to the directory — locations it registered, inline objects
-//! it published, subscriptions it opened.
+//! resolves the current primary of an object's shard from the same epoch-versioned
+//! [`PlacementView`] the servers use, and it journals the durable *intent* this node
+//! has expressed to the directory — locations it registered, inline objects it
+//! published, subscriptions it opened.
 //!
-//! That journal is what makes the client failover-aware. Replication means a promoted
-//! backup already holds everything the old primary had applied; the remaining loss
-//! window is the messages that were in flight *to* the dying primary and never entered
-//! the replicated log. When the failure detector reports a primary death,
-//! [`DirectoryClient::on_peer_failed`] returns exactly the state to re-drive at the
-//! new primary: registrations and subscriptions for the failed-over shards (the node
-//! facade re-sends them, and `node/failure.rs` re-issues outstanding location
-//! queries). All three re-drives are idempotent at the shard.
+//! With the acked replication log, the journal tracks **confirmation**: the primary
+//! sends a [`Message::DirConfirm`] once an op's log entry has been acked by every
+//! tracked backup, at which point the op is durable *inside* the replication layer —
+//! a promoted backup is guaranteed to hold it. The loss window that remains is ops
+//! still in flight to (or unconfirmed at) a dying primary, so
+//! [`DirectoryClient::on_peer_failed`] re-drives exactly that genuinely-unacked
+//! window at the new primary, instead of the full journal. All re-drives are
+//! idempotent at the shard.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::buffer::Payload;
 use crate::config::HopliteConfig;
 use crate::object::{NodeId, ObjectId, ObjectStatus};
-use crate::protocol::Message;
+use crate::protocol::{ConfirmKind, Message};
 
-use super::service::DirectoryPlacement;
+use super::service::{DirectoryPlacement, PlacementView};
 
 /// The journaled intent of one registration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +34,10 @@ pub struct Registration {
     /// Whether the object went through the inline (small-object) fast path, in which
     /// case a re-drive must re-ship the payload, not just the location.
     pub inline: bool,
+    /// Whether the primary confirmed the registration as replication-durable
+    /// ([`Message::DirConfirm`]); confirmed entries are excluded from failover
+    /// re-drive.
+    pub confirmed: bool,
 }
 
 /// State to re-drive at the new primaries after a failover, computed by
@@ -42,9 +46,9 @@ pub struct Registration {
 pub struct FailoverRedrive {
     /// Shards whose primary changed with this failure.
     pub changed_shards: Vec<usize>,
-    /// Registrations to re-send (this node's journaled locations in those shards).
+    /// Unconfirmed registrations to re-send (the genuinely-unacked window).
     pub reregister: Vec<(ObjectId, Registration)>,
-    /// Subscriptions to re-open in those shards.
+    /// Unconfirmed subscriptions to re-open in those shards.
     pub resubscribe: Vec<ObjectId>,
 }
 
@@ -52,10 +56,10 @@ pub struct FailoverRedrive {
 #[derive(Debug)]
 pub struct DirectoryClient {
     me: NodeId,
-    placement: DirectoryPlacement,
-    failed: HashSet<NodeId>,
+    view: PlacementView,
     registrations: HashMap<ObjectId, Registration>,
-    subscriptions: HashSet<ObjectId>,
+    /// Open subscriptions, with their confirmation state.
+    subscriptions: HashMap<ObjectId, bool>,
 }
 
 impl DirectoryClient {
@@ -63,27 +67,40 @@ impl DirectoryClient {
     pub fn new(me: NodeId, cfg: &HopliteConfig, nodes: &[NodeId]) -> Self {
         DirectoryClient {
             me,
-            placement: DirectoryPlacement::from_config(cfg, nodes),
-            failed: HashSet::new(),
+            view: PlacementView::new(DirectoryPlacement::from_config(cfg, nodes)),
             registrations: HashMap::new(),
-            subscriptions: HashSet::new(),
+            subscriptions: HashMap::new(),
         }
     }
 
     /// The shard responsible for `object`.
     pub fn shard_of(&self, object: ObjectId) -> usize {
-        self.placement.shard_of(object)
+        self.view.placement().shard_of(object)
+    }
+
+    /// Every node in the cluster (drivers use this to broadcast announcements).
+    pub fn nodes(&self) -> &[NodeId] {
+        self.view.placement().nodes()
     }
 
     /// The current primary for `object`'s shard in this client's failure view;
-    /// `None` once every replica of the shard is dead.
+    /// `None` once every replica of the shard is dead. The believed primary is always
+    /// a replica-set member, so a transiently stale answer is corrected by one
+    /// server-side forward.
     pub fn primary_for(&self, object: ObjectId) -> Option<NodeId> {
-        self.placement.primary_for(object, &self.failed)
+        self.view.primary_for(object)
     }
 
     /// Number of open subscriptions (GC tests).
     pub fn subscription_count(&self) -> usize {
         self.subscriptions.len()
+    }
+
+    /// Number of journaled-but-unconfirmed intents (registrations + subscriptions):
+    /// the window a failover would re-drive.
+    pub fn unconfirmed_count(&self) -> usize {
+        self.registrations.values().filter(|r| !r.confirmed).count()
+            + self.subscriptions.values().filter(|c| !**c).count()
     }
 
     fn to_primary(&self, object: ObjectId, msg: Message) -> Option<(NodeId, Message)> {
@@ -97,7 +114,8 @@ impl DirectoryClient {
         status: ObjectStatus,
         size: u64,
     ) -> Option<(NodeId, Message)> {
-        self.registrations.insert(object, Registration { status, size, inline: false });
+        self.registrations
+            .insert(object, Registration { status, size, inline: false, confirmed: false });
         self.to_primary(object, Message::DirRegister { object, holder: self.me, status, size })
     }
 
@@ -105,7 +123,12 @@ impl DirectoryClient {
     pub fn put_inline(&mut self, object: ObjectId, payload: Payload) -> Option<(NodeId, Message)> {
         self.registrations.insert(
             object,
-            Registration { status: ObjectStatus::Complete, size: payload.len(), inline: true },
+            Registration {
+                status: ObjectStatus::Complete,
+                size: payload.len(),
+                inline: true,
+                confirmed: false,
+            },
         );
         self.to_primary(object, Message::DirPutInline { object, holder: self.me, payload })
     }
@@ -128,7 +151,7 @@ impl DirectoryClient {
 
     /// Open a location subscription.
     pub fn subscribe(&mut self, object: ObjectId) -> Option<(NodeId, Message)> {
-        self.subscriptions.insert(object);
+        self.subscriptions.insert(object, false);
         self.to_primary(object, Message::DirSubscribe { object, subscriber: self.me })
     }
 
@@ -156,32 +179,113 @@ impl DirectoryClient {
         self.registrations.remove(&object);
     }
 
-    /// Digest a peer failure: fold it into the failure view and return the state to
-    /// re-drive at shards whose primary just changed.
-    pub fn on_peer_failed(&mut self, peer: NodeId) -> FailoverRedrive {
-        if !self.failed.insert(peer) {
-            return FailoverRedrive::default();
+    /// Fold a primary's durability confirmation into the journal. The confirm names
+    /// what it covers, so an ack for a superseded intent (e.g. a `Partial`
+    /// registration later upgraded to `Complete`) does not mark the newer intent
+    /// confirmed.
+    pub fn confirm(&mut self, object: ObjectId, kind: ConfirmKind) {
+        match kind {
+            ConfirmKind::Location { status } => {
+                if let Some(r) = self.registrations.get_mut(&object) {
+                    if !r.inline && r.status == status {
+                        r.confirmed = true;
+                    }
+                }
+            }
+            ConfirmKind::Inline => {
+                if let Some(r) = self.registrations.get_mut(&object) {
+                    if r.inline {
+                        r.confirmed = true;
+                    }
+                }
+            }
+            ConfirmKind::Subscription => {
+                if let Some(c) = self.subscriptions.get_mut(&object) {
+                    *c = true;
+                }
+            }
         }
-        let mut before = self.failed.clone();
-        before.remove(&peer);
-        let changed_shards: Vec<usize> = (0..self.placement.num_shards())
-            .filter(|&s| {
-                self.placement.primary(s, &before) == Some(peer)
-                    && self.placement.primary(s, &self.failed).is_some()
-            })
-            .collect();
+    }
+
+    /// The genuinely-unacked window for `shards`: every journaled-but-unconfirmed
+    /// intent whose shard is in the list.
+    fn redrive_for(&self, changed_shards: Vec<usize>) -> FailoverRedrive {
         if changed_shards.is_empty() {
             return FailoverRedrive { changed_shards, ..FailoverRedrive::default() };
         }
-        let in_changed = |o: &ObjectId| changed_shards.contains(&self.placement.shard_of(*o));
+        let placement = self.view.placement();
+        let in_changed = |o: &ObjectId| changed_shards.contains(&placement.shard_of(*o));
         let reregister = self
             .registrations
             .iter()
-            .filter(|(o, _)| in_changed(o))
+            .filter(|(o, r)| !r.confirmed && in_changed(o))
             .map(|(o, r)| (*o, *r))
             .collect();
-        let resubscribe = self.subscriptions.iter().filter(|o| in_changed(o)).copied().collect();
+        let resubscribe = self
+            .subscriptions
+            .iter()
+            .filter(|(o, confirmed)| !**confirmed && in_changed(o))
+            .map(|(o, _)| *o)
+            .collect();
         FailoverRedrive { changed_shards, reregister, resubscribe }
+    }
+
+    /// Digest a peer failure: fold it into the leadership view and return the
+    /// genuinely-unacked state to re-drive at shards whose primary just changed.
+    /// Confirmed entries are already inside the promoted backup's acked prefix and
+    /// are not re-sent.
+    pub fn on_peer_failed(&mut self, peer: NodeId) -> FailoverRedrive {
+        let changed_shards = self.view.on_peer_failed(peer);
+        self.redrive_for(changed_shards)
+    }
+
+    /// Digest a peer recovery notice (alive again, resyncing — not yet routable-to).
+    pub fn on_peer_recovered(&mut self, peer: NodeId) {
+        self.view.on_peer_recovered(peer);
+    }
+
+    /// Digest direct evidence that a peer restarted (its full-resync snapshot
+    /// request arrived) before the failure detector reported anything. If this view
+    /// still considered the peer a healthy primary, the implied failure is folded in
+    /// — returning the usual failover re-drive set — and the peer then enters the
+    /// resyncing state. Idempotent with the detector's later notices.
+    pub fn on_peer_restarted(&mut self, peer: NodeId) -> FailoverRedrive {
+        let redrive = if self.view.is_alive(peer) && !self.view.is_resyncing(peer) {
+            self.on_peer_failed(peer)
+        } else {
+            FailoverRedrive::default()
+        };
+        self.view.on_peer_recovered(peer);
+        redrive
+    }
+
+    /// Digest a peer's catch-up announcement: the peer is a primary candidate again.
+    /// Shards that were leaderless while it was out regain a primary with its
+    /// re-admission, so their unconfirmed window is re-driven exactly as after a
+    /// failover.
+    pub fn on_peer_readmitted(&mut self, peer: NodeId) -> FailoverRedrive {
+        let regained = self.view.on_peer_readmitted(peer);
+        self.redrive_for(regained)
+    }
+
+    /// This node restarted: route directory traffic away from itself until resync
+    /// completes.
+    pub fn begin_self_resync(&mut self) {
+        self.view.begin_self_resync(self.me);
+    }
+
+    /// This node finished resyncing: it may lead shards again. Shards that were
+    /// leaderless and are now led by this node itself get their unconfirmed window
+    /// re-driven (to ourselves, via loopback) exactly like any other regained shard.
+    pub fn finish_self_resync(&mut self) -> FailoverRedrive {
+        let me = self.me;
+        self.on_peer_readmitted(me)
+    }
+
+    /// Adopt an authoritative rank cursor learned from a resync snapshot, so this
+    /// node's own routing agrees with the survivors' (no fail-back to itself).
+    pub fn set_shard_rank(&mut self, shard: usize, rank: usize) {
+        self.view.set_rank(shard, rank);
     }
 }
 
@@ -233,6 +337,42 @@ mod tests {
     }
 
     #[test]
+    fn confirmed_intents_shrink_the_redrive_window() {
+        let mut c = client(4, 0);
+        let confirmed = obj_with_primary(&c, 3);
+        let unacked = (0u64..)
+            .map(|k| ObjectId::from_name(&format!("win-{k}")))
+            .find(|&o| c.primary_for(o) == Some(NodeId(3)) && o != confirmed)
+            .unwrap();
+        c.register(confirmed, ObjectStatus::Complete, 10).unwrap();
+        c.register(unacked, ObjectStatus::Complete, 20).unwrap();
+        c.subscribe(confirmed).unwrap();
+        assert_eq!(c.unconfirmed_count(), 3);
+        c.confirm(confirmed, ConfirmKind::Location { status: ObjectStatus::Complete });
+        c.confirm(confirmed, ConfirmKind::Subscription);
+        assert_eq!(c.unconfirmed_count(), 1);
+        let redrive = c.on_peer_failed(NodeId(3));
+        // Only the genuinely-unacked registration is re-driven; the confirmed
+        // registration and subscription live in the promoted backup's acked prefix.
+        assert_eq!(redrive.reregister.len(), 1);
+        assert_eq!(redrive.reregister[0].0, unacked);
+        assert!(redrive.resubscribe.is_empty());
+    }
+
+    #[test]
+    fn stale_confirm_does_not_cover_an_upgraded_registration() {
+        let mut c = client(4, 0);
+        let o = obj_with_primary(&c, 3);
+        c.register(o, ObjectStatus::Partial, 10).unwrap();
+        // The registration is upgraded before the Partial confirm arrives.
+        c.register(o, ObjectStatus::Complete, 10).unwrap();
+        c.confirm(o, ConfirmKind::Location { status: ObjectStatus::Partial });
+        let redrive = c.on_peer_failed(NodeId(3));
+        assert_eq!(redrive.reregister.len(), 1, "the Complete upgrade is still unacked");
+        assert_eq!(redrive.reregister[0].1.status, ObjectStatus::Complete);
+    }
+
+    #[test]
     fn forgotten_and_deleted_objects_are_not_redriven() {
         let mut c = client(3, 0);
         let a = obj_with_primary(&c, 2);
@@ -252,5 +392,44 @@ mod tests {
         c.on_peer_failed(NodeId(0));
         assert_eq!(c.primary_for(o), None);
         assert!(c.query(o, 9, vec![]).is_none());
+    }
+
+    #[test]
+    fn readmission_redrives_the_unconfirmed_window_of_leaderless_shards() {
+        // Shard with replicas [1, 2] (client is node 0, a non-member). Both replicas
+        // die, so the client's unconfirmed registration has nowhere to go; when node
+        // 1 is readmitted after restarting, the shard regains a primary and the
+        // client must re-drive the registration there — the re-admitted replica may
+        // have resynced from nothing.
+        let mut c = client(3, 0);
+        let o = obj_with_primary(&c, 1);
+        c.register(o, ObjectStatus::Complete, 10).unwrap();
+        let first = c.on_peer_failed(NodeId(1));
+        assert_eq!(first.reregister.len(), 1, "failover to node 2 re-drives");
+        let second = c.on_peer_failed(NodeId(2));
+        // Node 2's death also fails over shard 2 ([2, 0]), but the *leaderless*
+        // shard of `o` has no target and is not re-driven.
+        assert!(!second.changed_shards.contains(&c.shard_of(o)));
+        assert!(second.reregister.is_empty(), "nothing to re-drive at a dead shard");
+        assert_eq!(c.primary_for(o), None);
+        c.on_peer_recovered(NodeId(1));
+        let redrive = c.on_peer_readmitted(NodeId(1));
+        assert_eq!(redrive.reregister.len(), 1, "regained shard re-drives the window");
+        assert_eq!(redrive.reregister[0].0, o);
+        assert_eq!(c.primary_for(o), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn self_resync_routes_away_until_finished() {
+        let mut c = client(3, 0);
+        let o = obj_with_primary(&c, 0);
+        c.begin_self_resync();
+        // While resyncing, ops for shards this node owns go to the backup.
+        let (to, _) = c.register(o, ObjectStatus::Complete, 10).unwrap();
+        assert_ne!(to, NodeId(0));
+        c.finish_self_resync();
+        // The cursor did not move, so once re-admitted the node routes to itself
+        // again only where the cursor still points at it.
+        assert_eq!(c.primary_for(o), Some(NodeId(0)));
     }
 }

@@ -7,16 +7,22 @@
 //!
 //! | Layer | Module | Responsibility |
 //! |---|---|---|
-//! | shard | [`shard`] | One shard as a pure, deterministic state machine (unchanged semantics: leases, pull-edge cycle avoidance, parked queries, inline cache) |
-//! | replication | [`replication`] | Primary/backup replicas of a shard: op-log shipping, suppressed replies on backups, epoch-stamped promotion |
-//! | service | [`service`] | Placement (shard → replica set), op routing, and promotion when a primary dies |
-//! | client | [`client`] | The failover-aware façade every engine calls: resolves the current primary, journals registrations/subscriptions, and computes the re-drive set after a failover |
+//! | shard | [`shard`] | One shard as a pure, deterministic state machine (leases, pull-edge cycle avoidance, parked queries, inline cache), plus snapshot capture/restore for state transfer |
+//! | replication | [`replication`] | Primary/backup replicas of a shard: sequenced op-log shipping with cumulative acks, origin confirms once an entry is fully acked, epoch-stamped promotion, and snapshot-based resync for replicas with unbridgeable gaps |
+//! | service | [`service`] | The epoch-versioned placement view (per-shard rank cursor + failover epochs), op routing, snapshot serving, and promotion when a primary dies |
+//! | client | [`client`] | The failover-aware façade every engine calls: resolves the current primary, journals registrations/subscriptions with their confirmation state, and re-drives only the genuinely-unacked window after a failover |
 //!
 //! Shard state flows through the system exactly once on the happy path: a client op
-//! reaches the shard's primary, the primary applies it and log-ships the op to its
-//! backups, and because the shard is deterministic the backups converge to the same
-//! state — including leases and parked queries, so a promoted backup can answer a
-//! query that parked on its predecessor.
+//! reaches the shard's primary, the primary applies it and log-ships the op (with a
+//! sequence number) to its backups, the backups ack the applied prefix, and the
+//! primary confirms the op to its origin once every tracked backup acked — at which
+//! point the op is durable with no client participation. Because the shard is
+//! deterministic the backups converge to the same state — including leases and
+//! parked queries, so a promoted backup can answer a query that parked on its
+//! predecessor. A restarted replica rejoins through a snapshot + log catch-up and a
+//! cluster-wide `DirResynced` re-admission announcement, so placement is no longer
+//! failure-monotonic: after a rolling restart the original owners lead their shards
+//! again.
 
 pub mod client;
 pub mod replication;
@@ -24,6 +30,6 @@ pub mod service;
 pub mod shard;
 
 pub use client::{DirectoryClient, FailoverRedrive, Registration};
-pub use replication::{ReplicaRole, ShardReplica};
-pub use service::{DirectoryPlacement, DirectoryService};
+pub use replication::{ReplayOutcome, ReplicaRole, ShardReplica};
+pub use service::{DirectoryPlacement, DirectoryService, PlacementView};
 pub use shard::DirectoryShard;

@@ -1,49 +1,107 @@
-//! Primary/backup replication of one directory shard (§3.5).
+//! Primary/backup replication of one directory shard (§3.5), with a sequenced,
+//! acknowledged op log and snapshot-based state transfer.
 //!
 //! The paper keeps the object directory available across node failures by
 //! replicating it; this module implements the per-replica half of that design as a
 //! pure state machine layered on [`DirectoryShard`]:
 //!
-//! * the **primary** applies every client op, emits the replies, and log-ships the op
-//!   to its backups (the op stream *is* the log — [`DirectoryShard`] is deterministic,
-//!   so replaying it reproduces the full shard state including leases, parked queries
-//!   and subscriptions);
-//! * a **backup** replays shipped ops against its mirror shard with replies
-//!   suppressed — only the primary talks to clients;
+//! * the **primary** applies every client op, emits the replies, stamps the op with a
+//!   contiguous per-shard **sequence number**, and log-ships it to its backups. It
+//!   retains the *unacked suffix* of the log; once every tracked backup has
+//!   cumulatively acked a sequence number, the prefix up to it is trimmed and the
+//!   contained ops are **confirmed** back to their origins — which is what makes the
+//!   replication guarantee independent of client re-drive;
+//! * a **backup** replays shipped ops in sequence order against its mirror shard with
+//!   replies suppressed, acking the contiguously-applied prefix. A gap in the sequence
+//!   (ops lost while the replica was down or deposed) cannot be bridged from the log
+//!   alone: the replica asks for a **snapshot** ([`DirectoryShard::snapshot`]) from
+//!   the current primary, installs it, replays whatever shipped ops it buffered past
+//!   the snapshot point, and re-enters the replica set;
 //! * on promotion the new primary bumps its **epoch**; replicated ops stamped with a
-//!   lower epoch (stragglers from a deposed primary) are rejected, which keeps a
-//!   once-demoted primary from rewinding a promoted replica's state.
+//!   lower epoch (stragglers from a deposed primary) are rejected, and any buffered
+//!   out-of-order suffix beyond the contiguously-applied prefix is discarded —
+//!   promotion only ever builds on the acked prefix.
 //!
-//! Which replica *is* the primary is decided by the placement layer in
+//! Which replica *is* the primary is decided by the epoch-versioned placement in
 //! [`super::service`]; this module only implements the mechanics.
 
+use std::collections::{BTreeMap, VecDeque};
+
 use crate::object::{NodeId, ObjectId, ObjectStatus};
-use crate::protocol::{DirOp, Message};
+use crate::protocol::{DirOp, Message, ShardSnapshot};
 
 use super::shard::DirectoryShard;
 
 /// The role a replica currently plays for its shard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReplicaRole {
-    /// Applies client ops, sends replies, ships the op log to backups.
+    /// Applies client ops, sends replies, ships the sequenced op log to backups.
     Primary,
-    /// Mirrors the primary by replaying its op log; replies are suppressed.
+    /// Mirrors the primary by replaying its op log in order; replies are suppressed.
     Backup,
 }
 
+/// What a backup should do after replaying one shipped op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The op was applied (or was an already-applied duplicate): acknowledge the
+    /// contained contiguously-applied sequence number back to the shipper. Re-acking
+    /// duplicates is what makes acks idempotent across a snapshot catch-up.
+    Acked(u64),
+    /// The op arrived while a snapshot is in flight and was buffered for replay after
+    /// the snapshot installs. No ack yet.
+    Buffered,
+    /// The op exposes a sequence gap (or an epoch jump over lost state) that the log
+    /// alone cannot bridge: the replica buffered it and must request a snapshot from
+    /// the shipper.
+    NeedsResync,
+    /// A deposed primary's straggler (stale epoch): discarded.
+    Rejected,
+}
+
+/// One retained log entry on the primary: the op at a sequence number, plus the
+/// confirmation to emit once every tracked backup has acked past it.
+#[derive(Clone, Debug)]
+struct LogEntry {
+    seq: u64,
+    confirm: Option<(NodeId, Message)>,
+}
+
 /// One replica of one directory shard: the shard state machine plus its replication
-/// role and promotion epoch.
+/// role, promotion epoch, and the sequenced/acked log machinery.
 #[derive(Debug)]
 pub struct ShardReplica {
     shard: DirectoryShard,
     role: ReplicaRole,
     epoch: u64,
+    /// Highest contiguously-applied log sequence number (the acked prefix boundary on
+    /// a backup; `next assigned - 1` on the primary).
+    applied_seq: u64,
+    /// Primary: entries not yet acked by every tracked backup (the unacked suffix).
+    log: VecDeque<LogEntry>,
+    /// Primary: cumulative ack per tracked backup. A tracked backup with no ack yet
+    /// holds the trim watermark at 0, which keeps confirms conservative during a
+    /// backup's catch-up.
+    acks: BTreeMap<NodeId, u64>,
+    /// Backup: out-of-order shipments buffered while a snapshot is in flight.
+    pending: BTreeMap<u64, (u64, DirOp)>,
+    /// Backup: a snapshot has been requested and not yet installed.
+    resyncing: bool,
 }
 
 impl ShardReplica {
     /// Create an empty replica with the given starting role.
     pub fn new(shard: DirectoryShard, role: ReplicaRole) -> Self {
-        ShardReplica { shard, role, epoch: 0 }
+        ShardReplica {
+            shard,
+            role,
+            epoch: 0,
+            applied_seq: 0,
+            log: VecDeque::new(),
+            acks: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            resyncing: false,
+        }
     }
 
     /// Current role.
@@ -56,46 +114,212 @@ impl ShardReplica {
         self.epoch
     }
 
+    /// Highest contiguously-applied log sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Number of retained (not fully acked) log entries — the unacked suffix.
+    pub fn unacked_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether this replica is waiting for a snapshot.
+    pub fn is_resyncing(&self) -> bool {
+        self.resyncing
+    }
+
     /// Read-only view of the underlying shard (introspection and tests).
     pub fn shard(&self) -> &DirectoryShard {
         &self.shard
     }
 
-    /// Promote this replica to primary at `epoch`, so stragglers from any deposed
-    /// predecessor are recognizably stale. The caller derives `epoch` from the
-    /// replica's rank in the replica set (rank k becomes primary only after all k
-    /// predecessors died, and predecessor k-1 never shipped above epoch k-1), which
-    /// keeps epochs strictly increasing along the promotion chain even when an
-    /// intermediate primary lived too briefly for its shipments to arrive. A `+1`
-    /// bump instead would collide: two successive primaries could both ship at the
-    /// same epoch, letting the deposed one's stragglers rewind the promoted replica.
-    /// Never lowers an epoch already learned from the replication stream.
+    /// Promote this replica to primary at `epoch` (the caller derives it from the
+    /// shard's failover-epoch counter, which every node advances on the same
+    /// failure/re-admission events — so it is strictly greater than anything a deposed
+    /// predecessor shipped at). Never lowers an epoch already learned from the
+    /// replication stream. Promotion builds only on the contiguously-applied (acked)
+    /// prefix: any buffered out-of-order suffix is discarded, and sequence numbering
+    /// continues from the applied prefix.
     pub fn promote_to(&mut self, epoch: u64) {
+        if self.role == ReplicaRole::Backup {
+            self.pending.clear();
+            self.resyncing = false;
+            self.log.clear();
+            self.acks.clear();
+        }
         self.role = ReplicaRole::Primary;
         self.epoch = self.epoch.max(epoch);
     }
 
+    /// Enter resync: this replica detected (or was told) that its state is behind the
+    /// log in a way catch-up cannot bridge. It demotes to backup and buffers shipments
+    /// until a snapshot installs.
+    pub fn begin_resync(&mut self) {
+        self.role = ReplicaRole::Backup;
+        self.resyncing = true;
+        self.log.clear();
+        self.acks.clear();
+    }
+
+    /// Abandon an in-flight resync with no surviving snapshot source (the whole
+    /// replica set died): the replica stays a backup over whatever state it has.
+    pub fn abort_resync(&mut self) {
+        self.resyncing = false;
+        self.pending.clear();
+    }
+
+    /// Declare the set of backups whose acks gate log trimming (live replica-set
+    /// members, including ones still catching up). Present acks are kept; newly
+    /// tracked backups start at 0; untracked ones are dropped. Returns confirms that
+    /// became due because a laggard left the tracked set. Called on the per-op hot
+    /// path, so an unchanged set (the overwhelmingly common case) is a no-op — the
+    /// trim watermark cannot have moved without a membership change or an ack.
+    pub fn set_tracked_backups(&mut self, backups: &[NodeId]) -> Vec<(NodeId, Message)> {
+        if backups.len() == self.acks.len() && backups.iter().all(|b| self.acks.contains_key(b)) {
+            return Vec::new();
+        }
+        self.acks.retain(|n, _| backups.contains(n));
+        for &b in backups {
+            self.acks.entry(b).or_insert(0);
+        }
+        self.collect_durable()
+    }
+
     /// Apply a client op as the primary: mutate the shard, collect the replies it
-    /// wants delivered, and return the op so the caller can ship it to the backups.
+    /// wants delivered, and assign the op its log sequence number (returned so the
+    /// caller ships `DirReplicate { seq, .. }` to the backups). `confirm` is emitted
+    /// to the op's origin once every tracked backup acks past this entry.
     ///
     /// Panics in debug builds if called on a backup — the service layer routes ops to
     /// the primary before applying.
-    pub fn apply_primary(&mut self, op: &DirOp, out: &mut Vec<(NodeId, Message)>) {
+    pub fn apply_primary(
+        &mut self,
+        op: &DirOp,
+        confirm: Option<(NodeId, Message)>,
+        out: &mut Vec<(NodeId, Message)>,
+    ) -> u64 {
         debug_assert_eq!(self.role, ReplicaRole::Primary, "client ops apply on the primary");
         apply_op(&mut self.shard, op, out);
+        self.applied_seq += 1;
+        self.log.push_back(LogEntry { seq: self.applied_seq, confirm });
+        self.applied_seq
     }
 
-    /// Replay a replicated op shipped by the shard's primary. Returns `false` (and
-    /// applies nothing) when the op's epoch is below this replica's — a deposed
-    /// primary's straggler. Replies are discarded: only the primary talks to clients.
-    pub fn apply_replicated(&mut self, epoch: u64, op: &DirOp) -> bool {
-        if epoch < self.epoch {
-            return false;
+    /// Record a backup's cumulative ack and return the confirms whose entries became
+    /// fully acked. Acks from an older epoch (a backup that has not yet learned of a
+    /// promotion) are still valid — sequence numbers only restart through a snapshot,
+    /// which re-baselines the acker — but acks from untracked nodes are ignored.
+    pub fn record_ack(&mut self, backup: NodeId, seq: u64) -> Vec<(NodeId, Message)> {
+        if self.role != ReplicaRole::Primary {
+            return Vec::new();
         }
+        match self.acks.get_mut(&backup) {
+            Some(acked) => *acked = (*acked).max(seq),
+            None => return Vec::new(),
+        }
+        self.collect_durable()
+    }
+
+    /// The sequence number through which every tracked backup has acked (equals the
+    /// applied prefix when no backups are tracked — a lone replica is trivially
+    /// durable).
+    pub fn min_acked(&self) -> u64 {
+        self.acks.values().copied().min().unwrap_or(self.applied_seq)
+    }
+
+    /// Trim the fully-acked log prefix and return its confirms. The service calls
+    /// this directly when a lone replica (no tracked backups) applies an op, which
+    /// is durable immediately.
+    pub fn take_durable_confirms(&mut self) -> Vec<(NodeId, Message)> {
+        self.collect_durable()
+    }
+
+    fn collect_durable(&mut self) -> Vec<(NodeId, Message)> {
+        let durable_through = self.min_acked();
+        let mut confirms = Vec::new();
+        while self.log.front().map(|e| e.seq <= durable_through).unwrap_or(false) {
+            let entry = self.log.pop_front().expect("front checked");
+            if let Some(confirm) = entry.confirm {
+                confirms.push(confirm);
+            }
+        }
+        confirms
+    }
+
+    /// Replay an op shipped by the shard's primary. See [`ReplayOutcome`] for what the
+    /// caller must do with the result. Replies are discarded: only the primary talks
+    /// to clients.
+    pub fn apply_replicated(&mut self, epoch: u64, seq: u64, op: &DirOp) -> ReplayOutcome {
+        if epoch < self.epoch {
+            return ReplayOutcome::Rejected;
+        }
+        if self.resyncing {
+            self.pending.insert(seq, (epoch, op.clone()));
+            return ReplayOutcome::Buffered;
+        }
+        if seq <= self.applied_seq && epoch == self.epoch {
+            // Duplicate of something already in the applied prefix: re-ack so the
+            // primary's bookkeeping converges even if the original ack was lost.
+            return ReplayOutcome::Acked(self.applied_seq);
+        }
+        if seq == self.applied_seq + 1 {
+            // The happy path — including a seamless epoch handover, where the promoted
+            // primary continues the sequence right where this replica's prefix ends.
+            self.epoch = epoch;
+            self.apply_in_order(op);
+            self.drain_pending();
+            return ReplayOutcome::Acked(self.applied_seq);
+        }
+        // A gap (same epoch: shipments lost while this node was isolated; higher
+        // epoch: a promoted primary whose prefix diverges from ours). The log cannot
+        // bridge it; buffer the op and ask for a snapshot.
+        self.pending.insert(seq, (epoch, op.clone()));
+        ReplayOutcome::NeedsResync
+    }
+
+    /// Capture this replica's state for transfer: `(epoch, applied_seq, state)`.
+    pub fn snapshot(&self) -> (u64, u64, ShardSnapshot) {
+        (self.epoch, self.applied_seq, self.shard.snapshot())
+    }
+
+    /// Install a snapshot captured by the current primary, discarding local state
+    /// wholesale (including a deposed primary's unacked suffix), then replay whatever
+    /// buffered shipments extend the snapshot contiguously. Returns the sequence
+    /// number to ack, or `None` when the snapshot is itself a deposed primary's
+    /// straggler (stale epoch) and was discarded.
+    pub fn install_snapshot(&mut self, epoch: u64, seq: u64, state: &ShardSnapshot) -> Option<u64> {
+        if epoch < self.epoch {
+            return None;
+        }
+        self.shard.restore(state);
+        self.role = ReplicaRole::Backup;
         self.epoch = epoch;
+        self.applied_seq = seq;
+        self.resyncing = false;
+        self.log.clear();
+        self.acks.clear();
+        // Everything at or below the snapshot point is already included in it.
+        self.pending = self.pending.split_off(&(seq + 1));
+        self.drain_pending();
+        Some(self.applied_seq)
+    }
+
+    fn apply_in_order(&mut self, op: &DirOp) {
         let mut suppressed = Vec::new();
         apply_op(&mut self.shard, op, &mut suppressed);
-        true
+        self.applied_seq += 1;
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some((epoch, op)) = self.pending.remove(&(self.applied_seq + 1)) {
+            if epoch >= self.epoch {
+                self.epoch = epoch;
+                self.apply_in_order(&op);
+            }
+        }
+        // Anything at or below the applied prefix is stale.
+        self.pending = self.pending.split_off(&(self.applied_seq + 1));
     }
 
     /// Purge everything the shard knows about a failed node. Applied directly on
@@ -151,16 +375,34 @@ mod tests {
         )
     }
 
+    fn register(name: &str, holder: u32) -> DirOp {
+        DirOp::Register {
+            object: obj(name),
+            holder: NodeId(holder),
+            status: ObjectStatus::Complete,
+            size: 100,
+        }
+    }
+
+    /// Ship one op primary → backup and ack it back, asserting the happy path.
+    fn replicate(primary: &mut ShardReplica, backup: &mut ShardReplica, op: &DirOp) {
+        let mut replies = Vec::new();
+        let seq = primary.apply_primary(op, None, &mut replies);
+        match backup.apply_replicated(primary.epoch(), seq, op) {
+            ReplayOutcome::Acked(acked) => {
+                assert_eq!(acked, seq);
+                primary.record_ack(NodeId(99), acked);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+
     #[test]
     fn backup_mirrors_the_primary_through_the_op_log() {
         let (mut primary, mut backup) = pair();
+        primary.set_tracked_backups(&[NodeId(99)]);
         let ops = vec![
-            DirOp::Register {
-                object: obj("a"),
-                holder: NodeId(1),
-                status: ObjectStatus::Complete,
-                size: 100,
-            },
+            register("a", 1),
             DirOp::Query { object: obj("a"), requester: NodeId(2), query_id: 7, exclude: vec![] },
             DirOp::Register {
                 object: obj("a"),
@@ -172,8 +414,11 @@ mod tests {
         ];
         let mut replies = Vec::new();
         for op in &ops {
-            primary.apply_primary(op, &mut replies);
-            assert!(backup.apply_replicated(primary.epoch(), op));
+            let seq = primary.apply_primary(op, None, &mut replies);
+            assert!(matches!(
+                backup.apply_replicated(primary.epoch(), seq, op),
+                ReplayOutcome::Acked(_)
+            ));
         }
         // The primary answered the query; the backup replayed it silently but holds
         // the identical post-query state: same locations, same lease on node 1.
@@ -191,29 +436,22 @@ mod tests {
         };
         assert_eq!(sorted(primary.locations(obj("a"))), sorted(backup.locations(obj("a"))));
         assert_eq!(backup.shard().subscriber_count(obj("b")), 1);
+        assert_eq!(backup.applied_seq(), 4);
     }
 
     #[test]
     fn promotion_bumps_epoch_and_rejects_stragglers() {
         let (mut primary, mut backup) = pair();
-        let op = DirOp::Register {
-            object: obj("x"),
-            holder: NodeId(0),
-            status: ObjectStatus::Complete,
-            size: 10,
-        };
-        let mut out = Vec::new();
-        primary.apply_primary(&op, &mut out);
-        assert!(backup.apply_replicated(primary.epoch(), &op));
+        replicate(&mut primary, &mut backup, &register("x", 0));
 
-        // The primary dies; the backup (rank 1 in the replica set) is promoted.
+        // The primary dies; the backup is promoted at the shard's failover epoch.
         backup.promote_to(1);
         assert_eq!(backup.role(), ReplicaRole::Primary);
         assert_eq!(backup.epoch(), 1);
 
         // A straggler shipped by the deposed primary (epoch 0) must be rejected.
         let stale = DirOp::Delete { object: obj("x") };
-        assert!(!backup.apply_replicated(0, &stale));
+        assert_eq!(backup.apply_replicated(0, 2, &stale), ReplayOutcome::Rejected);
         assert_eq!(backup.locations(obj("x")).len(), 1, "stale delete was not applied");
 
         // Promotion is idempotent and never lowers an epoch.
@@ -222,24 +460,17 @@ mod tests {
     }
 
     #[test]
-    fn rank_epochs_reject_a_short_lived_predecessors_stragglers() {
-        // Replicas [A, B, C]. A dies; B (rank 1) promotes and ships an op at epoch 1
-        // that C never receives before B dies too. C (rank 2) promotes to its rank —
-        // epoch 2, not epoch 1 — so B's straggler is recognizably stale. A naive
-        // `+1` promotion would have put C at epoch 1 and accepted the straggler.
+    fn failover_epochs_reject_a_short_lived_predecessors_stragglers() {
+        // Replicas [A, B, C]. A dies; B promotes at epoch 1 and ships an op at epoch 1
+        // that C never receives before B dies too. C promotes at epoch 2 (every node
+        // counts both failures), so B's straggler is recognizably stale.
         let cfg = HopliteConfig::small_for_tests();
         let mut c = ShardReplica::new(DirectoryShard::new(0, cfg), ReplicaRole::Backup);
-        let register = DirOp::Register {
-            object: obj("x"),
-            holder: NodeId(3),
-            status: ObjectStatus::Complete,
-            size: 10,
-        };
-        assert!(c.apply_replicated(0, &register), "A's shipment at epoch 0");
+        assert!(matches!(c.apply_replicated(0, 1, &register("x", 3)), ReplayOutcome::Acked(1)));
         c.promote_to(2);
         assert_eq!(c.epoch(), 2);
         let straggler = DirOp::Delete { object: obj("x") };
-        assert!(!c.apply_replicated(1, &straggler), "B's epoch-1 straggler rejected");
+        assert_eq!(c.apply_replicated(1, 2, &straggler), ReplayOutcome::Rejected);
         assert_eq!(c.locations(obj("x")).len(), 1);
     }
 
@@ -252,23 +483,194 @@ mod tests {
         let query =
             DirOp::Query { object: obj("w"), requester: NodeId(5), query_id: 3, exclude: vec![] };
         let mut out = Vec::new();
-        primary.apply_primary(&query, &mut out);
+        let seq = primary.apply_primary(&query, None, &mut out);
         assert!(out.is_empty(), "no location yet; the query parks");
-        assert!(backup.apply_replicated(primary.epoch(), &query));
+        assert!(matches!(
+            backup.apply_replicated(primary.epoch(), seq, &query),
+            ReplayOutcome::Acked(_)
+        ));
 
         backup.promote_to(1);
         backup.node_failed(NodeId(0));
-        let register = DirOp::Register {
-            object: obj("w"),
-            holder: NodeId(4),
-            status: ObjectStatus::Complete,
-            size: 50,
-        };
         let mut replies = Vec::new();
-        backup.apply_primary(&register, &mut replies);
+        backup.apply_primary(&register("w", 4), None, &mut replies);
         assert!(replies
             .iter()
             .any(|(to, m)| *to == NodeId(5)
                 && matches!(m, Message::DirQueryReply { query_id: 3, .. })));
+    }
+
+    #[test]
+    fn confirms_wait_for_every_tracked_backup() {
+        let (mut primary, _) = pair();
+        primary.set_tracked_backups(&[NodeId(1), NodeId(2)]);
+        let confirm = (NodeId(7), Message::StoreRelease { object: obj("marker") });
+        let mut out = Vec::new();
+        let seq = primary.apply_primary(&register("x", 7), Some(confirm.clone()), &mut out);
+        assert_eq!(primary.unacked_len(), 1);
+        assert!(primary.record_ack(NodeId(1), seq).is_empty(), "one of two backups acked");
+        let confirms = primary.record_ack(NodeId(2), seq);
+        assert_eq!(confirms, vec![confirm]);
+        assert_eq!(primary.unacked_len(), 0, "fully-acked prefix trimmed");
+        // A repeated ack is idempotent.
+        assert!(primary.record_ack(NodeId(2), seq).is_empty());
+    }
+
+    #[test]
+    fn losing_the_last_laggard_backup_releases_confirms() {
+        let (mut primary, _) = pair();
+        primary.set_tracked_backups(&[NodeId(1), NodeId(2)]);
+        let confirm = (NodeId(7), Message::StoreRelease { object: obj("m") });
+        let mut out = Vec::new();
+        let seq = primary.apply_primary(&register("y", 7), Some(confirm.clone()), &mut out);
+        primary.record_ack(NodeId(1), seq);
+        // Backup 2 dies before acking: re-tracking without it must release the entry.
+        let confirms = primary.set_tracked_backups(&[NodeId(1)]);
+        assert_eq!(confirms, vec![confirm]);
+    }
+
+    #[test]
+    fn untracked_primary_confirms_immediately() {
+        // Replication factor 1 (or every backup dead): the lone replica is trivially
+        // durable and the client must not be left waiting for a confirm.
+        let (mut primary, _) = pair();
+        let confirm = (NodeId(7), Message::StoreRelease { object: obj("solo") });
+        let mut out = Vec::new();
+        primary.apply_primary(&register("z", 7), Some(confirm.clone()), &mut out);
+        assert_eq!(primary.min_acked(), primary.applied_seq());
+        let confirms = primary.take_durable_confirms();
+        assert_eq!(confirms, vec![confirm]);
+    }
+
+    #[test]
+    fn sequence_gap_triggers_resync_and_snapshot_catches_up() {
+        let (mut primary, mut backup) = pair();
+        replicate(&mut primary, &mut backup, &register("a", 1));
+        // Ops 2 and 3 are applied at the primary but never reach the backup.
+        let mut out = Vec::new();
+        primary.apply_primary(&register("b", 2), None, &mut out);
+        primary.apply_primary(&register("c", 3), None, &mut out);
+        // Op 4 arrives at the backup: a gap it cannot bridge.
+        let op4 = register("d", 4);
+        let seq4 = primary.apply_primary(&op4, None, &mut out);
+        assert_eq!(
+            backup.apply_replicated(primary.epoch(), seq4, &op4),
+            ReplayOutcome::NeedsResync
+        );
+        backup.begin_resync();
+        // Op 5 ships while the snapshot is in flight: buffered.
+        let op5 = register("e", 5);
+        let seq5 = primary.apply_primary(&op5, None, &mut out);
+        assert_eq!(backup.apply_replicated(primary.epoch(), seq5, &op5), ReplayOutcome::Buffered);
+        // The snapshot was captured at seq 4 (after op4); installing it replays the
+        // buffered op5 and the backup is fully caught up.
+        let (epoch, seq, state) = primary.snapshot();
+        assert_eq!(seq, 5, "snapshot captured after op5");
+        let acked = backup.install_snapshot(epoch, seq, &state).expect("fresh snapshot");
+        assert_eq!(acked, 5);
+        for name in ["a", "b", "c", "d", "e"] {
+            assert_eq!(backup.locations(obj(name)).len(), 1, "object {name} present");
+        }
+        assert!(!backup.is_resyncing());
+    }
+
+    #[test]
+    fn deposed_primary_unacked_suffix_is_discarded_on_promotion_and_resync() {
+        // P applies ops 1..=5; the backup B only ever receives 1..=3 and acks them.
+        // P's unacked suffix is ops 4 and 5. P is deposed (declared failed), B
+        // promotes on the acked prefix, and when P later rejoins via snapshot its
+        // suffix is gone — exactly the contract: promotion and re-admission only
+        // consider the acked prefix.
+        let (mut p, mut b) = pair();
+        p.set_tracked_backups(&[NodeId(1)]);
+        let mut out = Vec::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let op = register(name, 10 + i as u32);
+            let seq = p.apply_primary(&op, None, &mut out);
+            assert!(matches!(b.apply_replicated(p.epoch(), seq, &op), ReplayOutcome::Acked(_)));
+            p.record_ack(NodeId(1), seq);
+        }
+        p.apply_primary(&register("d", 13), None, &mut out);
+        p.apply_primary(&register("e", 14), None, &mut out);
+        assert_eq!(p.unacked_len(), 2, "ops d and e are the unacked suffix");
+
+        // B promotes; its prefix ends at seq 3.
+        b.promote_to(1);
+        assert_eq!(b.applied_seq(), 3);
+        assert!(b.locations(obj("d")).is_empty());
+
+        // P rejoins as a backup via state transfer from B: its old suffix is replaced
+        // wholesale by B's acked prefix.
+        b.apply_primary(&register("f", 15), None, &mut out); // seq 4 under the new primacy
+        p.begin_resync();
+        let (epoch, seq, state) = b.snapshot();
+        let acked = p.install_snapshot(epoch, seq, &state).expect("snapshot installs");
+        assert_eq!(acked, 4);
+        assert_eq!(p.role(), ReplicaRole::Backup);
+        assert!(p.locations(obj("d")).is_empty(), "unacked suffix discarded");
+        assert!(p.locations(obj("e")).is_empty(), "unacked suffix discarded");
+        assert_eq!(p.locations(obj("f")).len(), 1, "new primacy's op present");
+    }
+
+    #[test]
+    fn reack_after_snapshot_catchup_is_idempotent() {
+        let (mut primary, mut backup) = pair();
+        let mut out = Vec::new();
+        let ops: Vec<DirOp> = (0..4).map(|i| register(&format!("o{i}"), i)).collect();
+        let mut seqs = Vec::new();
+        for op in &ops {
+            seqs.push(primary.apply_primary(op, None, &mut out));
+        }
+        backup.begin_resync();
+        let (epoch, seq, state) = primary.snapshot();
+        assert_eq!(backup.install_snapshot(epoch, seq, &state), Some(4));
+        // Shipments delayed in flight from before the snapshot now arrive: each is a
+        // duplicate of the installed prefix and re-acks the same watermark without
+        // double-applying.
+        for (op, s) in ops.iter().zip(&seqs) {
+            assert_eq!(backup.apply_replicated(epoch, *s, op), ReplayOutcome::Acked(4));
+        }
+        for i in 0..4 {
+            assert_eq!(backup.locations(obj(&format!("o{i}"))).len(), 1);
+        }
+    }
+
+    #[test]
+    fn unsubscribe_survives_a_resync() {
+        // Subscriptions — and their removal — transfer through the snapshot: a
+        // subscriber that unsubscribed before the snapshot stays unsubscribed on the
+        // re-admitted replica, while live subscriptions survive.
+        let (mut primary, mut backup) = pair();
+        let mut out = Vec::new();
+        primary.apply_primary(
+            &DirOp::Subscribe { object: obj("keep"), subscriber: NodeId(5) },
+            None,
+            &mut out,
+        );
+        primary.apply_primary(
+            &DirOp::Subscribe { object: obj("drop"), subscriber: NodeId(6) },
+            None,
+            &mut out,
+        );
+        primary.apply_primary(
+            &DirOp::Unsubscribe { object: obj("drop"), subscriber: NodeId(6) },
+            None,
+            &mut out,
+        );
+        backup.begin_resync();
+        let (epoch, seq, state) = primary.snapshot();
+        backup.install_snapshot(epoch, seq, &state).expect("snapshot installs");
+        assert_eq!(backup.shard().subscriber_count(obj("keep")), 1);
+        assert_eq!(backup.shard().subscriber_count(obj("drop")), 0);
+    }
+
+    #[test]
+    fn stale_snapshot_from_deposed_primary_is_rejected() {
+        let (mut primary, mut backup) = pair();
+        replicate(&mut primary, &mut backup, &register("x", 1));
+        let (old_epoch, old_seq, old_state) = primary.snapshot();
+        backup.promote_to(2);
+        assert_eq!(backup.install_snapshot(old_epoch, old_seq, &old_state), None);
+        assert_eq!(backup.role(), ReplicaRole::Primary, "stale snapshot cannot demote");
     }
 }

@@ -2,27 +2,33 @@
 //!
 //! [`DirectoryPlacement`] is the pure, cluster-wide map from objects to shards and
 //! from shards to replica sets: shard `s` lives on nodes `s % n, (s+1) % n, ...`
-//! (`directory_replication` of them), and the *primary* is the first replica the
-//! failure detector has not declared dead. Because every node runs the same
-//! deterministic computation over the same failure notifications, all survivors agree
-//! on the current primary without any coordination round.
+//! (`directory_replication` of them).
 //!
-//! Placement is **failure-monotonic**: a node that recovers is not restored as a
-//! primary candidate (its replica state is empty; failing back would lose the shard).
-//! Re-integrating recovered replicas via state transfer is future work — see
-//! `ROADMAP.md`.
+//! [`PlacementView`] is a node's *evolving* view of who leads each shard. It is
+//! **epoch-versioned** rather than failure-monotonic: each shard carries a primary
+//! *rank cursor* that advances (cyclically) when the current primary fails and never
+//! rewinds, plus a *failover epoch* counter bumped on every failure **and** every
+//! re-admission of a replica-set member. A node that recovers is first marked
+//! *resyncing* (alive, shipped to, but not a primary candidate); once it announces
+//! catch-up it is re-admitted and becomes eligible again — so after a rolling restart
+//! the original owners end up leading their shards again, with strictly increasing
+//! epochs protecting against deposed primaries' stragglers. Because every node folds
+//! the same broadcast failure/recovery/re-admission notices into the same
+//! deterministic rules, survivors agree on the current primary without a coordination
+//! round; transient disagreement is absorbed by op forwarding.
 //!
 //! [`DirectoryService`] is the server half living inside each node: the shard
-//! replicas this node hosts, op routing (apply as primary / forward as backup), log
-//! shipping to backups, and epoch-stamped promotion when a primary dies (§3.5).
+//! replicas this node hosts, op routing (apply as primary / forward elsewhere),
+//! sequenced log shipping with acks and origin confirms, snapshot serving for
+//! recovering replicas, and epoch-stamped promotion when a primary dies (§3.5).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use crate::config::HopliteConfig;
 use crate::object::{NodeId, ObjectId, ObjectStatus};
 use crate::protocol::{DirOp, Message};
 
-use super::replication::{ReplicaRole, ShardReplica};
+use super::replication::{ReplayOutcome, ReplicaRole, ShardReplica};
 use super::shard::DirectoryShard;
 
 /// The static map from objects to shards and shards to replica sets.
@@ -48,6 +54,11 @@ impl DirectoryPlacement {
         DirectoryPlacement::new(nodes.to_vec(), cfg.directory_shards, cfg.directory_replication)
     }
 
+    /// Every node in the cluster, in index order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.num_shards
@@ -65,7 +76,7 @@ impl DirectoryPlacement {
         (h % self.num_shards as u64) as usize
     }
 
-    /// The replica set of a shard, primary-candidate order: the node owning the shard
+    /// The replica set of a shard, initial-candidate order: the node owning the shard
     /// first, then its successors on the ring.
     pub fn replica_set(&self, shard: usize) -> Vec<NodeId> {
         let n = self.nodes.len();
@@ -77,13 +88,15 @@ impl DirectoryPlacement {
         self.replica_set(shard).contains(&node)
     }
 
-    /// The current primary of a shard: the first replica not in `failed`. `None` when
-    /// every replica is dead (the shard's metadata is lost).
+    /// The shard's primary under a *failure-monotonic* view — the first replica not in
+    /// `failed`. Kept for placement reasoning in tests; live routing goes through
+    /// [`PlacementView::primary`], which also honours rank cursors and resyncing
+    /// members.
     pub fn primary(&self, shard: usize, failed: &HashSet<NodeId>) -> Option<NodeId> {
         self.replica_set(shard).into_iter().find(|n| !failed.contains(n))
     }
 
-    /// The current primary of the shard responsible for `object`.
+    /// The failure-monotonic primary of the shard responsible for `object`.
     pub fn primary_for(&self, object: ObjectId, failed: &HashSet<NodeId>) -> Option<NodeId> {
         self.primary(self.shard_of(object), failed)
     }
@@ -94,16 +107,193 @@ impl DirectoryPlacement {
     }
 }
 
+/// A node's evolving, epoch-versioned view of shard leadership (see module docs).
+#[derive(Clone, Debug)]
+pub struct PlacementView {
+    placement: DirectoryPlacement,
+    failed: HashSet<NodeId>,
+    /// Recovered but not yet caught-up nodes: alive (shipped to) but not primary
+    /// candidates. Includes this node itself while it resyncs after a restart.
+    resyncing: HashSet<NodeId>,
+    /// Per-shard primary cursor into the replica set; advances on primary failure,
+    /// never rewinds on re-admission (no automatic fail-back).
+    rank: Vec<usize>,
+    /// Per-shard failover epoch: counts failures and re-admissions of replica-set
+    /// members, raised further by epochs observed on the wire. Promotions stamp
+    /// themselves with this counter.
+    epochs: Vec<u64>,
+}
+
+impl PlacementView {
+    /// A fresh view over a placement: rank cursors at the shard owners, epochs at 0.
+    pub fn new(placement: DirectoryPlacement) -> Self {
+        let shards = placement.num_shards();
+        PlacementView {
+            placement,
+            failed: HashSet::new(),
+            resyncing: HashSet::new(),
+            rank: vec![0; shards],
+            epochs: vec![0; shards],
+        }
+    }
+
+    /// The static placement underneath.
+    pub fn placement(&self) -> &DirectoryPlacement {
+        &self.placement
+    }
+
+    /// Whether `node` is currently a primary candidate.
+    fn eligible(&self, node: NodeId) -> bool {
+        !self.failed.contains(&node) && !self.resyncing.contains(&node)
+    }
+
+    /// Whether `node` should receive log shipments (alive, possibly still resyncing).
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        !self.failed.contains(&node)
+    }
+
+    /// Whether `node` is currently marked as resyncing.
+    pub fn is_resyncing(&self, node: NodeId) -> bool {
+        self.resyncing.contains(&node)
+    }
+
+    /// The current primary of a shard: the first eligible member scanning cyclically
+    /// from the rank cursor. `None` when every replica is dead or resyncing.
+    pub fn primary(&self, shard: usize) -> Option<NodeId> {
+        let members = self.placement.replica_set(shard);
+        let r = members.len();
+        (0..r).map(|i| members[(self.rank[shard] + i) % r]).find(|&n| self.eligible(n))
+    }
+
+    /// The current primary of the shard responsible for `object`.
+    pub fn primary_for(&self, object: ObjectId) -> Option<NodeId> {
+        self.primary(self.placement.shard_of(object))
+    }
+
+    /// The shard's current failover epoch.
+    pub fn epoch(&self, shard: usize) -> u64 {
+        self.epochs[shard]
+    }
+
+    /// Fold an epoch observed on the wire (a shipment, ack, or snapshot) into the
+    /// counter, so a node that missed events can still promote above them.
+    pub fn note_epoch(&mut self, shard: usize, epoch: u64) {
+        if let Some(e) = self.epochs.get_mut(shard) {
+            *e = (*e).max(epoch);
+        }
+    }
+
+    /// Adopt an authoritative rank cursor learned from a snapshot.
+    pub fn set_rank(&mut self, shard: usize, rank: usize) {
+        if self.placement.replication() > 0 {
+            self.rank[shard] = rank % self.placement.replication();
+        }
+    }
+
+    /// This shard's rank cursor.
+    pub fn current_rank(&self, shard: usize) -> usize {
+        self.rank[shard]
+    }
+
+    /// Digest a peer failure. Returns the shards whose primary moved off `peer` onto
+    /// a surviving replica (the client's re-drive set).
+    pub fn on_peer_failed(&mut self, peer: NodeId) -> Vec<usize> {
+        if self.failed.contains(&peer) {
+            return Vec::new();
+        }
+        let affected: Vec<(usize, Option<NodeId>)> = (0..self.placement.num_shards())
+            .filter(|&s| self.placement.hosts(peer, s))
+            .map(|s| (s, self.primary(s)))
+            .collect();
+        self.failed.insert(peer);
+        self.resyncing.remove(&peer);
+        let mut changed = Vec::new();
+        for (shard, old) in affected {
+            self.epochs[shard] += 1;
+            if old != Some(peer) {
+                continue;
+            }
+            // Advance the cursor past the dead primary so a later re-admission does
+            // not fail back to it.
+            if let Some(new_primary) = self.primary(shard) {
+                let members = self.placement.replica_set(shard);
+                if let Some(pos) = members.iter().position(|&n| n == new_primary) {
+                    self.rank[shard] = pos;
+                }
+                changed.push(shard);
+            }
+        }
+        changed
+    }
+
+    /// Digest a peer recovery notice: the node is alive again but must resync before
+    /// it can lead anything. Returns whether this was news.
+    pub fn on_peer_recovered(&mut self, peer: NodeId) -> bool {
+        if self.failed.remove(&peer) {
+            self.resyncing.insert(peer);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Digest a catch-up announcement: the node is a full replica again. Bumps the
+    /// failover epoch of every shard it hosts (re-admission is a leadership-relevant
+    /// event, exactly like a failure). Returns the shards that regained a primary
+    /// with this re-admission — a shard whose every other replica died while `peer`
+    /// was out goes `None → Some(peer)` here, and clients must re-drive their
+    /// unconfirmed intents at it just as they would after a failover.
+    pub fn on_peer_readmitted(&mut self, peer: NodeId) -> Vec<usize> {
+        if !self.resyncing.contains(&peer) && !self.failed.contains(&peer) {
+            return Vec::new();
+        }
+        let affected: Vec<(usize, Option<NodeId>)> = (0..self.placement.num_shards())
+            .filter(|&s| self.placement.hosts(peer, s))
+            .map(|s| (s, self.primary(s)))
+            .collect();
+        self.resyncing.remove(&peer);
+        self.failed.remove(&peer);
+        let mut regained = Vec::new();
+        for (shard, old) in affected {
+            self.epochs[shard] += 1;
+            if old.is_none() && self.primary(shard).is_some() {
+                regained.push(shard);
+            }
+        }
+        regained
+    }
+
+    /// Mark this node itself as resyncing after a restart (all shards).
+    pub fn begin_self_resync(&mut self, me: NodeId) {
+        self.resyncing.insert(me);
+    }
+
+    /// This node finished resyncing: make it eligible again and bump the epochs of
+    /// its hosted shards (the same bump every peer applies on `DirResynced`).
+    pub fn finish_self_resync(&mut self, me: NodeId) {
+        let _ = self.on_peer_readmitted(me);
+    }
+}
+
 /// The directory server half of one node: every shard replica it hosts, plus the
-/// routing and promotion logic around them.
+/// routing, replication, resync, and promotion logic around them.
 #[derive(Debug)]
 pub struct DirectoryService {
     me: NodeId,
-    placement: DirectoryPlacement,
-    failed: HashSet<NodeId>,
+    view: PlacementView,
     /// Shard index -> this node's replica of it. `BTreeMap` so iteration order (and
     /// therefore promotion order on failure) is deterministic.
     replicas: BTreeMap<usize, ShardReplica>,
+    /// Shards awaiting a snapshot, mapped to the node the request went to (so the
+    /// request can be re-targeted if that node dies mid-transfer).
+    resync_sources: BTreeMap<usize, NodeId>,
+    /// `true` between [`DirectoryService::begin_local_resync`] and the installation
+    /// of the last outstanding snapshot.
+    local_resync: bool,
+    /// Set when the local resync completes; the facade drains it with
+    /// [`DirectoryService::take_readmission_announcement`] and broadcasts
+    /// `DirResynced`.
+    announce_readmission: bool,
 }
 
 impl DirectoryService {
@@ -123,17 +313,29 @@ impl DirectoryService {
                 (shard, ShardReplica::new(DirectoryShard::new(shard, cfg.clone()), role))
             })
             .collect();
-        DirectoryService { me, placement, failed: HashSet::new(), replicas }
+        DirectoryService {
+            me,
+            view: PlacementView::new(placement),
+            replicas,
+            resync_sources: BTreeMap::new(),
+            local_resync: false,
+            announce_readmission: false,
+        }
     }
 
-    /// The placement in effect.
+    /// The static placement in effect.
     pub fn placement(&self) -> &DirectoryPlacement {
-        &self.placement
+        self.view.placement()
+    }
+
+    /// The evolving leadership view.
+    pub fn view(&self) -> &PlacementView {
+        &self.view
     }
 
     /// The current primary of the shard responsible for `object`, in this node's view.
     pub fn primary_for(&self, object: ObjectId) -> Option<NodeId> {
-        self.placement.primary_for(object, &self.failed)
+        self.view.primary_for(object)
     }
 
     /// Whether this node believes it is the primary for `object`'s shard.
@@ -149,27 +351,51 @@ impl DirectoryService {
     /// Known locations of `object` in this node's replica of its shard; `None` when
     /// this node hosts no replica of that shard.
     pub fn locations(&self, object: ObjectId) -> Option<Vec<(NodeId, ObjectStatus)>> {
-        self.replicas.get(&self.placement.shard_of(object)).map(|r| r.locations(object))
+        self.replicas.get(&self.view.placement().shard_of(object)).map(|r| r.locations(object))
+    }
+
+    /// Whether this node is mid-resync after a restart.
+    pub fn is_resyncing(&self) -> bool {
+        self.local_resync
+    }
+
+    /// The live backups of `shard` in this node's view (replica-set members other
+    /// than this node that are not failed — resyncing members included, since they
+    /// are catching up on the same log).
+    fn live_backups(&self, shard: usize) -> Vec<NodeId> {
+        self.view
+            .placement()
+            .replica_set(shard)
+            .into_iter()
+            .filter(|&n| n != self.me && self.view.is_alive(n))
+            .collect()
     }
 
     /// Route one client directory op: apply it if this node is the shard's primary
-    /// (emitting replies and log-shipping the op to the backups), forward it to the
-    /// believed primary otherwise. Ops for a shard whose every replica died are
-    /// dropped — that metadata is gone.
+    /// (emitting replies, log-shipping the op, and later confirming it to its
+    /// origin), forward it to the believed primary otherwise. Ops for a shard whose
+    /// every replica died are dropped — that metadata is gone.
     pub fn handle_op(&mut self, op: DirOp, out: &mut Vec<(NodeId, Message)>) -> bool {
-        let shard = self.placement.shard_of(op.object());
-        match self.placement.primary(shard, &self.failed) {
+        let shard = self.view.placement().shard_of(op.object());
+        match self.view.primary(shard) {
             Some(primary) if primary == self.me => {
+                let backups = self.live_backups(shard);
                 let replica = self.replicas.get_mut(&shard).expect("primary hosts its shard");
-                replica.apply_primary(&op, out);
+                out.extend(replica.set_tracked_backups(&backups));
+                let confirm = op
+                    .confirm_target()
+                    .map(|(to, kind)| (to, Message::DirConfirm { object: op.object(), kind }));
+                let seq = replica.apply_primary(&op, confirm, out);
                 let epoch = replica.epoch();
-                for backup in self.placement.replica_set(shard) {
-                    if backup != self.me && !self.failed.contains(&backup) {
-                        out.push((
-                            backup,
-                            Message::DirReplicate { shard: shard as u64, epoch, op: op.clone() },
-                        ));
-                    }
+                if backups.is_empty() {
+                    // A lone replica is trivially durable: confirm immediately.
+                    out.extend(replica.take_durable_confirms());
+                }
+                for backup in backups {
+                    out.push((
+                        backup,
+                        Message::DirReplicate { shard: shard as u64, epoch, seq, op: op.clone() },
+                    ));
                 }
                 true
             }
@@ -183,48 +409,265 @@ impl DirectoryService {
         }
     }
 
-    /// Replay an op shipped by a shard's primary into this node's backup replica.
-    /// Ops for shards this node does not host (a stale primary's view) and ops from a
-    /// deposed primary's epoch are discarded.
-    pub fn handle_replicate(&mut self, shard: usize, epoch: u64, op: &DirOp) -> bool {
-        match self.replicas.get_mut(&shard) {
-            Some(replica) => replica.apply_replicated(epoch, op),
-            None => false,
+    /// Replay an op shipped by a shard's primary into this node's backup replica,
+    /// answering with an ack — or with a snapshot request when the log exposes a gap
+    /// this replica cannot bridge.
+    pub fn handle_replicate(
+        &mut self,
+        shard: usize,
+        epoch: u64,
+        seq: u64,
+        op: &DirOp,
+        from: NodeId,
+        out: &mut Vec<(NodeId, Message)>,
+    ) -> bool {
+        self.view.note_epoch(shard, epoch);
+        let Some(replica) = self.replicas.get_mut(&shard) else { return false };
+        match replica.apply_replicated(epoch, seq, op) {
+            ReplayOutcome::Acked(acked) => {
+                let epoch = replica.epoch();
+                out.push((from, Message::DirAck { shard: shard as u64, epoch, seq: acked }));
+                true
+            }
+            ReplayOutcome::NeedsResync => {
+                self.request_resync(shard, from, false, out);
+                false
+            }
+            ReplayOutcome::Buffered | ReplayOutcome::Rejected => false,
         }
     }
 
-    /// Digest a peer failure: purge the dead node from every hosted replica, and
-    /// promote this node's replicas wherever it just became the first surviving
-    /// member of a replica set. Returns the shards promoted here (for tracing).
-    pub fn on_peer_failed(&mut self, peer: NodeId) -> Vec<usize> {
-        self.failed.insert(peer);
+    /// Fold a backup's cumulative ack into the shard's log, emitting any confirms
+    /// that became due.
+    pub fn handle_ack(
+        &mut self,
+        shard: usize,
+        from: NodeId,
+        epoch: u64,
+        seq: u64,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        self.view.note_epoch(shard, epoch);
+        if let Some(replica) = self.replicas.get_mut(&shard) {
+            out.extend(replica.record_ack(from, seq));
+        }
+    }
+
+    /// Serve (or forward) a recovering replica's snapshot request. A request is also
+    /// implicit evidence about the requester's liveness: a *restart* request from a
+    /// node this view still considers a healthy primary means the failure notice has
+    /// not arrived yet — a node asking for its shard's state back cannot lead it —
+    /// so the implied failure (and recovery) is folded in first instead of silently
+    /// dropping the request and wedging the restarted node. A gap-catch-up request
+    /// (`restart == false`) from a live backup leaves the liveness view untouched.
+    pub fn handle_snapshot_request(
+        &mut self,
+        shard: usize,
+        requester: NodeId,
+        restart: bool,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        if restart && self.view.is_alive(requester) && !self.view.is_resyncing(requester) {
+            self.on_peer_failed(requester, out);
+        }
+        self.view.on_peer_recovered(requester);
+        if !self.view.placement().hosts(requester, shard) {
+            return;
+        }
+        match self.view.primary(shard) {
+            Some(primary) if primary == self.me => {
+                let rank = self.view.current_rank(shard) as u64;
+                let replica = self.replicas.get_mut(&shard).expect("primary hosts its shard");
+                let (epoch, seq, state) = replica.snapshot();
+                out.push((
+                    requester,
+                    Message::DirSnapshot { shard: shard as u64, epoch, seq, rank, state },
+                ));
+            }
+            Some(primary) if primary != requester => {
+                out.push((
+                    primary,
+                    Message::DirSnapshotRequest { shard: shard as u64, requester, restart },
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    /// Install a snapshot into this node's replica of `shard`. Returns `true` when
+    /// the snapshot was installed. When the installation completes the node's local
+    /// resync, a re-admission announcement becomes pending — the caller checks
+    /// [`DirectoryService::take_readmission_announcement`] after this (and after
+    /// [`DirectoryService::on_peer_failed`], which can also complete a resync by
+    /// abandoning a sourceless shard).
+    #[allow(clippy::too_many_arguments)] // mirrors the DirSnapshot wire fields
+    pub fn handle_snapshot(
+        &mut self,
+        shard: usize,
+        epoch: u64,
+        seq: u64,
+        rank: usize,
+        state: &crate::protocol::ShardSnapshot,
+        from: NodeId,
+        out: &mut Vec<(NodeId, Message)>,
+    ) -> bool {
+        self.view.note_epoch(shard, epoch);
+        let Some(replica) = self.replicas.get_mut(&shard) else { return false };
+        let Some(acked) = replica.install_snapshot(epoch, seq, state) else { return false };
+        self.view.set_rank(shard, rank);
+        self.resync_sources.remove(&shard);
+        out.push((from, Message::DirAck { shard: shard as u64, epoch, seq: acked }));
+        self.maybe_complete_local_resync();
+        true
+    }
+
+    /// If the last outstanding snapshot was just installed or abandoned, finish the
+    /// local resync: become eligible again, promote wherever this node is now the
+    /// shard's leader, and queue the cluster-wide `DirResynced` announcement.
+    fn maybe_complete_local_resync(&mut self) {
+        if !self.local_resync || !self.resync_sources.is_empty() {
+            return;
+        }
+        self.local_resync = false;
+        self.view.finish_self_resync(self.me);
+        self.promote_where_leader();
+        self.announce_readmission = true;
+    }
+
+    /// Promote any hosted Backup replica for a shard this node's view says it now
+    /// leads (e.g. the interim primary died while this node was still resyncing, so
+    /// eligibility only returned with the resync's completion). A replica still
+    /// waiting on a snapshot with no possible source is adopted as-is first.
+    fn promote_where_leader(&mut self) {
+        let shards: Vec<usize> = self.replicas.keys().copied().collect();
+        for shard in shards {
+            if self.view.primary(shard) != Some(self.me) {
+                continue;
+            }
+            let backups = self.live_backups(shard);
+            let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
+            if replica.role() == ReplicaRole::Backup {
+                if replica.is_resyncing() {
+                    replica.abort_resync();
+                }
+                replica.promote_to(self.view.epoch(shard));
+                replica.set_tracked_backups(&backups);
+            }
+        }
+    }
+
+    /// Take the pending `DirResynced` announcement, if the local resync just
+    /// completed. The facade broadcasts it to every peer exactly once.
+    pub fn take_readmission_announcement(&mut self) -> bool {
+        std::mem::take(&mut self.announce_readmission)
+    }
+
+    /// Digest a peer failure: update the leadership view, purge the dead node from
+    /// every hosted replica, release confirms its pending ack was gating, promote
+    /// this node's replicas wherever it just became the shard's leader, and
+    /// re-target any in-flight resync that was sourced from the dead node. Returns
+    /// the shards promoted here (for tracing and metrics).
+    pub fn on_peer_failed(&mut self, peer: NodeId, out: &mut Vec<(NodeId, Message)>) -> Vec<usize> {
+        self.view.on_peer_failed(peer);
         let mut promoted = Vec::new();
-        for (&shard, replica) in self.replicas.iter_mut() {
+        let shards: Vec<usize> = self.replicas.keys().copied().collect();
+        for shard in shards {
+            let backups = self.live_backups(shard);
+            let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
             replica.node_failed(peer);
-            if self.placement.primary(shard, &self.failed) == Some(self.me)
-                && replica.role() == ReplicaRole::Backup
-            {
-                // Promotion epoch = this replica's rank in the replica set: every
-                // ranked predecessor is dead (that is what made us primary) and rank
-                // k-1 never shipped above epoch k-1, so rank k is strictly fresher
-                // than anything a deposed predecessor still has in flight.
-                let rank = self
-                    .placement
-                    .replica_set(shard)
-                    .iter()
-                    .position(|&n| n == self.me)
-                    .expect("hosted shards include this node") as u64;
-                replica.promote_to(rank);
+            if replica.role() == ReplicaRole::Primary {
+                // The dead node no longer gates durability.
+                out.extend(replica.set_tracked_backups(&backups));
+            } else if self.view.primary(shard) == Some(self.me) {
+                replica.promote_to(self.view.epoch(shard));
+                replica.set_tracked_backups(&backups);
                 promoted.push(shard);
             }
         }
+        // Re-target interrupted resyncs whose source died.
+        let stranded: Vec<usize> =
+            self.resync_sources.iter().filter(|(_, &src)| src == peer).map(|(&s, _)| s).collect();
+        for shard in stranded {
+            self.resync_sources.remove(&shard);
+            match self.view.primary(shard) {
+                Some(primary) if primary != self.me => {
+                    let restart = self.local_resync;
+                    self.request_resync(shard, primary, restart, out);
+                }
+                _ => {
+                    // No surviving source: the shard's metadata is lost. Stop waiting
+                    // so the node can still finish its overall resync.
+                    if let Some(replica) = self.replicas.get_mut(&shard) {
+                        replica.abort_resync();
+                    }
+                }
+            }
+        }
+        // Every outstanding snapshot may now be installed or abandoned; if so, finish
+        // the local resync (which also promotes wherever this node became leader and
+        // queues the re-admission announcement).
+        self.maybe_complete_local_resync();
         promoted
+    }
+
+    /// Digest a peer recovery notice (alive again, resyncing).
+    pub fn on_peer_recovered(&mut self, peer: NodeId) {
+        self.view.on_peer_recovered(peer);
+    }
+
+    /// Digest a peer's catch-up announcement (full replica again).
+    pub fn on_peer_readmitted(&mut self, peer: NodeId) {
+        self.view.on_peer_readmitted(peer);
+    }
+
+    /// Start recovery after a restart: demote every hosted replica, mark this node
+    /// resyncing, and request a snapshot of each hosted shard from another replica.
+    /// Returns `false` when there is nothing to resync from (single-replica shards
+    /// only), in which case the node proceeds as a cold-started primary.
+    pub fn begin_local_resync(&mut self, out: &mut Vec<(NodeId, Message)>) -> bool {
+        let shards: Vec<usize> = self.replicas.keys().copied().collect();
+        let mut any = false;
+        for shard in shards {
+            let source =
+                self.view.placement().replica_set(shard).into_iter().find(|&n| n != self.me);
+            let Some(source) = source else { continue };
+            any = true;
+            self.request_resync(shard, source, true, out);
+        }
+        if any {
+            self.local_resync = true;
+            self.view.begin_self_resync(self.me);
+        }
+        any
+    }
+
+    fn request_resync(
+        &mut self,
+        shard: usize,
+        source: NodeId,
+        restart: bool,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        if let Some(replica) = self.replicas.get_mut(&shard) {
+            replica.begin_resync();
+        }
+        self.resync_sources.insert(shard, source);
+        out.push((
+            source,
+            Message::DirSnapshotRequest { shard: shard as u64, requester: self.me, restart },
+        ));
+    }
+
+    /// Shards with an unanswered snapshot request (introspection for tests).
+    pub fn pending_resyncs(&self) -> BTreeSet<usize> {
+        self.resync_sources.keys().copied().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::ConfirmKind;
 
     fn nodes(n: u32) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
@@ -232,6 +675,22 @@ mod tests {
 
     fn obj(name: &str) -> ObjectId {
         ObjectId::from_name(name)
+    }
+
+    fn reg(o: ObjectId, holder: u32) -> DirOp {
+        DirOp::Register {
+            object: o,
+            holder: NodeId(holder),
+            status: ObjectStatus::Complete,
+            size: 10,
+        }
+    }
+
+    fn obj_in_shard(svc: &DirectoryService, shard: usize) -> ObjectId {
+        (0u64..)
+            .map(|k| obj(&format!("shard-{shard}-{k}")))
+            .find(|&o| svc.placement().shard_of(o) == shard)
+            .unwrap()
     }
 
     #[test]
@@ -250,45 +709,70 @@ mod tests {
     }
 
     #[test]
-    fn primary_skips_failed_replicas() {
-        let p = DirectoryPlacement::new(nodes(4), None, 3);
-        let mut failed = HashSet::new();
-        assert_eq!(p.primary(1, &failed), Some(NodeId(1)));
-        failed.insert(NodeId(1));
-        assert_eq!(p.primary(1, &failed), Some(NodeId(2)));
-        failed.insert(NodeId(2));
-        assert_eq!(p.primary(1, &failed), Some(NodeId(3)));
-        failed.insert(NodeId(3));
-        assert_eq!(p.primary(1, &failed), None, "all replicas dead");
+    fn view_primary_skips_failed_replicas_and_counts_epochs() {
+        let mut v = PlacementView::new(DirectoryPlacement::new(nodes(4), None, 3));
+        assert_eq!(v.primary(1), Some(NodeId(1)));
+        assert_eq!(v.epoch(1), 0);
+        v.on_peer_failed(NodeId(1));
+        assert_eq!(v.primary(1), Some(NodeId(2)));
+        assert_eq!(v.epoch(1), 1);
+        v.on_peer_failed(NodeId(2));
+        assert_eq!(v.primary(1), Some(NodeId(3)));
+        assert_eq!(v.epoch(1), 2);
+        v.on_peer_failed(NodeId(3));
+        assert_eq!(v.primary(1), None, "all replicas dead");
+        assert_eq!(v.epoch(1), 3);
     }
 
     #[test]
-    fn service_applies_as_primary_and_ships_the_log() {
+    fn readmitted_node_does_not_fail_back_but_leads_again_after_the_next_failure() {
+        // Shard 0 on a 3-node cluster with r = 2: replicas [0, 1].
+        let mut v = PlacementView::new(DirectoryPlacement::new(nodes(3), None, 2));
+        assert_eq!(v.primary(0), Some(NodeId(0)));
+        v.on_peer_failed(NodeId(0));
+        assert_eq!(v.primary(0), Some(NodeId(1)));
+        // Node 0 recovers: still not a candidate while resyncing.
+        v.on_peer_recovered(NodeId(0));
+        assert_eq!(v.primary(0), Some(NodeId(1)));
+        // Re-admission: eligible again, but the cursor does not rewind — no fail-back.
+        v.on_peer_readmitted(NodeId(0));
+        assert_eq!(v.primary(0), Some(NodeId(1)), "no automatic fail-back");
+        let e = v.epoch(0);
+        // When the interim primary dies, leadership cycles back to the restarted node
+        // with a strictly higher epoch.
+        v.on_peer_failed(NodeId(1));
+        assert_eq!(v.primary(0), Some(NodeId(0)), "restarted node leads again");
+        assert!(v.epoch(0) > e);
+    }
+
+    #[test]
+    fn service_applies_as_primary_ships_the_sequenced_log_and_confirms() {
         let cfg = HopliteConfig::small_for_tests();
         let ns = nodes(4);
         let mut svc = DirectoryService::new(NodeId(0), &cfg, &ns);
-        // Find an object whose shard is primaried by node 0.
-        let o = (0u64..)
-            .map(|k| obj(&format!("svc-{k}")))
-            .find(|&o| svc.primary_for(o) == Some(NodeId(0)))
-            .unwrap();
+        let o = obj_in_shard(&svc, 0);
         let mut out = Vec::new();
-        let applied = svc.handle_op(
-            DirOp::Register {
-                object: o,
-                holder: NodeId(2),
-                status: ObjectStatus::Complete,
-                size: 10,
-            },
-            &mut out,
-        );
-        assert!(applied);
+        assert!(svc.handle_op(reg(o, 2), &mut out));
         assert_eq!(svc.locations(o).unwrap().len(), 1);
-        // The op was shipped to the one backup of the shard.
-        let shard = svc.placement().shard_of(o) as u64;
-        assert!(out.iter().any(
-            |(_, m)| matches!(m, Message::DirReplicate { shard: s, epoch: 0, .. } if *s == shard)
-        ));
+        // The op was shipped, sequenced, to the shard's backup (node 1).
+        let (backup, seq) = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                Message::DirReplicate { shard: 0, epoch: 0, seq, .. } => Some((*to, *seq)),
+                _ => None,
+            })
+            .expect("log shipment");
+        assert_eq!(backup, NodeId(1));
+        assert_eq!(seq, 1);
+        // No confirm yet: the backup has not acked.
+        assert!(!out.iter().any(|(_, m)| matches!(m, Message::DirConfirm { .. })));
+        out.clear();
+        svc.handle_ack(0, NodeId(1), 0, seq, &mut out);
+        assert!(
+            out.iter().any(|(to, m)| *to == NodeId(2)
+                && matches!(m, Message::DirConfirm { kind: ConfirmKind::Location { .. }, .. })),
+            "origin confirmed once the backup acked: {out:?}"
+        );
     }
 
     #[test]
@@ -296,10 +780,7 @@ mod tests {
         let cfg = HopliteConfig::small_for_tests();
         let ns = nodes(4);
         let mut svc = DirectoryService::new(NodeId(3), &cfg, &ns);
-        let o = (0u64..)
-            .map(|k| obj(&format!("fwd-{k}")))
-            .find(|&o| svc.primary_for(o) == Some(NodeId(1)))
-            .unwrap();
+        let o = obj_in_shard(&svc, 1);
         let mut out = Vec::new();
         let applied =
             svc.handle_op(DirOp::Subscribe { object: o, subscriber: NodeId(3) }, &mut out);
@@ -315,24 +796,18 @@ mod tests {
         let ns = nodes(3);
         // Node 1 backs up shard 0 (replica set [0, 1]).
         let mut svc = DirectoryService::new(NodeId(1), &cfg, &ns);
-        let o = (0u64..)
-            .map(|k| obj(&format!("promo-{k}")))
-            .find(|&o| svc.placement().shard_of(o) == 0)
-            .unwrap();
-        // Replicated state arrives from the primary before it dies.
-        assert!(svc.handle_replicate(
-            0,
-            0,
-            &DirOp::Register {
-                object: o,
-                holder: NodeId(2),
-                status: ObjectStatus::Complete,
-                size: 64,
-            },
-        ));
-        let promoted = svc.on_peer_failed(NodeId(0));
+        let o = obj_in_shard(&svc, 0);
+        // Replicated state arrives from the primary before it dies, and is acked.
+        let mut out = Vec::new();
+        assert!(svc.handle_replicate(0, 0, 1, &reg(o, 2), NodeId(0), &mut out));
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == NodeId(0) && matches!(m, Message::DirAck { seq: 1, .. })));
+        out.clear();
+        let promoted = svc.on_peer_failed(NodeId(0), &mut out);
         assert_eq!(promoted, vec![0]);
         assert_eq!(svc.primary_for(o), Some(NodeId(1)));
+        assert_eq!(svc.replica(0).unwrap().epoch(), 1, "promotion at the failover epoch");
         // The replicated record survived the failover, and the promoted replica now
         // answers ops itself.
         let mut out = Vec::new();
@@ -341,5 +816,206 @@ mod tests {
             &mut out,
         ));
         assert!(svc.locations(o).unwrap().iter().any(|(n, _)| *n == NodeId(2)));
+    }
+
+    #[test]
+    fn acked_prefix_alone_survives_failover_without_any_client_redrive() {
+        // The acceptance scenario at the service level, clients fully gagged: ops are
+        // applied at the primary, shipped, and acked; the primary then dies. The
+        // promoted backup must hold every acked registration with no client re-drive
+        // of any kind.
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(3);
+        let mut primary_svc = DirectoryService::new(NodeId(0), &cfg, &ns);
+        let mut backup_svc = DirectoryService::new(NodeId(1), &cfg, &ns);
+        // Five distinct objects, all in shard 0.
+        let objects: Vec<ObjectId> = (0u64..)
+            .map(|k| obj(&format!("gagged-{k}")))
+            .filter(|&o| primary_svc.placement().shard_of(o) == 0)
+            .take(5)
+            .collect();
+        let mut out = Vec::new();
+        for (i, &o) in objects.iter().enumerate() {
+            // Holders are third-party nodes, not the dying primary (a dead node's own
+            // locations are purged by definition).
+            assert!(primary_svc.handle_op(reg(o, 10 + i as u32), &mut out));
+        }
+        // Deliver the shipments to the backup (ack replies ignored — the primary is
+        // about to die anyway).
+        let mut acks = Vec::new();
+        for (to, m) in out.drain(..) {
+            if let Message::DirReplicate { shard, epoch, seq, op } = m {
+                assert_eq!(to, NodeId(1));
+                backup_svc.handle_replicate(shard as usize, epoch, seq, &op, NodeId(0), &mut acks);
+            }
+        }
+        // The primary dies. Nobody re-drives anything.
+        backup_svc.on_peer_failed(NodeId(0), &mut Vec::new());
+        for &o in &objects {
+            assert_eq!(
+                backup_svc.locations(o).map(|l| l.len()),
+                Some(1),
+                "acked registration for {o:?} survived with clients gagged"
+            );
+        }
+    }
+
+    #[test]
+    fn resync_completed_by_source_death_promotes_and_announces() {
+        // Node 0 restarts and requests snapshots for both hosted shards; every
+        // snapshot source dies before serving. The resync must still complete (via
+        // the abandonment path), the re-admission announcement must become pending,
+        // and — since node 0 is now each shard's only eligible replica — its
+        // replicas must be *promoted*, not left as Backups the cluster routes to.
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(3);
+        let mut restarted = DirectoryService::new(NodeId(0), &cfg, &ns);
+        let mut requests = Vec::new();
+        assert!(restarted.begin_local_resync(&mut requests));
+        let mut out = Vec::new();
+        restarted.on_peer_failed(NodeId(1), &mut out); // shard 0's source
+        assert!(restarted.is_resyncing(), "shard 2's snapshot still outstanding");
+        assert!(!restarted.take_readmission_announcement());
+        restarted.on_peer_failed(NodeId(2), &mut out); // shard 2's source
+        assert!(!restarted.is_resyncing(), "no sources left: resync completes");
+        assert!(restarted.take_readmission_announcement(), "DirResynced must be broadcast");
+        assert!(!restarted.take_readmission_announcement(), "announced exactly once");
+        // Both hosted shards are now led — and *servable* — by node 0.
+        for shard in [0usize, 2] {
+            let replica = restarted.replica(shard).unwrap();
+            assert_eq!(replica.role(), ReplicaRole::Primary, "shard {shard} promoted");
+            assert!(!replica.is_resyncing());
+            let o = obj_in_shard(&restarted, shard);
+            let mut ops_out = Vec::new();
+            assert!(restarted.handle_op(reg(o, 5), &mut ops_out), "shard {shard} applies ops");
+        }
+    }
+
+    #[test]
+    fn restart_request_from_a_believed_primary_is_served_not_dropped() {
+        // Node 0 crashes and restarts *before* the failure detector tells node 1.
+        // Node 1 still believes node 0 leads shard 0, so node 0's restart snapshot
+        // request must itself carry the news: node 1 folds the implied failure in,
+        // promotes itself, and serves the snapshot — instead of silently dropping
+        // the request and wedging node 0 in resync forever.
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(3);
+        let mut survivor = DirectoryService::new(NodeId(1), &cfg, &ns);
+        let o = obj_in_shard(&survivor, 0);
+        assert_eq!(survivor.primary_for(o), Some(NodeId(0)), "failure not yet detected");
+        let mut out = Vec::new();
+        survivor.handle_snapshot_request(0, NodeId(0), true, &mut out);
+        assert_eq!(survivor.primary_for(o), Some(NodeId(1)), "implied failure folded in");
+        assert_eq!(survivor.replica(0).unwrap().role(), ReplicaRole::Primary);
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == NodeId(0)
+                    && matches!(m, Message::DirSnapshot { shard: 0, .. })),
+            "snapshot served to the restarted node: {out:?}"
+        );
+        // The detector's own notices, arriving later, are harmless: the failure is
+        // a no-op for an already-resyncing peer's shards' leadership.
+        let promoted = survivor.on_peer_failed(NodeId(0), &mut out);
+        assert!(promoted.is_empty(), "already promoted");
+        // A *gap* catch-up request from a live backup must not depose anyone.
+        let mut survivor2 = DirectoryService::new(NodeId(1), &cfg, &ns);
+        let mut out2 = Vec::new();
+        survivor2.handle_snapshot_request(1, NodeId(2), false, &mut out2);
+        assert_eq!(survivor2.view().primary(2), Some(NodeId(2)), "live backup untouched");
+    }
+
+    #[test]
+    fn readmission_returns_the_leaderless_shards_for_redrive() {
+        // Shard 1 replicas [1, 2] on a 3-node cluster. Both die; the shard is
+        // leaderless. When node 1 is readmitted (restarted + resynced from nothing),
+        // the view must report shard 1 as regained so clients re-drive their
+        // unconfirmed intents at it.
+        let mut v = PlacementView::new(DirectoryPlacement::new(nodes(3), None, 2));
+        v.on_peer_failed(NodeId(1));
+        v.on_peer_failed(NodeId(2));
+        assert_eq!(v.primary(1), None);
+        let e = v.epoch(1);
+        v.on_peer_recovered(NodeId(1));
+        assert_eq!(v.primary(1), None, "resyncing nodes do not lead");
+        let regained = v.on_peer_readmitted(NodeId(1));
+        assert_eq!(regained, vec![1], "shard 1 went leaderless -> led");
+        assert_eq!(v.primary(1), Some(NodeId(1)));
+        assert!(v.epoch(1) > e);
+        // A readmission that does not change any primary regains nothing.
+        assert_eq!(v.on_peer_readmitted(NodeId(1)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn recovering_replica_resyncs_and_is_readmitted() {
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(3);
+        // Shard 0: replicas [0, 1]; node 0 also backs up shard 2 (replicas [2, 0]).
+        // Node 0 dies; node 1 promotes shard 0 and accumulates state; node 0 restarts
+        // and resyncs both hosted shards.
+        let mut survivor = DirectoryService::new(NodeId(1), &cfg, &ns);
+        let mut other = DirectoryService::new(NodeId(2), &cfg, &ns);
+        let mut out = Vec::new();
+        survivor.on_peer_failed(NodeId(0), &mut out);
+        other.on_peer_failed(NodeId(0), &mut out);
+        let o = obj_in_shard(&survivor, 0);
+        assert!(survivor.handle_op(reg(o, 2), &mut out));
+        out.clear();
+
+        // Node 0 restarts empty and begins recovery.
+        let mut restarted = DirectoryService::new(NodeId(0), &cfg, &ns);
+        let mut requests = Vec::new();
+        assert!(restarted.begin_local_resync(&mut requests));
+        assert!(restarted.is_resyncing());
+        // While resyncing, the restarted node does not believe it leads shard 0.
+        assert_ne!(restarted.primary_for(o), Some(NodeId(0)));
+
+        // Route each request to its target and the snapshots back.
+        let mut done = false;
+        for (to, m) in requests {
+            let Message::DirSnapshotRequest { shard, requester, restart } = m else {
+                panic!("{m:?}")
+            };
+            assert!(restart, "begin_local_resync requests are restart requests");
+            let mut replies = Vec::new();
+            let target = match to {
+                NodeId(1) => &mut survivor,
+                NodeId(2) => &mut other,
+                other => panic!("unexpected snapshot source {other:?}"),
+            };
+            target.handle_snapshot_request(shard as usize, requester, restart, &mut replies);
+            for (to2, m2) in replies {
+                assert_eq!(to2, NodeId(0));
+                let Message::DirSnapshot { shard, epoch, seq, rank, state } = m2 else {
+                    panic!("{m2:?}")
+                };
+                let mut acks = Vec::new();
+                if restarted.handle_snapshot(
+                    shard as usize,
+                    epoch,
+                    seq,
+                    rank as usize,
+                    &state,
+                    to,
+                    &mut acks,
+                ) {
+                    done = true;
+                }
+            }
+        }
+        assert!(done, "local resync completed");
+        assert!(!restarted.is_resyncing());
+        // The resynced replica holds the record registered while it was down.
+        assert_eq!(restarted.locations(o).map(|l| l.len()), Some(1));
+        // It adopted the survivor's rank cursor: no fail-back to itself.
+        assert_eq!(restarted.primary_for(o), Some(NodeId(1)));
+        // Survivor readmits node 0; when the survivor later dies, node 0 leads again
+        // at a strictly higher epoch.
+        survivor.on_peer_readmitted(NodeId(0));
+        restarted.on_peer_readmitted(NodeId(0));
+        let mut out2 = Vec::new();
+        let promoted = restarted.on_peer_failed(NodeId(1), &mut out2);
+        assert!(promoted.contains(&0), "restarted node serves as primary again");
+        assert!(restarted.is_primary_for(o));
+        assert!(restarted.replica(0).unwrap().epoch() >= 2);
     }
 }

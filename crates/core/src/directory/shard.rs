@@ -27,7 +27,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use crate::buffer::Payload;
 use crate::config::HopliteConfig;
 use crate::object::{NodeId, ObjectId, ObjectStatus};
-use crate::protocol::{Message, QueryResult};
+use crate::protocol::{Message, QueryResult, ShardSnapshot, SnapshotEntry};
 
 /// One location entry for an object.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -290,6 +290,75 @@ impl DirectoryShard {
                     loc.leased_to = None;
                 }
             }
+        }
+    }
+
+    /// Capture the full shard state for transfer to a recovering replica (§3.5 state
+    /// transfer). Deterministic: hash-ordered collections are sorted, while parked
+    /// queries keep their arrival order (it is part of the shard's semantics).
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let mut entries: Vec<SnapshotEntry> = self
+            .entries
+            .iter()
+            .map(|(object, e)| {
+                let mut locations: Vec<(NodeId, ObjectStatus, Option<NodeId>)> =
+                    e.locations.iter().map(|(n, l)| (*n, l.status, l.leased_to)).collect();
+                locations.sort_by_key(|(n, _, _)| n.0);
+                let mut subscribers: Vec<NodeId> = e.subscribers.iter().copied().collect();
+                subscribers.sort_by_key(|n| n.0);
+                let mut pulls: Vec<(NodeId, NodeId)> =
+                    e.pulls.iter().map(|(r, s)| (*r, *s)).collect();
+                pulls.sort_by_key(|(r, _)| r.0);
+                SnapshotEntry {
+                    object: *object,
+                    size: e.size,
+                    locations,
+                    inline: e.inline.clone(),
+                    pending: e
+                        .pending
+                        .iter()
+                        .map(|p| (p.requester, p.query_id, p.exclude.clone()))
+                        .collect(),
+                    subscribers,
+                    pulls,
+                    deleted: e.deleted,
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| e.object.0);
+        ShardSnapshot { entries }
+    }
+
+    /// Replace this shard's state with a snapshot captured by the current primary.
+    /// Whatever the shard held before — including a deposed primary's unacked suffix —
+    /// is discarded wholesale; the snapshot is the authoritative acked prefix.
+    pub fn restore(&mut self, snapshot: &ShardSnapshot) {
+        self.entries.clear();
+        for se in &snapshot.entries {
+            let entry = Entry {
+                size: se.size,
+                locations: se
+                    .locations
+                    .iter()
+                    .map(|(n, status, leased_to)| {
+                        (*n, Location { status: *status, leased_to: *leased_to })
+                    })
+                    .collect(),
+                inline: se.inline.clone(),
+                pending: se
+                    .pending
+                    .iter()
+                    .map(|(requester, query_id, exclude)| PendingQuery {
+                        requester: *requester,
+                        query_id: *query_id,
+                        exclude: exclude.clone(),
+                    })
+                    .collect(),
+                subscribers: se.subscribers.iter().copied().collect(),
+                pulls: se.pulls.iter().copied().collect(),
+                deleted: se.deleted,
+            };
+            self.entries.insert(se.object, entry);
         }
     }
 

@@ -92,8 +92,8 @@ pub mod prelude {
     pub use crate::node::{ClusterView, NodeOptions, ObjectStoreNode};
     pub use crate::object::{NodeId, ObjectId, ObjectStatus};
     pub use crate::protocol::{
-        ClientOp, ClientReply, DirOp, Effect, Message, OpId, QueryResult, ReduceInstruction,
-        TimerToken,
+        ClientOp, ClientReply, ConfirmKind, DirOp, Effect, Message, OpId, QueryResult,
+        ReduceInstruction, ShardSnapshot, SnapshotEntry, TimerToken,
     };
     pub use crate::reduce::{DType, DegreeModel, ReduceOp, ReduceSpec, ReduceTreePlan, TreeShape};
     pub use crate::store::LocalStore;

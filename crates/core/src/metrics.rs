@@ -24,6 +24,13 @@ pub struct NodeMetrics {
     /// Times this node re-issued an outstanding directory query because the shard's
     /// primary failed over to a backup replica.
     pub directory_failovers: u64,
+    /// Journaled registrations/subscriptions re-driven at a new primary after a
+    /// failover (only the genuinely-unacked window is re-driven; confirmed intents
+    /// survive inside the replication layer).
+    pub directory_redrives: u64,
+    /// Directory shard snapshots this node installed while being re-admitted to a
+    /// replica set (state transfer + log catch-up).
+    pub directory_resyncs: u64,
     /// Times a reduce subtree on this node was cleared because of a failure.
     pub reduce_resets: u64,
     /// Directory queries answered by the shard hosted on this node.
@@ -47,6 +54,8 @@ impl NodeMetrics {
         self.reduces_coordinated += other.reduces_coordinated;
         self.broadcast_failovers += other.broadcast_failovers;
         self.directory_failovers += other.directory_failovers;
+        self.directory_redrives += other.directory_redrives;
+        self.directory_resyncs += other.directory_resyncs;
         self.reduce_resets += other.reduce_resets;
         self.directory_queries_served += other.directory_queries_served;
         self.directory_registrations += other.directory_registrations;

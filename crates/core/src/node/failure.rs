@@ -13,17 +13,26 @@
 //!   clear their partial accumulation; participants whose parent changed re-send their
 //!   finalized blocks from the start (re-parenting).
 //!
-//! * **Directory (§3.5)** — the directory is replicated; when a shard primary dies,
-//!   a surviving backup is promoted (deterministically, from the shared placement and
-//!   failure view) and every client re-drives at the new primary whatever could have
-//!   been in flight to the dead one: its journaled registrations, its open
-//!   subscriptions, and its outstanding location queries.
+//! * **Directory (§3.5)** — the directory is replicated behind a sequenced, acked op
+//!   log; when a shard primary dies, a surviving backup is promoted (at the shard's
+//!   failover epoch, derived from the shared event stream) and every client
+//!   re-drives at the new primary only the *genuinely-unacked window*: journaled
+//!   intents the old primary never confirmed as replication-durable, plus its
+//!   outstanding location queries. Confirmed intents already live in the promoted
+//!   backup's acked prefix.
+//! * **Recovery (§3.5)** — a restarted node rejoins its replica sets through a state
+//!   transfer orchestrated here: demote every hosted replica, request a snapshot of
+//!   each shard from the current primary ([`ObjectStoreNode::begin_recovery`]),
+//!   install the snapshots and replay the buffered log tail, then broadcast
+//!   `DirResynced` so the survivors re-admit the node as a primary candidate. An
+//!   interrupted transfer (the source dies mid-resync) is re-targeted at the next
+//!   primary.
 //!
 //! This module hosts the facade-level orchestration plus the failure-specific methods
 //! of the broadcast and reduce engines, so every §3.5 rule lives in one place.
 
 use crate::object::{NodeId, ObjectId};
-use crate::protocol::Effect;
+use crate::protocol::{Effect, Message, ShardSnapshot};
 use crate::time::Time;
 
 use super::broadcast::BroadcastEngine;
@@ -38,38 +47,29 @@ impl ObjectStoreNode {
         if peer == self.ctx.id {
             return;
         }
-        // Service side first: every hosted replica purges the dead node, and this
-        // node promotes itself wherever it just became the first surviving replica —
+        // Service side first: every hosted replica purges the dead node, this node
+        // promotes itself wherever it just became the shard's leader (at the shard's
+        // failover epoch), confirms gated by the dead backup's ack are released, and
+        // an interrupted resync sourced from the dead node is re-targeted — all
         // before any client re-drive below can loop back into the service.
-        let promoted = self.directory.on_peer_failed(peer);
+        let mut service_msgs = Vec::new();
+        let promoted = self.directory.on_peer_failed(peer, &mut service_msgs);
+        for (to, msg) in service_msgs {
+            self.ctx.send(to, msg, out);
+        }
         if !promoted.is_empty() {
             trace!("[n{}] promoted to primary of shards {:?}", self.ctx.id.0, promoted);
         }
+        // The failure may also have completed this node's own resync (its last
+        // outstanding snapshot source died): announce re-admission if so.
+        self.maybe_announce_readmission(now, out);
         // Client side: fold the failure into the routing view, then re-drive at the
-        // new primaries everything whose delivery to the old one is uncertain. The
-        // promoted backup already holds all replicated state; the re-drive closes the
-        // in-flight window, and every re-driven op is idempotent at the shard.
+        // new primaries the genuinely-unacked window — journaled intents the dead
+        // primary never confirmed as replication-durable. Everything confirmed is
+        // already inside the promoted backup's acked prefix. Every re-driven op is
+        // idempotent at the shard.
         let redrive = self.ctx.directory.on_peer_failed(peer);
-        for (object, reg) in redrive.reregister {
-            if !self.ctx.store.contains(object) {
-                // The journaled copy is gone (evicted or deleted mid-flight).
-                self.ctx.directory.forget(object);
-                continue;
-            }
-            if reg.inline {
-                if let Some(payload) = self.ctx.store.get_complete(object) {
-                    self.ctx.dir_put_inline(object, payload, out);
-                    continue;
-                }
-            }
-            self.ctx.dir_register(object, reg.status, reg.size, out);
-        }
-        for object in redrive.resubscribe {
-            self.ctx.dir_subscribe(object, out);
-        }
-        // Broadcast receivers whose outstanding location query was addressed to a
-        // failed-over shard re-issue it (same correlation id; the shard deduplicates).
-        self.broadcast.requery_after_failover(&mut self.ctx, now, &redrive.changed_shards, out);
+        self.apply_directory_redrive(now, redrive, out);
         // Stop serving transfers destined to the dead node.
         self.broadcast.drop_transfers_to(peer);
         // Broadcast receivers that were pulling from it fail over (§3.5.1).
@@ -79,6 +79,106 @@ impl ObjectStoreNode {
         }
         // Reduce coordinators repair their trees (§3.5.2).
         self.reduce.on_peer_failed(&mut self.ctx, peer, out);
+    }
+
+    /// Re-send the genuinely-unacked window at a shard's new primary — after a
+    /// failover, or after a re-admission that gave a leaderless shard a primary
+    /// again. Outstanding location queries for the affected shards are re-issued too
+    /// (same correlation id; the shard deduplicates).
+    pub(crate) fn apply_directory_redrive(
+        &mut self,
+        now: Time,
+        redrive: crate::directory::FailoverRedrive,
+        out: &mut Vec<Effect>,
+    ) {
+        for (object, reg) in redrive.reregister {
+            if !self.ctx.store.contains(object) {
+                // The journaled copy is gone (evicted or deleted mid-flight).
+                self.ctx.directory.forget(object);
+                continue;
+            }
+            self.ctx.metrics.directory_redrives += 1;
+            if reg.inline {
+                if let Some(payload) = self.ctx.store.get_complete(object) {
+                    self.ctx.dir_put_inline(object, payload, out);
+                    continue;
+                }
+            }
+            self.ctx.dir_register(object, reg.status, reg.size, out);
+        }
+        for object in redrive.resubscribe {
+            self.ctx.metrics.directory_redrives += 1;
+            self.ctx.dir_subscribe(object, out);
+        }
+        self.broadcast.requery_after_failover(&mut self.ctx, now, &redrive.changed_shards, out);
+    }
+
+    /// If the directory service just completed this node's resync (last snapshot
+    /// installed, or the last sourceless shard abandoned), make the client eligible
+    /// again, re-drive the unconfirmed window of any shard this node itself just
+    /// gave a primary back to, and broadcast `DirResynced` to every peer.
+    pub(crate) fn maybe_announce_readmission(&mut self, now: Time, out: &mut Vec<Effect>) {
+        if !self.directory.take_readmission_announcement() {
+            return;
+        }
+        trace!("[n{}] resync complete; announcing re-admission", self.ctx.id.0);
+        let redrive = self.ctx.directory.finish_self_resync();
+        self.apply_directory_redrive(now, redrive, out);
+        let me = self.ctx.id;
+        let peers: Vec<NodeId> =
+            self.ctx.directory.nodes().iter().copied().filter(|&n| n != me).collect();
+        for peer in peers {
+            self.ctx.send(peer, Message::DirResynced { node: me }, out);
+        }
+    }
+
+    /// Begin recovery after a process restart: demote every hosted directory replica,
+    /// route this node's own directory traffic away from itself, and request a state
+    /// snapshot of each hosted shard from the believed current primary. The driver
+    /// calls this exactly once on a node it restarted (never on cold boot). When the
+    /// last snapshot installs, [`ObjectStoreNode::handle_dir_snapshot`] announces
+    /// `DirResynced` cluster-wide and the node becomes a primary candidate again.
+    pub fn begin_recovery(&mut self, now: Time, out: &mut Vec<Effect>) {
+        let mut requests = Vec::new();
+        let any = self.directory.begin_local_resync(&mut requests);
+        if any {
+            self.ctx.directory.begin_self_resync();
+            trace!("[n{}] restarted: requesting {} shard snapshots", self.ctx.id.0, requests.len());
+        }
+        for (to, msg) in requests {
+            self.ctx.send(to, msg, out);
+        }
+        self.drain_self_queue(now, out);
+    }
+
+    /// Install one resync snapshot: adopt the shard state, log position, and the
+    /// authoritative placement cursor (so this node's routing cannot fail back to
+    /// itself), ack the catch-up point to the shipping primary, and — once every
+    /// hosted shard has installed — broadcast `DirResynced` so the survivors re-admit
+    /// this node.
+    #[allow(clippy::too_many_arguments)] // mirrors the DirSnapshot wire fields
+    pub(crate) fn handle_dir_snapshot(
+        &mut self,
+        now: Time,
+        shard: usize,
+        epoch: u64,
+        seq: u64,
+        rank: usize,
+        state: &ShardSnapshot,
+        from: NodeId,
+        out: &mut Vec<Effect>,
+    ) {
+        let mut replies = Vec::new();
+        let installed =
+            self.directory.handle_snapshot(shard, epoch, seq, rank, state, from, &mut replies);
+        if installed {
+            self.ctx.metrics.directory_resyncs += 1;
+            self.ctx.directory.set_shard_rank(shard, rank);
+        }
+        for (to, msg) in replies {
+            self.ctx.send(to, msg, out);
+        }
+        self.maybe_announce_readmission(now, out);
     }
 }
 

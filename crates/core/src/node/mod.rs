@@ -340,6 +340,17 @@ impl ObjectStoreNode {
         self.ctx.directory.subscription_count()
     }
 
+    /// Whether this node is still resyncing its directory replicas after a restart.
+    pub fn directory_is_resyncing(&self) -> bool {
+        self.directory.is_resyncing()
+    }
+
+    /// Journaled directory intents not yet confirmed as replication-durable — the
+    /// window a failover would re-drive.
+    pub fn directory_unconfirmed_count(&self) -> usize {
+        self.ctx.directory.unconfirmed_count()
+    }
+
     // ------------------------------------------------------------------ client ops --
 
     /// Submit a client operation.
@@ -398,10 +409,18 @@ impl ObjectStoreNode {
         self.drain_self_queue(now, out);
     }
 
-    /// A previously-failed peer came back (empty). Nothing is required of the protocol
-    /// here — recovered nodes re-register objects as they recreate them — but drivers
-    /// call it for symmetry and future extensions.
-    pub fn handle_peer_recovered(&mut self, _now: Time, _peer: NodeId, _out: &mut Vec<Effect>) {}
+    /// A previously-failed peer came back. It is folded into the placement views as
+    /// *resyncing*: alive (log shipments resume to it) but not a primary candidate
+    /// until it announces catch-up with [`Message::DirResynced`]. The restarted node
+    /// itself drives the state transfer — see [`ObjectStoreNode::begin_recovery`].
+    pub fn handle_peer_recovered(&mut self, _now: Time, peer: NodeId, out: &mut Vec<Effect>) {
+        if peer == self.ctx.id {
+            return;
+        }
+        self.directory.on_peer_recovered(peer);
+        self.ctx.directory.on_peer_recovered(peer);
+        let _ = out;
+    }
 
     // ------------------------------------------------------------------ dispatch --
 
@@ -433,8 +452,72 @@ impl ObjectStoreNode {
             Message::DirDelete { object } => {
                 self.apply_dir_op(DirOp::Delete { object }, out);
             }
-            Message::DirReplicate { shard, epoch, op } => {
-                self.directory.handle_replicate(shard as usize, epoch, &op);
+            Message::DirReplicate { shard, epoch, seq, op } => {
+                let mut replies = Vec::new();
+                self.directory.handle_replicate(
+                    shard as usize,
+                    epoch,
+                    seq,
+                    &op,
+                    from,
+                    &mut replies,
+                );
+                for (to, msg) in replies {
+                    self.ctx.send(to, msg, out);
+                }
+            }
+            Message::DirAck { shard, epoch, seq } => {
+                let mut confirms = Vec::new();
+                self.directory.handle_ack(shard as usize, from, epoch, seq, &mut confirms);
+                for (to, msg) in confirms {
+                    self.ctx.send(to, msg, out);
+                }
+            }
+            Message::DirSnapshotRequest { shard, requester, restart } => {
+                // A snapshot request is implicit evidence about the requester: it is
+                // back up, and — when it marks a restart — that it crashed, even if
+                // the failure detector has not reported either yet. The implied
+                // failure re-drives the unconfirmed window like a detected one.
+                if restart {
+                    let redrive = self.ctx.directory.on_peer_restarted(requester);
+                    self.apply_directory_redrive(now, redrive, out);
+                } else {
+                    self.ctx.directory.on_peer_recovered(requester);
+                }
+                let mut replies = Vec::new();
+                self.directory.handle_snapshot_request(
+                    shard as usize,
+                    requester,
+                    restart,
+                    &mut replies,
+                );
+                for (to, msg) in replies {
+                    self.ctx.send(to, msg, out);
+                }
+            }
+            Message::DirSnapshot { shard, epoch, seq, rank, state } => {
+                self.handle_dir_snapshot(
+                    now,
+                    shard as usize,
+                    epoch,
+                    seq,
+                    rank as usize,
+                    &state,
+                    from,
+                    out,
+                );
+            }
+            Message::DirResynced { node } => {
+                trace!("[n{}] peer {:?} re-admitted to its replica sets", self.ctx.id.0, node);
+                self.directory.on_peer_readmitted(node);
+                // A shard that was leaderless while the peer was out regains its
+                // primary with this re-admission: re-drive the unconfirmed window
+                // there just as after a failover.
+                let redrive = self.ctx.directory.on_peer_readmitted(node);
+                self.apply_directory_redrive(now, redrive, out);
+            }
+            Message::DirConfirm { object, kind } => {
+                self.ctx.directory.confirm(object, kind);
             }
             // Directory replies and publications addressed to this node.
             Message::DirQueryReply { object, query_id, result } => {

@@ -164,6 +164,22 @@ pub enum DirOp {
 }
 
 impl DirOp {
+    /// The node that originated this op (and therefore journals it for failover
+    /// re-drive), for the op kinds the primary acknowledges back to their origin once
+    /// the op is replication-durable. Ops that remove journal state (unregister,
+    /// unsubscribe, delete) and queries (re-driven through their own path) have no
+    /// durability acknowledgement.
+    pub fn confirm_target(&self) -> Option<(NodeId, ConfirmKind)> {
+        match self {
+            DirOp::Register { holder, status, .. } => {
+                Some((*holder, ConfirmKind::Location { status: *status }))
+            }
+            DirOp::PutInline { holder, .. } => Some((*holder, ConfirmKind::Inline)),
+            DirOp::Subscribe { subscriber, .. } => Some((*subscriber, ConfirmKind::Subscription)),
+            _ => None,
+        }
+    }
+
     /// The object this op concerns (every directory op targets exactly one object,
     /// which is what the placement layer routes on).
     pub fn object(&self) -> ObjectId {
@@ -202,6 +218,72 @@ impl DirOp {
             }
             DirOp::Delete { object } => Message::DirDelete { object },
         }
+    }
+}
+
+/// What a [`Message::DirConfirm`] acknowledges as replication-durable: the primary
+/// sends one to an op's origin once every tracked backup has acked the op's log
+/// sequence number, which lets the origin's [`crate::directory::DirectoryClient`]
+/// shrink its failover re-drive set to the genuinely-unacked window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfirmKind {
+    /// A `Register` with this status reached the acked prefix.
+    Location {
+        /// The status that was registered.
+        status: ObjectStatus,
+    },
+    /// An inline `PutInline` reached the acked prefix.
+    Inline,
+    /// A `Subscribe` reached the acked prefix.
+    Subscription,
+}
+
+/// Serialized state of one object entry inside a [`ShardSnapshot`]. Field order and
+/// the sortedness of the inner vectors are part of the format: snapshots of identical
+/// shards compare equal, which the resync tests rely on.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapshotEntry {
+    /// The object this entry describes.
+    pub object: ObjectId,
+    /// Total object size, if known.
+    pub size: Option<u64>,
+    /// `(holder, status, leased_to)` triples, sorted by holder.
+    pub locations: Vec<(NodeId, ObjectStatus, Option<NodeId>)>,
+    /// Inline-cached payload for small objects.
+    pub inline: Option<Payload>,
+    /// Parked queries in arrival order: `(requester, query_id, exclude)`.
+    pub pending: Vec<(NodeId, u64, Vec<NodeId>)>,
+    /// Subscribers, sorted.
+    pub subscribers: Vec<NodeId>,
+    /// In-flight pull edges `(receiver, sender)`, sorted by receiver.
+    pub pulls: Vec<(NodeId, NodeId)>,
+    /// Whether the object is tombstoned.
+    pub deleted: bool,
+}
+
+/// Full state of one directory shard, shipped to a recovering or newly-placed backup
+/// inside [`Message::DirSnapshot`] so it can be re-admitted to the replica set
+/// (§3.5: state transfer + log catch-up instead of failure-monotonic placement).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardSnapshot {
+    /// One entry per tracked object, sorted by object id.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl ShardSnapshot {
+    /// Approximate wire size in bytes (mirrors the framing layout closely enough for
+    /// the simulator's bandwidth model — snapshots of busy shards are bulk traffic).
+    pub fn wire_size(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| {
+                48 + 13 * e.locations.len() as u64
+                    + e.inline.as_ref().map(|p| p.len()).unwrap_or(0)
+                    + e.pending.iter().map(|(_, _, ex)| 20 + 4 * ex.len() as u64).sum::<u64>()
+                    + 4 * e.subscribers.len() as u64
+                    + 8 * e.pulls.len() as u64
+            })
+            .sum()
     }
 }
 
@@ -307,15 +389,81 @@ pub enum Message {
         object: ObjectId,
     },
     /// Primary replica → backup replica: apply one directory op to your mirror of
-    /// `shard`. Stamped with the primary's promotion epoch; backups reject ops from a
-    /// lower epoch than they have seen (a deposed primary's stragglers).
+    /// `shard`. Stamped with the primary's promotion epoch and a per-shard log
+    /// sequence number; backups reject ops from a lower epoch than they have seen
+    /// (a deposed primary's stragglers), apply in sequence order, and acknowledge the
+    /// applied prefix with [`Message::DirAck`].
     DirReplicate {
         /// Shard index the op belongs to.
         shard: u64,
         /// The shipping primary's promotion epoch.
         epoch: u64,
+        /// Log sequence number of the op (contiguous, starting at 1).
+        seq: u64,
         /// The op to replay.
         op: DirOp,
+    },
+    /// Backup replica → primary: cumulative acknowledgement that this replica has
+    /// applied the primary's log through `seq`. The primary trims its retained log
+    /// prefix once every tracked backup has acked it and then confirms the contained
+    /// ops to their origins ([`Message::DirConfirm`]).
+    DirAck {
+        /// Shard index.
+        shard: u64,
+        /// The acker's current epoch. Informational: receivers fold it into their
+        /// failover-epoch counter. Acks themselves stay valid across promotions —
+        /// sequence numbers only re-baseline through a snapshot, which also resets
+        /// the acker's cumulative position.
+        epoch: u64,
+        /// Highest contiguously-applied sequence number.
+        seq: u64,
+    },
+    /// Recovering (or gap-detecting) replica → believed primary: please send me a full
+    /// state snapshot of `shard` so I can be re-admitted as a backup. Forwarded to the
+    /// current primary when it lands elsewhere.
+    DirSnapshotRequest {
+        /// Shard index.
+        shard: u64,
+        /// The replica asking to be re-admitted.
+        requester: NodeId,
+        /// `true` when the requester *restarted* and is resyncing every hosted shard
+        /// (it will broadcast [`Message::DirResynced`] when done). Receivers that
+        /// still believed the requester was a healthy primary treat a restart
+        /// request as the failure notice the detector has not delivered yet — a node
+        /// asking for its shard's state back cannot be that shard's leader. `false`
+        /// for a gap-detected catch-up from a live backup, which must not disturb
+        /// anyone's liveness view.
+        restart: bool,
+    },
+    /// Primary → recovering replica: full shard state at log position `seq`, epoch
+    /// `epoch`. `rank` is the primary's current placement cursor for the shard, which
+    /// the recovering node adopts so its own view does not fail back to itself.
+    DirSnapshot {
+        /// Shard index.
+        shard: u64,
+        /// The primary's promotion epoch at capture time.
+        epoch: u64,
+        /// Log sequence number the snapshot includes (catch-up replays from here).
+        seq: u64,
+        /// The shard's current primary rank in the replica set.
+        rank: u64,
+        /// The shard state itself.
+        state: ShardSnapshot,
+    },
+    /// Broadcast by a recovered node once every shard it hosts has installed its
+    /// snapshot and caught up: the node is re-admitted as a primary candidate (the
+    /// epoch-versioned placement bumps the affected shards' failover epochs).
+    DirResynced {
+        /// The node that finished resyncing.
+        node: NodeId,
+    },
+    /// Primary → op origin: the op identified by `(object, kind)` has been replicated
+    /// to every tracked backup and is durable without any client re-drive.
+    DirConfirm {
+        /// The object the confirmed op concerned.
+        object: ObjectId,
+        /// Which journaled intent is confirmed.
+        kind: ConfirmKind,
     },
 
     // --------------------------------------------------------------- data plane ----
@@ -413,6 +561,7 @@ impl Message {
                 DirOp::Query { exclude, .. } => 2 * CONTROL + 4 * exclude.len() as u64,
                 _ => 2 * CONTROL,
             },
+            Message::DirSnapshot { state, .. } => CONTROL + state.wire_size(),
             _ => CONTROL,
         }
     }

@@ -11,8 +11,11 @@
 //!
 //! Both preserve per-sender FIFO ordering, which the Hoplite block protocol relies on.
 
+use std::sync::Arc;
+
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use hoplite_core::prelude::*;
+use parking_lot::RwLock;
 
 /// The sending half of a fabric, cloneable and shareable across node threads.
 pub trait FabricSender: Send + Sync + 'static {
@@ -20,6 +23,12 @@ pub trait FabricSender: Send + Sync + 'static {
     /// messages to a dead node are silently dropped (the failure detector reports the
     /// death separately).
     fn send(&self, from: NodeId, to: NodeId, msg: Message);
+}
+
+impl FabricSender for Box<dyn FabricSender> {
+    fn send(&self, from: NodeId, to: NodeId, msg: Message) {
+        (**self).send(from, to, msg)
+    }
 }
 
 /// A fabric: per-node receive queues plus a cloneable sender.
@@ -32,18 +41,31 @@ pub trait Fabric {
 
     /// A sender usable from any node thread.
     fn sender(&self) -> Self::Sender;
+
+    /// Replace `node`'s receive queue with a fresh one and return its receiver —
+    /// the fabric-level half of restarting a node. Messages queued for (or in flight
+    /// to) the previous incarnation are dropped with the old queue. Returns `None`
+    /// when the fabric does not support restarts (the default).
+    fn reset_receiver(&mut self, _node: NodeId) -> Option<Receiver<(NodeId, Message)>> {
+        None
+    }
 }
 
-/// In-process fabric built from crossbeam channels.
+/// The shared, swappable table of per-node ingress queues.
+type IngressTable = Arc<RwLock<Vec<Sender<(NodeId, Message)>>>>;
+
+/// In-process fabric built from crossbeam channels. The per-node ingress senders live
+/// behind a shared `RwLock`ed table so a node's queue can be swapped out on restart
+/// while every outstanding [`ChannelFabricSender`] clone keeps working.
 pub struct ChannelFabric {
-    senders: Vec<Sender<(NodeId, Message)>>,
+    senders: IngressTable,
     receivers: Vec<Option<Receiver<(NodeId, Message)>>>,
 }
 
 /// Sender half of [`ChannelFabric`].
 #[derive(Clone)]
 pub struct ChannelFabricSender {
-    senders: Vec<Sender<(NodeId, Message)>>,
+    senders: IngressTable,
 }
 
 impl ChannelFabric {
@@ -56,7 +78,7 @@ impl ChannelFabric {
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        ChannelFabric { senders, receivers }
+        ChannelFabric { senders: Arc::new(RwLock::new(senders)), receivers }
     }
 }
 
@@ -70,11 +92,19 @@ impl Fabric for ChannelFabric {
     fn sender(&self) -> ChannelFabricSender {
         ChannelFabricSender { senders: self.senders.clone() }
     }
+
+    fn reset_receiver(&mut self, node: NodeId) -> Option<Receiver<(NodeId, Message)>> {
+        let (tx, rx) = unbounded();
+        // Swapping the slot drops the old sender; once the dead node's pump thread
+        // drains, the old channel disconnects and the pump exits.
+        self.senders.write()[node.index()] = tx;
+        Some(rx)
+    }
 }
 
 impl FabricSender for ChannelFabricSender {
     fn send(&self, from: NodeId, to: NodeId, msg: Message) {
-        if let Some(tx) = self.senders.get(to.index()) {
+        if let Some(tx) = self.senders.read().get(to.index()) {
             // A disconnected receiver means the destination node was shut down; the
             // failure path is exercised through the explicit failure notifications.
             let _ = tx.send((from, msg));

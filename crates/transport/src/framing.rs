@@ -73,6 +73,18 @@ mod tags {
     pub const DIR_UNSUBSCRIBE: u8 = 18;
     pub const DIR_REPLICATE: u8 = 19;
     pub const REDUCE_RELEASE: u8 = 20;
+    pub const DIR_ACK: u8 = 21;
+    pub const DIR_SNAPSHOT_REQUEST: u8 = 22;
+    pub const DIR_SNAPSHOT: u8 = 23;
+    pub const DIR_RESYNCED: u8 = 24;
+    pub const DIR_CONFIRM: u8 = 25;
+}
+
+/// Sub-tags selecting the [`ConfirmKind`] variant inside a `DirConfirm` frame.
+mod confirm_tags {
+    pub const LOCATION: u8 = 0;
+    pub const INLINE: u8 = 1;
+    pub const SUBSCRIPTION: u8 = 2;
 }
 
 /// Sub-tags selecting the [`DirOp`] variant inside a `DirReplicate` frame.
@@ -88,6 +100,60 @@ mod op_tags {
 }
 
 // ------------------------------------------------------------------ write helpers --
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+}
+
+fn put_opt_node(out: &mut Vec<u8>, v: Option<NodeId>) {
+    match v {
+        None => out.push(0),
+        Some(n) => {
+            out.push(1);
+            out.extend_from_slice(&n.0.to_be_bytes());
+        }
+    }
+}
+
+fn put_snapshot(out: &mut Vec<u8>, state: &ShardSnapshot) {
+    put_u64(out, state.entries.len() as u64);
+    for e in &state.entries {
+        put_object(out, e.object);
+        put_opt_u64(out, e.size);
+        put_u64(out, e.locations.len() as u64);
+        for (holder, status, leased_to) in &e.locations {
+            put_node(out, *holder);
+            put_status(out, *status);
+            put_opt_node(out, *leased_to);
+        }
+        match &e.inline {
+            None => put_u8(out, 0),
+            Some(p) => {
+                put_u8(out, 1);
+                put_payload(out, p);
+            }
+        }
+        put_u64(out, e.pending.len() as u64);
+        for (requester, query_id, exclude) in &e.pending {
+            put_node(out, *requester);
+            put_u64(out, *query_id);
+            put_nodes(out, exclude);
+        }
+        put_nodes(out, &e.subscribers);
+        put_u64(out, e.pulls.len() as u64);
+        for (receiver, sender) in &e.pulls {
+            put_node(out, *receiver);
+            put_node(out, *sender);
+        }
+        put_bool(out, e.deleted);
+    }
+}
 
 fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
@@ -341,6 +407,81 @@ impl<'a> Reader<'a> {
         }
     }
 
+    fn opt_u64(&mut self) -> Result<Option<u64>, FrameError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(malformed(&format!("unknown option flag {other}"))),
+        }
+    }
+
+    fn opt_node(&mut self) -> Result<Option<NodeId>, FrameError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.node()?)),
+            other => Err(malformed(&format!("unknown option flag {other}"))),
+        }
+    }
+
+    /// Bounds-check a count field against the *remaining* frame bytes, scaled by the
+    /// minimum wire size of one element, before the caller reserves — so a corrupt
+    /// or hostile count cannot drive a huge `Vec::with_capacity` (a count of `n`
+    /// elements that each need at least `min_elem` encoded bytes cannot be honest
+    /// unless `n * min_elem` bytes are actually left in the frame).
+    fn count(&mut self, min_elem: usize) -> Result<usize, FrameError> {
+        let n = self.usize_checked()?;
+        let remaining = self.buf.len() - self.at;
+        match n.checked_mul(min_elem.max(1)) {
+            Some(needed) if needed <= remaining => Ok(n),
+            _ => Err(malformed("list longer than frame")),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<ShardSnapshot, FrameError> {
+        // Minimum encoded sizes: entry = 16 object + 1 size flag + 3×8 counts +
+        // 1 inline flag + 1 deleted + 8 subscriber count; location = 4 node +
+        // 1 status + 1 lease flag; pending = 4 node + 8 id + 8 count; pull = 2×4.
+        let num_entries = self.count(51)?;
+        let mut entries = Vec::with_capacity(num_entries);
+        for _ in 0..num_entries {
+            let object = self.object()?;
+            let size = self.opt_u64()?;
+            let num_locations = self.count(6)?;
+            let mut locations = Vec::with_capacity(num_locations);
+            for _ in 0..num_locations {
+                locations.push((self.node()?, self.status()?, self.opt_node()?));
+            }
+            let inline = match self.u8()? {
+                0 => None,
+                1 => Some(self.payload()?),
+                other => return Err(malformed(&format!("unknown inline flag {other}"))),
+            };
+            let num_pending = self.count(20)?;
+            let mut pending = Vec::with_capacity(num_pending);
+            for _ in 0..num_pending {
+                pending.push((self.node()?, self.u64()?, self.nodes()?));
+            }
+            let subscribers = self.nodes()?;
+            let num_pulls = self.count(8)?;
+            let mut pulls = Vec::with_capacity(num_pulls);
+            for _ in 0..num_pulls {
+                pulls.push((self.node()?, self.node()?));
+            }
+            let deleted = self.bool()?;
+            entries.push(SnapshotEntry {
+                object,
+                size,
+                locations,
+                inline,
+                pending,
+                subscribers,
+                pulls,
+                deleted,
+            });
+        }
+        Ok(ShardSnapshot { entries })
+    }
+
     fn dir_op(&mut self) -> Result<DirOp, FrameError> {
         match self.u8()? {
             op_tags::REGISTER => Ok(DirOp::Register {
@@ -473,11 +614,48 @@ pub fn encode_body(msg: &Message) -> Result<Vec<u8>, FrameError> {
             put_object(&mut out, *object);
             put_node(&mut out, *subscriber);
         }
-        Message::DirReplicate { shard, epoch, op } => {
+        Message::DirReplicate { shard, epoch, seq, op } => {
             put_u8(&mut out, tags::DIR_REPLICATE);
             put_u64(&mut out, *shard);
             put_u64(&mut out, *epoch);
+            put_u64(&mut out, *seq);
             put_dir_op(&mut out, op);
+        }
+        Message::DirAck { shard, epoch, seq } => {
+            put_u8(&mut out, tags::DIR_ACK);
+            put_u64(&mut out, *shard);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *seq);
+        }
+        Message::DirSnapshotRequest { shard, requester, restart } => {
+            put_u8(&mut out, tags::DIR_SNAPSHOT_REQUEST);
+            put_u64(&mut out, *shard);
+            put_node(&mut out, *requester);
+            put_bool(&mut out, *restart);
+        }
+        Message::DirSnapshot { shard, epoch, seq, rank, state } => {
+            put_u8(&mut out, tags::DIR_SNAPSHOT);
+            put_u64(&mut out, *shard);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *rank);
+            put_snapshot(&mut out, state);
+        }
+        Message::DirResynced { node } => {
+            put_u8(&mut out, tags::DIR_RESYNCED);
+            put_node(&mut out, *node);
+        }
+        Message::DirConfirm { object, kind } => {
+            put_u8(&mut out, tags::DIR_CONFIRM);
+            put_object(&mut out, *object);
+            match kind {
+                ConfirmKind::Location { status } => {
+                    put_u8(&mut out, confirm_tags::LOCATION);
+                    put_status(&mut out, *status);
+                }
+                ConfirmKind::Inline => put_u8(&mut out, confirm_tags::INLINE),
+                ConfirmKind::Subscription => put_u8(&mut out, confirm_tags::SUBSCRIPTION),
+            }
         }
         Message::DirPublish { object, holder, status, size } => {
             put_u8(&mut out, tags::DIR_PUBLISH);
@@ -616,8 +794,35 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
         tags::DIR_UNSUBSCRIBE => {
             Message::DirUnsubscribe { object: r.object()?, subscriber: r.node()? }
         }
-        tags::DIR_REPLICATE => {
-            Message::DirReplicate { shard: r.u64()?, epoch: r.u64()?, op: r.dir_op()? }
+        tags::DIR_REPLICATE => Message::DirReplicate {
+            shard: r.u64()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            op: r.dir_op()?,
+        },
+        tags::DIR_ACK => Message::DirAck { shard: r.u64()?, epoch: r.u64()?, seq: r.u64()? },
+        tags::DIR_SNAPSHOT_REQUEST => Message::DirSnapshotRequest {
+            shard: r.u64()?,
+            requester: r.node()?,
+            restart: r.bool()?,
+        },
+        tags::DIR_SNAPSHOT => Message::DirSnapshot {
+            shard: r.u64()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            rank: r.u64()?,
+            state: r.snapshot()?,
+        },
+        tags::DIR_RESYNCED => Message::DirResynced { node: r.node()? },
+        tags::DIR_CONFIRM => {
+            let object = r.object()?;
+            let kind = match r.u8()? {
+                confirm_tags::LOCATION => ConfirmKind::Location { status: r.status()? },
+                confirm_tags::INLINE => ConfirmKind::Inline,
+                confirm_tags::SUBSCRIPTION => ConfirmKind::Subscription,
+                other => return Err(malformed(&format!("unknown confirm kind {other}"))),
+            };
+            Message::DirConfirm { object, kind }
         }
         tags::DIR_PUBLISH => Message::DirPublish {
             object: r.object()?,
@@ -908,8 +1113,80 @@ mod tests {
             hoplite_core::DirOp::Delete { object: obj },
         ];
         for (i, op) in ops.into_iter().enumerate() {
-            roundtrip(Message::DirReplicate { shard: i as u64, epoch: 3, op });
+            roundtrip(Message::DirReplicate { shard: i as u64, epoch: 3, seq: 100 + i as u64, op });
         }
+    }
+
+    #[test]
+    fn resync_and_ack_messages_roundtrip() {
+        let obj = ObjectId::from_name("resync");
+        roundtrip(Message::DirAck { shard: 3, epoch: 2, seq: 41 });
+        roundtrip(Message::DirSnapshotRequest { shard: 7, requester: NodeId(4), restart: true });
+        roundtrip(Message::DirSnapshotRequest { shard: 8, requester: NodeId(5), restart: false });
+        roundtrip(Message::DirResynced { node: NodeId(9) });
+        roundtrip(Message::DirConfirm {
+            object: obj,
+            kind: ConfirmKind::Location { status: ObjectStatus::Partial },
+        });
+        roundtrip(Message::DirConfirm { object: obj, kind: ConfirmKind::Inline });
+        roundtrip(Message::DirConfirm { object: obj, kind: ConfirmKind::Subscription });
+        // An empty snapshot and a fully-populated one.
+        roundtrip(Message::DirSnapshot {
+            shard: 1,
+            epoch: 5,
+            seq: 12,
+            rank: 1,
+            state: ShardSnapshot::default(),
+        });
+        let state = ShardSnapshot {
+            entries: vec![
+                SnapshotEntry {
+                    object: ObjectId::from_name("full"),
+                    size: Some(4096),
+                    locations: vec![
+                        (NodeId(0), ObjectStatus::Complete, None),
+                        (NodeId(2), ObjectStatus::Partial, Some(NodeId(3))),
+                    ],
+                    inline: Some(Payload::from_vec(vec![1, 2, 3])),
+                    pending: vec![(NodeId(5), 77, vec![NodeId(1), NodeId(2)])],
+                    subscribers: vec![NodeId(6), NodeId(7)],
+                    pulls: vec![(NodeId(3), NodeId(2))],
+                    deleted: false,
+                },
+                SnapshotEntry {
+                    object: ObjectId::from_name("tombstone"),
+                    size: None,
+                    locations: vec![],
+                    inline: None,
+                    pending: vec![],
+                    subscribers: vec![],
+                    pulls: vec![],
+                    deleted: true,
+                },
+            ],
+        };
+        roundtrip(Message::DirSnapshot { shard: 2, epoch: 1, seq: 9, rank: 0, state });
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut body = encode_body(&Message::DirSnapshot {
+            shard: 0,
+            epoch: 0,
+            seq: 1,
+            rank: 0,
+            state: ShardSnapshot {
+                entries: vec![SnapshotEntry {
+                    object: ObjectId::from_name("t"),
+                    size: Some(8),
+                    locations: vec![(NodeId(1), ObjectStatus::Complete, None)],
+                    ..SnapshotEntry::default()
+                }],
+            },
+        })
+        .unwrap();
+        body.truncate(body.len() - 3);
+        assert!(decode_body(&Bytes::from(body)).is_err());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use hoplite::apps::comm::CommSystem;
 use hoplite::apps::fault::{
-    broadcast_failover_demo, directory_failover_demo, serving_failure_timeline,
+    broadcast_failover_demo, directory_failover_demo, rolling_restart_demo,
+    serving_failure_timeline,
 };
 use hoplite::baselines::Baseline;
 
@@ -25,6 +26,14 @@ fn main() {
     println!("  receivers completed     : {}", dir.completed_receivers);
     println!("  metadata intact         : {}", dir.metadata_intact);
     println!("  queries re-driven       : {}", dir.directory_failovers);
+    println!();
+
+    let roll = rolling_restart_demo(8, 64 * 1024 * 1024);
+    println!("rolling restart: all 8 nodes killed + restarted in sequence, live traffic:");
+    println!("  traffic completed       : {}", roll.all_traffic_completed);
+    println!("  metadata intact         : {}", roll.metadata_intact);
+    println!("  primaries restored      : {}/{}", roll.primaries_restored, roll.n);
+    println!("  snapshot resyncs        : {}", roll.resyncs);
     println!();
 
     println!("model-serving latency per query around a failure (fail @20, rejoin @45):");
