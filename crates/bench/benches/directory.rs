@@ -8,12 +8,17 @@ use hoplite_core::directory::DirectoryShard;
 use hoplite_core::object::{NodeId, ObjectId, ObjectStatus};
 
 fn bench_register_query(c: &mut Criterion) {
+    // Id derivation is harness setup, not shard work; keep it out of the timed loop
+    // (BENCH_NOTES flagged the per-iteration `from_name(format!)` as polluting this
+    // measurement).
+    let ids: Vec<ObjectId> =
+        (0..1000u32).map(|i| ObjectId::from_name(&format!("obj-{i}"))).collect();
     c.bench_function("directory_register_then_query_1k_objects", |b| {
         b.iter(|| {
             let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
             let mut out = Vec::new();
-            for i in 0..1000u32 {
-                let obj = ObjectId::from_name(&format!("obj-{i}"));
+            for (i, &obj) in ids.iter().enumerate() {
+                let i = i as u32;
                 shard.register(obj, NodeId(i % 16), ObjectStatus::Complete, 1 << 20, &mut out);
                 shard.query(obj, NodeId((i + 1) % 16), u64::from(i), vec![], &mut out);
                 out.clear();

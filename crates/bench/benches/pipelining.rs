@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hoplite_core::buffer::{Payload, ProgressBuffer};
 use hoplite_core::object::ObjectId;
 use hoplite_core::reduce::ReduceSpec;
-use hoplite_transport::framing::{decode_body, encode_body};
+use hoplite_transport::framing::{decode_body, encode_body, encode_frame_vectored};
 
 fn bench_progress_buffer(c: &mut Criterion) {
     let block = Payload::zeros(4 * 1024 * 1024);
@@ -39,6 +39,49 @@ fn bench_progress_buffer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The forward hop of a relay node, minus the network: append received blocks, read
+/// every block back out (including reads that straddle the received segments), and
+/// re-encode each as a scatter-gather frame. No coalesce anywhere — this is the path
+/// the zero-copy send work opened up, and the copy-counter tests pin it at zero
+/// payload memcpys.
+fn bench_forward_path(c: &mut Criterion) {
+    let block_len = 4 * 1024 * 1024u64;
+    let total = 64 * 1024 * 1024u64;
+    let block = Payload::zeros(block_len as usize);
+    let object = ObjectId::from_name("fwd");
+    let mut group = c.benchmark_group("forward_path_64MB");
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function("append_read_reencode_no_coalesce", |b| {
+        b.iter(|| {
+            let mut buf = ProgressBuffer::new(total, false);
+            let mut offset = 0;
+            while offset < total {
+                buf.append_at(offset, &block);
+                offset += block_len;
+            }
+            // Forward at a half-block phase shift so every read spans two received
+            // segments — the case the old path could only serve with a memcpy.
+            let mut sent = 0u64;
+            let mut offset = block_len / 2;
+            while offset + block_len <= total {
+                let payload = buf.read(offset, block_len).unwrap();
+                let frame = encode_frame_vectored(&hoplite_core::protocol::Message::PushBlock {
+                    object,
+                    offset,
+                    total_size: total,
+                    payload,
+                    complete: false,
+                })
+                .unwrap();
+                sent += frame.frame_len() as u64;
+                offset += block_len;
+            }
+            sent
+        })
+    });
+    group.finish();
+}
+
 fn bench_reduce_combine(c: &mut Criterion) {
     let spec = ReduceSpec::sum_f32();
     let target = ObjectId::from_name("bench");
@@ -46,8 +89,17 @@ fn bench_reduce_combine(c: &mut Criterion) {
     let b_payload = Payload::from_f32s(&vec![2.0f32; 1 << 20]);
     let mut group = c.benchmark_group("reduce_combine_f32");
     group.throughput(Throughput::Bytes((1 << 20) * 4));
+    // Legacy allocate-per-combine path (kept for the trajectory).
     group.bench_function("4MB_block", |bench| {
         bench.iter(|| spec.combine(target, &a, &b_payload).unwrap())
+    });
+    // The streaming engines' path: fold into a reusable accumulator in place.
+    group.bench_function("4MB_block_inplace", |bench| {
+        let mut acc = a.to_owned_vec().unwrap();
+        bench.iter(|| {
+            spec.combine_into(target, &mut acc, &b_payload).unwrap();
+            acc.len()
+        })
     });
     group.finish();
 }
@@ -65,9 +117,19 @@ fn bench_framing(c: &mut Criterion) {
     let mut group = c.benchmark_group("framing_push_block_4MB");
     group.throughput(Throughput::Bytes(4 * 1024 * 1024));
     group.bench_function("encode", |b| b.iter(|| encode_body(&msg).unwrap()));
+    // The send path: header-only work, the payload rides as a shared reference.
+    group.bench_function("encode_vectored", |b| {
+        b.iter(|| encode_frame_vectored(&msg).unwrap().frame_len())
+    });
     group.bench_function("decode", |b| b.iter(|| decode_body(&encoded).unwrap()));
     group.finish();
 }
 
-criterion_group!(benches, bench_progress_buffer, bench_reduce_combine, bench_framing);
+criterion_group!(
+    benches,
+    bench_progress_buffer,
+    bench_forward_path,
+    bench_reduce_combine,
+    bench_framing
+);
 criterion_main!(benches);

@@ -1,24 +1,45 @@
 //! Object payloads and streaming (partially-received) buffers.
 //!
-//! Hoplite moves objects as sequences of fixed-size blocks. Two payload kinds exist:
+//! Hoplite moves objects as sequences of fixed-size blocks. Three payload kinds exist:
 //!
-//! * [`Payload::Bytes`] carries real data. The real transports and the data-plane
-//!   correctness tests use this kind, and reduce operations perform real arithmetic on
-//!   it.
+//! * [`Payload::Bytes`] carries real data in one contiguous shared buffer. The real
+//!   transports and the data-plane correctness tests use this kind, and reduce
+//!   operations perform real arithmetic on it.
+//! * [`Payload::Segments`] carries real data as an ordered list of shared segments
+//!   viewed as one logical byte string. It is what the forward path produces when a
+//!   read spans several received blocks: the segments are passed through the store,
+//!   the node engines, the channels fabric, and the scatter-gather frame encoder
+//!   **without ever being coalesced** — the only full materialization happens at the
+//!   final consumer ([`ProgressBuffer::to_payload`]).
 //! * [`Payload::Synthetic`] carries only a length. The discrete-event simulator uses it
 //!   so that cluster-scale experiments (16 nodes × 1 GiB objects) model timing without
-//!   allocating or copying gigabytes of memory. Every protocol path treats the two
-//!   kinds identically; only the arithmetic differs.
+//!   allocating or copying gigabytes of memory.
+//!
+//! Every protocol path treats the kinds identically; only the arithmetic differs, and
+//! two real payloads compare equal when their logical bytes agree regardless of how
+//! they are segmented.
 
 use std::fmt;
 
 use bytes::Bytes;
 
+use crate::copytrace;
+
 /// The contents (or modelled contents) of an object or of a single transferred block.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub enum Payload {
-    /// Real bytes.
+    /// Real bytes in one contiguous shared buffer.
     Bytes(Bytes),
+    /// Real bytes as two or more non-empty shared segments (zero-copy views, usually
+    /// straight out of a [`ProgressBuffer`]'s segment list). Constructed through
+    /// [`Payload::from_segments`], which normalizes the degenerate cases to
+    /// [`Payload::Bytes`] so this variant always means "genuinely scattered".
+    Segments {
+        /// The segments, in order. Invariant: at least two, none empty.
+        segments: Vec<Bytes>,
+        /// Total length in bytes (the sum of the segment lengths, cached).
+        len: u64,
+    },
     /// A length-only stand-in used by the simulator.
     Synthetic {
         /// Modelled length in bytes.
@@ -42,6 +63,21 @@ impl Payload {
         Payload::Synthetic { len }
     }
 
+    /// A real payload viewing `segments` as one logical byte string, zero-copy.
+    /// Empty segments are dropped; zero or one survivors collapse to
+    /// [`Payload::Bytes`].
+    pub fn from_segments(segments: Vec<Bytes>) -> Payload {
+        let mut segments: Vec<Bytes> = segments.into_iter().filter(|s| !s.is_empty()).collect();
+        match segments.len() {
+            0 => Payload::Bytes(Bytes::new()),
+            1 => Payload::Bytes(segments.pop().expect("one segment")),
+            _ => {
+                let len = segments.iter().map(|s| s.len() as u64).sum();
+                Payload::Segments { segments, len }
+            }
+        }
+    }
+
     /// A real payload encoding a slice of `f32`s in little-endian order.
     pub fn from_f32s(values: &[f32]) -> Payload {
         let mut out = Vec::with_capacity(values.len() * 4);
@@ -54,12 +90,16 @@ impl Payload {
     /// Decode a real payload as little-endian `f32`s. Panics on synthetic payloads or
     /// lengths not divisible by four (callers check [`Payload::is_synthetic`] first).
     pub fn to_f32s(&self) -> Vec<f32> {
+        assert!(!self.is_synthetic(), "cannot decode a synthetic payload");
+        assert!(self.len().is_multiple_of(4), "payload length {} not a multiple of 4", self.len());
+        fn decode(b: &[u8]) -> Vec<f32> {
+            b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+        }
         match self {
-            Payload::Bytes(b) => {
-                assert!(b.len() % 4 == 0, "payload length {} not a multiple of 4", b.len());
-                b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
-            }
-            Payload::Synthetic { .. } => panic!("cannot decode a synthetic payload"),
+            // Contiguous payloads decode straight from the borrow — no staging copy,
+            // nothing in the debug copy tally.
+            Payload::Bytes(b) => decode(b),
+            _ => decode(&self.to_owned_vec().expect("real payload")),
         }
     }
 
@@ -67,6 +107,7 @@ impl Payload {
     pub fn len(&self) -> u64 {
         match self {
             Payload::Bytes(b) => b.len() as u64,
+            Payload::Segments { len, .. } => *len,
             Payload::Synthetic { len } => *len,
         }
     }
@@ -81,44 +122,141 @@ impl Payload {
         matches!(self, Payload::Synthetic { .. })
     }
 
-    /// Borrow the real bytes, if any.
+    /// Borrow the real bytes **when they are contiguous**. Returns `None` for
+    /// segmented and synthetic payloads; callers that can consume scattered data
+    /// should iterate [`Payload::segments`] instead, and callers that genuinely need
+    /// one flat buffer pay the coalesce via [`Payload::to_owned_vec`].
     pub fn as_bytes(&self) -> Option<&Bytes> {
         match self {
             Payload::Bytes(b) => Some(b),
+            Payload::Segments { .. } | Payload::Synthetic { .. } => None,
+        }
+    }
+
+    /// Iterate the real segments of this payload in order (one segment for
+    /// [`Payload::Bytes`], none for synthetic payloads). Zero-copy: the forward path
+    /// and the frame encoder consume payloads through this.
+    pub fn segments(&self) -> impl Iterator<Item = &Bytes> {
+        let slice: &[Bytes] = match self {
+            Payload::Bytes(b) => std::slice::from_ref(b),
+            Payload::Segments { segments, .. } => segments,
+            Payload::Synthetic { .. } => &[],
+        };
+        slice.iter()
+    }
+
+    /// Copy the real bytes into one owned vector (`None` for synthetic payloads).
+    /// This is a genuine materialization — it shows up in the debug copy tally.
+    pub fn to_owned_vec(&self) -> Option<Vec<u8>> {
+        match self {
+            Payload::Bytes(b) => {
+                copytrace::record(b.len());
+                Some(b.to_vec())
+            }
+            Payload::Segments { segments, len } => {
+                copytrace::record(*len as usize);
+                let mut v = Vec::with_capacity(*len as usize);
+                for s in segments {
+                    v.extend_from_slice(s);
+                }
+                Some(v)
+            }
             Payload::Synthetic { .. } => None,
         }
     }
 
-    /// Sub-range `[offset, offset + len)` of this payload. Cheap (zero-copy) for real
-    /// payloads, trivial for synthetic ones.
+    /// Sub-range `[offset, offset + len)` of this payload. Zero-copy for real
+    /// payloads — a sub-range of a segmented payload is a (possibly shorter) list of
+    /// segment sub-views — and trivial for synthetic ones.
     pub fn slice(&self, offset: u64, len: u64) -> Payload {
         let end = (offset + len).min(self.len());
         let offset = offset.min(end);
         match self {
             Payload::Bytes(b) => Payload::Bytes(b.slice(offset as usize..end as usize)),
+            Payload::Segments { segments, .. } => {
+                let mut out = Vec::new();
+                let mut seg_start = 0u64;
+                for seg in segments {
+                    let seg_end = seg_start + seg.len() as u64;
+                    if seg_end > offset && seg_start < end {
+                        let a = offset.saturating_sub(seg_start) as usize;
+                        let b = (end.min(seg_end) - seg_start) as usize;
+                        out.push(seg.slice(a..b));
+                    }
+                    seg_start = seg_end;
+                    if seg_start >= end {
+                        break;
+                    }
+                }
+                Payload::from_segments(out)
+            }
             Payload::Synthetic { .. } => Payload::Synthetic { len: end - offset },
         }
     }
 
-    /// Concatenate two payloads. Mixing real and synthetic payloads degrades to a
-    /// synthetic result (only the simulator ever does this).
+    /// Concatenate two payloads, zero-copy: the result shares both inputs' segments.
+    /// Mixing real and synthetic payloads degrades to a synthetic result (only the
+    /// simulator ever does this).
     pub fn concat(&self, other: &Payload) -> Payload {
-        match (self, other) {
-            (Payload::Bytes(a), Payload::Bytes(b)) => {
-                let mut v = Vec::with_capacity(a.len() + b.len());
-                v.extend_from_slice(a);
-                v.extend_from_slice(b);
-                Payload::from_vec(v)
+        if self.is_synthetic() || other.is_synthetic() {
+            return Payload::Synthetic { len: self.len() + other.len() };
+        }
+        Payload::from_segments(self.segments().chain(other.segments()).cloned().collect())
+    }
+}
+
+impl PartialEq for Payload {
+    /// Logical equality: two real payloads are equal when their bytes agree,
+    /// regardless of segmentation; synthetic payloads are equal only to synthetic
+    /// payloads of the same length.
+    fn eq(&self, other: &Payload) -> bool {
+        match (self.is_synthetic(), other.is_synthetic()) {
+            (true, true) => return self.len() == other.len(),
+            (false, false) => {}
+            _ => return false,
+        }
+        if self.len() != other.len() {
+            return false;
+        }
+        // Walk both segment lists in lockstep without materializing either side
+        // (empty segments contribute nothing and are skipped).
+        let mut ours = self.segments().map(|s| s.as_slice()).filter(|s| !s.is_empty());
+        let mut theirs = other.segments().map(|s| s.as_slice()).filter(|s| !s.is_empty());
+        let (mut a, mut b) = (&[][..], &[][..]);
+        loop {
+            if a.is_empty() {
+                a = match ours.next() {
+                    Some(s) => s,
+                    None => return b.is_empty() && theirs.next().is_none(),
+                };
+                continue;
             }
-            _ => Payload::Synthetic { len: self.len() + other.len() },
+            if b.is_empty() {
+                b = match theirs.next() {
+                    Some(s) => s,
+                    None => return false,
+                };
+                continue;
+            }
+            let n = a.len().min(b.len());
+            if a[..n] != b[..n] {
+                return false;
+            }
+            a = &a[n..];
+            b = &b[n..];
         }
     }
 }
+
+impl Eq for Payload {}
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Payload::Bytes(b) => write!(f, "Payload::Bytes({} bytes)", b.len()),
+            Payload::Segments { segments, len } => {
+                write!(f, "Payload::Segments({len} bytes in {} segments)", segments.len())
+            }
             Payload::Synthetic { len } => write!(f, "Payload::Synthetic({len} bytes)"),
         }
     }
@@ -132,10 +270,13 @@ impl fmt::Debug for Payload {
 ///
 /// Real data is stored as a sequence of contiguous **segments** adopted zero-copy
 /// from the incoming blocks (which are themselves zero-copy views into receive
-/// frames): an append is a refcount bump, not a memcpy. Reads that fall inside one
-/// segment — the common case, since blocks are appended and forwarded at the same
-/// block granularity — are zero-copy slices too. The one remaining copy is a single
-/// coalesce the first time the complete payload is materialized.
+/// frames): an append is a refcount bump, not a memcpy. Every read below the
+/// watermark is zero-copy too — a range inside one segment comes back as a shared
+/// sub-slice, and a range spanning segments comes back as a [`Payload::Segments`]
+/// view, so the forward path (receiver → chained receiver, participant → parent)
+/// never coalesces. The one remaining copy is the single coalesce the first time the
+/// complete payload is materialized for a local consumer
+/// ([`ProgressBuffer::to_payload`]).
 #[derive(Clone, Debug)]
 pub struct ProgressBuffer {
     total_size: u64,
@@ -167,12 +308,23 @@ impl ProgressBuffer {
     }
 
     /// Build an already-complete buffer from a payload (the `Put` path). Zero-copy:
-    /// the payload becomes the buffer's single segment.
+    /// the payload's segments become the buffer's segments.
     pub fn complete_from(payload: Payload) -> Self {
         let total = payload.len();
-        let data = match payload {
-            Payload::Bytes(b) => PayloadAccum::Real { segments: vec![b], starts: vec![0] },
-            Payload::Synthetic { .. } => PayloadAccum::Synthetic,
+        let data = if payload.is_synthetic() {
+            PayloadAccum::Synthetic
+        } else {
+            let mut segments = Vec::new();
+            let mut starts = Vec::new();
+            let mut at = 0u64;
+            for seg in payload.segments() {
+                if !seg.is_empty() {
+                    starts.push(at);
+                    at += seg.len() as u64;
+                    segments.push(seg.clone());
+                }
+            }
+            PayloadAccum::Real { segments, starts }
         };
         ProgressBuffer { total_size: total, watermark: total, data }
     }
@@ -202,7 +354,8 @@ impl ProgressBuffer {
     /// modifying the buffer. Duplicate (already-covered) blocks are ignored and return
     /// `true`, which makes retransmission after sender failover idempotent.
     ///
-    /// Real blocks are adopted as shared segments — no per-block memcpy.
+    /// Real blocks are adopted as shared segments — no per-block memcpy, whether the
+    /// block arrives contiguous or already segmented.
     pub fn append_at(&mut self, offset: u64, payload: &Payload) -> bool {
         let len = payload.len();
         if offset + len <= self.watermark {
@@ -215,17 +368,17 @@ impl ProgressBuffer {
         let skip = self.watermark - offset;
         let fresh = payload.slice(skip, len - skip);
         if let PayloadAccum::Real { segments, starts } = &mut self.data {
-            match fresh.as_bytes() {
-                Some(b) => {
-                    if !b.is_empty() {
-                        starts.push(self.watermark);
-                        segments.push(b.clone());
-                    }
-                }
-                None => {
-                    // A synthetic block arriving into a real buffer would corrupt it.
-                    // This only happens if a driver mixes modes, which is a bug.
-                    return false;
+            if fresh.is_synthetic() {
+                // A synthetic block arriving into a real buffer would corrupt it.
+                // This only happens if a driver mixes modes, which is a bug.
+                return false;
+            }
+            let mut at = self.watermark;
+            for seg in fresh.segments() {
+                if !seg.is_empty() {
+                    starts.push(at);
+                    at += seg.len() as u64;
+                    segments.push(seg.clone());
                 }
             }
         }
@@ -233,9 +386,10 @@ impl ProgressBuffer {
         true
     }
 
-    /// Read `[offset, offset+len)` if it is already below the watermark. Zero-copy
-    /// when the range falls inside one received segment (the common, block-aligned
-    /// case); otherwise the spanned segments are copied into a fresh payload.
+    /// Read `[offset, offset+len)` if it is already below the watermark. Always
+    /// zero-copy: a range inside one received segment (the common, block-aligned
+    /// case) is a shared sub-slice; a range spanning segments is a
+    /// [`Payload::Segments`] view over the covered pieces.
     pub fn read(&self, offset: u64, len: u64) -> Option<Payload> {
         let end = (offset + len).min(self.total_size);
         if end > self.watermark || offset > end {
@@ -255,8 +409,8 @@ impl ProgressBuffer {
                     let b = (end - seg_start) as usize;
                     return Some(Payload::Bytes(seg.slice(a..b)));
                 }
-                // Range spans segments: copy the covered pieces out.
-                let mut v = Vec::with_capacity((end - offset) as usize);
+                // Range spans segments: a zero-copy view over the covered pieces.
+                let mut views = Vec::new();
                 let mut at = offset;
                 for (i, seg) in segments.iter().enumerate().skip(idx) {
                     if at >= end {
@@ -265,18 +419,19 @@ impl ProgressBuffer {
                     let seg_start = starts[i];
                     let a = (at - seg_start) as usize;
                     let b = ((end - seg_start) as usize).min(seg.len());
-                    v.extend_from_slice(&seg.as_slice()[a..b]);
+                    views.push(seg.slice(a..b));
                     at = seg_start + b as u64;
                 }
-                Some(Payload::Bytes(Bytes::from(v)))
+                Some(Payload::from_segments(views))
             }
             PayloadAccum::Synthetic => Some(Payload::Synthetic { len: end - offset }),
         }
     }
 
     /// The complete payload; `None` until [`ProgressBuffer::is_complete`]. The first
-    /// call on a multi-segment buffer coalesces it into one segment (the single
-    /// remaining copy on the receive path); subsequent calls are zero-copy clones.
+    /// call on a multi-segment buffer coalesces it into one segment — the **single**
+    /// full materialization of the receive path, paid by the final consumer —
+    /// subsequent calls are zero-copy clones.
     pub fn to_payload(&mut self) -> Option<Payload> {
         if !self.is_complete() {
             return None;
@@ -285,6 +440,7 @@ impl ProgressBuffer {
             PayloadAccum::Real { segments, starts } => {
                 if segments.len() > 1 {
                     let total: usize = segments.iter().map(|s| s.len()).sum();
+                    copytrace::record(total);
                     let mut v = Vec::with_capacity(total);
                     for seg in segments.iter() {
                         v.extend_from_slice(seg);
@@ -327,6 +483,65 @@ mod tests {
     }
 
     #[test]
+    fn segmented_payload_equals_contiguous() {
+        let seg = Payload::from_segments(vec![
+            Bytes::from(vec![1, 2]),
+            Bytes::from(vec![3]),
+            Bytes::from(vec![4, 5, 6]),
+        ]);
+        assert!(matches!(seg, Payload::Segments { .. }));
+        assert_eq!(seg.len(), 6);
+        assert_eq!(seg, Payload::from_vec(vec![1, 2, 3, 4, 5, 6]));
+        assert_ne!(seg, Payload::from_vec(vec![1, 2, 3, 4, 5, 7]));
+        assert_ne!(seg, Payload::from_vec(vec![1, 2, 3, 4, 5]));
+        assert_ne!(seg, Payload::synthetic(6));
+        // Differently-split segmentations of the same bytes are equal too.
+        let other = Payload::from_segments(vec![
+            Bytes::from(vec![1]),
+            Bytes::from(vec![2, 3, 4, 5]),
+            Bytes::from(vec![6]),
+        ]);
+        assert_eq!(seg, other);
+    }
+
+    #[test]
+    fn from_segments_normalizes() {
+        assert!(matches!(Payload::from_segments(vec![]), Payload::Bytes(_)));
+        let one = Payload::from_segments(vec![Bytes::new(), Bytes::from(vec![9])]);
+        assert_eq!(one.as_bytes().unwrap().as_ref(), &[9]);
+        let two = Payload::from_segments(vec![Bytes::from(vec![1]), Bytes::from(vec![2])]);
+        assert!(two.as_bytes().is_none());
+        assert_eq!(two.segments().count(), 2);
+    }
+
+    #[test]
+    fn segmented_slice_is_zero_copy() {
+        let a = Bytes::from(vec![0, 1, 2, 3]);
+        let b = Bytes::from(vec![4, 5, 6, 7]);
+        let p = Payload::from_segments(vec![a.clone(), b.clone()]);
+        // Slice inside the second segment collapses to a contiguous shared view.
+        let tail = p.slice(5, 3);
+        let tail_bytes = tail.as_bytes().unwrap();
+        assert_eq!(tail_bytes.as_ref(), &[5, 6, 7]);
+        assert_eq!(tail_bytes.as_slice().as_ptr(), b.as_slice()[1..].as_ptr());
+        // Slice spanning the boundary keeps both views, still sharing storage.
+        let span = p.slice(2, 4);
+        assert_eq!(span, Payload::from_vec(vec![2, 3, 4, 5]));
+        let ptrs: Vec<_> = span.segments().map(|s| s.as_slice().as_ptr()).collect();
+        assert_eq!(ptrs, vec![a.as_slice()[2..].as_ptr(), b.as_slice().as_ptr()]);
+    }
+
+    #[test]
+    fn concat_shares_segments() {
+        let a = Payload::from_vec(vec![1, 2]);
+        let b = Payload::from_vec(vec![3]);
+        let joined = a.concat(&b);
+        assert_eq!(joined, Payload::from_vec(vec![1, 2, 3]));
+        let a_ptr = a.as_bytes().unwrap().as_slice().as_ptr();
+        assert_eq!(joined.segments().next().unwrap().as_slice().as_ptr(), a_ptr);
+    }
+
+    #[test]
     fn progress_buffer_in_order() {
         let mut b = ProgressBuffer::new(10, false);
         assert!(!b.is_complete());
@@ -356,6 +571,33 @@ mod tests {
     }
 
     #[test]
+    fn spanning_read_is_a_zero_copy_segment_view() {
+        let mut b = ProgressBuffer::new(8, false);
+        let first = Bytes::from(vec![0, 1, 2, 3]);
+        let second = Bytes::from(vec![4, 5, 6, 7]);
+        b.append_at(0, &Payload::Bytes(first.clone()));
+        b.append_at(4, &Payload::Bytes(second.clone()));
+        copytrace::reset();
+        let spanning = b.read(2, 4).unwrap();
+        assert_eq!(spanning, Payload::from_vec(vec![2, 3, 4, 5]));
+        let ptrs: Vec<_> = spanning.segments().map(|s| s.as_slice().as_ptr()).collect();
+        assert_eq!(ptrs, vec![first.as_slice()[2..].as_ptr(), second.as_slice().as_ptr()]);
+        assert_eq!(crate::copytrace::bytes_copied(), 0, "spanning reads must not copy");
+    }
+
+    #[test]
+    fn segmented_append_adopts_each_segment() {
+        let mut b = ProgressBuffer::new(6, false);
+        let block = Payload::from_segments(vec![Bytes::from(vec![0, 1]), Bytes::from(vec![2, 3])]);
+        copytrace::reset();
+        assert!(b.append_at(0, &block));
+        assert_eq!(crate::copytrace::bytes_copied(), 0, "segmented appends must not copy");
+        assert_eq!(b.watermark(), 4);
+        assert!(b.append_at(4, &Payload::from_vec(vec![4, 5])));
+        assert_eq!(b.to_payload().unwrap(), Payload::from_vec(vec![0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
     fn synthetic_progress_buffer() {
         let mut b = ProgressBuffer::new(1000, true);
         assert!(b.append_at(0, &Payload::synthetic(400)));
@@ -371,5 +613,12 @@ mod tests {
         assert!(b.is_complete());
         assert_eq!(b.total_size(), 32);
         assert_eq!(b.read(30, 10).unwrap().len(), 2);
+        // A segmented payload is adopted segment-by-segment, zero-copy.
+        let seg = Payload::from_segments(vec![Bytes::from(vec![1, 2]), Bytes::from(vec![3, 4])]);
+        copytrace::reset();
+        let mut b = ProgressBuffer::complete_from(seg);
+        assert_eq!(crate::copytrace::bytes_copied(), 0);
+        assert_eq!(b.read(1, 2).unwrap(), Payload::from_vec(vec![2, 3]));
+        assert_eq!(b.to_payload().unwrap().as_bytes().unwrap().as_ref(), &[1, 2, 3, 4]);
     }
 }

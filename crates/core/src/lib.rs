@@ -72,6 +72,7 @@
 
 pub mod buffer;
 pub mod config;
+pub mod copytrace;
 pub mod directory;
 pub mod error;
 pub mod metrics;

@@ -317,7 +317,10 @@ impl BroadcastEngine {
     }
 
     /// Push as many blocks as are locally available to every active outgoing transfer
-    /// of `object`.
+    /// of `object`. The forward path is zero-copy end to end: each block is read out
+    /// of the store as a shared view (segmented if it straddles received blocks) and
+    /// rides the outgoing `PushBlock` by reference — the channels fabric passes the
+    /// segment vector through untouched and the TCP fabric gathers it into iovecs.
     pub(crate) fn pump_outgoing(
         &mut self,
         ctx: &mut NodeContext,

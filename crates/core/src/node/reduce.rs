@@ -16,9 +16,13 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
+
 use crate::buffer::Payload;
+use crate::copytrace;
 use crate::object::{ObjectId, ObjectStatus};
 use crate::protocol::{Effect, Message, ReduceInstruction};
+use crate::reduce::ReduceSpec;
 
 use super::coordinator::ReduceCoordinator;
 use super::{trace, NodeContext};
@@ -41,10 +45,100 @@ pub(crate) enum ReduceEvent {
 }
 
 /// One accumulating block of a reduce participant.
+///
+/// Blocks are combined **as they arrive** (the paper's §3.4.2 pipelined reduce) and
+/// **in place**: the first input is retained as a zero-copy shared view; the second
+/// input pays the single owning copy and every input after that folds into the same
+/// buffer via [`ReduceSpec::combine_into`] — no per-input allocation, no per-input
+/// output copy. Emission freezes the buffer into a shared [`Bytes`] without copying,
+/// so re-sends after a parent change are refcount bumps.
 #[derive(Debug, Clone, Default)]
 struct BlockAccum {
-    payload: Option<Payload>,
+    state: BlockState,
     inputs_applied: usize,
+}
+
+/// Accumulation state of one block.
+#[derive(Debug, Clone, Default)]
+enum BlockState {
+    /// No input yet.
+    #[default]
+    Empty,
+    /// Exactly one input so far, held as a zero-copy shared view (a leaf that only
+    /// ever sees one input never copies at all). Synthetic inputs stay here.
+    First(Payload),
+    /// Two or more real inputs folded into an owned in-place accumulator.
+    Accum(Vec<u8>),
+    /// Finalized and emitted at least once; shared so re-sends are refcount bumps.
+    Frozen(Bytes),
+}
+
+impl BlockAccum {
+    /// Fold one input into the block. Returns `false` — leaving the accumulated state
+    /// untouched — when the input is shape-incompatible (the caller discards it).
+    fn fold(&mut self, spec: ReduceSpec, target: ObjectId, block: &Payload) -> bool {
+        match &mut self.state {
+            BlockState::Empty => {
+                self.state = BlockState::First(block.clone());
+            }
+            BlockState::First(existing) => {
+                if existing.len() != block.len() {
+                    return false;
+                }
+                if existing.is_synthetic() || block.is_synthetic() {
+                    // Simulator mode (or a driver mixing modes): lengths only.
+                    let len = existing.len();
+                    self.state = BlockState::First(Payload::synthetic(len));
+                } else {
+                    let mut acc = existing.to_owned_vec().expect("real payload");
+                    if spec.combine_into(target, &mut acc, block).is_err() {
+                        return false;
+                    }
+                    self.state = BlockState::Accum(acc);
+                }
+            }
+            BlockState::Accum(acc) => {
+                if spec.combine_into(target, acc, block).is_err() {
+                    return false;
+                }
+            }
+            BlockState::Frozen(frozen) => {
+                // A straggler after emission (e.g. a replay racing a repair): thaw the
+                // frozen bytes back into an accumulator and keep going.
+                if frozen.len() as u64 != block.len() {
+                    return false;
+                }
+                copytrace::record(frozen.len());
+                let mut acc = frozen.to_vec();
+                if spec.combine_into(target, &mut acc, block).is_err() {
+                    return false;
+                }
+                self.state = BlockState::Accum(acc);
+            }
+        }
+        self.inputs_applied += 1;
+        true
+    }
+
+    /// `true` once the block holds data from all `num_inputs` expected inputs.
+    fn is_ready(&self, num_inputs: usize) -> bool {
+        self.inputs_applied >= num_inputs && !matches!(self.state, BlockState::Empty)
+    }
+
+    /// The finalized payload for emission. Freezes an in-place accumulator into a
+    /// shared buffer (a zero-copy move), so this and every later call are cheap.
+    fn emit(&mut self) -> Option<Payload> {
+        match &mut self.state {
+            BlockState::Empty => None,
+            BlockState::First(p) => Some(p.clone()),
+            BlockState::Accum(acc) => {
+                let frozen = Bytes::from(std::mem::take(acc));
+                self.state = BlockState::Frozen(frozen.clone());
+                Some(Payload::Bytes(frozen))
+            }
+            BlockState::Frozen(frozen) => Some(Payload::Bytes(frozen.clone())),
+        }
+    }
 }
 
 /// Per-slot reduce participant state.
@@ -215,18 +309,7 @@ impl ReduceEngine {
             return;
         }
         let spec = p.instr.spec;
-        let accum = &mut p.blocks[idx];
-        match accum.payload.take() {
-            None => accum.payload = Some(block.payload.clone()),
-            Some(existing) => match spec.combine(target, &existing, &block.payload) {
-                Ok(combined) => accum.payload = Some(combined),
-                Err(_) => {
-                    accum.payload = Some(existing);
-                    return;
-                }
-            },
-        }
-        accum.inputs_applied += 1;
+        p.blocks[idx].fold(spec, target, &block.payload);
     }
 
     /// A partially-reduced block arrived from a child slot.
@@ -318,18 +401,9 @@ impl ReduceEngine {
         for (block_idx, offset, len) in to_ingest {
             let Some(block) = ctx.store.read(own, offset, len) else { break };
             let p = self.participants.get_mut(&key).expect("participant exists");
-            let accum = &mut p.blocks[block_idx as usize];
-            match accum.payload.take() {
-                None => accum.payload = Some(block),
-                Some(existing) => match spec.combine(target, &existing, &block) {
-                    Ok(combined) => accum.payload = Some(combined),
-                    Err(_) => {
-                        accum.payload = Some(existing);
-                        break;
-                    }
-                },
+            if !p.blocks[block_idx as usize].fold(spec, target, &block) {
+                break;
             }
-            accum.inputs_applied += 1;
             p.own_blocks_ingested = block_idx + 1;
         }
 
@@ -341,12 +415,10 @@ impl ReduceEngine {
                 break;
             }
             let num_inputs = p.instr.num_inputs;
-            let ready = p.blocks[idx as usize].inputs_applied >= num_inputs
-                && p.blocks[idx as usize].payload.is_some();
-            if !ready {
+            if !p.blocks[idx as usize].is_ready(num_inputs) {
                 break;
             }
-            let payload = p.blocks[idx as usize].payload.clone().expect("checked above");
+            let payload = p.blocks[idx as usize].emit().expect("ready block has data");
             let is_root = p.instr.is_root;
             let parent = p.instr.parent;
             let slot = p.instr.slot;

@@ -153,6 +153,64 @@ fn put_then_remote_get_delivers_bytes() {
 }
 
 #[test]
+fn forward_transit_never_copies_payload_bytes() {
+    // The relay role of receiver-driven broadcast (§3.4.1): blocks stream in from a
+    // sender, land in the store, and are served onward to a chained receiver. The
+    // whole transit — receive → append → read → send effect — must be zero payload
+    // memcpys, asserted by the debug copy counter so a regression cannot hide.
+    let (mut nodes, _) = setup(3);
+    let object = ObjectId::from_name("transit");
+    let block_len = 1024usize; // small_for_tests block size
+    let total = 4 * block_len as u64;
+    let blocks: Vec<Payload> =
+        (0..4).map(|i| Payload::from_vec(vec![i as u8 + 1; block_len])).collect();
+    crate::copytrace::reset();
+    let mut fx = Vec::new();
+    for (i, block) in blocks.iter().enumerate() {
+        nodes[0].handle_message(
+            Time::ZERO,
+            NodeId(1),
+            Message::PushBlock {
+                object,
+                offset: (i * block_len) as u64,
+                total_size: total,
+                payload: block.clone(),
+                complete: i == 3,
+            },
+            &mut fx,
+        );
+    }
+    nodes[0].handle_message(
+        Time::ZERO,
+        NodeId(2),
+        Message::PullRequest { object, requester: NodeId(2), offset: 0 },
+        &mut fx,
+    );
+    let forwarded: Vec<&Payload> = fx
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { to, msg: Message::PushBlock { payload, .. } } if *to == NodeId(2) => {
+                Some(payload)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(forwarded.len(), 4);
+    assert_eq!(
+        crate::copytrace::bytes_copied(),
+        0,
+        "receive → store → forward transit must not memcpy payload bytes"
+    );
+    // Stronger than "no copies counted": each forwarded block aliases the storage of
+    // the block that came in.
+    for (incoming, outgoing) in blocks.iter().zip(&forwarded) {
+        let in_ptr = incoming.as_bytes().unwrap().as_slice().as_ptr();
+        let out_ptr = outgoing.segments().next().unwrap().as_slice().as_ptr();
+        assert_eq!(in_ptr, out_ptr);
+    }
+}
+
+#[test]
 fn small_objects_use_inline_fast_path() {
     let (mut nodes, _) = setup(3);
     let object = ObjectId::from_name("tiny");

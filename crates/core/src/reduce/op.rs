@@ -4,6 +4,14 @@
 //! which is what allows Hoplite to reduce objects in arrival order rather than rank
 //! order. Real payloads are combined element-wise; synthetic payloads (simulator mode)
 //! are combined by length only.
+//!
+//! The hot path is [`ReduceSpec::combine_into`]: in-place accumulation of one incoming
+//! block into a reusable accumulator, written so the per-element work is a pair of
+//! native-endian loads, one arithmetic op, and one store (`from_le_bytes` /
+//! `to_le_bytes` over exact-width chunks compile to plain unaligned loads and stores on
+//! little-endian targets, and the loop autovectorizes). Incoming blocks may be
+//! segmented ([`Payload::Segments`]); segments whose boundaries fall mid-element are
+//! handled by a small carry buffer on a safe fallback path.
 
 use crate::buffer::Payload;
 use crate::error::{HopliteError, Result};
@@ -58,8 +66,54 @@ impl ReduceSpec {
         ReduceSpec { op: ReduceOp::Sum, dtype: DType::F32 }
     }
 
-    /// Combine two payloads element-wise. Inputs must have equal length; synthetic
-    /// payloads short-circuit to a synthetic result of the same length.
+    /// Validate that `len` can hold whole elements of this spec's dtype.
+    fn check_multiple(&self, target: ObjectId, len: u64) -> Result<()> {
+        if !len.is_multiple_of(self.dtype.element_size()) {
+            return Err(HopliteError::ReduceShapeMismatch {
+                target,
+                detail: format!(
+                    "length {len} not a multiple of element size {}",
+                    self.dtype.element_size()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Combine `block` element-wise **into** `acc` (little-endian bytes), in place:
+    /// `acc[i] = op(acc[i], block[i])` with no allocation and no output copy. Lengths
+    /// must match exactly and be a whole number of elements — a trailing partial
+    /// element is an error, never a silent truncation. `block` may be contiguous or
+    /// segmented; an element split across two segments goes through the carry-buffer
+    /// fallback. Synthetic blocks are rejected (the caller short-circuits those).
+    pub fn combine_into(&self, target: ObjectId, acc: &mut [u8], block: &Payload) -> Result<()> {
+        if block.is_synthetic() {
+            return Err(HopliteError::ReduceShapeMismatch {
+                target,
+                detail: "cannot accumulate a synthetic block in place".to_string(),
+            });
+        }
+        if acc.len() as u64 != block.len() {
+            return Err(HopliteError::ReduceShapeMismatch {
+                target,
+                detail: format!("length mismatch: {} vs {}", acc.len(), block.len()),
+            });
+        }
+        self.check_multiple(target, acc.len() as u64)?;
+        match self.dtype {
+            DType::F32 => combine_into_typed::<f32, 4>(acc, block, self.op),
+            DType::F64 => combine_into_typed::<f64, 8>(acc, block, self.op),
+            DType::I32 => combine_into_typed::<i32, 4>(acc, block, self.op),
+            DType::I64 => combine_into_typed::<i64, 8>(acc, block, self.op),
+        }
+        Ok(())
+    }
+
+    /// Combine two payloads element-wise into a fresh payload. Inputs must have equal
+    /// length; synthetic payloads short-circuit to a synthetic result of the same
+    /// length. This is the convenience form — the streaming engines use
+    /// [`ReduceSpec::combine_into`] so only the first input of an accumulation chain
+    /// is ever copied.
     pub fn combine(&self, target: ObjectId, a: &Payload, b: &Payload) -> Result<Payload> {
         if a.len() != b.len() {
             return Err(HopliteError::ReduceShapeMismatch {
@@ -67,93 +121,129 @@ impl ReduceSpec {
                 detail: format!("length mismatch: {} vs {}", a.len(), b.len()),
             });
         }
-        let (abytes, bbytes) = match (a.as_bytes(), b.as_bytes()) {
-            (Some(x), Some(y)) => (x, y),
+        if a.is_synthetic() || b.is_synthetic() {
             // Simulator mode: no arithmetic, only sizes.
-            _ => return Ok(Payload::synthetic(a.len())),
-        };
-        if !a.len().is_multiple_of(self.dtype.element_size()) {
-            return Err(HopliteError::ReduceShapeMismatch {
-                target,
-                detail: format!(
-                    "length {} not a multiple of element size {}",
-                    a.len(),
-                    self.dtype.element_size()
-                ),
-            });
+            return Ok(Payload::synthetic(a.len()));
         }
-        let out = match self.dtype {
-            DType::F32 => combine_typed::<f32, 4>(abytes, bbytes, self.op),
-            DType::F64 => combine_typed::<f64, 8>(abytes, bbytes, self.op),
-            DType::I32 => combine_typed::<i32, 4>(abytes, bbytes, self.op),
-            DType::I64 => combine_typed::<i64, 8>(abytes, bbytes, self.op),
-        };
-        Ok(Payload::from_vec(out))
+        self.check_multiple(target, a.len())?;
+        let mut acc = a.to_owned_vec().expect("real payload");
+        self.combine_into(target, &mut acc, b)?;
+        Ok(Payload::from_vec(acc))
     }
 }
 
 /// Element trait implemented for the supported numeric types.
 trait Element: Copy {
     fn from_le(bytes: &[u8]) -> Self;
-    fn to_le(self, out: &mut Vec<u8>);
-    fn sum(self, other: Self) -> Self;
-    fn min_v(self, other: Self) -> Self;
-    fn max_v(self, other: Self) -> Self;
+    fn write_le(self, out: &mut [u8]);
+    fn apply(self, other: Self, op: ReduceOp) -> Self;
 }
 
 macro_rules! impl_element {
-    ($t:ty, $n:expr) => {
+    ($t:ty, $sum:expr) => {
         impl Element for $t {
+            #[inline(always)]
             fn from_le(bytes: &[u8]) -> Self {
                 <$t>::from_le_bytes(bytes.try_into().expect("element width"))
             }
-            fn to_le(self, out: &mut Vec<u8>) {
-                out.extend_from_slice(&self.to_le_bytes());
+            #[inline(always)]
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
             }
-            fn sum(self, other: Self) -> Self {
-                self + other
-            }
-            fn min_v(self, other: Self) -> Self {
-                if self < other {
-                    self
-                } else {
-                    other
-                }
-            }
-            fn max_v(self, other: Self) -> Self {
-                if self > other {
-                    self
-                } else {
-                    other
+            #[inline(always)]
+            fn apply(self, other: Self, op: ReduceOp) -> Self {
+                // `self` is the accumulated element, `other` the incoming one. Min/Max
+                // keep the accumulator only when it compares *strictly* less/greater,
+                // matching the historical combine: on ties — and on incomparable
+                // floats — the incoming element wins, so an arriving NaN propagates
+                // into the result instead of being silently masked.
+                match op {
+                    // Integer sums wrap (two's complement): combine runs on bytes
+                    // straight off the wire, so overflow must never be a
+                    // data-dependent debug panic.
+                    ReduceOp::Sum => ($sum)(self, other),
+                    ReduceOp::Min => {
+                        if self < other {
+                            self
+                        } else {
+                            other
+                        }
+                    }
+                    ReduceOp::Max => {
+                        if self > other {
+                            self
+                        } else {
+                            other
+                        }
+                    }
                 }
             }
         }
     };
 }
 
-impl_element!(f32, 4);
-impl_element!(f64, 8);
-impl_element!(i32, 4);
-impl_element!(i64, 8);
+impl_element!(f32, |a: f32, b: f32| a + b);
+impl_element!(f64, |a: f64, b: f64| a + b);
+impl_element!(i32, i32::wrapping_add);
+impl_element!(i64, i64::wrapping_add);
 
-fn combine_typed<T: Element, const W: usize>(a: &[u8], b: &[u8], op: ReduceOp) -> Vec<u8> {
-    let mut out = Vec::with_capacity(a.len());
-    for (ca, cb) in a.chunks_exact(W).zip(b.chunks_exact(W)) {
-        let x = T::from_le(ca);
-        let y = T::from_le(cb);
-        let v = match op {
-            ReduceOp::Sum => x.sum(y),
-            ReduceOp::Min => x.min_v(y),
-            ReduceOp::Max => x.max_v(y),
-        };
-        v.to_le(&mut out);
+/// The aligned fast path: both sides are whole elements. On little-endian targets the
+/// `from_le_bytes`/`to_le_bytes` pairs are plain (unaligned-tolerant) loads and stores,
+/// so the loop reduces to load-op-store per element and autovectorizes.
+fn combine_slices<T: Element, const W: usize>(acc: &mut [u8], block: &[u8], op: ReduceOp) {
+    debug_assert_eq!(acc.len(), block.len());
+    debug_assert!(acc.len().is_multiple_of(W));
+    for (ca, cb) in acc.chunks_exact_mut(W).zip(block.chunks_exact(W)) {
+        T::from_le(ca).apply(T::from_le(cb), op).write_le(ca);
     }
-    out
+}
+
+/// Dispatch on the block's shape: contiguous blocks take the fast path whole;
+/// segmented blocks take it per aligned segment run, with elements that straddle a
+/// segment boundary staged through a `W`-byte carry buffer (the safe unaligned
+/// fallback).
+fn combine_into_typed<T: Element, const W: usize>(acc: &mut [u8], block: &Payload, op: ReduceOp) {
+    if let Some(b) = block.as_bytes() {
+        combine_slices::<T, W>(acc, b.as_slice(), op);
+        return;
+    }
+    let mut at = 0usize; // byte offset into `acc`, always element-aligned
+    let mut carry = [0u8; 8];
+    let mut carry_len = 0usize;
+    for seg in block.segments() {
+        let mut s = seg.as_slice();
+        if carry_len > 0 {
+            // Finish the element started by the previous segment.
+            let take = (W - carry_len).min(s.len());
+            carry[carry_len..carry_len + take].copy_from_slice(&s[..take]);
+            carry_len += take;
+            s = &s[take..];
+            if carry_len == W {
+                let ca = &mut acc[at..at + W];
+                T::from_le(ca).apply(T::from_le(&carry[..W]), op).write_le(ca);
+                at += W;
+                carry_len = 0;
+            }
+        }
+        let bulk = s.len() - s.len() % W;
+        combine_slices::<T, W>(&mut acc[at..at + bulk], &s[..bulk], op);
+        at += bulk;
+        if s.len() > bulk {
+            carry[..s.len() - bulk].copy_from_slice(&s[bulk..]);
+            carry_len = s.len() - bulk;
+        }
+    }
+    // Total length is a validated multiple of W, so no element can be left dangling.
+    // (The carry buffer stages at most W-1 bytes per boundary: bookkeeping, not a
+    // payload materialization, so it does not hit the debug copy tally.)
+    debug_assert_eq!(carry_len, 0);
+    debug_assert_eq!(at, acc.len());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn target() -> ObjectId {
         ObjectId::from_name("reduce-target")
@@ -192,6 +282,133 @@ mod tests {
         };
         assert_eq!(dec(&min_out), vec![3, -7, 50]);
         assert_eq!(dec(&max_out), vec![5, -2, 100]);
+    }
+
+    #[test]
+    fn combine_into_accumulates_in_place() {
+        let spec = ReduceSpec::sum_f32();
+        let mut acc = Payload::from_f32s(&[1.0, 2.0, 3.0]).to_owned_vec().unwrap();
+        let acc_ptr = acc.as_ptr();
+        spec.combine_into(target(), &mut acc, &Payload::from_f32s(&[10.0, 20.0, 30.0])).unwrap();
+        spec.combine_into(target(), &mut acc, &Payload::from_f32s(&[0.5, 0.5, 0.5])).unwrap();
+        assert_eq!(acc.as_ptr(), acc_ptr, "no reallocation");
+        assert_eq!(Payload::from_vec(acc).to_f32s(), vec![11.5, 22.5, 33.5]);
+    }
+
+    #[test]
+    fn combine_into_rejects_partial_trailing_element() {
+        // 6 bytes is one and a half f32s: must error, not silently truncate. A
+        // truncating implementation (chunks_exact drops the tail) would "succeed" and
+        // corrupt the last element.
+        let spec = ReduceSpec::sum_f32();
+        let mut acc = vec![0u8; 6];
+        let block = Payload::from_vec(vec![1u8; 6]);
+        assert!(matches!(
+            spec.combine_into(target(), &mut acc, &block),
+            Err(HopliteError::ReduceShapeMismatch { .. })
+        ));
+        assert_eq!(acc, vec![0u8; 6], "failed combine must not modify the accumulator");
+        // Same through the payload-level API.
+        assert!(spec
+            .combine(target(), &Payload::zeros(6), &Payload::from_vec(vec![1u8; 6]))
+            .is_err());
+    }
+
+    #[test]
+    fn combine_into_rejects_length_mismatch_and_synthetic() {
+        let spec = ReduceSpec::sum_f32();
+        let mut acc = vec![0u8; 8];
+        assert!(spec.combine_into(target(), &mut acc, &Payload::zeros(4)).is_err());
+        assert!(spec.combine_into(target(), &mut acc, &Payload::synthetic(8)).is_err());
+    }
+
+    #[test]
+    fn segmented_block_with_element_spanning_boundary() {
+        // Two f32s whose byte boundary falls mid-element: segment 1 carries 6 bytes
+        // (element 0 plus half of element 1), segment 2 the remaining 2 bytes. The
+        // carry-buffer fallback must reassemble element 1 exactly.
+        let spec = ReduceSpec::sum_f32();
+        let flat = Payload::from_f32s(&[3.0, 5.0]).to_owned_vec().unwrap();
+        let block = Payload::from_segments(vec![
+            Bytes::from(flat[..6].to_vec()),
+            Bytes::from(flat[6..].to_vec()),
+        ]);
+        let mut acc = Payload::from_f32s(&[1.0, 2.0]).to_owned_vec().unwrap();
+        spec.combine_into(target(), &mut acc, &block).unwrap();
+        assert_eq!(Payload::from_vec(acc).to_f32s(), vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn segmented_block_exercises_every_split_point() {
+        // Sweep the split point across a 4-element f64 array (element width 8): every
+        // possible two-segment split, including element-aligned ones, must agree with
+        // the contiguous result.
+        let spec = ReduceSpec { op: ReduceOp::Sum, dtype: DType::F64 };
+        let vals: Vec<u8> = (0..4u64).flat_map(|i| (i as f64 + 0.5).to_le_bytes()).collect();
+        let base: Vec<u8> = (0..4u64).flat_map(|i| (i as f64 * 10.0).to_le_bytes()).collect();
+        let want = {
+            let mut acc = base.clone();
+            spec.combine_into(target(), &mut acc, &Payload::from_vec(vals.clone())).unwrap();
+            acc
+        };
+        for split in 1..vals.len() {
+            let block = Payload::from_segments(vec![
+                Bytes::from(vals[..split].to_vec()),
+                Bytes::from(vals[split..].to_vec()),
+            ]);
+            let mut acc = base.clone();
+            spec.combine_into(target(), &mut acc, &block).unwrap();
+            assert_eq!(acc, want, "split at byte {split}");
+        }
+        // Pathological segmentation: every byte its own segment.
+        let block = Payload::from_segments(vals.iter().map(|&b| Bytes::from(vec![b])).collect());
+        let mut acc = base.clone();
+        spec.combine_into(target(), &mut acc, &block).unwrap();
+        assert_eq!(acc, want, "per-byte segmentation");
+    }
+
+    #[test]
+    fn segmented_combine_matches_contiguous_for_all_dtypes_and_ops() {
+        let mut raw = Vec::new();
+        for i in 0..64u8 {
+            raw.push(i.wrapping_mul(37).wrapping_add(11));
+        }
+        for dtype in [DType::F32, DType::F64, DType::I32, DType::I64] {
+            for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+                let spec = ReduceSpec { op, dtype };
+                let mut flat_acc = raw.clone();
+                spec.combine_into(target(), &mut flat_acc, &Payload::from_vec(raw.clone()))
+                    .unwrap();
+                let block = Payload::from_segments(vec![
+                    Bytes::from(raw[..13].to_vec()),
+                    Bytes::from(raw[13..30].to_vec()),
+                    Bytes::from(raw[30..].to_vec()),
+                ]);
+                let mut seg_acc = raw.clone();
+                spec.combine_into(target(), &mut seg_acc, &block).unwrap();
+                assert_eq!(flat_acc, seg_acc, "{dtype:?} {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_nan_propagation_matches_historical_combine() {
+        // On incomparable floats the incoming element wins (same rule as ties): an
+        // arriving NaN must surface in the reduce output, not be silently masked by a
+        // finite accumulator — and an accumulated NaN is replaced by a later finite
+        // incoming element, exactly as the pre-in-place combine behaved.
+        let spec = ReduceSpec { op: ReduceOp::Min, dtype: DType::F32 };
+        let mut acc = Payload::from_f32s(&[1.0, f32::NAN]).to_owned_vec().unwrap();
+        spec.combine_into(target(), &mut acc, &Payload::from_f32s(&[f32::NAN, 2.0])).unwrap();
+        let got = Payload::from_vec(acc).to_f32s();
+        assert!(got[0].is_nan(), "incoming NaN propagates");
+        assert_eq!(got[1], 2.0, "accumulated NaN is replaced by the incoming element");
+        let max = ReduceSpec { op: ReduceOp::Max, dtype: DType::F32 };
+        let out = max
+            .combine(target(), &Payload::from_f32s(&[5.0]), &Payload::from_f32s(&[f32::NAN]))
+            .unwrap()
+            .to_f32s();
+        assert!(out[0].is_nan());
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! shared memory in the paper's implementation. The store tracks streaming progress
 //! (for pipelining), pins locally-`Put` objects until the framework deletes them, and
 //! evicts unpinned copies LRU when it runs out of room (§6 "Garbage collection").
+//!
+//! The store is a zero-copy pass-through for the data plane: [`LocalStore::append`]
+//! adopts incoming blocks as shared segments, [`LocalStore::read`] hands ranges back
+//! as shared views (segmented when the range spans received blocks — see
+//! [`Payload::Segments`]), and only [`LocalStore::get_complete`] — the final
+//! consumer — coalesces, once.
 
 use std::collections::HashMap;
 
@@ -134,7 +140,9 @@ impl LocalStore {
         Ok(entry.buffer.watermark())
     }
 
-    /// Read a range of an object if it is below the watermark.
+    /// Read a range of an object if it is below the watermark. Zero-copy: the result
+    /// shares the stored segments (and is a [`Payload::Segments`] view when the range
+    /// straddles received blocks).
     pub fn read(&mut self, object: ObjectId, offset: u64, len: u64) -> Option<Payload> {
         self.access_counter += 1;
         let counter = self.access_counter;
@@ -143,7 +151,9 @@ impl LocalStore {
         entry.buffer.read(offset, len)
     }
 
-    /// The complete payload of an object, if it is complete.
+    /// The complete payload of an object, if it is complete. This is the final
+    /// consumer of the receive path: the first call coalesces a multi-segment buffer
+    /// (the one copy the pipeline pays), later calls are zero-copy clones.
     pub fn get_complete(&mut self, object: ObjectId) -> Option<Payload> {
         self.access_counter += 1;
         let counter = self.access_counter;
@@ -285,6 +295,35 @@ mod tests {
         assert!(!s.delete(obj("a")));
         assert_eq!(s.used(), 0);
         s.put_complete(obj("b"), Payload::zeros(10), false).unwrap();
+    }
+
+    #[test]
+    fn segmented_payloads_flow_through_without_copies() {
+        use bytes::Bytes;
+        let mut s = LocalStore::new(1024);
+        let first = Bytes::from(vec![1u8; 8]);
+        let second = Bytes::from(vec![2u8; 8]);
+        crate::copytrace::reset();
+        s.put_complete(
+            obj("seg"),
+            crate::buffer::Payload::from_segments(vec![first.clone(), second]),
+            true,
+        )
+        .unwrap();
+        // A read inside the first segment aliases it; a straddling read stays a
+        // segmented view. Neither copies.
+        let inside = s.read(obj("seg"), 2, 4).unwrap();
+        assert_eq!(inside.as_bytes().unwrap().as_slice().as_ptr(), first.as_slice()[2..].as_ptr());
+        let straddling = s.read(obj("seg"), 6, 4).unwrap();
+        assert!(straddling.as_bytes().is_none());
+        assert_eq!(straddling, crate::buffer::Payload::from_vec(vec![1, 1, 2, 2]));
+        assert_eq!(crate::copytrace::bytes_copied(), 0);
+        // The final consumer pays the one coalesce.
+        let full = s.get_complete(obj("seg")).unwrap();
+        assert!(full.as_bytes().is_some());
+        if cfg!(debug_assertions) {
+            assert_eq!(crate::copytrace::bytes_copied(), 16);
+        }
     }
 
     #[test]

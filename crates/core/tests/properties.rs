@@ -232,6 +232,95 @@ fn reduce_sum_commutes() {
     }
 }
 
+/// Any segmentation of a byte string is logically equal to the contiguous payload,
+/// and slicing the segmented view agrees with slicing the flat bytes — for every
+/// random split and every random sub-range.
+#[test]
+fn segmented_payload_views_agree_with_contiguous() {
+    use bytes::Bytes;
+    let mut rng = Rng::new(0x5E6);
+    for _ in 0..200 {
+        let len = rng.usize(1, 1500);
+        let data = rng.bytes(len);
+        // Random segmentation (possibly including empty segments, which normalize
+        // away).
+        let mut segments = Vec::new();
+        let mut at = 0usize;
+        while at < len {
+            let take = rng.usize(0, 64).min(len - at);
+            segments.push(Bytes::from(data[at..at + take].to_vec()));
+            at += take;
+        }
+        let segmented = Payload::from_segments(segments);
+        let flat = Payload::from_vec(data.clone());
+        assert_eq!(segmented, flat);
+        assert_eq!(segmented.len(), len as u64);
+        let off = rng.range(0, len as u64 + 10);
+        let take = rng.range(0, len as u64 + 10);
+        assert_eq!(segmented.slice(off, take), flat.slice(off, take));
+        assert_eq!(segmented.to_owned_vec().unwrap(), data);
+    }
+}
+
+/// Reading arbitrary in-watermark ranges out of a progress buffer fed by arbitrary
+/// splits returns exactly the original bytes — whether the read lands inside one
+/// segment (contiguous view) or spans several (zero-copy segmented view).
+#[test]
+fn progress_buffer_reads_agree_with_source_bytes() {
+    let mut rng = Rng::new(0xB10C);
+    for _ in 0..100 {
+        let len = rng.usize(2, 1200);
+        let data = rng.bytes(len);
+        let mut buf = ProgressBuffer::new(len as u64, false);
+        let mut offset = 0usize;
+        while offset < len {
+            let take = rng.usize(1, 80).min(len - offset);
+            assert!(buf.append_at(
+                offset as u64,
+                &Payload::from_vec(data[offset..offset + take].to_vec())
+            ));
+            offset += take;
+        }
+        for _ in 0..20 {
+            let off = rng.usize(0, len);
+            let take = rng.usize(0, len);
+            let end = (off + take).min(len);
+            let got = buf.read(off as u64, take as u64).expect("below watermark");
+            assert_eq!(got, Payload::from_vec(data[off..end].to_vec()));
+        }
+    }
+}
+
+/// In-place accumulation over arbitrarily-segmented blocks equals the whole-payload
+/// combine, for random data and random element-straddling splits.
+#[test]
+fn combine_into_segmented_agrees_with_whole_payload_combine() {
+    use bytes::Bytes;
+    let mut rng = Rng::new(0xACC);
+    let spec = ReduceSpec::sum_f32();
+    let target = ObjectId::from_name("prop-acc");
+    for _ in 0..200 {
+        let elems = rng.usize(1, 128);
+        let a: Vec<f32> = (0..elems).map(|_| rng.f32(-1e4, 1e4)).collect();
+        let b: Vec<f32> = (0..elems).map(|_| rng.f32(-1e4, 1e4)).collect();
+        let pa = Payload::from_f32s(&a);
+        let pb = Payload::from_f32s(&b);
+        let want = spec.combine(target, &pa, &pb).unwrap();
+        // Segment `b` at random byte boundaries, elements straddling freely.
+        let bb = pb.to_owned_vec().unwrap();
+        let mut segments = Vec::new();
+        let mut at = 0usize;
+        while at < bb.len() {
+            let take = rng.usize(1, 11).min(bb.len() - at);
+            segments.push(Bytes::from(bb[at..at + take].to_vec()));
+            at += take;
+        }
+        let mut acc = pa.to_owned_vec().unwrap();
+        spec.combine_into(target, &mut acc, &Payload::from_segments(segments)).unwrap();
+        assert_eq!(Payload::from_vec(acc), want);
+    }
+}
+
 /// Payload slicing never exceeds the underlying length and concatenation preserves
 /// total length.
 #[test]

@@ -10,6 +10,13 @@
 //!   plane.
 //!
 //! Both preserve per-sender FIFO ordering, which the Hoplite block protocol relies on.
+//!
+//! Both are also **zero-copy for bulk payloads**: the channels fabric moves [`Message`]
+//! values by ownership, so a segmented payload ([`Payload::Segments`]) arrives at the
+//! receiver holding the very same shared segment buffers the sender read out of its
+//! store — the segment vector passes through untouched. The TCP fabric achieves the
+//! same by handing those segments to the kernel as an iovec gather (see
+//! [`crate::tcp`]).
 
 use std::sync::Arc;
 
@@ -137,6 +144,36 @@ mod tests {
         drop(fabric.take_receiver(NodeId(1)));
         let sender = fabric.sender();
         sender.send(NodeId(0), NodeId(1), Message::DirDelete { object: ObjectId::from_name("x") });
+    }
+
+    #[test]
+    fn segmented_payloads_pass_through_untouched() {
+        // A forwarded block read out of a ProgressBuffer can span receive segments;
+        // the channels fabric must deliver the segment vector as-is — same shared
+        // buffers, no coalesce, no copy.
+        use bytes::Bytes;
+        let first = Bytes::from(vec![1u8; 8]);
+        let second = Bytes::from(vec![2u8; 8]);
+        let payload = Payload::from_segments(vec![first.clone(), second.clone()]);
+        let mut fabric = ChannelFabric::new(2);
+        let rx = fabric.take_receiver(NodeId(1));
+        hoplite_core::copytrace::reset();
+        fabric.sender().send(
+            NodeId(0),
+            NodeId(1),
+            Message::PushBlock {
+                object: ObjectId::from_name("seg"),
+                offset: 0,
+                total_size: 16,
+                payload,
+                complete: true,
+            },
+        );
+        let (_, msg) = rx.recv().unwrap();
+        let Message::PushBlock { payload, .. } = msg else { panic!("wrong variant") };
+        let ptrs: Vec<_> = payload.segments().map(|s| s.as_slice().as_ptr()).collect();
+        assert_eq!(ptrs, vec![first.as_slice().as_ptr(), second.as_slice().as_ptr()]);
+        assert_eq!(hoplite_core::copytrace::bytes_copied(), 0);
     }
 
     #[test]

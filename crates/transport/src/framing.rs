@@ -99,29 +99,170 @@ mod op_tags {
     pub const DELETE: u8 = 7;
 }
 
+// ---------------------------------------------------------- scatter-gather frames --
+
+/// Payload segments shorter than this are copied into the adjacent contiguous run
+/// instead of being emitted as separate scatter-gather parts. This is the short-frame
+/// coalesce threshold: control messages and tiny inline payloads stay one contiguous
+/// part (one `write` syscall on the TCP fabric, no iovec bookkeeping), while bulk
+/// blocks ride as shared segment references with zero payload memcpys. Tune it to the
+/// crossover point where one extra iovec beats one memcpy on the target machine —
+/// a few KiB on commodity Linux; raising it trades copies for fewer syscalls.
+pub const GATHER_MIN_SEGMENT: usize = 4 * 1024;
+
+/// A wire frame encoded as scatter-gather parts: the length-prefixed `header` holds
+/// the tag and every fixed field, and `segments` holds the bulk payload as shared,
+/// zero-copy references (for a forwarded block: the very [`Bytes`] views sitting in
+/// the sender's `ProgressBuffer`, uncoalesced). Flattening `header ++ segments`
+/// yields byte-for-byte the frame [`encode_frame`] produces.
+#[derive(Clone, Debug)]
+pub struct EncodedFrame {
+    /// Length prefix, tag, and fixed fields (plus any payload bytes below the
+    /// [`GATHER_MIN_SEGMENT`] coalesce threshold).
+    pub header: Bytes,
+    /// Bulk payload segments, in wire order, shared zero-copy with their producers.
+    pub segments: Vec<Bytes>,
+}
+
+impl EncodedFrame {
+    /// Total frame length in bytes (length prefix included).
+    pub fn frame_len(&self) -> usize {
+        self.header.len() + self.segments.iter().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// All parts in wire order (header first).
+    pub fn parts(&self) -> impl Iterator<Item = &Bytes> {
+        std::iter::once(&self.header).chain(self.segments.iter())
+    }
+
+    /// Flatten into one contiguous frame (tests and diagnostics; the send path never
+    /// needs this).
+    pub fn to_contiguous(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.frame_len());
+        for part in self.parts() {
+            out.extend_from_slice(part);
+        }
+        out
+    }
+}
+
+/// Internal encode sink: an ordered list of parts, either owned contiguous runs or
+/// shared payload segments. With `gather` off every byte lands in one owned run (the
+/// legacy contiguous encoding); with `gather` on, payload segments at or above
+/// [`GATHER_MIN_SEGMENT`] are adopted by reference.
+enum Part {
+    Owned(Vec<u8>),
+    Shared(Bytes),
+}
+
+struct FrameWriter {
+    gather: bool,
+    parts: Vec<Part>,
+}
+
+impl FrameWriter {
+    fn new(gather: bool) -> FrameWriter {
+        FrameWriter { gather, parts: vec![Part::Owned(Vec::new())] }
+    }
+
+    /// The current owned run, extended after any shared segment.
+    fn run(&mut self) -> &mut Vec<u8> {
+        if !matches!(self.parts.last(), Some(Part::Owned(_))) {
+            self.parts.push(Part::Owned(Vec::new()));
+        }
+        match self.parts.last_mut() {
+            Some(Part::Owned(v)) => v,
+            _ => unreachable!("an owned run was just ensured"),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.run().extend_from_slice(bytes);
+    }
+
+    fn put_byte(&mut self, byte: u8) {
+        self.run().push(byte);
+    }
+
+    /// Adopt a shared payload segment by reference, or copy it into the current run
+    /// when gathering is off / the segment is under the coalesce threshold. The copy
+    /// branch is the *only* place encode touches payload bytes, and it shows up in
+    /// the debug copy tally.
+    fn put_shared(&mut self, segment: &Bytes) {
+        if self.gather && segment.len() >= GATHER_MIN_SEGMENT {
+            self.parts.push(Part::Shared(segment.clone()));
+        } else {
+            hoplite_core::copytrace::record(segment.len());
+            self.put(segment);
+        }
+    }
+
+    fn body_len(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                Part::Owned(v) => v.len(),
+                Part::Shared(b) => b.len(),
+            })
+            .sum()
+    }
+
+    /// The contiguous body (gather must be off: everything is one owned run).
+    fn into_contiguous(mut self) -> Vec<u8> {
+        debug_assert!(!self.gather);
+        debug_assert_eq!(self.parts.len(), 1);
+        match self.parts.pop() {
+            Some(Part::Owned(v)) => v,
+            _ => unreachable!("contiguous writer holds exactly one owned run"),
+        }
+    }
+
+    /// Assemble a length-prefixed scatter-gather frame.
+    fn into_frame(self) -> Result<EncodedFrame, FrameError> {
+        let body_len = self.body_len();
+        let len32 =
+            u32::try_from(body_len).map_err(|_| malformed("frame body exceeds u32 length"))?;
+        let mut iter = self.parts.into_iter();
+        let first = match iter.next() {
+            Some(Part::Owned(v)) => v,
+            _ => unreachable!("the writer is seeded with an owned run"),
+        };
+        let mut header = Vec::with_capacity(4 + first.len());
+        header.extend_from_slice(&len32.to_be_bytes());
+        header.extend_from_slice(&first);
+        let segments = iter
+            .map(|p| match p {
+                Part::Owned(v) => Bytes::from(v),
+                Part::Shared(b) => b,
+            })
+            .collect();
+        Ok(EncodedFrame { header: Bytes::from(header), segments })
+    }
+}
+
 // ------------------------------------------------------------------ write helpers --
 
-fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+fn put_opt_u64(out: &mut FrameWriter, v: Option<u64>) {
     match v {
-        None => out.push(0),
+        None => out.put_byte(0),
         Some(v) => {
-            out.push(1);
-            out.extend_from_slice(&v.to_be_bytes());
+            out.put_byte(1);
+            out.put(&v.to_be_bytes());
         }
     }
 }
 
-fn put_opt_node(out: &mut Vec<u8>, v: Option<NodeId>) {
+fn put_opt_node(out: &mut FrameWriter, v: Option<NodeId>) {
     match v {
-        None => out.push(0),
+        None => out.put_byte(0),
         Some(n) => {
-            out.push(1);
-            out.extend_from_slice(&n.0.to_be_bytes());
+            out.put_byte(1);
+            out.put(&n.0.to_be_bytes());
         }
     }
 }
 
-fn put_snapshot(out: &mut Vec<u8>, state: &ShardSnapshot) {
+fn put_snapshot(out: &mut FrameWriter, state: &ShardSnapshot) {
     put_u64(out, state.entries.len() as u64);
     for e in &state.entries {
         put_object(out, e.object);
@@ -155,31 +296,31 @@ fn put_snapshot(out: &mut Vec<u8>, state: &ShardSnapshot) {
     }
 }
 
-fn put_u8(out: &mut Vec<u8>, v: u8) {
-    out.push(v);
+fn put_u8(out: &mut FrameWriter, v: u8) {
+    out.put_byte(v);
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_be_bytes());
+fn put_u32(out: &mut FrameWriter, v: u32) {
+    out.put(&v.to_be_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_be_bytes());
+fn put_u64(out: &mut FrameWriter, v: u64) {
+    out.put(&v.to_be_bytes());
 }
 
-fn put_bool(out: &mut Vec<u8>, v: bool) {
-    out.push(u8::from(v));
+fn put_bool(out: &mut FrameWriter, v: bool) {
+    out.put_byte(u8::from(v));
 }
 
-fn put_object(out: &mut Vec<u8>, object: ObjectId) {
-    out.extend_from_slice(&object.0);
+fn put_object(out: &mut FrameWriter, object: ObjectId) {
+    out.put(&object.0);
 }
 
-fn put_node(out: &mut Vec<u8>, node: NodeId) {
+fn put_node(out: &mut FrameWriter, node: NodeId) {
     put_u32(out, node.0);
 }
 
-fn put_status(out: &mut Vec<u8>, status: ObjectStatus) {
+fn put_status(out: &mut FrameWriter, status: ObjectStatus) {
     put_u8(
         out,
         match status {
@@ -189,7 +330,7 @@ fn put_status(out: &mut Vec<u8>, status: ObjectStatus) {
     );
 }
 
-fn put_spec(out: &mut Vec<u8>, spec: ReduceSpec) {
+fn put_spec(out: &mut FrameWriter, spec: ReduceSpec) {
     put_u8(
         out,
         match spec.op {
@@ -209,33 +350,36 @@ fn put_spec(out: &mut Vec<u8>, spec: ReduceSpec) {
     );
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+fn put_string(out: &mut FrameWriter, s: &str) {
     put_u64(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
+    out.put(s.as_bytes());
 }
 
-fn put_nodes(out: &mut Vec<u8>, nodes: &[NodeId]) {
+fn put_nodes(out: &mut FrameWriter, nodes: &[NodeId]) {
     put_u64(out, nodes.len() as u64);
     for &n in nodes {
         put_node(out, n);
     }
 }
 
-fn put_payload(out: &mut Vec<u8>, payload: &Payload) {
-    match payload {
-        Payload::Bytes(b) => {
-            put_u8(out, 0);
-            put_u64(out, b.len() as u64);
-            out.extend_from_slice(b);
-        }
-        Payload::Synthetic { len } => {
-            put_u8(out, 1);
-            put_u64(out, *len);
-        }
+/// Encode a payload: a kind byte, the total length, then the bytes. Real payloads —
+/// contiguous or segmented — produce identical wire bytes; under a gathering writer
+/// the segments ride as shared references instead of being copied, which is the whole
+/// point of the scatter-gather send path.
+fn put_payload(out: &mut FrameWriter, payload: &Payload) {
+    if payload.is_synthetic() {
+        put_u8(out, 1);
+        put_u64(out, payload.len());
+        return;
+    }
+    put_u8(out, 0);
+    put_u64(out, payload.len());
+    for segment in payload.segments() {
+        out.put_shared(segment);
     }
 }
 
-fn put_dir_op(out: &mut Vec<u8>, op: &DirOp) {
+fn put_dir_op(out: &mut FrameWriter, op: &DirOp) {
     match op {
         DirOp::Register { object, holder, status, size } => {
             put_u8(out, op_tags::REGISTER);
@@ -531,17 +675,26 @@ impl<'a> Reader<'a> {
 
 // ------------------------------------------------------------------------- encode --
 
-/// Encode a message body (without the outer length prefix).
+/// Encode a message body (without the outer length prefix) as one contiguous buffer.
+/// This is the legacy path — it memcpys bulk payloads into the result; the send path
+/// uses [`encode_frame_vectored`], which does not.
 pub fn encode_body(msg: &Message) -> Result<Vec<u8>, FrameError> {
-    let mut out = Vec::new();
+    let mut w = FrameWriter::new(false);
+    encode_message(msg, &mut w);
+    Ok(w.into_contiguous())
+}
+
+/// Write one message into a frame writer (shared by the contiguous and the
+/// scatter-gather entry points, so the two encodings agree byte for byte).
+fn encode_message(msg: &Message, out: &mut FrameWriter) {
     match msg {
         Message::PushBlock { object, offset, total_size, payload, complete } => {
-            put_u8(&mut out, tags::PUSH_BLOCK);
-            put_object(&mut out, *object);
-            put_u64(&mut out, *offset);
-            put_u64(&mut out, *total_size);
-            put_bool(&mut out, *complete);
-            put_payload(&mut out, payload);
+            put_u8(out, tags::PUSH_BLOCK);
+            put_object(out, *object);
+            put_u64(out, *offset);
+            put_u64(out, *total_size);
+            put_bool(out, *complete);
+            put_payload(out, payload);
         }
         Message::ReduceBlock {
             target,
@@ -552,188 +705,187 @@ pub fn encode_body(msg: &Message) -> Result<Vec<u8>, FrameError> {
             object_size,
             payload,
         } => {
-            put_u8(&mut out, tags::REDUCE_BLOCK);
-            put_object(&mut out, *target);
-            put_u64(&mut out, *to_slot as u64);
-            put_u64(&mut out, *from_slot as u64);
-            put_u64(&mut out, *parent_epoch);
-            put_u64(&mut out, *block_index);
-            put_u64(&mut out, *object_size);
-            put_payload(&mut out, payload);
+            put_u8(out, tags::REDUCE_BLOCK);
+            put_object(out, *target);
+            put_u64(out, *to_slot as u64);
+            put_u64(out, *from_slot as u64);
+            put_u64(out, *parent_epoch);
+            put_u64(out, *block_index);
+            put_u64(out, *object_size);
+            put_payload(out, payload);
         }
         Message::DirRegister { object, holder, status, size } => {
-            put_u8(&mut out, tags::DIR_REGISTER);
-            put_object(&mut out, *object);
-            put_node(&mut out, *holder);
-            put_status(&mut out, *status);
-            put_u64(&mut out, *size);
+            put_u8(out, tags::DIR_REGISTER);
+            put_object(out, *object);
+            put_node(out, *holder);
+            put_status(out, *status);
+            put_u64(out, *size);
         }
         Message::DirPutInline { object, holder, payload } => {
-            put_u8(&mut out, tags::DIR_PUT_INLINE);
-            put_object(&mut out, *object);
-            put_node(&mut out, *holder);
-            put_payload(&mut out, payload);
+            put_u8(out, tags::DIR_PUT_INLINE);
+            put_object(out, *object);
+            put_node(out, *holder);
+            put_payload(out, payload);
         }
         Message::DirUnregister { object, holder } => {
-            put_u8(&mut out, tags::DIR_UNREGISTER);
-            put_object(&mut out, *object);
-            put_node(&mut out, *holder);
+            put_u8(out, tags::DIR_UNREGISTER);
+            put_object(out, *object);
+            put_node(out, *holder);
         }
         Message::DirQuery { object, requester, query_id, exclude } => {
-            put_u8(&mut out, tags::DIR_QUERY);
-            put_object(&mut out, *object);
-            put_node(&mut out, *requester);
-            put_u64(&mut out, *query_id);
-            put_nodes(&mut out, exclude);
+            put_u8(out, tags::DIR_QUERY);
+            put_object(out, *object);
+            put_node(out, *requester);
+            put_u64(out, *query_id);
+            put_nodes(out, exclude);
         }
         Message::DirQueryReply { object, query_id, result } => {
-            put_u8(&mut out, tags::DIR_QUERY_REPLY);
-            put_object(&mut out, *object);
-            put_u64(&mut out, *query_id);
+            put_u8(out, tags::DIR_QUERY_REPLY);
+            put_object(out, *object);
+            put_u64(out, *query_id);
             match result {
                 QueryResult::Inline { payload } => {
-                    put_u8(&mut out, 0);
-                    put_payload(&mut out, payload);
+                    put_u8(out, 0);
+                    put_payload(out, payload);
                 }
                 QueryResult::Location { node, status, size } => {
-                    put_u8(&mut out, 1);
-                    put_node(&mut out, *node);
-                    put_status(&mut out, *status);
-                    put_u64(&mut out, *size);
+                    put_u8(out, 1);
+                    put_node(out, *node);
+                    put_status(out, *status);
+                    put_u64(out, *size);
                 }
-                QueryResult::Deleted => put_u8(&mut out, 2),
+                QueryResult::Deleted => put_u8(out, 2),
             }
         }
         Message::DirSubscribe { object, subscriber } => {
-            put_u8(&mut out, tags::DIR_SUBSCRIBE);
-            put_object(&mut out, *object);
-            put_node(&mut out, *subscriber);
+            put_u8(out, tags::DIR_SUBSCRIBE);
+            put_object(out, *object);
+            put_node(out, *subscriber);
         }
         Message::DirUnsubscribe { object, subscriber } => {
-            put_u8(&mut out, tags::DIR_UNSUBSCRIBE);
-            put_object(&mut out, *object);
-            put_node(&mut out, *subscriber);
+            put_u8(out, tags::DIR_UNSUBSCRIBE);
+            put_object(out, *object);
+            put_node(out, *subscriber);
         }
         Message::DirReplicate { shard, epoch, seq, op } => {
-            put_u8(&mut out, tags::DIR_REPLICATE);
-            put_u64(&mut out, *shard);
-            put_u64(&mut out, *epoch);
-            put_u64(&mut out, *seq);
-            put_dir_op(&mut out, op);
+            put_u8(out, tags::DIR_REPLICATE);
+            put_u64(out, *shard);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+            put_dir_op(out, op);
         }
         Message::DirAck { shard, epoch, seq } => {
-            put_u8(&mut out, tags::DIR_ACK);
-            put_u64(&mut out, *shard);
-            put_u64(&mut out, *epoch);
-            put_u64(&mut out, *seq);
+            put_u8(out, tags::DIR_ACK);
+            put_u64(out, *shard);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
         }
         Message::DirSnapshotRequest { shard, requester, restart } => {
-            put_u8(&mut out, tags::DIR_SNAPSHOT_REQUEST);
-            put_u64(&mut out, *shard);
-            put_node(&mut out, *requester);
-            put_bool(&mut out, *restart);
+            put_u8(out, tags::DIR_SNAPSHOT_REQUEST);
+            put_u64(out, *shard);
+            put_node(out, *requester);
+            put_bool(out, *restart);
         }
         Message::DirSnapshot { shard, epoch, seq, rank, state } => {
-            put_u8(&mut out, tags::DIR_SNAPSHOT);
-            put_u64(&mut out, *shard);
-            put_u64(&mut out, *epoch);
-            put_u64(&mut out, *seq);
-            put_u64(&mut out, *rank);
-            put_snapshot(&mut out, state);
+            put_u8(out, tags::DIR_SNAPSHOT);
+            put_u64(out, *shard);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+            put_u64(out, *rank);
+            put_snapshot(out, state);
         }
         Message::DirResynced { node } => {
-            put_u8(&mut out, tags::DIR_RESYNCED);
-            put_node(&mut out, *node);
+            put_u8(out, tags::DIR_RESYNCED);
+            put_node(out, *node);
         }
         Message::DirConfirm { object, kind } => {
-            put_u8(&mut out, tags::DIR_CONFIRM);
-            put_object(&mut out, *object);
+            put_u8(out, tags::DIR_CONFIRM);
+            put_object(out, *object);
             match kind {
                 ConfirmKind::Location { status } => {
-                    put_u8(&mut out, confirm_tags::LOCATION);
-                    put_status(&mut out, *status);
+                    put_u8(out, confirm_tags::LOCATION);
+                    put_status(out, *status);
                 }
-                ConfirmKind::Inline => put_u8(&mut out, confirm_tags::INLINE),
-                ConfirmKind::Subscription => put_u8(&mut out, confirm_tags::SUBSCRIPTION),
+                ConfirmKind::Inline => put_u8(out, confirm_tags::INLINE),
+                ConfirmKind::Subscription => put_u8(out, confirm_tags::SUBSCRIPTION),
             }
         }
         Message::DirPublish { object, holder, status, size } => {
-            put_u8(&mut out, tags::DIR_PUBLISH);
-            put_object(&mut out, *object);
-            put_node(&mut out, *holder);
-            put_status(&mut out, *status);
-            put_u64(&mut out, *size);
+            put_u8(out, tags::DIR_PUBLISH);
+            put_object(out, *object);
+            put_node(out, *holder);
+            put_status(out, *status);
+            put_u64(out, *size);
         }
         Message::DirTransferDone { object, receiver, sender } => {
-            put_u8(&mut out, tags::DIR_TRANSFER_DONE);
-            put_object(&mut out, *object);
-            put_node(&mut out, *receiver);
-            put_node(&mut out, *sender);
+            put_u8(out, tags::DIR_TRANSFER_DONE);
+            put_object(out, *object);
+            put_node(out, *receiver);
+            put_node(out, *sender);
         }
         Message::DirDelete { object } => {
-            put_u8(&mut out, tags::DIR_DELETE);
-            put_object(&mut out, *object);
+            put_u8(out, tags::DIR_DELETE);
+            put_object(out, *object);
         }
         Message::StoreRelease { object } => {
-            put_u8(&mut out, tags::STORE_RELEASE);
-            put_object(&mut out, *object);
+            put_u8(out, tags::STORE_RELEASE);
+            put_object(out, *object);
         }
         Message::PullRequest { object, requester, offset } => {
-            put_u8(&mut out, tags::PULL_REQUEST);
-            put_object(&mut out, *object);
-            put_node(&mut out, *requester);
-            put_u64(&mut out, *offset);
+            put_u8(out, tags::PULL_REQUEST);
+            put_object(out, *object);
+            put_node(out, *requester);
+            put_u64(out, *offset);
         }
         Message::PullCancel { object, requester } => {
-            put_u8(&mut out, tags::PULL_CANCEL);
-            put_object(&mut out, *object);
-            put_node(&mut out, *requester);
+            put_u8(out, tags::PULL_CANCEL);
+            put_object(out, *object);
+            put_node(out, *requester);
         }
         Message::PullError { object, reason } => {
-            put_u8(&mut out, tags::PULL_ERROR);
-            put_object(&mut out, *object);
-            put_string(&mut out, reason);
+            put_u8(out, tags::PULL_ERROR);
+            put_object(out, *object);
+            put_string(out, reason);
         }
         Message::ReduceInstruction(instr) => {
-            put_u8(&mut out, tags::REDUCE_INSTRUCTION);
-            put_object(&mut out, instr.target);
-            put_node(&mut out, instr.coordinator);
-            put_u64(&mut out, instr.slot as u64);
-            put_object(&mut out, instr.own_object);
-            put_spec(&mut out, instr.spec);
-            put_u64(&mut out, instr.object_size);
-            put_u64(&mut out, instr.block_size);
-            put_u64(&mut out, instr.num_inputs as u64);
-            put_u64(&mut out, instr.epoch);
+            put_u8(out, tags::REDUCE_INSTRUCTION);
+            put_object(out, instr.target);
+            put_node(out, instr.coordinator);
+            put_u64(out, instr.slot as u64);
+            put_object(out, instr.own_object);
+            put_spec(out, instr.spec);
+            put_u64(out, instr.object_size);
+            put_u64(out, instr.block_size);
+            put_u64(out, instr.num_inputs as u64);
+            put_u64(out, instr.epoch);
             match &instr.parent {
-                None => put_u8(&mut out, 0),
+                None => put_u8(out, 0),
                 Some(p) => {
-                    put_u8(&mut out, 1);
-                    put_u64(&mut out, p.slot as u64);
-                    put_node(&mut out, p.node);
-                    put_u64(&mut out, p.epoch);
+                    put_u8(out, 1);
+                    put_u64(out, p.slot as u64);
+                    put_node(out, p.node);
+                    put_u64(out, p.epoch);
                 }
             }
-            put_u64(&mut out, instr.children.len() as u64);
+            put_u64(out, instr.children.len() as u64);
             for (slot, node, object) in &instr.children {
-                put_u64(&mut out, *slot as u64);
-                put_node(&mut out, *node);
-                put_object(&mut out, *object);
+                put_u64(out, *slot as u64);
+                put_node(out, *node);
+                put_object(out, *object);
             }
-            put_bool(&mut out, instr.is_root);
-            put_u64(&mut out, instr.total_slots as u64);
+            put_bool(out, instr.is_root);
+            put_u64(out, instr.total_slots as u64);
         }
         Message::ReduceDone { target, root } => {
-            put_u8(&mut out, tags::REDUCE_DONE);
-            put_object(&mut out, *target);
-            put_node(&mut out, *root);
+            put_u8(out, tags::REDUCE_DONE);
+            put_object(out, *target);
+            put_node(out, *root);
         }
         Message::ReduceRelease { target } => {
-            put_u8(&mut out, tags::REDUCE_RELEASE);
-            put_object(&mut out, *target);
+            put_u8(out, tags::REDUCE_RELEASE);
+            put_object(out, *target);
         }
     }
-    Ok(out)
 }
 
 // ------------------------------------------------------------------------- decode --
@@ -891,20 +1043,81 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
     Ok(msg)
 }
 
-/// Encode a whole frame: `u32` big-endian length followed by the body.
+/// Encode a whole frame contiguously: `u32` big-endian length followed by the body.
+/// Legacy path — it copies the payload twice (once into the body, once into the
+/// length-prefixed frame); the send path uses [`encode_frame_vectored`].
 pub fn encode_frame(msg: &Message) -> Result<Vec<u8>, FrameError> {
     let body = encode_body(msg)?;
+    u32::try_from(body.len()).map_err(|_| malformed("frame body exceeds u32 length"))?;
     let mut out = Vec::with_capacity(4 + body.len());
     out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    // The frame-assembly copy the scatter-gather path exists to avoid.
+    hoplite_core::copytrace::record(body.len());
     out.extend_from_slice(&body);
     Ok(out)
 }
 
-/// Write a framed message to a writer.
+/// Encode a whole frame as scatter-gather parts: the header (length prefix + tag +
+/// fixed fields) is built fresh, and bulk payload bytes are **referenced, not
+/// copied** — encoding a 4 MiB `PushBlock` is header-only work. Flattening the result
+/// equals [`encode_frame`]'s output byte for byte.
+pub fn encode_frame_vectored(msg: &Message) -> Result<EncodedFrame, FrameError> {
+    let mut w = FrameWriter::new(true);
+    encode_message(msg, &mut w);
+    w.into_frame()
+}
+
+/// Write a framed message to a writer as one contiguous buffer (legacy path).
 pub fn write_frame<W: std::io::Write>(w: &mut W, msg: &Message) -> std::io::Result<()> {
     let frame = encode_frame(msg)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     w.write_all(&frame)
+}
+
+/// Write a framed message with `write_vectored`, never copying bulk payload bytes.
+///
+/// Small frames — control messages, payloads under [`GATHER_MIN_SEGMENT`] — encode to
+/// a single part and go out in one plain `write` syscall. Larger frames are written as
+/// an iovec array of header + shared payload segments, resuming correctly across
+/// short writes.
+pub fn write_frame_vectored<W: std::io::Write>(w: &mut W, msg: &Message) -> std::io::Result<()> {
+    let frame = encode_frame_vectored(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if frame.segments.is_empty() {
+        return w.write_all(&frame.header);
+    }
+    let parts: Vec<&Bytes> = frame.parts().collect();
+    let mut part = 0usize; // first part with unwritten bytes
+    let mut offset = 0usize; // progress within that part
+    while part < parts.len() {
+        let slices: Vec<std::io::IoSlice<'_>> = std::iter::once(&parts[part].as_slice()[offset..])
+            .chain(parts[part + 1..].iter().map(|p| p.as_slice()))
+            .map(std::io::IoSlice::new)
+            .collect();
+        let mut n = match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Advance (part, offset) past the n bytes just written.
+        while n > 0 {
+            let remaining = parts[part].len() - offset;
+            if n < remaining {
+                offset += n;
+                break;
+            }
+            n -= remaining;
+            part += 1;
+            offset = 0;
+        }
+    }
+    Ok(())
 }
 
 /// Read one framed message from a reader. The body buffer is handed to the decoder as
@@ -929,6 +1142,11 @@ mod tests {
         let body = Bytes::from(encode_body(&msg).unwrap());
         let decoded = decode_body(&body).unwrap();
         assert_eq!(decoded, msg);
+        // The scatter-gather encoding must flatten to exactly the contiguous frame.
+        let contiguous = encode_frame(&msg).unwrap();
+        let vectored = encode_frame_vectored(&msg).unwrap();
+        assert_eq!(vectored.frame_len(), contiguous.len());
+        assert_eq!(vectored.to_contiguous(), contiguous);
     }
 
     #[test]
@@ -1208,6 +1426,422 @@ mod tests {
         // The payload sits at the tail of the frame; identical bytes, shared storage.
         assert_eq!(b.as_slice(), &body.as_slice()[body.len() - 64..]);
         assert_eq!(b.slice(..).len(), 64);
+    }
+
+    /// Deterministic xorshift64* generator — the same in-file seeded-fuzzer style as
+    /// `crates/core/tests/properties.rs`, so failures reproduce exactly.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        fn node(&mut self) -> NodeId {
+            NodeId(self.range(0, 64) as u32)
+        }
+
+        fn object(&mut self) -> ObjectId {
+            ObjectId::from_name(&format!("fuzz-{}", self.range(0, 1 << 20)))
+        }
+
+        fn bytes(&mut self, len: usize) -> Vec<u8> {
+            (0..len).map(|_| self.next_u64() as u8).collect()
+        }
+
+        fn nodes(&mut self) -> Vec<NodeId> {
+            let n = self.range(0, 4) as usize;
+            (0..n).map(|_| self.node()).collect()
+        }
+
+        /// Any payload shape: contiguous, segmented (sometimes with bulk segments at
+        /// or above the gather threshold), or synthetic.
+        fn payload(&mut self) -> Payload {
+            match self.range(0, 4) {
+                0 => {
+                    let len = self.range(0, 64) as usize;
+                    Payload::from_vec(self.bytes(len))
+                }
+                1 => {
+                    // Segmented, small pieces (all below the coalesce threshold).
+                    let n = self.range(2, 5) as usize;
+                    let segs = (0..n)
+                        .map(|_| {
+                            let len = self.range(1, 32) as usize;
+                            Bytes::from(self.bytes(len))
+                        })
+                        .collect();
+                    Payload::from_segments(segs)
+                }
+                2 => {
+                    // Segmented with bulk segments that ride as shared references.
+                    let n = self.range(1, 4) as usize;
+                    let segs = (0..n)
+                        .map(|_| {
+                            let len = GATHER_MIN_SEGMENT + self.range(0, 64) as usize;
+                            Bytes::from(self.bytes(len))
+                        })
+                        .collect();
+                    Payload::from_segments(segs)
+                }
+                _ => Payload::synthetic(self.range(0, 1 << 30)),
+            }
+        }
+
+        fn status(&mut self) -> ObjectStatus {
+            if self.range(0, 2) == 0 {
+                ObjectStatus::Partial
+            } else {
+                ObjectStatus::Complete
+            }
+        }
+
+        fn spec(&mut self) -> ReduceSpec {
+            let op = match self.range(0, 3) {
+                0 => ReduceOp::Sum,
+                1 => ReduceOp::Min,
+                _ => ReduceOp::Max,
+            };
+            let dtype = match self.range(0, 4) {
+                0 => DType::F32,
+                1 => DType::F64,
+                2 => DType::I32,
+                _ => DType::I64,
+            };
+            ReduceSpec { op, dtype }
+        }
+
+        fn dir_op(&mut self) -> hoplite_core::DirOp {
+            use hoplite_core::DirOp;
+            match self.range(0, 8) {
+                0 => DirOp::Register {
+                    object: self.object(),
+                    holder: self.node(),
+                    status: self.status(),
+                    size: self.next_u64(),
+                },
+                1 => DirOp::PutInline {
+                    object: self.object(),
+                    holder: self.node(),
+                    payload: self.payload(),
+                },
+                2 => DirOp::Unregister { object: self.object(), holder: self.node() },
+                3 => DirOp::Query {
+                    object: self.object(),
+                    requester: self.node(),
+                    query_id: self.next_u64(),
+                    exclude: self.nodes(),
+                },
+                4 => DirOp::Subscribe { object: self.object(), subscriber: self.node() },
+                5 => DirOp::Unsubscribe { object: self.object(), subscriber: self.node() },
+                6 => DirOp::TransferDone {
+                    object: self.object(),
+                    receiver: self.node(),
+                    sender: self.node(),
+                },
+                _ => DirOp::Delete { object: self.object() },
+            }
+        }
+
+        fn snapshot(&mut self) -> ShardSnapshot {
+            let n = self.range(0, 3) as usize;
+            ShardSnapshot {
+                entries: (0..n)
+                    .map(|_| SnapshotEntry {
+                        object: self.object(),
+                        size: (self.range(0, 2) == 1).then(|| self.next_u64()),
+                        locations: (0..self.range(0, 3))
+                            .map(|_| {
+                                let lease = (self.range(0, 2) == 1).then(|| self.node());
+                                (self.node(), self.status(), lease)
+                            })
+                            .collect(),
+                        inline: (self.range(0, 2) == 1).then(|| self.payload()),
+                        pending: (0..self.range(0, 2))
+                            .map(|_| (self.node(), self.next_u64(), self.nodes()))
+                            .collect(),
+                        subscribers: self.nodes(),
+                        pulls: (0..self.range(0, 2)).map(|_| (self.node(), self.node())).collect(),
+                        deleted: self.range(0, 2) == 1,
+                    })
+                    .collect(),
+            }
+        }
+
+        fn message(&mut self) -> Message {
+            use hoplite_core::protocol::ReduceParent;
+            match self.range(0, 25) {
+                0 => Message::PushBlock {
+                    object: self.object(),
+                    offset: self.next_u64(),
+                    total_size: self.next_u64(),
+                    payload: self.payload(),
+                    complete: self.range(0, 2) == 1,
+                },
+                1 => Message::ReduceBlock {
+                    target: self.object(),
+                    to_slot: self.range(0, 1 << 20) as usize,
+                    from_slot: self.range(0, 1 << 20) as usize,
+                    parent_epoch: self.next_u64(),
+                    block_index: self.next_u64(),
+                    object_size: self.next_u64(),
+                    payload: self.payload(),
+                },
+                2 => Message::DirRegister {
+                    object: self.object(),
+                    holder: self.node(),
+                    status: self.status(),
+                    size: self.next_u64(),
+                },
+                3 => Message::DirPutInline {
+                    object: self.object(),
+                    holder: self.node(),
+                    payload: self.payload(),
+                },
+                4 => Message::DirUnregister { object: self.object(), holder: self.node() },
+                5 => Message::DirQuery {
+                    object: self.object(),
+                    requester: self.node(),
+                    query_id: self.next_u64(),
+                    exclude: self.nodes(),
+                },
+                6 => Message::DirQueryReply {
+                    object: self.object(),
+                    query_id: self.next_u64(),
+                    result: match self.range(0, 3) {
+                        0 => QueryResult::Inline { payload: self.payload() },
+                        1 => QueryResult::Location {
+                            node: self.node(),
+                            status: self.status(),
+                            size: self.next_u64(),
+                        },
+                        _ => QueryResult::Deleted,
+                    },
+                },
+                7 => Message::DirSubscribe { object: self.object(), subscriber: self.node() },
+                8 => Message::DirUnsubscribe { object: self.object(), subscriber: self.node() },
+                9 => Message::DirPublish {
+                    object: self.object(),
+                    holder: self.node(),
+                    status: self.status(),
+                    size: self.next_u64(),
+                },
+                10 => Message::DirTransferDone {
+                    object: self.object(),
+                    receiver: self.node(),
+                    sender: self.node(),
+                },
+                11 => Message::DirDelete { object: self.object() },
+                12 => Message::StoreRelease { object: self.object() },
+                13 => Message::PullRequest {
+                    object: self.object(),
+                    requester: self.node(),
+                    offset: self.next_u64(),
+                },
+                14 => Message::PullCancel { object: self.object(), requester: self.node() },
+                15 => Message::PullError {
+                    object: self.object(),
+                    reason: format!("reason-{}", self.range(0, 1000)),
+                },
+                16 => Message::ReduceInstruction(ReduceInstruction {
+                    target: self.object(),
+                    coordinator: self.node(),
+                    slot: self.range(0, 256) as usize,
+                    own_object: self.object(),
+                    spec: self.spec(),
+                    object_size: self.next_u64(),
+                    block_size: self.next_u64(),
+                    num_inputs: self.range(0, 16) as usize,
+                    epoch: self.next_u64(),
+                    parent: (self.range(0, 2) == 1).then(|| ReduceParent {
+                        slot: self.range(0, 256) as usize,
+                        node: self.node(),
+                        epoch: self.next_u64(),
+                    }),
+                    children: (0..self.range(0, 3))
+                        .map(|_| (self.range(0, 256) as usize, self.node(), self.object()))
+                        .collect(),
+                    is_root: self.range(0, 2) == 1,
+                    total_slots: self.range(1, 256) as usize,
+                }),
+                17 => Message::ReduceDone { target: self.object(), root: self.node() },
+                18 => Message::ReduceRelease { target: self.object() },
+                19 => Message::DirReplicate {
+                    shard: self.next_u64(),
+                    epoch: self.next_u64(),
+                    seq: self.next_u64(),
+                    op: self.dir_op(),
+                },
+                20 => Message::DirAck {
+                    shard: self.next_u64(),
+                    epoch: self.next_u64(),
+                    seq: self.next_u64(),
+                },
+                21 => Message::DirSnapshotRequest {
+                    shard: self.next_u64(),
+                    requester: self.node(),
+                    restart: self.range(0, 2) == 1,
+                },
+                22 => Message::DirSnapshot {
+                    shard: self.next_u64(),
+                    epoch: self.next_u64(),
+                    seq: self.next_u64(),
+                    rank: self.next_u64(),
+                    state: self.snapshot(),
+                },
+                23 => Message::DirResynced { node: self.node() },
+                _ => Message::DirConfirm {
+                    object: self.object(),
+                    kind: match self.range(0, 3) {
+                        0 => ConfirmKind::Location { status: self.status() },
+                        1 => ConfirmKind::Inline,
+                        _ => ConfirmKind::Subscription,
+                    },
+                },
+            }
+        }
+    }
+
+    /// Property (seeded fuzzer): for *every* message variant, with payloads in every
+    /// shape, the scatter-gather frame flattens byte-for-byte to the contiguous
+    /// encoding, and the body round-trips through `decode_body`.
+    #[test]
+    fn fuzz_vectored_encoding_matches_contiguous_for_every_variant() {
+        let mut rng = Rng(0x5CA7_7E2F);
+        let mut variants_seen = [false; 25];
+        for case in 0..600 {
+            let msg = rng.message();
+            let contiguous = encode_frame(&msg).unwrap();
+            let vectored = encode_frame_vectored(&msg).unwrap();
+            assert_eq!(
+                vectored.to_contiguous(),
+                contiguous,
+                "case {case}: vectored != contiguous for {msg:?}"
+            );
+            let body = Bytes::from(encode_body(&msg).unwrap());
+            assert_eq!(&contiguous[4..], body.as_slice(), "case {case}: frame != prefix+body");
+            let decoded = decode_body(&body).unwrap();
+            assert_eq!(decoded, msg, "case {case}: decode roundtrip");
+            variants_seen[(contiguous[4] - 1) as usize] = true;
+        }
+        assert!(
+            variants_seen.iter().all(|&seen| seen),
+            "600 cases should cover all 25 tags: {variants_seen:?}"
+        );
+    }
+
+    #[test]
+    fn bulk_payload_rides_as_shared_segments() {
+        let backing = Bytes::from(vec![7u8; 2 * GATHER_MIN_SEGMENT]);
+        let msg = Message::PushBlock {
+            object: ObjectId::from_name("sg"),
+            offset: 0,
+            total_size: backing.len() as u64,
+            payload: Payload::Bytes(backing.clone()),
+            complete: true,
+        };
+        let frame = encode_frame_vectored(&msg).unwrap();
+        assert_eq!(frame.segments.len(), 1);
+        // Shared storage, not a copy: the segment points at the payload's buffer.
+        assert_eq!(frame.segments[0].as_slice().as_ptr(), backing.as_slice().as_ptr());
+        // Control messages coalesce to a single contiguous part.
+        let ctl = encode_frame_vectored(&Message::DirResynced { node: NodeId(3) }).unwrap();
+        assert!(ctl.segments.is_empty());
+        // Payloads under the threshold coalesce too (short-frame single-syscall path).
+        let small = encode_frame_vectored(&Message::PushBlock {
+            object: ObjectId::from_name("small"),
+            offset: 0,
+            total_size: 64,
+            payload: Payload::zeros(64),
+            complete: true,
+        })
+        .unwrap();
+        assert!(small.segments.is_empty());
+    }
+
+    #[test]
+    fn forward_path_has_zero_payload_copies() {
+        // The full forward hop a relaying node performs: receive frame → decode →
+        // append to the store buffer → read a block back out → re-encode for the next
+        // receiver. With scatter-gather encode this must not copy one payload byte —
+        // the debug copy counter proves it, so the invariant cannot silently regress.
+        use hoplite_core::buffer::ProgressBuffer;
+        use hoplite_core::copytrace;
+        let block_len = 2 * GATHER_MIN_SEGMENT as u64;
+        let total = 2 * block_len;
+        let incoming: Vec<Bytes> = (0..2)
+            .map(|i| {
+                Bytes::from(
+                    encode_body(&Message::PushBlock {
+                        object: ObjectId::from_name("fwd"),
+                        offset: i * block_len,
+                        total_size: total,
+                        payload: Payload::from_vec(vec![i as u8 + 1; block_len as usize]),
+                        complete: i == 1,
+                    })
+                    .unwrap(),
+                )
+            })
+            .collect();
+        copytrace::reset();
+        let mut buf = ProgressBuffer::new(total, false);
+        for frame in &incoming {
+            let Message::PushBlock { offset, payload, .. } = decode_body(frame).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert!(buf.append_at(offset, &payload));
+        }
+        // Forward at an offset that straddles the two received segments — the hardest
+        // case, which the old path would coalesce.
+        let fwd = buf.read(block_len / 2, block_len).unwrap();
+        assert!(fwd.as_bytes().is_none(), "straddling read should stay segmented");
+        let frame = encode_frame_vectored(&Message::PushBlock {
+            object: ObjectId::from_name("fwd"),
+            offset: block_len / 2,
+            total_size: total,
+            payload: fwd,
+            complete: false,
+        })
+        .unwrap();
+        assert_eq!(frame.segments.len(), 2, "both straddled views ride as references");
+        assert_eq!(
+            copytrace::bytes_copied(),
+            0,
+            "decode → append → read → encode must not memcpy payload bytes"
+        );
+        assert_eq!(copytrace::copies(), 0);
+    }
+
+    #[test]
+    fn legacy_contiguous_encode_pays_the_two_copies() {
+        // Documents what the vectored path saves: the legacy frame encoding memcpys
+        // the payload into the body and the body into the frame.
+        use hoplite_core::copytrace;
+        let payload_len = 4 * GATHER_MIN_SEGMENT;
+        let msg = Message::PushBlock {
+            object: ObjectId::from_name("legacy"),
+            offset: 0,
+            total_size: payload_len as u64,
+            payload: Payload::zeros(payload_len),
+            complete: true,
+        };
+        copytrace::reset();
+        encode_frame(&msg).unwrap();
+        if cfg!(debug_assertions) {
+            assert!(copytrace::bytes_copied() >= 2 * payload_len as u64);
+        }
+        copytrace::reset();
+        encode_frame_vectored(&msg).unwrap();
+        assert_eq!(copytrace::bytes_copied(), 0);
     }
 
     #[test]
