@@ -133,6 +133,7 @@ trait ClusterFabric: Send {
     fn take_receiver(&mut self, node: NodeId) -> Receiver<(NodeId, Message)>;
     fn reset_receiver(&mut self, node: NodeId) -> Option<Receiver<(NodeId, Message)>>;
     fn dyn_sender(&self) -> Box<dyn FabricSender>;
+    fn transport_metrics(&self) -> NodeMetrics;
 }
 
 impl<F: Fabric + Send> ClusterFabric for F {
@@ -144,6 +145,9 @@ impl<F: Fabric + Send> ClusterFabric for F {
     }
     fn dyn_sender(&self) -> Box<dyn FabricSender> {
         Box::new(self.sender())
+    }
+    fn transport_metrics(&self) -> NodeMetrics {
+        Fabric::transport_metrics(self)
     }
 }
 
@@ -244,6 +248,13 @@ impl LocalCluster {
     /// `true` for an empty cluster.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Cluster-wide transport counters (`recv_slab_reuse`, `corked_frames_per_write`),
+    /// read live from the fabric. Zeros over the channels fabric — messages move by
+    /// ownership there, so there are no receive slabs and nothing to cork.
+    pub fn transport_metrics(&self) -> NodeMetrics {
+        self.fabric.transport_metrics()
     }
 
     /// A blocking client bound to `node`.
@@ -454,6 +465,33 @@ mod tests {
         cluster.client(0).put(obj, Payload::from_vec(data.clone())).unwrap();
         let got = cluster.client(1).get(obj).unwrap();
         assert_eq!(got.as_bytes().unwrap().as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn tcp_cluster_reports_transport_metrics() {
+        // The transport counters surface through the cluster facade: bulk traffic
+        // over the TCP fabric recycles receive slabs (`recv_slab_reuse`). Each round
+        // deletes its object so the store drops its slab views and the reader's pool
+        // can recycle the slab for the next round.
+        let cluster =
+            LocalCluster::with_fabric(2, HopliteConfig::small_for_tests(), LocalFabric::Tcp);
+        for i in 0..8u32 {
+            let obj = ObjectId::from_name(&format!("slab-{i}"));
+            cluster.client(0).put(obj, Payload::zeros(2 * 1024 * 1024)).unwrap();
+            let got = cluster.client(1).get(obj).unwrap();
+            assert_eq!(got.len(), 2 * 1024 * 1024);
+            drop(got);
+            cluster.client(0).delete(obj).unwrap();
+            // Deletion fans out asynchronously; the views must drop before the next
+            // round's frames arrive for the pool to see the slab as free.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let metrics = cluster.transport_metrics();
+        assert!(
+            metrics.recv_slab_reuse > 0,
+            "bulk TCP traffic should recycle receive slabs, got {}",
+            metrics.recv_slab_reuse
+        );
     }
 
     #[test]

@@ -498,6 +498,153 @@ pub fn directory_fetch_latency(env: &ScenarioEnv, size: u64) -> ScenarioResult {
     result(&cluster, (done - start).as_secs_f64())
 }
 
+/// Outcome of the replication fan-out scenario.
+#[derive(Clone, Debug)]
+pub struct ReplicationFanoutResult {
+    /// `DirReplicate` frames shipped by the measured shard's primary (its
+    /// replication egress).
+    pub primary_replicates: u64,
+    /// Cumulative acks folded and relayed upstream by chain middles, cluster-wide
+    /// (zero under star fan-out).
+    pub chain_ack_depth: u64,
+    /// Objects whose location record is present at the shard primary afterwards.
+    pub recorded: usize,
+}
+
+/// Register a stream of objects into one dedicated directory shard replicated at
+/// `r = 3`, and measure the shard primary's replication egress (§3.5). Under star
+/// fan-out the primary ships every op `r - 1 = 2` times; under chain replication it
+/// ships once to the chain head, which relays — so the primary's egress halves while
+/// the same durability information flows (the tail's cumulative ack walks back up).
+pub fn directory_replication_fanout(
+    env: &ScenarioEnv,
+    n: usize,
+    objects: usize,
+    chain: bool,
+) -> ReplicationFanoutResult {
+    assert!(n >= 5, "need three chain members plus writers");
+    let mut hoplite = env.hoplite.clone();
+    hoplite.directory_replication = 3;
+    hoplite.directory_chain_replication = chain;
+    let mut cluster = SimCluster::new(n, hoplite, env.network.clone());
+    // The last node primaries the measured shard; its chain runs [n-1, 0, 1].
+    let dir_node = n - 1;
+    let view = ClusterView::of_size(n);
+    let objs: Vec<ObjectId> = (0u64..)
+        .map(|k| ObjectId::from_name(&format!("fanout-{k}")))
+        .filter(|&o| view.shard_node(o).index() == dir_node)
+        .take(objects)
+        .collect();
+    // Writers are nodes outside the chain, so the only `DirReplicate` traffic in the
+    // run is the measured shard's. 128 KiB payloads stay above the inline threshold.
+    for (i, &o) in objs.iter().enumerate() {
+        let at = SimTime::from_secs_f64(0.01 * i as f64);
+        let writer = 2 + (i % (n - 3));
+        cluster.submit_at(
+            at,
+            writer,
+            ClientOp::Put { object: o, payload: Payload::synthetic(128 * 1024) },
+        );
+    }
+    cluster.run();
+    let recorded = objs
+        .iter()
+        .filter(|&&o| {
+            cluster.directory_locations(dir_node, o).map(|l| !l.is_empty()).unwrap_or(false)
+        })
+        .count();
+    ReplicationFanoutResult {
+        primary_replicates: cluster.node_metrics(dir_node).directory_replicates_sent,
+        chain_ack_depth: cluster.total_metrics().chain_ack_depth,
+        recorded,
+    }
+}
+
+/// Which member of the three-node replication chain (primary → b1 → b2) a kill
+/// drill takes down mid-replication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainKill {
+    /// The primary itself: a surviving member promotes and clients re-drive their
+    /// unconfirmed window at it.
+    Head,
+    /// The first backup: the primary re-splices the chain around it and re-ships
+    /// the unacked suffix.
+    Middle,
+    /// The last backup: the new tail re-anchors the cumulative ack flow so stuck
+    /// confirms release.
+    Tail,
+}
+
+/// Outcome of a chain kill drill.
+#[derive(Clone, Debug)]
+pub struct ChainKillResult {
+    /// Objects whose location record survived at the shard's final primary.
+    pub surviving_records: usize,
+    /// Objects registered (the zero-loss target).
+    pub expected_records: usize,
+    /// Cumulative acks relayed by chain middles over the run.
+    pub chain_ack_depth: u64,
+}
+
+/// Kill one member of an `r = 3` replication chain while a stream of registrations
+/// is in flight through it (§3.5 under chain replication). Whatever the position —
+/// head, middle, or tail — the surviving members must re-splice and converge with
+/// zero lost location records: client re-drive covers the unconfirmed window when
+/// the primary dies, and the primary's unacked-suffix re-ship plus the re-anchored
+/// cumulative ack cover in-flight ops when a relay dies.
+pub fn chain_kill_drill(
+    env: &ScenarioEnv,
+    n: usize,
+    kill: ChainKill,
+    objects: usize,
+    fail_at_s: f64,
+) -> ChainKillResult {
+    assert!(n >= 5, "need three chain members plus writers");
+    let mut hoplite = env.hoplite.clone();
+    hoplite.directory_replication = 3;
+    hoplite.directory_chain_replication = true;
+    let mut cluster = SimCluster::new(n, hoplite, env.network.clone());
+    let dir_node = n - 1;
+    let victim = match kill {
+        ChainKill::Head => dir_node,
+        ChainKill::Middle => 0,
+        ChainKill::Tail => 1,
+    };
+    let view = ClusterView::of_size(n);
+    let objs: Vec<ObjectId> = (0u64..)
+        .map(|k| ObjectId::from_name(&format!("chain-drill-{k}")))
+        .filter(|&o| view.shard_node(o).index() == dir_node)
+        .take(objects)
+        .collect();
+    // Writers (and therefore holders) are nodes outside the chain, so the victim's
+    // death purges no holder records — any record loss is a replication bug.
+    for (i, &o) in objs.iter().enumerate() {
+        let at = SimTime::from_secs_f64(0.01 * i as f64);
+        let writer = 2 + (i % (n - 3));
+        cluster.submit_at(
+            at,
+            writer,
+            ClientOp::Put { object: o, payload: Payload::synthetic(128 * 1024) },
+        );
+    }
+    cluster.fail_node_at(SimTime::from_secs_f64(fail_at_s), victim);
+    cluster.run();
+    // Read the records at the shard's final primary, as seen by a live writer.
+    let probe = 2;
+    let primary = cluster.directory_primary(probe, objs[0]).expect("shard has a primary");
+    let surviving_records = objs
+        .iter()
+        .filter(|&&o| {
+            cluster.directory_locations(primary.index(), o).map(|l| !l.is_empty()).unwrap_or(false)
+        })
+        .count();
+    ChainKillResult {
+        surviving_records,
+        expected_records: objects,
+        chain_ack_depth: cluster.total_metrics().chain_ack_depth,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +813,43 @@ mod tests {
             0,
             "replication guarantee held without client re-drive"
         );
+    }
+
+    #[test]
+    fn chain_replication_halves_primary_fanout_and_relays_acks() {
+        let env = ScenarioEnv::paper_testbed();
+        let (n, objects) = (8, 24);
+        let star = directory_replication_fanout(&env, n, objects, false);
+        let chain = directory_replication_fanout(&env, n, objects, true);
+        assert_eq!(star.recorded, objects, "star run registered everything");
+        assert_eq!(chain.recorded, objects, "chain run registered everything");
+        // Star ships every op to both backups; the chain primary ships each op once.
+        assert!(
+            star.primary_replicates >= 2 * objects as u64,
+            "star egress is r-1 per op, got {}",
+            star.primary_replicates
+        );
+        assert!(
+            chain.primary_replicates <= star.primary_replicates / 2,
+            "chain halves the primary's replication egress: {} vs {}",
+            chain.primary_replicates,
+            star.primary_replicates
+        );
+        // The durability signal still flows — as cumulative acks relayed upstream.
+        assert!(chain.chain_ack_depth > 0, "chain middles relayed acks");
+        assert_eq!(star.chain_ack_depth, 0, "no ack relaying under star fan-out");
+    }
+
+    #[test]
+    fn chain_kill_drills_lose_no_records_at_any_position() {
+        let env = ScenarioEnv::paper_testbed();
+        for kill in [ChainKill::Head, ChainKill::Middle, ChainKill::Tail] {
+            let r = chain_kill_drill(&env, 8, kill, 20, 0.1);
+            assert_eq!(
+                r.surviving_records, r.expected_records,
+                "zero lost location records with the {kill:?} killed mid-stream"
+            );
+        }
     }
 
     #[test]

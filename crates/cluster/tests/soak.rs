@@ -13,12 +13,16 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use hoplite_cluster::scenarios::{
-    directory_failover_broadcast, rolling_restart_collectives, ScenarioEnv,
+    chain_kill_drill, directory_failover_broadcast, rolling_restart_collectives, ChainKill,
+    ScenarioEnv,
 };
 use hoplite_core::prelude::NodeId;
 
 const MB: u64 = 1024 * 1024;
 const SEEDS: u64 = 32;
+/// The chain kill drills are light (small cluster, small objects), so they sweep a
+/// wider seed bank.
+const CHAIN_SEEDS: u64 = 64;
 
 /// Minimal deterministic parameter generator (64-bit LCG, MMIX constants).
 struct Lcg(u64);
@@ -108,4 +112,31 @@ fn soak_rolling_restart_seeds() {
         });
     }
     eprintln!("soak_rolling_restart_seeds: {SEEDS} seeds green");
+}
+
+/// Chain-replication kill drills (r = 3): at every seed, kill the head, the middle,
+/// and the tail of the replication chain mid-stream under varying cluster sizes,
+/// registration counts, and kill times. Whatever dies, the survivors must re-splice
+/// and converge with zero lost location records.
+#[test]
+#[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
+fn soak_chain_kill_drill_seeds() {
+    for seed in 0..CHAIN_SEEDS {
+        with_seed("chain_kill_drill", seed, || {
+            let mut lcg = Lcg::new(seed ^ 0xC0FFEE);
+            let n = lcg.pick(5, 9) as usize;
+            let objects = lcg.pick(12, 32) as usize;
+            let fail_at = 0.02 + lcg.pick(0, 20) as f64 * 0.01;
+            let env = ScenarioEnv::paper_testbed();
+            for kill in [ChainKill::Head, ChainKill::Middle, ChainKill::Tail] {
+                let r = chain_kill_drill(&env, n, kill, objects, fail_at);
+                assert_eq!(
+                    r.surviving_records, r.expected_records,
+                    "seed {seed}: zero lost records with the {kill:?} killed \
+                     (n={n} objects={objects} fail_at={fail_at})"
+                );
+            }
+        });
+    }
+    eprintln!("soak_chain_kill_drill_seeds: {CHAIN_SEEDS} seeds x 3 positions green");
 }

@@ -73,6 +73,16 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// A view over a caller-retained shared allocation (no copy). This is the hook
+    /// slab pools use: the pool keeps its own `Arc` handle to the slab, mints frame
+    /// views with this constructor, and reclaims the slab for rewriting once every
+    /// view has dropped (`Arc::get_mut` on the retained handle succeeds again).
+    /// Panics when the range is out of bounds.
+    pub fn from_arc(data: Arc<[u8]>, start: usize, end: usize) -> Bytes {
+        assert!(start <= end && end <= data.len(), "view {start}..{end} out of bounds");
+        Bytes { data, start, end }
+    }
 }
 
 impl Default for Bytes {

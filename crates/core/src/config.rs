@@ -43,6 +43,12 @@ pub struct HopliteConfig {
     /// paper replicates the object directory so metadata survives node failures).
     /// Clamped to the cluster size at placement time; `1` disables replication.
     pub directory_replication: usize,
+    /// With `directory_replication >= 3`, replicate each shard along a chain
+    /// (primary → b1 → b2 → …, cumulative acks flowing back from the tail) instead of
+    /// star fan-out: the primary's replication egress is one stream regardless of `r`,
+    /// at the cost of one extra relay hop of confirm latency per chain position.
+    /// Ignored for `directory_replication <= 2`, where chain and star coincide.
+    pub directory_chain_replication: bool,
 }
 
 impl Default for HopliteConfig {
@@ -58,6 +64,7 @@ impl Default for HopliteConfig {
             pull_timeout: Duration::from_millis(750),
             directory_shards: None,
             directory_replication: 2,
+            directory_chain_replication: true,
         }
     }
 }

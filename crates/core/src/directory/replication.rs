@@ -60,10 +60,13 @@ pub enum ReplayOutcome {
 }
 
 /// One retained log entry on the primary: the op at a sequence number, plus the
-/// confirmation to emit once every tracked backup has acked past it.
+/// confirmation to emit once every tracked backup has acked past it. The op itself
+/// is retained so a chain primary can re-ship the unacked suffix to a new chain
+/// head after a re-splice (see [`ShardReplica::unacked_suffix`]).
 #[derive(Clone, Debug)]
 struct LogEntry {
     seq: u64,
+    op: DirOp,
     confirm: Option<(NodeId, Message)>,
 }
 
@@ -202,8 +205,17 @@ impl ShardReplica {
         debug_assert_eq!(self.role, ReplicaRole::Primary, "client ops apply on the primary");
         apply_op(&mut self.shard, op, out);
         self.applied_seq += 1;
-        self.log.push_back(LogEntry { seq: self.applied_seq, confirm });
+        self.log.push_back(LogEntry { seq: self.applied_seq, op: op.clone(), confirm });
         self.applied_seq
+    }
+
+    /// The retained ops with sequence numbers strictly greater than `after`, in log
+    /// order. A chain primary re-ships this suffix to the (possibly new) chain head
+    /// after a membership change, so ops that were in flight through a dead or
+    /// restarted chain member are not lost — the head's duplicate detection makes
+    /// re-shipping idempotent.
+    pub fn unacked_suffix(&self, after: u64) -> Vec<(u64, DirOp)> {
+        self.log.iter().filter(|e| e.seq > after).map(|e| (e.seq, e.op.clone())).collect()
     }
 
     /// Record a backup's cumulative ack and return the confirms whose entries became

@@ -195,6 +195,24 @@ impl PlacementView {
         self.rank[shard]
     }
 
+    /// The shard's replication chain under chain mode: the current primary first,
+    /// then every other live replica-set member (resyncing ones included — they are
+    /// shipped to) in cyclic order from the primary's position. Every node folds the
+    /// same failure/recovery notices into the same rule, so all members compute the
+    /// same chain and can find their own successor/predecessor locally. Empty when
+    /// every replica is dead or resyncing.
+    pub fn chain(&self, shard: usize) -> Vec<NodeId> {
+        let Some(primary) = self.primary(shard) else { return Vec::new() };
+        let members = self.placement.replica_set(shard);
+        let r = members.len();
+        let start = members.iter().position(|&n| n == primary).unwrap_or(0);
+        let mut chain = vec![primary];
+        chain.extend(
+            (1..r).map(|i| members[(start + i) % r]).filter(|&n| n != primary && self.is_alive(n)),
+        );
+        chain
+    }
+
     /// Digest a peer failure. Returns the shards whose primary moved off `peer` onto
     /// a surviving replica (the client's re-drive set).
     pub fn on_peer_failed(&mut self, peer: NodeId) -> Vec<usize> {
@@ -294,6 +312,12 @@ pub struct DirectoryService {
     /// [`DirectoryService::take_readmission_announcement`] and broadcasts
     /// `DirResynced`.
     announce_readmission: bool,
+    /// Chain replication enabled by configuration (effective only with
+    /// `directory_replication >= 3`; chain and star coincide below that).
+    chain: bool,
+    /// Cumulative `DirAck`s this node folded and relayed upstream as a chain middle
+    /// member. Drained by the facade into `NodeMetrics::chain_ack_depth`.
+    chain_acks_relayed: u64,
 }
 
 impl DirectoryService {
@@ -320,6 +344,8 @@ impl DirectoryService {
             resync_sources: BTreeMap::new(),
             local_resync: false,
             announce_readmission: false,
+            chain: cfg.directory_chain_replication,
+            chain_acks_relayed: 0,
         }
     }
 
@@ -371,6 +397,72 @@ impl DirectoryService {
             .collect()
     }
 
+    /// Whether this deployment replicates shards along a chain (primary → b1 → b2,
+    /// cumulative acks flowing back from the tail) instead of star fan-out. With
+    /// fewer than three replicas the two topologies coincide, so star is kept.
+    fn chain_enabled(&self) -> bool {
+        self.chain && self.view.placement().replication() >= 3
+    }
+
+    /// The backups whose acks gate durability when this node is `shard`'s primary:
+    /// just the chain head under chain replication (its cumulative ack, folded back
+    /// hop by hop from the tail, certifies the whole chain), every live backup under
+    /// star fan-out.
+    fn tracked_backups(&self, shard: usize) -> Vec<NodeId> {
+        if self.chain_enabled() {
+            self.view.chain(shard).into_iter().skip(1).take(1).collect()
+        } else {
+            self.live_backups(shard)
+        }
+    }
+
+    /// This node's downstream neighbour on the shard's replication chain (`None` at
+    /// the tail, or when chain mode is off / this node is not on the chain).
+    fn chain_successor(&self, shard: usize) -> Option<NodeId> {
+        if !self.chain_enabled() {
+            return None;
+        }
+        let chain = self.view.chain(shard);
+        let pos = chain.iter().position(|&n| n == self.me)?;
+        chain.get(pos + 1).copied()
+    }
+
+    /// This node's upstream neighbour on the shard's replication chain (`None` at
+    /// the primary, or when chain mode is off / this node is not on the chain).
+    fn chain_predecessor(&self, shard: usize) -> Option<NodeId> {
+        if !self.chain_enabled() {
+            return None;
+        }
+        let chain = self.view.chain(shard);
+        let pos = chain.iter().position(|&n| n == self.me)?;
+        pos.checked_sub(1).map(|p| chain[p])
+    }
+
+    /// Chain mode, primary side: after a membership change (chain member died or was
+    /// re-admitted), re-anchor the tracked head and re-ship the retained unacked
+    /// suffix to it, so ops that were in flight through the old chain are not lost.
+    /// The head's duplicate detection makes the re-ship idempotent; a head that is
+    /// too far behind answers with a snapshot request instead of an ack.
+    fn resplice_chain(&mut self, shard: usize, out: &mut Vec<(NodeId, Message)>) {
+        let tracked = self.tracked_backups(shard);
+        let Some(replica) = self.replicas.get_mut(&shard) else { return };
+        if replica.role() != ReplicaRole::Primary {
+            return;
+        }
+        out.extend(replica.set_tracked_backups(&tracked));
+        let Some(&head) = tracked.first() else { return };
+        let epoch = replica.epoch();
+        for (seq, op) in replica.unacked_suffix(0) {
+            out.push((head, Message::DirReplicate { shard: shard as u64, epoch, seq, op }));
+        }
+    }
+
+    /// Drain the count of cumulative acks this node relayed upstream as a chain
+    /// member (folded into `NodeMetrics::chain_ack_depth` by the node facade).
+    pub fn take_chain_ack_relays(&mut self) -> u64 {
+        std::mem::take(&mut self.chain_acks_relayed)
+    }
+
     /// Route one client directory op: apply it if this node is the shard's primary
     /// (emitting replies, log-shipping the op, and later confirming it to its
     /// origin), forward it to the believed primary otherwise. Ops for a shard whose
@@ -379,7 +471,10 @@ impl DirectoryService {
         let shard = self.view.placement().shard_of(op.object());
         match self.view.primary(shard) {
             Some(primary) if primary == self.me => {
-                let backups = self.live_backups(shard);
+                // Under star fan-out every live backup is shipped to and tracked;
+                // under chain replication only the chain head is — it relays the op
+                // down the chain and its cumulative ack certifies the whole chain.
+                let backups = self.tracked_backups(shard);
                 let replica = self.replicas.get_mut(&shard).expect("primary hosts its shard");
                 out.extend(replica.set_tracked_backups(&backups));
                 let confirm = op
@@ -409,9 +504,12 @@ impl DirectoryService {
         }
     }
 
-    /// Replay an op shipped by a shard's primary into this node's backup replica,
-    /// answering with an ack — or with a snapshot request when the log exposes a gap
-    /// this replica cannot bridge.
+    /// Replay an op shipped by a shard's primary (or, under chain replication, by
+    /// this node's chain predecessor) into this node's backup replica. Under star
+    /// fan-out an applied op is acked straight back to the shipper; on a chain a
+    /// non-tail member instead relays the op to its successor and stays silent — the
+    /// tail's ack flows back hop by hop through [`DirectoryService::handle_ack`].
+    /// A log gap this replica cannot bridge is answered with a snapshot request.
     pub fn handle_replicate(
         &mut self,
         shard: usize,
@@ -422,10 +520,22 @@ impl DirectoryService {
         out: &mut Vec<(NodeId, Message)>,
     ) -> bool {
         self.view.note_epoch(shard, epoch);
+        let successor = self.chain_successor(shard);
         let Some(replica) = self.replicas.get_mut(&shard) else { return false };
         match replica.apply_replicated(epoch, seq, op) {
             ReplayOutcome::Acked(acked) => {
                 let epoch = replica.epoch();
+                if let Some(successor) = successor {
+                    // Chain middle: pass the op downstream (duplicates too — a
+                    // re-shipped suffix after a re-splice must reach the tail, whose
+                    // own duplicate detection re-acks it) and do not ack here; the
+                    // cumulative ack comes back from the tail.
+                    out.push((
+                        successor,
+                        Message::DirReplicate { shard: shard as u64, epoch, seq, op: op.clone() },
+                    ));
+                    return true;
+                }
                 out.push((from, Message::DirAck { shard: shard as u64, epoch, seq: acked }));
                 true
             }
@@ -438,7 +548,10 @@ impl DirectoryService {
     }
 
     /// Fold a backup's cumulative ack into the shard's log, emitting any confirms
-    /// that became due.
+    /// that became due. On a replication chain an ack arriving at a *backup* is the
+    /// downstream chain's cumulative ack: it is bounded by this member's own applied
+    /// prefix (the chain guarantee is "applied by me *and* everyone below me") and
+    /// relayed one hop upstream toward the primary.
     pub fn handle_ack(
         &mut self,
         shard: usize,
@@ -448,8 +561,15 @@ impl DirectoryService {
         out: &mut Vec<(NodeId, Message)>,
     ) {
         self.view.note_epoch(shard, epoch);
-        if let Some(replica) = self.replicas.get_mut(&shard) {
+        let predecessor = self.chain_predecessor(shard);
+        let Some(replica) = self.replicas.get_mut(&shard) else { return };
+        if replica.role() == ReplicaRole::Primary {
             out.extend(replica.record_ack(from, seq));
+        } else if let Some(pred) = predecessor {
+            let seq = seq.min(replica.applied_seq());
+            let epoch = replica.epoch();
+            out.push((pred, Message::DirAck { shard: shard as u64, epoch, seq }));
+            self.chain_acks_relayed += 1;
         }
     }
 
@@ -544,13 +664,14 @@ impl DirectoryService {
             if self.view.primary(shard) != Some(self.me) {
                 continue;
             }
-            let backups = self.live_backups(shard);
+            let backups = self.tracked_backups(shard);
+            let epoch = self.view.epoch(shard);
             let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
             if replica.role() == ReplicaRole::Backup {
                 if replica.is_resyncing() {
                     replica.abort_resync();
                 }
-                replica.promote_to(self.view.epoch(shard));
+                replica.promote_to(epoch);
                 replica.set_tracked_backups(&backups);
             }
         }
@@ -572,16 +693,49 @@ impl DirectoryService {
         let mut promoted = Vec::new();
         let shards: Vec<usize> = self.replicas.keys().copied().collect();
         for shard in shards {
-            let backups = self.live_backups(shard);
-            let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
-            replica.node_failed(peer);
-            if replica.role() == ReplicaRole::Primary {
-                // The dead node no longer gates durability.
-                out.extend(replica.set_tracked_backups(&backups));
+            let chain_member_died =
+                self.chain_enabled() && self.view.placement().hosts(peer, shard);
+            let backups = self.tracked_backups(shard);
+            let role = {
+                let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
+                replica.node_failed(peer);
+                replica.role()
+            };
+            if role == ReplicaRole::Primary {
+                // The dead node no longer gates durability. On a chain, re-anchor
+                // the tracked head and re-ship the unacked suffix so ops that were
+                // in flight through the dead member are not lost.
+                if chain_member_died {
+                    self.resplice_chain(shard, out);
+                } else {
+                    let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
+                    out.extend(replica.set_tracked_backups(&backups));
+                }
             } else if self.view.primary(shard) == Some(self.me) {
-                replica.promote_to(self.view.epoch(shard));
+                let epoch = self.view.epoch(shard);
+                let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
+                replica.promote_to(epoch);
                 replica.set_tracked_backups(&backups);
                 promoted.push(shard);
+            } else if chain_member_died {
+                // Surviving chain member below the primary: the dead peer may have
+                // been our downstream (whose acks will never arrive) or our upstream
+                // (who relayed for us). Re-anchor the ack flow immediately by
+                // sending our applied prefix as a cumulative ack to whoever is our
+                // predecessor on the re-formed chain.
+                if let Some(pred) = self.chain_predecessor(shard) {
+                    let replica = self.replicas.get(&shard).expect("iterating hosted shards");
+                    if replica.role() == ReplicaRole::Backup && !replica.is_resyncing() {
+                        out.push((
+                            pred,
+                            Message::DirAck {
+                                shard: shard as u64,
+                                epoch: replica.epoch(),
+                                seq: replica.applied_seq(),
+                            },
+                        ));
+                    }
+                }
             }
         }
         // Re-target interrupted resyncs whose source died.
@@ -615,9 +769,38 @@ impl DirectoryService {
         self.view.on_peer_recovered(peer);
     }
 
-    /// Digest a peer's catch-up announcement (full replica again).
-    pub fn on_peer_readmitted(&mut self, peer: NodeId) {
+    /// Digest a peer's catch-up announcement (full replica again). Under chain
+    /// replication the re-admitted member splices back into every chain it belongs
+    /// to: a primary re-anchors its tracked head and re-ships the unacked suffix,
+    /// and a downstream member re-anchors the ack flow at its (possibly new)
+    /// predecessor — `out` carries the resulting shipments and acks.
+    pub fn on_peer_readmitted(&mut self, peer: NodeId, out: &mut Vec<(NodeId, Message)>) {
         self.view.on_peer_readmitted(peer);
+        if !self.chain_enabled() {
+            return;
+        }
+        let shards: Vec<usize> = self.replicas.keys().copied().collect();
+        for shard in shards {
+            if !self.view.placement().hosts(peer, shard) {
+                continue;
+            }
+            let role = self.replicas.get(&shard).expect("iterating hosted shards").role();
+            if role == ReplicaRole::Primary {
+                self.resplice_chain(shard, out);
+            } else if let Some(pred) = self.chain_predecessor(shard) {
+                let replica = self.replicas.get(&shard).expect("iterating hosted shards");
+                if !replica.is_resyncing() {
+                    out.push((
+                        pred,
+                        Message::DirAck {
+                            shard: shard as u64,
+                            epoch: replica.epoch(),
+                            seq: replica.applied_seq(),
+                        },
+                    ));
+                }
+            }
+        }
     }
 
     /// Start recovery after a restart: demote every hosted replica, mark this node
@@ -1010,12 +1193,250 @@ mod tests {
         assert_eq!(restarted.primary_for(o), Some(NodeId(1)));
         // Survivor readmits node 0; when the survivor later dies, node 0 leads again
         // at a strictly higher epoch.
-        survivor.on_peer_readmitted(NodeId(0));
-        restarted.on_peer_readmitted(NodeId(0));
+        survivor.on_peer_readmitted(NodeId(0), &mut Vec::new());
+        restarted.on_peer_readmitted(NodeId(0), &mut Vec::new());
         let mut out2 = Vec::new();
         let promoted = restarted.on_peer_failed(NodeId(1), &mut out2);
         assert!(promoted.contains(&0), "restarted node serves as primary again");
         assert!(restarted.is_primary_for(o));
         assert!(restarted.replica(0).unwrap().epoch() >= 2);
+    }
+
+    // ---------------------------------------------------- chain replication ----
+
+    fn chain_cfg() -> HopliteConfig {
+        HopliteConfig { directory_replication: 3, ..HopliteConfig::small_for_tests() }
+    }
+
+    fn chain_svcs() -> Vec<DirectoryService> {
+        let cfg = chain_cfg();
+        let ns = nodes(3);
+        (0..3).map(|i| DirectoryService::new(NodeId(i), &cfg, &ns)).collect()
+    }
+
+    /// Deliver `(from, to, msg)` triples between the services until the cluster goes
+    /// quiet, dropping anything addressed to a `dead` node. Returns the `DirConfirm`s
+    /// that reached their origins.
+    fn pump(
+        svcs: &mut [DirectoryService],
+        queue: &mut Vec<(NodeId, NodeId, Message)>,
+        dead: &[NodeId],
+    ) -> Vec<(NodeId, Message)> {
+        let mut confirms = Vec::new();
+        while let Some((from, to, msg)) = queue.pop() {
+            if dead.contains(&to) {
+                continue;
+            }
+            let svc = &mut svcs[to.0 as usize];
+            let mut out = Vec::new();
+            match msg {
+                Message::DirReplicate { shard, epoch, seq, op } => {
+                    svc.handle_replicate(shard as usize, epoch, seq, &op, from, &mut out);
+                }
+                Message::DirAck { shard, epoch, seq } => {
+                    svc.handle_ack(shard as usize, from, epoch, seq, &mut out);
+                }
+                Message::DirSnapshotRequest { shard, requester, restart } => {
+                    svc.handle_snapshot_request(shard as usize, requester, restart, &mut out);
+                }
+                Message::DirSnapshot { shard, epoch, seq, rank, state } => {
+                    svc.handle_snapshot(
+                        shard as usize,
+                        epoch,
+                        seq,
+                        rank as usize,
+                        &state,
+                        from,
+                        &mut out,
+                    );
+                }
+                m @ Message::DirConfirm { .. } => {
+                    confirms.push((to, m));
+                    continue;
+                }
+                other => panic!("unroutable message in chain test: {other:?}"),
+            }
+            queue.extend(out.into_iter().map(|(to2, m2)| (to, to2, m2)));
+        }
+        confirms
+    }
+
+    #[test]
+    fn view_chain_orders_members_from_the_primary_and_skips_dead() {
+        let mut v = PlacementView::new(DirectoryPlacement::new(nodes(4), None, 3));
+        assert_eq!(v.chain(1), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        v.on_peer_failed(NodeId(2));
+        assert_eq!(v.chain(1), vec![NodeId(1), NodeId(3)]);
+        v.on_peer_failed(NodeId(1));
+        assert_eq!(v.chain(1), vec![NodeId(3)], "cursor advanced past the dead primary");
+        // A recovered-but-resyncing member rejoins the chain (it is shipped to) but
+        // does not lead it.
+        v.on_peer_recovered(NodeId(2));
+        assert_eq!(v.chain(1), vec![NodeId(3), NodeId(2)]);
+    }
+
+    #[test]
+    fn chain_primary_ships_once_and_the_tail_ack_walks_back_up() {
+        let mut svcs = chain_svcs();
+        let o = obj_in_shard(&svcs[0], 0);
+        let mut out = Vec::new();
+        assert!(svcs[0].handle_op(reg(o, 1), &mut out));
+        // Primary egress is a single stream to the chain head, not one per backup.
+        let ships: Vec<&NodeId> = out
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Message::DirReplicate { .. }).then_some(to))
+            .collect();
+        assert_eq!(ships, vec![&NodeId(1)], "one shipment, to the head: {out:?}");
+        let mut queue: Vec<_> = out.drain(..).map(|(to, m)| (NodeId(0), to, m)).collect();
+        let confirms = pump(&mut svcs, &mut queue, &[]);
+        // The op reached both backups through the chain, the tail's ack was folded
+        // upstream by the middle, and the origin got its confirm.
+        assert_eq!(svcs[1].locations(o).map(|l| l.len()), Some(1), "head applied");
+        assert_eq!(svcs[2].locations(o).map(|l| l.len()), Some(1), "tail applied");
+        assert!(
+            confirms.iter().any(|(to, _)| *to == NodeId(1)),
+            "origin confirmed after the cumulative ack: {confirms:?}"
+        );
+        assert_eq!(svcs[1].take_chain_ack_relays(), 1, "middle relayed the tail's ack");
+        assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 0, "primary log trimmed");
+    }
+
+    #[test]
+    fn chain_disabled_falls_back_to_star_fanout() {
+        let cfg = HopliteConfig { directory_chain_replication: false, ..chain_cfg() };
+        let ns = nodes(3);
+        let mut p = DirectoryService::new(NodeId(0), &cfg, &ns);
+        let o = obj_in_shard(&p, 0);
+        let mut out = Vec::new();
+        assert!(p.handle_op(reg(o, 1), &mut out));
+        let mut ships: Vec<NodeId> = out
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Message::DirReplicate { .. }).then_some(*to))
+            .collect();
+        ships.sort_by_key(|n| n.0);
+        assert_eq!(ships, vec![NodeId(1), NodeId(2)], "star ships to every live backup");
+    }
+
+    #[test]
+    fn chain_tail_death_unsticks_the_cumulative_ack() {
+        let mut svcs = chain_svcs();
+        let o = obj_in_shard(&svcs[0], 0);
+        let mut out = Vec::new();
+        assert!(svcs[0].handle_op(reg(o, 1), &mut out));
+        // Deliver the shipment to the head, which relays it to the tail — but the
+        // tail dies before acking (its relay is dropped).
+        let mut queue: Vec<_> = out.drain(..).map(|(to, m)| (NodeId(0), to, m)).collect();
+        let confirms = pump(&mut svcs, &mut queue, &[NodeId(2)]);
+        assert!(confirms.is_empty(), "no cumulative ack: no confirm yet");
+        assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 1, "op stuck unacked");
+        // Survivors digest the failure: the head (now the tail) re-anchors the ack
+        // flow with its applied prefix, and the primary's re-splice re-ships.
+        let (head, rest) = svcs.split_at_mut(1);
+        let mut q0 = Vec::new();
+        head[0].on_peer_failed(NodeId(2), &mut q0);
+        let mut q1 = Vec::new();
+        rest[0].on_peer_failed(NodeId(2), &mut q1);
+        assert!(
+            q1.iter()
+                .any(|(to, m)| *to == NodeId(0) && matches!(m, Message::DirAck { seq: 1, .. })),
+            "surviving member re-acks its applied prefix upstream: {q1:?}"
+        );
+        let mut queue: Vec<_> = q0
+            .into_iter()
+            .map(|(to, m)| (NodeId(0), to, m))
+            .chain(q1.into_iter().map(|(to, m)| (NodeId(1), to, m)))
+            .collect();
+        let confirms = pump(&mut svcs, &mut queue, &[NodeId(2)]);
+        assert!(!confirms.is_empty(), "confirm released after the re-anchored ack");
+        assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 0);
+    }
+
+    #[test]
+    fn chain_head_death_resplices_and_reships_the_unacked_suffix() {
+        let mut svcs = chain_svcs();
+        let o = obj_in_shard(&svcs[0], 0);
+        let mut out = Vec::new();
+        // Holder 2: a record held by the dying node itself would be purged with it.
+        assert!(svcs[0].handle_op(reg(o, 2), &mut out));
+        // The head dies with the shipment in flight: nothing reached the tail.
+        out.clear();
+        let mut q0 = Vec::new();
+        svcs[0].on_peer_failed(NodeId(1), &mut q0);
+        assert!(
+            q0.iter().any(
+                |(to, m)| *to == NodeId(2) && matches!(m, Message::DirReplicate { seq: 1, .. })
+            ),
+            "primary re-ships the unacked suffix to the new head: {q0:?}"
+        );
+        let mut q2 = Vec::new();
+        svcs[2].on_peer_failed(NodeId(1), &mut q2);
+        let mut queue: Vec<_> = q0
+            .into_iter()
+            .map(|(to, m)| (NodeId(0), to, m))
+            .chain(q2.into_iter().map(|(to, m)| (NodeId(2), to, m)))
+            .collect();
+        let confirms = pump(&mut svcs, &mut queue, &[NodeId(1)]);
+        // Zero lost location records: the surviving backup holds the op, acked
+        // straight to the primary (the two-member chain has no middle).
+        assert_eq!(svcs[2].locations(o).map(|l| l.len()), Some(1));
+        assert!(!confirms.is_empty(), "op confirmed after the re-splice");
+        assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 0);
+    }
+
+    #[test]
+    fn chain_readmission_resplices_the_restarted_member_back_in() {
+        let mut svcs = chain_svcs();
+        let o1 = obj_in_shard(&svcs[0], 0);
+        // Op 1 flows through the intact chain (holder 2: a record held by the node
+        // that dies below would be purged with it).
+        let mut out = Vec::new();
+        assert!(svcs[0].handle_op(reg(o1, 2), &mut out));
+        let mut queue: Vec<_> = out.drain(..).map(|(to, m)| (NodeId(0), to, m)).collect();
+        pump(&mut svcs, &mut queue, &[]);
+        // The head dies; op 2 is applied but its re-spliced shipment is lost too
+        // (the network drops everything while the failure settles).
+        let mut scratch = Vec::new();
+        svcs[0].on_peer_failed(NodeId(1), &mut scratch);
+        svcs[2].on_peer_failed(NodeId(1), &mut scratch);
+        scratch.clear();
+        let o2 = (0u64..)
+            .map(|k| obj(&format!("chain-readmit-{k}")))
+            .find(|&o| svcs[0].placement().shard_of(o) == 0)
+            .unwrap();
+        assert!(svcs[0].handle_op(reg(o2, 2), &mut scratch));
+        scratch.clear();
+        assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 1, "op 2 in flight");
+        // Node 1 comes back (its replica state intact through seq 1) and is
+        // re-admitted: the primary re-splices it in as the head and re-ships the
+        // unacked suffix, which then relays down to the tail and gets acked back.
+        for svc in &mut svcs {
+            svc.on_peer_recovered(NodeId(1));
+        }
+        let mut q0 = Vec::new();
+        svcs[0].on_peer_readmitted(NodeId(1), &mut q0);
+        assert!(
+            q0.iter().any(
+                |(to, m)| *to == NodeId(1) && matches!(m, Message::DirReplicate { seq: 2, .. })
+            ),
+            "suffix re-shipped to the re-admitted head: {q0:?}"
+        );
+        let mut q1 = Vec::new();
+        svcs[1].on_peer_readmitted(NodeId(1), &mut q1);
+        let mut q2 = Vec::new();
+        svcs[2].on_peer_readmitted(NodeId(1), &mut q2);
+        let mut queue: Vec<_> = q0
+            .into_iter()
+            .map(|(to, m)| (NodeId(0), to, m))
+            .chain(q1.into_iter().map(|(to, m)| (NodeId(1), to, m)))
+            .chain(q2.into_iter().map(|(to, m)| (NodeId(2), to, m)))
+            .collect();
+        let confirms = pump(&mut svcs, &mut queue, &[]);
+        // Every member converged on both records; op 2 is confirmed.
+        for svc in &svcs {
+            assert_eq!(svc.locations(o1).map(|l| l.len()), Some(1));
+            assert_eq!(svc.locations(o2).map(|l| l.len()), Some(1));
+        }
+        assert!(confirms.iter().any(|(to, _)| *to == NodeId(2)), "op 2 confirmed: {confirms:?}");
+        assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 0);
     }
 }

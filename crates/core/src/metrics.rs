@@ -39,6 +39,20 @@ pub struct NodeMetrics {
     pub directory_registrations: u64,
     /// Inline (small-object) directory hits served by the shard hosted on this node.
     pub directory_inline_hits: u64,
+    /// `DirReplicate` frames this node shipped (primary egress; one per backup in star
+    /// fan-out, one per op under chain replication — plus relays at chain members).
+    pub directory_replicates_sent: u64,
+    /// Cumulative `DirAck`s this node folded and relayed *upstream* along a
+    /// replication chain (tail → middle → primary). Zero under star fan-out, where
+    /// every ack goes straight to the primary.
+    pub chain_ack_depth: u64,
+    /// Receive slabs checked out of a connection's [slab pool] that reused a retained
+    /// allocation instead of allocating fresh (transport-level; folded in by harnesses
+    /// that run nodes over the TCP fabric).
+    pub recv_slab_reuse: u64,
+    /// Small control frames that went out corked — batched with at least one other
+    /// frame into a single vectored write (transport-level, like `recv_slab_reuse`).
+    pub corked_frames_per_write: u64,
 }
 
 impl NodeMetrics {
@@ -60,6 +74,10 @@ impl NodeMetrics {
         self.directory_queries_served += other.directory_queries_served;
         self.directory_registrations += other.directory_registrations;
         self.directory_inline_hits += other.directory_inline_hits;
+        self.directory_replicates_sent += other.directory_replicates_sent;
+        self.chain_ack_depth += other.chain_ack_depth;
+        self.recv_slab_reuse += other.recv_slab_reuse;
+        self.corked_frames_per_write += other.corked_frames_per_write;
     }
 }
 
@@ -70,10 +88,18 @@ mod tests {
     #[test]
     fn merge_sums_fields() {
         let mut a = NodeMetrics { messages_sent: 2, data_bytes_sent: 10, ..Default::default() };
-        let b = NodeMetrics { messages_sent: 3, gets_completed: 1, ..Default::default() };
+        let b = NodeMetrics {
+            messages_sent: 3,
+            gets_completed: 1,
+            chain_ack_depth: 4,
+            recv_slab_reuse: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.messages_sent, 5);
         assert_eq!(a.data_bytes_sent, 10);
         assert_eq!(a.gets_completed, 1);
+        assert_eq!(a.chain_ack_depth, 4);
+        assert_eq!(a.recv_slab_reuse, 7);
     }
 }

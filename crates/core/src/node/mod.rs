@@ -137,6 +137,11 @@ impl NodeContext {
             self.self_queue.push_back(msg);
         } else {
             self.metrics.messages_sent += 1;
+            if matches!(msg, Message::DirReplicate { .. }) {
+                // Replication egress: one per backup under star fan-out, one per op
+                // under chain replication (scenarios assert the halved fan-out).
+                self.metrics.directory_replicates_sent += 1;
+            }
             out.push(Effect::Send { to, msg });
         }
     }
@@ -469,6 +474,7 @@ impl ObjectStoreNode {
             Message::DirAck { shard, epoch, seq } => {
                 let mut confirms = Vec::new();
                 self.directory.handle_ack(shard as usize, from, epoch, seq, &mut confirms);
+                self.ctx.metrics.chain_ack_depth += self.directory.take_chain_ack_relays();
                 for (to, msg) in confirms {
                     self.ctx.send(to, msg, out);
                 }
@@ -509,7 +515,14 @@ impl ObjectStoreNode {
             }
             Message::DirResynced { node } => {
                 trace!("[n{}] peer {:?} re-admitted to its replica sets", self.ctx.id.0, node);
-                self.directory.on_peer_readmitted(node);
+                // Under chain replication the re-admission re-splices the peer into
+                // its chains: the service may emit suffix re-shipments and
+                // re-anchoring acks here.
+                let mut replies = Vec::new();
+                self.directory.on_peer_readmitted(node, &mut replies);
+                for (to, msg) in replies {
+                    self.ctx.send(to, msg, out);
+                }
                 // A shard that was leaderless while the peer was out regains its
                 // primary with this re-admission: re-drive the unconfirmed window
                 // there just as after a failover.
@@ -592,6 +605,9 @@ impl ObjectStoreNode {
             Message::ReduceRelease { target } => {
                 self.reduce.on_release(target);
             }
+            // Transport-level peer identification; consumed by connection readers in
+            // the framed fabrics and never addressed to a node's protocol handlers.
+            Message::Hello { .. } => {}
         }
     }
 

@@ -539,6 +539,16 @@ pub enum Message {
         /// Reduce identifier.
         target: ObjectId,
     },
+
+    // ---------------------------------------------------------------- transport ----
+    /// Transport-level peer identification: the first frame on a freshly opened
+    /// connection announces the sender's node id, so the accept side can tag every
+    /// subsequent frame with its origin. Never dispatched to a node's protocol
+    /// handlers by the framed fabrics — it is consumed by the connection reader.
+    Hello {
+        /// The connecting node.
+        node: NodeId,
+    },
 }
 
 impl Message {

@@ -56,6 +56,14 @@ pub trait Fabric {
     fn reset_receiver(&mut self, _node: NodeId) -> Option<Receiver<(NodeId, Message)>> {
         None
     }
+
+    /// Transport-level counters (`recv_slab_reuse`, `corked_frames_per_write`), folded
+    /// into the cluster's [`NodeMetrics`] by the deployment harness. Fabrics without a
+    /// wire (channels move `Message`s by ownership — no slabs, no corks) report zeros,
+    /// the default.
+    fn transport_metrics(&self) -> NodeMetrics {
+        NodeMetrics::default()
+    }
 }
 
 /// The shared, swappable table of per-node ingress queues.

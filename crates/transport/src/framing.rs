@@ -78,6 +78,7 @@ mod tags {
     pub const DIR_SNAPSHOT: u8 = 23;
     pub const DIR_RESYNCED: u8 = 24;
     pub const DIR_CONFIRM: u8 = 25;
+    pub const HELLO: u8 = 26;
 }
 
 /// Sub-tags selecting the [`ConfirmKind`] variant inside a `DirConfirm` frame.
@@ -885,6 +886,10 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_u8(out, tags::REDUCE_RELEASE);
             put_object(out, *target);
         }
+        Message::Hello { node } => {
+            put_u8(out, tags::HELLO);
+            put_node(out, *node);
+        }
     }
 }
 
@@ -1037,6 +1042,7 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
         }
         tags::REDUCE_DONE => Message::ReduceDone { target: r.object()?, root: r.node()? },
         tags::REDUCE_RELEASE => Message::ReduceRelease { target: r.object()? },
+        tags::HELLO => Message::Hello { node: r.node()? },
         other => return Err(malformed(&format!("unknown frame tag {other}"))),
     };
     r.finish()?;
@@ -1086,12 +1092,357 @@ pub fn write_frame_vectored<W: std::io::Write>(w: &mut W, msg: &Message) -> std:
     if frame.segments.is_empty() {
         return w.write_all(&frame.header);
     }
-    let parts: Vec<&Bytes> = frame.parts().collect();
+    let parts: Vec<&[u8]> = frame.parts().map(|p| p.as_slice()).collect();
+    write_all_vectored(w, &parts)
+}
+
+/// Read one framed message from a reader. The body buffer is handed to the decoder as
+/// a shared `Bytes`, so the message's payload (if any) aliases it instead of copying.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Message> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    decode_body(&Bytes::from(body))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+// --------------------------------------------------------------- pooled slab reader --
+
+/// Default receive slab: one pipelining block plus slack for the frame header and a
+/// trailing length prefix, so a full 4 MiB `PushBlock` frame always fits in one slab.
+pub const DEFAULT_RECV_SLAB: usize = 4 * 1024 * 1024 + 4096;
+
+/// How many idle slabs a pool retains for reuse. Beyond this, returned slabs are
+/// dropped: a connection only needs enough slabs to cover the consumer's drain lag.
+const MAX_RETAINED_SLABS: usize = 8;
+
+/// A pool of reusable receive slabs ([`FrameReader`]'s allocator).
+///
+/// Slabs are `Arc<[u8]>` allocations. Frame bodies decoded out of a slab alias it as
+/// [`Bytes`] views ([`Bytes::from_arc`]), so a slab stays pinned — `strong_count > 1`
+/// — for exactly as long as any decoded payload is alive. Checkout simply scans the
+/// retained list for a slab whose refcount has dropped back to one: no free-lists, no
+/// drop hooks, the `Arc` refcount *is* the in-use bit.
+pub struct RecvSlabPool {
+    retained: Vec<std::sync::Arc<[u8]>>,
+    slab_len: usize,
+    reuses: u64,
+}
+
+impl RecvSlabPool {
+    /// A pool handing out slabs of at least `slab_len` bytes.
+    pub fn new(slab_len: usize) -> RecvSlabPool {
+        RecvSlabPool { retained: Vec::new(), slab_len: slab_len.max(64), reuses: 0 }
+    }
+
+    /// Check a writable slab of at least `min_len` bytes out of the pool, reusing a
+    /// retained allocation when one is free (refcount back to one) and large enough.
+    pub fn checkout(&mut self, min_len: usize) -> std::sync::Arc<[u8]> {
+        let want = min_len.max(self.slab_len);
+        for i in 0..self.retained.len() {
+            if std::sync::Arc::strong_count(&self.retained[i]) == 1
+                && self.retained[i].len() >= min_len
+            {
+                self.reuses += 1;
+                return self.retained.swap_remove(i);
+            }
+        }
+        std::sync::Arc::from(vec![0u8; want])
+    }
+
+    /// Hand a slab back. It becomes reusable once every payload view into it drops.
+    pub fn retain(&mut self, slab: std::sync::Arc<[u8]>) {
+        if self.retained.len() < MAX_RETAINED_SLABS && slab.len() >= self.slab_len {
+            self.retained.push(slab);
+        }
+    }
+
+    /// Checkouts served from a retained slab instead of a fresh allocation, since the
+    /// last call (drains the counter — feeds the `recv_slab_reuse` metric).
+    pub fn take_reuses(&mut self) -> u64 {
+        std::mem::take(&mut self.reuses)
+    }
+}
+
+/// `true` when a frame with this tag can hold payload bytes that decode as shared
+/// views into the receive buffer (`Reader::take_shared`), pinning the slab until the
+/// consumer drops them. Every other tag decodes entirely into owned fields, so the
+/// slab stays writable across it. Unknown tags are treated as pinning (conservative:
+/// the frame will fail to decode anyway, but must not corrupt neighbours first).
+fn tag_may_pin(tag: u8) -> bool {
+    !matches!(
+        tag,
+        tags::DIR_REGISTER
+            | tags::DIR_UNREGISTER
+            | tags::DIR_QUERY
+            | tags::DIR_SUBSCRIBE
+            | tags::DIR_PUBLISH
+            | tags::DIR_TRANSFER_DONE
+            | tags::DIR_DELETE
+            | tags::STORE_RELEASE
+            | tags::PULL_REQUEST
+            | tags::PULL_CANCEL
+            | tags::PULL_ERROR
+            | tags::REDUCE_INSTRUCTION
+            | tags::REDUCE_DONE
+            | tags::DIR_UNSUBSCRIBE
+            | tags::REDUCE_RELEASE
+            | tags::DIR_ACK
+            | tags::DIR_SNAPSHOT_REQUEST
+            | tags::DIR_RESYNCED
+            | tags::DIR_CONFIRM
+            | tags::HELLO
+    )
+}
+
+/// Zero-copy framed reader: the receive-side twin of [`write_frame_vectored`].
+///
+/// Where [`read_frame`] allocates a fresh `vec![0u8; len]` per frame (an allocation,
+/// a page-fault walk, and a kernel→user copy into cold memory every time), a
+/// `FrameReader` reads ahead into a pooled slab and decodes each frame **in place**:
+/// the body handed to [`decode_body`] is a [`Bytes`] view of the slab, so a bulk
+/// payload's bytes are written exactly once (by the kernel, into the slab) and then
+/// adopted — `ProgressBuffer`/store append the very same view. Slabs return to the
+/// pool when every view into them drops; a control-heavy stream reuses one warm slab
+/// indefinitely, and bursts of small frames arriving together decode out of a single
+/// `read` syscall.
+///
+/// Read-ahead is capped so a slab roll never has to move payload bytes: a fill stops
+/// at the next length prefix unless the following frame both fits the current slab
+/// and is known (by its buffered tag byte) not to pin the slab. The carry copied
+/// across a roll is therefore at most 4 length-prefix bytes — header bookkeeping, not
+/// payload, preserving the zero-payload-memcpy invariant end to end.
+pub struct FrameReader<R> {
+    inner: R,
+    pool: RecvSlabPool,
+    slab: std::sync::Arc<[u8]>,
+    /// Start of the first unconsumed byte in `slab`.
+    pos: usize,
+    /// End of valid buffered bytes in `slab`.
+    filled: usize,
+}
+
+impl<R: std::io::Read> FrameReader<R> {
+    /// Wrap `inner` with the default (block-sized) slab pool.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader::with_slab_len(inner, DEFAULT_RECV_SLAB)
+    }
+
+    /// Wrap `inner` with slabs of at least `slab_len` bytes (tests use tiny slabs to
+    /// force boundary straddles; oversized frames still get a dedicated allocation).
+    pub fn with_slab_len(inner: R, slab_len: usize) -> FrameReader<R> {
+        let mut pool = RecvSlabPool::new(slab_len);
+        let slab = pool.checkout(slab_len);
+        pool.take_reuses(); // the bootstrap checkout is not a reuse
+        FrameReader { inner, pool, slab, pos: 0, filled: 0 }
+    }
+
+    /// Read and decode one framed message, zero-copy for bulk payloads.
+    pub fn read_message(&mut self) -> std::io::Result<Message> {
+        self.need(4)?;
+        let len = u32::from_be_bytes(self.slab[self.pos..self.pos + 4].try_into().expect("4 bytes"))
+            as usize;
+        let total = 4usize.checked_add(len).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "frame length overflow")
+        })?;
+        self.need(total)?;
+        let body = Bytes::from_arc(self.slab.clone(), self.pos + 4, self.pos + total);
+        self.pos += total;
+        decode_body(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Slab checkouts served by reuse since the last call (→ `recv_slab_reuse`).
+    pub fn take_slab_reuses(&mut self) -> u64 {
+        self.pool.take_reuses()
+    }
+
+    /// Ensure the next `n` bytes of the stream are buffered contiguously at `pos`,
+    /// rolling to a fresh slab when the current one is full or pinned by escaped
+    /// payload views.
+    fn need(&mut self, n: usize) -> std::io::Result<()> {
+        loop {
+            if self.filled - self.pos >= n {
+                return Ok(());
+            }
+            if self.pos + n > self.slab.len() || std::sync::Arc::strong_count(&self.slab) > 1 {
+                self.roll(n);
+            }
+            let limit = self.fill_limit();
+            debug_assert!(limit > self.filled, "fill limit must admit progress");
+            let buf = std::sync::Arc::get_mut(&mut self.slab)
+                .expect("freshly rolled or unpinned slab is uniquely held");
+            let got = self.inner.read(&mut buf[self.filled..limit])?;
+            if got == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            self.filled += got;
+        }
+    }
+
+    /// Swap in a slab with room for `n` bytes, carrying the unconsumed remainder
+    /// across. The fill cap guarantees that remainder is at most 4 length-prefix
+    /// bytes (never payload), so the carry is header bookkeeping, not a data copy.
+    fn roll(&mut self, n: usize) {
+        let carry = self.filled - self.pos;
+        debug_assert!(carry <= 4, "roll carry must be at most a length prefix");
+        let mut fresh = self.pool.checkout(n.max(carry));
+        {
+            let dst = std::sync::Arc::get_mut(&mut fresh).expect("pool slab is uniquely held");
+            dst[..carry].copy_from_slice(&self.slab[self.pos..self.filled]);
+        }
+        let old = std::mem::replace(&mut self.slab, fresh);
+        self.pool.retain(old);
+        self.pos = 0;
+        self.filled = carry;
+    }
+
+    /// Absolute offset a fill may read up to. Walks the buffered length prefixes from
+    /// the current frame forward; stops after any frame that does not fit this slab
+    /// or might pin it (so a roll never strands payload bytes behind the cursor).
+    fn fill_limit(&self) -> usize {
+        let slab_len = self.slab.len();
+        let mut c = self.pos;
+        let mut first = true;
+        loop {
+            if c + 4 > self.filled {
+                // Header not fully buffered: allow completing it (plus nothing more).
+                return (c + 4).min(slab_len);
+            }
+            let len = u32::from_be_bytes(self.slab[c..c + 4].try_into().expect("4 bytes")) as usize;
+            let end = match c.checked_add(4).and_then(|h| h.checked_add(len)) {
+                Some(end) if end <= slab_len => end,
+                // Frame won't fit this slab (or length is hostile): stop at the
+                // header so the roll carries only length-prefix bytes.
+                _ => return (c + 4).min(slab_len),
+            };
+            if first {
+                first = false;
+                c = end;
+                continue;
+            }
+            match (c + 5 <= self.filled).then(|| self.slab[c + 4]) {
+                // A buffered, provably non-pinning frame: read through it and keep
+                // walking — this is what batches control bursts into one syscall.
+                Some(tag) if !tag_may_pin(tag) => c = end,
+                // Possibly-pinning frame: buffer it fully plus the next length
+                // prefix, but nothing past that (a pinned-slab roll then carries
+                // only those prefix bytes).
+                Some(_) => return (end + 4).min(slab_len),
+                // Tag byte not buffered yet: stop at this header boundary.
+                None => return (c + 4).min(slab_len),
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- control-frame cork --
+
+/// Cap on frames held back by a [`Cork`] before an implicit flush.
+const MAX_CORKED_FRAMES: usize = 64;
+
+/// Cap on bytes held back by a [`Cork`] before an implicit flush.
+const MAX_CORKED_BYTES: usize = 64 * 1024;
+
+/// Batches bursts of small control frames to one peer into a single vectored write.
+///
+/// Directory chatter — registers, acks, publishes, confirms — arrives at a
+/// connection's writer in bursts (fan-outs, drain-after-failover), each frame well
+/// under [`GATHER_MIN_SEGMENT`]. Writing them one `write` syscall at a time wastes
+/// most of the syscall budget on sub-100-byte payloads. A `Cork` holds encoded
+/// control frames (frames with no bulk segments) and flushes them as one
+/// `write_vectored`; bulk frames flush the cork first and are written immediately so
+/// they are never delayed behind batching. Callers flush explicitly on queue drain.
+pub struct Cork {
+    pending: Vec<Bytes>,
+    pending_bytes: usize,
+    corked_frames: u64,
+    corked_writes: u64,
+}
+
+impl Default for Cork {
+    fn default() -> Cork {
+        Cork::new()
+    }
+}
+
+impl Cork {
+    /// An empty cork.
+    pub fn new() -> Cork {
+        Cork { pending: Vec::new(), pending_bytes: 0, corked_frames: 0, corked_writes: 0 }
+    }
+
+    /// Encode and submit `msg`. Control frames are held for batching (up to the
+    /// frame/byte caps); bulk frames flush anything pending and go out immediately
+    /// through the zero-copy vectored path.
+    pub fn write<W: std::io::Write>(&mut self, w: &mut W, msg: &Message) -> std::io::Result<()> {
+        let frame = encode_frame_vectored(msg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        if !frame.segments.is_empty() {
+            self.flush(w)?;
+            let parts: Vec<&[u8]> = frame.parts().map(|p| p.as_slice()).collect();
+            return write_all_vectored(w, &parts);
+        }
+        self.pending_bytes += frame.header.len();
+        self.pending.push(frame.header);
+        if self.pending.len() >= MAX_CORKED_FRAMES || self.pending_bytes >= MAX_CORKED_BYTES {
+            self.flush(w)?;
+        }
+        Ok(())
+    }
+
+    /// Write every held frame as one vectored write. Called implicitly on bulk frames
+    /// and cap overflow, and explicitly by the owner when its send queue drains.
+    pub fn flush<W: std::io::Write>(&mut self, w: &mut W) -> std::io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        if self.pending.len() >= 2 {
+            self.corked_frames += self.pending.len() as u64;
+            self.corked_writes += 1;
+        }
+        let parts: Vec<&[u8]> = self.pending.iter().map(|p| p.as_slice()).collect();
+        let result = write_all_vectored(w, &parts);
+        self.pending.clear();
+        self.pending_bytes = 0;
+        result
+    }
+
+    /// `true` when frames are being held back (the owner should flush before parking).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Frames that went out batched with at least one other frame, since the last
+    /// call (→ the `corked_frames_per_write` metric's numerator).
+    pub fn take_corked_frames(&mut self) -> u64 {
+        std::mem::take(&mut self.corked_frames)
+    }
+
+    /// Multi-frame vectored writes issued since the last call.
+    pub fn take_corked_writes(&mut self) -> u64 {
+        std::mem::take(&mut self.corked_writes)
+    }
+}
+
+/// Write `parts` fully, resuming across short writes and `Interrupted` (the shared
+/// backbone of [`write_frame_vectored`] and [`Cork::flush`]).
+fn write_all_vectored<W: std::io::Write>(w: &mut W, parts: &[&[u8]]) -> std::io::Result<()> {
     let mut part = 0usize; // first part with unwritten bytes
     let mut offset = 0usize; // progress within that part
     while part < parts.len() {
-        let slices: Vec<std::io::IoSlice<'_>> = std::iter::once(&parts[part].as_slice()[offset..])
-            .chain(parts[part + 1..].iter().map(|p| p.as_slice()))
+        if parts[part].len() == offset {
+            part += 1;
+            offset = 0;
+            continue;
+        }
+        let slices: Vec<std::io::IoSlice<'_>> = std::iter::once(&parts[part][offset..])
+            .chain(parts[part + 1..].iter().copied())
             .map(std::io::IoSlice::new)
             .collect();
         let mut n = match w.write_vectored(&slices) {
@@ -1118,18 +1469,6 @@ pub fn write_frame_vectored<W: std::io::Write>(w: &mut W, msg: &Message) -> std:
         }
     }
     Ok(())
-}
-
-/// Read one framed message from a reader. The body buffer is handed to the decoder as
-/// a shared `Bytes`, so the message's payload (if any) aliases it instead of copying.
-pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Message> {
-    let mut len_buf = [0u8; 4];
-    r.read_exact(&mut len_buf)?;
-    let len = u32::from_be_bytes(len_buf) as usize;
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    decode_body(&Bytes::from(body))
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[cfg(test)]
@@ -1240,6 +1579,7 @@ mod tests {
         roundtrip(Message::PullCancel { object: obj, requester: NodeId(1) });
         roundtrip(Message::PullError { object: obj, reason: "object deleted".to_string() });
         roundtrip(Message::ReduceDone { target: obj, root: NodeId(3) });
+        roundtrip(Message::Hello { node: NodeId(11) });
     }
 
     #[test]
@@ -1579,7 +1919,7 @@ mod tests {
 
         fn message(&mut self) -> Message {
             use hoplite_core::protocol::ReduceParent;
-            match self.range(0, 25) {
+            match self.range(0, 26) {
                 0 => Message::PushBlock {
                     object: self.object(),
                     offset: self.next_u64(),
@@ -1699,6 +2039,7 @@ mod tests {
                     state: self.snapshot(),
                 },
                 23 => Message::DirResynced { node: self.node() },
+                24 => Message::Hello { node: self.node() },
                 _ => Message::DirConfirm {
                     object: self.object(),
                     kind: match self.range(0, 3) {
@@ -1717,7 +2058,7 @@ mod tests {
     #[test]
     fn fuzz_vectored_encoding_matches_contiguous_for_every_variant() {
         let mut rng = Rng(0x5CA7_7E2F);
-        let mut variants_seen = [false; 25];
+        let mut variants_seen = [false; 26];
         for case in 0..600 {
             let msg = rng.message();
             let contiguous = encode_frame(&msg).unwrap();
@@ -1735,7 +2076,7 @@ mod tests {
         }
         assert!(
             variants_seen.iter().all(|&seen| seen),
-            "600 cases should cover all 25 tags: {variants_seen:?}"
+            "600 cases should cover all 26 tags: {variants_seen:?}"
         );
     }
 
@@ -1878,5 +2219,186 @@ mod tests {
         let len_at = huge.len() - 8 - 8; // length u64 sits just before the 8 payload bytes
         huge[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_be_bytes());
         assert!(decode(&huge).is_err());
+    }
+
+    /// Serves a fixed byte stream in adversarially small chunks: every `read` returns
+    /// at most `max_chunk` bytes (rng-sized when `max_chunk > 1`), so frame headers,
+    /// bodies, and slab boundaries are straddled in every possible way.
+    struct ChunkedReader<'a> {
+        data: &'a [u8],
+        at: usize,
+        rng: Rng,
+        max_chunk: usize,
+    }
+
+    impl std::io::Read for ChunkedReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at == self.data.len() {
+                return Ok(0);
+            }
+            let chunk = if self.max_chunk <= 1 {
+                1
+            } else {
+                self.rng.range(1, self.max_chunk as u64 + 1) as usize
+            };
+            let n = chunk.min(buf.len()).min(self.data.len() - self.at);
+            buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    /// Property (seeded fuzzer): a [`FrameReader`] fed any message mix through any
+    /// read chunking — 1-byte reads, short reads mid-header, frames straddling slab
+    /// boundaries (tiny slabs force rolls constantly) — decodes exactly what
+    /// [`read_frame`] decodes from the same byte stream.
+    #[test]
+    fn fuzz_frame_reader_matches_read_frame_under_adversarial_chunking() {
+        let mut rng = Rng(0xF8A3_11D7);
+        for round in 0..25u64 {
+            let n_msgs = rng.range(1, 12) as usize;
+            let msgs: Vec<Message> = (0..n_msgs).map(|_| rng.message()).collect();
+            let mut stream = Vec::new();
+            for m in &msgs {
+                stream.extend_from_slice(&encode_frame(m).unwrap());
+            }
+            let mut cursor = std::io::Cursor::new(stream.clone());
+            let baseline: Vec<Message> =
+                (0..n_msgs).map(|_| read_frame(&mut cursor).unwrap()).collect();
+            assert_eq!(baseline, msgs, "round {round}: read_frame baseline");
+            for (slab_len, max_chunk) in
+                [(64usize, 1usize), (97, 3), (1 << 10, 11), (1 << 16, 4096)]
+            {
+                let chunked =
+                    ChunkedReader { data: &stream, at: 0, rng: Rng(rng.next_u64() | 1), max_chunk };
+                let mut reader = FrameReader::with_slab_len(chunked, slab_len);
+                let decoded: Vec<Message> = (0..n_msgs)
+                    .map(|i| {
+                        reader.read_message().unwrap_or_else(|e| {
+                            panic!("round {round} slab {slab_len} chunk {max_chunk} msg {i}: {e}")
+                        })
+                    })
+                    .collect();
+                assert_eq!(decoded, msgs, "round {round} slab {slab_len} chunk {max_chunk}");
+                // The stream ends at a frame boundary; the next read reports EOF.
+                let err = reader.read_message().unwrap_err();
+                assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_reuses_slabs_and_decodes_bulk_payloads_in_place() {
+        use hoplite_core::copytrace;
+        let block = 2 * GATHER_MIN_SEGMENT;
+        let msgs: Vec<Message> = (0..8)
+            .map(|i| Message::PushBlock {
+                object: ObjectId::from_name("slab"),
+                offset: (i * block) as u64,
+                total_size: (8 * block) as u64,
+                payload: Payload::from_vec(vec![i as u8 + 1; block]),
+                complete: i == 7,
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m).unwrap());
+        }
+        copytrace::reset();
+        let mut reader = FrameReader::with_slab_len(std::io::Cursor::new(stream), 4 * block);
+        for want in &msgs {
+            let got = reader.read_message().unwrap();
+            assert_eq!(&got, want);
+            // `got` (and its payload view into the slab) drops here, unpinning the
+            // slab so the pool can hand it out again on the next roll.
+        }
+        assert!(reader.take_slab_reuses() > 0, "pool should recycle unpinned slabs");
+        assert_eq!(
+            copytrace::bytes_copied(),
+            0,
+            "slab-reader decode must not memcpy payload bytes"
+        );
+    }
+
+    /// Counts syscall-shaped write calls and captures the byte stream, with a real
+    /// gathering `write_vectored` (the std default would only take the first slice).
+    #[derive(Default)]
+    struct CountingWriter {
+        out: Vec<u8>,
+        calls: usize,
+    }
+
+    impl std::io::Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            self.calls += 1;
+            let mut n = 0;
+            for b in bufs {
+                self.out.extend_from_slice(b);
+                n += b.len();
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cork_batches_control_bursts_into_one_vectored_write() {
+        let controls: Vec<Message> =
+            (0..10).map(|i| Message::DirAck { shard: i, epoch: 1, seq: i + 1 }).collect();
+        let mut expected = Vec::new();
+        for m in &controls {
+            write_frame_vectored(&mut expected, m).unwrap();
+        }
+        let mut w = CountingWriter::default();
+        let mut cork = Cork::new();
+        for m in &controls {
+            cork.write(&mut w, m).unwrap();
+        }
+        assert_eq!(w.calls, 0, "control frames are held until flush");
+        cork.flush(&mut w).unwrap();
+        assert_eq!(w.calls, 1, "the whole burst goes out as one vectored write");
+        assert_eq!(w.out, expected, "corked stream must be byte-exact");
+        assert_eq!(cork.take_corked_frames(), 10);
+        assert_eq!(cork.take_corked_writes(), 1);
+    }
+
+    #[test]
+    fn cork_flushes_ahead_of_bulk_frames_and_on_cap_overflow() {
+        let bulk = Message::PushBlock {
+            object: ObjectId::from_name("blk"),
+            offset: 0,
+            total_size: 2 * GATHER_MIN_SEGMENT as u64,
+            payload: Payload::Bytes(Bytes::from(vec![5u8; 2 * GATHER_MIN_SEGMENT])),
+            complete: true,
+        };
+        let ctl = Message::DirResynced { node: NodeId(1) };
+        let mut expected = Vec::new();
+        write_frame_vectored(&mut expected, &ctl).unwrap();
+        write_frame_vectored(&mut expected, &ctl).unwrap();
+        write_frame_vectored(&mut expected, &bulk).unwrap();
+        let mut w = CountingWriter::default();
+        let mut cork = Cork::new();
+        cork.write(&mut w, &ctl).unwrap();
+        cork.write(&mut w, &ctl).unwrap();
+        cork.write(&mut w, &bulk).unwrap();
+        assert!(!cork.has_pending(), "a bulk frame flushes the cork first");
+        assert_eq!(w.calls, 2, "pending burst, then the bulk frame itself");
+        assert_eq!(w.out, expected, "ordering is preserved across the implicit flush");
+        // Overflowing the frame cap flushes implicitly, so a cork never holds an
+        // unbounded backlog.
+        let mut w2 = CountingWriter::default();
+        for i in 0..(MAX_CORKED_FRAMES as u64 + 1) {
+            cork.write(&mut w2, &Message::DirAck { shard: 0, epoch: 0, seq: i }).unwrap();
+        }
+        assert_eq!(w2.calls, 1);
+        assert!(cork.has_pending(), "the overflow frame starts the next batch");
+        cork.flush(&mut w2).unwrap();
     }
 }
