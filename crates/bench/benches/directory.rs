@@ -1,42 +1,64 @@
 //! Criterion benches for the object directory shard: registration, query, and the
-//! small-object inline fast path (§3.2, §5.1.1).
+//! small-object inline fast path (§3.2, §5.1.1), plus the sized
+//! `directory_register_then_query` family that tracks metadata-plane scaling from
+//! 1k to 10M objects.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hoplite_core::buffer::Payload;
 use hoplite_core::config::HopliteConfig;
 use hoplite_core::directory::DirectoryShard;
 use hoplite_core::object::{NodeId, ObjectId, ObjectStatus};
 
-fn bench_register_query(c: &mut Criterion) {
-    // Id derivation is harness setup, not shard work; keep it out of the timed loop
-    // (BENCH_NOTES flagged the per-iteration `from_name(format!)` as polluting this
-    // measurement).
-    let ids: Vec<ObjectId> =
-        (0..1000u32).map(|i| ObjectId::from_name(&format!("obj-{i}"))).collect();
-    c.bench_function("directory_register_then_query_1k_objects", |b| {
-        b.iter(|| {
-            let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
-            let mut out = Vec::new();
-            for (i, &obj) in ids.iter().enumerate() {
-                let i = i as u32;
-                shard.register(obj, NodeId(i % 16), ObjectStatus::Complete, 1 << 20, &mut out);
-                shard.query(obj, NodeId((i + 1) % 16), u64::from(i), vec![], &mut out);
-                out.clear();
-            }
-            shard.len()
-        })
-    });
+/// The two big rows (1M, 10M) take minutes of wall time and gigabytes of RSS, so
+/// they only run when explicitly requested: `HOPLITE_BENCH_SCALE=1 cargo bench`.
+fn scaled_rows_enabled() -> bool {
+    std::env::var("HOPLITE_BENCH_SCALE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn bench_register_query_family(c: &mut Criterion) {
+    // (objects, samples): fewer samples at the scales where one iteration is
+    // already seconds of work.
+    let mut sizes: Vec<(usize, usize)> = vec![(1_000, 10), (100_000, 5)];
+    if scaled_rows_enabled() {
+        sizes.push((1_000_000, 3));
+        sizes.push((10_000_000, 2));
+    }
+    let mut group = c.benchmark_group("directory_register_then_query");
+    for (n, samples) in sizes {
+        // Id derivation is harness setup, not shard work; keep it out of the timed
+        // loop (BENCH_NOTES flagged the per-iteration `from_name(format!)` as
+        // polluting this measurement).
+        let ids: Vec<ObjectId> =
+            (0..n as u64).map(|i| ObjectId::from_name(&format!("obj-{i}"))).collect();
+        // One register + one query per object → 2n directory ops per iteration.
+        group.sample_size(samples).throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ids, |b, ids| {
+            b.iter(|| {
+                let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
+                let mut out = Vec::new();
+                for (i, &obj) in ids.iter().enumerate() {
+                    let i = i as u32;
+                    shard.register(obj, NodeId(i % 16), ObjectStatus::Complete, 1 << 20, &mut out);
+                    shard.query(obj, NodeId((i + 1) % 16), u64::from(i), vec![], &mut out);
+                    out.clear();
+                }
+                shard.len()
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_inline_cache(c: &mut Criterion) {
+    let ids: Vec<ObjectId> =
+        (0..500u32).map(|i| ObjectId::from_name(&format!("small-{i}"))).collect();
     c.bench_function("directory_inline_put_and_query", |b| {
         b.iter(|| {
             let mut shard = DirectoryShard::new(0, HopliteConfig::paper_testbed());
             let mut out = Vec::new();
-            for i in 0..500u32 {
-                let obj = ObjectId::from_name(&format!("small-{i}"));
+            for (i, &obj) in ids.iter().enumerate() {
                 shard.put_inline(obj, NodeId(0), Payload::zeros(512), &mut out);
-                shard.query(obj, NodeId(1), u64::from(i), vec![], &mut out);
+                shard.query(obj, NodeId(1), i as u64, vec![], &mut out);
                 out.clear();
             }
             shard.len()
@@ -65,7 +87,7 @@ fn bench_broadcast_chain_assignment(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_register_query,
+    bench_register_query_family,
     bench_inline_cache,
     bench_broadcast_chain_assignment
 );

@@ -13,8 +13,8 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use hoplite_cluster::scenarios::{
-    chain_kill_drill, directory_failover_broadcast, rolling_restart_collectives, ChainKill,
-    ScenarioEnv,
+    chain_kill_drill, directory_failover_broadcast, mid_chain_resync_under_load,
+    rolling_restart_collectives, ChainKill, ScenarioEnv,
 };
 use hoplite_core::prelude::NodeId;
 
@@ -112,6 +112,42 @@ fn soak_rolling_restart_seeds() {
         });
     }
     eprintln!("soak_rolling_restart_seeds: {SEEDS} seeds green");
+}
+
+/// Mid-chain resync drill across seeds: kill and restart the middle chain member
+/// under a continuous registration stream, with chunked catch-up forced. Every seed
+/// must converge — no lost records, no blocked traffic, tail and middle complete —
+/// with the chunk budget respected throughout.
+#[test]
+#[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
+fn soak_mid_chain_resync_seeds() {
+    for seed in 0..SEEDS {
+        with_seed("mid_chain_resync_under_load", seed, || {
+            let mut lcg = Lcg::new(seed ^ 0x5EED_CAFE);
+            let n = lcg.pick(5, 9) as usize;
+            let fail_at = 0.3 + lcg.pick(0, 20) as f64 * 0.05;
+            let env = ScenarioEnv::paper_testbed();
+            let r = mid_chain_resync_under_load(&env, n, fail_at, seed);
+            assert_eq!(
+                r.puts_completed, r.expected_records,
+                "seed {seed}: live traffic never blocked (n={n} fail_at={fail_at})"
+            );
+            assert_eq!(r.records_at_primary, r.expected_records, "seed {seed}: primary complete");
+            assert_eq!(r.records_at_tail, r.expected_records, "seed {seed}: tail converged");
+            assert_eq!(r.records_at_middle, r.expected_records, "seed {seed}: middle caught up");
+            assert!(r.chain_ack_depth > 0, "seed {seed}: chain acks relayed");
+            assert!(r.resyncs >= 1, "seed {seed}: the restarted middle resynced");
+            assert!(r.snapshot_chunks_sent >= 2, "seed {seed}: catch-up was chunked");
+            assert!(
+                r.snapshot_bytes <= r.snapshot_chunks_sent * r.chunk_budget,
+                "seed {seed}: chunk bound held ({} bytes / {} chunks / budget {})",
+                r.snapshot_bytes,
+                r.snapshot_chunks_sent,
+                r.chunk_budget
+            );
+        });
+    }
+    eprintln!("soak_mid_chain_resync_seeds: {SEEDS} seeds green");
 }
 
 /// Chain-replication kill drills (r = 3): at every seed, kill the head, the middle,

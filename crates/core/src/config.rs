@@ -49,6 +49,29 @@ pub struct HopliteConfig {
     /// at the cost of one extra relay hop of confirm latency per chain position.
     /// Ignored for `directory_replication <= 2`, where chain and star coincide.
     pub directory_chain_replication: bool,
+    /// Upper bound, in bytes, on the state carried by one `DirSnapshotChunk` resync
+    /// frame. Replica resync streams the shard as a cursor-driven sequence of chunks
+    /// no larger than this, interleaved with live op shipments, instead of one
+    /// O(objects) `DirSnapshot` burst. A chunk may exceed the bound only when a
+    /// single entry alone is larger than it (entries are indivisible).
+    pub snapshot_chunk_bytes: u64,
+    /// Byte budget for inline small-object payloads cached in each directory shard.
+    /// When the budget is exceeded the least-recently-used inline payloads are
+    /// dropped (the location records stay; the object is then served via the normal
+    /// pull path). Entries whose only copy is the inline payload are never evicted.
+    pub directory_inline_cache_bytes: u64,
+    /// How many *acked* (already trimmed) replication-log ops each replica retains
+    /// for delta resync: a replica whose gap fits inside the retained suffix replays
+    /// ops instead of requesting a state snapshot at all.
+    pub directory_log_retention: usize,
+    /// How long a directory lease (a query answer pointing a receiver at a sender)
+    /// may go unresolved before bulk expiry reclaims it. Expiry runs on a
+    /// two-generation timer wheel, so actual lifetime is between one and two TTLs.
+    pub directory_lease_ttl: Duration,
+    /// Optional idle TTL for unpinned complete objects in the local store: objects
+    /// untouched for two GC ticks (the tick period is `directory_lease_ttl`) are
+    /// evicted. `None` disables TTL GC; capacity-pressure LRU eviction still runs.
+    pub store_gc_ttl: Option<Duration>,
 }
 
 impl Default for HopliteConfig {
@@ -65,6 +88,11 @@ impl Default for HopliteConfig {
             directory_shards: None,
             directory_replication: 2,
             directory_chain_replication: true,
+            snapshot_chunk_bytes: 256 * 1024,
+            directory_inline_cache_bytes: 64 * 1024 * 1024,
+            directory_log_retention: 1024,
+            directory_lease_ttl: Duration::from_secs(30),
+            store_gc_ttl: None,
         }
     }
 }
@@ -82,6 +110,8 @@ impl HopliteConfig {
             block_size: 1024,
             inline_threshold: 64,
             store_capacity: 64 * 1024 * 1024,
+            // Tiny chunks so even small-shard resyncs exercise the multi-chunk path.
+            snapshot_chunk_bytes: 1024,
             ..HopliteConfig::default()
         }
     }

@@ -28,7 +28,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::object::{NodeId, ObjectId, ObjectStatus};
-use crate::protocol::{DirOp, Message, ShardSnapshot};
+use crate::protocol::{DirOp, Message, ShardSnapshot, SnapshotEntry};
 
 use super::shard::DirectoryShard;
 
@@ -90,11 +90,22 @@ pub struct ShardReplica {
     pending: BTreeMap<u64, (u64, DirOp)>,
     /// Backup: a snapshot has been requested and not yet installed.
     resyncing: bool,
+    /// Bounded ring of *acked* (trimmed) `(seq, op)` pairs, contiguous with the
+    /// front of `log`, retained so a gapped replica can be caught up by replaying
+    /// ops (the delta resync path) instead of shipping state. Maintained on every
+    /// replica — a promoted backup can serve deltas too.
+    retained: VecDeque<(u64, DirOp)>,
+    /// How many acked ops to retain (from `directory_log_retention`).
+    retention: usize,
+    /// While resyncing via a chunk stream: the highest object id installed so far.
+    /// A re-targeted request after source death resumes from here.
+    resync_cursor: Option<ObjectId>,
 }
 
 impl ShardReplica {
     /// Create an empty replica with the given starting role.
     pub fn new(shard: DirectoryShard, role: ReplicaRole) -> Self {
+        let retention = shard.config().directory_log_retention;
         ShardReplica {
             shard,
             role,
@@ -104,6 +115,9 @@ impl ShardReplica {
             acks: BTreeMap::new(),
             pending: BTreeMap::new(),
             resyncing: false,
+            retained: VecDeque::new(),
+            retention,
+            resync_cursor: None,
         }
     }
 
@@ -166,10 +180,12 @@ impl ShardReplica {
     }
 
     /// Abandon an in-flight resync with no surviving snapshot source (the whole
-    /// replica set died): the replica stays a backup over whatever state it has.
+    /// replica set died): the replica stays a backup over whatever state it has
+    /// (possibly a partial chunk stream — a later resync replaces it wholesale).
     pub fn abort_resync(&mut self) {
         self.resyncing = false;
         self.pending.clear();
+        self.resync_cursor = None;
     }
 
     /// Declare the set of backups whose acks gate log trimming (live replica-set
@@ -252,11 +268,25 @@ impl ShardReplica {
         let mut confirms = Vec::new();
         while self.log.front().map(|e| e.seq <= durable_through).unwrap_or(false) {
             let entry = self.log.pop_front().expect("front checked");
+            self.push_retained(entry.seq, entry.op);
             if let Some(confirm) = entry.confirm {
                 confirms.push(confirm);
             }
         }
         confirms
+    }
+
+    /// Feed the bounded delta ring. The ring stays contiguous with the front of
+    /// `log` on a primary (entries move log → ring as they are trimmed) and with
+    /// `applied_seq` on a backup (entries are pushed as they apply).
+    fn push_retained(&mut self, seq: u64, op: DirOp) {
+        if self.retention == 0 {
+            return;
+        }
+        self.retained.push_back((seq, op));
+        while self.retained.len() > self.retention {
+            self.retained.pop_front();
+        }
     }
 
     /// Replay an op shipped by the shard's primary. See [`ReplayOutcome`] for what the
@@ -309,10 +339,108 @@ impl ShardReplica {
         self.epoch = epoch;
         self.applied_seq = seq;
         self.resyncing = false;
+        self.resync_cursor = None;
         self.log.clear();
         self.acks.clear();
+        // The re-baselined sequence numbering invalidates the retained delta ring.
+        self.retained.clear();
         // Everything at or below the snapshot point is already included in it.
         self.pending = self.pending.split_off(&(seq + 1));
+        self.drain_pending();
+        Some(self.applied_seq)
+    }
+
+    /// Install one chunk of a cursor-driven resync stream. The first chunk of a
+    /// stream (no cursor yet) replaces local state wholesale, exactly like
+    /// [`Self::install_snapshot`]; subsequent chunks extend the partial state and
+    /// advance the cursor. `seq` is the stream's consistency point (the source's
+    /// applied prefix when the stream opened, with entries mutated past it re-shipped
+    /// as dirty by the source). Returns `None` for a deposed source's stale-epoch
+    /// chunk (discarded), `Some(None)` for an accepted mid-stream chunk, and
+    /// `Some(Some(ack))` when `done` — the caller acks and re-enters the replica set.
+    pub fn install_chunk(
+        &mut self,
+        epoch: u64,
+        seq: u64,
+        entries: &[SnapshotEntry],
+        done: bool,
+    ) -> Option<Option<u64>> {
+        if epoch < self.epoch {
+            return None;
+        }
+        if self.resync_cursor.is_none() {
+            self.shard.clear();
+            self.retained.clear();
+        }
+        self.epoch = self.epoch.max(epoch);
+        self.shard.install_entries(entries);
+        if let Some(last) = entries.last() {
+            let cursor = self.resync_cursor.map_or(last.object, |c| c.max(last.object));
+            self.resync_cursor = Some(cursor);
+        }
+        if !done {
+            return Some(None);
+        }
+        // Final chunk: the assembled state is consistent at (epoch, seq).
+        self.role = ReplicaRole::Backup;
+        self.epoch = epoch;
+        self.applied_seq = seq;
+        self.resyncing = false;
+        self.resync_cursor = None;
+        self.log.clear();
+        self.acks.clear();
+        self.pending = self.pending.split_off(&(seq + 1));
+        self.drain_pending();
+        Some(Some(self.applied_seq))
+    }
+
+    /// Whether a replica whose contiguous prefix ends at `have_seq` (at epoch
+    /// `have_epoch`) can be caught up purely by replaying ops from the retained
+    /// suffix — the delta resync path. An epoch mismatch always falls back to state
+    /// transfer: sequence numbering is only comparable within an epoch's lineage.
+    pub fn delta_covers(&self, have_epoch: u64, have_seq: u64) -> bool {
+        if have_epoch != self.epoch {
+            return false;
+        }
+        if have_seq >= self.applied_seq {
+            return true;
+        }
+        let earliest =
+            self.retained.front().map(|(s, _)| *s).or_else(|| self.log.front().map(|e| e.seq));
+        earliest.map(|e| e <= have_seq + 1).unwrap_or(false)
+    }
+
+    /// The retained + unacked ops with sequence numbers strictly greater than
+    /// `after`, in order — the payload of a delta resync.
+    pub fn delta_ops(&self, after: u64) -> Vec<(u64, DirOp)> {
+        self.retained
+            .iter()
+            .filter(|(s, _)| *s > after)
+            .cloned()
+            .chain(self.log.iter().filter(|e| e.seq > after).map(|e| (e.seq, e.op.clone())))
+            .collect()
+    }
+
+    /// Replay one frame of a delta resync: ops extending the applied prefix are
+    /// applied in order, duplicates are skipped. Returns the sequence number to ack
+    /// when `done` and the frame was fresh; `None` for mid-stream frames and for a
+    /// deposed source's stale-epoch stragglers (discarded without applying).
+    pub fn apply_delta(&mut self, epoch: u64, ops: &[(u64, DirOp)], done: bool) -> Option<u64> {
+        if epoch < self.epoch {
+            return None;
+        }
+        self.epoch = epoch;
+        for (seq, op) in ops {
+            if *seq == self.applied_seq + 1 {
+                self.apply_in_order(op);
+            }
+        }
+        if !done {
+            return None;
+        }
+        self.role = ReplicaRole::Backup;
+        self.resyncing = false;
+        self.resync_cursor = None;
         self.drain_pending();
         Some(self.applied_seq)
     }
@@ -321,6 +449,7 @@ impl ShardReplica {
         let mut suppressed = Vec::new();
         apply_op(&mut self.shard, op, &mut suppressed);
         self.applied_seq += 1;
+        self.push_retained(self.applied_seq, op.clone());
     }
 
     fn drain_pending(&mut self) {
@@ -332,6 +461,38 @@ impl ShardReplica {
         }
         // Anything at or below the applied prefix is stale.
         self.pending = self.pending.split_off(&(self.applied_seq + 1));
+    }
+
+    /// The chunk-stream resume cursor, if a chunked resync is mid-flight. Included
+    /// in a re-targeted `DirSnapshotRequest` after a source death so the new source
+    /// resumes the stream instead of restarting it.
+    pub fn resync_cursor(&self) -> Option<ObjectId> {
+        self.resync_cursor
+    }
+
+    /// Run one bulk lease-expiry tick over the shard's timer wheel. Requery nudges
+    /// to waiting receivers are emitted only on the primary; backups expire
+    /// silently. Lease grants and expiries are local decisions on each replica (not
+    /// replicated transitions), so replicas may transiently disagree about a lease —
+    /// they reconverge within two ticks. Returns how many leases were reclaimed.
+    pub fn expire_stale_leases(&mut self, out: &mut Vec<(NodeId, Message)>) -> u64 {
+        if self.role == ReplicaRole::Primary {
+            self.shard.expire_stale_leases(out)
+        } else {
+            let mut suppressed = Vec::new();
+            self.shard.expire_stale_leases(&mut suppressed)
+        }
+    }
+
+    /// Whether the shard's lease wheel might hold candidates (drives lazy re-arming
+    /// of the expiry timer; may over-approximate).
+    pub fn has_lease_candidates(&self) -> bool {
+        self.shard.has_lease_candidates()
+    }
+
+    /// Drain the shard's count of inline payloads evicted by the cache budget.
+    pub fn take_inline_evictions(&mut self) -> u64 {
+        self.shard.take_inline_evictions()
     }
 
     /// Purge everything the shard knows about a failed node. Applied directly on
@@ -684,5 +845,150 @@ mod tests {
         backup.promote_to(2);
         assert_eq!(backup.install_snapshot(old_epoch, old_seq, &old_state), None);
         assert_eq!(backup.role(), ReplicaRole::Primary, "stale snapshot cannot demote");
+    }
+
+    #[test]
+    fn delta_resync_replays_retained_suffix_without_state_transfer() {
+        let (mut primary, mut backup) = pair();
+        primary.set_tracked_backups(&[NodeId(1)]);
+        let mut out = Vec::new();
+        // The backup receives op 1, then misses 2..=4 — which a sibling replica
+        // acked, so the primary trimmed them into the retained ring.
+        let op1 = register("a", 1);
+        let s1 = primary.apply_primary(&op1, None, &mut out);
+        assert!(matches!(
+            backup.apply_replicated(primary.epoch(), s1, &op1),
+            ReplayOutcome::Acked(1)
+        ));
+        for (i, name) in ["b", "c", "d"].iter().enumerate() {
+            let seq = primary.apply_primary(&register(name, 2 + i as u32), None, &mut out);
+            primary.record_ack(NodeId(1), seq);
+        }
+        assert_eq!(primary.unacked_len(), 0, "acked ops trimmed into the retained ring");
+        // Op 5 arrives at the backup: a gap, but one the retained suffix bridges.
+        let op5 = register("e", 5);
+        let s5 = primary.apply_primary(&op5, None, &mut out);
+        assert_eq!(backup.apply_replicated(primary.epoch(), s5, &op5), ReplayOutcome::NeedsResync);
+        assert!(primary.delta_covers(backup.epoch(), backup.applied_seq()));
+        backup.begin_resync();
+        let ops = primary.delta_ops(backup.applied_seq());
+        assert_eq!(ops.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        let acked = backup.apply_delta(primary.epoch(), &ops, true).expect("delta completes");
+        assert_eq!(acked, 5);
+        assert!(!backup.is_resyncing());
+        for name in ["a", "b", "c", "d", "e"] {
+            assert_eq!(backup.locations(obj(name)).len(), 1, "object {name} present");
+        }
+    }
+
+    #[test]
+    fn delta_coverage_is_bounded_by_the_retention_window() {
+        let cfg = HopliteConfig { directory_log_retention: 2, ..HopliteConfig::small_for_tests() };
+        let mut primary = ShardReplica::new(DirectoryShard::new(0, cfg), ReplicaRole::Primary);
+        primary.set_tracked_backups(&[NodeId(1)]);
+        let mut out = Vec::new();
+        for i in 0..5u32 {
+            let seq = primary.apply_primary(&register(&format!("o{i}"), i), None, &mut out);
+            primary.record_ack(NodeId(1), seq);
+        }
+        // The ring holds seqs 4 and 5 only: a replica at seq 3 is coverable (needs
+        // 4..), one at seq 2 is not (needs 3, already dropped).
+        assert!(primary.delta_covers(0, 3));
+        assert!(primary.delta_covers(0, 5));
+        assert!(!primary.delta_covers(0, 2));
+        assert!(!primary.delta_covers(1, 3), "epoch mismatch falls back to state transfer");
+    }
+
+    #[test]
+    fn chunked_install_covers_the_shard_and_resumes_by_cursor() {
+        let (mut primary, mut backup) = pair();
+        let mut out = Vec::new();
+        for i in 0..12u32 {
+            primary.apply_primary(&register(&format!("obj-{i:02}"), i), None, &mut out);
+        }
+        backup.begin_resync();
+        let (epoch, seq, _) = primary.snapshot();
+        // Stream the shard in bounded chunks, feeding the receiver's cursor back
+        // into each range request — the same loop the service runs over the wire.
+        let budget = 200;
+        let mut rounds = 0;
+        loop {
+            let (entries, done) = primary.shard().snapshot_range(backup.resync_cursor(), budget);
+            assert!(entries.len() < 12, "bounded chunks, not one burst");
+            rounds += 1;
+            match backup.install_chunk(epoch, seq, &entries, done) {
+                Some(Some(acked)) => {
+                    assert_eq!(acked, seq);
+                    break;
+                }
+                Some(None) => continue,
+                None => panic!("fresh chunk rejected"),
+            }
+        }
+        assert!(rounds > 1, "the stream took multiple chunks");
+        assert!(!backup.is_resyncing());
+        assert_eq!(backup.applied_seq(), seq);
+        assert!(backup.resync_cursor().is_none(), "cursor cleared at completion");
+        for i in 0..12 {
+            assert_eq!(backup.locations(obj(&format!("obj-{i:02}"))).len(), 1);
+        }
+    }
+
+    #[test]
+    fn first_chunk_replaces_local_state_wholesale_and_stale_chunks_are_rejected() {
+        let (mut primary, mut backup) = pair();
+        let mut out = Vec::new();
+        // Divergent histories: the backup applied an op the primary never had.
+        assert!(matches!(
+            backup.apply_replicated(0, 1, &register("only-mine", 9)),
+            ReplayOutcome::Acked(1)
+        ));
+        primary.apply_primary(&register("live", 1), None, &mut out);
+
+        // A deposed source's chunk (stale epoch) is discarded outright.
+        backup.promote_to(2);
+        assert_eq!(backup.install_chunk(1, 5, &[], true), None);
+        assert_eq!(backup.locations(obj("only-mine")).len(), 1);
+
+        // A fresh stream replaces local state wholesale, like install_snapshot.
+        backup.begin_resync();
+        let (entries, done) = primary.shard().snapshot_range(None, u64::MAX);
+        assert!(done);
+        assert_eq!(backup.install_chunk(3, 1, &entries, true), Some(Some(1)));
+        assert_eq!(backup.role(), ReplicaRole::Backup);
+        assert!(backup.locations(obj("only-mine")).is_empty(), "divergent state discarded");
+        assert_eq!(backup.locations(obj("live")).len(), 1);
+    }
+
+    #[test]
+    fn shipments_buffered_during_a_chunk_stream_replay_after_the_final_chunk() {
+        let (mut primary, mut backup) = pair();
+        let mut out = Vec::new();
+        for i in 0..3u32 {
+            primary.apply_primary(&register(&format!("pre{i}"), i), None, &mut out);
+        }
+        backup.begin_resync();
+        let (epoch, seq, _) = primary.snapshot();
+        let (first, done) = primary.shard().snapshot_range(None, 100);
+        assert!(!done);
+        assert_eq!(backup.install_chunk(epoch, seq, &first, false), Some(None));
+        // A live op ships mid-stream: buffered (the replica is still resyncing).
+        let mid = register("mid", 7);
+        let s_mid = primary.apply_primary(&mid, None, &mut out);
+        assert_eq!(backup.apply_replicated(epoch, s_mid, &mid), ReplayOutcome::Buffered);
+        // Finish the stream; the buffered op extends the installed prefix past the
+        // stream's consistency point.
+        loop {
+            let (entries, done) = primary.shard().snapshot_range(backup.resync_cursor(), 100);
+            match backup.install_chunk(epoch, seq, &entries, done) {
+                Some(Some(acked)) => {
+                    assert_eq!(acked, s_mid, "buffered mid-stream op replayed");
+                    break;
+                }
+                Some(None) => continue,
+                None => panic!("fresh chunk rejected"),
+            }
+        }
+        assert_eq!(backup.locations(obj("mid")).len(), 1);
     }
 }

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use crate::config::HopliteConfig;
 use crate::object::{NodeId, ObjectId, ObjectStatus};
-use crate::protocol::{DirOp, Message};
+use crate::protocol::{DirOp, Message, ShardSnapshot};
 
 use super::replication::{ReplayOutcome, ReplicaRole, ShardReplica};
 use super::shard::DirectoryShard;
@@ -318,6 +318,30 @@ pub struct DirectoryService {
     /// Cumulative `DirAck`s this node folded and relayed upstream as a chain middle
     /// member. Drained by the facade into `NodeMetrics::chain_ack_depth`.
     chain_acks_relayed: u64,
+    /// Source-side state of chunked resync streams this node is serving, keyed by
+    /// `(shard, requester)`: the cursor confirmed by the requester's last request
+    /// plus the objects mutated behind it since (re-shipped with the next chunk).
+    streams: BTreeMap<(usize, NodeId), ChunkStream>,
+    /// `DirSnapshotChunk` frames served (drained into `NodeMetrics`).
+    snapshot_chunks_sent: u64,
+    /// Bytes of shard state shipped in served chunks (drained into `NodeMetrics`).
+    snapshot_bytes: u64,
+    /// Resyncs served as op replays instead of state (drained into `NodeMetrics`).
+    delta_resyncs: u64,
+}
+
+/// Source-side bookkeeping of one chunked resync stream. Entries at or before the
+/// requester-confirmed cursor that a later op mutates are tracked here and
+/// re-shipped, so the assembled state at the receiver converges to the source's
+/// even though the source never pauses op processing. (Failure purges need no
+/// tracking: the receiver applies the same deterministic purge to its partial
+/// state when the failure notice reaches it.)
+#[derive(Debug, Default)]
+struct ChunkStream {
+    /// Highest object id shipped so far (entries at or before it are "behind" the
+    /// stream and must be re-shipped if mutated).
+    cursor: Option<ObjectId>,
+    dirty: BTreeSet<ObjectId>,
 }
 
 impl DirectoryService {
@@ -346,6 +370,10 @@ impl DirectoryService {
             announce_readmission: false,
             chain: cfg.directory_chain_replication,
             chain_acks_relayed: 0,
+            streams: BTreeMap::new(),
+            snapshot_chunks_sent: 0,
+            snapshot_bytes: 0,
+            delta_resyncs: 0,
         }
     }
 
@@ -471,6 +499,14 @@ impl DirectoryService {
         let shard = self.view.placement().shard_of(op.object());
         match self.view.primary(shard) {
             Some(primary) if primary == self.me => {
+                // Entries already streamed to a mid-resync requester go stale when
+                // a later op touches them; mark them for re-shipment.
+                let object = op.object();
+                for ((s, _), stream) in self.streams.iter_mut() {
+                    if *s == shard && stream.cursor.is_some_and(|c| object <= c) {
+                        stream.dirty.insert(object);
+                    }
+                }
                 // Under star fan-out every live backup is shipped to and tracked;
                 // under chain replication only the chain head is — it relays the op
                 // down the chain and its cumulative ack certifies the whole chain.
@@ -540,10 +576,30 @@ impl DirectoryService {
                 true
             }
             ReplayOutcome::NeedsResync => {
+                // A mid-chain member that fell behind still relays the op downstream
+                // at its shipped (epoch, seq): the tail keeps converging while this
+                // member catches up, instead of the whole suffix stalling behind one
+                // replica's resync. The stalled ack flow (bounded by this member's
+                // applied prefix) keeps confirms conservative in the meantime.
+                if let Some(successor) = successor {
+                    out.push((
+                        successor,
+                        Message::DirReplicate { shard: shard as u64, epoch, seq, op: op.clone() },
+                    ));
+                }
                 self.request_resync(shard, from, false, out);
                 false
             }
-            ReplayOutcome::Buffered | ReplayOutcome::Rejected => false,
+            ReplayOutcome::Buffered => {
+                if let Some(successor) = successor {
+                    out.push((
+                        successor,
+                        Message::DirReplicate { shard: shard as u64, epoch, seq, op: op.clone() },
+                    ));
+                }
+                false
+            }
+            ReplayOutcome::Rejected => false,
         }
     }
 
@@ -573,18 +629,28 @@ impl DirectoryService {
         }
     }
 
-    /// Serve (or forward) a recovering replica's snapshot request. A request is also
+    /// Serve (or forward) a recovering replica's resync request. A request is also
     /// implicit evidence about the requester's liveness: a *restart* request from a
     /// node this view still considers a healthy primary means the failure notice has
     /// not arrived yet — a node asking for its shard's state back cannot lead it —
     /// so the implied failure (and recovery) is folded in first instead of silently
     /// dropping the request and wedging the restarted node. A gap-catch-up request
     /// (`restart == false`) from a live backup leaves the liveness view untouched.
+    ///
+    /// Serving is **chunked and incremental**: a requester whose gap the retained
+    /// log suffix covers gets a [`Message::DirResyncDelta`] op replay; everyone else
+    /// gets exactly one bounded [`Message::DirSnapshotChunk`] per request, so chunks
+    /// interleave with live op shipments and the source is never paused for
+    /// O(objects) time.
+    #[allow(clippy::too_many_arguments)] // mirrors the DirSnapshotRequest wire fields
     pub fn handle_snapshot_request(
         &mut self,
         shard: usize,
         requester: NodeId,
         restart: bool,
+        after: Option<ObjectId>,
+        have_epoch: u64,
+        have_seq: u64,
         out: &mut Vec<(NodeId, Message)>,
     ) {
         if restart && self.view.is_alive(requester) && !self.view.is_resyncing(requester) {
@@ -596,22 +662,133 @@ impl DirectoryService {
         }
         match self.view.primary(shard) {
             Some(primary) if primary == self.me => {
-                let rank = self.view.current_rank(shard) as u64;
-                let replica = self.replicas.get_mut(&shard).expect("primary hosts its shard");
-                let (epoch, seq, state) = replica.snapshot();
-                out.push((
-                    requester,
-                    Message::DirSnapshot { shard: shard as u64, epoch, seq, rank, state },
-                ));
+                self.serve_resync(shard, requester, after, have_epoch, have_seq, out);
             }
             Some(primary) if primary != requester => {
                 out.push((
                     primary,
-                    Message::DirSnapshotRequest { shard: shard as u64, requester, restart },
+                    Message::DirSnapshotRequest {
+                        shard: shard as u64,
+                        requester,
+                        restart,
+                        after,
+                        have_epoch,
+                        have_seq,
+                    },
                 ));
             }
             _ => {}
         }
+    }
+
+    /// Serve one resync round as the shard's primary: a delta replay when the
+    /// requester's gap is bridgeable, one bounded state chunk otherwise.
+    fn serve_resync(
+        &mut self,
+        shard: usize,
+        requester: NodeId,
+        after: Option<ObjectId>,
+        have_epoch: u64,
+        have_seq: u64,
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        let rank = self.view.current_rank(shard) as u64;
+        let key = (shard, requester);
+        let replica = self.replicas.get(&shard).expect("primary hosts its shard");
+        let budget = replica.shard().config().snapshot_chunk_bytes.max(1);
+        let epoch = replica.epoch();
+        let seq = replica.applied_seq();
+
+        // Delta path: a stream-opening request whose prefix the retained suffix
+        // covers replays ops instead of shipping state. (Replayed history can
+        // transiently resurrect a location registered by a node that has since
+        // failed; the receiver re-applies the purges for currently-dead peers on
+        // completion, and any residual staleness heals through the pull-timeout
+        // failover path like every other stale directory hint.)
+        if after.is_none() && replica.delta_covers(have_epoch, have_seq) {
+            self.streams.remove(&key);
+            let all = replica.delta_ops(have_seq);
+            let total = all.len();
+            // One budget-bounded frame per request — the receiver pulls the next
+            // frame with an updated `have_seq`, so reordering cannot complete a
+            // stream with holes and a long suffix never becomes an O(gap) burst.
+            let mut ops: Vec<(u64, DirOp)> = Vec::new();
+            let mut used = 0u64;
+            for (op_seq, op) in all {
+                let sz = Message::DirResyncDelta {
+                    shard: 0,
+                    epoch: 0,
+                    ops: vec![(op_seq, op.clone())],
+                    done: false,
+                }
+                .wire_size();
+                if !ops.is_empty() && used + sz > budget {
+                    break;
+                }
+                used += sz;
+                ops.push((op_seq, op));
+            }
+            let done = ops.len() == total;
+            if done {
+                self.delta_resyncs += 1;
+            }
+            out.push((
+                requester,
+                Message::DirResyncDelta { shard: shard as u64, epoch, ops, done },
+            ));
+            return;
+        }
+
+        // Chunk path: serve exactly one bounded chunk per request. Entries mutated
+        // behind the requester's cursor since they were shipped are flushed first
+        // (in their own chunks when they do not fit); fresh range entries advance
+        // the cursor; `done` only once the range is exhausted and no dirty backlog
+        // remains.
+        if after.is_none() {
+            // A fresh stream (or a from-scratch restart of one): forget any
+            // previous progress for this requester.
+            self.streams.insert(key, ChunkStream::default());
+        }
+        let stream = self.streams.entry(key).or_default();
+        stream.cursor = match (stream.cursor, after) {
+            (Some(c), Some(a)) => Some(c.max(a)),
+            (c, a) => c.or(a),
+        };
+        let dirty_backlog = std::mem::take(&mut stream.dirty);
+        let replica = self.replicas.get(&shard).expect("primary hosts its shard");
+        let (entries, done) = if dirty_backlog.is_empty() {
+            replica.shard().snapshot_range(after, budget)
+        } else {
+            let mut kept = Vec::new();
+            let mut used = 0u64;
+            for entry in replica.shard().snapshot_entries_for(dirty_backlog.iter().copied()) {
+                let sz = entry.wire_size();
+                if kept.is_empty() || used + sz <= budget {
+                    used += sz;
+                    kept.push(entry);
+                }
+            }
+            (kept, false)
+        };
+        let stream = self.streams.entry(key).or_default();
+        if !dirty_backlog.is_empty() {
+            stream.dirty.extend(
+                dirty_backlog.into_iter().filter(|o| !entries.iter().any(|e| e.object == *o)),
+            );
+        }
+        if let Some(last) = entries.last() {
+            stream.cursor = Some(stream.cursor.map_or(last.object, |c| c.max(last.object)));
+        }
+        if done {
+            self.streams.remove(&key);
+        }
+        let state = ShardSnapshot { entries };
+        self.snapshot_chunks_sent += 1;
+        self.snapshot_bytes += state.wire_size();
+        out.push((
+            requester,
+            Message::DirSnapshotChunk { shard: shard as u64, epoch, seq, rank, done, state },
+        ));
     }
 
     /// Install a snapshot into this node's replica of `shard`. Returns `true` when
@@ -635,6 +812,113 @@ impl DirectoryService {
         let Some(replica) = self.replicas.get_mut(&shard) else { return false };
         let Some(acked) = replica.install_snapshot(epoch, seq, state) else { return false };
         self.view.set_rank(shard, rank);
+        self.resync_sources.remove(&shard);
+        out.push((from, Message::DirAck { shard: shard as u64, epoch, seq: acked }));
+        self.maybe_complete_local_resync();
+        true
+    }
+
+    /// Install one chunk of a resync stream into this node's replica of `shard`,
+    /// then either request the next chunk from the server's cursor or — on the
+    /// final chunk — ack and complete the resync, exactly like
+    /// [`DirectoryService::handle_snapshot`]. Returns `true` when the stream
+    /// completed here. Chunks for a shard with no outstanding resync (a completed
+    /// or re-targeted stream) and chunks from a source this view considers dead
+    /// are dropped: they are stragglers of an abandoned stream.
+    #[allow(clippy::too_many_arguments)] // mirrors the DirSnapshotChunk wire fields
+    pub fn handle_snapshot_chunk(
+        &mut self,
+        shard: usize,
+        epoch: u64,
+        seq: u64,
+        rank: usize,
+        done: bool,
+        state: &ShardSnapshot,
+        from: NodeId,
+        out: &mut Vec<(NodeId, Message)>,
+    ) -> bool {
+        self.view.note_epoch(shard, epoch);
+        if !self.resync_sources.contains_key(&shard) || !self.view.is_alive(from) {
+            return false;
+        }
+        let Some(replica) = self.replicas.get_mut(&shard) else { return false };
+        match replica.install_chunk(epoch, seq, &state.entries, done) {
+            None => false,
+            Some(None) => {
+                // Mid-stream: the chunk may have been served by a different node
+                // than the request went to (a forwarded request); track the actual
+                // server so a source death re-targets correctly, and pull the next
+                // chunk from the installed cursor.
+                self.resync_sources.insert(shard, from);
+                out.push((
+                    from,
+                    Message::DirSnapshotRequest {
+                        shard: shard as u64,
+                        requester: self.me,
+                        restart: false,
+                        after: replica.resync_cursor(),
+                        have_epoch: replica.epoch(),
+                        have_seq: replica.applied_seq(),
+                    },
+                ));
+                false
+            }
+            Some(Some(acked)) => {
+                self.view.set_rank(shard, rank);
+                self.resync_sources.remove(&shard);
+                out.push((from, Message::DirAck { shard: shard as u64, epoch, seq: acked }));
+                self.maybe_complete_local_resync();
+                true
+            }
+        }
+    }
+
+    /// Replay one frame of a delta resync into this node's replica of `shard`.
+    /// Returns `true` when the final frame completed the resync (acked like a
+    /// snapshot installation). Frames for a shard with no outstanding resync, or
+    /// from a dead source, are dropped.
+    pub fn handle_resync_delta(
+        &mut self,
+        shard: usize,
+        epoch: u64,
+        ops: &[(u64, DirOp)],
+        done: bool,
+        from: NodeId,
+        out: &mut Vec<(NodeId, Message)>,
+    ) -> bool {
+        self.view.note_epoch(shard, epoch);
+        if !self.resync_sources.contains_key(&shard) || !self.view.is_alive(from) {
+            return false;
+        }
+        let Some(replica) = self.replicas.get_mut(&shard) else { return false };
+        let stale = epoch < replica.epoch();
+        let Some(acked) = replica.apply_delta(epoch, ops, done) else {
+            if !done && !stale {
+                // Mid-stream frame applied: pull the next one from the advanced
+                // prefix (one frame in flight at a time, like the chunk stream).
+                self.resync_sources.insert(shard, from);
+                out.push((
+                    from,
+                    Message::DirSnapshotRequest {
+                        shard: shard as u64,
+                        requester: self.me,
+                        restart: false,
+                        after: None,
+                        have_epoch: replica.epoch(),
+                        have_seq: replica.applied_seq(),
+                    },
+                ));
+            }
+            return false;
+        };
+        // Replayed history may re-register locations held by peers that died (or
+        // restarted and are still resyncing) inside the replay window; re-apply
+        // their purges, as the source did when it observed the failures.
+        for &peer in self.view.placement().nodes() {
+            if !self.view.is_alive(peer) || self.view.is_resyncing(peer) {
+                replica.node_failed(peer);
+            }
+        }
         self.resync_sources.remove(&shard);
         out.push((from, Message::DirAck { shard: shard as u64, epoch, seq: acked }));
         self.maybe_complete_local_resync();
@@ -690,6 +974,8 @@ impl DirectoryService {
     /// the shards promoted here (for tracing and metrics).
     pub fn on_peer_failed(&mut self, peer: NodeId, out: &mut Vec<(NodeId, Message)>) -> Vec<usize> {
         self.view.on_peer_failed(peer);
+        // Chunk streams this node was serving to the dead peer are abandoned.
+        self.streams.retain(|(_, requester), _| *requester != peer);
         let mut promoted = Vec::new();
         let shards: Vec<usize> = self.replicas.keys().copied().collect();
         for shard in shards {
@@ -776,15 +1062,33 @@ impl DirectoryService {
     /// predecessor — `out` carries the resulting shipments and acks.
     pub fn on_peer_readmitted(&mut self, peer: NodeId, out: &mut Vec<(NodeId, Message)>) {
         self.view.on_peer_readmitted(peer);
-        if !self.chain_enabled() {
-            return;
-        }
         let shards: Vec<usize> = self.replicas.keys().copied().collect();
         for shard in shards {
             if !self.view.placement().hosts(peer, shard) {
                 continue;
             }
             let role = self.replicas.get(&shard).expect("iterating hosted shards").role();
+            if !self.chain_enabled() {
+                // Star fan-out: ops applied after the peer's catch-up stream closed
+                // but before this announcement were never shipped (the peer was not
+                // yet tracked). Re-ship the retained suffix: a caught-up peer drops
+                // the duplicates, a peer missing ops within the ring applies them,
+                // and a peer behind by more than the ring sees a sequence gap and
+                // requests a (delta) resync itself.
+                if role == ReplicaRole::Primary && peer != self.me {
+                    let backups = self.tracked_backups(shard);
+                    let replica = self.replicas.get_mut(&shard).expect("iterating hosted shards");
+                    out.extend(replica.set_tracked_backups(&backups));
+                    let epoch = replica.epoch();
+                    for (seq, op) in replica.delta_ops(0) {
+                        out.push((
+                            peer,
+                            Message::DirReplicate { shard: shard as u64, epoch, seq, op },
+                        ));
+                    }
+                }
+                continue;
+            }
             if role == ReplicaRole::Primary {
                 self.resplice_chain(shard, out);
             } else if let Some(pred) = self.chain_predecessor(shard) {
@@ -831,14 +1135,54 @@ impl DirectoryService {
         restart: bool,
         out: &mut Vec<(NodeId, Message)>,
     ) {
-        if let Some(replica) = self.replicas.get_mut(&shard) {
-            replica.begin_resync();
-        }
+        let (after, have_epoch, have_seq) = match self.replicas.get_mut(&shard) {
+            Some(replica) => {
+                replica.begin_resync();
+                // A mid-flight chunk stream resumes from its cursor at the (new)
+                // source instead of restarting from scratch.
+                (replica.resync_cursor(), replica.epoch(), replica.applied_seq())
+            }
+            None => (None, 0, 0),
+        };
         self.resync_sources.insert(shard, source);
         out.push((
             source,
-            Message::DirSnapshotRequest { shard: shard as u64, requester: self.me, restart },
+            Message::DirSnapshotRequest {
+                shard: shard as u64,
+                requester: self.me,
+                restart,
+                after,
+                have_epoch,
+                have_seq,
+            },
         ));
+    }
+
+    /// Drain the resync-source counters `(chunks_sent, chunk_bytes, delta_resyncs)`
+    /// (folded into `NodeMetrics` by the node facade).
+    pub fn take_resync_counters(&mut self) -> (u64, u64, u64) {
+        (
+            std::mem::take(&mut self.snapshot_chunks_sent),
+            std::mem::take(&mut self.snapshot_bytes),
+            std::mem::take(&mut self.delta_resyncs),
+        )
+    }
+
+    /// Drain the inline-eviction count across every hosted replica.
+    pub fn take_inline_evictions(&mut self) -> u64 {
+        self.replicas.values_mut().map(|r| r.take_inline_evictions()).sum()
+    }
+
+    /// Whether any hosted replica's lease wheel might hold candidates (drives the
+    /// facade's lazy re-arming of the expiry timer; may over-approximate).
+    pub fn has_lease_candidates(&self) -> bool {
+        self.replicas.values().any(|r| r.has_lease_candidates())
+    }
+
+    /// Run one bulk lease-expiry tick over every hosted replica (backups expire
+    /// silently). Returns how many leases were reclaimed.
+    pub fn expire_leases(&mut self, out: &mut Vec<(NodeId, Message)>) -> u64 {
+        self.replicas.values_mut().map(|r| r.expire_stale_leases(out)).sum()
     }
 
     /// Shards with an unanswered snapshot request (introspection for tests).
@@ -1087,14 +1431,17 @@ mod tests {
         let o = obj_in_shard(&survivor, 0);
         assert_eq!(survivor.primary_for(o), Some(NodeId(0)), "failure not yet detected");
         let mut out = Vec::new();
-        survivor.handle_snapshot_request(0, NodeId(0), true, &mut out);
+        survivor.handle_snapshot_request(0, NodeId(0), true, None, 0, 0, &mut out);
         assert_eq!(survivor.primary_for(o), Some(NodeId(1)), "implied failure folded in");
         assert_eq!(survivor.replica(0).unwrap().role(), ReplicaRole::Primary);
         assert!(
-            out.iter()
-                .any(|(to, m)| *to == NodeId(0)
-                    && matches!(m, Message::DirSnapshot { shard: 0, .. })),
-            "snapshot served to the restarted node: {out:?}"
+            out.iter().any(|(to, m)| *to == NodeId(0)
+                && matches!(
+                    m,
+                    Message::DirSnapshotChunk { shard: 0, done: true, .. }
+                        | Message::DirResyncDelta { shard: 0, done: true, .. }
+                )),
+            "resync served to the restarted node: {out:?}"
         );
         // The detector's own notices, arriving later, are harmless: the failure is
         // a no-op for an already-resyncing peer's shards' leadership.
@@ -1103,7 +1450,7 @@ mod tests {
         // A *gap* catch-up request from a live backup must not depose anyone.
         let mut survivor2 = DirectoryService::new(NodeId(1), &cfg, &ns);
         let mut out2 = Vec::new();
-        survivor2.handle_snapshot_request(1, NodeId(2), false, &mut out2);
+        survivor2.handle_snapshot_request(1, NodeId(2), false, None, 0, 0, &mut out2);
         assert_eq!(survivor2.view().primary(2), Some(NodeId(2)), "live backup untouched");
     }
 
@@ -1152,41 +1499,61 @@ mod tests {
         // While resyncing, the restarted node does not believe it leads shard 0.
         assert_ne!(restarted.primary_for(o), Some(NodeId(0)));
 
-        // Route each request to its target and the snapshots back.
-        let mut done = false;
-        for (to, m) in requests {
-            let Message::DirSnapshotRequest { shard, requester, restart } = m else {
-                panic!("{m:?}")
-            };
-            assert!(restart, "begin_local_resync requests are restart requests");
-            let mut replies = Vec::new();
-            let target = match to {
+        // Route messages between the three services until the resync settles —
+        // the stream shape (chunks, deltas, continuation requests) is the
+        // services' own business here.
+        let mut queue: Vec<(NodeId, NodeId, Message)> =
+            requests.into_iter().map(|(to, m)| (NodeId(0), to, m)).collect();
+        while let Some((from, to, msg)) = queue.pop() {
+            let svc = match to {
+                NodeId(0) => &mut restarted,
                 NodeId(1) => &mut survivor,
                 NodeId(2) => &mut other,
-                other => panic!("unexpected snapshot source {other:?}"),
+                other => panic!("unexpected recipient {other:?}"),
             };
-            target.handle_snapshot_request(shard as usize, requester, restart, &mut replies);
-            for (to2, m2) in replies {
-                assert_eq!(to2, NodeId(0));
-                let Message::DirSnapshot { shard, epoch, seq, rank, state } = m2 else {
-                    panic!("{m2:?}")
-                };
-                let mut acks = Vec::new();
-                if restarted.handle_snapshot(
-                    shard as usize,
-                    epoch,
-                    seq,
-                    rank as usize,
-                    &state,
-                    to,
-                    &mut acks,
-                ) {
-                    done = true;
+            let mut out = Vec::new();
+            match msg {
+                Message::DirSnapshotRequest {
+                    shard,
+                    requester,
+                    restart,
+                    after,
+                    have_epoch,
+                    have_seq,
+                } => {
+                    svc.handle_snapshot_request(
+                        shard as usize,
+                        requester,
+                        restart,
+                        after,
+                        have_epoch,
+                        have_seq,
+                        &mut out,
+                    );
                 }
+                Message::DirSnapshotChunk { shard, epoch, seq, rank, done, state } => {
+                    svc.handle_snapshot_chunk(
+                        shard as usize,
+                        epoch,
+                        seq,
+                        rank as usize,
+                        done,
+                        &state,
+                        from,
+                        &mut out,
+                    );
+                }
+                Message::DirResyncDelta { shard, epoch, ops, done } => {
+                    svc.handle_resync_delta(shard as usize, epoch, &ops, done, from, &mut out);
+                }
+                Message::DirAck { shard, epoch, seq } => {
+                    svc.handle_ack(shard as usize, from, epoch, seq, &mut out);
+                }
+                other => panic!("unexpected message {other:?}"),
             }
+            queue.extend(out.into_iter().map(|(to2, m2)| (to, to2, m2)));
         }
-        assert!(done, "local resync completed");
-        assert!(!restarted.is_resyncing());
+        assert!(!restarted.is_resyncing(), "local resync completed");
         // The resynced replica holds the record registered while it was down.
         assert_eq!(restarted.locations(o).map(|l| l.len()), Some(1));
         // It adopted the survivor's rank cursor: no fail-back to itself.
@@ -1236,8 +1603,23 @@ mod tests {
                 Message::DirAck { shard, epoch, seq } => {
                     svc.handle_ack(shard as usize, from, epoch, seq, &mut out);
                 }
-                Message::DirSnapshotRequest { shard, requester, restart } => {
-                    svc.handle_snapshot_request(shard as usize, requester, restart, &mut out);
+                Message::DirSnapshotRequest {
+                    shard,
+                    requester,
+                    restart,
+                    after,
+                    have_epoch,
+                    have_seq,
+                } => {
+                    svc.handle_snapshot_request(
+                        shard as usize,
+                        requester,
+                        restart,
+                        after,
+                        have_epoch,
+                        have_seq,
+                        &mut out,
+                    );
                 }
                 Message::DirSnapshot { shard, epoch, seq, rank, state } => {
                     svc.handle_snapshot(
@@ -1249,6 +1631,21 @@ mod tests {
                         from,
                         &mut out,
                     );
+                }
+                Message::DirSnapshotChunk { shard, epoch, seq, rank, done, state } => {
+                    svc.handle_snapshot_chunk(
+                        shard as usize,
+                        epoch,
+                        seq,
+                        rank as usize,
+                        done,
+                        &state,
+                        from,
+                        &mut out,
+                    );
+                }
+                Message::DirResyncDelta { shard, epoch, ops, done } => {
+                    svc.handle_resync_delta(shard as usize, epoch, &ops, done, from, &mut out);
                 }
                 m @ Message::DirConfirm { .. } => {
                     confirms.push((to, m));
@@ -1438,5 +1835,331 @@ mod tests {
         }
         assert!(confirms.iter().any(|(to, _)| *to == NodeId(2)), "op 2 confirmed: {confirms:?}");
         assert_eq!(svcs[0].replica(0).unwrap().unacked_len(), 0);
+    }
+
+    // --------------------------------------------------- chunked/delta resync ----
+
+    /// Route a single message to its recipient (services indexed by node id) and
+    /// return the resulting sends as `(from, to, msg)` triples. `DirConfirm`s are
+    /// swallowed — the resync tests don't assert on client confirms.
+    fn deliver(
+        svcs: &mut [DirectoryService],
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    ) -> Vec<(NodeId, NodeId, Message)> {
+        if matches!(
+            msg,
+            Message::DirConfirm { .. } | Message::DirPublish { .. } | Message::DirQueryReply { .. }
+        ) {
+            return Vec::new();
+        }
+        let svc = &mut svcs[to.0 as usize];
+        let mut out = Vec::new();
+        match msg {
+            Message::DirReplicate { shard, epoch, seq, op } => {
+                svc.handle_replicate(shard as usize, epoch, seq, &op, from, &mut out);
+            }
+            Message::DirAck { shard, epoch, seq } => {
+                svc.handle_ack(shard as usize, from, epoch, seq, &mut out);
+            }
+            Message::DirSnapshotRequest {
+                shard,
+                requester,
+                restart,
+                after,
+                have_epoch,
+                have_seq,
+            } => {
+                svc.handle_snapshot_request(
+                    shard as usize,
+                    requester,
+                    restart,
+                    after,
+                    have_epoch,
+                    have_seq,
+                    &mut out,
+                );
+            }
+            Message::DirSnapshotChunk { shard, epoch, seq, rank, done, state } => {
+                svc.handle_snapshot_chunk(
+                    shard as usize,
+                    epoch,
+                    seq,
+                    rank as usize,
+                    done,
+                    &state,
+                    from,
+                    &mut out,
+                );
+            }
+            Message::DirResyncDelta { shard, epoch, ops, done } => {
+                svc.handle_resync_delta(shard as usize, epoch, &ops, done, from, &mut out);
+            }
+            Message::DirConfirm { .. } => {}
+            other => panic!("unroutable message in resync test: {other:?}"),
+        }
+        out.into_iter().map(|(to2, m2)| (to, to2, m2)).collect()
+    }
+
+    #[test]
+    fn gap_resync_uses_the_delta_path_instead_of_shipping_state() {
+        // Shard 0 replicas [0, 1] on a 3-node cluster: node 0 primary, node 1 backup.
+        let cfg = HopliteConfig::small_for_tests();
+        let ns = nodes(3);
+        let mut svcs: Vec<DirectoryService> =
+            (0..2).map(|i| DirectoryService::new(NodeId(i), &cfg, &ns)).collect();
+        let objects: Vec<ObjectId> = (0u64..)
+            .map(|k| obj(&format!("delta-{k}")))
+            .filter(|&o| svcs[0].placement().shard_of(o) == 0)
+            .take(4)
+            .collect();
+        // Op 1 replicates normally and is acked.
+        let mut out = Vec::new();
+        assert!(svcs[0].handle_op(reg(objects[0], 2), &mut out));
+        let mut queue: Vec<_> = out.drain(..).map(|(to, m)| (NodeId(0), to, m)).collect();
+        while let Some((from, to, msg)) = queue.pop() {
+            queue.extend(deliver(&mut svcs, from, to, msg));
+        }
+        // Ops 2 and 3 are applied at the primary but their shipments are lost.
+        assert!(svcs[0].handle_op(reg(objects[1], 2), &mut out));
+        assert!(svcs[0].handle_op(reg(objects[2], 2), &mut out));
+        out.clear();
+        // Op 4's shipment arrives and exposes the gap.
+        assert!(svcs[0].handle_op(reg(objects[3], 2), &mut out));
+        let (seq4, op4) = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::DirReplicate { seq, op, .. } => Some((*seq, op.clone())),
+                _ => None,
+            })
+            .expect("op 4 shipped");
+        let mut req_out = Vec::new();
+        svcs[1].handle_replicate(0, 0, seq4, &op4, NodeId(0), &mut req_out);
+        let (have_epoch, have_seq) = req_out
+            .iter()
+            .find_map(|(to, m)| match m {
+                Message::DirSnapshotRequest { shard: 0, after, have_epoch, have_seq, .. } => {
+                    assert_eq!(*to, NodeId(0));
+                    assert!(after.is_none(), "fresh stream, no cursor");
+                    Some((*have_epoch, *have_seq))
+                }
+                _ => None,
+            })
+            .expect("gap triggers a resync request");
+        assert_eq!(have_seq, 1, "backup applied only op 1");
+        // The primary's retained suffix covers the gap: it replays ops, ships no
+        // state, and the backup converges and acks the full prefix.
+        let mut frames = Vec::new();
+        svcs[0].handle_snapshot_request(
+            0,
+            NodeId(1),
+            false,
+            None,
+            have_epoch,
+            have_seq,
+            &mut frames,
+        );
+        let (chunks, bytes, deltas) = svcs[0].take_resync_counters();
+        assert_eq!((chunks, bytes), (0, 0), "no state chunks shipped");
+        assert_eq!(deltas, 1, "served as a delta");
+        let mut completed = false;
+        let mut queue: Vec<_> = frames.into_iter().map(|(to, m)| (NodeId(0), to, m)).collect();
+        while let Some((from, to, msg)) = queue.pop() {
+            if to == NodeId(1) {
+                if let Message::DirResyncDelta { shard: 0, ref ops, done, .. } = msg {
+                    assert!(done, "a four-op gap fits one frame");
+                    assert_eq!(ops.first().map(|(s, _)| *s), Some(2), "replay resumes past op 1");
+                }
+            }
+            if matches!(msg, Message::DirAck { shard: 0, seq: 4, .. }) && to == NodeId(0) {
+                completed = true;
+            }
+            queue.extend(deliver(&mut svcs, from, to, msg));
+        }
+        assert!(completed, "backup acked the replayed prefix");
+        assert!(!svcs[1].replica(0).unwrap().is_resyncing());
+        for &o in &objects {
+            assert_eq!(svcs[1].locations(o).map(|l| l.len()), Some(1), "record replayed");
+        }
+    }
+
+    #[test]
+    fn chunked_resync_streams_bounded_chunks_and_reships_dirty_entries() {
+        // Two nodes, r = 2: shard 0 replicas [0, 1], shard 1 replicas [1, 0]. A tiny
+        // chunk budget forces a long stream so live mutations can land mid-flight.
+        let cfg = HopliteConfig { snapshot_chunk_bytes: 256, ..HopliteConfig::small_for_tests() };
+        let ns = nodes(2);
+        let mut svcs: Vec<DirectoryService> =
+            (0..2).map(|i| DirectoryService::new(NodeId(i), &cfg, &ns)).collect();
+        // Node 0 dies; node 1 promotes shard 0 (epoch 1) and leads everything.
+        svcs[1].on_peer_failed(NodeId(0), &mut Vec::new());
+        let mut objects = Vec::new();
+        for shard in 0..2usize {
+            objects.extend(
+                (0u64..)
+                    .map(|k| obj(&format!("scale-{shard}-{k}")))
+                    .filter(|&o| svcs[1].placement().shard_of(o) == shard)
+                    .take(20),
+            );
+        }
+        let mut scratch = Vec::new();
+        for &o in &objects {
+            assert!(svcs[1].handle_op(reg(o, 1), &mut scratch));
+        }
+        scratch.clear();
+        // Node 0 restarts empty. Shard 0 resyncs via chunks (its epoch moved), shard
+        // 1 via delta replay (same epoch, retained log covers the whole history).
+        svcs[0] = DirectoryService::new(NodeId(0), &cfg, &ns);
+        let mut requests = Vec::new();
+        assert!(svcs[0].begin_local_resync(&mut requests));
+        let mut queue: Vec<(NodeId, NodeId, Message)> =
+            requests.into_iter().map(|(to, m)| (NodeId(0), to, m)).collect();
+        let mut victim: Option<ObjectId> = None;
+        let mut chunks_seen = 0u64;
+        while let Some((from, to, msg)) = queue.pop() {
+            match &msg {
+                Message::DirSnapshotChunk { state, done, .. } => {
+                    chunks_seen += 1;
+                    assert!(
+                        state.wire_size() <= 256 || state.entries.len() == 1,
+                        "chunk over budget: {} bytes, {} entries",
+                        state.wire_size(),
+                        state.entries.len()
+                    );
+                    if victim.is_none() {
+                        // First chunk in flight: mutate one of its entries at the
+                        // source while the stream is still running. The entry went
+                        // stale behind the cursor, so it must be re-shipped.
+                        assert!(!done, "20 objects cannot fit one 256-byte chunk");
+                        let object = state.entries.first().expect("chunk carries entries").object;
+                        victim = Some(object);
+                        let mut live = Vec::new();
+                        assert!(svcs[1].handle_op(
+                            DirOp::Subscribe { object, subscriber: NodeId(1) },
+                            &mut live,
+                        ));
+                        queue.extend(live.into_iter().map(|(to2, m2)| (NodeId(1), to2, m2)));
+                    }
+                }
+                Message::DirResyncDelta { ops, .. } => {
+                    assert!(ops.len() <= 1, "two replayed ops never fit a 256-byte frame");
+                }
+                _ => {}
+            }
+            queue.extend(deliver(&mut svcs, from, to, msg));
+        }
+        assert!(chunks_seen >= 8, "20 entries at 3 per chunk plus a dirty flush: {chunks_seen}");
+        let (chunks, bytes, deltas) = svcs[1].take_resync_counters();
+        assert_eq!(chunks, chunks_seen);
+        assert!(bytes > 0);
+        assert_eq!(deltas, 1, "shard 1 resynced as a delta");
+        // The restarted node converged on every record...
+        assert!(!svcs[0].is_resyncing());
+        for &o in &objects {
+            assert_eq!(svcs[0].locations(o).map(|l| l.len()), Some(1));
+        }
+        // ...including the mutation that landed mid-stream: the subscription exists
+        // only in the re-shipped copy of the entry (the buffered live shipment was
+        // superseded by the stream's final sequence number).
+        let victim = victim.expect("a chunk was served");
+        let shard = svcs[0].placement().shard_of(victim);
+        assert_eq!(
+            svcs[0].replica(shard).unwrap().shard().subscriber_count(victim),
+            1,
+            "stale streamed entry was re-shipped with its new subscriber"
+        );
+    }
+
+    #[test]
+    fn chunk_stream_resumes_from_the_cursor_when_the_source_dies() {
+        // Three nodes, r = 3 (star fan-out), zero log retention: a restarted node
+        // can only be served state chunks, never a delta.
+        let cfg = HopliteConfig {
+            directory_replication: 3,
+            directory_chain_replication: false,
+            directory_log_retention: 0,
+            snapshot_chunk_bytes: 256,
+            ..HopliteConfig::small_for_tests()
+        };
+        let ns = nodes(3);
+        let mut svcs: Vec<DirectoryService> =
+            (0..3).map(|i| DirectoryService::new(NodeId(i), &cfg, &ns)).collect();
+        let objects: Vec<ObjectId> = (0u64..)
+            .map(|k| obj(&format!("resume-{k}")))
+            .filter(|&o| svcs[0].placement().shard_of(o) == 0)
+            .take(18)
+            .collect();
+        // Populate shard 0 through its primary; both backups apply and ack, so the
+        // primary's log is fully trimmed (and nothing is retained).
+        let mut out = Vec::new();
+        for &o in &objects {
+            assert!(svcs[0].handle_op(reg(o, 2), &mut out));
+            let mut queue: Vec<_> = out.drain(..).map(|(to, m)| (NodeId(0), to, m)).collect();
+            while let Some((from, to, msg)) = queue.pop() {
+                queue.extend(deliver(&mut svcs, from, to, msg));
+            }
+        }
+        // Node 1 dies and restarts empty; survivors digest the failure.
+        svcs[0].on_peer_failed(NodeId(1), &mut out);
+        svcs[2].on_peer_failed(NodeId(1), &mut out);
+        out.clear();
+        svcs[1] = DirectoryService::new(NodeId(1), &cfg, &ns);
+        let mut requests = Vec::new();
+        assert!(svcs[1].begin_local_resync(&mut requests));
+        // Run the resync until two chunks of shard 0 (served by node 0, the
+        // primary) have been installed, then kill node 0 mid-stream.
+        let mut queue: Vec<(NodeId, NodeId, Message)> =
+            requests.into_iter().map(|(to, m)| (NodeId(1), to, m)).collect();
+        let mut installed = 0;
+        while installed < 2 {
+            let (from, to, msg) = queue.pop().expect("shard 0 stream still in flight");
+            if to == NodeId(1) && matches!(msg, Message::DirSnapshotChunk { shard: 0, .. }) {
+                installed += 1;
+            }
+            queue.extend(deliver(&mut svcs, from, to, msg));
+        }
+        let cursor = svcs[1].replica(0).unwrap().resync_cursor().expect("mid-stream cursor");
+        // The crash drops everything in flight to or from node 0.
+        queue.retain(|(from, to, _)| *from != NodeId(0) && *to != NodeId(0));
+        let mut q1 = Vec::new();
+        svcs[1].on_peer_failed(NodeId(0), &mut q1);
+        let mut q2 = Vec::new();
+        svcs[2].on_peer_failed(NodeId(0), &mut q2);
+        // The stranded stream re-targets the new primary (node 2) and asks it to
+        // resume from the installed cursor, not from scratch.
+        let resumed_after = q1
+            .iter()
+            .find_map(|(to, m)| match m {
+                Message::DirSnapshotRequest { shard: 0, after, .. } => {
+                    assert_eq!(*to, NodeId(2));
+                    Some(*after)
+                }
+                _ => None,
+            })
+            .expect("stranded resync re-targeted");
+        assert_eq!(resumed_after, Some(cursor), "resume from the cursor");
+        queue.extend(q1.into_iter().map(|(to, m)| (NodeId(1), to, m)));
+        queue.extend(q2.into_iter().map(|(to, m)| (NodeId(2), to, m)));
+        let mut resumed_entries = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            if to == NodeId(0) {
+                continue;
+            }
+            if let Message::DirSnapshotChunk { shard: 0, ref state, .. } = msg {
+                for e in &state.entries {
+                    assert!(e.object > cursor, "already-installed prefix re-shipped");
+                    resumed_entries += 1;
+                }
+            }
+            queue.extend(deliver(&mut svcs, from, to, msg));
+        }
+        // Two 3-entry chunks landed before the crash; node 2 shipped exactly the
+        // remaining twelve entries and the restarted replica converged.
+        assert_eq!(resumed_entries, objects.len() - 6);
+        assert!(!svcs[1].is_resyncing(), "resync completed at the new source");
+        for &o in &objects {
+            assert_eq!(svcs[1].locations(o).map(|l| l.len()), Some(1));
+        }
     }
 }

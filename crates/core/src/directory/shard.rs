@@ -22,7 +22,8 @@
 //! Finally, objects at or below the inline threshold are cached in the shard itself
 //! and served straight from the query reply (the small-object fast path).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::ops::Bound::{Excluded, Unbounded};
 
 use crate::buffer::Payload;
 use crate::config::HopliteConfig;
@@ -57,20 +58,60 @@ struct Entry {
     /// avoidance.
     pulls: HashMap<NodeId, NodeId>,
     deleted: bool,
+    /// Inline-cache LRU stamp (0 when no inline payload is cached). Stamps are
+    /// assigned from a logical clock driven by replicated ops, so every replica
+    /// agrees on recency order and evicts the same victims.
+    inline_stamp: u64,
 }
 
+/// A lease candidate in the expiry wheel: `(object, holder, receiver)`. Validated
+/// lazily at expiry time — candidates whose lease has since resolved are skipped —
+/// so the many code paths that clear leases never have to touch the wheel.
+type LeaseCandidate = (ObjectId, NodeId, NodeId);
+
 /// One shard of the object directory.
+///
+/// Entries live in a `BTreeMap` so chunked resync can stream them in bounded,
+/// cursor-resumable slices ([`DirectoryShard::snapshot_range`]).
 #[derive(Debug)]
 pub struct DirectoryShard {
     shard_id: usize,
     cfg: HopliteConfig,
-    entries: HashMap<ObjectId, Entry>,
+    entries: BTreeMap<ObjectId, Entry>,
+    /// Logical clock for inline-cache recency stamps.
+    inline_clock: u64,
+    /// Recency index: stamp -> object, for every entry with an inline payload.
+    inline_lru: BTreeMap<u64, ObjectId>,
+    /// Total bytes of inline payloads currently cached.
+    inline_bytes: u64,
+    /// Inline payloads evicted to stay under `directory_inline_cache_bytes`.
+    inline_evictions: u64,
+    /// Two-generation lease expiry wheel: candidates age from `current` to `prev`
+    /// and are expired (if still leased) on the tick after that, so a lease lives
+    /// between one and two TTLs without any per-lease timer.
+    lease_wheel_current: Vec<LeaseCandidate>,
+    lease_wheel_prev: Vec<LeaseCandidate>,
 }
 
 impl DirectoryShard {
     /// Create an empty shard.
     pub fn new(shard_id: usize, cfg: HopliteConfig) -> Self {
-        DirectoryShard { shard_id, cfg, entries: HashMap::new() }
+        DirectoryShard {
+            shard_id,
+            cfg,
+            entries: BTreeMap::new(),
+            inline_clock: 0,
+            inline_lru: BTreeMap::new(),
+            inline_bytes: 0,
+            inline_evictions: 0,
+            lease_wheel_current: Vec::new(),
+            lease_wheel_prev: Vec::new(),
+        }
+    }
+
+    /// The shard's configuration.
+    pub fn config(&self) -> &HopliteConfig {
+        &self.cfg
     }
 
     /// The shard's index.
@@ -130,7 +171,9 @@ impl DirectoryShard {
         self.drain_pending(object, out);
     }
 
-    /// Cache a small object inline (§3.2 fast path) and answer parked queries.
+    /// Cache a small object inline (§3.2 fast path) and answer parked queries. The
+    /// inline cache is bounded: when `directory_inline_cache_bytes` is exceeded the
+    /// least-recently-used payloads are dropped (their location records stay).
     pub fn put_inline(
         &mut self,
         object: ObjectId,
@@ -144,6 +187,8 @@ impl DirectoryShard {
             *entry = Entry::default();
         }
         entry.size = Some(size);
+        let old_len = entry.inline.as_ref().map(|p| p.len()).unwrap_or(0);
+        let old_stamp = entry.inline_stamp;
         entry.inline = Some(payload);
         entry
             .locations
@@ -154,7 +199,68 @@ impl DirectoryShard {
                 Message::DirPublish { object, holder, status: ObjectStatus::Complete, size },
             ));
         }
+        if old_stamp != 0 {
+            self.inline_lru.remove(&old_stamp);
+            self.inline_bytes -= old_len;
+        }
+        self.inline_clock += 1;
+        let stamp = self.inline_clock;
+        self.entries.get_mut(&object).expect("entry just inserted").inline_stamp = stamp;
+        self.inline_lru.insert(stamp, object);
+        self.inline_bytes += size;
+        self.enforce_inline_budget();
         self.drain_pending(object, out);
+    }
+
+    /// Evict least-recently-used inline payloads until the cache fits its budget.
+    /// An entry whose inline payload is the only complete copy of the object is
+    /// never evicted (dropping it would lose the last copy); such entries are
+    /// skipped and the budget may be exceeded until a pull-servable copy appears.
+    fn enforce_inline_budget(&mut self) {
+        let budget = self.cfg.directory_inline_cache_bytes;
+        let mut cursor = 0u64;
+        while self.inline_bytes > budget {
+            let Some((&stamp, &object)) =
+                self.inline_lru.range((Excluded(cursor), Unbounded)).next()
+            else {
+                break;
+            };
+            cursor = stamp;
+            let entry = self.entries.get_mut(&object).expect("LRU index tracks live entries");
+            if !entry.locations.values().any(|l| l.status.is_complete()) {
+                continue;
+            }
+            let len = entry.inline.as_ref().map(|p| p.len()).unwrap_or(0);
+            entry.inline = None;
+            entry.inline_stamp = 0;
+            self.inline_lru.remove(&stamp);
+            self.inline_bytes -= len;
+            self.inline_evictions += 1;
+        }
+    }
+
+    /// Refresh an entry's inline recency stamp (called on inline query hits, which
+    /// are replicated ops — so every replica refreshes identically).
+    fn touch_inline(&mut self, object: ObjectId) {
+        let Some(old) = self.entries.get(&object).map(|e| e.inline_stamp) else { return };
+        if old == 0 {
+            return;
+        }
+        self.inline_clock += 1;
+        let stamp = self.inline_clock;
+        self.inline_lru.remove(&old);
+        self.inline_lru.insert(stamp, object);
+        self.entries.get_mut(&object).expect("entry just read").inline_stamp = stamp;
+    }
+
+    /// Bytes of inline payloads currently cached (introspection and benches).
+    pub fn inline_bytes(&self) -> u64 {
+        self.inline_bytes
+    }
+
+    /// Drain the count of inline payloads evicted since the last call.
+    pub fn take_inline_evictions(&mut self) -> u64 {
+        std::mem::take(&mut self.inline_evictions)
     }
 
     /// Remove one holder's location (local eviction or an explicit unregister).
@@ -257,6 +363,8 @@ impl DirectoryShard {
     pub fn delete(&mut self, object: ObjectId, out: &mut Vec<(NodeId, Message)>) {
         let entry = self.entries.entry(object).or_default();
         entry.deleted = true;
+        let old_len = entry.inline.as_ref().map(|p| p.len()).unwrap_or(0);
+        let old_stamp = std::mem::take(&mut entry.inline_stamp);
         entry.inline = None;
         for pending in entry.pending.drain(..) {
             out.push((
@@ -274,6 +382,10 @@ impl DirectoryShard {
         entry.locations.clear();
         entry.pulls.clear();
         entry.subscribers.clear();
+        if old_stamp != 0 {
+            self.inline_lru.remove(&old_stamp);
+            self.inline_bytes -= old_len;
+        }
     }
 
     /// Purge all state belonging to a failed node: its locations, leases, parked
@@ -293,48 +405,113 @@ impl DirectoryShard {
         }
     }
 
-    /// Capture the full shard state for transfer to a recovering replica (§3.5 state
-    /// transfer). Deterministic: hash-ordered collections are sorted, while parked
-    /// queries keep their arrival order (it is part of the shard's semantics).
-    pub fn snapshot(&self) -> ShardSnapshot {
-        let mut entries: Vec<SnapshotEntry> = self
-            .entries
-            .iter()
-            .map(|(object, e)| {
-                let mut locations: Vec<(NodeId, ObjectStatus, Option<NodeId>)> =
-                    e.locations.iter().map(|(n, l)| (*n, l.status, l.leased_to)).collect();
-                locations.sort_by_key(|(n, _, _)| n.0);
-                let mut subscribers: Vec<NodeId> = e.subscribers.iter().copied().collect();
-                subscribers.sort_by_key(|n| n.0);
-                let mut pulls: Vec<(NodeId, NodeId)> =
-                    e.pulls.iter().map(|(r, s)| (*r, *s)).collect();
-                pulls.sort_by_key(|(r, _)| r.0);
-                SnapshotEntry {
-                    object: *object,
-                    size: e.size,
-                    locations,
-                    inline: e.inline.clone(),
-                    pending: e
-                        .pending
-                        .iter()
-                        .map(|p| (p.requester, p.query_id, p.exclude.clone()))
-                        .collect(),
-                    subscribers,
-                    pulls,
-                    deleted: e.deleted,
-                }
-            })
-            .collect();
-        entries.sort_by_key(|e| e.object.0);
-        ShardSnapshot { entries }
+    /// Serialize one entry (sorted inner collections, so snapshots of identical
+    /// shards compare equal — parked queries keep their arrival order, which is part
+    /// of the shard's semantics).
+    fn entry_snapshot(object: ObjectId, e: &Entry) -> SnapshotEntry {
+        let mut locations: Vec<(NodeId, ObjectStatus, Option<NodeId>)> =
+            e.locations.iter().map(|(n, l)| (*n, l.status, l.leased_to)).collect();
+        locations.sort_by_key(|(n, _, _)| n.0);
+        let mut subscribers: Vec<NodeId> = e.subscribers.iter().copied().collect();
+        subscribers.sort_by_key(|n| n.0);
+        let mut pulls: Vec<(NodeId, NodeId)> = e.pulls.iter().map(|(r, s)| (*r, *s)).collect();
+        pulls.sort_by_key(|(r, _)| r.0);
+        SnapshotEntry {
+            object,
+            size: e.size,
+            locations,
+            inline: e.inline.clone(),
+            pending: e
+                .pending
+                .iter()
+                .map(|p| (p.requester, p.query_id, p.exclude.clone()))
+                .collect(),
+            subscribers,
+            pulls,
+            deleted: e.deleted,
+            inline_stamp: e.inline_stamp,
+        }
     }
 
-    /// Replace this shard's state with a snapshot captured by the current primary.
-    /// Whatever the shard held before — including a deposed primary's unacked suffix —
-    /// is discarded wholesale; the snapshot is the authoritative acked prefix.
-    pub fn restore(&mut self, snapshot: &ShardSnapshot) {
+    /// Capture the full shard state for transfer to a recovering replica (§3.5 state
+    /// transfer). Entries come out sorted by object id (the map is ordered).
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            entries: self.entries.iter().map(|(o, e)| Self::entry_snapshot(*o, e)).collect(),
+        }
+    }
+
+    /// One bounded, cursor-resumable slice of the shard for chunked resync: entries
+    /// strictly after `after` (or from the start when `None`), accumulated until the
+    /// next entry would push the slice past `max_bytes`. Always returns at least one
+    /// entry when any remain — a single entry larger than the budget is shipped
+    /// alone. The second element is `true` when the shard is exhausted.
+    pub fn snapshot_range(
+        &self,
+        after: Option<ObjectId>,
+        max_bytes: u64,
+    ) -> (Vec<SnapshotEntry>, bool) {
+        let lower = match after {
+            Some(o) => Excluded(o),
+            None => Unbounded,
+        };
+        let mut out: Vec<SnapshotEntry> = Vec::new();
+        let mut bytes = 0u64;
+        for (object, entry) in self.entries.range((lower, Unbounded)) {
+            let se = Self::entry_snapshot(*object, entry);
+            let sz = se.wire_size();
+            if !out.is_empty() && bytes + sz > max_bytes {
+                return (out, false);
+            }
+            bytes += sz;
+            out.push(se);
+        }
+        (out, true)
+    }
+
+    /// Serialize the entries for a specific set of objects (the resync source uses
+    /// this to re-ship entries mutated behind a stream's cursor). Unknown ids are
+    /// skipped — entries are never removed, only tombstoned, so an id the source
+    /// does not know was never shipped either.
+    pub fn snapshot_entries_for<I: IntoIterator<Item = ObjectId>>(
+        &self,
+        ids: I,
+    ) -> Vec<SnapshotEntry> {
+        ids.into_iter()
+            .filter_map(|o| self.entries.get(&o).map(|e| Self::entry_snapshot(o, e)))
+            .collect()
+    }
+
+    /// Drop all shard state (the first chunk of a fresh resync stream starts from a
+    /// clean slate). The inline clock and eviction counter survive — the clock must
+    /// stay monotonic across re-baselines.
+    pub fn clear(&mut self) {
         self.entries.clear();
-        for se in &snapshot.entries {
+        self.inline_lru.clear();
+        self.inline_bytes = 0;
+        self.lease_wheel_current.clear();
+        self.lease_wheel_prev.clear();
+    }
+
+    /// Install (upsert) a slice of snapshot entries, maintaining the inline-cache
+    /// accounting and re-arming lease candidates. Used both by whole-snapshot
+    /// restore and by incremental chunk installation.
+    pub fn install_entries(&mut self, entries: &[SnapshotEntry]) {
+        for se in entries {
+            if let Some(old) = self.entries.get(&se.object) {
+                if old.inline_stamp != 0 {
+                    self.inline_lru.remove(&old.inline_stamp);
+                    self.inline_bytes -= old.inline.as_ref().map(|p| p.len()).unwrap_or(0);
+                }
+            }
+            let mut stamp = if se.inline.is_some() { se.inline_stamp } else { 0 };
+            if se.inline.is_some() && (stamp == 0 || self.inline_lru.contains_key(&stamp)) {
+                // Defensive: stamps are unique per source, but a resumed stream may
+                // mix sources; collisions get a fresh stamp instead of corrupting
+                // the index.
+                self.inline_clock += 1;
+                stamp = self.inline_clock;
+            }
             let entry = Entry {
                 size: se.size,
                 locations: se
@@ -357,23 +534,90 @@ impl DirectoryShard {
                 subscribers: se.subscribers.iter().copied().collect(),
                 pulls: se.pulls.iter().copied().collect(),
                 deleted: se.deleted,
+                inline_stamp: stamp,
             };
+            if let Some(p) = &se.inline {
+                self.inline_bytes += p.len();
+                self.inline_lru.insert(stamp, se.object);
+                self.inline_clock = self.inline_clock.max(stamp);
+            }
+            for (holder, _, leased_to) in &se.locations {
+                if let Some(receiver) = leased_to {
+                    self.lease_wheel_current.push((se.object, *holder, *receiver));
+                }
+            }
             self.entries.insert(se.object, entry);
         }
+        self.enforce_inline_budget();
+    }
+
+    /// Replace this shard's state with a snapshot captured by the current primary.
+    /// Whatever the shard held before — including a deposed primary's unacked suffix —
+    /// is discarded wholesale; the snapshot is the authoritative acked prefix.
+    pub fn restore(&mut self, snapshot: &ShardSnapshot) {
+        self.clear();
+        self.install_entries(&snapshot.entries);
+    }
+
+    /// Advance the lease expiry wheel one generation: candidates that aged through a
+    /// full generation and are *still* leased are reclaimed (lease + pull edge
+    /// cleared) and their parked queries re-drained. Returns the number of leases
+    /// expired. Runs locally on every replica — leases are not replicated state
+    /// transitions, so replicas may transiently disagree; each one's own wheel
+    /// clears its stale leases within two ticks.
+    pub fn expire_stale_leases(&mut self, out: &mut Vec<(NodeId, Message)>) -> u64 {
+        let due = std::mem::take(&mut self.lease_wheel_prev);
+        self.lease_wheel_prev = std::mem::take(&mut self.lease_wheel_current);
+        let mut expired = 0u64;
+        let mut affected: Vec<ObjectId> = Vec::new();
+        for (object, holder, receiver) in due {
+            let Some(entry) = self.entries.get_mut(&object) else { continue };
+            let Some(loc) = entry.locations.get_mut(&holder) else { continue };
+            if loc.leased_to != Some(receiver) {
+                continue; // resolved (or re-leased) since: stale candidate
+            }
+            loc.leased_to = None;
+            if entry.pulls.get(&receiver) == Some(&holder) {
+                entry.pulls.remove(&receiver);
+            }
+            expired += 1;
+            affected.push(object);
+        }
+        for object in affected {
+            self.drain_pending(object, out);
+        }
+        expired
+    }
+
+    /// Whether the expiry wheel still holds candidates (drives lazy re-arming of
+    /// the expiry timer; an over-approximation — stale candidates count too, but
+    /// they drain within two ticks).
+    pub fn has_lease_candidates(&self) -> bool {
+        !self.lease_wheel_current.is_empty() || !self.lease_wheel_prev.is_empty()
     }
 
     /// Answer as many parked queries for `object` as possible.
     fn drain_pending(&mut self, object: ObjectId, out: &mut Vec<(NodeId, Message)>) {
         let Some(entry) = self.entries.get_mut(&object) else { return };
         let mut still_waiting = VecDeque::new();
+        let mut inline_hit = false;
         while let Some(q) = entry.pending.pop_front() {
-            if let Some(reply) = Self::try_answer(&self.cfg, object, entry, &q) {
+            if let Some(reply) =
+                Self::try_answer(&self.cfg, object, entry, &q, &mut self.lease_wheel_current)
+            {
+                inline_hit |= matches!(
+                    &reply,
+                    Message::DirQueryReply { result: QueryResult::Inline { .. }, .. }
+                );
                 out.push((q.requester, reply));
             } else {
                 still_waiting.push_back(q);
             }
         }
         entry.pending = still_waiting;
+        if inline_hit {
+            self.touch_inline(object);
+        }
     }
 
     /// Try to answer a single query against the current entry state.
@@ -382,6 +626,7 @@ impl DirectoryShard {
         object: ObjectId,
         entry: &mut Entry,
         q: &PendingQuery,
+        lease_wheel: &mut Vec<LeaseCandidate>,
     ) -> Option<Message> {
         // Fast path: inline cache.
         if let Some(payload) = &entry.inline {
@@ -420,6 +665,7 @@ impl DirectoryShard {
             loc.leased_to = Some(q.requester);
         }
         entry.pulls.insert(q.requester, holder);
+        lease_wheel.push((object, holder, q.requester));
         Some(Message::DirQueryReply {
             object,
             query_id: q.query_id,
@@ -679,7 +925,163 @@ mod tests {
     }
 
     #[test]
-    fn excluded_nodes_are_skipped() {
+    fn inline_eviction_drops_payload_but_keeps_locations() {
+        // Budget fits two 32-byte payloads; the third put must evict the coldest,
+        // keeping its Complete location record so the object is still servable via
+        // the normal pull path.
+        let mut s = DirectoryShard::new(
+            0,
+            HopliteConfig {
+                inline_threshold: 64,
+                directory_inline_cache_bytes: 64,
+                ..HopliteConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        s.put_inline(obj("a"), NodeId(0), Payload::from_vec(vec![1; 32]), &mut out);
+        s.put_inline(obj("b"), NodeId(1), Payload::from_vec(vec![2; 32]), &mut out);
+        assert_eq!(s.take_inline_evictions(), 0);
+        s.put_inline(obj("c"), NodeId(2), Payload::from_vec(vec![3; 32]), &mut out);
+        assert_eq!(s.take_inline_evictions(), 1, "coldest payload evicted");
+        assert!(s.inline_bytes() <= 64);
+        // "a" was the coldest; its location record survives and answers queries as
+        // a pull-path Location instead of an Inline hit.
+        assert_eq!(s.locations(obj("a")).len(), 1);
+        out.clear();
+        s.query(obj("a"), NodeId(7), 1, vec![], &mut out);
+        match &query_reply(&out)[0].1 {
+            QueryResult::Location { node, .. } => assert_eq!(*node, NodeId(0)),
+            other => panic!("evicted object must fall back to the pull path, got {other:?}"),
+        }
+        // The survivors still serve inline.
+        out.clear();
+        s.query(obj("c"), NodeId(8), 2, vec![], &mut out);
+        assert!(matches!(&query_reply(&out)[0].1, QueryResult::Inline { .. }));
+    }
+
+    #[test]
+    fn inline_hit_refreshes_recency() {
+        let mut s = DirectoryShard::new(
+            0,
+            HopliteConfig {
+                inline_threshold: 64,
+                directory_inline_cache_bytes: 64,
+                ..HopliteConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        s.put_inline(obj("a"), NodeId(0), Payload::from_vec(vec![1; 32]), &mut out);
+        s.put_inline(obj("b"), NodeId(1), Payload::from_vec(vec![2; 32]), &mut out);
+        // Touch "a": it becomes the hottest, so the next eviction takes "b".
+        s.query(obj("a"), NodeId(5), 1, vec![], &mut out);
+        s.put_inline(obj("c"), NodeId(2), Payload::from_vec(vec![3; 32]), &mut out);
+        assert_eq!(s.take_inline_evictions(), 1);
+        out.clear();
+        s.query(obj("a"), NodeId(6), 2, vec![], &mut out);
+        assert!(matches!(&query_reply(&out)[0].1, QueryResult::Inline { .. }), "a stayed hot");
+        out.clear();
+        s.query(obj("b"), NodeId(7), 3, vec![], &mut out);
+        assert!(
+            matches!(&query_reply(&out)[0].1, QueryResult::Location { .. }),
+            "b was the LRU victim"
+        );
+    }
+
+    #[test]
+    fn inline_eviction_never_orphans_the_last_copy() {
+        // The holder of "a" dies, so its inline payload is the only copy left; the
+        // budget squeeze must skip it (and exceed the budget) rather than lose it.
+        let mut s = DirectoryShard::new(
+            0,
+            HopliteConfig {
+                inline_threshold: 64,
+                directory_inline_cache_bytes: 64,
+                ..HopliteConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        s.put_inline(obj("a"), NodeId(0), Payload::from_vec(vec![1; 32]), &mut out);
+        s.node_failed(NodeId(0));
+        assert!(s.locations(obj("a")).is_empty());
+        s.put_inline(obj("b"), NodeId(1), Payload::from_vec(vec![2; 32]), &mut out);
+        s.put_inline(obj("c"), NodeId(2), Payload::from_vec(vec![3; 32]), &mut out);
+        // "a" is older than "b" but unevictable; "b" takes the hit instead.
+        assert_eq!(s.take_inline_evictions(), 1);
+        out.clear();
+        s.query(obj("a"), NodeId(7), 1, vec![], &mut out);
+        assert!(
+            matches!(&query_reply(&out)[0].1, QueryResult::Inline { .. }),
+            "last-copy inline payload survived the squeeze"
+        );
+    }
+
+    #[test]
+    fn lease_expiry_releases_parked_queries() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 100, &mut out);
+        s.query(obj("x"), NodeId(1), 1, vec![], &mut out); // R1 leases S
+        out.clear();
+        s.query(obj("x"), NodeId(2), 2, vec![], &mut out); // R2 parks behind the lease
+        assert!(query_reply(&out).is_empty());
+        assert!(s.has_lease_candidates());
+        // One full wheel generation must pass before a lease is reclaimed.
+        assert_eq!(s.expire_stale_leases(&mut out), 0);
+        assert!(query_reply(&out).is_empty());
+        let expired = s.expire_stale_leases(&mut out);
+        assert_eq!(expired, 1, "R1's unresolved lease reclaimed in bulk");
+        let replies = query_reply(&out);
+        assert_eq!(replies.len(), 1, "the parked query got the freed sender");
+        assert_eq!(replies[0].0, NodeId(2));
+    }
+
+    #[test]
+    fn resolved_leases_are_not_expired() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 100, &mut out);
+        s.query(obj("x"), NodeId(1), 1, vec![], &mut out);
+        s.transfer_done(obj("x"), NodeId(1), NodeId(0));
+        assert_eq!(s.expire_stale_leases(&mut out), 0);
+        assert_eq!(s.expire_stale_leases(&mut out), 0, "resolved candidate skipped lazily");
+        assert!(!s.has_lease_candidates(), "wheel drains once candidates resolve");
+    }
+
+    #[test]
+    fn snapshot_range_respects_budget_and_resumes_to_full_coverage() {
+        let mut s = shard();
+        let mut out = Vec::new();
+        for i in 0..50 {
+            s.register(obj(&format!("o{i}")), NodeId(i % 4), ObjectStatus::Complete, 100, &mut out);
+        }
+        let budget = 256u64;
+        let mut cursor: Option<ObjectId> = None;
+        let mut collected = Vec::new();
+        let mut rounds = 0;
+        loop {
+            let (entries, done) = s.snapshot_range(cursor, budget);
+            let bytes: u64 = entries.iter().map(|e| e.wire_size()).sum();
+            assert!(
+                bytes <= budget || entries.len() == 1,
+                "chunk of {bytes} bytes exceeds the {budget}-byte bound"
+            );
+            assert!(!entries.is_empty() || done);
+            if let Some(last) = entries.last() {
+                cursor = Some(last.object);
+            }
+            collected.extend(entries);
+            rounds += 1;
+            assert!(rounds < 100, "cursor walk did not terminate");
+            if done {
+                break;
+            }
+        }
+        assert!(rounds > 1, "budget forced multiple chunks");
+        assert_eq!(collected, s.snapshot().entries, "chunk walk covers the exact full state");
+    }
+
+    #[test]
+    fn excluded_nodes_are_not_returned() {
         let mut s = shard();
         let mut out = Vec::new();
         s.register(obj("x"), NodeId(0), ObjectStatus::Complete, 10, &mut out);

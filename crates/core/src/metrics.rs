@@ -53,6 +53,23 @@ pub struct NodeMetrics {
     /// Small control frames that went out corked — batched with at least one other
     /// frame into a single vectored write (transport-level, like `recv_slab_reuse`).
     pub corked_frames_per_write: u64,
+    /// `DirSnapshotChunk` frames this node served as a resync source. Chunked resync
+    /// streams bounded frames interleaved with live traffic instead of one
+    /// O(objects) `DirSnapshot` burst.
+    pub snapshot_chunks_sent: u64,
+    /// Bytes of shard state shipped in resync chunks served by this node.
+    pub snapshot_bytes: u64,
+    /// Resyncs this node served as a *delta* — the requester's gap was bridgeable
+    /// from the retained log suffix, so ops were replayed instead of state shipped.
+    pub delta_resyncs: u64,
+    /// Inline small-object payloads evicted from this node's directory shards to
+    /// keep the inline cache under `directory_inline_cache_bytes`.
+    pub inline_evictions: u64,
+    /// Directory leases reclaimed by bulk timer-wheel expiry on this node.
+    pub leases_expired: u64,
+    /// Bytes currently live in the local object store (a gauge, sampled after every
+    /// event; merging sums the per-node gauges into a cluster total).
+    pub store_bytes_live: u64,
 }
 
 impl NodeMetrics {
@@ -78,6 +95,12 @@ impl NodeMetrics {
         self.chain_ack_depth += other.chain_ack_depth;
         self.recv_slab_reuse += other.recv_slab_reuse;
         self.corked_frames_per_write += other.corked_frames_per_write;
+        self.snapshot_chunks_sent += other.snapshot_chunks_sent;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.delta_resyncs += other.delta_resyncs;
+        self.inline_evictions += other.inline_evictions;
+        self.leases_expired += other.leases_expired;
+        self.store_bytes_live += other.store_bytes_live;
     }
 }
 

@@ -149,6 +149,7 @@ impl ObjectStoreNode {
             self.ctx.send(to, msg, out);
         }
         self.drain_self_queue(now, out);
+        self.finish_turn(out);
     }
 
     /// Install one resync snapshot: adopt the shard state, log position, and the
@@ -174,6 +175,71 @@ impl ObjectStoreNode {
         if installed {
             self.ctx.metrics.directory_resyncs += 1;
             self.ctx.directory.set_shard_rank(shard, rank);
+        }
+        for (to, msg) in replies {
+            self.ctx.send(to, msg, out);
+        }
+        self.maybe_announce_readmission(now, out);
+    }
+
+    /// Install one bounded chunk of a resync stream. Mid-stream chunks answer with a
+    /// continuation request from the installed cursor; the final chunk completes the
+    /// resync exactly like a monolithic snapshot (rank adoption, catch-up ack,
+    /// re-admission announcement).
+    #[allow(clippy::too_many_arguments)] // mirrors the DirSnapshotChunk wire fields
+    pub(crate) fn handle_dir_snapshot_chunk(
+        &mut self,
+        now: Time,
+        shard: usize,
+        epoch: u64,
+        seq: u64,
+        rank: usize,
+        done: bool,
+        state: &ShardSnapshot,
+        from: NodeId,
+        out: &mut Vec<Effect>,
+    ) {
+        let mut replies = Vec::new();
+        let completed = self.directory.handle_snapshot_chunk(
+            shard,
+            epoch,
+            seq,
+            rank,
+            done,
+            state,
+            from,
+            &mut replies,
+        );
+        if completed {
+            self.ctx.metrics.directory_resyncs += 1;
+            self.ctx.directory.set_shard_rank(shard, rank);
+        }
+        for (to, msg) in replies {
+            self.ctx.send(to, msg, out);
+        }
+        self.maybe_announce_readmission(now, out);
+    }
+
+    /// Replay one frame of a delta resync — the source bridged this replica's gap
+    /// from its retained log suffix instead of shipping state. The final frame
+    /// completes the resync like a snapshot installation (no rank adoption: a
+    /// delta-served replica's placement view was never behind).
+    #[allow(clippy::too_many_arguments)] // mirrors the DirResyncDelta wire fields
+    pub(crate) fn handle_dir_resync_delta(
+        &mut self,
+        now: Time,
+        shard: usize,
+        epoch: u64,
+        ops: &[(u64, crate::protocol::DirOp)],
+        done: bool,
+        from: NodeId,
+        out: &mut Vec<Effect>,
+    ) {
+        let mut replies = Vec::new();
+        let completed =
+            self.directory.handle_resync_delta(shard, epoch, ops, done, from, &mut replies);
+        if completed {
+            self.ctx.metrics.directory_resyncs += 1;
         }
         for (to, msg) in replies {
             self.ctx.send(to, msg, out);

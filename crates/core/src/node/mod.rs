@@ -264,6 +264,11 @@ pub struct ObjectStoreNode {
     directory: DirectoryService,
     broadcast: BroadcastEngine,
     reduce: ReduceEngine,
+    /// Outstanding bulk-expiry timer for directory leases / store idle GC. Armed
+    /// lazily — only while a hosted shard has lease candidates or the store has
+    /// idle-GC work — so a quiet node goes fully quiescent (the simulator runs
+    /// until its event queue drains).
+    lease_timer: Option<TimerToken>,
 }
 
 impl ObjectStoreNode {
@@ -287,6 +292,7 @@ impl ObjectStoreNode {
             directory,
             broadcast: BroadcastEngine::default(),
             reduce: ReduceEngine::default(),
+            lease_timer: None,
         }
     }
 
@@ -390,21 +396,27 @@ impl ObjectStoreNode {
             }
         }
         self.drain_self_queue(now, out);
+        self.finish_turn(out);
     }
 
     /// Deliver a protocol message from `from`.
     pub fn handle_message(&mut self, now: Time, from: NodeId, msg: Message, out: &mut Vec<Effect>) {
         self.dispatch_message(now, from, msg, out);
         self.drain_self_queue(now, out);
+        self.finish_turn(out);
     }
 
     /// A timer armed via [`Effect::SetTimer`] fired.
     pub fn handle_timer(&mut self, now: Time, token: TimerToken, out: &mut Vec<Effect>) {
-        if let Some(object) = self.broadcast.take_put_timer(token) {
+        if self.lease_timer == Some(token) {
+            self.lease_timer = None;
+            self.expiry_tick(out);
+        } else if let Some(object) = self.broadcast.take_put_timer(token) {
             let progress = self.broadcast.advance_pipelined_put(&mut self.ctx, now, object, out);
             self.route_progress(now, progress, out);
         }
         self.drain_self_queue(now, out);
+        self.finish_turn(out);
     }
 
     /// A peer node failed (detected by the driver: socket liveness in real deployments,
@@ -412,6 +424,7 @@ impl ObjectStoreNode {
     pub fn handle_peer_failed(&mut self, now: Time, peer: NodeId, out: &mut Vec<Effect>) {
         self.peer_failed_impl(now, peer, out);
         self.drain_self_queue(now, out);
+        self.finish_turn(out);
     }
 
     /// A previously-failed peer came back. It is folded into the placement views as
@@ -479,7 +492,14 @@ impl ObjectStoreNode {
                     self.ctx.send(to, msg, out);
                 }
             }
-            Message::DirSnapshotRequest { shard, requester, restart } => {
+            Message::DirSnapshotRequest {
+                shard,
+                requester,
+                restart,
+                after,
+                have_epoch,
+                have_seq,
+            } => {
                 // A snapshot request is implicit evidence about the requester: it is
                 // back up, and — when it marks a restart — that it crashed, even if
                 // the failure detector has not reported either yet. The implied
@@ -495,6 +515,9 @@ impl ObjectStoreNode {
                     shard as usize,
                     requester,
                     restart,
+                    after,
+                    have_epoch,
+                    have_seq,
                     &mut replies,
                 );
                 for (to, msg) in replies {
@@ -512,6 +535,22 @@ impl ObjectStoreNode {
                     from,
                     out,
                 );
+            }
+            Message::DirSnapshotChunk { shard, epoch, seq, rank, done, state } => {
+                self.handle_dir_snapshot_chunk(
+                    now,
+                    shard as usize,
+                    epoch,
+                    seq,
+                    rank as usize,
+                    done,
+                    &state,
+                    from,
+                    out,
+                );
+            }
+            Message::DirResyncDelta { shard, epoch, ops, done } => {
+                self.handle_dir_resync_delta(now, shard as usize, epoch, &ops, done, from, out);
             }
             Message::DirResynced { node } => {
                 trace!("[n{}] peer {:?} re-admitted to its replica sets", self.ctx.id.0, node);
@@ -688,6 +727,63 @@ impl ObjectStoreNode {
                         out,
                     );
                 }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ turn epilogue --
+
+    /// End-of-handler bookkeeping: fold the directory plane's drained counters into
+    /// the metrics block, refresh the store gauge, and lazily (re-)arm the bulk
+    /// expiry timer while there is expiry work to do.
+    fn finish_turn(&mut self, out: &mut Vec<Effect>) {
+        let (chunks, bytes, deltas) = self.directory.take_resync_counters();
+        self.ctx.metrics.snapshot_chunks_sent += chunks;
+        self.ctx.metrics.snapshot_bytes += bytes;
+        self.ctx.metrics.delta_resyncs += deltas;
+        self.ctx.metrics.inline_evictions += self.directory.take_inline_evictions();
+        self.ctx.metrics.store_bytes_live = self.ctx.store.used();
+        self.maybe_arm_expiry_timer(out);
+    }
+
+    /// Arm the shared lease-expiry / store-GC timer if it is not already pending and
+    /// either expiry wheel might hold work. A node with no lease candidates and no
+    /// idle store copies arms nothing and goes quiescent.
+    fn maybe_arm_expiry_timer(&mut self, out: &mut Vec<Effect>) {
+        if self.lease_timer.is_some() {
+            return;
+        }
+        let mut delay = None;
+        if self.directory.has_lease_candidates() {
+            delay = Some(self.ctx.cfg.directory_lease_ttl);
+        }
+        if let Some(ttl) = self.ctx.cfg.store_gc_ttl {
+            if self.ctx.store.has_idle_candidates() {
+                delay = Some(delay.map_or(ttl, |d| d.min(ttl)));
+            }
+        }
+        if let Some(delay) = delay {
+            let token = self.ctx.fresh_timer();
+            self.lease_timer = Some(token);
+            out.push(Effect::SetTimer { token, delay });
+        }
+    }
+
+    /// One bulk expiry tick: reclaim stale directory leases across every hosted
+    /// shard (two-generation lazy wheel — a lease must survive a full generation
+    /// before it is considered stale) and, when store GC is enabled, drop store
+    /// copies that sat unpinned and untouched for two full generations, withdrawing
+    /// their directory registrations.
+    fn expiry_tick(&mut self, out: &mut Vec<Effect>) {
+        let mut msgs = Vec::new();
+        self.ctx.metrics.leases_expired += self.directory.expire_leases(&mut msgs);
+        for (to, msg) in msgs {
+            self.ctx.send(to, msg, out);
+        }
+        if self.ctx.cfg.store_gc_ttl.is_some() {
+            for object in self.ctx.store.sweep_idle() {
+                trace!("[n{}] store GC dropped idle copy of {:?}", self.ctx.id.0, object);
+                self.ctx.dir_unregister(object, out);
             }
         }
     }

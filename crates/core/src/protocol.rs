@@ -259,6 +259,23 @@ pub struct SnapshotEntry {
     pub pulls: Vec<(NodeId, NodeId)>,
     /// Whether the object is tombstoned.
     pub deleted: bool,
+    /// Inline-cache LRU stamp (0 when no inline payload is cached). Shipped so a
+    /// resynced replica inherits the source's recency order and future replicated
+    /// evictions pick the same victims on every replica.
+    pub inline_stamp: u64,
+}
+
+impl SnapshotEntry {
+    /// Approximate wire size in bytes of this entry inside a snapshot or chunk
+    /// (mirrors the framing layout closely enough for the simulator's bandwidth
+    /// model and for the chunk-bound budgeting in the resync source).
+    pub fn wire_size(&self) -> u64 {
+        56 + 13 * self.locations.len() as u64
+            + self.inline.as_ref().map(|p| p.len()).unwrap_or(0)
+            + self.pending.iter().map(|(_, _, ex)| 20 + 4 * ex.len() as u64).sum::<u64>()
+            + 4 * self.subscribers.len() as u64
+            + 8 * self.pulls.len() as u64
+    }
 }
 
 /// Full state of one directory shard, shipped to a recovering or newly-placed backup
@@ -274,16 +291,7 @@ impl ShardSnapshot {
     /// Approximate wire size in bytes (mirrors the framing layout closely enough for
     /// the simulator's bandwidth model — snapshots of busy shards are bulk traffic).
     pub fn wire_size(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| {
-                48 + 13 * e.locations.len() as u64
-                    + e.inline.as_ref().map(|p| p.len()).unwrap_or(0)
-                    + e.pending.iter().map(|(_, _, ex)| 20 + 4 * ex.len() as u64).sum::<u64>()
-                    + 4 * e.subscribers.len() as u64
-                    + 8 * e.pulls.len() as u64
-            })
-            .sum()
+        self.entries.iter().map(SnapshotEntry::wire_size).sum()
     }
 }
 
@@ -434,6 +442,18 @@ pub enum Message {
         /// for a gap-detected catch-up from a live backup, which must not disturb
         /// anyone's liveness view.
         restart: bool,
+        /// Chunk-stream cursor: `None` opens a new stream from the start of the
+        /// shard; `Some(o)` resumes after object `o` (every entry up to and
+        /// including `o` has been installed). A resumed stream survives source
+        /// death: the re-targeted request carries the cursor to the new source.
+        after: Option<ObjectId>,
+        /// The requester's current replica epoch, for delta eligibility.
+        have_epoch: u64,
+        /// The requester's contiguously-applied log position. When the source's
+        /// retained log suffix covers `(have_seq, applied_seq]` (and the request is
+        /// not a restart), it replays ops as [`Message::DirResyncDelta`] instead of
+        /// shipping state at all.
+        have_seq: u64,
     },
     /// Primary → recovering replica: full shard state at log position `seq`, epoch
     /// `epoch`. `rank` is the primary's current placement cursor for the shard, which
@@ -449,6 +469,44 @@ pub enum Message {
         rank: u64,
         /// The shard state itself.
         state: ShardSnapshot,
+    },
+    /// Primary → recovering replica: one bounded slice of shard state in a
+    /// cursor-driven resync stream. The receiver installs the carried entries,
+    /// advances its cursor past the last one, and requests the next chunk with
+    /// [`Message::DirSnapshotRequest`]; the source interleaves live op shipments
+    /// between chunks, re-sending entries mutated behind the cursor, so it is never
+    /// paused for O(objects) time. The final chunk (`done`) carries the log
+    /// position the assembled state is consistent at.
+    DirSnapshotChunk {
+        /// Shard index.
+        shard: u64,
+        /// The source's promotion epoch at capture time.
+        epoch: u64,
+        /// Log sequence number this chunk's entries are consistent at. Only
+        /// meaningful for installation on the final (`done`) chunk.
+        seq: u64,
+        /// The source's current placement cursor for the shard (adopted at `done`).
+        rank: u64,
+        /// `true` on the final chunk of the stream.
+        done: bool,
+        /// The slice of entries, sorted by object id, `wire_size() <=`
+        /// `snapshot_chunk_bytes` unless a single entry alone exceeds the bound.
+        state: ShardSnapshot,
+    },
+    /// Primary → gap-detected replica: a replay of the retained op-log suffix
+    /// `(have_seq, applied_seq]` instead of a state transfer — the cheap resync
+    /// path when the gap is bridgeable. Split across multiple frames when larger
+    /// than the chunk bound; the last one is flagged `done`.
+    DirResyncDelta {
+        /// Shard index.
+        shard: u64,
+        /// The source's promotion epoch.
+        epoch: u64,
+        /// `(seq, op)` pairs in contiguous sequence order.
+        ops: Vec<(u64, DirOp)>,
+        /// `true` on the final frame: the receiver is caught up through the last
+        /// carried seq and leaves resync.
+        done: bool,
     },
     /// Broadcast by a recovered node once every shard it hosts has installed its
     /// snapshot and caught up: the node is re-admitted as a primary candidate (the
@@ -572,6 +630,18 @@ impl Message {
                 _ => 2 * CONTROL,
             },
             Message::DirSnapshot { state, .. } => CONTROL + state.wire_size(),
+            Message::DirSnapshotChunk { state, .. } => CONTROL + state.wire_size(),
+            Message::DirResyncDelta { ops, .. } => {
+                CONTROL
+                    + ops
+                        .iter()
+                        .map(|(_, op)| match op {
+                            DirOp::PutInline { payload, .. } => CONTROL + payload.len(),
+                            DirOp::Query { exclude, .. } => CONTROL + 4 * exclude.len() as u64,
+                            _ => CONTROL,
+                        })
+                        .sum::<u64>()
+            }
             _ => CONTROL,
         }
     }

@@ -21,8 +21,20 @@ use crate::object::ObjectId;
 #[derive(Clone, Debug)]
 struct StoredObject {
     buffer: ProgressBuffer,
-    pinned: bool,
+    /// Pin references holding this copy in memory (the local `Put` origin, in-flight
+    /// reduce inputs, …). Only a copy with zero pins is evictable or idle-collectable.
+    pins: u32,
     last_access: u64,
+    /// Two-generation idle-GC mark: set by a sweep, cleared by any access. A copy
+    /// still marked when the *next* sweep runs has been idle a full generation and
+    /// is collected.
+    idle: bool,
+}
+
+impl StoredObject {
+    fn pinned(&self) -> bool {
+        self.pins > 0
+    }
 }
 
 /// The local object store of one node.
@@ -96,8 +108,9 @@ impl LocalStore {
             object,
             StoredObject {
                 buffer: ProgressBuffer::complete_from(payload),
-                pinned,
+                pins: pinned as u32,
                 last_access: self.access_counter,
+                idle: false,
             },
         );
         Ok(())
@@ -121,8 +134,9 @@ impl LocalStore {
             object,
             StoredObject {
                 buffer: ProgressBuffer::new(total_size, synthetic),
-                pinned: false,
+                pins: 0,
                 last_access: self.access_counter,
+                idle: false,
             },
         );
         Ok(())
@@ -131,6 +145,7 @@ impl LocalStore {
     /// Append a block to an in-progress object. Returns the new watermark.
     pub fn append(&mut self, object: ObjectId, offset: u64, payload: &Payload) -> Result<u64> {
         let entry = self.objects.get_mut(&object).ok_or(HopliteError::ObjectNotFound(object))?;
+        entry.idle = false;
         if !entry.buffer.append_at(offset, payload) {
             return Err(HopliteError::Protocol(format!(
                 "out-of-order append to {object:?}: offset {offset}, watermark {}",
@@ -148,6 +163,7 @@ impl LocalStore {
         let counter = self.access_counter;
         let entry = self.objects.get_mut(&object)?;
         entry.last_access = counter;
+        entry.idle = false;
         entry.buffer.read(offset, len)
     }
 
@@ -159,14 +175,67 @@ impl LocalStore {
         let counter = self.access_counter;
         let entry = self.objects.get_mut(&object)?;
         entry.last_access = counter;
+        entry.idle = false;
         entry.buffer.to_payload()
     }
 
-    /// Pin or unpin an object copy.
+    /// Pin or unpin an object copy (legacy single-owner pinning: sets the pin count
+    /// to exactly one or zero).
     pub fn set_pinned(&mut self, object: ObjectId, pinned: bool) {
         if let Some(entry) = self.objects.get_mut(&object) {
-            entry.pinned = pinned;
+            entry.pins = pinned as u32;
         }
+    }
+
+    /// Take one pin reference on an object copy (refcounted: the copy stays
+    /// unevictable until every pin is released).
+    pub fn pin(&mut self, object: ObjectId) {
+        if let Some(entry) = self.objects.get_mut(&object) {
+            entry.pins += 1;
+        }
+    }
+
+    /// Release one pin reference taken with [`LocalStore::pin`].
+    pub fn unpin(&mut self, object: ObjectId) {
+        if let Some(entry) = self.objects.get_mut(&object) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+    }
+
+    /// Current pin count of an object copy (tests and diagnostics).
+    pub fn pin_count(&self, object: ObjectId) -> u32 {
+        self.objects.get(&object).map_or(0, |o| o.pins)
+    }
+
+    /// Whether any copy is eligible for idle GC — unpinned and complete. Drives the
+    /// node facade's lazy arming of the sweep timer.
+    pub fn has_idle_candidates(&self) -> bool {
+        self.objects.values().any(|o| !o.pinned() && o.buffer.is_complete())
+    }
+
+    /// One idle-GC generation: collect every unpinned complete copy that was already
+    /// marked idle by the previous sweep and is still untouched, then mark the
+    /// survivors. Two sweeps a TTL apart therefore drop copies idle for between one
+    /// and two TTLs — without tracking per-object deadlines. Returns the collected
+    /// ids so the caller can withdraw their directory registrations.
+    pub fn sweep_idle(&mut self) -> Vec<ObjectId> {
+        let victims: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, o)| o.idle && !o.pinned() && o.buffer.is_complete())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &victims {
+            let entry = self.objects.remove(id).expect("victim exists");
+            self.used = self.used.saturating_sub(entry.buffer.total_size());
+            self.evictions += 1;
+        }
+        for entry in self.objects.values_mut() {
+            if !entry.pinned() && entry.buffer.is_complete() {
+                entry.idle = true;
+            }
+        }
+        victims
     }
 
     /// Remove an object copy regardless of pinning (used by `Delete`).
@@ -195,7 +264,7 @@ impl LocalStore {
             let victim = self
                 .objects
                 .iter()
-                .filter(|(_, o)| !o.pinned && o.buffer.is_complete())
+                .filter(|(_, o)| !o.pinned() && o.buffer.is_complete())
                 .min_by_key(|(_, o)| o.last_access)
                 .map(|(id, _)| *id);
             match victim {
@@ -324,6 +393,44 @@ mod tests {
         if cfg!(debug_assertions) {
             assert_eq!(crate::copytrace::bytes_copied(), 16);
         }
+    }
+
+    #[test]
+    fn pins_are_refcounted() {
+        let mut s = LocalStore::new(10);
+        s.put_complete(obj("a"), Payload::zeros(10), false).unwrap();
+        s.pin(obj("a"));
+        s.pin(obj("a"));
+        assert_eq!(s.pin_count(obj("a")), 2);
+        // Two pins outstanding: the copy cannot be evicted to make room.
+        assert!(s.put_complete(obj("b"), Payload::zeros(5), false).is_err());
+        s.unpin(obj("a"));
+        assert!(s.put_complete(obj("b"), Payload::zeros(5), false).is_err(), "one pin left");
+        s.unpin(obj("a"));
+        s.unpin(obj("a")); // extra release is harmless
+        s.put_complete(obj("b"), Payload::zeros(5), false).unwrap();
+        assert!(!s.contains(obj("a")));
+    }
+
+    #[test]
+    fn idle_sweep_takes_two_generations_and_spares_touched_copies() {
+        let mut s = LocalStore::new(1024);
+        s.put_complete(obj("idle"), Payload::zeros(10), false).unwrap();
+        s.put_complete(obj("hot"), Payload::zeros(10), false).unwrap();
+        s.put_complete(obj("pinned"), Payload::zeros(10), true).unwrap();
+        s.begin_receive(obj("partial"), 10, false).unwrap();
+        // Generation 1: nothing collected yet, candidates are only marked.
+        assert!(s.sweep_idle().is_empty());
+        assert!(s.has_idle_candidates());
+        // "hot" is touched between sweeps; "idle" is not.
+        assert!(s.read(obj("hot"), 0, 1).is_some());
+        let swept = s.sweep_idle();
+        assert_eq!(swept, vec![obj("idle")]);
+        assert!(!s.contains(obj("idle")));
+        assert!(s.contains(obj("hot")), "touched copy survived");
+        assert!(s.contains(obj("pinned")), "pinned copies are never idle-collected");
+        assert!(s.contains(obj("partial")), "in-progress copies are never idle-collected");
+        assert_eq!(s.used(), 30);
     }
 
     #[test]

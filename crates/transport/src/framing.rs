@@ -79,6 +79,8 @@ mod tags {
     pub const DIR_RESYNCED: u8 = 24;
     pub const DIR_CONFIRM: u8 = 25;
     pub const HELLO: u8 = 26;
+    pub const DIR_SNAPSHOT_CHUNK: u8 = 27;
+    pub const DIR_RESYNC_DELTA: u8 = 28;
 }
 
 /// Sub-tags selecting the [`ConfirmKind`] variant inside a `DirConfirm` frame.
@@ -263,6 +265,16 @@ fn put_opt_node(out: &mut FrameWriter, v: Option<NodeId>) {
     }
 }
 
+fn put_opt_object(out: &mut FrameWriter, v: Option<ObjectId>) {
+    match v {
+        None => out.put_byte(0),
+        Some(o) => {
+            out.put_byte(1);
+            out.put(&o.0);
+        }
+    }
+}
+
 fn put_snapshot(out: &mut FrameWriter, state: &ShardSnapshot) {
     put_u64(out, state.entries.len() as u64);
     for e in &state.entries {
@@ -287,6 +299,7 @@ fn put_snapshot(out: &mut FrameWriter, state: &ShardSnapshot) {
             put_u64(out, *query_id);
             put_nodes(out, exclude);
         }
+        put_u64(out, e.inline_stamp);
         put_nodes(out, &e.subscribers);
         put_u64(out, e.pulls.len() as u64);
         for (receiver, sender) in &e.pulls {
@@ -568,6 +581,14 @@ impl<'a> Reader<'a> {
         }
     }
 
+    fn opt_object(&mut self) -> Result<Option<ObjectId>, FrameError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.object()?)),
+            other => Err(malformed(&format!("unknown option flag {other}"))),
+        }
+    }
+
     /// Bounds-check a count field against the *remaining* frame bytes, scaled by the
     /// minimum wire size of one element, before the caller reserves — so a corrupt
     /// or hostile count cannot drive a huge `Vec::with_capacity` (a count of `n`
@@ -584,9 +605,10 @@ impl<'a> Reader<'a> {
 
     fn snapshot(&mut self) -> Result<ShardSnapshot, FrameError> {
         // Minimum encoded sizes: entry = 16 object + 1 size flag + 3×8 counts +
-        // 1 inline flag + 1 deleted + 8 subscriber count; location = 4 node +
-        // 1 status + 1 lease flag; pending = 4 node + 8 id + 8 count; pull = 2×4.
-        let num_entries = self.count(51)?;
+        // 1 inline flag + 8 inline stamp + 1 deleted + 8 subscriber count;
+        // location = 4 node + 1 status + 1 lease flag; pending = 4 node + 8 id +
+        // 8 count; pull = 2×4.
+        let num_entries = self.count(59)?;
         let mut entries = Vec::with_capacity(num_entries);
         for _ in 0..num_entries {
             let object = self.object()?;
@@ -606,6 +628,7 @@ impl<'a> Reader<'a> {
             for _ in 0..num_pending {
                 pending.push((self.node()?, self.u64()?, self.nodes()?));
             }
+            let inline_stamp = self.u64()?;
             let subscribers = self.nodes()?;
             let num_pulls = self.count(8)?;
             let mut pulls = Vec::with_capacity(num_pulls);
@@ -618,6 +641,7 @@ impl<'a> Reader<'a> {
                 size,
                 locations,
                 inline,
+                inline_stamp,
                 pending,
                 subscribers,
                 pulls,
@@ -781,11 +805,14 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_u64(out, *epoch);
             put_u64(out, *seq);
         }
-        Message::DirSnapshotRequest { shard, requester, restart } => {
+        Message::DirSnapshotRequest { shard, requester, restart, after, have_epoch, have_seq } => {
             put_u8(out, tags::DIR_SNAPSHOT_REQUEST);
             put_u64(out, *shard);
             put_node(out, *requester);
             put_bool(out, *restart);
+            put_opt_object(out, *after);
+            put_u64(out, *have_epoch);
+            put_u64(out, *have_seq);
         }
         Message::DirSnapshot { shard, epoch, seq, rank, state } => {
             put_u8(out, tags::DIR_SNAPSHOT);
@@ -794,6 +821,26 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_u64(out, *seq);
             put_u64(out, *rank);
             put_snapshot(out, state);
+        }
+        Message::DirSnapshotChunk { shard, epoch, seq, rank, done, state } => {
+            put_u8(out, tags::DIR_SNAPSHOT_CHUNK);
+            put_u64(out, *shard);
+            put_u64(out, *epoch);
+            put_u64(out, *seq);
+            put_u64(out, *rank);
+            put_bool(out, *done);
+            put_snapshot(out, state);
+        }
+        Message::DirResyncDelta { shard, epoch, ops, done } => {
+            put_u8(out, tags::DIR_RESYNC_DELTA);
+            put_u64(out, *shard);
+            put_u64(out, *epoch);
+            put_u64(out, ops.len() as u64);
+            for (seq, op) in ops {
+                put_u64(out, *seq);
+                put_dir_op(out, op);
+            }
+            put_bool(out, *done);
         }
         Message::DirResynced { node } => {
             put_u8(out, tags::DIR_RESYNCED);
@@ -962,6 +1009,9 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
             shard: r.u64()?,
             requester: r.node()?,
             restart: r.bool()?,
+            after: r.opt_object()?,
+            have_epoch: r.u64()?,
+            have_seq: r.u64()?,
         },
         tags::DIR_SNAPSHOT => Message::DirSnapshot {
             shard: r.u64()?,
@@ -970,6 +1020,25 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
             rank: r.u64()?,
             state: r.snapshot()?,
         },
+        tags::DIR_SNAPSHOT_CHUNK => Message::DirSnapshotChunk {
+            shard: r.u64()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            rank: r.u64()?,
+            done: r.bool()?,
+            state: r.snapshot()?,
+        },
+        tags::DIR_RESYNC_DELTA => {
+            let shard = r.u64()?;
+            let epoch = r.u64()?;
+            // Minimum per op: 8 seq + 1 op tag + 16 object.
+            let num_ops = r.count(25)?;
+            let mut ops = Vec::with_capacity(num_ops);
+            for _ in 0..num_ops {
+                ops.push((r.u64()?, r.dir_op()?));
+            }
+            Message::DirResyncDelta { shard, epoch, ops, done: r.bool()? }
+        }
         tags::DIR_RESYNCED => Message::DirResynced { node: r.node()? },
         tags::DIR_CONFIRM => {
             let object = r.object()?;
@@ -1679,8 +1748,22 @@ mod tests {
     fn resync_and_ack_messages_roundtrip() {
         let obj = ObjectId::from_name("resync");
         roundtrip(Message::DirAck { shard: 3, epoch: 2, seq: 41 });
-        roundtrip(Message::DirSnapshotRequest { shard: 7, requester: NodeId(4), restart: true });
-        roundtrip(Message::DirSnapshotRequest { shard: 8, requester: NodeId(5), restart: false });
+        roundtrip(Message::DirSnapshotRequest {
+            shard: 7,
+            requester: NodeId(4),
+            restart: true,
+            after: None,
+            have_epoch: 2,
+            have_seq: 41,
+        });
+        roundtrip(Message::DirSnapshotRequest {
+            shard: 8,
+            requester: NodeId(5),
+            restart: false,
+            after: Some(obj),
+            have_epoch: 0,
+            have_seq: 0,
+        });
         roundtrip(Message::DirResynced { node: NodeId(9) });
         roundtrip(Message::DirConfirm {
             object: obj,
@@ -1706,6 +1789,7 @@ mod tests {
                         (NodeId(2), ObjectStatus::Partial, Some(NodeId(3))),
                     ],
                     inline: Some(Payload::from_vec(vec![1, 2, 3])),
+                    inline_stamp: 17,
                     pending: vec![(NodeId(5), 77, vec![NodeId(1), NodeId(2)])],
                     subscribers: vec![NodeId(6), NodeId(7)],
                     pulls: vec![(NodeId(3), NodeId(2))],
@@ -1716,6 +1800,7 @@ mod tests {
                     size: None,
                     locations: vec![],
                     inline: None,
+                    inline_stamp: 0,
                     pending: vec![],
                     subscribers: vec![],
                     pulls: vec![],
@@ -1906,6 +1991,7 @@ mod tests {
                             })
                             .collect(),
                         inline: (self.range(0, 2) == 1).then(|| self.payload()),
+                        inline_stamp: self.next_u64(),
                         pending: (0..self.range(0, 2))
                             .map(|_| (self.node(), self.next_u64(), self.nodes()))
                             .collect(),
@@ -1919,7 +2005,7 @@ mod tests {
 
         fn message(&mut self) -> Message {
             use hoplite_core::protocol::ReduceParent;
-            match self.range(0, 26) {
+            match self.range(0, 28) {
                 0 => Message::PushBlock {
                     object: self.object(),
                     offset: self.next_u64(),
@@ -2030,6 +2116,9 @@ mod tests {
                     shard: self.next_u64(),
                     requester: self.node(),
                     restart: self.range(0, 2) == 1,
+                    after: (self.range(0, 2) == 1).then(|| self.object()),
+                    have_epoch: self.next_u64(),
+                    have_seq: self.next_u64(),
                 },
                 22 => Message::DirSnapshot {
                     shard: self.next_u64(),
@@ -2040,6 +2129,20 @@ mod tests {
                 },
                 23 => Message::DirResynced { node: self.node() },
                 24 => Message::Hello { node: self.node() },
+                25 => Message::DirSnapshotChunk {
+                    shard: self.next_u64(),
+                    epoch: self.next_u64(),
+                    seq: self.next_u64(),
+                    rank: self.next_u64(),
+                    done: self.range(0, 2) == 1,
+                    state: self.snapshot(),
+                },
+                26 => Message::DirResyncDelta {
+                    shard: self.next_u64(),
+                    epoch: self.next_u64(),
+                    ops: (0..self.range(0, 3)).map(|_| (self.next_u64(), self.dir_op())).collect(),
+                    done: self.range(0, 2) == 1,
+                },
                 _ => Message::DirConfirm {
                     object: self.object(),
                     kind: match self.range(0, 3) {
@@ -2058,7 +2161,7 @@ mod tests {
     #[test]
     fn fuzz_vectored_encoding_matches_contiguous_for_every_variant() {
         let mut rng = Rng(0x5CA7_7E2F);
-        let mut variants_seen = [false; 26];
+        let mut variants_seen = [false; 28];
         for case in 0..600 {
             let msg = rng.message();
             let contiguous = encode_frame(&msg).unwrap();
@@ -2076,8 +2179,80 @@ mod tests {
         }
         assert!(
             variants_seen.iter().all(|&seen| seen),
-            "600 cases should cover all 26 tags: {variants_seen:?}"
+            "600 cases should cover all 28 tags: {variants_seen:?}"
         );
+    }
+
+    /// Property (seeded fuzzer): chunking is codec-transparent. A shard's entry list
+    /// split into `DirSnapshotChunk` frames at *arbitrary* boundaries — empty chunks,
+    /// single-entry chunks, everything in one chunk — round-trips each frame and
+    /// reassembles to exactly the original entries, regardless of where the cuts
+    /// fall. Same for a replication-log suffix split across `DirResyncDelta` frames.
+    #[test]
+    fn fuzz_chunk_boundary_splits_reassemble_exactly() {
+        let mut rng = Rng(0xC4_0B0B);
+        for case in 0..200 {
+            let total = rng.range(0, 24) as usize;
+            let entries: Vec<SnapshotEntry> =
+                (0..total).flat_map(|_| rng.snapshot().entries).collect();
+
+            // Cut the entry list at random boundaries (possibly producing empty
+            // chunks — a dirty-only stream with nothing fitting does exactly that).
+            let mut chunks: Vec<Vec<SnapshotEntry>> = Vec::new();
+            let mut rest = entries.as_slice();
+            while !rest.is_empty() {
+                let cut = rng.range(0, rest.len() as u64 + 1) as usize;
+                chunks.push(rest[..cut].to_vec());
+                rest = &rest[cut..];
+            }
+            chunks.push(Vec::new()); // trailing empty done-chunk
+
+            let mut reassembled = Vec::new();
+            let last = chunks.len() - 1;
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                let msg = Message::DirSnapshotChunk {
+                    shard: rng.next_u64(),
+                    epoch: rng.next_u64(),
+                    seq: rng.next_u64(),
+                    rank: rng.next_u64(),
+                    done: i == last,
+                    state: ShardSnapshot { entries: chunk },
+                };
+                let body = Bytes::from(encode_body(&msg).unwrap());
+                let decoded = decode_body(&body).unwrap();
+                assert_eq!(decoded, msg, "case {case}: chunk {i} roundtrip");
+                let Message::DirSnapshotChunk { state, .. } = decoded else { unreachable!() };
+                reassembled.extend(state.entries);
+            }
+            assert_eq!(reassembled, entries, "case {case}: splits must reassemble");
+
+            // Delta frames: a log suffix cut at a random boundary per frame.
+            let ops: Vec<(u64, hoplite_core::DirOp)> =
+                (0..rng.range(0, 12)).map(|seq| (seq, rng.dir_op())).collect();
+            let mut replayed = Vec::new();
+            let mut at = 0usize;
+            while at < ops.len() || replayed.is_empty() {
+                let cut = at + rng.range(0, (ops.len() - at) as u64 + 1) as usize;
+                let msg = Message::DirResyncDelta {
+                    shard: rng.next_u64(),
+                    epoch: rng.next_u64(),
+                    ops: ops[at..cut].to_vec(),
+                    done: cut == ops.len(),
+                };
+                let body = Bytes::from(encode_body(&msg).unwrap());
+                let decoded = decode_body(&body).unwrap();
+                assert_eq!(decoded, msg, "case {case}: delta roundtrip");
+                let Message::DirResyncDelta { ops: frame_ops, done, .. } = decoded else {
+                    unreachable!()
+                };
+                replayed.extend(frame_ops);
+                at = cut;
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(replayed, ops, "case {case}: delta splits must reassemble");
+        }
     }
 
     #[test]
