@@ -1,0 +1,295 @@
+//! Seeded fault-schedule generation for the scenario sweep harness.
+//!
+//! A [`FaultSchedule`] is a fully materialized, deterministic list of scheduled
+//! degradations — kills + restarts, transient partitions, straggler windows, and link
+//! faults — generated from a [`ScheduleKind`] and a seed. Generation is pure: the same
+//! `(kind, n, protected, seed)` inputs always produce a byte-identical schedule
+//! ([`FaultSchedule::canonical_bytes`]), which is what makes every sweep cell
+//! reproducible from its JSON row alone.
+//!
+//! Kill victims are drawn from outside the `protected` set (collective roots and
+//! reduce participants) and are never ring-adjacent, so with the default directory
+//! replication factor of 2 (shard `s` on nodes `s, s+1 mod n`) no shard ever loses
+//! both replicas — §3.5's failover machinery is exercised without making metadata
+//! unrecoverable.
+
+use hoplite_simnet::prelude::*;
+
+use crate::sim_cluster::SimCluster;
+use crate::topology::SweepRng;
+
+/// The fault-schedule families swept by the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// No faults: the baseline row every other schedule is compared against.
+    None,
+    /// Two correlated (near-simultaneous) node kills, restarted after detection.
+    CorrelatedKills,
+    /// A transient network partition isolating roughly a quarter of the cluster.
+    Partition,
+    /// One or two straggler nodes whose NICs degrade 4–10× for a window.
+    Straggler,
+    /// Seeded link-level message loss and reordering for the whole run.
+    LossReorder,
+}
+
+impl ScheduleKind {
+    /// Every schedule kind, in sweep order.
+    pub fn all() -> [ScheduleKind; 5] {
+        [
+            ScheduleKind::None,
+            ScheduleKind::CorrelatedKills,
+            ScheduleKind::Partition,
+            ScheduleKind::Straggler,
+            ScheduleKind::LossReorder,
+        ]
+    }
+
+    /// Short stable name used in sweep cell ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleKind::None => "none",
+            ScheduleKind::CorrelatedKills => "kills",
+            ScheduleKind::Partition => "partition",
+            ScheduleKind::Straggler => "straggler",
+            ScheduleKind::LossReorder => "loss",
+        }
+    }
+}
+
+/// A materialized fault schedule. All times are offsets in seconds relative to the
+/// workload start passed to [`FaultSchedule::apply`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    /// The kind's stable name (also the id segment in sweep cells).
+    pub name: String,
+    /// Seed the schedule was generated from.
+    pub seed: u64,
+    /// `(offset_s, node)` kill events.
+    pub kills: Vec<(f64, usize)>,
+    /// `(offset_s, node)` restart events (one per kill).
+    pub restarts: Vec<(f64, usize)>,
+    /// `(from_s, until_s, side)` transient partitions.
+    pub partitions: Vec<(f64, f64, Vec<bool>)>,
+    /// `(from_s, until_s, node, factor)` straggler windows.
+    pub slowdowns: Vec<(f64, f64, usize, f64)>,
+    /// Link faults applied to the whole run (loss/reorder), when any.
+    pub link_faults: Option<LinkFaults>,
+}
+
+/// Ring distance between two nodes on an `n`-ring.
+fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = (a + n - b) % n;
+    d.min(n - d)
+}
+
+/// Generate the schedule of `kind` for an `n`-node cluster, drawing every decision
+/// from `seed`. `protected` nodes are never killed; `detection_s` is the cluster's
+/// failure-detection delay (restarts are scheduled after kill + detection + margin).
+pub fn generate(
+    kind: ScheduleKind,
+    n: usize,
+    protected: &[usize],
+    detection_s: f64,
+    seed: u64,
+) -> FaultSchedule {
+    let mut rng = SweepRng::new(seed ^ 0xFA17_0000 ^ ((n as u64) << 32));
+    let mut schedule = FaultSchedule {
+        name: kind.name().to_string(),
+        seed,
+        kills: Vec::new(),
+        restarts: Vec::new(),
+        partitions: Vec::new(),
+        slowdowns: Vec::new(),
+        link_faults: None,
+    };
+    match kind {
+        ScheduleKind::None => {}
+        ScheduleKind::CorrelatedKills => {
+            let killable: Vec<usize> = (0..n).filter(|i| !protected.contains(i)).collect();
+            if killable.is_empty() {
+                // Nothing safe to kill: degrade to a straggler so the cell still
+                // exercises a fault.
+                schedule.slowdowns.push((0.05, 1.55, n.saturating_sub(1), 6.0));
+                return schedule;
+            }
+            let first = killable[rng.below(killable.len() as u64) as usize];
+            // A correlated second kill, at ring distance >= 2 from the first so the
+            // two victims never hold both replicas of any directory shard.
+            let second = killable
+                .iter()
+                .copied()
+                .filter(|&b| b != first && ring_distance(first, b, n) >= 2)
+                .min_by_key(|&b| ring_distance(first, b, n));
+            let restart_at = 0.10 + detection_s + 0.5;
+            schedule.kills.push((0.05, first));
+            schedule.restarts.push((restart_at, first));
+            if let Some(b) = second {
+                schedule.kills.push((0.10, b));
+                schedule.restarts.push((restart_at + 0.1, b));
+            }
+        }
+        ScheduleKind::Partition => {
+            // Isolate a contiguous quarter (at least one node) for 0.3–0.6 s, starting
+            // exactly at the workload start so the cut lands on in-flight transfers.
+            let m = (n / 4).max(1);
+            let start = rng.below(n as u64) as usize;
+            let mut side = vec![false; n];
+            for k in 0..m {
+                side[(start + k) % n] = true;
+            }
+            let until = 0.3 + rng.unit() * 0.3;
+            schedule.partitions.push((0.0, until, side));
+        }
+        ScheduleKind::Straggler => {
+            // Degrade from the workload start so the slow NIC sits on the collective's
+            // critical path, not in its wake.
+            let count = 1 + rng.below(2) as usize;
+            for _ in 0..count {
+                let node = rng.below(n as u64) as usize;
+                let factor = 4.0 + rng.below(7) as f64; // 4–10×
+                let until = 1.0 + rng.unit();
+                schedule.slowdowns.push((0.0, until, node, factor));
+            }
+        }
+        ScheduleKind::LossReorder => {
+            schedule.link_faults = Some(LinkFaults {
+                loss: 0.005 + rng.unit() * 0.015,  // 0.5–2 % first-tx loss
+                reorder: 0.05 + rng.unit() * 0.05, // 5–10 % jitter-delayed
+                jitter: SimDuration::from_micros(200 + rng.below(800)),
+                retransmit: SimDuration::from_millis(200),
+                seed,
+            });
+        }
+    }
+    schedule
+}
+
+impl FaultSchedule {
+    /// Nodes this schedule kills (and later restarts).
+    pub fn killed_nodes(&self) -> Vec<usize> {
+        self.kills.iter().map(|&(_, node)| node).collect()
+    }
+
+    /// Offset at which `node` restarts, if this schedule kills it.
+    pub fn restart_offset(&self, node: usize) -> Option<f64> {
+        self.restarts.iter().find(|&&(_, k)| k == node).map(|&(at, _)| at)
+    }
+
+    /// Schedule every event of this schedule onto `cluster`, offset by `start_s`.
+    /// Link faults are not applied here — they must be merged into the
+    /// [`hoplite_simnet::prelude::NetworkConfig`] before the cluster is built.
+    pub fn apply(&self, cluster: &mut SimCluster, start_s: f64) {
+        let t = |off: f64| SimTime::from_secs_f64(start_s + off);
+        for &(at, node) in &self.kills {
+            cluster.fail_node_at(t(at), node);
+        }
+        for &(at, node) in &self.restarts {
+            cluster.restart_node_at(t(at), node);
+        }
+        for (from, until, side) in &self.partitions {
+            cluster.partition_between(t(*from), t(*until), side.clone());
+        }
+        for &(from, until, node, factor) in &self.slowdowns {
+            cluster.slow_node_between(node, t(from), t(until), factor);
+        }
+    }
+
+    /// A canonical byte serialization of the whole schedule. Two schedules are
+    /// byte-identical iff every field matches exactly — the replay property the
+    /// sweep's reproducibility rests on.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.kills.len() as u64).to_le_bytes());
+        for &(at, node) in &self.kills {
+            out.extend_from_slice(&at.to_le_bytes());
+            out.extend_from_slice(&(node as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.restarts.len() as u64).to_le_bytes());
+        for &(at, node) in &self.restarts {
+            out.extend_from_slice(&at.to_le_bytes());
+            out.extend_from_slice(&(node as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.partitions.len() as u64).to_le_bytes());
+        for (from, until, side) in &self.partitions {
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&until.to_le_bytes());
+            out.extend_from_slice(&(side.len() as u64).to_le_bytes());
+            out.extend(side.iter().map(|&b| b as u8));
+        }
+        out.extend_from_slice(&(self.slowdowns.len() as u64).to_le_bytes());
+        for &(from, until, node, factor) in &self.slowdowns {
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&until.to_le_bytes());
+            out.extend_from_slice(&(node as u64).to_le_bytes());
+            out.extend_from_slice(&factor.to_le_bytes());
+        }
+        match &self.link_faults {
+            None => out.push(0),
+            Some(f) => {
+                out.push(1);
+                out.extend_from_slice(&f.loss.to_le_bytes());
+                out.extend_from_slice(&f.reorder.to_le_bytes());
+                out.extend_from_slice(&f.jitter.as_nanos().to_le_bytes());
+                out.extend_from_slice(&f.retransmit.as_nanos().to_le_bytes());
+                out.extend_from_slice(&f.seed.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        for kind in ScheduleKind::all() {
+            let a = generate(kind, 16, &[0, 2, 4], 0.74, 11);
+            let b = generate(kind, 16, &[0, 2, 4], 0.74, 11);
+            assert_eq!(a.canonical_bytes(), b.canonical_bytes(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn kills_avoid_protected_and_ring_adjacency() {
+        for seed in 0..32 {
+            let protected = [0usize, 3, 7];
+            let s = generate(ScheduleKind::CorrelatedKills, 16, &protected, 0.74, seed);
+            let killed = s.killed_nodes();
+            for &k in &killed {
+                assert!(!protected.contains(&k), "seed {seed}: killed protected {k}");
+            }
+            if killed.len() == 2 {
+                assert!(
+                    ring_distance(killed[0], killed[1], 16) >= 2,
+                    "seed {seed}: ring-adjacent kills {killed:?}"
+                );
+            }
+            assert_eq!(s.kills.len(), s.restarts.len());
+        }
+    }
+
+    #[test]
+    fn all_protected_degrades_to_straggler() {
+        let all: Vec<usize> = (0..4).collect();
+        let s = generate(ScheduleKind::CorrelatedKills, 4, &all, 0.74, 5);
+        assert!(s.kills.is_empty());
+        assert_eq!(s.slowdowns.len(), 1);
+    }
+
+    #[test]
+    fn loss_schedule_parameters_stay_in_range() {
+        for seed in 0..16 {
+            let s = generate(ScheduleKind::LossReorder, 32, &[], 0.74, seed);
+            let f = s.link_faults.expect("loss schedule sets link faults");
+            assert!(f.loss >= 0.005 && f.loss < 0.02 + 1e-9);
+            assert!(f.reorder >= 0.05 && f.reorder < 0.10 + 1e-9);
+            assert_eq!(f.seed, seed);
+        }
+    }
+}

@@ -21,12 +21,18 @@
 
 pub mod actor;
 pub mod driver;
+pub mod faults;
 pub mod local;
 pub mod scenarios;
 pub mod sim_cluster;
+pub mod sweep;
+pub mod topology;
 
 pub use actor::HopliteActor;
 pub use driver::{DriverPort, NodeEvent, NodeRuntime};
+pub use faults::{FaultSchedule, ScheduleKind};
 pub use local::{HopliteClient, LocalCluster, LocalFabric};
 pub use scenarios::{ScenarioEnv, ScenarioResult};
 pub use sim_cluster::{OpHandle, SimCluster};
+pub use sweep::{run_cell, CellOutcome, Collective};
+pub use topology::{GeneratedTopology, SweepRng, TopologyGraph};

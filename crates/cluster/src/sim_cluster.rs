@@ -83,6 +83,19 @@ impl SimCluster {
         self.sim.recover_node_at(at, node);
     }
 
+    /// Schedule a transient network partition between `from` and `until`: `side[i]`
+    /// assigns node `i` to one half. Cross-cut messages stall until the heal (TCP
+    /// retransmits across the cut); no message is lost.
+    pub fn partition_between(&mut self, from: SimTime, until: SimTime, side: Vec<bool>) {
+        self.sim.partition_between(from, until, side);
+    }
+
+    /// Schedule a straggler window: `node`'s NIC drains `factor`× slower between
+    /// `from` and `until`.
+    pub fn slow_node_between(&mut self, node: usize, from: SimTime, until: SimTime, factor: f64) {
+        self.sim.slow_node_between(node, from, until, factor);
+    }
+
     /// Whether a node is currently alive.
     pub fn is_alive(&self, node: usize) -> bool {
         self.sim.is_alive(node)

@@ -1,0 +1,305 @@
+//! Topology generators for the scenario sweep harness.
+//!
+//! Each generator produces a [`GeneratedTopology`]: a named [`NetworkConfig`] that the
+//! simulator executes, plus an explicit [`TopologyGraph`] (hosts + switches + edges)
+//! that property tests can check structurally — connectivity, degree bounds, and the
+//! oversubscription ratio actually realized by the shared uplinks.
+//!
+//! Four families cover the axes the Hoplite paper's uniform 16-node testbed never
+//! exercises:
+//!
+//! * [`uniform`] — the paper's flat full-bisection network at any size;
+//! * [`fat_tree`] — racks behind shared ToR uplinks with a configurable
+//!   oversubscription factor at the spine layer;
+//! * [`hetero_nics`] — per-node NIC speeds drawn from a seeded mix of 10/25/50 Gbps;
+//! * [`wan_tiers`] — multi-site deployments with µs intra-site and ms inter-site
+//!   latency tiers.
+
+use hoplite_simnet::prelude::*;
+
+/// A deterministic seeded value stream (SplitMix64). Shared by the topology and fault
+/// generators so every sweep cell replays byte-identically for the same seed.
+#[derive(Clone, Debug)]
+pub struct SweepRng {
+    state: u64,
+}
+
+impl SweepRng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SweepRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The physical wiring of a generated topology: `hosts` host vertices (ids
+/// `0..hosts`), `switches` switch vertices (ids `hosts..hosts+switches`), and
+/// undirected edges between vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyGraph {
+    /// Number of host vertices (the simulated Hoplite nodes).
+    pub hosts: usize,
+    /// Number of switch vertices (ToRs, spines, site routers).
+    pub switches: usize,
+    /// Undirected edges between vertices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TopologyGraph {
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.hosts + self.switches
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges.iter().filter(|&&(a, b)| a == v || b == v).count()
+    }
+
+    /// Whether every vertex is reachable from vertex 0 (BFS).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n == 0 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut frontier = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = frontier.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    frontier.push(w);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+/// A generated topology: the network configuration the simulator runs plus the
+/// structural graph that property tests inspect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratedTopology {
+    /// Short stable name used in sweep cell ids (e.g. `fat32`).
+    pub name: String,
+    /// Number of simulated Hoplite nodes.
+    pub n: usize,
+    /// The network the simulator executes.
+    pub net: NetworkConfig,
+    /// The explicit wiring behind `net`.
+    pub graph: TopologyGraph,
+}
+
+impl GeneratedTopology {
+    /// Oversubscription factor realized at the rack layer: aggregate host bandwidth
+    /// per group divided by the shared uplink bandwidth. `1.0` without uplinks
+    /// (full bisection).
+    pub fn oversubscription(&self) -> f64 {
+        let Some(up) = &self.net.uplinks else { return 1.0 };
+        let mut worst = 1.0f64;
+        for g in 0..up.num_groups() {
+            let agg: f64 =
+                (0..self.n).filter(|&i| up.group(i) == g).map(|i| self.net.node_bandwidth(i)).sum();
+            worst = worst.max(agg / up.bandwidth);
+        }
+        worst
+    }
+}
+
+/// The paper's flat network at size `n`: every host hangs off one non-blocking
+/// switch, uniform 10 Gbps NICs, uniform 85 µs latency.
+pub fn uniform(n: usize) -> GeneratedTopology {
+    let edges = (0..n).map(|h| (h, n)).collect();
+    GeneratedTopology {
+        name: format!("uniform{n}"),
+        n,
+        net: NetworkConfig::paper_testbed(),
+        graph: TopologyGraph { hosts: n, switches: 1, edges },
+    }
+}
+
+/// An oversubscribed fat-tree: `racks` racks of `per_rack` hosts behind ToR switches,
+/// each ToR wired to every spine. The spine layer provides
+/// `per_rack / oversubscription` host-equivalents of uplink capacity per rack, modeled
+/// in the simulator as a shared per-rack uplink of `per_rack · B / oversubscription`
+/// bytes/second that cross-rack bulk traffic serializes through.
+pub fn fat_tree(racks: usize, per_rack: usize, oversubscription: f64) -> GeneratedTopology {
+    assert!(racks >= 1 && per_rack >= 1);
+    assert!(oversubscription >= 1.0, "oversubscription factor must be >= 1");
+    let n = racks * per_rack;
+    let spines = ((per_rack as f64 / oversubscription).ceil() as usize).max(1);
+    let tor = |r: usize| n + r;
+    let spine = |s: usize| n + racks + s;
+    let mut edges = Vec::with_capacity(n + racks * spines);
+    for h in 0..n {
+        edges.push((h, tor(h / per_rack)));
+    }
+    for r in 0..racks {
+        for s in 0..spines {
+            edges.push((tor(r), spine(s)));
+        }
+    }
+    let base = NetworkConfig::paper_testbed();
+    let uplink_bw = per_rack as f64 * base.bandwidth / oversubscription;
+    let group_of = (0..n).map(|h| (h / per_rack) as u32).collect();
+    GeneratedTopology {
+        name: format!("fat{n}"),
+        n,
+        net: NetworkConfig { uplinks: Some(UplinkSpec { group_of, bandwidth: uplink_bw }), ..base },
+        graph: TopologyGraph { hosts: n, switches: racks + spines, edges },
+    }
+}
+
+/// A flat cluster with heterogeneous NIC speeds: each node draws 10, 25, or
+/// 50 Gbps from a seeded stream (weighted toward the paper's 10 Gbps baseline).
+pub fn hetero_nics(n: usize, seed: u64) -> GeneratedTopology {
+    let mut rng = SweepRng::new(seed ^ 0x7E7E_0001);
+    let speeds = [1.25e9, 3.125e9, 6.25e9]; // 10 / 25 / 50 Gbps in bytes/s
+    let weights = [2, 1, 1];
+    let total: u64 = weights.iter().sum();
+    let node_bandwidth = (0..n)
+        .map(|_| {
+            let mut draw = rng.below(total);
+            for (i, &w) in weights.iter().enumerate() {
+                if draw < w {
+                    return speeds[i];
+                }
+                draw -= w;
+            }
+            speeds[0]
+        })
+        .collect();
+    let edges = (0..n).map(|h| (h, n)).collect();
+    GeneratedTopology {
+        name: format!("hetero{n}"),
+        n,
+        net: NetworkConfig { node_bandwidth, ..NetworkConfig::paper_testbed() },
+        graph: TopologyGraph { hosts: n, switches: 1, edges },
+    }
+}
+
+/// A multi-site WAN deployment: `sites` sites of `per_site` hosts. Intra-site latency
+/// is the paper's 85 µs; each inter-site latency is drawn from a seeded 10–40 ms
+/// range (symmetric). Site routers form a star on site 0's router.
+pub fn wan_tiers(sites: usize, per_site: usize, seed: u64) -> GeneratedTopology {
+    assert!(sites >= 1 && per_site >= 1);
+    let n = sites * per_site;
+    let mut rng = SweepRng::new(seed ^ 0x7E7E_0002);
+    let intra = SimDuration::from_micros(85);
+    let mut latency = vec![vec![intra; sites]; sites];
+    // Symmetric upper-triangle fill; index pairs are clearer than a split_at_mut dance.
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..sites {
+        for b in (a + 1)..sites {
+            let ms = 10 + rng.below(31); // 10–40 ms one-way
+            let l = SimDuration::from_millis(ms);
+            latency[a][b] = l;
+            latency[b][a] = l;
+        }
+    }
+    let tier_of = (0..n).map(|h| (h / per_site) as u32).collect();
+    let router = |s: usize| n + s;
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|h| (h, router(h / per_site))).collect();
+    for s in 1..sites {
+        edges.push((router(0), router(s)));
+    }
+    GeneratedTopology {
+        name: format!("wan{n}"),
+        n,
+        net: NetworkConfig {
+            latency_tiers: Some(LatencyTiers { tier_of, latency }),
+            ..NetworkConfig::paper_testbed()
+        },
+        graph: TopologyGraph { hosts: n, switches: sites, edges },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_rng_is_deterministic() {
+        let mut a = SweepRng::new(42);
+        let mut b = SweepRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SweepRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_a_star_on_one_switch() {
+        let t = uniform(8);
+        assert_eq!(t.n, 8);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.graph.degree(8), 8); // the switch
+        assert_eq!(t.oversubscription(), 1.0);
+    }
+
+    #[test]
+    fn fat_tree_realizes_requested_oversubscription() {
+        let t = fat_tree(4, 8, 4.0);
+        assert_eq!(t.n, 32);
+        assert!(t.graph.is_connected());
+        let over = t.oversubscription();
+        assert!((over - 4.0).abs() < 1e-9, "oversubscription = {over}");
+        // Each ToR: per_rack hosts below + spines above.
+        let spines = t.graph.switches - 4;
+        assert_eq!(t.graph.degree(32), 8 + spines);
+    }
+
+    #[test]
+    fn hetero_nics_only_draws_known_speeds() {
+        let t = hetero_nics(16, 3);
+        assert_eq!(t.net.node_bandwidth.len(), 16);
+        for &b in &t.net.node_bandwidth {
+            assert!([1.25e9, 3.125e9, 6.25e9].contains(&b));
+        }
+        assert_eq!(t, hetero_nics(16, 3));
+    }
+
+    #[test]
+    fn wan_tiers_are_symmetric_and_slower_across_sites() {
+        let t = wan_tiers(3, 4, 9);
+        let tiers = t.net.latency_tiers.as_ref().unwrap();
+        for a in 0..3 {
+            assert_eq!(tiers.latency[a][a], SimDuration::from_micros(85));
+            for b in 0..3 {
+                assert_eq!(tiers.latency[a][b], tiers.latency[b][a]);
+                if a != b {
+                    assert!(tiers.latency[a][b] >= SimDuration::from_millis(10));
+                }
+            }
+        }
+        assert!(t.graph.is_connected());
+    }
+}

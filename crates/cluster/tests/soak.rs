@@ -11,6 +11,9 @@
 //! them as the dedicated `scenario-soak` step.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
 
 use hoplite_cluster::scenarios::{
     chain_kill_drill, directory_failover_broadcast, mid_chain_resync_under_load,
@@ -42,12 +45,42 @@ impl Lcg {
     }
 }
 
-fn with_seed(name: &str, seed: u64, f: impl FnOnce()) {
-    if let Err(e) = catch_unwind(AssertUnwindSafe(f)) {
-        eprintln!(
-            "SOAK FAILURE: scenario `{name}` failed at seed {seed} — rerun this seed to reproduce"
-        );
-        resume_unwind(e);
+/// Wall-clock budget per seed. Each scenario runs in well under a second in release,
+/// so a seed hitting this ceiling means a livelock (event loop or protocol), not a
+/// slow machine — the watchdog turns such hangs into a named failure instead of a
+/// 6-hour CI timeout with no culprit.
+const SEED_WALL_CLOCK_BUDGET: Duration = Duration::from_secs(120);
+
+fn with_seed(name: &'static str, seed: u64, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+    });
+    match rx.recv_timeout(SEED_WALL_CLOCK_BUDGET) {
+        Ok(Ok(())) => {
+            let _ = worker.join();
+        }
+        Ok(Err(e)) => {
+            let _ = worker.join();
+            eprintln!(
+                "SOAK FAILURE: scenario `{name}` failed at seed {seed} — rerun this seed to \
+                 reproduce"
+            );
+            resume_unwind(e);
+        }
+        Err(_) => {
+            // The worker is stuck; leak it (the test harness exits the process) and
+            // fail loudly with the seed that hung.
+            eprintln!(
+                "SOAK TIMEOUT: scenario `{name}` exceeded the {}s wall-clock budget at seed \
+                 {seed} — likely livelock; rerun this seed to reproduce",
+                SEED_WALL_CLOCK_BUDGET.as_secs()
+            );
+            panic!(
+                "soak watchdog: `{name}` seed {seed} exceeded {}s",
+                SEED_WALL_CLOCK_BUDGET.as_secs()
+            );
+        }
     }
 }
 
@@ -58,7 +91,7 @@ fn with_seed(name: &str, seed: u64, f: impl FnOnce()) {
 #[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
 fn soak_directory_failover_seeds() {
     for seed in 0..SEEDS {
-        with_seed("directory_failover_broadcast", seed, || {
+        with_seed("directory_failover_broadcast", seed, move || {
             let mut lcg = Lcg::new(seed);
             let n = lcg.pick(4, 9) as usize;
             let size = lcg.pick(2, 64) * MB;
@@ -88,7 +121,7 @@ fn soak_directory_failover_seeds() {
 #[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
 fn soak_rolling_restart_seeds() {
     for seed in 0..SEEDS {
-        with_seed("rolling_restart_collectives", seed, || {
+        with_seed("rolling_restart_collectives", seed, move || {
             let mut lcg = Lcg::new(seed ^ 0xDEADBEEF);
             let n = lcg.pick(4, 8) as usize;
             let size = lcg.pick(2, 16) * MB;
@@ -122,7 +155,7 @@ fn soak_rolling_restart_seeds() {
 #[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
 fn soak_mid_chain_resync_seeds() {
     for seed in 0..SEEDS {
-        with_seed("mid_chain_resync_under_load", seed, || {
+        with_seed("mid_chain_resync_under_load", seed, move || {
             let mut lcg = Lcg::new(seed ^ 0x5EED_CAFE);
             let n = lcg.pick(5, 9) as usize;
             let fail_at = 0.3 + lcg.pick(0, 20) as f64 * 0.05;
@@ -158,7 +191,7 @@ fn soak_mid_chain_resync_seeds() {
 #[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
 fn soak_chain_kill_drill_seeds() {
     for seed in 0..CHAIN_SEEDS {
-        with_seed("chain_kill_drill", seed, || {
+        with_seed("chain_kill_drill", seed, move || {
             let mut lcg = Lcg::new(seed ^ 0xC0FFEE);
             let n = lcg.pick(5, 9) as usize;
             let objects = lcg.pick(12, 32) as usize;

@@ -4,12 +4,23 @@ use crate::time::SimDuration;
 
 /// Characteristics of the simulated cluster network.
 ///
-/// The model matches the paper's testbed assumptions (§5, §6): a uniform, full-duplex
-/// network where every node has the same NIC bandwidth, plus a fixed one-way
-/// propagation/RPC latency. Messages below [`NetworkConfig::control_cutoff`] bytes are
-/// treated as control RPCs: they only pay latency (plus a per-byte cost folded into the
-/// latency constant), which mirrors how small gRPC messages interleave with bulk TCP
-/// traffic at packet granularity on a real network.
+/// The base model matches the paper's testbed assumptions (§5, §6): a uniform,
+/// full-duplex network where every node has the same NIC bandwidth, plus a fixed
+/// one-way propagation/RPC latency. Messages below [`NetworkConfig::control_cutoff`]
+/// bytes are treated as control RPCs: they only pay latency (plus a per-byte cost
+/// folded into the latency constant), which mirrors how small gRPC messages interleave
+/// with bulk TCP traffic at packet granularity on a real network.
+///
+/// On top of the uniform model, three optional layers let the sweep harness generate
+/// realistic topology families:
+///
+/// * [`NetworkConfig::node_bandwidth`] — per-node NIC speeds (heterogeneous clusters);
+/// * [`NetworkConfig::latency_tiers`] — per-node latency tiers with a tier-pair matrix
+///   (WAN deployments: intra-site µs, inter-site ms);
+/// * [`NetworkConfig::uplinks`] — shared per-group uplink/downlink queues that bulk
+///   cross-group traffic must also serialize through (oversubscribed fat-tree cores);
+/// * [`NetworkConfig::faults`] — seeded, deterministic message loss and reordering,
+///   modeled with TCP semantics (see [`LinkFaults`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct NetworkConfig {
     /// Per-node NIC bandwidth, bytes/second, applied independently to the transmit and
@@ -24,6 +35,97 @@ pub struct NetworkConfig {
     /// How long after a node fails the remaining nodes learn about it. The paper
     /// measures 0.74 s for Hoplite's socket-liveness detection (§5.5).
     pub failure_detection_delay: SimDuration,
+    /// Per-node NIC bandwidth overrides, bytes/second. Node `i` uses
+    /// `node_bandwidth[i]` when present, else the uniform [`NetworkConfig::bandwidth`].
+    /// Empty (the default) means a homogeneous cluster.
+    pub node_bandwidth: Vec<f64>,
+    /// Optional latency tiers (WAN sites); when absent every distinct pair pays
+    /// [`NetworkConfig::latency`].
+    pub latency_tiers: Option<LatencyTiers>,
+    /// Optional shared per-group uplinks (oversubscribed fat-tree core); when absent
+    /// only endpoint NICs constrain bulk transfers.
+    pub uplinks: Option<UplinkSpec>,
+    /// Optional seeded link faults (loss + reordering); when absent links are perfect.
+    pub faults: Option<LinkFaults>,
+}
+
+/// Latency tiers: every node belongs to a tier (a WAN site), and the one-way latency
+/// between two nodes is looked up in a symmetric tier-pair matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyTiers {
+    /// Tier id of each node (`tier_of[node]`); nodes beyond the vector fall back to
+    /// tier 0.
+    pub tier_of: Vec<u32>,
+    /// `latency[a][b]` is the one-way latency between a node in tier `a` and a node in
+    /// tier `b`. Must be square and at least `max(tier_of)+1` wide.
+    pub latency: Vec<Vec<SimDuration>>,
+}
+
+impl LatencyTiers {
+    /// Tier of `node` (tier 0 when unassigned).
+    pub fn tier(&self, node: usize) -> usize {
+        self.tier_of.get(node).copied().unwrap_or(0) as usize
+    }
+
+    /// One-way latency between two nodes, falling back to `default` when the matrix
+    /// does not cover the tier pair.
+    pub fn one_way(&self, from: usize, to: usize, default: SimDuration) -> SimDuration {
+        let (a, b) = (self.tier(from), self.tier(to));
+        self.latency.get(a).and_then(|row| row.get(b)).copied().unwrap_or(default)
+    }
+}
+
+/// Shared per-group uplink/downlink queues: bulk messages between nodes of different
+/// groups additionally serialize through the sender group's uplink and the receiver
+/// group's downlink, each draining at `bandwidth` bytes/second. With `g` nodes per
+/// group at NIC speed `B`, an uplink of `g·B / f` models an oversubscription factor
+/// of `f` at the rack (ToR) layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UplinkSpec {
+    /// Group id of each node (`group_of[node]`); nodes beyond the vector fall back to
+    /// group 0.
+    pub group_of: Vec<u32>,
+    /// Shared uplink/downlink bandwidth per group, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl UplinkSpec {
+    /// Group of `node` (group 0 when unassigned).
+    pub fn group(&self, node: usize) -> usize {
+        self.group_of.get(node).copied().unwrap_or(0) as usize
+    }
+
+    /// Number of groups (highest assigned id + 1).
+    pub fn num_groups(&self) -> usize {
+        self.group_of.iter().copied().max().map(|g| g as usize + 1).unwrap_or(1)
+    }
+}
+
+/// Seeded, deterministic link faults.
+///
+/// Hoplite runs over TCP, so the *actor-visible* contract stays reliable, in-order
+/// delivery per pair: a "lost" message is one whose first transmission was dropped and
+/// that arrives after a retransmission timeout; a "reordered" message is one delayed
+/// by packet-level jitter, with subsequent same-pair messages held behind it
+/// (head-of-line blocking). Both therefore manifest as deterministic extra delivery
+/// delay — protocols converge, but every timing-sensitive seam (pull timeouts,
+/// failure-detector races, ack windows) gets exercised. Decisions are drawn from a
+/// hash of `(seed, sender, receiver, message index)`, so a run replays identically
+/// for the same seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability in `[0, 1)` that a message's first transmission is lost and it
+    /// pays [`LinkFaults::retransmit`] of extra delay.
+    pub loss: f64,
+    /// Probability in `[0, 1)` that a (non-lost) message is jitter-delayed by up to
+    /// [`LinkFaults::jitter`], potentially overtaken on the wire and re-sequenced.
+    pub reorder: f64,
+    /// Maximum jitter delay applied to a reordered message.
+    pub jitter: SimDuration,
+    /// Extra delay paid by a lost message (the retransmission timeout).
+    pub retransmit: SimDuration,
+    /// Seed for the per-message fault draws.
+    pub seed: u64,
 }
 
 impl Default for NetworkConfig {
@@ -43,6 +145,10 @@ impl NetworkConfig {
             loopback_latency: SimDuration::from_micros(2),
             control_cutoff: 4096,
             failure_detection_delay: SimDuration::from_millis(740),
+            node_bandwidth: Vec::new(),
+            latency_tiers: None,
+            uplinks: None,
+            faults: None,
         }
     }
 
@@ -51,7 +157,20 @@ impl NetworkConfig {
         NetworkConfig { bandwidth, latency, ..NetworkConfig::paper_testbed() }
     }
 
-    /// Time to serialize `bytes` onto (or off) a NIC.
+    /// NIC bandwidth of `node`, honoring per-node overrides.
+    pub fn node_bandwidth(&self, node: usize) -> f64 {
+        self.node_bandwidth.get(node).copied().unwrap_or(self.bandwidth)
+    }
+
+    /// One-way latency between two distinct nodes, honoring latency tiers.
+    pub fn one_way_latency(&self, from: usize, to: usize) -> SimDuration {
+        match &self.latency_tiers {
+            Some(tiers) => tiers.one_way(from, to, self.latency),
+            None => self.latency,
+        }
+    }
+
+    /// Time to serialize `bytes` onto (or off) a NIC at the uniform bandwidth.
     pub fn serialization_delay(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
     }
@@ -66,6 +185,8 @@ mod tests {
         let cfg = NetworkConfig::paper_testbed();
         assert_eq!(cfg.bandwidth, 1.25e9);
         assert!(cfg.latency.as_secs_f64() < 1e-3);
+        assert!(cfg.node_bandwidth.is_empty());
+        assert!(cfg.latency_tiers.is_none() && cfg.uplinks.is_none() && cfg.faults.is_none());
     }
 
     #[test]
@@ -75,5 +196,40 @@ mod tests {
         assert!((one_mb.as_secs_f64() - 1e-3).abs() < 1e-9);
         let two_mb = cfg.serialization_delay(2_000_000);
         assert_eq!(two_mb.as_nanos(), 2 * one_mb.as_nanos());
+    }
+
+    #[test]
+    fn per_node_bandwidth_overrides_fall_back_to_uniform() {
+        let cfg =
+            NetworkConfig { node_bandwidth: vec![1e9, 2e9], ..NetworkConfig::paper_testbed() };
+        assert_eq!(cfg.node_bandwidth(0), 1e9);
+        assert_eq!(cfg.node_bandwidth(1), 2e9);
+        assert_eq!(cfg.node_bandwidth(7), 1.25e9);
+    }
+
+    #[test]
+    fn latency_tiers_lookup_is_symmetric_when_matrix_is() {
+        let us = SimDuration::from_micros;
+        let cfg = NetworkConfig {
+            latency_tiers: Some(LatencyTiers {
+                tier_of: vec![0, 0, 1, 1],
+                latency: vec![vec![us(85), us(10_000)], vec![us(10_000), us(85)]],
+            }),
+            ..NetworkConfig::paper_testbed()
+        };
+        assert_eq!(cfg.one_way_latency(0, 1), us(85));
+        assert_eq!(cfg.one_way_latency(0, 2), us(10_000));
+        assert_eq!(cfg.one_way_latency(2, 0), us(10_000));
+        // Unassigned nodes land in tier 0.
+        assert_eq!(cfg.one_way_latency(9, 2), us(10_000));
+    }
+
+    #[test]
+    fn uplink_groups() {
+        let up = UplinkSpec { group_of: vec![0, 0, 1, 1, 2], bandwidth: 2.5e9 };
+        assert_eq!(up.group(0), 0);
+        assert_eq!(up.group(4), 2);
+        assert_eq!(up.group(17), 0);
+        assert_eq!(up.num_groups(), 3);
     }
 }

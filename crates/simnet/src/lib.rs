@@ -45,7 +45,7 @@ pub mod time;
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::config::NetworkConfig;
+    pub use crate::config::{LatencyTiers, LinkFaults, NetworkConfig, UplinkSpec};
     pub use crate::nic::Nic;
     pub use crate::sim::{SimActor, SimContext, SimStats, Simulation};
     pub use crate::time::{SimDuration, SimTime};

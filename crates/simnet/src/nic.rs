@@ -14,9 +14,7 @@
 //!   `k` can serialize at the receiver, so a relay adds only per-block latency.
 
 use crate::config::NetworkConfig;
-#[cfg(test)]
-use crate::time::SimDuration;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// One direction (transmit or receive) of a NIC.
 #[derive(Clone, Debug, Default)]
@@ -29,8 +27,14 @@ impl NicQueue {
     /// Schedule `bytes` through the queue starting no earlier than `now`; returns the
     /// time at which the last byte has passed through.
     pub fn enqueue(&mut self, now: SimTime, bytes: u64, cfg: &NetworkConfig) -> SimTime {
+        self.enqueue_at(now, bytes, cfg.bandwidth)
+    }
+
+    /// Like [`NicQueue::enqueue`] but draining at an explicit `bytes_per_sec` rate —
+    /// used for heterogeneous NICs, shared group uplinks, and straggler slow-downs.
+    pub fn enqueue_at(&mut self, now: SimTime, bytes: u64, bytes_per_sec: f64) -> SimTime {
         let start = if self.busy_until > now { self.busy_until } else { now };
-        let finish = start + cfg.serialization_delay(bytes);
+        let finish = start + SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec);
         self.busy_until = finish;
         self.bytes_total += bytes;
         finish
@@ -102,6 +106,14 @@ mod tests {
         assert_eq!(first.as_nanos(), 1_000_000);
         assert_eq!(second.as_nanos(), 2_000_000);
         assert_eq!(q.bytes_total(), 2_000_000);
+    }
+
+    #[test]
+    fn explicit_rate_overrides_uniform_bandwidth() {
+        let mut q = NicQueue::default();
+        // 1 MB at 0.5 GB/s takes 2 ms regardless of the config's uniform rate.
+        let done = q.enqueue_at(SimTime::ZERO, 1_000_000, 0.5e9);
+        assert_eq!(done.as_nanos(), 2_000_000);
     }
 
     #[test]

@@ -8,13 +8,22 @@
 //! The engine supports node failure and recovery with a configurable detection delay,
 //! external calls injected at chosen times (used by experiment scenarios to issue
 //! client operations), and deterministic execution: ties in the event queue are broken
-//! by insertion order, and no randomness is used anywhere in the engine.
+//! by insertion order, and the only randomness is the seeded per-message fault draw of
+//! [`crate::config::LinkFaults`] — a hash of `(seed, link, message index)`, so every
+//! run replays identically for the same seed.
+//!
+//! Beyond the uniform network, the engine honors the optional [`NetworkConfig`]
+//! layers (per-node NIC speeds, latency tiers, shared group uplinks, link faults) and
+//! two scheduled degradations used by fault sweeps: [`Simulation::partition_between`]
+//! (transient network partition with TCP-like stall-and-heal semantics) and
+//! [`Simulation::slow_node_between`] (straggler windows that divide a node's NIC
+//! rate).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::config::NetworkConfig;
-use crate::nic::{rx_deliver, tx_and_propagate, Nic};
+use crate::nic::Nic;
 use crate::time::{SimDuration, SimTime};
 
 /// A simulated node's behaviour.
@@ -129,6 +138,41 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Events processed in total.
     pub events_processed: u64,
+    /// Messages whose first transmission was lost (they arrived late, after the
+    /// modeled retransmission timeout). Only nonzero with [`NetworkConfig::faults`].
+    pub messages_lost: u64,
+    /// Messages delayed by reordering jitter (and re-sequenced behind the per-pair
+    /// FIFO clamp). Only nonzero with [`NetworkConfig::faults`].
+    pub messages_reordered: u64,
+}
+
+/// A scheduled transient partition: while active, messages crossing the side boundary
+/// stall and are delivered after the heal (TCP retransmits across the cut).
+struct PartitionWindow {
+    from: SimTime,
+    until: SimTime,
+    side: Vec<bool>,
+}
+
+/// A scheduled straggler window: `node`'s NIC drains `factor`× slower while active.
+struct SlowWindow {
+    node: usize,
+    from: SimTime,
+    until: SimTime,
+    factor: f64,
+}
+
+/// SplitMix64: the per-message deterministic fault draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// The discrete-event simulator.
@@ -136,28 +180,52 @@ pub struct Simulation<A: SimActor> {
     cfg: NetworkConfig,
     actors: Vec<A>,
     nics: Vec<Nic>,
+    /// Shared per-group uplink/downlink queues (empty without `cfg.uplinks`).
+    uplinks: Vec<Nic>,
+    /// Group of each node, padded to the cluster size (empty without `cfg.uplinks`).
+    group_of: Vec<usize>,
     alive: Vec<bool>,
     queue: BinaryHeap<Event<A>>,
     now: SimTime,
     seq: u64,
     stats: SimStats,
     started: bool,
+    partitions: Vec<PartitionWindow>,
+    slow_windows: Vec<SlowWindow>,
+    /// Per-message index feeding the fault hash.
+    fault_draws: u64,
+    /// Last scheduled arrival per (from, to): the FIFO clamp that keeps per-pair
+    /// delivery in send order under jitter (TCP head-of-line blocking). Only
+    /// maintained when faults are configured.
+    last_arrival: HashMap<(usize, usize), SimTime>,
 }
 
 impl<A: SimActor> Simulation<A> {
     /// Create a simulation over the given actors (node `i` runs `actors[i]`).
     pub fn new(cfg: NetworkConfig, actors: Vec<A>) -> Self {
         let n = actors.len();
+        let (uplinks, group_of) = match &cfg.uplinks {
+            Some(up) => {
+                (vec![Nic::default(); up.num_groups()], (0..n).map(|i| up.group(i)).collect())
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         Simulation {
             cfg,
             actors,
             nics: vec![Nic::default(); n],
+            uplinks,
+            group_of,
             alive: vec![true; n],
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
             stats: SimStats::default(),
             started: false,
+            partitions: Vec::new(),
+            slow_windows: Vec::new(),
+            fault_draws: 0,
+            last_arrival: HashMap::new(),
         }
     }
 
@@ -220,6 +288,93 @@ impl<A: SimActor> Simulation<A> {
         self.push(at, EventKind::NodeRecover { node });
     }
 
+    /// Schedule a transient partition between `from` and `until`: `side[i]` assigns
+    /// node `i` to one half (nodes beyond the vector land on the `false` side).
+    /// Messages sent across the boundary while the window is active stall and arrive
+    /// one propagation delay after the heal — TCP retransmits across the cut, so no
+    /// message is lost and per-pair ordering is preserved, but every cross-cut
+    /// exchange (queries, pulls, acks) stalls for the duration.
+    pub fn partition_between(&mut self, from: SimTime, until: SimTime, side: Vec<bool>) {
+        self.partitions.push(PartitionWindow { from, until, side });
+    }
+
+    /// Schedule a straggler window: between `from` and `until`, `node`'s NIC (both
+    /// directions) drains `factor`× slower than its configured rate. Transfers queued
+    /// while the window is active serialize at the degraded rate.
+    pub fn slow_node_between(&mut self, node: usize, from: SimTime, until: SimTime, factor: f64) {
+        assert!(factor >= 1.0, "slow-down factor must be >= 1");
+        self.slow_windows.push(SlowWindow { node, from, until, factor });
+    }
+
+    /// Effective NIC rate of `node` at `now`: the per-node bandwidth divided by the
+    /// strongest active straggler window.
+    fn node_rate(&self, node: usize, now: SimTime) -> f64 {
+        let mut factor = 1.0f64;
+        for w in &self.slow_windows {
+            if w.node == node && now >= w.from && now < w.until && w.factor > factor {
+                factor = w.factor;
+            }
+        }
+        self.cfg.node_bandwidth(node) / factor
+    }
+
+    /// When an active partition separates `from` and `to` at `now`, the time the cut
+    /// heals (the latest such heal across overlapping windows).
+    fn partition_release(&self, from: usize, to: usize, now: SimTime) -> Option<SimTime> {
+        let mut release: Option<SimTime> = None;
+        for p in &self.partitions {
+            if now >= p.from && now < p.until {
+                let sf = p.side.get(from).copied().unwrap_or(false);
+                let st = p.side.get(to).copied().unwrap_or(false);
+                if sf != st {
+                    release = Some(release.map_or(p.until, |r| r.max(p.until)));
+                }
+            }
+        }
+        release
+    }
+
+    /// Per-message fault draw: extra delivery delay plus (lost, reordered) flags.
+    fn fault_penalty(&mut self, from: usize, to: usize) -> (SimDuration, bool, bool) {
+        let Some(f) = &self.cfg.faults else { return (SimDuration::ZERO, false, false) };
+        let idx = self.fault_draws;
+        self.fault_draws += 1;
+        let h = splitmix64(f.seed ^ ((from as u64) << 40) ^ ((to as u64) << 20) ^ idx);
+        let u = unit(h);
+        if u < f.loss {
+            (f.retransmit, true, false)
+        } else if u < f.loss + f.reorder {
+            let frac = unit(splitmix64(h));
+            (SimDuration::from_secs_f64(f.jitter.as_secs_f64() * frac), false, true)
+        } else {
+            (SimDuration::ZERO, false, false)
+        }
+    }
+
+    /// Clamp `t` so per-pair arrivals stay in send order (only needed once jitter or
+    /// partitions can delay an earlier message past a later one).
+    fn fifo_clamp(&mut self, from: usize, to: usize, t: SimTime) -> SimTime {
+        if self.cfg.faults.is_none() && self.partitions.is_empty() {
+            return t;
+        }
+        let last = self.last_arrival.entry((from, to)).or_insert(SimTime::ZERO);
+        let t = t.max(*last);
+        *last = t;
+        t
+    }
+
+    /// Groups of `from` and `to` plus the shared uplink bandwidth, when group uplinks
+    /// are configured and the nodes sit in different groups.
+    fn cross_group(&self, from: usize, to: usize) -> Option<(usize, usize, f64)> {
+        let up = self.cfg.uplinks.as_ref()?;
+        let (gf, gt) = (self.group_of[from], self.group_of[to]);
+        if gf == gt {
+            None
+        } else {
+            Some((gf, gt, up.bandwidth))
+        }
+    }
+
     /// Run until the event queue is empty or `deadline` is reached. Returns the time of
     /// the last processed event.
     pub fn run_until_idle(&mut self, deadline: SimTime) -> SimTime {
@@ -264,7 +419,14 @@ impl<A: SimActor> Simulation<A> {
                     self.stats.messages_dropped += 1;
                     return;
                 }
-                let deliver_at = rx_deliver(&mut self.nics[to], self.now, bytes, &self.cfg);
+                // Cross-group bulk traffic serializes through the receiver group's
+                // shared downlink before the endpoint NIC.
+                let mut at = self.now;
+                if let Some((_gf, gt, up_bw)) = self.cross_group(from, to) {
+                    at = self.uplinks[gt].rx.enqueue_at(at, bytes, up_bw);
+                }
+                let rate = self.node_rate(to, self.now);
+                let deliver_at = self.nics[to].rx.enqueue_at(at, bytes, rate);
                 self.push(deliver_at, EventKind::Deliver { from, to, msg, bytes });
             }
             EventKind::Deliver { from, to, msg, bytes } => {
@@ -375,17 +537,43 @@ impl<A: SimActor> Simulation<A> {
                         continue;
                     }
                     if to == from {
-                        // Loopback: latency only.
+                        // Loopback: latency only; no faults, no partitions.
                         let at = self.now + self.cfg.loopback_latency;
                         self.push(at, EventKind::Deliver { from, to, msg, bytes });
-                    } else if bytes <= self.cfg.control_cutoff {
+                        continue;
+                    }
+                    let (penalty, lost, reordered) = self.fault_penalty(from, to);
+                    if lost {
+                        self.stats.messages_lost += 1;
+                    }
+                    if reordered {
+                        self.stats.messages_reordered += 1;
+                    }
+                    let heal = self.partition_release(from, to, self.now);
+                    let latency = self.cfg.one_way_latency(from, to);
+                    if bytes <= self.cfg.control_cutoff {
                         // Control RPC: pays latency but does not contend for NIC
                         // bandwidth (packets interleave with bulk flows).
-                        let at = self.now + self.cfg.latency;
+                        let mut at = self.now + latency + penalty;
+                        if let Some(h) = heal {
+                            at = at.max(h + latency);
+                        }
+                        let at = self.fifo_clamp(from, to, at);
                         self.push(at, EventKind::Deliver { from, to, msg, bytes });
                     } else {
-                        let (_tx_done, arrival) =
-                            tx_and_propagate(&mut self.nics[from], self.now, bytes, &self.cfg);
+                        let rate = self.node_rate(from, self.now);
+                        let tx_done = self.nics[from].tx.enqueue_at(self.now, bytes, rate);
+                        // Cross-group traffic also serializes through the sender
+                        // group's shared uplink (the oversubscription bottleneck).
+                        let mut depart = tx_done;
+                        if let Some((gf, _gt, up_bw)) = self.cross_group(from, to) {
+                            depart = self.uplinks[gf].tx.enqueue_at(tx_done, bytes, up_bw);
+                        }
+                        let mut arrival = depart + latency + penalty;
+                        if let Some(h) = heal {
+                            arrival = arrival.max(h + latency);
+                        }
+                        let arrival = self.fifo_clamp(from, to, arrival);
                         self.push(arrival, EventKind::NicArrival { from, to, msg, bytes });
                     }
                 }
@@ -532,6 +720,185 @@ mod tests {
         assert!(sim.is_alive(0));
         // on_start ran again for node 0 after recovery, so receivers saw a second send.
         assert!(sim.stats().messages_delivered >= 4);
+    }
+
+    #[test]
+    fn heterogeneous_nics_scale_transfer_time() {
+        // Node 0 → 1 at 1 GB/s and node 2 → 3 at 2 GB/s, same 10 MB payload: the
+        // faster pair finishes in half the serialization time.
+        let cfg = NetworkConfig {
+            bandwidth: 1e9,
+            node_bandwidth: vec![1e9, 1e9, 2e9, 2e9],
+            latency: SimDuration::from_micros(100),
+            ..NetworkConfig::paper_testbed()
+        };
+        let mut sim = Simulation::new(cfg, flood(4, 0));
+        sim.call_at(SimTime::ZERO, 0, |_a, ctx| ctx.send(1, 1, 10_000_000));
+        sim.call_at(SimTime::ZERO, 2, |_a, ctx| ctx.send(3, 2, 10_000_000));
+        sim.run_to_completion();
+        let slow = sim.actor(1).received_at.unwrap().as_secs_f64();
+        let fast = sim.actor(3).received_at.unwrap().as_secs_f64();
+        // tx + rx serialization dominate: 20 ms vs 10 ms (plus latency).
+        assert!(slow > 0.019 && slow < 0.022, "slow = {slow}");
+        assert!(fast > 0.009 && fast < 0.012, "fast = {fast}");
+    }
+
+    #[test]
+    fn oversubscribed_uplink_throttles_cross_group_flows() {
+        use crate::config::UplinkSpec;
+        // Two racks of two nodes; the shared uplink runs at node speed (so two
+        // concurrent cross-rack flows halve each other), intra-rack flows don't touch
+        // it.
+        let cfg = NetworkConfig {
+            bandwidth: 1e9,
+            latency: SimDuration::from_micros(100),
+            uplinks: Some(UplinkSpec { group_of: vec![0, 0, 1, 1], bandwidth: 1e9 }),
+            ..NetworkConfig::paper_testbed()
+        };
+        let mut sim = Simulation::new(cfg.clone(), flood(4, 0));
+        // Both rack-0 nodes send 10 MB to rack 1 at t=0: the shared uplink serializes
+        // 20 MB, so the later flow lands at >= 20 ms + rx.
+        sim.call_at(SimTime::ZERO, 0, |_a, ctx| ctx.send(2, 1, 10_000_000));
+        sim.call_at(SimTime::ZERO, 1, |_a, ctx| ctx.send(3, 2, 10_000_000));
+        sim.run_to_completion();
+        let last =
+            sim.actor(2).received_at.unwrap().max(sim.actor(3).received_at.unwrap()).as_secs_f64();
+        assert!(last >= 0.030, "uplink contention: {last}");
+        // The same pair of flows kept intra-rack never touches the uplink.
+        let mut sim = Simulation::new(cfg, flood(4, 0));
+        sim.call_at(SimTime::ZERO, 0, |_a, ctx| ctx.send(1, 1, 10_000_000));
+        sim.call_at(SimTime::ZERO, 2, |_a, ctx| ctx.send(3, 2, 10_000_000));
+        sim.run_to_completion();
+        let intra =
+            sim.actor(1).received_at.unwrap().max(sim.actor(3).received_at.unwrap()).as_secs_f64();
+        assert!(intra < 0.025, "no uplink contention intra-rack: {intra}");
+    }
+
+    #[test]
+    fn latency_tiers_apply_to_cross_tier_pairs() {
+        use crate::config::LatencyTiers;
+        let us = SimDuration::from_micros;
+        let cfg = NetworkConfig {
+            latency: us(100),
+            latency_tiers: Some(LatencyTiers {
+                tier_of: vec![0, 0, 1],
+                latency: vec![vec![us(100), us(10_000)], vec![us(10_000), us(100)]],
+            }),
+            ..NetworkConfig::paper_testbed()
+        };
+        let mut sim = Simulation::new(cfg, flood(3, 0));
+        sim.call_at(SimTime::ZERO, 0, |_a, ctx| {
+            ctx.send(1, 1, 128); // intra-site
+            ctx.send(2, 2, 128); // cross-site
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.actor(1).received_at.unwrap().as_nanos(), 100_000);
+        assert_eq!(sim.actor(2).received_at.unwrap().as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn link_faults_are_deterministic_and_preserve_pair_order() {
+        use crate::config::LinkFaults;
+        let faults = LinkFaults {
+            loss: 0.2,
+            reorder: 0.5,
+            jitter: SimDuration::from_millis(5),
+            retransmit: SimDuration::from_millis(200),
+            seed: 7,
+        };
+        let run = |seed: u64| {
+            let cfg = NetworkConfig {
+                latency: SimDuration::from_micros(100),
+                faults: Some(LinkFaults { seed, ..faults.clone() }),
+                ..NetworkConfig::paper_testbed()
+            };
+            struct Recorder {
+                got: Vec<u64>,
+            }
+            impl SimActor for Recorder {
+                type Msg = u64;
+                fn on_message(&mut self, _f: usize, m: u64, _c: &mut SimContext<'_, u64>) {
+                    self.got.push(m);
+                }
+            }
+            let actors = (0..2).map(|_| Recorder { got: vec![] }).collect();
+            let mut sim = Simulation::new(cfg, actors);
+            sim.call_at(SimTime::ZERO, 0, |_a, ctx| {
+                for m in 0..50 {
+                    ctx.send(1, m, 128);
+                }
+            });
+            sim.run_to_completion();
+            (sim.actor(1).got.clone(), sim.stats().clone())
+        };
+        let (order_a, stats_a) = run(7);
+        let (order_b, stats_b) = run(7);
+        // Deterministic replay for the same seed.
+        assert_eq!(order_a, order_b);
+        assert_eq!(stats_a, stats_b);
+        // Faults actually fired...
+        assert!(stats_a.messages_lost > 0, "loss drew at p=0.2 over 50 messages");
+        assert!(stats_a.messages_reordered > 0, "reorder drew at p=0.5 over 50 messages");
+        // ...yet per-pair delivery order is preserved (TCP head-of-line semantics).
+        assert_eq!(order_a, (0..50).collect::<Vec<u64>>());
+        // A different seed draws a different schedule.
+        let (_, stats_c) = run(8);
+        assert_ne!((stats_a.messages_lost, stats_a.messages_reordered), {
+            (stats_c.messages_lost, stats_c.messages_reordered)
+        });
+    }
+
+    #[test]
+    fn partition_stalls_cross_cut_messages_until_heal() {
+        let cfg = NetworkConfig {
+            latency: SimDuration::from_micros(100),
+            ..NetworkConfig::paper_testbed()
+        };
+        let mut sim = Simulation::new(cfg, flood(4, 0));
+        // Nodes {2, 3} are cut off from {0, 1} between 1 s and 2 s.
+        sim.partition_between(
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.0),
+            vec![false, false, true, true],
+        );
+        sim.call_at(SimTime::from_secs_f64(1.5), 0, |_a, ctx| {
+            ctx.send(2, 1, 128); // crosses the cut: stalls until the heal
+            ctx.send(1, 2, 128); // same side: unaffected
+        });
+        sim.run_to_completion();
+        let stalled = sim.actor(2).received_at.unwrap().as_secs_f64();
+        let same_side = sim.actor(1).received_at.unwrap().as_secs_f64();
+        assert!(stalled >= 2.0, "crossed the cut after the heal: {stalled}");
+        assert!(same_side < 1.6, "same-side message unaffected: {same_side}");
+    }
+
+    #[test]
+    fn straggler_window_slows_the_node_then_releases() {
+        let cfg = NetworkConfig {
+            bandwidth: 1e9,
+            latency: SimDuration::from_micros(100),
+            ..NetworkConfig::paper_testbed()
+        };
+        let mut sim = Simulation::new(cfg, flood(2, 0));
+        // Node 0's NIC is 10× slower between 0 and 1 s.
+        sim.slow_node_between(0, SimTime::ZERO, SimTime::from_secs_f64(1.0), 10.0);
+        sim.call_at(SimTime::ZERO, 0, |_a, ctx| ctx.send(1, 1, 10_000_000));
+        sim.run_to_completion();
+        // tx at 0.1 GB/s = 100 ms (rx still at full rate: +10 ms).
+        let t = sim.actor(1).received_at.unwrap().as_secs_f64();
+        assert!(t >= 0.100, "straggler tx dominates: {t}");
+        // After the window, the same transfer runs at full speed.
+        let cfg = NetworkConfig {
+            bandwidth: 1e9,
+            latency: SimDuration::from_micros(100),
+            ..NetworkConfig::paper_testbed()
+        };
+        let mut sim = Simulation::new(cfg, flood(2, 0));
+        sim.slow_node_between(0, SimTime::ZERO, SimTime::from_secs_f64(1.0), 10.0);
+        sim.call_at(SimTime::from_secs_f64(2.0), 0, |_a, ctx| ctx.send(1, 1, 10_000_000));
+        sim.run_to_completion();
+        let t = sim.actor(1).received_at.unwrap().as_secs_f64() - 2.0;
+        assert!(t < 0.025, "window released: {t}");
     }
 
     #[test]
