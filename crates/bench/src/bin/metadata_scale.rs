@@ -53,7 +53,15 @@ fn route(
         Message::DirAck { shard, epoch, seq } => {
             svcs[to.0 as usize].handle_ack(shard as usize, from, epoch, seq, &mut out);
         }
-        Message::DirSnapshotRequest { shard, requester, restart, after, have_epoch, have_seq } => {
+        Message::DirSnapshotRequest {
+            shard,
+            requester,
+            restart,
+            after,
+            have_epoch,
+            have_seq,
+            ..
+        } => {
             svcs[to.0 as usize].handle_snapshot_request(
                 shard as usize,
                 requester,

@@ -104,7 +104,10 @@ impl SimActor for HopliteActor {
             return;
         }
         // Recovery restart: model a fresh process — empty store, empty directory
-        // replicas — that must resync before leading any shard again.
+        // replicas — that must resync before leading any shard again. The new
+        // process runs at the next incarnation, so stale failure notices about the
+        // old one cannot re-park it.
+        self.opts.incarnation += 1;
         let node = ObjectStoreNode::new(
             self.id,
             self.cfg.clone(),

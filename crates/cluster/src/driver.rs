@@ -242,7 +242,11 @@ mod tests {
 
     #[test]
     fn pipelined_put_arms_timers_through_the_port() {
-        let mut rt = runtime_of(1, 0, NodeOptions { synthetic_data: true, pipelined_put: true });
+        let mut rt = runtime_of(
+            1,
+            0,
+            NodeOptions { synthetic_data: true, pipelined_put: true, incarnation: 0 },
+        );
         let mut port = RecordingPort::default();
         let object = ObjectId::from_name("driver-pipelined");
         rt.handle(

@@ -22,7 +22,9 @@
 pub mod actor;
 pub mod driver;
 pub mod faults;
+pub mod host;
 pub mod local;
+pub mod process;
 pub mod scenarios;
 pub mod sim_cluster;
 pub mod sweep;
@@ -31,7 +33,9 @@ pub mod topology;
 pub use actor::HopliteActor;
 pub use driver::{DriverPort, NodeEvent, NodeRuntime};
 pub use faults::{FaultSchedule, ScheduleKind};
-pub use local::{HopliteClient, LocalCluster, LocalFabric};
+pub use host::{HopliteClient, NodeHost, NodeStatus};
+pub use local::{LocalCluster, LocalFabric};
+pub use process::{ControlClient, DaemonSpec, ProcessCluster};
 pub use scenarios::{ScenarioEnv, ScenarioResult};
 pub use sim_cluster::{OpHandle, SimCluster};
 pub use sweep::{run_cell, CellOutcome, Collective};

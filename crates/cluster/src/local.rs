@@ -2,136 +2,30 @@
 //! an in-process channel fabric or by localhost TCP, moving real bytes.
 //!
 //! `LocalCluster` is what the examples, the task framework and the data-plane
-//! correctness tests use. It exposes a blocking client API ([`HopliteClient`]) with the
-//! paper's four calls: `Put`, `Get`, `Reduce`, `Delete` (Table 1).
+//! correctness tests use. It exposes a blocking client API
+//! ([`HopliteClient`](crate::host::HopliteClient)) with the paper's four calls:
+//! `Put`, `Get`, `Reduce`, `Delete` (Table 1).
 //!
-//! Each node thread drives its state machine through the shared
-//! [`NodeRuntime`](crate::driver::NodeRuntime) — the same runtime the simulator
-//! uses — over a single unified event queue: fabric messages are forwarded into it by
-//! a small pump thread, client commands and failure notices are enqueued directly, and
-//! timers are kept in a local deadline heap serviced with `recv_timeout`.
+//! Each node runs inside a [`NodeHost`](crate::host::NodeHost) — the same event loop
+//! a `hoplited` daemon uses for its single node — driving the shared
+//! [`NodeRuntime`](crate::driver::NodeRuntime) over a unified event queue.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
-use std::time::{Duration as StdDuration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam_channel::Receiver;
 use hoplite_core::prelude::*;
 use hoplite_transport::fabric::{ChannelFabric, Fabric, FabricSender};
 use hoplite_transport::tcp::TcpFabric;
 
-use crate::driver::{DriverPort, NodeEvent, NodeRuntime};
-
-/// Commands delivered to a node's event loop besides fabric messages.
-enum NodeCommand {
-    Client { op_id: OpId, op: ClientOp, reply: Sender<ClientReply> },
-    PeerFailed(NodeId),
-    PeerRecovered(NodeId),
-    Shutdown,
-}
-
-/// Everything a node's unified event queue can carry.
-enum LoopEvent {
-    Fabric(NodeId, Message),
-    Command(NodeCommand),
-}
-
-/// Blocking client bound to one node of a [`LocalCluster`].
-#[derive(Clone)]
-pub struct HopliteClient {
-    node: NodeId,
-    events: Sender<LoopEvent>,
-    next_op: Arc<AtomicU64>,
-}
-
-impl HopliteClient {
-    /// The node this client talks to.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    fn submit(&self, op: ClientOp) -> Receiver<ClientReply> {
-        let (tx, rx) = unbounded();
-        let op_id = OpId(self.next_op.fetch_add(1, Ordering::Relaxed));
-        // A send failure means the node was shut down; the disconnected receiver will
-        // surface that as an error to the caller below.
-        let _ = self.events.send(LoopEvent::Command(NodeCommand::Client { op_id, op, reply: tx }));
-        rx
-    }
-
-    fn wait<F: Fn(&ClientReply) -> bool>(
-        rx: Receiver<ClientReply>,
-        accept: F,
-    ) -> Result<ClientReply> {
-        loop {
-            match rx.recv() {
-                Ok(ClientReply::Error { error }) => return Err(error),
-                Ok(reply) if accept(&reply) => return Ok(reply),
-                Ok(_) => continue,
-                Err(_) => {
-                    return Err(HopliteError::Transport("node shut down".to_string()));
-                }
-            }
-        }
-    }
-
-    /// Store an object (Table 1 `Put`): blocks until the local store holds it.
-    pub fn put(&self, object: ObjectId, payload: Payload) -> Result<()> {
-        Self::wait(self.submit(ClientOp::Put { object, payload }), |r| {
-            matches!(r, ClientReply::PutDone { .. })
-        })
-        .map(|_| ())
-    }
-
-    /// Fetch an object (Table 1 `Get`): blocks until a complete copy is local.
-    pub fn get(&self, object: ObjectId) -> Result<Payload> {
-        match Self::wait(self.submit(ClientOp::Get { object }), |r| {
-            matches!(r, ClientReply::GetDone { .. })
-        })? {
-            ClientReply::GetDone { payload, .. } => Ok(payload),
-            _ => unreachable!("wait() only accepts GetDone"),
-        }
-    }
-
-    /// Reduce `num_objects` of `sources` into `target` (Table 1 `Reduce`); returns once
-    /// the reduce has been accepted. Combine with [`HopliteClient::get`] on the target
-    /// to obtain the result (that is also how the paper measures reduce latency).
-    pub fn reduce(
-        &self,
-        target: ObjectId,
-        sources: Vec<ObjectId>,
-        num_objects: Option<usize>,
-        spec: ReduceSpec,
-    ) -> Result<()> {
-        Self::wait(
-            self.submit(ClientOp::Reduce { target, sources, num_objects, spec, degree: None }),
-            |r| matches!(r, ClientReply::ReduceAccepted { .. }),
-        )
-        .map(|_| ())
-    }
-
-    /// Delete every copy of an object cluster-wide (Table 1 `Delete`).
-    pub fn delete(&self, object: ObjectId) -> Result<()> {
-        Self::wait(self.submit(ClientOp::Delete { object }), |r| {
-            matches!(r, ClientReply::DeleteDone { .. })
-        })
-        .map(|_| ())
-    }
-}
-
-struct NodeThread {
-    events: Sender<LoopEvent>,
-    handle: Option<JoinHandle<()>>,
-}
+use crate::host::{HopliteClient, NodeHost, NodeStatus};
 
 /// Object-safe view of a [`Fabric`], so [`LocalCluster`] can keep it around for node
 /// restarts without being generic over the fabric type.
 trait ClusterFabric: Send {
     fn take_receiver(&mut self, node: NodeId) -> Receiver<(NodeId, Message)>;
     fn reset_receiver(&mut self, node: NodeId) -> Option<Receiver<(NodeId, Message)>>;
+    fn note_restart(&mut self, node: NodeId, incarnation: u64);
     fn dyn_sender(&self) -> Box<dyn FabricSender>;
     fn transport_metrics(&self) -> NodeMetrics;
 }
@@ -143,6 +37,9 @@ impl<F: Fabric + Send> ClusterFabric for F {
     fn reset_receiver(&mut self, node: NodeId) -> Option<Receiver<(NodeId, Message)>> {
         Fabric::reset_receiver(self, node)
     }
+    fn note_restart(&mut self, node: NodeId, incarnation: u64) {
+        Fabric::note_restart(self, node, incarnation)
+    }
     fn dyn_sender(&self) -> Box<dyn FabricSender> {
         Box::new(self.sender())
     }
@@ -153,7 +50,8 @@ impl<F: Fabric + Send> ClusterFabric for F {
 
 /// A Hoplite cluster running on OS threads in this process, moving real bytes.
 pub struct LocalCluster {
-    nodes: Vec<NodeThread>,
+    nodes: Vec<NodeHost>,
+    incarnations: Vec<u64>,
     next_op: Arc<AtomicU64>,
     cfg: HopliteConfig,
     cluster_view: ClusterView,
@@ -190,6 +88,7 @@ impl LocalCluster {
         let next_op = Arc::new(AtomicU64::new(1));
         let mut cluster = LocalCluster {
             nodes: Vec::with_capacity(n),
+            incarnations: vec![0; n],
             next_op,
             cfg,
             cluster_view: cluster_view.clone(),
@@ -197,47 +96,32 @@ impl LocalCluster {
         };
         for id in cluster_view.nodes {
             let rx_fabric = cluster.fabric.take_receiver(id);
-            let node_thread = cluster.spawn_node(id, rx_fabric, false);
-            cluster.nodes.push(node_thread);
+            let host = cluster.spawn_node(id, rx_fabric, false);
+            cluster.nodes.push(host);
         }
         cluster
     }
 
-    /// Spawn the pump + event-loop threads for one node. `recovering` selects whether
-    /// the node starts cold or as a restarted process that must resync its directory
-    /// replicas before leading again.
+    /// Spawn the host for one node. `recovering` selects whether the node starts cold
+    /// or as a restarted process that must resync its directory replicas before
+    /// leading again.
     fn spawn_node(
         &self,
         id: NodeId,
         rx_fabric: Receiver<(NodeId, Message)>,
         recovering: bool,
-    ) -> NodeThread {
-        let tx_fabric = self.fabric.dyn_sender();
-        let (events_tx, events_rx) = unbounded();
-        // Pump fabric messages into the unified event queue; exits when either the
-        // fabric or the node loop goes away.
-        let pump_tx = events_tx.clone();
-        thread::Builder::new()
-            .name(format!("hoplite-fabric-pump-{}", id.0))
-            .spawn(move || {
-                for (from, msg) in rx_fabric.iter() {
-                    if pump_tx.send(LoopEvent::Fabric(from, msg)).is_err() {
-                        return;
-                    }
-                }
-            })
-            .expect("spawn fabric pump thread");
+    ) -> NodeHost {
         let node = ObjectStoreNode::new(
             id,
             self.cfg.clone(),
             self.cluster_view.clone(),
-            NodeOptions { synthetic_data: false, pipelined_put: false },
+            NodeOptions {
+                synthetic_data: false,
+                pipelined_put: false,
+                incarnation: self.incarnations[id.index()],
+            },
         );
-        let handle = thread::Builder::new()
-            .name(format!("hoplite-node-{}", id.0))
-            .spawn(move || node_event_loop(node, events_rx, tx_fabric, recovering))
-            .expect("spawn node thread");
-        NodeThread { events: events_tx, handle: Some(handle) }
+        NodeHost::spawn(node, rx_fabric, self.fabric.dyn_sender(), recovering, self.next_op.clone())
     }
 
     /// Number of nodes.
@@ -259,168 +143,51 @@ impl LocalCluster {
 
     /// A blocking client bound to `node`.
     pub fn client(&self, node: usize) -> HopliteClient {
-        HopliteClient {
-            node: NodeId(node as u32),
-            events: self.nodes[node].events.clone(),
-            next_op: self.next_op.clone(),
-        }
+        self.nodes[node].client()
+    }
+
+    /// A status snapshot of `node` (incarnation, resync state, counters), answered
+    /// by its event loop. `None` for a killed node.
+    pub fn status(&self, node: usize) -> Option<NodeStatus> {
+        self.nodes[node].status()
     }
 
     /// Kill a node's event loop and notify every other node, as a real failure detector
     /// (socket liveness in the paper, §5.5) eventually would.
     pub fn kill_node(&mut self, node: usize) {
-        let _ = self.nodes[node].events.send(LoopEvent::Command(NodeCommand::Shutdown));
-        if let Some(handle) = self.nodes[node].handle.take() {
-            let _ = handle.join();
-        }
+        self.nodes[node].shutdown();
         for (i, other) in self.nodes.iter().enumerate() {
             if i != node {
-                let _ = other
-                    .events
-                    .send(LoopEvent::Command(NodeCommand::PeerFailed(NodeId(node as u32))));
+                other.notify_peer_failed(NodeId(node as u32));
             }
         }
     }
 
-    /// Restart a previously-killed node as a fresh process: a new event loop over a
-    /// new fabric queue, an empty store, and empty directory replicas. The node
-    /// immediately begins directory recovery (snapshot requests + log catch-up) and
-    /// announces `DirResynced` once caught up; every other node receives a recovery
-    /// notice. Clients bound to the old incarnation error out — call
-    /// [`LocalCluster::client`] again for a fresh handle.
+    /// Restart a previously-killed node as a fresh process at the next incarnation:
+    /// a new event loop over a new fabric queue, an empty store, and empty directory
+    /// replicas. The node immediately begins directory recovery (snapshot requests +
+    /// log catch-up) and announces `DirResynced` once caught up; every other node
+    /// receives a recovery notice. Clients bound to the old incarnation error out —
+    /// call [`LocalCluster::client`] again for a fresh handle.
     ///
-    /// Panics when the fabric does not support restarts (the TCP fabric does not,
-    /// yet) or when the node was not killed first.
+    /// Works over both fabrics: the channels fabric swaps the node's queue, the TCP
+    /// fabric additionally reroutes live connections to the new queue and advertises
+    /// the new incarnation in future `Hello` greetings.
+    ///
+    /// Panics when the node was not killed first.
     pub fn restart_node(&mut self, node: usize) {
-        assert!(self.nodes[node].handle.is_none(), "restart_node requires a killed node");
+        assert!(!self.nodes[node].is_running(), "restart_node requires a killed node");
         let id = NodeId(node as u32);
+        self.incarnations[node] += 1;
+        self.fabric.note_restart(id, self.incarnations[node]);
         let rx_fabric =
             self.fabric.reset_receiver(id).expect("this fabric does not support node restarts");
         self.nodes[node] = self.spawn_node(id, rx_fabric, true);
         for (i, other) in self.nodes.iter().enumerate() {
             if i != node {
-                let _ = other.events.send(LoopEvent::Command(NodeCommand::PeerRecovered(id)));
+                other.notify_peer_recovered(id);
             }
         }
-    }
-}
-
-impl Drop for LocalCluster {
-    fn drop(&mut self) {
-        for node in &self.nodes {
-            let _ = node.events.send(LoopEvent::Command(NodeCommand::Shutdown));
-        }
-        for node in &mut self.nodes {
-            if let Some(handle) = node.handle.take() {
-                let _ = handle.join();
-            }
-        }
-    }
-}
-
-/// [`DriverPort`] over a real fabric: messages go out through the fabric sender,
-/// replies to the per-op channels, and timers into the loop's deadline heap.
-struct RealPort<'a, S: FabricSender> {
-    me: NodeId,
-    fabric: &'a S,
-    pending_replies: &'a mut HashMap<OpId, Sender<ClientReply>>,
-    timers: &'a mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
-}
-
-impl<S: FabricSender> DriverPort for RealPort<'_, S> {
-    fn send(&mut self, to: NodeId, msg: Message) {
-        self.fabric.send(self.me, to, msg);
-    }
-
-    fn reply(&mut self, op: OpId, reply: ClientReply) {
-        // `ReduceAccepted` is the only non-terminal reply (`ReduceComplete` follows);
-        // everything else finishes the op, so its sender can be dropped to keep the
-        // map from growing with every operation ever submitted.
-        let terminal = !matches!(reply, ClientReply::ReduceAccepted { .. });
-        if terminal {
-            if let Some(tx) = self.pending_replies.remove(&op) {
-                let _ = tx.send(reply);
-            }
-        } else if let Some(tx) = self.pending_replies.get(&op) {
-            let _ = tx.send(reply);
-        }
-    }
-
-    fn set_timer(&mut self, token: TimerToken, delay: Duration) {
-        self.timers.push(Reverse((Instant::now() + delay.to_std(), token)));
-    }
-}
-
-fn node_event_loop<S: FabricSender>(
-    node: ObjectStoreNode,
-    events: Receiver<LoopEvent>,
-    fabric_tx: S,
-    recovering: bool,
-) {
-    let epoch = Instant::now();
-    let me = node.id();
-    let mut runtime = NodeRuntime::new(node);
-    let mut pending_replies: HashMap<OpId, Sender<ClientReply>> = HashMap::new();
-    let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
-    // With no timers armed, sleep in generous slices so shutdown stays responsive even
-    // if a sender leaks.
-    const IDLE_SLICE: StdDuration = StdDuration::from_secs(3600);
-
-    if recovering {
-        // First order of business for a restarted node: request directory snapshots
-        // so it can be re-admitted to its replica sets.
-        let mut port = RealPort {
-            me,
-            fabric: &fabric_tx,
-            pending_replies: &mut pending_replies,
-            timers: &mut timers,
-        };
-        runtime.handle(Time(0), NodeEvent::Restarted, &mut port);
-    }
-
-    loop {
-        // Fire every due timer first.
-        let now_wall = Instant::now();
-        while let Some(&Reverse((deadline, token))) = timers.peek() {
-            if deadline > now_wall {
-                break;
-            }
-            timers.pop();
-            let now = Time(epoch.elapsed().as_nanos() as u64);
-            let mut port = RealPort {
-                me,
-                fabric: &fabric_tx,
-                pending_replies: &mut pending_replies,
-                timers: &mut timers,
-            };
-            runtime.handle(now, NodeEvent::Timer(token), &mut port);
-        }
-        let timeout = timers
-            .peek()
-            .map(|&Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
-            .unwrap_or(IDLE_SLICE);
-        let event = match events.recv_timeout(timeout) {
-            Ok(LoopEvent::Fabric(from, msg)) => NodeEvent::Message { from, msg },
-            Ok(LoopEvent::Command(NodeCommand::Client { op_id, op, reply })) => {
-                pending_replies.insert(op_id, reply);
-                NodeEvent::Client { op: op_id, request: op }
-            }
-            Ok(LoopEvent::Command(NodeCommand::PeerFailed(peer))) => NodeEvent::PeerFailed(peer),
-            Ok(LoopEvent::Command(NodeCommand::PeerRecovered(peer))) => {
-                NodeEvent::PeerRecovered(peer)
-            }
-            Ok(LoopEvent::Command(NodeCommand::Shutdown)) => return,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        let now = Time(epoch.elapsed().as_nanos() as u64);
-        let mut port = RealPort {
-            me,
-            fabric: &fabric_tx,
-            pending_replies: &mut pending_replies,
-            timers: &mut timers,
-        };
-        runtime.handle(now, event, &mut port);
     }
 }
 
@@ -560,6 +327,42 @@ mod tests {
         for node in 0..n {
             assert_eq!(cluster.client(node).get(w).unwrap().len(), data.len() as u64);
         }
+    }
+
+    #[test]
+    fn restart_over_tcp_rebinds_and_resyncs_at_a_new_incarnation() {
+        // The TCP counterpart of the rolling restart, which used to panic: the fabric
+        // now swaps the dead node's ingress queue, reroutes surviving connections,
+        // and advertises the bumped incarnation. The restarted node must resync and
+        // serve traffic again, and its status must show incarnation 1.
+        let mut cluster =
+            LocalCluster::with_fabric(3, HopliteConfig::small_for_tests(), LocalFabric::Tcp);
+        let obj = ObjectId::from_name("tcp-restart-w");
+        let data: Vec<u8> = (0..12_000u32).map(|i| (i % 249) as u8).collect();
+        cluster.client(0).put(obj, Payload::from_vec(data.clone())).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        cluster.kill_node(2);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Traffic during the outage still works.
+        let mid = ObjectId::from_name("tcp-restart-mid");
+        cluster.client(1).put(mid, Payload::zeros(4000)).unwrap();
+        assert_eq!(cluster.client(0).get(mid).unwrap().len(), 4000);
+
+        cluster.restart_node(2);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let status = cluster.status(2).expect("restarted node answers status");
+            if !status.resyncing {
+                assert_eq!(status.incarnation, 1, "restart must bump the incarnation");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "node 2 never finished resyncing");
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let got = cluster.client(2).get(obj).unwrap();
+        assert_eq!(got.as_bytes().unwrap(), &data[..], "restarted node re-fetched over TCP");
     }
 
     #[test]

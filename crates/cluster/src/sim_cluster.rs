@@ -28,7 +28,7 @@ impl SimCluster {
     /// environment would behave.
     pub fn new(n: usize, cfg: HopliteConfig, net: NetworkConfig) -> Self {
         let cluster = ClusterView::of_size(n);
-        let opts = NodeOptions { synthetic_data: true, pipelined_put: true };
+        let opts = NodeOptions { synthetic_data: true, pipelined_put: true, incarnation: 0 };
         let actors = cluster
             .nodes
             .iter()

@@ -674,6 +674,7 @@ impl DirectoryService {
                         after,
                         have_epoch,
                         have_seq,
+                        digest: Vec::new(),
                     },
                 ));
             }
@@ -859,6 +860,7 @@ impl DirectoryService {
                         after: replica.resync_cursor(),
                         have_epoch: replica.epoch(),
                         have_seq: replica.applied_seq(),
+                        digest: Vec::new(),
                     },
                 ));
                 false
@@ -906,6 +908,7 @@ impl DirectoryService {
                         after: None,
                         have_epoch: replica.epoch(),
                         have_seq: replica.applied_seq(),
+                        digest: Vec::new(),
                     },
                 ));
             }
@@ -1154,6 +1157,7 @@ impl DirectoryService {
                 after,
                 have_epoch,
                 have_seq,
+                digest: Vec::new(),
             },
         ));
     }
@@ -1520,6 +1524,7 @@ mod tests {
                     after,
                     have_epoch,
                     have_seq,
+                    ..
                 } => {
                     svc.handle_snapshot_request(
                         shard as usize,
@@ -1610,6 +1615,7 @@ mod tests {
                     after,
                     have_epoch,
                     have_seq,
+                    ..
                 } => {
                     svc.handle_snapshot_request(
                         shard as usize,
@@ -1870,6 +1876,7 @@ mod tests {
                 after,
                 have_epoch,
                 have_seq,
+                ..
             } => {
                 svc.handle_snapshot_request(
                     shard as usize,

@@ -75,6 +75,7 @@ pub mod config;
 pub mod copytrace;
 pub mod directory;
 pub mod error;
+pub mod membership;
 pub mod metrics;
 pub mod node;
 pub mod object;
@@ -89,6 +90,9 @@ pub mod prelude {
     pub use crate::config::HopliteConfig;
     pub use crate::directory::{DirectoryPlacement, DirectoryShard};
     pub use crate::error::{HopliteError, Result};
+    pub use crate::membership::{
+        AliveVerdict, DigestOutcome, FailureVerdict, MemberDigestEntry, MembershipView,
+    };
     pub use crate::metrics::NodeMetrics;
     pub use crate::node::{ClusterView, NodeOptions, ObjectStoreNode};
     pub use crate::object::{NodeId, ObjectId, ObjectStatus};

@@ -1,0 +1,300 @@
+//! Per-node incarnation-numbered membership view.
+//!
+//! Every node tracks, for every peer, the highest **incarnation** it has heard of
+//! and whether that incarnation is believed alive. An incarnation is bumped each
+//! time a process restarts, so liveness evidence is totally ordered per node:
+//!
+//! * a failure notice for an *older* incarnation than the one we know is stale and
+//!   must be dropped — otherwise a late notice could re-kill (and park as
+//!   "resyncing" forever) a node that already restarted and resynced;
+//! * death is *sticky within an incarnation*: once incarnation `k` of a node is
+//!   recorded dead, only evidence for an incarnation `> k` can mark it alive again;
+//! * a restarted node knows nothing about failures it slept through, so rejoin
+//!   messages carry a **membership digest** (`(node, incarnation, alive)` triples).
+//!   The resync source merges the requester's digest and replies with every entry
+//!   it knows *strictly newer*, teaching the restarted node the deaths it missed in
+//!   its first gossip round.
+//!
+//! The view is deliberately dumb about *detection* — drivers (socket liveness, the
+//! simulator's fault schedule, `hoplitectl`) decide when a peer is dead. The view
+//! only arbitrates conflicting or stale evidence.
+
+use crate::object::NodeId;
+
+/// One digest entry: the highest incarnation known for `node` and whether that
+/// incarnation is believed alive.
+pub type MemberDigestEntry = (NodeId, u64, bool);
+
+/// Verdict on a failure notice for `(node, incarnation)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureVerdict {
+    /// First death evidence for a live incarnation: apply the §3.5 failure rules.
+    Apply,
+    /// The incarnation (or a newer one) is already recorded dead; nothing to redo.
+    AlreadyDead,
+    /// The notice concerns an incarnation older than the one we know — a late
+    /// notice about a process that already restarted. Must be dropped.
+    Stale,
+}
+
+/// Verdict on liveness evidence for `(node, incarnation)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AliveVerdict {
+    /// The evidence names a strictly newer incarnation: the node restarted.
+    /// `was_alive` reports whether we believed the *previous* incarnation alive
+    /// (true means we slept through its death and should fold an implied failure
+    /// before re-admitting the new incarnation).
+    Superseded {
+        /// Whether the superseded incarnation was still believed alive.
+        was_alive: bool,
+    },
+    /// Matches what we already believe: the incarnation we know, alive.
+    Known,
+    /// Evidence for an incarnation we have already seen die, or older than the
+    /// one we know. Dropped.
+    Stale,
+}
+
+/// Outcome of merging a remote membership digest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DigestOutcome {
+    /// Peers we believed alive that the digest proves dead (at an incarnation at
+    /// least as new as ours): the caller must run the failure rules for each.
+    pub new_deaths: Vec<NodeId>,
+    /// Peers we believed dead that the digest proves restarted (alive at a newer
+    /// incarnation): the caller should fold them in as recovering.
+    pub revived: Vec<NodeId>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MemberState {
+    incarnation: u64,
+    alive: bool,
+}
+
+/// The membership view owned by one node. Indexed by `NodeId`.
+#[derive(Clone, Debug)]
+pub struct MembershipView {
+    me: NodeId,
+    entries: Vec<MemberState>,
+}
+
+impl MembershipView {
+    /// A fresh view: every node alive at incarnation 0, except this node itself,
+    /// which starts at `self_incarnation` (0 on cold boot, `k+1` after the k-th
+    /// process restart — assigned by whoever restarts the process).
+    pub fn new(me: NodeId, n: usize, self_incarnation: u64) -> MembershipView {
+        let mut entries = vec![MemberState { incarnation: 0, alive: true }; n];
+        if let Some(e) = entries.get_mut(me.0 as usize) {
+            e.incarnation = self_incarnation;
+        }
+        MembershipView { me, entries }
+    }
+
+    /// This node's own incarnation.
+    pub fn self_incarnation(&self) -> u64 {
+        self.entries[self.me.0 as usize].incarnation
+    }
+
+    /// The highest incarnation known for `node`.
+    pub fn incarnation_of(&self, node: NodeId) -> u64 {
+        self.entries[node.0 as usize].incarnation
+    }
+
+    /// Whether the highest known incarnation of `node` is believed alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.entries[node.0 as usize].alive
+    }
+
+    /// Arbitrate a failure notice for `(node, incarnation)`.
+    pub fn note_failure(&mut self, node: NodeId, incarnation: u64) -> FailureVerdict {
+        if node == self.me {
+            // Nobody outranks a node about its own current life.
+            return FailureVerdict::Stale;
+        }
+        let e = &mut self.entries[node.0 as usize];
+        if incarnation < e.incarnation {
+            return FailureVerdict::Stale;
+        }
+        let was_alive = e.alive;
+        e.incarnation = incarnation;
+        e.alive = false;
+        if was_alive {
+            FailureVerdict::Apply
+        } else {
+            FailureVerdict::AlreadyDead
+        }
+    }
+
+    /// A driver-level failure notice (no incarnation on the event): applies to the
+    /// incarnation we currently know.
+    pub fn note_driver_failure(&mut self, node: NodeId) -> FailureVerdict {
+        let current = self.entries[node.0 as usize].incarnation;
+        self.note_failure(node, current)
+    }
+
+    /// Arbitrate liveness evidence (`Hello`, `DirResynced`, a digest entry) for
+    /// `(node, incarnation)`.
+    pub fn note_alive(&mut self, node: NodeId, incarnation: u64) -> AliveVerdict {
+        if node == self.me {
+            return AliveVerdict::Known;
+        }
+        let e = &mut self.entries[node.0 as usize];
+        if incarnation > e.incarnation {
+            let was_alive = e.alive;
+            e.incarnation = incarnation;
+            e.alive = true;
+            AliveVerdict::Superseded { was_alive }
+        } else if incarnation == e.incarnation && e.alive {
+            AliveVerdict::Known
+        } else {
+            // Equal incarnation but recorded dead (death is sticky per
+            // incarnation), or an older incarnation altogether.
+            AliveVerdict::Stale
+        }
+    }
+
+    /// A driver-level recovery notice (no incarnation on the event): if the peer
+    /// was dead, bump to the next incarnation — mirroring the `+1` the restarting
+    /// side assigns — and return it. Idempotent: a peer already believed alive is
+    /// left untouched (`None`).
+    pub fn note_driver_recovery(&mut self, node: NodeId) -> Option<u64> {
+        if node == self.me {
+            return None;
+        }
+        let e = &mut self.entries[node.0 as usize];
+        if e.alive {
+            return None;
+        }
+        e.incarnation += 1;
+        e.alive = true;
+        Some(e.incarnation)
+    }
+
+    /// The full digest: one `(node, incarnation, alive)` triple per cluster node.
+    pub fn digest(&self) -> Vec<MemberDigestEntry> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (NodeId(i as u32), e.incarnation, e.alive))
+            .collect()
+    }
+
+    /// Every local entry *strictly newer* than the corresponding entry of a remote
+    /// digest: higher incarnation, or same incarnation where we know a death the
+    /// remote does not. This is what a resync source sends back to a restarted
+    /// requester so its first gossip round learns the deaths it slept through.
+    pub fn newer_than(&self, remote: &[MemberDigestEntry]) -> Vec<MemberDigestEntry> {
+        self.digest()
+            .into_iter()
+            .filter(|&(node, inc, alive)| {
+                match remote.iter().find(|(n, _, _)| *n == node) {
+                    Some(&(_, rinc, ralive)) => inc > rinc || (inc == rinc && !alive && ralive),
+                    // Unknown to the remote: everything we have is news.
+                    None => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Merge a remote digest: adopt every strictly newer entry and report what
+    /// changed. Entries about this node itself are ignored — a node is the sole
+    /// authority on its own current incarnation.
+    pub fn merge_digest(&mut self, remote: &[MemberDigestEntry]) -> DigestOutcome {
+        let mut outcome = DigestOutcome::default();
+        for &(node, inc, alive) in remote {
+            if node == self.me || node.0 as usize >= self.entries.len() {
+                continue;
+            }
+            if alive {
+                if let AliveVerdict::Superseded { was_alive: false } = self.note_alive(node, inc) {
+                    outcome.revived.push(node);
+                }
+            } else if self.note_failure(node, inc) == FailureVerdict::Apply {
+                outcome.new_deaths.push(node);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_failure_notice_is_dropped() {
+        let mut view = MembershipView::new(NodeId(0), 4, 0);
+        // Node 2 died at incarnation 0, restarted as incarnation 1.
+        assert_eq!(view.note_failure(NodeId(2), 0), FailureVerdict::Apply);
+        assert_eq!(view.note_alive(NodeId(2), 1), AliveVerdict::Superseded { was_alive: false });
+        // A late notice about the dead incarnation 0 must not re-kill it.
+        assert_eq!(view.note_failure(NodeId(2), 0), FailureVerdict::Stale);
+        assert!(view.is_alive(NodeId(2)));
+        assert_eq!(view.incarnation_of(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn newer_failure_supersedes() {
+        let mut view = MembershipView::new(NodeId(0), 4, 0);
+        assert_eq!(view.note_failure(NodeId(2), 0), FailureVerdict::Apply);
+        assert_eq!(view.note_failure(NodeId(2), 0), FailureVerdict::AlreadyDead);
+        view.note_alive(NodeId(2), 1);
+        // Death evidence for the *current* incarnation applies exactly once.
+        assert_eq!(view.note_failure(NodeId(2), 1), FailureVerdict::Apply);
+        assert_eq!(view.note_failure(NodeId(2), 1), FailureVerdict::AlreadyDead);
+        // Death evidence for a yet-newer incarnation implies restart + death; the
+        // node was already failed locally so nothing is re-applied.
+        assert_eq!(view.note_failure(NodeId(2), 3), FailureVerdict::AlreadyDead);
+        assert_eq!(view.incarnation_of(NodeId(2)), 3);
+        assert!(!view.is_alive(NodeId(2)));
+    }
+
+    #[test]
+    fn death_is_sticky_within_an_incarnation() {
+        let mut view = MembershipView::new(NodeId(0), 4, 0);
+        view.note_failure(NodeId(1), 2);
+        assert_eq!(view.note_alive(NodeId(1), 2), AliveVerdict::Stale);
+        assert_eq!(view.note_alive(NodeId(1), 1), AliveVerdict::Stale);
+        assert_eq!(view.note_alive(NodeId(1), 3), AliveVerdict::Superseded { was_alive: false });
+    }
+
+    #[test]
+    fn driver_recovery_bumps_once() {
+        let mut view = MembershipView::new(NodeId(0), 4, 0);
+        view.note_driver_failure(NodeId(3));
+        assert_eq!(view.note_driver_recovery(NodeId(3)), Some(1));
+        // Late duplicate recovery notices are idempotent.
+        assert_eq!(view.note_driver_recovery(NodeId(3)), None);
+        assert_eq!(view.incarnation_of(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn digest_merge_teaches_missed_deaths() {
+        // Survivor saw node 3 die; a freshly restarted node 1 did not.
+        let mut survivor = MembershipView::new(NodeId(0), 4, 0);
+        survivor.note_driver_failure(NodeId(3));
+        let mut restarted = MembershipView::new(NodeId(1), 4, 1);
+
+        // The survivor knows strictly more about node 3 (and about node 1's own
+        // entry, which the reply skips adopting on the other side).
+        let reply = survivor.newer_than(&restarted.digest());
+        assert!(reply.contains(&(NodeId(3), 0, false)));
+
+        let outcome = restarted.merge_digest(&reply);
+        assert_eq!(outcome.new_deaths, vec![NodeId(3)]);
+        assert!(!restarted.is_alive(NodeId(3)));
+
+        // Once merged, the survivor has nothing newer to teach.
+        assert!(survivor.newer_than(&restarted.digest()).is_empty());
+    }
+
+    #[test]
+    fn merge_ignores_claims_about_self() {
+        let mut view = MembershipView::new(NodeId(1), 4, 1);
+        let outcome = view.merge_digest(&[(NodeId(1), 5, false)]);
+        assert_eq!(outcome, DigestOutcome::default());
+        assert_eq!(view.self_incarnation(), 1);
+        assert!(view.is_alive(NodeId(1)));
+    }
+}

@@ -67,12 +67,56 @@ pub struct NodeMetrics {
     pub inline_evictions: u64,
     /// Directory leases reclaimed by bulk timer-wheel expiry on this node.
     pub leases_expired: u64,
+    /// Failure notices dropped because they named an incarnation older than the
+    /// highest this node has seen — late news about a process that already
+    /// restarted (the notice must not re-kill or re-park the new incarnation).
+    pub stale_failure_notices_dropped: u64,
+    /// Peer deaths this node learned from a membership digest rather than its own
+    /// failure detector — i.e. failures a restarted node slept through and was
+    /// taught at rejoin.
+    pub membership_deaths_learned: u64,
     /// Bytes currently live in the local object store (a gauge, sampled after every
     /// event; merging sums the per-node gauges into a cluster total).
     pub store_bytes_live: u64,
 }
 
 impl NodeMetrics {
+    /// Every counter as a `(name, value)` pair, in declaration order. Harnesses that
+    /// serialize metrics (the daemon status line, `hoplitectl status --json`) iterate
+    /// this instead of hand-listing fields that would drift from the struct.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("messages_sent", self.messages_sent),
+            ("data_bytes_sent", self.data_bytes_sent),
+            ("data_bytes_received", self.data_bytes_received),
+            ("objects_put", self.objects_put),
+            ("gets_completed", self.gets_completed),
+            ("pulls_served", self.pulls_served),
+            ("reduce_blocks_sent", self.reduce_blocks_sent),
+            ("reduces_coordinated", self.reduces_coordinated),
+            ("broadcast_failovers", self.broadcast_failovers),
+            ("directory_failovers", self.directory_failovers),
+            ("directory_redrives", self.directory_redrives),
+            ("directory_resyncs", self.directory_resyncs),
+            ("reduce_resets", self.reduce_resets),
+            ("directory_queries_served", self.directory_queries_served),
+            ("directory_registrations", self.directory_registrations),
+            ("directory_inline_hits", self.directory_inline_hits),
+            ("directory_replicates_sent", self.directory_replicates_sent),
+            ("chain_ack_depth", self.chain_ack_depth),
+            ("recv_slab_reuse", self.recv_slab_reuse),
+            ("corked_frames_per_write", self.corked_frames_per_write),
+            ("snapshot_chunks_sent", self.snapshot_chunks_sent),
+            ("snapshot_bytes", self.snapshot_bytes),
+            ("delta_resyncs", self.delta_resyncs),
+            ("inline_evictions", self.inline_evictions),
+            ("leases_expired", self.leases_expired),
+            ("stale_failure_notices_dropped", self.stale_failure_notices_dropped),
+            ("membership_deaths_learned", self.membership_deaths_learned),
+            ("store_bytes_live", self.store_bytes_live),
+        ]
+    }
+
     /// Fold another node's metrics into this one (used to aggregate per-cluster stats).
     pub fn merge(&mut self, other: &NodeMetrics) {
         self.messages_sent += other.messages_sent;
@@ -100,6 +144,8 @@ impl NodeMetrics {
         self.delta_resyncs += other.delta_resyncs;
         self.inline_evictions += other.inline_evictions;
         self.leases_expired += other.leases_expired;
+        self.stale_failure_notices_dropped += other.stale_failure_notices_dropped;
+        self.membership_deaths_learned += other.membership_deaths_learned;
         self.store_bytes_live += other.store_bytes_live;
     }
 }

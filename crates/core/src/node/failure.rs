@@ -125,10 +125,11 @@ impl ObjectStoreNode {
         let redrive = self.ctx.directory.finish_self_resync();
         self.apply_directory_redrive(now, redrive, out);
         let me = self.ctx.id;
+        let incarnation = self.ctx.membership.self_incarnation();
         let peers: Vec<NodeId> =
             self.ctx.directory.nodes().iter().copied().filter(|&n| n != me).collect();
         for peer in peers {
-            self.ctx.send(peer, Message::DirResynced { node: me }, out);
+            self.ctx.send(peer, Message::DirResynced { node: me, incarnation }, out);
         }
     }
 

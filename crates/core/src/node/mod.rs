@@ -36,6 +36,7 @@ use std::collections::VecDeque;
 use crate::buffer::Payload;
 use crate::config::HopliteConfig;
 use crate::directory::{DirectoryClient, DirectoryService};
+use crate::membership::{AliveVerdict, FailureVerdict, MembershipView};
 use crate::metrics::NodeMetrics;
 use crate::object::{NodeId, ObjectId, ObjectStatus};
 use crate::protocol::{ClientOp, DirOp, Effect, Message, OpId, TimerToken};
@@ -107,6 +108,10 @@ pub struct NodeOptions {
     /// instantaneous one (§3.3). The simulator enables this; real transports complete
     /// the copy inline.
     pub pipelined_put: bool,
+    /// This process's incarnation number: 0 on cold boot, bumped by whoever restarts
+    /// the process (the simulator, `LocalCluster`, or `hoplitectl`). Carried on
+    /// liveness messages so peers can order them against failure notices.
+    pub incarnation: u64,
 }
 
 /// Shared, engine-agnostic node state: identity, configuration, the local object
@@ -122,6 +127,9 @@ pub(crate) struct NodeContext {
     /// Every directory interaction of this node goes through this client: it resolves
     /// the shard's current primary and journals what must be re-driven on failover.
     pub(crate) directory: DirectoryClient,
+    /// Incarnation-numbered liveness view: arbitrates stale vs. fresh failure and
+    /// recovery evidence, and produces the digest carried at rejoin.
+    pub(crate) membership: MembershipView,
     next_query_id: u64,
     next_timer: u64,
     /// Messages this node sent to itself, processed at the end of each handler.
@@ -132,7 +140,15 @@ impl NodeContext {
     /// Send a message, short-circuiting messages addressed to this node through the
     /// internal loopback queue (drained at the end of every public handler) so drivers
     /// never have to route loopback traffic.
-    pub(crate) fn send(&mut self, to: NodeId, msg: Message, out: &mut Vec<Effect>) {
+    pub(crate) fn send(&mut self, to: NodeId, mut msg: Message, out: &mut Vec<Effect>) {
+        // Restart-mode snapshot requests advertise this node's membership view, so
+        // the resync source can teach it deaths it slept through. Stamped here so
+        // every construction site inside the directory service is covered.
+        if let Message::DirSnapshotRequest { restart: true, digest, .. } = &mut msg {
+            if digest.is_empty() {
+                *digest = self.membership.digest();
+            }
+        }
         if to == self.id {
             self.self_queue.push_back(msg);
         } else {
@@ -277,6 +293,7 @@ impl ObjectStoreNode {
         let directory = DirectoryService::new(id, &cfg, &cluster.nodes);
         let dir_client = DirectoryClient::new(id, &cfg, &cluster.nodes);
         let store = LocalStore::new(cfg.store_capacity);
+        let membership = MembershipView::new(id, cluster.len(), opts.incarnation);
         ObjectStoreNode {
             ctx: NodeContext {
                 id,
@@ -285,6 +302,7 @@ impl ObjectStoreNode {
                 store,
                 metrics: NodeMetrics::default(),
                 directory: dir_client,
+                membership,
                 next_query_id: 1,
                 next_timer: 1,
                 self_queue: VecDeque::new(),
@@ -356,6 +374,16 @@ impl ObjectStoreNode {
         self.directory.is_resyncing()
     }
 
+    /// This process's incarnation number (0 on cold boot, bumped per restart).
+    pub fn incarnation(&self) -> u64 {
+        self.ctx.membership.self_incarnation()
+    }
+
+    /// Read access to the incarnation-numbered membership view.
+    pub fn membership(&self) -> &MembershipView {
+        &self.ctx.membership
+    }
+
     /// Journaled directory intents not yet confirmed as replication-durable — the
     /// window a failover would re-drive.
     pub fn directory_unconfirmed_count(&self) -> usize {
@@ -420,9 +448,13 @@ impl ObjectStoreNode {
     }
 
     /// A peer node failed (detected by the driver: socket liveness in real deployments,
-    /// an explicit event in the simulator). See [`failure`] for the adaptation rules.
+    /// an explicit event in the simulator). The event carries no incarnation, so it
+    /// applies to the highest incarnation this node knows; duplicates are absorbed by
+    /// the membership view. See [`failure`] for the adaptation rules.
     pub fn handle_peer_failed(&mut self, now: Time, peer: NodeId, out: &mut Vec<Effect>) {
-        self.peer_failed_impl(now, peer, out);
+        if self.ctx.membership.note_driver_failure(peer) == FailureVerdict::Apply {
+            self.peer_failed_impl(now, peer, out);
+        }
         self.drain_self_queue(now, out);
         self.finish_turn(out);
     }
@@ -435,6 +467,12 @@ impl ObjectStoreNode {
         if peer == self.ctx.id {
             return;
         }
+        // Bump the peer's incarnation if this is the first recovery evidence —
+        // mirroring the `+1` the restarting side assigns itself — so stale failure
+        // notices about the dead incarnation are dropped from here on. The
+        // placement updates below stay unconditional: they are idempotent, and the
+        // peer may already have been folded in via its own snapshot request.
+        self.ctx.membership.note_driver_recovery(peer);
         self.directory.on_peer_recovered(peer);
         self.ctx.directory.on_peer_recovered(peer);
         let _ = out;
@@ -499,6 +537,7 @@ impl ObjectStoreNode {
                 after,
                 have_epoch,
                 have_seq,
+                digest,
             } => {
                 // A snapshot request is implicit evidence about the requester: it is
                 // back up, and — when it marks a restart — that it crashed, even if
@@ -509,6 +548,24 @@ impl ObjectStoreNode {
                     self.apply_directory_redrive(now, redrive, out);
                 } else {
                     self.ctx.directory.on_peer_recovered(requester);
+                }
+                if !digest.is_empty() {
+                    // Learn the requester's incarnation (and anything else it knows
+                    // that we do not — nothing, for a fresh restart), then teach it
+                    // every entry we know strictly newer: the deaths it slept
+                    // through. After the first round both views converge and the
+                    // reply is skipped.
+                    self.ctx.membership.merge_digest(&digest);
+                    let newer = self.ctx.membership.newer_than(&digest);
+                    if !newer.is_empty() {
+                        trace!(
+                            "[n{}] teaching restarted {:?} {} membership entries",
+                            self.ctx.id.0,
+                            requester,
+                            newer.len()
+                        );
+                        self.ctx.send(requester, Message::MembershipDigest { entries: newer }, out);
+                    }
                 }
                 let mut replies = Vec::new();
                 self.directory.handle_snapshot_request(
@@ -552,7 +609,34 @@ impl ObjectStoreNode {
             Message::DirResyncDelta { shard, epoch, ops, done } => {
                 self.handle_dir_resync_delta(now, shard as usize, epoch, &ops, done, from, out);
             }
-            Message::DirResynced { node } => {
+            Message::DirResynced { node, incarnation } => {
+                match self.ctx.membership.note_alive(node, incarnation) {
+                    AliveVerdict::Stale => {
+                        // A late announcement from an incarnation that has already
+                        // died (or older): re-admitting it would hand shards to a
+                        // dead process.
+                        trace!(
+                            "[n{}] dropped stale DirResynced from {:?} inc {}",
+                            self.ctx.id.0,
+                            node,
+                            incarnation
+                        );
+                        self.ctx.metrics.stale_failure_notices_dropped += 1;
+                        return;
+                    }
+                    AliveVerdict::Superseded { was_alive } => {
+                        // First liveness evidence for this incarnation: fold the
+                        // recovery in (and the crash we slept through, if we still
+                        // believed the previous incarnation healthy) before the
+                        // re-admission below.
+                        if was_alive {
+                            self.peer_failed_impl(now, node, out);
+                        }
+                        self.directory.on_peer_recovered(node);
+                        self.ctx.directory.on_peer_recovered(node);
+                    }
+                    AliveVerdict::Known => {}
+                }
                 trace!("[n{}] peer {:?} re-admitted to its replica sets", self.ctx.id.0, node);
                 // Under chain replication the re-admission re-splices the peer into
                 // its chains: the service may emit suffix re-shipments and
@@ -644,9 +728,62 @@ impl ObjectStoreNode {
             Message::ReduceRelease { target } => {
                 self.reduce.on_release(target);
             }
-            // Transport-level peer identification; consumed by connection readers in
-            // the framed fabrics and never addressed to a node's protocol handlers.
-            Message::Hello { .. } => {}
+            // Membership plane.
+            Message::PeerFailureNotice { node, incarnation } => {
+                match self.ctx.membership.note_failure(node, incarnation) {
+                    FailureVerdict::Apply => {
+                        trace!(
+                            "[n{}] failure notice: {:?} inc {} is dead",
+                            self.ctx.id.0,
+                            node,
+                            incarnation
+                        );
+                        self.peer_failed_impl(now, node, out);
+                    }
+                    FailureVerdict::AlreadyDead => {}
+                    FailureVerdict::Stale => {
+                        trace!(
+                            "[n{}] dropped stale failure notice for {:?} inc {} (know inc {})",
+                            self.ctx.id.0,
+                            node,
+                            incarnation,
+                            self.ctx.membership.incarnation_of(node)
+                        );
+                        self.ctx.metrics.stale_failure_notices_dropped += 1;
+                    }
+                }
+            }
+            Message::MembershipDigest { entries } => {
+                let outcome = self.ctx.membership.merge_digest(&entries);
+                for peer in outcome.new_deaths {
+                    trace!(
+                        "[n{}] learned from digest that {:?} died while this node was down",
+                        self.ctx.id.0,
+                        peer
+                    );
+                    self.ctx.metrics.membership_deaths_learned += 1;
+                    self.peer_failed_impl(now, peer, out);
+                }
+                for peer in outcome.revived {
+                    self.directory.on_peer_recovered(peer);
+                    self.ctx.directory.on_peer_recovered(peer);
+                }
+            }
+            // Transport-level peer identification: consumed by connection readers to
+            // tag the connection, and forwarded here as liveness evidence. A
+            // reconnecting restarted peer's Hello may be the first sign of both its
+            // crash and its recovery.
+            Message::Hello { node, incarnation } => {
+                if let AliveVerdict::Superseded { was_alive } =
+                    self.ctx.membership.note_alive(node, incarnation)
+                {
+                    if was_alive {
+                        self.peer_failed_impl(now, node, out);
+                    }
+                    self.directory.on_peer_recovered(node);
+                    self.ctx.directory.on_peer_recovered(node);
+                }
+            }
         }
     }
 

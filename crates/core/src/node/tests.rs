@@ -90,6 +90,56 @@ impl TestCluster {
             _ => None,
         })
     }
+
+    /// Restart `node` as a fresh process at `incarnation` (empty store, empty
+    /// replicas) and let it begin directory recovery. Deliberately does *not*
+    /// notify survivors — tests choose whether the detector or the rejoin
+    /// messages themselves carry the news.
+    fn restart(&mut self, node: usize, incarnation: u64) {
+        self.dead.remove(&node);
+        let cluster = ClusterView::of_size(self.nodes.len());
+        let opts = NodeOptions { incarnation, ..Default::default() };
+        self.nodes[node] = ObjectStoreNode::new(
+            NodeId(node as u32),
+            HopliteConfig::small_for_tests(),
+            cluster,
+            opts,
+        );
+        let mut out = Vec::new();
+        self.nodes[node].begin_recovery(Time::ZERO, &mut out);
+        self.pending.push_back((NodeId(node as u32), out));
+    }
+
+    /// Deliver the detector's recovery notice for `node` to every live peer.
+    fn notify_recovered(&mut self, node: usize) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if !self.dead.contains(&i) && i != node {
+                let mut out = Vec::new();
+                n.handle_peer_recovered(Time::ZERO, NodeId(node as u32), &mut out);
+                self.pending.push_back((NodeId(i as u32), out));
+            }
+        }
+    }
+
+    /// Deliver a wire-level failure notice to one node.
+    fn failure_notice(&mut self, to: usize, about: usize, incarnation: u64) {
+        let mut out = Vec::new();
+        self.nodes[to].handle_message(
+            Time::ZERO,
+            NodeId(to as u32),
+            Message::PeerFailureNotice { node: NodeId(about as u32), incarnation },
+            &mut out,
+        );
+        self.pending.push_back((NodeId(to as u32), out));
+    }
+}
+
+/// An object whose directory shard initially lives on `shard_host`.
+fn object_on_shard(cluster: &ClusterView, shard_host: NodeId) -> ObjectId {
+    (0..)
+        .map(|i| ObjectId::from_name(&format!("probe{i}")))
+        .find(|&o| cluster.shard_node(o) == shard_host)
+        .expect("some probe object hashes to every shard")
 }
 
 /// Deliver effects until quiescence, returning all client replies (legacy helper for
@@ -765,4 +815,106 @@ fn duplicate_put_is_rejected() {
     let replies = run_to_quiescence(&mut nodes, vec![(NodeId(0), out)]);
     assert!(replies.iter().any(|(_, op, r)| *op == OpId(2)
         && matches!(r, ClientReply::Error { error: HopliteError::ObjectAlreadyExists(_) })));
+}
+
+// ------------------------------------------------------ incarnation numbers ----
+
+/// A failure notice naming an incarnation that already restarted is dropped: it
+/// must neither mark the node failed nor disturb the routing view ("late notices
+/// can't park a restarted node as resyncing forever").
+#[test]
+fn stale_failure_notice_cannot_repark_restarted_node() {
+    let mut tc = TestCluster::new(4);
+    tc.kill(2);
+    tc.run();
+    tc.restart(2, 1);
+    tc.notify_recovered(2);
+    tc.run();
+    assert!(!tc.nodes[2].directory_is_resyncing(), "node 2 readmitted");
+    assert!(tc.nodes[0].membership().is_alive(NodeId(2)));
+    assert_eq!(tc.nodes[0].membership().incarnation_of(NodeId(2)), 1);
+
+    let cluster = ClusterView::of_size(4);
+    let probe = object_on_shard(&cluster, NodeId(2));
+    let primary_before = tc.nodes[0].directory_primary_for(probe);
+
+    // A late notice about the *dead* incarnation 0 arrives after the restart.
+    tc.failure_notice(0, 2, 0);
+    tc.run();
+    assert_eq!(tc.nodes[0].metrics().stale_failure_notices_dropped, 1);
+    assert!(tc.nodes[0].membership().is_alive(NodeId(2)), "node 2 still alive");
+    assert_eq!(tc.nodes[0].directory_primary_for(probe), primary_before, "routing undisturbed");
+}
+
+/// A failure notice for the *current* incarnation supersedes: it runs the full
+/// §3.5 failure machinery exactly once, and duplicates are absorbed without being
+/// miscounted as stale.
+#[test]
+fn newer_incarnation_failure_notice_supersedes() {
+    let mut tc = TestCluster::new(4);
+    let cluster = ClusterView::of_size(4);
+    let probe = object_on_shard(&cluster, NodeId(2));
+    assert_eq!(tc.nodes[0].directory_primary_for(probe), Some(NodeId(2)));
+
+    // A fresh wire-level notice (incarnation 0 is current) applies: node 0 fails
+    // over the shard to its backup.
+    tc.dead.insert(2); // notice-driven, not detector-driven: mute the dead node
+    tc.failure_notice(0, 2, 0);
+    tc.run();
+    assert!(!tc.nodes[0].membership().is_alive(NodeId(2)));
+    let promoted = tc.nodes[0].directory_primary_for(probe);
+    assert_ne!(promoted, Some(NodeId(2)), "shard failed over away from node 2");
+
+    // A duplicate of the same notice is a no-op — and *not* counted stale.
+    tc.failure_notice(0, 2, 0);
+    tc.run();
+    assert_eq!(tc.nodes[0].metrics().stale_failure_notices_dropped, 0);
+
+    // Node 2 restarts as incarnation 1 and is readmitted; a notice for the new
+    // incarnation supersedes the old knowledge and applies again.
+    tc.restart(2, 1);
+    tc.notify_recovered(2);
+    tc.run();
+    assert!(tc.nodes[0].membership().is_alive(NodeId(2)));
+    tc.dead.insert(2);
+    tc.failure_notice(0, 2, 1);
+    tc.run();
+    assert!(!tc.nodes[0].membership().is_alive(NodeId(2)));
+    assert_eq!(tc.nodes[0].membership().incarnation_of(NodeId(2)), 1);
+}
+
+/// A restarted node's first gossip round — the membership digest answered to its
+/// rejoin snapshot requests — teaches it deaths it slept through, so its routing
+/// view stops pointing at nodes that died while it was down.
+#[test]
+fn restarted_node_learns_deaths_it_slept_through() {
+    let mut tc = TestCluster::new(4);
+    // Node 1 dies first; then node 3 dies — node 1 is down and never hears of it.
+    tc.kill(1);
+    tc.run();
+    tc.kill(3);
+    tc.run();
+
+    let cluster = ClusterView::of_size(4);
+    let probe = object_on_shard(&cluster, NodeId(3));
+    assert_ne!(tc.nodes[0].directory_primary_for(probe), Some(NodeId(3)));
+
+    // Node 1 restarts and rejoins purely through its own snapshot requests (no
+    // detector notice reaches anyone). Fresh state: it still believes node 3 is
+    // alive and primary of its shard.
+    tc.restart(1, 1);
+    assert_eq!(tc.nodes[1].directory_primary_for(probe), Some(NodeId(3)));
+    tc.run();
+
+    assert!(!tc.nodes[1].directory_is_resyncing(), "node 1 resynced");
+    assert!(!tc.nodes[1].membership().is_alive(NodeId(3)), "digest taught node 1 that node 3 died");
+    assert!(tc.nodes[1].metrics().membership_deaths_learned >= 1);
+    assert_ne!(
+        tc.nodes[1].directory_primary_for(probe),
+        Some(NodeId(3)),
+        "node 1's routing no longer points at the dead node"
+    );
+    // And the sources learned node 1's new incarnation from its digest.
+    assert_eq!(tc.nodes[0].membership().incarnation_of(NodeId(1)), 1);
+    assert!(tc.nodes[0].membership().is_alive(NodeId(1)));
 }

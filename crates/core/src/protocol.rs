@@ -454,6 +454,12 @@ pub enum Message {
         /// not a restart), it replays ops as [`Message::DirResyncDelta`] instead of
         /// shipping state at all.
         have_seq: u64,
+        /// The requester's membership digest (`(node, incarnation, alive)` per
+        /// cluster node), carried on restart requests so the resync source can
+        /// teach the requester deaths it slept through: the source merges the
+        /// digest and answers every strictly-newer entry with a
+        /// [`Message::MembershipDigest`]. Empty on gap-detected catch-ups.
+        digest: Vec<crate::membership::MemberDigestEntry>,
     },
     /// Primary → recovering replica: full shard state at log position `seq`, epoch
     /// `epoch`. `rank` is the primary's current placement cursor for the shard, which
@@ -514,6 +520,10 @@ pub enum Message {
     DirResynced {
         /// The node that finished resyncing.
         node: NodeId,
+        /// The announcing node's current incarnation. Receivers drop announcements
+        /// about an incarnation they have already seen die — a late `DirResynced`
+        /// must not re-admit a node that crashed again after sending it.
+        incarnation: u64,
     },
     /// Primary → op origin: the op identified by `(object, kind)` has been replicated
     /// to every tracked backup and is durable without any client re-drive.
@@ -598,14 +608,40 @@ pub enum Message {
         target: ObjectId,
     },
 
+    // ------------------------------------------------------------- membership ----
+    /// A failure notice with an incarnation number, as injected by an external
+    /// failure detector (`hoplitectl`, a driver, or a gossiping peer). The receiver
+    /// applies the §3.5 failure rules only if its [`crate::membership`] view judges
+    /// the notice fresh: notices about an incarnation older than the highest known
+    /// are dropped, so a late notice cannot re-kill a node that already restarted.
+    PeerFailureNotice {
+        /// The node reported dead.
+        node: NodeId,
+        /// The incarnation that died.
+        incarnation: u64,
+    },
+    /// A batch of membership knowledge: the sender's strictly-newer entries,
+    /// answered to a restarted node's digest-carrying
+    /// [`Message::DirSnapshotRequest`] so its first gossip round learns of deaths
+    /// it slept through.
+    MembershipDigest {
+        /// `(node, incarnation, alive)` triples, each strictly newer than what the
+        /// receiver advertised.
+        entries: Vec<crate::membership::MemberDigestEntry>,
+    },
+
     // ---------------------------------------------------------------- transport ----
     /// Transport-level peer identification: the first frame on a freshly opened
     /// connection announces the sender's node id, so the accept side can tag every
-    /// subsequent frame with its origin. Never dispatched to a node's protocol
-    /// handlers by the framed fabrics — it is consumed by the connection reader.
+    /// subsequent frame with its origin. The framed fabrics additionally forward it
+    /// to the node's protocol handlers as liveness evidence: a reconnecting peer's
+    /// `Hello` carries its current incarnation.
     Hello {
         /// The connecting node.
         node: NodeId,
+        /// The connecting process's incarnation (0 on cold boot, bumped by every
+        /// restart).
+        incarnation: u64,
     },
 }
 
@@ -629,6 +665,8 @@ impl Message {
                 DirOp::Query { exclude, .. } => 2 * CONTROL + 4 * exclude.len() as u64,
                 _ => 2 * CONTROL,
             },
+            Message::DirSnapshotRequest { digest, .. } => CONTROL + 13 * digest.len() as u64,
+            Message::MembershipDigest { entries } => CONTROL + 13 * entries.len() as u64,
             Message::DirSnapshot { state, .. } => CONTROL + state.wire_size(),
             Message::DirSnapshotChunk { state, .. } => CONTROL + state.wire_size(),
             Message::DirResyncDelta { ops, .. } => {

@@ -1,0 +1,716 @@
+//! `hoplitectl` — deployment controller for a fleet of `hoplited` daemons.
+//!
+//! ```text
+//! hoplitectl spawn   --nodes 5 --dir /tmp/hoplite [--binary PATH] [--config FILE]
+//! hoplitectl status  --dir /tmp/hoplite [--json]
+//! hoplitectl kill    --dir /tmp/hoplite --node 3        # kill -9 + failure verdicts
+//! hoplitectl restart --dir /tmp/hoplite --node 3        # next incarnation, --recover
+//! hoplitectl stop    --dir /tmp/hoplite
+//! hoplitectl drill   --nodes 5 --dir /tmp/drill [--waves 6] [--kill-wave 2]
+//!                    [--size BYTES] [--timeout-secs 300] [--json FILE]
+//! ```
+//!
+//! `spawn`/`status`/`kill`/`restart`/`stop` manage a long-lived deployment through
+//! the on-disk state file (`<dir>/cluster.state`); each invocation is a separate
+//! short-lived process, daemons keep running in between. `drill` is the self-contained
+//! kill -9 end-to-end exercise CI runs: it spawns its own fleet, drives broadcast +
+//! reduce waves, SIGKILLs a receiver mid-broadcast, restarts it at the next
+//! incarnation, and then proves zero location records were lost — every object of
+//! every wave readable from every node, including the restarted one.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hoplite_bench::json::Json;
+use hoplite_cluster::process::{ControlClient, DaemonSpec, ProcessCluster};
+use hoplite_core::prelude::NodeId;
+use hoplite_daemon::args::Args;
+use hoplite_daemon::state::{ClusterState, NodeEntry};
+
+fn main() {
+    let sub = std::env::args().nth(1).unwrap_or_default();
+    let mut args = Args::from_env(1);
+    let result = match sub.as_str() {
+        "spawn" => cmd_spawn(&mut args),
+        "status" => cmd_status(&mut args),
+        "kill" => cmd_kill(&mut args),
+        "restart" => cmd_restart(&mut args),
+        "stop" => cmd_stop(&mut args),
+        "drill" => cmd_drill(&mut args),
+        "" | "help" | "--help" => {
+            eprint!("{USAGE}");
+            return;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("hoplitectl {sub}: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage:\n  \
+    hoplitectl spawn   --nodes N --dir DIR [--binary PATH] [--config FILE]\n  \
+    hoplitectl status  --dir DIR [--json]\n  \
+    hoplitectl kill    --dir DIR --node I\n  \
+    hoplitectl restart --dir DIR --node I\n  \
+    hoplitectl stop    --dir DIR\n  \
+    hoplitectl drill   --nodes N --dir DIR [--binary PATH] [--waves W] [--kill-wave K]\n                     \
+    [--size BYTES] [--timeout-secs S] [--json FILE]\n";
+
+/// The `hoplited` binary that ships next to this `hoplitectl`.
+fn sibling_hoplited() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent directory")?;
+    let candidate = dir.join("hoplited");
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(format!("{} not found; pass --binary", candidate.display()))
+    }
+}
+
+fn binary_arg(args: &mut Args) -> Result<PathBuf, String> {
+    match args.opt("binary")? {
+        Some(path) => Ok(PathBuf::from(path)),
+        None => sibling_hoplited(),
+    }
+}
+
+/// Reserve `n` distinct localhost ports by binding and releasing them.
+fn reserve_ports(n: usize) -> Result<Vec<SocketAddr>, String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| format!("reserve ports: {e}"))?;
+    listeners.iter().map(|l| l.local_addr().map_err(|e| format!("local_addr: {e}"))).collect()
+}
+
+/// Launch one detached daemon for `state.nodes[node]` and record its pid. The
+/// returned `Child` is dropped on purpose: `std::process::Child` does not kill on
+/// drop, so the daemon outlives this `hoplitectl` invocation.
+fn launch(state: &mut ClusterState, dir: &Path, node: usize, recover: bool) -> Result<(), String> {
+    let fabric_list =
+        state.nodes.iter().map(|n| n.fabric.to_string()).collect::<Vec<_>>().join(",");
+    let log = std::fs::File::create(dir.join(format!("node-{node}.log")))
+        .map_err(|e| format!("create log: {e}"))?;
+    let entry = &state.nodes[node];
+    let mut cmd = Command::new(&state.binary);
+    cmd.arg("--node")
+        .arg(node.to_string())
+        .arg("--fabric")
+        .arg(fabric_list)
+        .arg("--control")
+        .arg(entry.control.to_string())
+        .arg("--incarnation")
+        .arg(entry.incarnation.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log.try_clone().map_err(|e| e.to_string())?))
+        .stderr(Stdio::from(log));
+    if recover {
+        cmd.arg("--recover");
+    }
+    if let Some(config) = &state.config {
+        cmd.arg("--config").arg(config);
+    }
+    let child = cmd.spawn().map_err(|e| format!("spawn {}: {e}", state.binary.display()))?;
+    state.nodes[node].pid = child.id();
+    Ok(())
+}
+
+/// Poll a control socket until it answers `ping`.
+fn wait_ready(addr: SocketAddr, what: &str, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match ControlClient::connect(addr, Duration::from_millis(250)).and_then(|mut c| c.ping()) {
+            Ok(()) => return Ok(()),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("{what} not ready within {timeout:?}: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn control(entry: &NodeEntry) -> Result<ControlClient, String> {
+    ControlClient::connect(entry.control, Duration::from_secs(5)).map_err(|e| e.to_string())
+}
+
+fn cmd_spawn(args: &mut Args) -> Result<(), String> {
+    let n: usize = args.req("nodes")?;
+    let dir = PathBuf::from(args.req::<String>("dir")?);
+    let binary = binary_arg(args)?;
+    let config = args.opt("config")?.map(PathBuf::from);
+    args.finish()?;
+    if n == 0 {
+        return Err("--nodes must be at least 1".to_string());
+    }
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    if ClusterState::path(&dir).exists() {
+        return Err(format!(
+            "{} already exists — `hoplitectl stop --dir {}` first",
+            ClusterState::path(&dir).display(),
+            dir.display()
+        ));
+    }
+
+    let fabric = reserve_ports(n)?;
+    let controls = reserve_ports(n)?;
+    let mut state = ClusterState {
+        binary,
+        config,
+        nodes: fabric
+            .into_iter()
+            .zip(controls)
+            .map(|(fabric, control)| NodeEntry { fabric, control, pid: 0, incarnation: 0 })
+            .collect(),
+    };
+    for node in 0..n {
+        launch(&mut state, &dir, node, false)?;
+    }
+    for node in 0..n {
+        wait_ready(state.nodes[node].control, &format!("node {node}"), Duration::from_secs(20))?;
+    }
+    state.save(&dir).map_err(|e| format!("save state: {e}"))?;
+    for (node, entry) in state.nodes.iter().enumerate() {
+        println!(
+            "node {node}: pid {} fabric {} control {}",
+            entry.pid, entry.fabric, entry.control
+        );
+    }
+    println!("{n} daemons up; state in {}", ClusterState::path(&dir).display());
+    Ok(())
+}
+
+fn cmd_status(args: &mut Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.req::<String>("dir")?);
+    let as_json = args.switch("json");
+    args.finish()?;
+    let state = ClusterState::load(&dir).map_err(|e| format!("load state: {e}"))?;
+
+    let mut nodes = Vec::new();
+    for (node, entry) in state.nodes.iter().enumerate() {
+        let status = if entry.pid == 0 {
+            None
+        } else {
+            control(entry).and_then(|mut c| c.status().map_err(|e| e.to_string())).ok()
+        };
+        nodes.push((node, entry.clone(), status));
+    }
+
+    if as_json {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("hoplite-ctl-status-v1".into())),
+            (
+                "nodes".into(),
+                Json::Arr(
+                    nodes
+                        .iter()
+                        .map(|(node, entry, status)| {
+                            let mut pairs = vec![
+                                ("node".into(), Json::Num(*node as f64)),
+                                ("pid".into(), Json::Num(entry.pid as f64)),
+                                ("up".into(), Json::Bool(status.is_some())),
+                                ("incarnation".into(), Json::Num(entry.incarnation as f64)),
+                            ];
+                            if let Some(status) = status {
+                                pairs.push((
+                                    "resyncing".into(),
+                                    Json::Bool(
+                                        status.get("resyncing").map(String::as_str) == Some("true"),
+                                    ),
+                                ));
+                                let metrics: Vec<(String, Json)> = status
+                                    .iter()
+                                    .filter(|(k, _)| {
+                                        !matches!(k.as_str(), "node" | "incarnation" | "resyncing")
+                                    })
+                                    .map(|(k, v)| {
+                                        (k.clone(), Json::Num(v.parse::<f64>().unwrap_or(-1.0)))
+                                    })
+                                    .collect();
+                                pairs.push(("metrics".into(), Json::Obj(metrics)));
+                            }
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        print!("{}", doc.to_pretty_string());
+    } else {
+        for (node, entry, status) in &nodes {
+            match status {
+                Some(status) => println!(
+                    "node {node}: up pid={} incarnation={} resyncing={} puts={} gets={} \
+                     failovers={} resyncs={}",
+                    entry.pid,
+                    entry.incarnation,
+                    status.get("resyncing").map(String::as_str).unwrap_or("?"),
+                    status.get("objects_put").map(String::as_str).unwrap_or("?"),
+                    status.get("gets_completed").map(String::as_str).unwrap_or("?"),
+                    status.get("broadcast_failovers").map(String::as_str).unwrap_or("?"),
+                    status.get("directory_resyncs").map(String::as_str).unwrap_or("?"),
+                ),
+                None => println!("node {node}: down (last incarnation {})", entry.incarnation),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_kill(args: &mut Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.req::<String>("dir")?);
+    let node: usize = args.req("node")?;
+    args.finish()?;
+    let mut state = ClusterState::load(&dir).map_err(|e| format!("load state: {e}"))?;
+    let entry = state.nodes.get(node).ok_or(format!("no node {node}"))?.clone();
+    if entry.pid == 0 {
+        return Err(format!("node {node} is already down"));
+    }
+
+    let status = Command::new("kill")
+        .args(["-9", &entry.pid.to_string()])
+        .status()
+        .map_err(|e| format!("kill: {e}"))?;
+    if !status.success() {
+        return Err(format!("kill -9 {} failed: {status}", entry.pid));
+    }
+    state.nodes[node].pid = 0;
+    state.save(&dir).map_err(|e| format!("save state: {e}"))?;
+
+    // Deliver the failure-detector verdict, stamped with the victim's incarnation.
+    for (other, peer) in state.nodes.iter().enumerate() {
+        if other != node && peer.pid != 0 {
+            control(peer)?
+                .peer_failed(NodeId(node as u32), entry.incarnation)
+                .map_err(|e| format!("peer-failed to node {other}: {e}"))?;
+        }
+    }
+    println!("node {node}: killed pid {}", entry.pid);
+    Ok(())
+}
+
+fn cmd_restart(args: &mut Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.req::<String>("dir")?);
+    let node: usize = args.req("node")?;
+    args.finish()?;
+    let mut state = ClusterState::load(&dir).map_err(|e| format!("load state: {e}"))?;
+    if state.nodes.get(node).ok_or(format!("no node {node}"))?.pid != 0 {
+        return Err(format!("node {node} is still running — kill it first"));
+    }
+
+    state.nodes[node].incarnation += 1;
+    launch(&mut state, &dir, node, true)?;
+    wait_ready(state.nodes[node].control, &format!("node {node}"), Duration::from_secs(30))?;
+    state.save(&dir).map_err(|e| format!("save state: {e}"))?;
+    for (other, peer) in state.nodes.iter().enumerate() {
+        if other != node && peer.pid != 0 {
+            control(peer)?
+                .peer_recovered(NodeId(node as u32))
+                .map_err(|e| format!("peer-recovered to node {other}: {e}"))?;
+        }
+    }
+    println!(
+        "node {node}: restarted as pid {} at incarnation {}",
+        state.nodes[node].pid, state.nodes[node].incarnation
+    );
+    Ok(())
+}
+
+fn cmd_stop(args: &mut Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.req::<String>("dir")?);
+    args.finish()?;
+    let state = ClusterState::load(&dir).map_err(|e| format!("load state: {e}"))?;
+    for (node, entry) in state.nodes.iter().enumerate() {
+        if entry.pid == 0 {
+            continue;
+        }
+        match control(entry).and_then(|mut c| c.shutdown().map_err(|e| e.to_string())) {
+            Ok(()) => println!("node {node}: stopped"),
+            Err(e) => {
+                // Unreachable control socket: fall back to SIGKILL so `stop` always
+                // leaves nothing behind.
+                let _ = Command::new("kill").args(["-9", &entry.pid.to_string()]).status();
+                println!("node {node}: control unreachable ({e}); sent SIGKILL");
+            }
+        }
+    }
+    std::fs::remove_file(ClusterState::path(&dir)).map_err(|e| format!("remove state: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The kill -9 drill.
+// ---------------------------------------------------------------------------
+
+/// Object size and seeds for one wave's workload.
+#[derive(Clone, Copy)]
+struct Wave {
+    index: usize,
+    size: u64,
+}
+
+impl Wave {
+    fn object(&self) -> String {
+        format!("wave-{}", self.index)
+    }
+    fn seed(&self) -> u64 {
+        0xD0_5E_ED + self.index as u64
+    }
+    fn sum(&self) -> String {
+        format!("sum-{}", self.index)
+    }
+    fn contrib(&self, node: usize) -> String {
+        format!("contrib-{}-{node}", self.index)
+    }
+}
+
+const REDUCE_LEN: usize = 4096;
+
+fn cmd_drill(args: &mut Args) -> Result<(), String> {
+    let n: usize = args.opt_or("nodes", 5)?;
+    let dir = PathBuf::from(args.req::<String>("dir")?);
+    let binary = binary_arg(args)?;
+    let waves: usize = args.opt_or("waves", 6)?;
+    let kill_wave: usize = args.opt_or("kill-wave", 2)?;
+    let size: u64 = args.opt_or("size", 1 << 20)?;
+    let timeout_secs: u64 = args.opt_or("timeout-secs", 300)?;
+    let json_path = args.opt("json")?.map(PathBuf::from);
+    args.finish()?;
+    if n < 3 {
+        return Err("--nodes must be at least 3 (source + victim + a survivor)".to_string());
+    }
+    if kill_wave >= waves {
+        return Err(format!("--kill-wave {kill_wave} must be below --waves {waves}"));
+    }
+
+    // Watchdog: if the drill wedges (a lost location record shows up as a get that
+    // never completes), fail loudly with a distinctive exit code instead of letting
+    // the CI job idle until its own timeout.
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(timeout_secs));
+        eprintln!("drill watchdog: not done after {timeout_secs}s, aborting");
+        std::process::exit(124);
+    });
+
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    // Small blocks so a 1 MiB broadcast is a multi-block, multi-round transfer —
+    // the kill lands mid-object, not between objects.
+    let config_path = dir.join("drill-config.toml");
+    std::fs::write(
+        &config_path,
+        "# kill -9 drill: multi-block objects at modest sizes\n\
+         block_size = 65536\n\
+         inline_threshold = 1024\n\
+         pull_timeout_ms = 250\n",
+    )
+    .map_err(|e| format!("write config: {e}"))?;
+
+    println!("drill: spawning {n} hoplited processes (binary {})", binary.display());
+    let mut cluster = ProcessCluster::spawn(DaemonSpec {
+        binary,
+        n,
+        log_dir: dir.clone(),
+        config: Some(config_path),
+    })
+    .map_err(|e| format!("spawn fleet: {e}"))?;
+    for node in 0..n {
+        println!(
+            "  node {node}: pid {} log {}",
+            cluster.pid(node).unwrap(),
+            cluster.log_path(node).display()
+        );
+    }
+
+    // Node 0 sources every wave and is never killed; the victim is a *receiver*
+    // whose death lands mid-broadcast while survivors' gets are in flight.
+    let victim = n - 1;
+    let started = Instant::now();
+    let mut killed = false;
+    for index in 0..waves {
+        let wave = Wave { index, size };
+        run_wave(&mut cluster, wave, n, (index == kill_wave).then_some(victim))?;
+        if index == kill_wave {
+            killed = true;
+            restart_and_verify(&mut cluster, victim, n, size, index)?;
+        }
+        println!("drill: wave {index} complete ({:.1}s)", started.elapsed().as_secs_f64());
+    }
+    assert!(killed, "kill wave must have run");
+
+    // Final sweep: every wave object and every reduce result, from every node.
+    verify_all(&cluster, n, size, waves - 1)?;
+
+    let statuses = collect_statuses(&cluster, n)?;
+    let victim_resyncs =
+        statuses[victim].get("directory_resyncs").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let survivor_failovers: u64 = statuses
+        .iter()
+        .enumerate()
+        .filter(|(node, _)| *node != victim)
+        .filter_map(|(_, s)| {
+            let b = s.get("broadcast_failovers")?.parse::<u64>().ok()?;
+            let d = s.get("directory_failovers")?.parse::<u64>().ok()?;
+            Some(b + d)
+        })
+        .sum();
+    println!(
+        "drill: victim resyncs={victim_resyncs} survivor failovers={survivor_failovers} \
+         victim incarnation={}",
+        cluster.incarnation(victim)
+    );
+
+    if let Some(path) = json_path {
+        let doc =
+            drill_report(&cluster, n, waves, kill_wave, victim, size, &statuses, started.elapsed());
+        std::fs::write(&path, doc.to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("drill: report written to {}", path.display());
+    }
+
+    cluster.shutdown_all();
+    println!("drill: PASS — {waves} waves, kill -9 at wave {kill_wave}, zero lost objects");
+    Ok(())
+}
+
+/// One wave: node 0 puts a multi-block object, every other node gets it (in
+/// parallel), then a sum-reduce across per-node contributions is verified
+/// everywhere. When `kill` names a victim, it is SIGKILLed while the gets are in
+/// flight, and survivor gets are retried through the failover window.
+fn run_wave(
+    cluster: &mut ProcessCluster,
+    wave: Wave,
+    n: usize,
+    kill: Option<usize>,
+) -> Result<(), String> {
+    cluster
+        .control(0)
+        .and_then(|mut c| c.put(&wave.object(), wave.size, wave.seed()))
+        .map_err(|e| format!("wave {}: put: {e}", wave.index))?;
+
+    // Concurrent receivers: each survivor keeps retrying until the object verifies,
+    // because a get that raced the kill may fail once before failover kicks in. The
+    // threads reconnect by address on their own, so the supervisor keeps `cluster`
+    // mutably for the kill.
+    let failed: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for node in 1..n {
+            let failed = failed.clone();
+            let in_flight = in_flight.clone();
+            let addr = cluster.control_addr(node);
+            let mut ctl = ControlClient::connect(addr, Duration::from_secs(5))
+                .map_err(|e| format!("wave {}: connect node {node}: {e}", wave.index))?;
+            let is_victim = kill == Some(node);
+            handles.push(scope.spawn(move || {
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(60);
+                loop {
+                    match ctl.get(&wave.object(), wave.size, wave.seed()) {
+                        Ok(()) => return,
+                        Err(_) if is_victim => return, // it died mid-get, by design
+                        Err(e) if Instant::now() >= deadline => {
+                            failed.lock().unwrap().push(format!("node {node}: {e}"));
+                            return;
+                        }
+                        Err(_) => {
+                            // Failover window: reconnect and retry.
+                            std::thread::sleep(Duration::from_millis(200));
+                            // A fresh connection, in case the daemon dropped ours.
+                            if let Ok(fresh) = ControlClient::connect(addr, Duration::from_secs(1))
+                            {
+                                ctl = fresh;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+
+        if let Some(victim) = kill {
+            // Let the gets actually start pulling blocks, then yank the process.
+            while in_flight.load(Ordering::SeqCst) < n - 1 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            let pid = cluster.pid(victim);
+            cluster.kill9(victim).map_err(|e| format!("kill -9 node {victim}: {e}"))?;
+            println!(
+                "drill: kill -9 node {victim} (pid {}) mid-broadcast of {}",
+                pid.unwrap_or(0),
+                wave.object()
+            );
+            cluster.announce_failure(victim).map_err(|e| format!("announce failure: {e}"))?;
+        }
+        for handle in handles {
+            handle.join().map_err(|_| "get thread panicked".to_string())?;
+        }
+        Ok(())
+    })?;
+    let failed = Arc::try_unwrap(failed).unwrap().into_inner().unwrap();
+    if !failed.is_empty() {
+        return Err(format!("wave {}: gets failed: {}", wave.index, failed.join("; ")));
+    }
+
+    // Reduce leg across whoever is alive: each contributes (node+1), node 0
+    // coordinates, everyone alive checks the sum.
+    let alive: Vec<usize> = (0..n).filter(|&node| cluster.pid(node).is_some()).collect();
+    let mut expected = 0.0f32;
+    let mut sources = Vec::new();
+    for &node in &alive {
+        let value = (node + 1) as f32;
+        cluster
+            .control(node)
+            .and_then(|mut c| c.put_f32(&wave.contrib(node), REDUCE_LEN, value))
+            .map_err(|e| format!("wave {}: contrib node {node}: {e}", wave.index))?;
+        expected += value;
+        sources.push(wave.contrib(node));
+    }
+    cluster
+        .control(0)
+        .and_then(|mut c| c.reduce(&wave.sum(), &sources))
+        .map_err(|e| format!("wave {}: reduce: {e}", wave.index))?;
+    for &node in &alive {
+        cluster
+            .control(node)
+            .and_then(|mut c| c.get_f32(&wave.sum(), REDUCE_LEN, expected))
+            .map_err(|e| format!("wave {}: verify sum on node {node}: {e}", wave.index))?;
+    }
+    Ok(())
+}
+
+/// Restart the victim at the next incarnation, wait out its directory resync, and
+/// prove no location record was lost: the restarted node must be able to get every
+/// object broadcast so far, and every survivor must still see them too.
+fn restart_and_verify(
+    cluster: &mut ProcessCluster,
+    victim: usize,
+    n: usize,
+    size: u64,
+    through_wave: usize,
+) -> Result<(), String> {
+    cluster.restart(victim).map_err(|e| format!("restart node {victim}: {e}"))?;
+    println!("drill: node {victim} restarted at incarnation {}", cluster.incarnation(victim));
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = cluster
+            .control(victim)
+            .and_then(|mut c| c.status())
+            .map_err(|e| format!("status node {victim}: {e}"))?;
+        let resyncing = status.get("resyncing").map(String::as_str) == Some("true");
+        let incarnation: u64 = status
+            .get("incarnation")
+            .and_then(|v| v.parse().ok())
+            .ok_or("status missing incarnation")?;
+        if !resyncing {
+            if incarnation != cluster.incarnation(victim) {
+                return Err(format!(
+                    "node {victim} resynced at incarnation {incarnation}, expected {}",
+                    cluster.incarnation(victim)
+                ));
+            }
+            println!("drill: node {victim} resynced at incarnation {incarnation}");
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("node {victim} still resyncing after 30s"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    verify_all(cluster, n, size, through_wave)
+}
+
+/// Every wave object so far, from every running node — the "zero lost location
+/// records" check.
+fn verify_all(
+    cluster: &ProcessCluster,
+    n: usize,
+    size: u64,
+    through_wave: usize,
+) -> Result<(), String> {
+    for index in 0..=through_wave {
+        let wave = Wave { index, size };
+        for node in 0..n {
+            if cluster.pid(node).is_none() {
+                continue;
+            }
+            cluster
+                .control(node)
+                .and_then(|mut c| c.get(&wave.object(), wave.size, wave.seed()))
+                .map_err(|e| format!("verify: node {node} lost {}: {e}", wave.object()))?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_statuses(
+    cluster: &ProcessCluster,
+    n: usize,
+) -> Result<Vec<std::collections::BTreeMap<String, String>>, String> {
+    (0..n)
+        .map(|node| {
+            cluster
+                .control(node)
+                .and_then(|mut c| c.status())
+                .map_err(|e| format!("status node {node}: {e}"))
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drill_report(
+    cluster: &ProcessCluster,
+    n: usize,
+    waves: usize,
+    kill_wave: usize,
+    victim: usize,
+    size: u64,
+    statuses: &[std::collections::BTreeMap<String, String>],
+    elapsed: Duration,
+) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("hoplite-drill-v1".into())),
+        ("nodes".into(), Json::Num(n as f64)),
+        ("waves".into(), Json::Num(waves as f64)),
+        ("kill_wave".into(), Json::Num(kill_wave as f64)),
+        ("victim".into(), Json::Num(victim as f64)),
+        ("victim_incarnation".into(), Json::Num(cluster.incarnation(victim) as f64)),
+        ("object_bytes".into(), Json::Num(size as f64)),
+        ("elapsed_s".into(), Json::Num(elapsed.as_secs_f64())),
+        ("completed".into(), Json::Bool(true)),
+        (
+            "node_status".into(),
+            Json::Arr(
+                statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(node, status)| {
+                        let mut pairs = vec![("node".into(), Json::Num(node as f64))];
+                        for (k, v) in status {
+                            if k == "node" {
+                                continue;
+                            }
+                            pairs.push((
+                                k.clone(),
+                                match v.as_str() {
+                                    "true" => Json::Bool(true),
+                                    "false" => Json::Bool(false),
+                                    other => Json::Num(other.parse().unwrap_or(-1.0)),
+                                },
+                            ));
+                        }
+                        Json::Obj(pairs)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

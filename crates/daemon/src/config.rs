@@ -1,0 +1,89 @@
+//! Daemon configuration: a flat TOML subset mapped onto [`HopliteConfig`].
+//!
+//! The container vendors no TOML crate, so `hoplited` reads the small flat dialect a
+//! deployment actually needs — `key = value` lines, `#` comments, integers, booleans
+//! and durations in milliseconds. Unknown keys are an error (a typo in a config file
+//! must not silently run with defaults).
+
+use hoplite_core::prelude::*;
+
+/// Parse the flat-TOML daemon config dialect into a [`HopliteConfig`], starting from
+/// [`HopliteConfig::default`]. Supported keys:
+///
+/// `block_size`, `inline_threshold`, `store_capacity`, `snapshot_chunk_bytes`,
+/// `directory_inline_cache_bytes`, `directory_log_retention`,
+/// `directory_replication`, `directory_shards`, `directory_chain_replication`,
+/// `pull_timeout_ms`, `directory_lease_ttl_ms`.
+pub fn parse(text: &str) -> std::result::Result<HopliteConfig, String> {
+    let mut cfg = HopliteConfig::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got `{raw}`", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        let int = || -> std::result::Result<u64, String> {
+            value.parse().map_err(|e| format!("line {}: {key} = {value}: {e}", lineno + 1))
+        };
+        let boolean = || -> std::result::Result<bool, String> {
+            value.parse().map_err(|e| format!("line {}: {key} = {value}: {e}", lineno + 1))
+        };
+        match key {
+            "block_size" => cfg.block_size = int()?,
+            "inline_threshold" => cfg.inline_threshold = int()?,
+            "store_capacity" => cfg.store_capacity = int()?,
+            "snapshot_chunk_bytes" => cfg.snapshot_chunk_bytes = int()?,
+            "directory_inline_cache_bytes" => cfg.directory_inline_cache_bytes = int()?,
+            "directory_log_retention" => cfg.directory_log_retention = int()? as usize,
+            "directory_replication" => cfg.directory_replication = int()? as usize,
+            "directory_shards" => cfg.directory_shards = Some(int()? as usize),
+            "directory_chain_replication" => cfg.directory_chain_replication = boolean()?,
+            "pull_timeout_ms" => cfg.pull_timeout = Duration::from_millis(int()?),
+            "directory_lease_ttl_ms" => cfg.directory_lease_ttl = Duration::from_millis(int()?),
+            other => return Err(format!("line {}: unknown config key `{other}`", lineno + 1)),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Load and parse a config file.
+pub fn load(path: &std::path::Path) -> std::result::Result<HopliteConfig, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_keys() {
+        let cfg = parse(
+            "# drill config\n\
+             block_size = 65536\n\
+             inline_threshold = 128   # small objects stay inline\n\
+             directory_replication = 3\n\
+             directory_chain_replication = false\n\
+             pull_timeout_ms = 250\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.block_size, 65536);
+        assert_eq!(cfg.inline_threshold, 128);
+        assert_eq!(cfg.directory_replication, 3);
+        assert!(!cfg.directory_chain_replication);
+        assert_eq!(cfg.pull_timeout, Duration::from_millis(250));
+        // Untouched keys keep their defaults.
+        assert_eq!(cfg.store_capacity, HopliteConfig::default().store_capacity);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_errors() {
+        assert!(parse("block_sz = 1").is_err());
+        assert!(parse("block_size = banana").is_err());
+        assert!(parse("no equals sign").is_err());
+    }
+}

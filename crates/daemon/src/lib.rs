@@ -1,0 +1,17 @@
+//! # hoplite-daemon
+//!
+//! The real multi-process deployment of Hoplite: the `hoplited` node daemon (one
+//! [`hoplite_cluster::host::NodeHost`] over a TCP fabric listener, plus a control
+//! socket) and the `hoplitectl` controller (spawn / status / kill / restart / drill).
+//!
+//! The library half carries what both binaries and the tests share: flag parsing
+//! ([`args`]), the flat-TOML config loader ([`config`]), and the on-disk deployment
+//! state file ([`state`]) that lets separate `hoplitectl` invocations manage the same
+//! running fleet.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod config;
+pub mod state;

@@ -1,0 +1,164 @@
+//! The on-disk deployment state file `hoplitectl` invocations share.
+//!
+//! `hoplitectl spawn` writes `<dir>/cluster.state`; later `status` / `kill` /
+//! `restart` / `stop` invocations (separate processes) load it to find the fleet.
+//! The format is deliberately line-oriented and human-readable:
+//!
+//! ```text
+//! binary /path/to/hoplited
+//! config /path/to/config.toml        # line absent when no config file is used
+//! node 0 127.0.0.1:4000 127.0.0.1:5000 12345 0
+//! node 1 127.0.0.1:4001 127.0.0.1:5001 12346 2
+//! ```
+//!
+//! Each `node` line is: id, fabric address, control address, pid (0 = killed),
+//! incarnation.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+/// One daemon's bookkeeping entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// Fabric listener address.
+    pub fabric: SocketAddr,
+    /// Control socket address.
+    pub control: SocketAddr,
+    /// OS pid of the running daemon, 0 after a kill.
+    pub pid: u32,
+    /// The incarnation the daemon (last) ran at.
+    pub incarnation: u64,
+}
+
+/// The persisted fleet description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterState {
+    /// Path to the `hoplited` binary (for restarts).
+    pub binary: PathBuf,
+    /// Optional config file every daemon is launched with.
+    pub config: Option<PathBuf>,
+    /// Per-node entries, indexed by node id.
+    pub nodes: Vec<NodeEntry>,
+}
+
+impl ClusterState {
+    /// The state file inside a deployment directory.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join("cluster.state")
+    }
+
+    /// Serialize to the line format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("binary {}\n", self.binary.display());
+        if let Some(config) = &self.config {
+            out.push_str(&format!("config {}\n", config.display()));
+        }
+        for (id, n) in self.nodes.iter().enumerate() {
+            out.push_str(&format!(
+                "node {id} {} {} {} {}\n",
+                n.fabric, n.control, n.pid, n.incarnation
+            ));
+        }
+        out
+    }
+
+    /// Parse the line format.
+    pub fn from_text(text: &str) -> Result<ClusterState, String> {
+        let mut binary = None;
+        let mut config = None;
+        let mut nodes: Vec<NodeEntry> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: `{raw}`", lineno + 1);
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("binary") => binary = Some(PathBuf::from(line[6..].trim())),
+                Some("config") => config = Some(PathBuf::from(line[6..].trim())),
+                Some("node") => {
+                    let id: usize =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad id"))?;
+                    if id != nodes.len() {
+                        return Err(err("node ids must be dense and in order"));
+                    }
+                    let fabric = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad fabric addr"))?;
+                    let control = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad control addr"))?;
+                    let pid =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad pid"))?;
+                    let incarnation = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad incarnation"))?;
+                    nodes.push(NodeEntry { fabric, control, pid, incarnation });
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        Ok(ClusterState {
+            binary: binary.ok_or("missing `binary` line".to_string())?,
+            config,
+            nodes,
+        })
+    }
+
+    /// Write the state file into `dir` (atomically via a temp file + rename, so a
+    /// concurrent reader never sees a torn file).
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join("cluster.state.tmp");
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(tmp, Self::path(dir))
+    }
+
+    /// Load the state file from `dir`.
+    pub fn load(dir: &Path) -> io::Result<ClusterState> {
+        let text = std::fs::read_to_string(Self::path(dir))?;
+        Self::from_text(&text).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_the_line_format() {
+        let state = ClusterState {
+            binary: PathBuf::from("/tmp/deploy/hoplited"),
+            config: Some(PathBuf::from("/tmp/deploy/config.toml")),
+            nodes: vec![
+                NodeEntry {
+                    fabric: "127.0.0.1:4000".parse().unwrap(),
+                    control: "127.0.0.1:5000".parse().unwrap(),
+                    pid: 100,
+                    incarnation: 0,
+                },
+                NodeEntry {
+                    fabric: "127.0.0.1:4001".parse().unwrap(),
+                    control: "127.0.0.1:5001".parse().unwrap(),
+                    pid: 0,
+                    incarnation: 3,
+                },
+            ],
+        };
+        assert_eq!(ClusterState::from_text(&state.to_text()).unwrap(), state);
+
+        let without_config = ClusterState { config: None, ..state };
+        assert_eq!(ClusterState::from_text(&without_config.to_text()).unwrap(), without_config);
+    }
+
+    #[test]
+    fn rejects_gaps_and_garbage() {
+        assert!(ClusterState::from_text("node 1 127.0.0.1:1 127.0.0.1:2 0 0").is_err());
+        assert!(ClusterState::from_text("binary /x\nwat 0").is_err());
+        assert!(ClusterState::from_text("").is_err(), "missing binary line");
+    }
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use hoplite_cluster::local::{HopliteClient, LocalCluster};
+use hoplite_cluster::{HopliteClient, LocalCluster};
 use hoplite_core::prelude::*;
 use parking_lot::{Mutex, RwLock};
 // The core prelude exports a single-parameter `Result` alias; this module uses the

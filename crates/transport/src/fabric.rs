@@ -30,11 +30,22 @@ pub trait FabricSender: Send + Sync + 'static {
     /// messages to a dead node are silently dropped (the failure detector reports the
     /// death separately).
     fn send(&self, from: NodeId, to: NodeId, msg: Message);
+
+    /// The failure detector declared `to` dead: tear down any cached transport state
+    /// toward it, so the next send reconnects from scratch. Connection-oriented
+    /// fabrics must implement this — a write into a socket whose remote process was
+    /// SIGKILLed can succeed locally and vanish without an error, so sends after a
+    /// restart would keep feeding a dead connection. Queue-based fabrics need nothing.
+    fn peer_down(&self, _to: NodeId) {}
 }
 
 impl FabricSender for Box<dyn FabricSender> {
     fn send(&self, from: NodeId, to: NodeId, msg: Message) {
         (**self).send(from, to, msg)
+    }
+
+    fn peer_down(&self, to: NodeId) {
+        (**self).peer_down(to)
     }
 }
 
@@ -56,6 +67,12 @@ pub trait Fabric {
     fn reset_receiver(&mut self, _node: NodeId) -> Option<Receiver<(NodeId, Message)>> {
         None
     }
+
+    /// Tell the fabric that `node` restarted and now runs at `incarnation`, so any
+    /// identity the wire carries (the TCP fabric's `Hello` greeting) advertises the
+    /// new incarnation on future connections. Fabrics without wire-level identity
+    /// ignore this, the default.
+    fn note_restart(&mut self, _node: NodeId, _incarnation: u64) {}
 
     /// Transport-level counters (`recv_slab_reuse`, `corked_frames_per_write`), folded
     /// into the cluster's [`NodeMetrics`] by the deployment harness. Fabrics without a

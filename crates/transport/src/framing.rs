@@ -81,6 +81,8 @@ mod tags {
     pub const HELLO: u8 = 26;
     pub const DIR_SNAPSHOT_CHUNK: u8 = 27;
     pub const DIR_RESYNC_DELTA: u8 = 28;
+    pub const PEER_FAILURE_NOTICE: u8 = 29;
+    pub const MEMBERSHIP_DIGEST: u8 = 30;
 }
 
 /// Sub-tags selecting the [`ConfirmKind`] variant inside a `DirConfirm` frame.
@@ -272,6 +274,15 @@ fn put_opt_object(out: &mut FrameWriter, v: Option<ObjectId>) {
             out.put_byte(1);
             out.put(&o.0);
         }
+    }
+}
+
+fn put_digest(out: &mut FrameWriter, entries: &[(NodeId, u64, bool)]) {
+    put_u64(out, entries.len() as u64);
+    for (node, incarnation, alive) in entries {
+        put_node(out, *node);
+        put_u64(out, *incarnation);
+        put_bool(out, *alive);
     }
 }
 
@@ -589,6 +600,16 @@ impl<'a> Reader<'a> {
         }
     }
 
+    fn digest(&mut self) -> Result<Vec<(NodeId, u64, bool)>, FrameError> {
+        // Minimum per entry: 4 node + 8 incarnation + 1 alive flag.
+        let n = self.count(13)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((self.node()?, self.u64()?, self.bool()?));
+        }
+        Ok(entries)
+    }
+
     /// Bounds-check a count field against the *remaining* frame bytes, scaled by the
     /// minimum wire size of one element, before the caller reserves — so a corrupt
     /// or hostile count cannot drive a huge `Vec::with_capacity` (a count of `n`
@@ -805,7 +826,15 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_u64(out, *epoch);
             put_u64(out, *seq);
         }
-        Message::DirSnapshotRequest { shard, requester, restart, after, have_epoch, have_seq } => {
+        Message::DirSnapshotRequest {
+            shard,
+            requester,
+            restart,
+            after,
+            have_epoch,
+            have_seq,
+            digest,
+        } => {
             put_u8(out, tags::DIR_SNAPSHOT_REQUEST);
             put_u64(out, *shard);
             put_node(out, *requester);
@@ -813,6 +842,7 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_opt_object(out, *after);
             put_u64(out, *have_epoch);
             put_u64(out, *have_seq);
+            put_digest(out, digest);
         }
         Message::DirSnapshot { shard, epoch, seq, rank, state } => {
             put_u8(out, tags::DIR_SNAPSHOT);
@@ -842,9 +872,10 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             }
             put_bool(out, *done);
         }
-        Message::DirResynced { node } => {
+        Message::DirResynced { node, incarnation } => {
             put_u8(out, tags::DIR_RESYNCED);
             put_node(out, *node);
+            put_u64(out, *incarnation);
         }
         Message::DirConfirm { object, kind } => {
             put_u8(out, tags::DIR_CONFIRM);
@@ -933,9 +964,19 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_u8(out, tags::REDUCE_RELEASE);
             put_object(out, *target);
         }
-        Message::Hello { node } => {
+        Message::PeerFailureNotice { node, incarnation } => {
+            put_u8(out, tags::PEER_FAILURE_NOTICE);
+            put_node(out, *node);
+            put_u64(out, *incarnation);
+        }
+        Message::MembershipDigest { entries } => {
+            put_u8(out, tags::MEMBERSHIP_DIGEST);
+            put_digest(out, entries);
+        }
+        Message::Hello { node, incarnation } => {
             put_u8(out, tags::HELLO);
             put_node(out, *node);
+            put_u64(out, *incarnation);
         }
     }
 }
@@ -1012,6 +1053,7 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
             after: r.opt_object()?,
             have_epoch: r.u64()?,
             have_seq: r.u64()?,
+            digest: r.digest()?,
         },
         tags::DIR_SNAPSHOT => Message::DirSnapshot {
             shard: r.u64()?,
@@ -1039,7 +1081,7 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
             }
             Message::DirResyncDelta { shard, epoch, ops, done: r.bool()? }
         }
-        tags::DIR_RESYNCED => Message::DirResynced { node: r.node()? },
+        tags::DIR_RESYNCED => Message::DirResynced { node: r.node()?, incarnation: r.u64()? },
         tags::DIR_CONFIRM => {
             let object = r.object()?;
             let kind = match r.u8()? {
@@ -1111,7 +1153,11 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
         }
         tags::REDUCE_DONE => Message::ReduceDone { target: r.object()?, root: r.node()? },
         tags::REDUCE_RELEASE => Message::ReduceRelease { target: r.object()? },
-        tags::HELLO => Message::Hello { node: r.node()? },
+        tags::HELLO => Message::Hello { node: r.node()?, incarnation: r.u64()? },
+        tags::PEER_FAILURE_NOTICE => {
+            Message::PeerFailureNotice { node: r.node()?, incarnation: r.u64()? }
+        }
+        tags::MEMBERSHIP_DIGEST => Message::MembershipDigest { entries: r.digest()? },
         other => return Err(malformed(&format!("unknown frame tag {other}"))),
     };
     r.finish()?;
@@ -1263,6 +1309,8 @@ fn tag_may_pin(tag: u8) -> bool {
             | tags::DIR_RESYNCED
             | tags::DIR_CONFIRM
             | tags::HELLO
+            | tags::PEER_FAILURE_NOTICE
+            | tags::MEMBERSHIP_DIGEST
     )
 }
 
@@ -1648,7 +1696,12 @@ mod tests {
         roundtrip(Message::PullCancel { object: obj, requester: NodeId(1) });
         roundtrip(Message::PullError { object: obj, reason: "object deleted".to_string() });
         roundtrip(Message::ReduceDone { target: obj, root: NodeId(3) });
-        roundtrip(Message::Hello { node: NodeId(11) });
+        roundtrip(Message::Hello { node: NodeId(11), incarnation: 4 });
+        roundtrip(Message::PeerFailureNotice { node: NodeId(6), incarnation: 2 });
+        roundtrip(Message::MembershipDigest { entries: vec![] });
+        roundtrip(Message::MembershipDigest {
+            entries: vec![(NodeId(0), 3, true), (NodeId(5), 1, false)],
+        });
     }
 
     #[test]
@@ -1755,6 +1808,7 @@ mod tests {
             after: None,
             have_epoch: 2,
             have_seq: 41,
+            digest: vec![(NodeId(0), 1, true), (NodeId(2), 2, false)],
         });
         roundtrip(Message::DirSnapshotRequest {
             shard: 8,
@@ -1763,8 +1817,9 @@ mod tests {
             after: Some(obj),
             have_epoch: 0,
             have_seq: 0,
+            digest: vec![],
         });
-        roundtrip(Message::DirResynced { node: NodeId(9) });
+        roundtrip(Message::DirResynced { node: NodeId(9), incarnation: 1 });
         roundtrip(Message::DirConfirm {
             object: obj,
             kind: ConfirmKind::Location { status: ObjectStatus::Partial },
@@ -2003,9 +2058,15 @@ mod tests {
             }
         }
 
+        fn digest(&mut self) -> Vec<(NodeId, u64, bool)> {
+            (0..self.range(0, 4))
+                .map(|_| (self.node(), self.next_u64(), self.range(0, 2) == 1))
+                .collect()
+        }
+
         fn message(&mut self) -> Message {
             use hoplite_core::protocol::ReduceParent;
-            match self.range(0, 28) {
+            match self.range(0, 30) {
                 0 => Message::PushBlock {
                     object: self.object(),
                     offset: self.next_u64(),
@@ -2119,6 +2180,7 @@ mod tests {
                     after: (self.range(0, 2) == 1).then(|| self.object()),
                     have_epoch: self.next_u64(),
                     have_seq: self.next_u64(),
+                    digest: self.digest(),
                 },
                 22 => Message::DirSnapshot {
                     shard: self.next_u64(),
@@ -2127,8 +2189,8 @@ mod tests {
                     rank: self.next_u64(),
                     state: self.snapshot(),
                 },
-                23 => Message::DirResynced { node: self.node() },
-                24 => Message::Hello { node: self.node() },
+                23 => Message::DirResynced { node: self.node(), incarnation: self.next_u64() },
+                24 => Message::Hello { node: self.node(), incarnation: self.next_u64() },
                 25 => Message::DirSnapshotChunk {
                     shard: self.next_u64(),
                     epoch: self.next_u64(),
@@ -2143,6 +2205,10 @@ mod tests {
                     ops: (0..self.range(0, 3)).map(|_| (self.next_u64(), self.dir_op())).collect(),
                     done: self.range(0, 2) == 1,
                 },
+                28 => {
+                    Message::PeerFailureNotice { node: self.node(), incarnation: self.next_u64() }
+                }
+                29 => Message::MembershipDigest { entries: self.digest() },
                 _ => Message::DirConfirm {
                     object: self.object(),
                     kind: match self.range(0, 3) {
@@ -2161,7 +2227,7 @@ mod tests {
     #[test]
     fn fuzz_vectored_encoding_matches_contiguous_for_every_variant() {
         let mut rng = Rng(0x5CA7_7E2F);
-        let mut variants_seen = [false; 28];
+        let mut variants_seen = [false; 30];
         for case in 0..600 {
             let msg = rng.message();
             let contiguous = encode_frame(&msg).unwrap();
@@ -2179,7 +2245,7 @@ mod tests {
         }
         assert!(
             variants_seen.iter().all(|&seen| seen),
-            "600 cases should cover all 28 tags: {variants_seen:?}"
+            "600 cases should cover all 30 tags: {variants_seen:?}"
         );
     }
 
@@ -2270,7 +2336,8 @@ mod tests {
         // Shared storage, not a copy: the segment points at the payload's buffer.
         assert_eq!(frame.segments[0].as_slice().as_ptr(), backing.as_slice().as_ptr());
         // Control messages coalesce to a single contiguous part.
-        let ctl = encode_frame_vectored(&Message::DirResynced { node: NodeId(3) }).unwrap();
+        let ctl = encode_frame_vectored(&Message::DirResynced { node: NodeId(3), incarnation: 0 })
+            .unwrap();
         assert!(ctl.segments.is_empty());
         // Payloads under the threshold coalesce too (short-frame single-syscall path).
         let small = encode_frame_vectored(&Message::PushBlock {
@@ -2553,7 +2620,7 @@ mod tests {
             payload: Payload::Bytes(Bytes::from(vec![5u8; 2 * GATHER_MIN_SEGMENT])),
             complete: true,
         };
-        let ctl = Message::DirResynced { node: NodeId(1) };
+        let ctl = Message::DirResynced { node: NodeId(1), incarnation: 0 };
         let mut expected = Vec::new();
         write_frame_vectored(&mut expected, &ctl).unwrap();
         write_frame_vectored(&mut expected, &ctl).unwrap();

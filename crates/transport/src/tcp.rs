@@ -24,18 +24,26 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use hoplite_core::prelude::*;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::fabric::{Fabric, FabricSender};
 use crate::framing::{write_frame_vectored, Cork, FrameReader};
 
+/// The shared, swappable table of per-node ingress queues. Reader threads look the
+/// current queue up per frame, so swapping a slot (node restart) atomically reroutes
+/// every surviving connection to the new incarnation's queue.
+type IngressTable = Arc<RwLock<Vec<Sender<(NodeId, Message)>>>>;
+
 /// A TCP-backed fabric for `n` co-hosted (or genuinely remote) nodes.
 pub struct TcpFabric {
     addrs: Arc<Vec<SocketAddr>>,
+    ingress: IngressTable,
     receivers: Vec<Option<Receiver<(NodeId, Message)>>>,
+    incarnations: Arc<RwLock<Vec<u64>>>,
     recv_slab_reuses: Arc<AtomicU64>,
     corked_frames: Arc<AtomicU64>,
     corked_writes: Arc<AtomicU64>,
@@ -52,6 +60,7 @@ type EdgeMap = Arc<Mutex<HashMap<(u32, u32), Sender<Message>>>>;
 pub struct TcpFabricSender {
     addrs: Arc<Vec<SocketAddr>>,
     edges: EdgeMap,
+    incarnations: Arc<RwLock<Vec<u64>>>,
     corked_frames: Arc<AtomicU64>,
     corked_writes: Arc<AtomicU64>,
 }
@@ -61,6 +70,7 @@ impl TcpFabric {
     pub fn new(n: usize) -> std::io::Result<Self> {
         let mut addrs = Vec::with_capacity(n);
         let mut listeners = Vec::with_capacity(n);
+        let mut ingress = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         let mut accept_threads = Vec::new();
         let recv_slab_reuses = Arc::new(AtomicU64::new(0));
@@ -68,16 +78,21 @@ impl TcpFabric {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             addrs.push(listener.local_addr()?);
             let (tx, rx) = unbounded();
+            ingress.push(tx);
             receivers.push(Some(rx));
-            listeners.push((listener, tx));
+            listeners.push(listener);
         }
-        for (listener, tx) in listeners {
+        let ingress = Arc::new(RwLock::new(ingress));
+        for (slot, listener) in listeners.into_iter().enumerate() {
             let reuses = recv_slab_reuses.clone();
-            accept_threads.push(thread::spawn(move || accept_loop(listener, tx, reuses)));
+            let table = ingress.clone();
+            accept_threads.push(thread::spawn(move || accept_loop(listener, slot, table, reuses)));
         }
         Ok(TcpFabric {
             addrs: Arc::new(addrs),
+            ingress,
             receivers,
+            incarnations: Arc::new(RwLock::new(vec![0; n])),
             recv_slab_reuses,
             corked_frames: Arc::new(AtomicU64::new(0)),
             corked_writes: Arc::new(AtomicU64::new(0)),
@@ -85,9 +100,58 @@ impl TcpFabric {
         })
     }
 
+    /// Bind only `me`'s listener from a cluster address map — the one-node-per-process
+    /// shape `hoplited` runs. `addrs` must list every node's fabric address (fixed
+    /// ports agreed out of band); only `addrs[me]` is bound locally, the rest are dialed
+    /// on demand. A port still held by a just-killed previous incarnation is retried
+    /// for a few seconds before giving up, so a supervisor can restart a daemon
+    /// immediately after `kill -9` without racing the kernel's socket teardown.
+    pub fn bind_node(me: NodeId, addrs: &[SocketAddr], incarnation: u64) -> std::io::Result<Self> {
+        let n = addrs.len();
+        let listener = bind_with_retry(addrs[me.index()])?;
+        let mut addrs = addrs.to_vec();
+        // Resolve a requested port 0 to the port actually bound.
+        addrs[me.index()] = listener.local_addr()?;
+        let mut ingress = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded();
+            ingress.push(tx);
+            receivers.push((i == me.index()).then_some(rx));
+        }
+        let ingress = Arc::new(RwLock::new(ingress));
+        let recv_slab_reuses = Arc::new(AtomicU64::new(0));
+        let mut incarnations = vec![0; n];
+        incarnations[me.index()] = incarnation;
+        let accept = {
+            let table = ingress.clone();
+            let reuses = recv_slab_reuses.clone();
+            let slot = me.index();
+            thread::spawn(move || accept_loop(listener, slot, table, reuses))
+        };
+        Ok(TcpFabric {
+            addrs: Arc::new(addrs),
+            ingress,
+            receivers,
+            incarnations: Arc::new(RwLock::new(incarnations)),
+            recv_slab_reuses,
+            corked_frames: Arc::new(AtomicU64::new(0)),
+            corked_writes: Arc::new(AtomicU64::new(0)),
+            _listeners: vec![accept],
+        })
+    }
+
     /// Addresses of every node's listener (diagnostics).
     pub fn addresses(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// Record `node`'s current incarnation. New connections *from* `node` greet peers
+    /// with this value in their [`Message::Hello`]; existing edges are unaffected
+    /// (their Hello already went out), so pair this with
+    /// [`TcpFabricSender::drop_edges_from`] when restarting an in-process node.
+    pub fn set_incarnation(&self, node: NodeId, incarnation: u64) {
+        self.incarnations.write()[node.index()] = incarnation;
     }
 
     /// Receive slabs served by pool reuse instead of a fresh allocation, across every
@@ -97,20 +161,55 @@ impl TcpFabric {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<(NodeId, Message)>, slab_reuses: Arc<AtomicU64>) {
+/// Bind `addr`, retrying `AddrInUse` for a few seconds. A daemon restarted in place
+/// of a `kill -9`'d predecessor can land before the kernel has torn the old socket
+/// down; anything else (privilege, bad address) fails immediately.
+fn bind_with_retry(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    let mut last = None;
+    for _ in 0..60 {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                last = Some(e);
+                thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    slot: usize,
+    ingress: IngressTable,
+    slab_reuses: Arc<AtomicU64>,
+) {
     for stream in listener.incoming() {
         let Ok(stream) = stream else { return };
-        let tx = tx.clone();
+        let ingress = ingress.clone();
         let slab_reuses = slab_reuses.clone();
         thread::spawn(move || {
             let mut reader = FrameReader::new(stream);
-            // First frame identifies the peer.
-            let Ok(Message::Hello { node: from }) = reader.read_message() else { return };
+            // First frame identifies the peer (and its incarnation). The Hello is
+            // forwarded to the node like any other frame: a survivor that sees a
+            // restarted peer reconnect learns the new incarnation from it.
+            let Ok(Message::Hello { node: from, incarnation }) = reader.read_message() else {
+                return;
+            };
+            if ingress.read()[slot]
+                .send((from, Message::Hello { node: from, incarnation }))
+                .is_err()
+            {
+                return;
+            }
             loop {
                 match reader.read_message() {
                     Ok(msg) => {
                         slab_reuses.fetch_add(reader.take_slab_reuses(), Ordering::Relaxed);
-                        if tx.send((from, msg)).is_err() {
+                        // Look the queue up per frame: a restart swaps the slot, and
+                        // this connection must start feeding the new incarnation.
+                        if ingress.read()[slot].send((from, msg)).is_err() {
                             return;
                         }
                     }
@@ -132,11 +231,26 @@ impl Fabric for TcpFabric {
         TcpFabricSender {
             addrs: self.addrs.clone(),
             edges: Arc::new(Mutex::new(HashMap::new())),
+            incarnations: self.incarnations.clone(),
             // Cork counters are shared with the fabric (and every other sender it
             // hands out), so `transport_metrics` sees fabric-wide totals.
             corked_frames: self.corked_frames.clone(),
             corked_writes: self.corked_writes.clone(),
         }
+    }
+
+    fn note_restart(&mut self, node: NodeId, incarnation: u64) {
+        self.set_incarnation(node, incarnation);
+    }
+
+    fn reset_receiver(&mut self, node: NodeId) -> Option<Receiver<(NodeId, Message)>> {
+        let (tx, rx) = unbounded();
+        // Swapping the slot drops the old sender; frames queued for the previous
+        // incarnation go with it, and every live reader thread picks up the new
+        // queue on its next frame.
+        self.ingress.write()[node.index()] = tx;
+        self.receivers[node.index()] = None;
+        Some(rx)
     }
 
     fn transport_metrics(&self) -> NodeMetrics {
@@ -160,6 +274,14 @@ impl TcpFabricSender {
         self.corked_writes.load(Ordering::Relaxed)
     }
 
+    /// Tear down every outgoing edge whose source is `from`. Writer threads exit as
+    /// their queues disconnect; the next send from `from` reconnects and greets with
+    /// a fresh [`Message::Hello`] — the restart path for an in-process node whose
+    /// incarnation just changed.
+    pub fn drop_edges_from(&self, from: NodeId) {
+        self.edges.lock().retain(|&(f, _), _| f != from.0);
+    }
+
     /// The queue feeding `(from, to)`'s writer thread, connecting (and greeting with
     /// [`Message::Hello`]) on first use.
     fn edge(&self, from: NodeId, to: NodeId) -> Option<Sender<Message>> {
@@ -169,7 +291,8 @@ impl TcpFabricSender {
         }
         let mut stream = TcpStream::connect(self.addrs[to.index()]).ok()?;
         stream.set_nodelay(true).ok()?;
-        write_frame_vectored(&mut stream, &Message::Hello { node: from }).ok()?;
+        let incarnation = self.incarnations.read().get(from.index()).copied().unwrap_or(0);
+        write_frame_vectored(&mut stream, &Message::Hello { node: from, incarnation }).ok()?;
         let (tx, rx) = unbounded();
         let corked_frames = self.corked_frames.clone();
         let corked_writes = self.corked_writes.clone();
@@ -233,12 +356,32 @@ impl FabricSender for TcpFabricSender {
             }
         }
     }
+
+    fn peer_down(&self, to: NodeId) {
+        // Connections into a SIGKILLed process die silently: the first write after
+        // its death lands in a half-closed socket and "succeeds", so error-driven
+        // cleanup never fires. Drop every edge toward the peer on the detector's
+        // verdict; the next send dials a fresh connection (which reaches the peer's
+        // replacement process once it rebinds).
+        self.edges.lock().retain(|&(_, t), _| t != to.0);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::time::Duration as StdDuration;
+
+    /// Receive the next non-Hello frame (every edge now leads with a forwarded
+    /// [`Message::Hello`]; tests that care about data frames skip it).
+    fn recv_data(rx: &Receiver<(NodeId, Message)>) -> (NodeId, Message) {
+        loop {
+            let (from, msg) = rx.recv_timeout(StdDuration::from_secs(10)).unwrap();
+            if !matches!(msg, Message::Hello { .. }) {
+                return (from, msg);
+            }
+        }
+    }
 
     #[test]
     fn tcp_fabric_delivers_messages_with_sender_identity() {
@@ -256,7 +399,7 @@ mod tests {
                 complete: true,
             },
         );
-        let (from, msg) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        let (from, msg) = recv_data(&rx);
         assert_eq!(from, NodeId(0));
         match msg {
             Message::PushBlock { payload, complete, .. } => {
@@ -291,7 +434,7 @@ mod tests {
                 complete: true,
             },
         );
-        let (from, msg) = rx.recv_timeout(StdDuration::from_secs(10)).unwrap();
+        let (from, msg) = recv_data(&rx);
         assert_eq!(from, NodeId(0));
         match msg {
             Message::PushBlock { payload: received, total_size, .. } => {
@@ -346,7 +489,7 @@ mod tests {
             sender.send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: i });
         }
         for i in 0..N {
-            let (_, msg) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+            let (_, msg) = recv_data(&rx);
             match msg {
                 Message::DirAck { seq, .. } => assert_eq!(seq, i),
                 other => panic!("unexpected message {other:?}"),
@@ -380,7 +523,7 @@ mod tests {
                     complete: false,
                 },
             );
-            let (_, msg) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+            let (_, msg) = recv_data(&rx);
             assert!(matches!(msg, Message::PushBlock { .. }));
             drop(msg);
         }
@@ -468,5 +611,95 @@ mod tests {
         drop(downstream);
         producer.join().unwrap();
         assert!(sink.join().unwrap() >= TOTAL as u64);
+    }
+
+    #[test]
+    fn hello_carries_incarnation_and_is_forwarded_to_the_node() {
+        let mut fabric = TcpFabric::new(2).unwrap();
+        fabric.set_incarnation(NodeId(0), 3);
+        let rx = fabric.take_receiver(NodeId(1));
+        let sender = fabric.sender();
+        sender.send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: 1 });
+        let (from, msg) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!(from, NodeId(0));
+        assert_eq!(msg, Message::Hello { node: NodeId(0), incarnation: 3 });
+        assert!(matches!(recv_data(&rx).1, Message::DirAck { .. }));
+    }
+
+    #[test]
+    fn reset_receiver_reroutes_live_connections_to_the_new_queue() {
+        let mut fabric = TcpFabric::new(2).unwrap();
+        let rx = fabric.take_receiver(NodeId(1));
+        let sender = fabric.sender();
+        sender.send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: 1 });
+        assert!(matches!(recv_data(&rx).1, Message::DirAck { seq: 1, .. }));
+
+        // Restart node 1: swap its queue. The already-established connection from
+        // node 0 must start feeding the new queue without reconnecting.
+        let rx2 = fabric.reset_receiver(NodeId(1)).expect("tcp fabric supports restarts");
+        drop(rx);
+        sender.send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: 2 });
+        assert!(matches!(recv_data(&rx2).1, Message::DirAck { seq: 2, .. }));
+    }
+
+    #[test]
+    fn bind_node_pair_talks_across_fabric_instances() {
+        // Reserve two ports, then bind one single-node fabric per "process" against
+        // the shared address map — the hoplited deployment shape in miniature.
+        let reserve: Vec<TcpListener> =
+            (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<SocketAddr> = reserve.iter().map(|l| l.local_addr().unwrap()).collect();
+        drop(reserve);
+
+        let mut a = TcpFabric::bind_node(NodeId(0), &addrs, 0).unwrap();
+        let mut b = TcpFabric::bind_node(NodeId(1), &addrs, 2).unwrap();
+        let rx_a = a.take_receiver(NodeId(0));
+        let rx_b = b.take_receiver(NodeId(1));
+
+        a.sender().send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: 7 });
+        let (from, hello) = rx_b.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!((from, hello), (NodeId(0), Message::Hello { node: NodeId(0), incarnation: 0 }));
+        assert!(matches!(recv_data(&rx_b).1, Message::DirAck { seq: 7, .. }));
+
+        // And the reverse direction advertises b's non-zero incarnation.
+        b.sender().send(NodeId(1), NodeId(0), Message::DirAck { shard: 0, epoch: 1, seq: 8 });
+        let (from, hello) = rx_a.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!((from, hello), (NodeId(1), Message::Hello { node: NodeId(1), incarnation: 2 }));
+        assert!(matches!(recv_data(&rx_a).1, Message::DirAck { seq: 8, .. }));
+    }
+
+    #[test]
+    fn bind_node_retries_a_port_still_held_by_a_dying_predecessor() {
+        let holder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![holder.local_addr().unwrap()];
+        let release = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(300));
+            drop(holder);
+        });
+        // SO_REUSEADDR makes a same-process rebind of a *closed* listener succeed;
+        // while `holder` is live the bind fails with AddrInUse and must be retried.
+        let fabric = TcpFabric::bind_node(NodeId(0), &addrs, 1).unwrap();
+        release.join().unwrap();
+        assert_eq!(fabric.addresses()[0], addrs[0]);
+    }
+
+    #[test]
+    fn drop_edges_from_reconnects_with_a_fresh_hello() {
+        let mut fabric = TcpFabric::new(2).unwrap();
+        let rx = fabric.take_receiver(NodeId(1));
+        let sender = fabric.sender();
+        sender.send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: 1 });
+        let (_, hello) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!(hello, Message::Hello { node: NodeId(0), incarnation: 0 });
+        assert!(matches!(recv_data(&rx).1, Message::DirAck { .. }));
+
+        // Node 0 "restarts": bump its incarnation and tear down its outgoing edges.
+        // The next send reconnects and the peer sees the new incarnation.
+        fabric.set_incarnation(NodeId(0), 1);
+        sender.drop_edges_from(NodeId(0));
+        sender.send(NodeId(0), NodeId(1), Message::DirAck { shard: 0, epoch: 1, seq: 2 });
+        let (_, hello) = rx.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!(hello, Message::Hello { node: NodeId(0), incarnation: 1 });
+        assert!(matches!(recv_data(&rx).1, Message::DirAck { seq: 2, .. }));
     }
 }
