@@ -99,8 +99,10 @@ impl SimActor for HopliteActor {
 
     fn on_start(&mut self, ctx: &mut SimContext<'_, Message>) {
         if !self.booted {
-            // Cold boot: the node constructed in `new` is already current.
+            // Cold boot: the node constructed in `new` is already current. Arm
+            // self-driven machinery (the SWIM probe timer, when configured).
             self.booted = true;
+            self.drive(NodeEvent::Started, ctx);
             return;
         }
         // Recovery restart: model a fresh process — empty store, empty directory
@@ -116,6 +118,7 @@ impl SimActor for HopliteActor {
         );
         self.runtime = NodeRuntime::new(node);
         self.drive(NodeEvent::Restarted, ctx);
+        self.drive(NodeEvent::Started, ctx);
     }
 
     fn on_message(&mut self, from: usize, msg: Message, ctx: &mut SimContext<'_, Message>) {

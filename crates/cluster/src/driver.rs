@@ -41,6 +41,11 @@ pub enum NodeEvent {
     /// recovery (snapshot requests + log catch-up + `DirResynced` announcement).
     /// Backends deliver this exactly once, as the first event of a restarted node.
     Restarted,
+    /// This node's event loop is live (cold boot, or right after
+    /// [`NodeEvent::Restarted`] on a restart): arm self-driven machinery — today
+    /// the SWIM failure detector's probe timer, when one is configured. Backends
+    /// deliver this once per process lifetime, before any other traffic.
+    Started,
 }
 
 /// How a backend executes the effects the core requests. One implementation per
@@ -58,6 +63,12 @@ pub trait DriverPort {
     /// Advisory: `object`'s local watermark advanced. Backends that stream data to
     /// workers before an object completes use this; others ignore it.
     fn local_progress(&mut self, _object: ObjectId, _watermark: u64, _total_size: u64) {}
+
+    /// The node's failure machinery declared `node` dead (detector verdict,
+    /// gossiped death, or digest): backends holding real per-peer transport state
+    /// tear it down, exactly as on a supervisor-issued failure command. Default
+    /// no-op for backends without per-peer connections (the simulator).
+    fn peer_down(&mut self, _node: NodeId) {}
 }
 
 /// One node plus the event/effect pump every backend shares.
@@ -97,6 +108,7 @@ impl NodeRuntime {
                 self.node.handle_peer_recovered(now, peer, &mut self.effects)
             }
             NodeEvent::Restarted => self.node.begin_recovery(now, &mut self.effects),
+            NodeEvent::Started => self.node.handle_started(now, &mut self.effects),
         }
         for effect in self.effects.drain(..) {
             match effect {
@@ -106,6 +118,7 @@ impl NodeRuntime {
                 Effect::LocalProgress { object, watermark, total_size } => {
                     port.local_progress(object, watermark, total_size)
                 }
+                Effect::PeerDown { node } => port.peer_down(node),
             }
         }
     }

@@ -259,6 +259,13 @@ impl<S: FabricSender> DriverPort for RealPort<'_, S> {
     fn set_timer(&mut self, token: TimerToken, delay: Duration) {
         self.timers.push(Reverse((Instant::now() + delay.to_std(), token)));
     }
+
+    fn peer_down(&mut self, node: NodeId) {
+        // The node's own failure machinery (detector verdict, gossiped death,
+        // digest) declared `node` dead: tear down cached connections toward it,
+        // exactly as when a supervisor-relayed notice arrives over the fabric.
+        self.fabric.peer_down(node);
+    }
 }
 
 fn node_event_loop<S: FabricSender>(
@@ -286,6 +293,17 @@ fn node_event_loop<S: FabricSender>(
             timers: &mut timers,
         };
         runtime.handle(Time(0), NodeEvent::Restarted, &mut port);
+    }
+    {
+        // Cold boot or restart alike: the loop is live, so arm self-driven
+        // machinery (the SWIM probe timer, when a detector is configured).
+        let mut port = RealPort {
+            me,
+            fabric: &fabric_tx,
+            pending_replies: &mut pending_replies,
+            timers: &mut timers,
+        };
+        runtime.handle(Time(epoch.elapsed().as_nanos() as u64), NodeEvent::Started, &mut port);
     }
 
     loop {

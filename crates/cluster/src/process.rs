@@ -76,6 +76,60 @@ impl ControlClient {
         Ok(ControlClient { reader: BufReader::new(stream) })
     }
 
+    /// Connect with bounded retry: up to `attempts` tries, sleeping an exponentially
+    /// doubling backoff (starting at `base`, capped at one second) between them. A
+    /// daemon that is still binding its control socket — or mid-restart — refuses
+    /// connections for a moment; callers that can tolerate that window use this
+    /// instead of hand-rolled sleep loops. The last error is returned verbatim.
+    pub fn connect_retrying(addr: SocketAddr, attempts: u32, base: Duration) -> io::Result<Self> {
+        assert!(attempts >= 1, "at least one attempt");
+        let mut backoff = base;
+        let mut last = None;
+        for attempt in 0..attempts {
+            match ControlClient::connect(addr, Duration::from_millis(250)) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+        Err(last.expect("attempts >= 1 recorded an error"))
+    }
+
+    /// One request with bounded retry over fresh connections: on a transport error
+    /// (refused, reset, unexpected EOF) the request line is replayed on a new
+    /// connection, up to `attempts` tries with the [`ControlClient::connect_retrying`]
+    /// backoff schedule. An `err ...` *reply* is returned immediately — the daemon
+    /// answered, retrying would not change its mind. Only for idempotent request
+    /// lines (everything in the control vocabulary is).
+    pub fn request_retrying(
+        addr: SocketAddr,
+        line: &str,
+        attempts: u32,
+        base: Duration,
+    ) -> io::Result<String> {
+        assert!(attempts >= 1, "at least one attempt");
+        let mut backoff = base;
+        let mut last = None;
+        for attempt in 0..attempts {
+            match ControlClient::connect(addr, Duration::from_millis(250))
+                .and_then(|mut c| c.request(line))
+            {
+                Ok(reply) => return Ok(reply),
+                // A daemon that parsed the request and said `err` will keep saying it.
+                Err(e) if e.to_string().contains("daemon replied") => return Err(e),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+        Err(last.expect("attempts >= 1 recorded an error"))
+    }
+
     /// Send one request line, read one reply line. Returns the reply payload after
     /// the `ok ` prefix; an `err ...` reply becomes an `io::Error`.
     pub fn request(&mut self, line: &str) -> io::Result<String> {
@@ -307,6 +361,19 @@ impl ProcessCluster {
             }
         }
         Ok(())
+    }
+
+    /// Restart a killed daemon at the next incarnation with `--recover`, delivering
+    /// **no** recovery verdict: survivors must learn of the comeback from the
+    /// restarted daemon's own traffic (`Hello` at the bumped incarnation, resync
+    /// snapshot requests, and — when the SWIM detector is on — its alive claims in
+    /// piggybacked gossip). The verdict-free kill drill (`drill --detect`) restarts
+    /// through this path.
+    pub fn restart_undetected(&mut self, node: usize) -> io::Result<()> {
+        assert!(self.children[node].is_none(), "restart requires a killed node");
+        self.incarnations[node] += 1;
+        self.spawn_daemon(node, true)?;
+        self.wait_ready(node, Duration::from_secs(30))
     }
 
     /// Ask every running daemon to exit cleanly, then reap them.

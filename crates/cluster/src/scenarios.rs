@@ -481,6 +481,134 @@ pub fn rolling_restart_collectives(
     }
 }
 
+/// Outcome of the gossip-detector partition drill.
+#[derive(Clone, Debug)]
+pub struct SuspicionRefutationResult {
+    /// Direct probes sent cluster-wide (the detector was actually running).
+    pub probes_sent: u64,
+    /// Suspicion verdicts raised or learned across the cluster.
+    pub suspicions_raised: u64,
+    /// Incarnation-bumping refutations sent by suspected-but-alive nodes.
+    pub refutations_sent: u64,
+    /// Death verdicts declared by any detector (the zero-false-positive target).
+    pub deaths_declared: u64,
+    /// Deaths learned via gossip (must also stay zero).
+    pub deaths_learned: u64,
+    /// Gossip entries piggybacked on probe traffic.
+    pub gossip_entries: u64,
+    /// `Get`s that completed across both traffic waves.
+    pub gets_completed: usize,
+    /// `Get`s submitted.
+    pub gets_expected: usize,
+}
+
+/// Drive the SWIM failure detector through a transient partition plus a straggler
+/// window, and require **zero deaths**: the partitioned node is suspected (its acks
+/// stall at the cut), the partition heals inside the suspicion window, the suspect
+/// learns of the suspicion from the destination-priority gossip entry on the next
+/// probe it receives, refutes by bumping its incarnation, and the refutation gossips
+/// back before any suspicion expires. A second node is meanwhile slowed 4–10× with
+/// bulk traffic on its NIC — slow must never be mistaken for dead. `seed` jitters the
+/// victim choice, partition timing, and straggler factor.
+pub fn partition_suspicion_refuted(
+    env: &ScenarioEnv,
+    n: usize,
+    seed: u64,
+) -> SuspicionRefutationResult {
+    assert!(n >= 4, "need a victim, a straggler, and quorum traffic");
+    let mut hoplite = env.hoplite.clone();
+    let detector = DetectorConfig {
+        probe_period: Duration::from_millis(100),
+        ack_timeout: Duration::from_millis(40),
+        suspicion_multiplier: 30, // 3 s window: partitions below heal inside it
+        indirect_fanout: 3,
+        gossip_budget: 6,
+    };
+    hoplite.detector = Some(detector.clone());
+    let mut cluster = SimCluster::new(n, hoplite, env.network.clone());
+
+    let mut lcg = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    let victim = (next() as usize) % n;
+    let straggler = (victim + 1) % n;
+    let source = (victim + 2) % n;
+
+    // Pre-partition traffic: a broadcast everyone finishes before the cut lands.
+    let obj = ObjectId::from_name(&format!("suspicion-pre-{seed}"));
+    cluster.submit_at(
+        SimTime::ZERO,
+        source,
+        ClientOp::Put { object: obj, payload: Payload::synthetic(8 * 1024 * 1024) },
+    );
+    let mut gets: Vec<OpHandle> = (0..n)
+        .filter(|&node| node != source)
+        .map(|node| {
+            cluster.submit_at(SimTime::from_secs_f64(0.3), node, ClientOp::Get { object: obj })
+        })
+        .collect();
+
+    // The cut: the victim alone on one side, from inside the probe cadence, healing
+    // well inside the 3 s suspicion window. Messages stall at the cut (TCP
+    // retransmits); suspicion arises from the *local* ack timeout on both sides.
+    let cut_at = 0.8 + (next() % 20) as f64 * 0.01;
+    let heal_at = cut_at + 0.4 + (next() % 20) as f64 * 0.01;
+    let side: Vec<bool> = (0..n).map(|node| node == victim).collect();
+    cluster.partition_between(
+        SimTime::from_secs_f64(cut_at),
+        SimTime::from_secs_f64(heal_at),
+        side,
+    );
+
+    // The straggler window: 4–10× NIC slow-down overlapping the partition, with bulk
+    // bytes on its queue. Probes are control-sized and must keep flowing.
+    let factor = 4.0 + (next() % 7) as f64;
+    cluster.slow_node_between(
+        straggler,
+        SimTime::from_secs_f64(0.5),
+        SimTime::from_secs_f64(heal_at + 2.0),
+        factor,
+    );
+
+    // Post-heal traffic, including from the refuted victim: the cluster must still
+    // serve everyone once suspicions have been cleared.
+    let post = ObjectId::from_name(&format!("suspicion-post-{seed}"));
+    let post_at = heal_at + 2.5;
+    cluster.submit_at(
+        SimTime::from_secs_f64(post_at),
+        victim,
+        ClientOp::Put { object: post, payload: Payload::synthetic(4 * 1024 * 1024) },
+    );
+    gets.extend((0..n).filter(|&node| node != victim).map(|node| {
+        cluster.submit_at(
+            SimTime::from_secs_f64(post_at + 0.2),
+            node,
+            ClientOp::Get { object: post },
+        )
+    }));
+
+    // Run past every possible suspicion expiry (last suspicion starts before the
+    // heal; window is 3 s): if any refutation failed to land, a death would be
+    // declared inside this horizon and the assertions below would catch it.
+    cluster.run_until(SimTime::from_secs_f64(
+        post_at + detector.suspicion_window().as_nanos() as f64 * 1e-9 + 2.0,
+    ));
+
+    let totals = cluster.total_metrics();
+    SuspicionRefutationResult {
+        probes_sent: totals.probes_sent,
+        suspicions_raised: totals.suspicions_raised,
+        refutations_sent: totals.refutations_sent,
+        deaths_declared: totals.deaths_declared,
+        deaths_learned: totals.membership_deaths_learned,
+        gossip_entries: totals.gossip_entries_piggybacked,
+        gets_completed: gets.iter().filter(|&&h| cluster.done_time(h).is_some()).count(),
+        gets_expected: gets.len(),
+    }
+}
+
 /// Directory microbenchmark (§5.1.1): latency of fetching a small (inline-cached)
 /// object from another node, which is one location query round trip.
 pub fn directory_fetch_latency(env: &ScenarioEnv, size: u64) -> ScenarioResult {
@@ -990,6 +1118,19 @@ mod tests {
             r.snapshot_chunks_sent,
             r.chunk_budget
         );
+    }
+
+    #[test]
+    fn partition_suspicion_is_refuted_with_zero_deaths() {
+        let env = ScenarioEnv::paper_testbed();
+        let r = partition_suspicion_refuted(&env, 6, 0);
+        assert!(r.probes_sent > 0, "the detector was probing");
+        assert!(r.suspicions_raised >= 1, "the cut drove at least one suspicion");
+        assert!(r.refutations_sent >= 1, "the suspect refuted with an incarnation bump");
+        assert_eq!(r.deaths_declared, 0, "transient partition must not kill anyone");
+        assert_eq!(r.deaths_learned, 0, "no death gossip either");
+        assert!(r.gossip_entries > 0, "membership rode piggybacked on probes");
+        assert_eq!(r.gets_completed, r.gets_expected, "traffic completed across the cut");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use hoplite_cluster::scenarios::{
     chain_kill_drill, directory_failover_broadcast, mid_chain_resync_under_load,
-    rolling_restart_collectives, ChainKill, ScenarioEnv,
+    partition_suspicion_refuted, rolling_restart_collectives, ChainKill, ScenarioEnv,
 };
 use hoplite_core::prelude::NodeId;
 
@@ -181,6 +181,34 @@ fn soak_mid_chain_resync_seeds() {
         });
     }
     eprintln!("soak_mid_chain_resync_seeds: {SEEDS} seeds green");
+}
+
+/// SWIM-detector false-positive sweep: at every seed, a transient partition drives
+/// suspicion and a 4–10× straggler carries bulk traffic while being probed. The
+/// detector must end every seed with zero deaths — the suspect's incarnation-bump
+/// refutation lands inside the suspicion window, and slow is never mistaken for
+/// dead — while traffic on both sides of the cut completes.
+#[test]
+#[ignore = "soak lane: run via the CI scenario-soak step or with -- --ignored"]
+fn soak_detector_false_positive_seeds() {
+    for seed in 0..SEEDS {
+        with_seed("partition_suspicion_refuted", seed, move || {
+            let mut lcg = Lcg::new(seed ^ 0x5A11_D0C7);
+            let n = lcg.pick(4, 9) as usize;
+            let env = ScenarioEnv::paper_testbed();
+            let r = partition_suspicion_refuted(&env, n, seed);
+            assert!(r.probes_sent > 0, "seed {seed}: detector probing (n={n})");
+            assert!(r.suspicions_raised >= 1, "seed {seed}: the cut drove suspicion (n={n})");
+            assert!(r.refutations_sent >= 1, "seed {seed}: refutation sent (n={n})");
+            assert_eq!(r.deaths_declared, 0, "seed {seed}: zero false-positive deaths (n={n})");
+            assert_eq!(r.deaths_learned, 0, "seed {seed}: no death gossip (n={n})");
+            assert_eq!(
+                r.gets_completed, r.gets_expected,
+                "seed {seed}: traffic completed on both sides of the cut (n={n})"
+            );
+        });
+    }
+    eprintln!("soak_detector_false_positive_seeds: {SEEDS} seeds green");
 }
 
 /// Chain-replication kill drills (r = 3): at every seed, kill the head, the middle,

@@ -1,5 +1,6 @@
 //! Configuration of a Hoplite deployment.
 
+use crate::detector::DetectorConfig;
 use crate::time::Duration;
 
 /// Size thresholds and protocol parameters of a Hoplite node.
@@ -72,6 +73,11 @@ pub struct HopliteConfig {
     /// untouched for two GC ticks (the tick period is `directory_lease_ttl`) are
     /// evicted. `None` disables TTL GC; capacity-pressure LRU eviction still runs.
     pub store_gc_ttl: Option<Duration>,
+    /// SWIM-style gossip failure detector. `None` (the default) disables it:
+    /// liveness then comes only from driver verdicts (`peer-failed` notices, the
+    /// simulator's fault schedule), exactly as before. `Some` arms a per-node
+    /// probe/suspect/refute loop — see [`crate::detector`].
+    pub detector: Option<DetectorConfig>,
 }
 
 impl Default for HopliteConfig {
@@ -93,6 +99,7 @@ impl Default for HopliteConfig {
             directory_log_retention: 1024,
             directory_lease_ttl: Duration::from_secs(30),
             store_gc_ttl: None,
+            detector: None,
         }
     }
 }

@@ -1,0 +1,812 @@
+//! SWIM-style gossip failure detector (decentralized liveness, §3.5 companion).
+//!
+//! [`MembershipView`](crate::membership::MembershipView) arbitrates *evidence* of
+//! deaths and restarts but is deliberately dumb about *detection*. Until now the
+//! only detectors were drivers with god's-eye views: the simulator's fault
+//! schedule and `hoplitectl`'s explicit `peer-failed` verdicts. This module adds
+//! the missing decentralized detector in the same sans-IO style: a pure,
+//! tick-driven state machine that each node runs against its own clock.
+//!
+//! The protocol is SWIM (Das, Gupta, Motivala 2002) with the incarnation
+//! refinement from Lifeguard-era practice:
+//!
+//! * every probe period the node pings one peer, walking a shuffled ring so
+//!   probing is round-robin-random (every peer probed once per cycle);
+//! * a missed direct ack escalates to `k` indirect **ping-req**s through random
+//!   relays before the peer is moved to **Suspect**;
+//! * a Suspect peer that stays silent for the suspicion window is declared
+//!   **Dead** — the verdict feeds the exact same failure path a supervisor
+//!   notice would;
+//! * a suspected-but-alive node *refutes* by bumping its incarnation and
+//!   gossiping the newer liveness claim; `MembershipView::note_alive` already
+//!   arbitrates that correctly because death is sticky per incarnation.
+//!
+//! Dissemination is epidemic: every `Ping`/`Ack`/`PingReq` piggybacks a bounded
+//! digest of recent membership claims (`(node, incarnation, state)` triples),
+//! each retransmitted a logarithmic number of times. Two entries are
+//! prioritized on every message: the sender's own alive claim, and whatever the
+//! sender believes about the *destination* — so a suspected node always learns
+//! of its suspicion from the next message it receives and can refute in time.
+//!
+//! The detector never touches the membership view itself. It emits
+//! [`DetectorAction`]s; the node facade translates them into wire messages and
+//! feeds confirmed verdicts through `MembershipView` + the §3.5 failure rules.
+//! The override rules here mirror the view's arbitration exactly:
+//! `Alive{i}` beats `Suspect{j}`/`Dead{j}` iff `i > j`; `Suspect{i}` beats
+//! `Alive{j}` iff `i >= j`; `Dead{i}` beats anything with `j <= i` and is
+//! sticky within an incarnation.
+
+use crate::object::NodeId;
+use crate::time::{Duration, Time};
+
+/// Tuning knobs for the failure detector.
+///
+/// The detector is **off by default**: `HopliteConfig::detector` is `None`, so
+/// existing drivers, sweeps, and sims are bit-for-bit unaffected unless a
+/// config opts in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// How often a node starts a new probe round (one peer pinged per round).
+    pub probe_period: Duration,
+    /// How long to wait for a direct ack before escalating to indirect
+    /// ping-reqs, and again for the indirect acks before suspecting.
+    pub ack_timeout: Duration,
+    /// Suspicion window as a multiple of `probe_period`: a Suspect peer that
+    /// has not refuted after `probe_period * suspicion_multiplier` is declared
+    /// dead.
+    pub suspicion_multiplier: u32,
+    /// Number of relays asked to ping the target indirectly after a missed
+    /// direct ack.
+    pub indirect_fanout: usize,
+    /// Maximum gossip entries piggybacked on one Ping/Ack/PingReq.
+    pub gossip_budget: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            probe_period: Duration::from_millis(200),
+            ack_timeout: Duration::from_millis(60),
+            suspicion_multiplier: 15,
+            indirect_fanout: 3,
+            gossip_budget: 6,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The suspicion window: how long a Suspect peer gets to refute before it
+    /// is declared dead.
+    pub fn suspicion_window(&self) -> Duration {
+        self.probe_period.mul(u64::from(self.suspicion_multiplier))
+    }
+}
+
+/// Liveness claim carried by a gossip entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipState {
+    /// The incarnation is believed alive.
+    Alive,
+    /// The incarnation missed probes and is in its suspicion window.
+    Suspect,
+    /// The incarnation has been declared dead (sticky: only a newer
+    /// incarnation can revive the node).
+    Dead,
+}
+
+impl GossipState {
+    /// Wire encoding (stable: used by the framing layer).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            GossipState::Alive => 0,
+            GossipState::Suspect => 1,
+            GossipState::Dead => 2,
+        }
+    }
+
+    /// Decode the wire byte; `None` for anything unknown.
+    pub fn from_wire(b: u8) -> Option<GossipState> {
+        match b {
+            0 => Some(GossipState::Alive),
+            1 => Some(GossipState::Suspect),
+            2 => Some(GossipState::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One piggybacked membership claim: `(node, incarnation, state)`.
+pub type GossipEntry = (NodeId, u64, GossipState);
+
+/// What the detector wants the driver/node to do after a tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectorAction {
+    /// Send a direct probe to `to`.
+    Ping {
+        /// Probe target.
+        to: NodeId,
+        /// Correlates the eventual ack with this probe round.
+        probe_id: u64,
+    },
+    /// Ask `relay` to ping `target` on our behalf (indirect probe).
+    PingReq {
+        /// The intermediary asked to forward the probe.
+        relay: NodeId,
+        /// The unresponsive peer the relay should ping.
+        target: NodeId,
+        /// Same correlation id as the failed direct probe.
+        probe_id: u64,
+    },
+    /// `node` (at `incarnation`) missed direct + indirect probes and entered
+    /// its suspicion window.
+    Suspect {
+        /// The newly suspected peer.
+        node: NodeId,
+        /// The incarnation under suspicion.
+        incarnation: u64,
+    },
+    /// `node` (at `incarnation`) stayed Suspect for the whole window: declare
+    /// it dead and run the failure rules.
+    Dead {
+        /// The peer to declare dead.
+        node: NodeId,
+        /// The incarnation being declared dead.
+        incarnation: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProbePhase {
+    Direct,
+    Indirect,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Outstanding {
+    target: NodeId,
+    probe_id: u64,
+    phase: ProbePhase,
+    deadline: Time,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PeerState {
+    incarnation: u64,
+    state: GossipState,
+    /// Valid only while `state == Suspect`.
+    suspect_expires: Time,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedEntry {
+    node: NodeId,
+    sends_left: u32,
+}
+
+/// The per-node SWIM failure detector. Pure state machine: the driver calls
+/// [`tick`](FailureDetector::tick) whenever the timer it armed for
+/// [`next_wake`](FailureDetector::next_wake) fires, forwards acks and gossip
+/// observations, and executes the returned [`DetectorAction`]s.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    me: NodeId,
+    cfg: DetectorConfig,
+    rng: u64,
+    ring: Vec<NodeId>,
+    ring_pos: usize,
+    next_probe_at: Time,
+    next_probe_id: u64,
+    outstanding: Option<Outstanding>,
+    states: Vec<PeerState>,
+    queue: Vec<QueuedEntry>,
+    retransmit_limit: u32,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros()
+}
+
+impl FailureDetector {
+    /// A detector for a cluster of `n` nodes, run by `me`. `seed` makes ring
+    /// shuffles and relay choices deterministic per node (drivers derive it
+    /// from the node id). The first probe fires one `probe_period` after
+    /// `start`.
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        cfg: DetectorConfig,
+        seed: u64,
+        start: Time,
+    ) -> FailureDetector {
+        let mut det = FailureDetector {
+            me,
+            retransmit_limit: 3 * ceil_log2(n.max(2)) + 3,
+            next_probe_at: start + cfg.probe_period,
+            cfg,
+            rng: seed ^ 0xD6E8_FEB8_6659_FD93,
+            ring: (0..n as u32).map(NodeId).filter(|&p| p != me).collect(),
+            ring_pos: 0,
+            next_probe_id: 0,
+            outstanding: None,
+            states: vec![
+                PeerState {
+                    incarnation: 0,
+                    state: GossipState::Alive,
+                    suspect_expires: Time::ZERO,
+                };
+                n
+            ],
+            queue: Vec::new(),
+        };
+        det.reshuffle();
+        det
+    }
+
+    fn reshuffle(&mut self) {
+        for i in (1..self.ring.len()).rev() {
+            let j = (splitmix(&mut self.rng) % (i as u64 + 1)) as usize;
+            self.ring.swap(i, j);
+        }
+    }
+
+    fn enqueue(&mut self, node: NodeId) {
+        self.queue.retain(|q| q.node != node);
+        self.queue.push(QueuedEntry { node, sends_left: self.retransmit_limit });
+    }
+
+    /// Our current belief about `node`: `(incarnation, state)`.
+    pub fn peer_state(&self, node: NodeId) -> (u64, GossipState) {
+        let s = &self.states[node.0 as usize];
+        (s.incarnation, s.state)
+    }
+
+    /// When the driver should next call [`tick`](FailureDetector::tick): the
+    /// earliest of the next probe round, the outstanding probe's ack deadline,
+    /// and the nearest suspicion expiry.
+    pub fn next_wake(&self, _now: Time) -> Time {
+        let mut wake = self.next_probe_at;
+        if let Some(o) = &self.outstanding {
+            wake = wake.min(o.deadline);
+        }
+        for s in &self.states {
+            if s.state == GossipState::Suspect {
+                wake = wake.min(s.suspect_expires);
+            }
+        }
+        wake
+    }
+
+    fn next_target(&mut self) -> Option<NodeId> {
+        for _ in 0..self.ring.len() {
+            if self.ring_pos >= self.ring.len() {
+                self.ring_pos = 0;
+                self.reshuffle();
+            }
+            let cand = self.ring[self.ring_pos];
+            self.ring_pos += 1;
+            if self.states[cand.0 as usize].state != GossipState::Dead {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    fn pick_relays(&mut self, target: NodeId) -> Vec<NodeId> {
+        let mut candidates: Vec<NodeId> = (0..self.states.len() as u32)
+            .map(NodeId)
+            .filter(|&p| {
+                p != self.me && p != target && self.states[p.0 as usize].state != GossipState::Dead
+            })
+            .collect();
+        for i in (1..candidates.len()).rev() {
+            let j = (splitmix(&mut self.rng) % (i as u64 + 1)) as usize;
+            candidates.swap(i, j);
+        }
+        candidates.truncate(self.cfg.indirect_fanout);
+        candidates
+    }
+
+    fn start_suspicion(&mut self, target: NodeId, now: Time, out: &mut Vec<DetectorAction>) {
+        let window = self.cfg.suspicion_window();
+        let s = &mut self.states[target.0 as usize];
+        if s.state != GossipState::Alive {
+            return;
+        }
+        s.state = GossipState::Suspect;
+        s.suspect_expires = now + window;
+        let incarnation = s.incarnation;
+        self.enqueue(target);
+        out.push(DetectorAction::Suspect { node: target, incarnation });
+    }
+
+    /// Advance the state machine to `now`. Escalates or abandons the
+    /// outstanding probe, expires suspicion windows into death verdicts, and
+    /// starts the next probe round when due.
+    pub fn tick(&mut self, now: Time, out: &mut Vec<DetectorAction>) {
+        if let Some(o) = self.outstanding {
+            if now >= o.deadline {
+                match o.phase {
+                    ProbePhase::Direct => {
+                        let relays = self.pick_relays(o.target);
+                        if relays.is_empty() {
+                            self.start_suspicion(o.target, now, out);
+                            self.outstanding = None;
+                        } else {
+                            for relay in relays {
+                                out.push(DetectorAction::PingReq {
+                                    relay,
+                                    target: o.target,
+                                    probe_id: o.probe_id,
+                                });
+                            }
+                            self.outstanding = Some(Outstanding {
+                                phase: ProbePhase::Indirect,
+                                deadline: o.deadline + self.cfg.ack_timeout,
+                                ..o
+                            });
+                        }
+                    }
+                    ProbePhase::Indirect => {
+                        self.start_suspicion(o.target, now, out);
+                        self.outstanding = None;
+                    }
+                }
+            }
+        }
+
+        for idx in 0..self.states.len() {
+            let s = self.states[idx];
+            if s.state == GossipState::Suspect && now >= s.suspect_expires {
+                let node = NodeId(idx as u32);
+                self.states[idx].state = GossipState::Dead;
+                self.enqueue(node);
+                out.push(DetectorAction::Dead { node, incarnation: s.incarnation });
+            }
+        }
+
+        if now >= self.next_probe_at {
+            self.next_probe_at = now + self.cfg.probe_period;
+            if self.outstanding.is_none() {
+                if let Some(target) = self.next_target() {
+                    self.next_probe_id += 1;
+                    let probe_id = self.next_probe_id;
+                    self.outstanding = Some(Outstanding {
+                        target,
+                        probe_id,
+                        phase: ProbePhase::Direct,
+                        deadline: now + self.cfg.ack_timeout,
+                    });
+                    out.push(DetectorAction::Ping { to: target, probe_id });
+                }
+            }
+        }
+    }
+
+    /// An ack for `probe_id` arrived (directly or via a relay): the probe
+    /// round succeeded. Note that per strict SWIM rules an ack does **not**
+    /// clear an existing suspicion — only a higher-incarnation alive claim
+    /// (the refutation) does.
+    pub fn on_ack(&mut self, probe_id: u64) {
+        if let Some(o) = &self.outstanding {
+            if o.probe_id == probe_id {
+                self.outstanding = None;
+            }
+        }
+    }
+
+    /// Fold in an alive claim for `(node, incarnation)` (from gossip, `Hello`,
+    /// `DirResynced`, or a digest). Clears Suspect/Dead only when the claim
+    /// names a strictly newer incarnation. Returns `true` if the belief
+    /// changed (and was queued for further gossip).
+    pub fn observe_alive(&mut self, node: NodeId, incarnation: u64) -> bool {
+        if node == self.me {
+            return false;
+        }
+        let s = &mut self.states[node.0 as usize];
+        if incarnation > s.incarnation {
+            s.incarnation = incarnation;
+            s.state = GossipState::Alive;
+            self.enqueue(node);
+            return true;
+        }
+        false
+    }
+
+    /// Fold in a gossiped suspicion of `(node, incarnation)`. Suspicion beats
+    /// an alive claim at the *same* incarnation (that is what forces the
+    /// refutation bump) but never un-kills a dead incarnation. Each node runs
+    /// its own suspicion window from when it first learns of the suspicion.
+    /// Returns `true` if `node` newly entered Suspect here.
+    pub fn observe_suspect(&mut self, node: NodeId, incarnation: u64, now: Time) -> bool {
+        if node == self.me {
+            return false;
+        }
+        let window = self.cfg.suspicion_window();
+        let s = &mut self.states[node.0 as usize];
+        match s.state {
+            GossipState::Alive => {
+                if incarnation >= s.incarnation {
+                    s.incarnation = incarnation;
+                    s.state = GossipState::Suspect;
+                    s.suspect_expires = now + window;
+                    self.enqueue(node);
+                    return true;
+                }
+            }
+            GossipState::Suspect => {
+                if incarnation > s.incarnation {
+                    s.incarnation = incarnation;
+                    s.suspect_expires = now + window;
+                    self.enqueue(node);
+                }
+            }
+            GossipState::Dead => {
+                // Death is sticky within an incarnation: only a suspicion of a
+                // strictly newer incarnation (restarted, then went quiet) can
+                // move a Dead entry back to Suspect.
+                if incarnation > s.incarnation {
+                    s.incarnation = incarnation;
+                    s.state = GossipState::Suspect;
+                    s.suspect_expires = now + window;
+                    self.enqueue(node);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fold in a death claim for `(node, incarnation)`. Returns `true` if this
+    /// was news (the node was not already Dead at this or a newer
+    /// incarnation).
+    pub fn observe_dead(&mut self, node: NodeId, incarnation: u64) -> bool {
+        if node == self.me {
+            return false;
+        }
+        let s = &mut self.states[node.0 as usize];
+        if s.state == GossipState::Dead {
+            if incarnation > s.incarnation {
+                s.incarnation = incarnation;
+                self.enqueue(node);
+            }
+            return false;
+        }
+        if incarnation >= s.incarnation {
+            s.incarnation = incarnation;
+            s.state = GossipState::Dead;
+            self.enqueue(node);
+            return true;
+        }
+        false
+    }
+
+    /// The bounded gossip digest to piggyback on a message to `dest`. Always
+    /// leads with our own alive claim (`self_incarnation` comes from the
+    /// membership view, the sole authority on it), then whatever we believe
+    /// about `dest` if it is under suspicion or dead — guaranteeing a
+    /// suspected destination hears about it and can refute — then drains the
+    /// retransmit queue round-robin up to the budget.
+    pub fn piggyback(&mut self, dest: NodeId, self_incarnation: u64) -> Vec<GossipEntry> {
+        let cap = self.cfg.gossip_budget.max(2);
+        let mut out: Vec<GossipEntry> = vec![(self.me, self_incarnation, GossipState::Alive)];
+        if dest != self.me {
+            let d = &self.states[dest.0 as usize];
+            if d.state != GossipState::Alive {
+                out.push((dest, d.incarnation, d.state));
+            }
+        }
+        for _ in 0..self.queue.len() {
+            if out.len() >= cap {
+                break;
+            }
+            let mut q = self.queue.remove(0);
+            if q.node == self.me || out.iter().any(|&(n, _, _)| n == q.node) {
+                self.queue.push(q);
+                continue;
+            }
+            let s = &self.states[q.node.0 as usize];
+            out.push((q.node, s.incarnation, s.state));
+            q.sends_left -= 1;
+            if q.sends_left > 0 {
+                self.queue.push(q);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            probe_period: Duration::from_millis(100),
+            ack_timeout: Duration::from_millis(30),
+            suspicion_multiplier: 5, // 500ms window
+            indirect_fanout: 2,
+            gossip_budget: 4,
+        }
+    }
+
+    fn det(n: usize) -> FailureDetector {
+        FailureDetector::new(NodeId(0), n, cfg(), 42, Time::ZERO)
+    }
+
+    /// Step to the next wake-up and tick, returning (now, actions).
+    fn step(d: &mut FailureDetector, now: Time) -> (Time, Vec<DetectorAction>) {
+        let now = d.next_wake(now);
+        let mut out = Vec::new();
+        d.tick(now, &mut out);
+        (now, out)
+    }
+
+    #[test]
+    fn ring_probes_cover_all_peers_before_repeating() {
+        let mut d = det(6);
+        let mut now = Time::ZERO;
+        for _cycle in 0..3 {
+            let mut seen = Vec::new();
+            while seen.len() < 5 {
+                let (t, actions) = step(&mut d, now);
+                now = t;
+                for a in actions {
+                    if let DetectorAction::Ping { to, probe_id } = a {
+                        assert!(!seen.contains(&to), "peer {to:?} probed twice in one cycle");
+                        seen.push(to);
+                        d.on_ack(probe_id);
+                    }
+                }
+            }
+            seen.sort_by_key(|n| n.0);
+            assert_eq!(seen, (1..6).map(NodeId).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn missed_ack_escalates_then_suspects_then_declares_dead() {
+        let mut d = det(4);
+        let mut now = Time::ZERO;
+        let mut pings = 0;
+        let mut ping_reqs = Vec::new();
+        let mut suspected_at = None;
+        let mut dead_at = None;
+        let mut target = None;
+        while dead_at.is_none() {
+            let (t, actions) = step(&mut d, now);
+            now = t;
+            for a in actions {
+                match a {
+                    DetectorAction::Ping { to, .. } => {
+                        if target.is_none() {
+                            target = Some(to);
+                        }
+                        // Suspect peers keep being probed (that is how they learn of
+                        // the suspicion); count only the pre-suspicion direct probe.
+                        if Some(to) == target && suspected_at.is_none() {
+                            pings += 1;
+                        }
+                        // Never ack: every probe times out.
+                    }
+                    DetectorAction::PingReq { relay, target: t2, .. } => {
+                        if Some(t2) == target && suspected_at.is_none() {
+                            ping_reqs.push(relay);
+                        }
+                    }
+                    DetectorAction::Suspect { node, incarnation } => {
+                        if Some(node) == target {
+                            assert_eq!(incarnation, 0);
+                            suspected_at = Some(now);
+                        }
+                    }
+                    DetectorAction::Dead { node, incarnation } => {
+                        if Some(node) == target {
+                            assert_eq!(incarnation, 0);
+                            dead_at = Some(now);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(pings, 1, "one direct probe per round");
+        assert_eq!(ping_reqs.len(), 2, "indirect_fanout relays tried");
+        assert!(!ping_reqs.contains(&NodeId(0)) && !ping_reqs.contains(&target.unwrap()));
+        let window = cfg().suspicion_window();
+        assert_eq!(dead_at.unwrap(), suspected_at.unwrap() + window);
+        assert_eq!(d.peer_state(target.unwrap()), (0, GossipState::Dead));
+    }
+
+    #[test]
+    fn timely_ack_prevents_escalation() {
+        let mut d = det(4);
+        let mut now = Time::ZERO;
+        for _ in 0..20 {
+            let (t, actions) = step(&mut d, now);
+            now = t;
+            for a in actions {
+                match a {
+                    DetectorAction::Ping { probe_id, .. } => d.on_ack(probe_id),
+                    DetectorAction::PingReq { .. } => panic!("escalated despite timely acks"),
+                    DetectorAction::Suspect { .. } | DetectorAction::Dead { .. } => {
+                        panic!("suspected despite timely acks")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_never_regresses_within_an_incarnation() {
+        // Property sweep: after Dead{i}, no Suspect/Alive claim at j <= i may
+        // change the state; only Alive{j > i} revives.
+        let mut rng = 7u64;
+        for _case in 0..200 {
+            let mut d = det(4);
+            let node = NodeId(1 + (splitmix(&mut rng) % 3) as u32);
+            let i = splitmix(&mut rng) % 5;
+            d.observe_dead(node, i);
+            assert_eq!(d.peer_state(node), (i, GossipState::Dead));
+            for _op in 0..10 {
+                let j = splitmix(&mut rng) % (i + 1);
+                if splitmix(&mut rng).is_multiple_of(2) {
+                    assert!(!d.observe_suspect(node, j, Time::ZERO));
+                } else {
+                    assert!(!d.observe_alive(node, j));
+                }
+                assert_eq!(d.peer_state(node), (i, GossipState::Dead), "regressed from Dead");
+            }
+            assert!(d.observe_alive(node, i + 1));
+            assert_eq!(d.peer_state(node), (i + 1, GossipState::Alive));
+        }
+    }
+
+    #[test]
+    fn suspicion_beats_same_incarnation_alive_and_is_cleared_by_refutation() {
+        let mut d = det(4);
+        assert!(d.observe_suspect(NodeId(2), 0, Time::ZERO));
+        // An alive claim at the same incarnation is NOT a refutation.
+        assert!(!d.observe_alive(NodeId(2), 0));
+        assert_eq!(d.peer_state(NodeId(2)), (0, GossipState::Suspect));
+        // The incarnation bump is.
+        assert!(d.observe_alive(NodeId(2), 1));
+        assert_eq!(d.peer_state(NodeId(2)), (1, GossipState::Alive));
+        // With the suspicion refuted, the window never expires into a death.
+        let mut out = Vec::new();
+        d.tick(Time::ZERO + Duration::from_secs(10), &mut out);
+        assert!(!out.iter().any(|a| matches!(a, DetectorAction::Dead { .. })));
+    }
+
+    #[test]
+    fn unrefuted_gossip_suspicion_expires_into_death() {
+        let mut d = det(4);
+        let t0 = Time::ZERO + Duration::from_millis(7);
+        assert!(d.observe_suspect(NodeId(3), 0, t0));
+        assert!(d.next_wake(t0) <= t0 + cfg().suspicion_window());
+        let mut out = Vec::new();
+        d.tick(t0 + cfg().suspicion_window(), &mut out);
+        assert!(out.contains(&DetectorAction::Dead { node: NodeId(3), incarnation: 0 }));
+    }
+
+    #[test]
+    fn piggyback_is_bounded_and_prioritizes_self_and_dest() {
+        let mut d = det(16);
+        for i in 2..12 {
+            d.observe_dead(NodeId(i), 0);
+        }
+        d.observe_suspect(NodeId(1), 0, Time::ZERO);
+        let g = d.piggyback(NodeId(1), 9);
+        assert!(g.len() <= cfg().gossip_budget, "budget exceeded: {g:?}");
+        assert_eq!(g[0], (NodeId(0), 9, GossipState::Alive), "self claim leads");
+        assert_eq!(g[1], (NodeId(1), 0, GossipState::Suspect), "dest told of its suspicion");
+        // No duplicates within one digest.
+        for (i, &(n, _, _)) in g.iter().enumerate() {
+            assert!(!g[i + 1..].iter().any(|&(m, _, _)| m == n));
+        }
+    }
+
+    #[test]
+    fn gossip_queue_rotates_and_retransmits_a_bounded_number_of_times() {
+        let mut d = det(8);
+        d.observe_dead(NodeId(5), 0);
+        let mut carried = 0;
+        // Drain far past the retransmit limit; the entry must stop appearing.
+        for _ in 0..200 {
+            if d.piggyback(NodeId(1), 0).iter().any(|&(n, _, _)| n == NodeId(5)) {
+                carried += 1;
+            }
+        }
+        let limit = 3 * ceil_log2(8) + 3;
+        assert_eq!(carried, limit, "entry retransmitted exactly `limit` times");
+    }
+
+    #[test]
+    fn gossip_converges_over_a_lossy_ring() {
+        // 8 detectors; node 0 learns of node 7's death. Each round every node
+        // sends one digest to a random peer; 30% of messages are lost. All
+        // surviving nodes must still converge on the death well within the
+        // retransmit budget.
+        let n = 8;
+        let mut dets: Vec<FailureDetector> = (0..n)
+            .map(|i| FailureDetector::new(NodeId(i as u32), n, cfg(), 1000 + i as u64, Time::ZERO))
+            .collect();
+        dets[0].observe_dead(NodeId(7), 0);
+        let mut rng = 99u64;
+        for _round in 0..40 {
+            for i in 0..n - 1 {
+                let dest = NodeId((splitmix(&mut rng) % (n as u64 - 1)) as u32);
+                let digest = dets[i].piggyback(dest, 0);
+                if splitmix(&mut rng) % 10 < 3 {
+                    continue; // lost
+                }
+                for (node, inc, state) in digest {
+                    match state {
+                        GossipState::Alive => {
+                            dets[dest.0 as usize].observe_alive(node, inc);
+                        }
+                        GossipState::Suspect => {
+                            dets[dest.0 as usize].observe_suspect(node, inc, Time::ZERO);
+                        }
+                        GossipState::Dead => {
+                            dets[dest.0 as usize].observe_dead(node, inc);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, d) in dets.iter().take(n - 1).enumerate() {
+            assert_eq!(
+                d.peer_state(NodeId(7)).1,
+                GossipState::Dead,
+                "node {i} never learned of the death"
+            );
+        }
+    }
+
+    #[test]
+    fn two_node_cluster_skips_indirect_phase() {
+        // With no possible relays the direct timeout suspects immediately.
+        let mut d = det(2);
+        let mut now = Time::ZERO;
+        let mut saw_suspect = false;
+        for _ in 0..6 {
+            let (t, actions) = step(&mut d, now);
+            now = t;
+            for a in &actions {
+                assert!(!matches!(a, DetectorAction::PingReq { .. }));
+                if matches!(a, DetectorAction::Suspect { node: NodeId(1), .. }) {
+                    saw_suspect = true;
+                }
+            }
+            if saw_suspect {
+                break;
+            }
+        }
+        assert!(saw_suspect);
+    }
+
+    #[test]
+    fn dead_peers_are_not_probed() {
+        let mut d = det(4);
+        d.observe_dead(NodeId(1), 0);
+        d.observe_dead(NodeId(2), 0);
+        let mut now = Time::ZERO;
+        for _ in 0..12 {
+            let (t, actions) = step(&mut d, now);
+            now = t;
+            for a in actions {
+                if let DetectorAction::Ping { to, probe_id } = a {
+                    assert_eq!(to, NodeId(3), "probed a dead peer");
+                    d.on_ack(probe_id);
+                }
+            }
+        }
+    }
+}

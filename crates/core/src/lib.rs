@@ -73,6 +73,7 @@
 pub mod buffer;
 pub mod config;
 pub mod copytrace;
+pub mod detector;
 pub mod directory;
 pub mod error;
 pub mod membership;
@@ -88,6 +89,9 @@ pub mod time;
 pub mod prelude {
     pub use crate::buffer::{Payload, ProgressBuffer};
     pub use crate::config::HopliteConfig;
+    pub use crate::detector::{
+        DetectorAction, DetectorConfig, FailureDetector, GossipEntry, GossipState,
+    };
     pub use crate::directory::{DirectoryPlacement, DirectoryShard};
     pub use crate::error::{HopliteError, Result};
     pub use crate::membership::{

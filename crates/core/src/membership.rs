@@ -171,6 +171,18 @@ impl MembershipView {
         Some(e.incarnation)
     }
 
+    /// Refute a suspicion (or premature death claim) about this node itself:
+    /// bump our incarnation past the claimed evidence so the resulting alive
+    /// claim supersedes it everywhere, and return the new incarnation. This is
+    /// the SWIM refutation — the only way a Suspect entry clears, since plain
+    /// acks at the same incarnation are not accepted as proof of life.
+    pub fn refute(&mut self, evidence_incarnation: u64) -> u64 {
+        let e = &mut self.entries[self.me.0 as usize];
+        e.incarnation = e.incarnation.max(evidence_incarnation) + 1;
+        e.alive = true;
+        e.incarnation
+    }
+
     /// The full digest: one `(node, incarnation, alive)` triple per cluster node.
     pub fn digest(&self) -> Vec<MemberDigestEntry> {
         self.entries
@@ -287,6 +299,22 @@ mod tests {
 
         // Once merged, the survivor has nothing newer to teach.
         assert!(survivor.newer_than(&restarted.digest()).is_empty());
+    }
+
+    #[test]
+    fn refutation_bumps_past_the_evidence() {
+        let mut view = MembershipView::new(NodeId(1), 4, 1);
+        // Suspected at our own incarnation: one bump suffices.
+        assert_eq!(view.refute(1), 2);
+        // A claim about an incarnation ahead of ours (e.g. gossiped from a
+        // stale future entry) is jumped over, not merely incremented.
+        assert_eq!(view.refute(7), 8);
+        assert_eq!(view.self_incarnation(), 8);
+        assert!(view.is_alive(NodeId(1)));
+        // Peers arbitrate the resulting alive claim as a supersession.
+        let mut peer = MembershipView::new(NodeId(0), 4, 0);
+        peer.note_failure(NodeId(1), 1);
+        assert_eq!(peer.note_alive(NodeId(1), 8), AliveVerdict::Superseded { was_alive: false });
     }
 
     #[test]

@@ -71,10 +71,26 @@ pub struct NodeMetrics {
     /// highest this node has seen — late news about a process that already
     /// restarted (the notice must not re-kill or re-park the new incarnation).
     pub stale_failure_notices_dropped: u64,
-    /// Peer deaths this node learned from a membership digest rather than its own
-    /// failure detector — i.e. failures a restarted node slept through and was
-    /// taught at rejoin.
+    /// Peer deaths this node learned secondhand — from a resync membership digest
+    /// or from a gossiped `Dead` claim — rather than declared by its own failure
+    /// detector or a driver verdict.
     pub membership_deaths_learned: u64,
+    /// Direct SWIM probes (`Ping` frames) this node sent, including pings
+    /// forwarded on behalf of a `PingReq` relay request.
+    pub probes_sent: u64,
+    /// `PingReq` frames this node sent after a direct probe missed its ack (one
+    /// per relay, so a single escalation counts `indirect_fanout` times).
+    pub indirect_probes: u64,
+    /// Peers this node moved to Suspect — by its own probe timeouts or by
+    /// adopting a gossiped suspicion.
+    pub suspicions_raised: u64,
+    /// Times this node bumped its own incarnation to refute a suspicion (or
+    /// premature death claim) about itself.
+    pub refutations_sent: u64,
+    /// Suspicion windows that expired on this node into a local death verdict.
+    pub deaths_declared: u64,
+    /// Gossip digest entries piggybacked on outgoing Ping/Ack/PingReq frames.
+    pub gossip_entries_piggybacked: u64,
     /// Bytes currently live in the local object store (a gauge, sampled after every
     /// event; merging sums the per-node gauges into a cluster total).
     pub store_bytes_live: u64,
@@ -113,6 +129,12 @@ impl NodeMetrics {
             ("leases_expired", self.leases_expired),
             ("stale_failure_notices_dropped", self.stale_failure_notices_dropped),
             ("membership_deaths_learned", self.membership_deaths_learned),
+            ("probes_sent", self.probes_sent),
+            ("indirect_probes", self.indirect_probes),
+            ("suspicions_raised", self.suspicions_raised),
+            ("refutations_sent", self.refutations_sent),
+            ("deaths_declared", self.deaths_declared),
+            ("gossip_entries_piggybacked", self.gossip_entries_piggybacked),
             ("store_bytes_live", self.store_bytes_live),
         ]
     }
@@ -146,6 +168,12 @@ impl NodeMetrics {
         self.leases_expired += other.leases_expired;
         self.stale_failure_notices_dropped += other.stale_failure_notices_dropped;
         self.membership_deaths_learned += other.membership_deaths_learned;
+        self.probes_sent += other.probes_sent;
+        self.indirect_probes += other.indirect_probes;
+        self.suspicions_raised += other.suspicions_raised;
+        self.refutations_sent += other.refutations_sent;
+        self.deaths_declared += other.deaths_declared;
+        self.gossip_entries_piggybacked += other.gossip_entries_piggybacked;
         self.store_bytes_live += other.store_bytes_live;
     }
 }

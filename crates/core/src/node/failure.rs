@@ -47,6 +47,11 @@ impl ObjectStoreNode {
         if peer == self.ctx.id {
             return;
         }
+        // Tell the driver first: whatever sourced this verdict (a supervisor
+        // notice, the gossip detector, a digest), transports holding real
+        // connections to the dead peer must tear them down. Idempotent at the
+        // driver; drivers without per-peer state ignore it.
+        out.push(Effect::PeerDown { node: peer });
         // Service side first: every hosted replica purges the dead node, this node
         // promotes itself wherever it just became the shard's leader (at the shard's
         // failover epoch), confirms gated by the dead backup's ack are released, and

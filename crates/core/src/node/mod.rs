@@ -35,13 +35,14 @@ use std::collections::VecDeque;
 
 use crate::buffer::Payload;
 use crate::config::HopliteConfig;
+use crate::detector::{DetectorAction, FailureDetector, GossipEntry, GossipState};
 use crate::directory::{DirectoryClient, DirectoryService};
 use crate::membership::{AliveVerdict, FailureVerdict, MembershipView};
 use crate::metrics::NodeMetrics;
 use crate::object::{NodeId, ObjectId, ObjectStatus};
 use crate::protocol::{ClientOp, DirOp, Effect, Message, OpId, TimerToken};
 use crate::store::LocalStore;
-use crate::time::Time;
+use crate::time::{Duration, Time};
 
 use broadcast::BroadcastEngine;
 use reduce::{ReduceEngine, ReduceEvent};
@@ -285,6 +286,15 @@ pub struct ObjectStoreNode {
     /// idle-GC work — so a quiet node goes fully quiescent (the simulator runs
     /// until its event queue drains).
     lease_timer: Option<TimerToken>,
+    /// The SWIM failure detector, present iff `HopliteConfig::detector` is set.
+    /// Pure state machine; this facade translates its actions into wire messages
+    /// and feeds verdicts through the membership view.
+    detector: Option<FailureDetector>,
+    /// Outstanding probe timer for the detector: a single perpetual chain — each
+    /// tick re-arms for the detector's next deadline. Armed by
+    /// [`ObjectStoreNode::handle_started`] (never on nodes without a detector, so
+    /// detector-less sims still go quiescent).
+    probe_timer: Option<TimerToken>,
 }
 
 impl ObjectStoreNode {
@@ -294,6 +304,13 @@ impl ObjectStoreNode {
         let dir_client = DirectoryClient::new(id, &cfg, &cluster.nodes);
         let store = LocalStore::new(cfg.store_capacity);
         let membership = MembershipView::new(id, cluster.len(), opts.incarnation);
+        // Deterministic per (node, incarnation): ring shuffles and relay picks
+        // replay identically under the simulator.
+        let detector_seed = (u64::from(id.0) << 32) ^ opts.incarnation;
+        let detector = cfg
+            .detector
+            .clone()
+            .map(|dc| FailureDetector::new(id, cluster.len(), dc, detector_seed, Time::ZERO));
         ObjectStoreNode {
             ctx: NodeContext {
                 id,
@@ -311,6 +328,8 @@ impl ObjectStoreNode {
             broadcast: BroadcastEngine::default(),
             reduce: ReduceEngine::default(),
             lease_timer: None,
+            detector,
+            probe_timer: None,
         }
     }
 
@@ -434,11 +453,23 @@ impl ObjectStoreNode {
         self.finish_turn(out);
     }
 
+    /// Driver signal that this node's event loop is live (cold boot or restart):
+    /// arms the failure detector's probe timer, if one is configured. Idempotent —
+    /// the single probe-timer chain is never double-armed.
+    pub fn handle_started(&mut self, now: Time, out: &mut Vec<Effect>) {
+        self.arm_detector_timer(now, out);
+        self.drain_self_queue(now, out);
+        self.finish_turn(out);
+    }
+
     /// A timer armed via [`Effect::SetTimer`] fired.
     pub fn handle_timer(&mut self, now: Time, token: TimerToken, out: &mut Vec<Effect>) {
         if self.lease_timer == Some(token) {
             self.lease_timer = None;
             self.expiry_tick(out);
+        } else if self.probe_timer == Some(token) {
+            self.probe_timer = None;
+            self.detector_tick(now, out);
         } else if let Some(object) = self.broadcast.take_put_timer(token) {
             let progress = self.broadcast.advance_pipelined_put(&mut self.ctx, now, object, out);
             self.route_progress(now, progress, out);
@@ -455,6 +486,8 @@ impl ObjectStoreNode {
         if self.ctx.membership.note_driver_failure(peer) == FailureVerdict::Apply {
             self.peer_failed_impl(now, peer, out);
         }
+        let incarnation = self.ctx.membership.incarnation_of(peer);
+        self.detector_observe_dead(peer, incarnation);
         self.drain_self_queue(now, out);
         self.finish_turn(out);
     }
@@ -473,6 +506,8 @@ impl ObjectStoreNode {
         // placement updates below stay unconditional: they are idempotent, and the
         // peer may already have been folded in via its own snapshot request.
         self.ctx.membership.note_driver_recovery(peer);
+        let incarnation = self.ctx.membership.incarnation_of(peer);
+        self.detector_observe_alive(peer, incarnation);
         self.directory.on_peer_recovered(peer);
         self.ctx.directory.on_peer_recovered(peer);
         let _ = out;
@@ -637,6 +672,7 @@ impl ObjectStoreNode {
                     }
                     AliveVerdict::Known => {}
                 }
+                self.detector_observe_alive(node, incarnation);
                 trace!("[n{}] peer {:?} re-admitted to its replica sets", self.ctx.id.0, node);
                 // Under chain replication the re-admission re-splices the peer into
                 // its chains: the service may emit suffix re-shipments and
@@ -738,9 +774,12 @@ impl ObjectStoreNode {
                             node,
                             incarnation
                         );
+                        self.detector_observe_dead(node, incarnation);
                         self.peer_failed_impl(now, node, out);
                     }
-                    FailureVerdict::AlreadyDead => {}
+                    FailureVerdict::AlreadyDead => {
+                        self.detector_observe_dead(node, incarnation);
+                    }
                     FailureVerdict::Stale => {
                         trace!(
                             "[n{}] dropped stale failure notice for {:?} inc {} (know inc {})",
@@ -754,6 +793,13 @@ impl ObjectStoreNode {
                 }
             }
             Message::MembershipDigest { entries } => {
+                for &(node, incarnation, alive) in &entries {
+                    if alive {
+                        self.detector_observe_alive(node, incarnation);
+                    } else {
+                        self.detector_observe_dead(node, incarnation);
+                    }
+                }
                 let outcome = self.ctx.membership.merge_digest(&entries);
                 for peer in outcome.new_deaths {
                     trace!(
@@ -782,6 +828,44 @@ impl ObjectStoreNode {
                     }
                     self.directory.on_peer_recovered(node);
                     self.ctx.directory.on_peer_recovered(node);
+                }
+                self.detector_observe_alive(node, incarnation);
+            }
+            // SWIM failure-detector plane ([`crate::detector`]). Every frame
+            // carries piggybacked gossip; pings are always answered (to the
+            // original prober, carried as `origin` so relays stay stateless),
+            // even by nodes whose own detector is disabled.
+            Message::Ping { origin, probe_id, gossip } => {
+                self.process_gossip(now, &gossip, out);
+                let reply_gossip = match self.detector.take() {
+                    Some(mut det) => {
+                        let self_inc = self.ctx.membership.self_incarnation();
+                        let g = det.piggyback(origin, self_inc);
+                        self.ctx.metrics.gossip_entries_piggybacked += g.len() as u64;
+                        self.detector = Some(det);
+                        g
+                    }
+                    None => Vec::new(),
+                };
+                self.ctx.send(origin, Message::Ack { probe_id, gossip: reply_gossip }, out);
+            }
+            Message::Ack { probe_id, gossip } => {
+                self.process_gossip(now, &gossip, out);
+                if let Some(det) = self.detector.as_mut() {
+                    det.on_ack(probe_id);
+                }
+            }
+            Message::PingReq { target, probe_id, gossip } => {
+                self.process_gossip(now, &gossip, out);
+                // Forward a probe on the requester's behalf; the target acks the
+                // requester (`from`) directly, so this relay keeps no state.
+                if let Some(mut det) = self.detector.take() {
+                    let self_inc = self.ctx.membership.self_incarnation();
+                    let g = det.piggyback(target, self_inc);
+                    self.ctx.metrics.probes_sent += 1;
+                    self.ctx.metrics.gossip_entries_piggybacked += g.len() as u64;
+                    self.detector = Some(det);
+                    self.ctx.send(target, Message::Ping { origin: from, probe_id, gossip: g }, out);
                 }
             }
         }
@@ -922,6 +1006,161 @@ impl ObjectStoreNode {
                 trace!("[n{}] store GC dropped idle copy of {:?}", self.ctx.id.0, object);
                 self.ctx.dir_unregister(object, out);
             }
+        }
+    }
+
+    // --------------------------------------------------------- failure detector --
+
+    /// (Re-)arm the detector's probe timer for its next deadline. No-op without a
+    /// detector or while the chain is already armed.
+    fn arm_detector_timer(&mut self, now: Time, out: &mut Vec<Effect>) {
+        let Some(det) = &self.detector else { return };
+        if self.probe_timer.is_some() {
+            return;
+        }
+        // Floor of 1ms so a deadline that just passed cannot spin a zero-delay
+        // timer loop; the detector's periods are orders of magnitude larger.
+        let delay = det.next_wake(now).duration_since(now).max(Duration::from_millis(1));
+        let token = self.ctx.fresh_timer();
+        self.probe_timer = Some(token);
+        out.push(Effect::SetTimer { token, delay });
+    }
+
+    /// One detector wake-up: advance the state machine, turn its actions into
+    /// probes / suspicion bookkeeping / death verdicts, and re-arm the chain.
+    fn detector_tick(&mut self, now: Time, out: &mut Vec<Effect>) {
+        let Some(mut det) = self.detector.take() else { return };
+        let mut actions = Vec::new();
+        det.tick(now, &mut actions);
+        let self_inc = self.ctx.membership.self_incarnation();
+        for action in actions {
+            match action {
+                DetectorAction::Ping { to, probe_id } => {
+                    let gossip = det.piggyback(to, self_inc);
+                    self.ctx.metrics.probes_sent += 1;
+                    self.ctx.metrics.gossip_entries_piggybacked += gossip.len() as u64;
+                    let origin = self.ctx.id;
+                    self.ctx.send(to, Message::Ping { origin, probe_id, gossip }, out);
+                }
+                DetectorAction::PingReq { relay, target, probe_id } => {
+                    let gossip = det.piggyback(relay, self_inc);
+                    self.ctx.metrics.indirect_probes += 1;
+                    self.ctx.metrics.gossip_entries_piggybacked += gossip.len() as u64;
+                    self.ctx.send(relay, Message::PingReq { target, probe_id, gossip }, out);
+                }
+                DetectorAction::Suspect { node, incarnation } => {
+                    trace!(
+                        "[n{}] detector suspects {:?} inc {} (no ack, direct or relayed)",
+                        self.ctx.id.0,
+                        node,
+                        incarnation
+                    );
+                    self.ctx.metrics.suspicions_raised += 1;
+                }
+                DetectorAction::Dead { node, incarnation } => {
+                    trace!(
+                        "[n{}] detector declares {:?} inc {} dead (suspicion expired)",
+                        self.ctx.id.0,
+                        node,
+                        incarnation
+                    );
+                    self.ctx.metrics.deaths_declared += 1;
+                    if self.ctx.membership.note_failure(node, incarnation) == FailureVerdict::Apply
+                    {
+                        self.peer_failed_impl(now, node, out);
+                    }
+                }
+            }
+        }
+        self.detector = Some(det);
+        self.arm_detector_timer(now, out);
+    }
+
+    /// Fold the piggybacked gossip of an incoming Ping/Ack/PingReq into the
+    /// membership view and the detector's dissemination state. Claims about this
+    /// node itself are where refutation happens: a Suspect/Dead claim naming our
+    /// current (or a newer) incarnation makes us bump past it — the refuted alive
+    /// claim then leads every digest we send from here on.
+    fn process_gossip(&mut self, now: Time, entries: &[GossipEntry], out: &mut Vec<Effect>) {
+        let Some(mut det) = self.detector.take() else { return };
+        for &(node, incarnation, state) in entries {
+            if node == self.ctx.id {
+                if state != GossipState::Alive
+                    && incarnation >= self.ctx.membership.self_incarnation()
+                {
+                    let new_inc = self.ctx.membership.refute(incarnation);
+                    self.ctx.metrics.refutations_sent += 1;
+                    trace!(
+                        "[n{}] refuting gossiped {:?} claim about self: bumped to inc {}",
+                        self.ctx.id.0,
+                        state,
+                        new_inc
+                    );
+                }
+                continue;
+            }
+            match state {
+                GossipState::Alive => match self.ctx.membership.note_alive(node, incarnation) {
+                    AliveVerdict::Superseded { was_alive } => {
+                        // A newer incarnation is alive. If we believed the old one
+                        // alive this is a *refutation* — the node never died, so
+                        // unlike a reconnecting `Hello` no implied failure is
+                        // folded. If we believed it dead, it restarted: fold the
+                        // recovery into the placement views.
+                        if !was_alive {
+                            self.directory.on_peer_recovered(node);
+                            self.ctx.directory.on_peer_recovered(node);
+                        }
+                        det.observe_alive(node, incarnation);
+                    }
+                    AliveVerdict::Known => {
+                        det.observe_alive(node, incarnation);
+                    }
+                    AliveVerdict::Stale => {}
+                },
+                GossipState::Suspect => {
+                    if det.observe_suspect(node, incarnation, now) {
+                        trace!(
+                            "[n{}] adopted gossiped suspicion of {:?} inc {}",
+                            self.ctx.id.0,
+                            node,
+                            incarnation
+                        );
+                        self.ctx.metrics.suspicions_raised += 1;
+                    }
+                }
+                GossipState::Dead => {
+                    det.observe_dead(node, incarnation);
+                    if self.ctx.membership.note_failure(node, incarnation) == FailureVerdict::Apply
+                    {
+                        trace!(
+                            "[n{}] learned from gossip that {:?} inc {} died",
+                            self.ctx.id.0,
+                            node,
+                            incarnation
+                        );
+                        self.ctx.metrics.membership_deaths_learned += 1;
+                        self.peer_failed_impl(now, node, out);
+                    }
+                }
+            }
+        }
+        self.detector = Some(det);
+    }
+
+    /// Keep the detector's per-peer mirror in step with liveness evidence that
+    /// arrived outside the gossip plane (Hello, DirResynced, digests, driver
+    /// verdicts). No-op without a detector.
+    pub(crate) fn detector_observe_alive(&mut self, node: NodeId, incarnation: u64) {
+        if let Some(det) = self.detector.as_mut() {
+            det.observe_alive(node, incarnation);
+        }
+    }
+
+    /// As [`ObjectStoreNode::detector_observe_alive`], for death evidence.
+    pub(crate) fn detector_observe_dead(&mut self, node: NodeId, incarnation: u64) {
+        if let Some(det) = self.detector.as_mut() {
+            det.observe_dead(node, incarnation);
         }
     }
 

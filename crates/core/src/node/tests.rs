@@ -76,7 +76,9 @@ impl TestCluster {
                         self.pending.push_back((to, out));
                     }
                     Effect::Reply { op, reply } => self.replies.push((from, op, reply)),
-                    Effect::SetTimer { .. } | Effect::LocalProgress { .. } => {}
+                    Effect::SetTimer { .. }
+                    | Effect::LocalProgress { .. }
+                    | Effect::PeerDown { .. } => {}
                 }
             }
             steps += 1;
@@ -161,7 +163,9 @@ fn run_to_quiescence(
                     effects.push_back((to, out));
                 }
                 Effect::Reply { op, reply } => replies.push((from, op, reply)),
-                Effect::SetTimer { .. } | Effect::LocalProgress { .. } => {}
+                Effect::SetTimer { .. }
+                | Effect::LocalProgress { .. }
+                | Effect::PeerDown { .. } => {}
             }
         }
         steps += 1;

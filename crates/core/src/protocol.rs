@@ -629,6 +629,36 @@ pub enum Message {
         /// receiver advertised.
         entries: Vec<crate::membership::MemberDigestEntry>,
     },
+    /// SWIM direct probe ([`crate::detector`]). `origin` is the prober — which is
+    /// the message's sender for a direct probe but the *original* prober when a
+    /// relay forwards a [`Message::PingReq`]; the target acks `origin` directly
+    /// either way, so relays stay stateless.
+    Ping {
+        /// The node whose probe round this is (acks go here).
+        origin: NodeId,
+        /// Correlates the ack with the prober's outstanding round.
+        probe_id: u64,
+        /// Piggybacked membership claims (bounded by the gossip budget).
+        gossip: Vec<crate::detector::GossipEntry>,
+    },
+    /// SWIM probe acknowledgement, sent to the probe's `origin`.
+    Ack {
+        /// `probe_id` of the [`Message::Ping`] being answered.
+        probe_id: u64,
+        /// Piggybacked membership claims.
+        gossip: Vec<crate::detector::GossipEntry>,
+    },
+    /// SWIM indirect probe request: "please ping `target` for me". Sent to `k`
+    /// random relays after a direct probe misses its ack; each relay forwards a
+    /// [`Message::Ping`] carrying the requester as `origin`.
+    PingReq {
+        /// The unresponsive peer the relay should probe.
+        target: NodeId,
+        /// The requester's probe round id, passed through unchanged.
+        probe_id: u64,
+        /// Piggybacked membership claims.
+        gossip: Vec<crate::detector::GossipEntry>,
+    },
 
     // ---------------------------------------------------------------- transport ----
     /// Transport-level peer identification: the first frame on a freshly opened
@@ -667,6 +697,9 @@ impl Message {
             },
             Message::DirSnapshotRequest { digest, .. } => CONTROL + 13 * digest.len() as u64,
             Message::MembershipDigest { entries } => CONTROL + 13 * entries.len() as u64,
+            Message::Ping { gossip, .. } => CONTROL + 13 * gossip.len() as u64,
+            Message::Ack { gossip, .. } => CONTROL + 13 * gossip.len() as u64,
+            Message::PingReq { gossip, .. } => CONTROL + 13 * gossip.len() as u64,
             Message::DirSnapshot { state, .. } => CONTROL + state.wire_size(),
             Message::DirSnapshotChunk { state, .. } => CONTROL + state.wire_size(),
             Message::DirResyncDelta { ops, .. } => {
@@ -790,6 +823,15 @@ pub enum Effect {
         token: TimerToken,
         /// Delay from now.
         delay: Duration,
+    },
+    /// The node's own failure machinery (a detector death verdict, a gossiped or
+    /// digest-learned death) has declared `node` dead: drivers that own real
+    /// connections should tear down transport state to it (close sockets, drop
+    /// send queues) exactly as they would on a supervisor verdict. Drivers
+    /// without per-peer transport state (the simulator) may ignore it.
+    PeerDown {
+        /// The peer declared dead.
+        node: NodeId,
     },
     /// Advisory: a local block of `object` became readable at the store (watermark
     /// advanced). Drivers that model worker-side pipelined `Get`s use this to stream

@@ -7,7 +7,7 @@
 //! hoplitectl restart --dir /tmp/hoplite --node 3        # next incarnation, --recover
 //! hoplitectl stop    --dir /tmp/hoplite
 //! hoplitectl drill   --nodes 5 --dir /tmp/drill [--waves 6] [--kill-wave 2]
-//!                    [--size BYTES] [--timeout-secs 300] [--json FILE]
+//!                    [--size BYTES] [--timeout-secs 300] [--json FILE] [--detect]
 //! ```
 //!
 //! `spawn`/`status`/`kill`/`restart`/`stop` manage a long-lived deployment through
@@ -17,6 +17,13 @@
 //! reduce waves, SIGKILLs a receiver mid-broadcast, restarts it at the next
 //! incarnation, and then proves zero location records were lost — every object of
 //! every wave readable from every node, including the restarted one.
+//!
+//! With `--detect` the drill is *verdict-free*: the daemons run the SWIM gossip
+//! detector, no `peer-failed` notice is ever injected, no `peer-recovered` is sent
+//! after the restart — survivors must notice the victim's silence themselves
+//! (probe → indirect ping-req → suspect → dead) and learn of its comeback from its
+//! own `Hello` at the bumped incarnation. The JSON report gains `detection_ms`: the
+//! time from SIGKILL until every survivor has marked the victim dead.
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
@@ -60,7 +67,7 @@ const USAGE: &str = "usage:\n  \
     hoplitectl restart --dir DIR --node I\n  \
     hoplitectl stop    --dir DIR\n  \
     hoplitectl drill   --nodes N --dir DIR [--binary PATH] [--waves W] [--kill-wave K]\n                     \
-    [--size BYTES] [--timeout-secs S] [--json FILE]\n";
+    [--size BYTES] [--timeout-secs S] [--json FILE] [--detect]\n";
 
 /// The `hoplited` binary that ships next to this `hoplitectl`.
 fn sibling_hoplited() -> Result<PathBuf, String> {
@@ -381,6 +388,7 @@ fn cmd_drill(args: &mut Args) -> Result<(), String> {
     let size: u64 = args.opt_or("size", 1 << 20)?;
     let timeout_secs: u64 = args.opt_or("timeout-secs", 300)?;
     let json_path = args.opt("json")?.map(PathBuf::from);
+    let detect = args.switch("detect");
     args.finish()?;
     if n < 3 {
         return Err("--nodes must be at least 3 (source + victim + a survivor)".to_string());
@@ -402,14 +410,22 @@ fn cmd_drill(args: &mut Args) -> Result<(), String> {
     // Small blocks so a 1 MiB broadcast is a multi-block, multi-round transfer —
     // the kill lands mid-object, not between objects.
     let config_path = dir.join("drill-config.toml");
-    std::fs::write(
-        &config_path,
-        "# kill -9 drill: multi-block objects at modest sizes\n\
+    let mut config_text = "# kill -9 drill: multi-block objects at modest sizes\n\
          block_size = 65536\n\
          inline_threshold = 1024\n\
-         pull_timeout_ms = 250\n",
-    )
-    .map_err(|e| format!("write config: {e}"))?;
+         pull_timeout_ms = 250\n"
+        .to_string();
+    if detect {
+        // Verdict-free mode: the daemons run the SWIM detector with a tight probe
+        // cadence so the 1 s suspicion window (100 ms x 10) keeps the drill fast
+        // while still surviving real scheduling noise on a loaded CI machine.
+        config_text.push_str(
+            "detector_probe_period_ms = 100\n\
+             detector_ack_timeout_ms = 40\n\
+             detector_suspicion_multiplier = 10\n",
+        );
+    }
+    std::fs::write(&config_path, config_text).map_err(|e| format!("write config: {e}"))?;
 
     println!("drill: spawning {n} hoplited processes (binary {})", binary.display());
     let mut cluster = ProcessCluster::spawn(DaemonSpec {
@@ -432,16 +448,22 @@ fn cmd_drill(args: &mut Args) -> Result<(), String> {
     let victim = n - 1;
     let started = Instant::now();
     let mut killed = false;
+    let mut detection_ms: Option<f64> = None;
     for index in 0..waves {
         let wave = Wave { index, size };
-        run_wave(&mut cluster, wave, n, (index == kill_wave).then_some(victim))?;
+        let detected =
+            run_wave(&mut cluster, wave, n, (index == kill_wave).then_some(victim), detect)?;
         if index == kill_wave {
             killed = true;
-            restart_and_verify(&mut cluster, victim, n, size, index)?;
+            detection_ms = detected;
+            restart_and_verify(&mut cluster, victim, n, size, index, detect)?;
         }
         println!("drill: wave {index} complete ({:.1}s)", started.elapsed().as_secs_f64());
     }
     assert!(killed, "kill wave must have run");
+    if detect {
+        assert!(detection_ms.is_some(), "detect mode must have measured detection");
+    }
 
     // Final sweep: every wave object and every reduce result, from every node.
     verify_all(&cluster, n, size, waves - 1)?;
@@ -466,8 +488,17 @@ fn cmd_drill(args: &mut Args) -> Result<(), String> {
     );
 
     if let Some(path) = json_path {
-        let doc =
-            drill_report(&cluster, n, waves, kill_wave, victim, size, &statuses, started.elapsed());
+        let doc = drill_report(
+            &cluster,
+            n,
+            waves,
+            kill_wave,
+            victim,
+            size,
+            &statuses,
+            started.elapsed(),
+            detection_ms,
+        );
         std::fs::write(&path, doc.to_pretty_string())
             .map_err(|e| format!("write {}: {e}", path.display()))?;
         println!("drill: report written to {}", path.display());
@@ -481,13 +512,17 @@ fn cmd_drill(args: &mut Args) -> Result<(), String> {
 /// One wave: node 0 puts a multi-block object, every other node gets it (in
 /// parallel), then a sum-reduce across per-node contributions is verified
 /// everywhere. When `kill` names a victim, it is SIGKILLed while the gets are in
-/// flight, and survivor gets are retried through the failover window.
+/// flight, and survivor gets are retried through the failover window. With `detect`
+/// the failure verdict is never announced — the SWIM detector has to notice on its
+/// own, and the returned `detection_ms` is the time from SIGKILL until every
+/// survivor reported the victim dead.
 fn run_wave(
     cluster: &mut ProcessCluster,
     wave: Wave,
     n: usize,
     kill: Option<usize>,
-) -> Result<(), String> {
+    detect: bool,
+) -> Result<Option<f64>, String> {
     cluster
         .control(0)
         .and_then(|mut c| c.put(&wave.object(), wave.size, wave.seed()))
@@ -499,6 +534,7 @@ fn run_wave(
     // mutably for the kill.
     let failed: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut detection_ms: Option<f64> = None;
     std::thread::scope(|scope| -> Result<(), String> {
         let mut handles = Vec::new();
         for node in 1..n {
@@ -546,7 +582,55 @@ fn run_wave(
                 pid.unwrap_or(0),
                 wave.object()
             );
-            cluster.announce_failure(victim).map_err(|e| format!("announce failure: {e}"))?;
+            if detect {
+                // Nobody tells the survivors anything. Poll their status counters
+                // (over retrying control connections: a survivor mid-redrive may be
+                // slow to accept) until each has either declared the death itself
+                // or learned it from gossip.
+                let kill_at = Instant::now();
+                let deadline = kill_at + Duration::from_secs(30);
+                loop {
+                    let mut all_know = true;
+                    for node in (0..n).filter(|&node| node != victim) {
+                        let status = ControlClient::connect_retrying(
+                            cluster.control_addr(node),
+                            5,
+                            Duration::from_millis(50),
+                        )
+                        .and_then(|mut c| c.status())
+                        .map_err(|e| {
+                            format!("wave {}: detect poll node {node}: {e}", wave.index)
+                        })?;
+                        let knows = ["deaths_declared", "membership_deaths_learned"]
+                            .iter()
+                            .filter_map(|key| status.get(*key)?.parse::<u64>().ok())
+                            .sum::<u64>()
+                            > 0;
+                        if !knows {
+                            all_know = false;
+                            break;
+                        }
+                    }
+                    if all_know {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "wave {}: survivors did not detect the kill within 30s",
+                            wave.index
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                let elapsed_ms = kill_at.elapsed().as_secs_f64() * 1000.0;
+                println!(
+                    "drill: every survivor marked node {victim} dead in {elapsed_ms:.0} ms — \
+                     no verdict was delivered"
+                );
+                detection_ms = Some(elapsed_ms);
+            } else {
+                cluster.announce_failure(victim).map_err(|e| format!("announce failure: {e}"))?;
+            }
         }
         for handle in handles {
             handle.join().map_err(|_| "get thread panicked".to_string())?;
@@ -582,20 +666,27 @@ fn run_wave(
             .and_then(|mut c| c.get_f32(&wave.sum(), REDUCE_LEN, expected))
             .map_err(|e| format!("wave {}: verify sum on node {node}: {e}", wave.index))?;
     }
-    Ok(())
+    Ok(detection_ms)
 }
 
 /// Restart the victim at the next incarnation, wait out its directory resync, and
 /// prove no location record was lost: the restarted node must be able to get every
-/// object broadcast so far, and every survivor must still see them too.
+/// object broadcast so far, and every survivor must still see them too. In `detect`
+/// mode no `peer-recovered` verdict is sent either — survivors readmit the victim
+/// when its own `Hello` at the bumped incarnation reaches them.
 fn restart_and_verify(
     cluster: &mut ProcessCluster,
     victim: usize,
     n: usize,
     size: u64,
     through_wave: usize,
+    detect: bool,
 ) -> Result<(), String> {
-    cluster.restart(victim).map_err(|e| format!("restart node {victim}: {e}"))?;
+    if detect {
+        cluster.restart_undetected(victim).map_err(|e| format!("restart node {victim}: {e}"))?;
+    } else {
+        cluster.restart(victim).map_err(|e| format!("restart node {victim}: {e}"))?;
+    }
     println!("drill: node {victim} restarted at incarnation {}", cluster.incarnation(victim));
 
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -675,8 +766,9 @@ fn drill_report(
     size: u64,
     statuses: &[std::collections::BTreeMap<String, String>],
     elapsed: Duration,
+    detection_ms: Option<f64>,
 ) -> Json {
-    Json::Obj(vec![
+    let mut pairs = vec![
         ("schema".into(), Json::Str("hoplite-drill-v1".into())),
         ("nodes".into(), Json::Num(n as f64)),
         ("waves".into(), Json::Num(waves as f64)),
@@ -685,32 +777,37 @@ fn drill_report(
         ("victim_incarnation".into(), Json::Num(cluster.incarnation(victim) as f64)),
         ("object_bytes".into(), Json::Num(size as f64)),
         ("elapsed_s".into(), Json::Num(elapsed.as_secs_f64())),
+        ("detect".into(), Json::Bool(detection_ms.is_some())),
         ("completed".into(), Json::Bool(true)),
-        (
-            "node_status".into(),
-            Json::Arr(
-                statuses
-                    .iter()
-                    .enumerate()
-                    .map(|(node, status)| {
-                        let mut pairs = vec![("node".into(), Json::Num(node as f64))];
-                        for (k, v) in status {
-                            if k == "node" {
-                                continue;
-                            }
-                            pairs.push((
-                                k.clone(),
-                                match v.as_str() {
-                                    "true" => Json::Bool(true),
-                                    "false" => Json::Bool(false),
-                                    other => Json::Num(other.parse().unwrap_or(-1.0)),
-                                },
-                            ));
+    ];
+    if let Some(ms) = detection_ms {
+        pairs.push(("detection_ms".into(), Json::Num(ms)));
+    }
+    pairs.push((
+        "node_status".into(),
+        Json::Arr(
+            statuses
+                .iter()
+                .enumerate()
+                .map(|(node, status)| {
+                    let mut pairs = vec![("node".into(), Json::Num(node as f64))];
+                    for (k, v) in status {
+                        if k == "node" {
+                            continue;
                         }
-                        Json::Obj(pairs)
-                    })
-                    .collect(),
-            ),
+                        pairs.push((
+                            k.clone(),
+                            match v.as_str() {
+                                "true" => Json::Bool(true),
+                                "false" => Json::Bool(false),
+                                other => Json::Num(other.parse().unwrap_or(-1.0)),
+                            },
+                        ));
+                    }
+                    Json::Obj(pairs)
+                })
+                .collect(),
         ),
-    ])
+    ));
+    Json::Obj(pairs)
 }

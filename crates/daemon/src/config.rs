@@ -14,6 +14,12 @@ use hoplite_core::prelude::*;
 /// `directory_inline_cache_bytes`, `directory_log_retention`,
 /// `directory_replication`, `directory_shards`, `directory_chain_replication`,
 /// `pull_timeout_ms`, `directory_lease_ttl_ms`.
+///
+/// The SWIM failure detector is off unless `detector = true`; with it on, the knobs
+/// `detector_probe_period_ms`, `detector_ack_timeout_ms`,
+/// `detector_suspicion_multiplier`, `detector_indirect_fanout`, and
+/// `detector_gossip_budget` override [`DetectorConfig::default`] (any of them also
+/// implies `detector = true`).
 pub fn parse(text: &str) -> std::result::Result<HopliteConfig, String> {
     let mut cfg = HopliteConfig::default();
     for (lineno, raw) in text.lines().enumerate() {
@@ -43,6 +49,33 @@ pub fn parse(text: &str) -> std::result::Result<HopliteConfig, String> {
             "directory_chain_replication" => cfg.directory_chain_replication = boolean()?,
             "pull_timeout_ms" => cfg.pull_timeout = Duration::from_millis(int()?),
             "directory_lease_ttl_ms" => cfg.directory_lease_ttl = Duration::from_millis(int()?),
+            "detector" => {
+                if boolean()? {
+                    cfg.detector.get_or_insert_with(DetectorConfig::default);
+                } else {
+                    cfg.detector = None;
+                }
+            }
+            "detector_probe_period_ms" => {
+                cfg.detector.get_or_insert_with(DetectorConfig::default).probe_period =
+                    Duration::from_millis(int()?);
+            }
+            "detector_ack_timeout_ms" => {
+                cfg.detector.get_or_insert_with(DetectorConfig::default).ack_timeout =
+                    Duration::from_millis(int()?);
+            }
+            "detector_suspicion_multiplier" => {
+                cfg.detector.get_or_insert_with(DetectorConfig::default).suspicion_multiplier =
+                    int()? as u32;
+            }
+            "detector_indirect_fanout" => {
+                cfg.detector.get_or_insert_with(DetectorConfig::default).indirect_fanout =
+                    int()? as usize;
+            }
+            "detector_gossip_budget" => {
+                cfg.detector.get_or_insert_with(DetectorConfig::default).gossip_budget =
+                    int()? as usize;
+            }
             other => return Err(format!("line {}: unknown config key `{other}`", lineno + 1)),
         }
     }
@@ -85,5 +118,26 @@ mod tests {
         assert!(parse("block_sz = 1").is_err());
         assert!(parse("block_size = banana").is_err());
         assert!(parse("no equals sign").is_err());
+    }
+
+    #[test]
+    fn detector_keys_enable_and_tune_the_detector() {
+        assert!(parse("").unwrap().detector.is_none(), "off by default");
+        assert!(parse("detector = true").unwrap().detector.is_some());
+        assert!(parse("detector = false").unwrap().detector.is_none());
+        let cfg = parse(
+            "detector_probe_period_ms = 100\n\
+             detector_ack_timeout_ms = 40\n\
+             detector_suspicion_multiplier = 10\n\
+             detector_indirect_fanout = 2\n\
+             detector_gossip_budget = 8\n",
+        )
+        .unwrap();
+        let det = cfg.detector.expect("any detector knob implies detector = true");
+        assert_eq!(det.probe_period, Duration::from_millis(100));
+        assert_eq!(det.ack_timeout, Duration::from_millis(40));
+        assert_eq!(det.suspicion_multiplier, 10);
+        assert_eq!(det.indirect_fanout, 2);
+        assert_eq!(det.gossip_budget, 8);
     }
 }

@@ -83,6 +83,9 @@ mod tags {
     pub const DIR_RESYNC_DELTA: u8 = 28;
     pub const PEER_FAILURE_NOTICE: u8 = 29;
     pub const MEMBERSHIP_DIGEST: u8 = 30;
+    pub const PING: u8 = 31;
+    pub const ACK: u8 = 32;
+    pub const PING_REQ: u8 = 33;
 }
 
 /// Sub-tags selecting the [`ConfirmKind`] variant inside a `DirConfirm` frame.
@@ -283,6 +286,15 @@ fn put_digest(out: &mut FrameWriter, entries: &[(NodeId, u64, bool)]) {
         put_node(out, *node);
         put_u64(out, *incarnation);
         put_bool(out, *alive);
+    }
+}
+
+fn put_gossip(out: &mut FrameWriter, entries: &[GossipEntry]) {
+    put_u64(out, entries.len() as u64);
+    for (node, incarnation, state) in entries {
+        put_node(out, *node);
+        put_u64(out, *incarnation);
+        put_u8(out, state.to_wire());
     }
 }
 
@@ -606,6 +618,21 @@ impl<'a> Reader<'a> {
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             entries.push((self.node()?, self.u64()?, self.bool()?));
+        }
+        Ok(entries)
+    }
+
+    fn gossip(&mut self) -> Result<Vec<GossipEntry>, FrameError> {
+        // Minimum per entry: 4 node + 8 incarnation + 1 state byte.
+        let n = self.count(13)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node = self.node()?;
+            let incarnation = self.u64()?;
+            let raw = self.u8()?;
+            let state = GossipState::from_wire(raw)
+                .ok_or_else(|| malformed(&format!("unknown gossip state {raw}")))?;
+            entries.push((node, incarnation, state));
         }
         Ok(entries)
     }
@@ -978,6 +1005,23 @@ fn encode_message(msg: &Message, out: &mut FrameWriter) {
             put_node(out, *node);
             put_u64(out, *incarnation);
         }
+        Message::Ping { origin, probe_id, gossip } => {
+            put_u8(out, tags::PING);
+            put_node(out, *origin);
+            put_u64(out, *probe_id);
+            put_gossip(out, gossip);
+        }
+        Message::Ack { probe_id, gossip } => {
+            put_u8(out, tags::ACK);
+            put_u64(out, *probe_id);
+            put_gossip(out, gossip);
+        }
+        Message::PingReq { target, probe_id, gossip } => {
+            put_u8(out, tags::PING_REQ);
+            put_node(out, *target);
+            put_u64(out, *probe_id);
+            put_gossip(out, gossip);
+        }
     }
 }
 
@@ -1158,6 +1202,11 @@ pub fn decode_body(buf: &Bytes) -> Result<Message, FrameError> {
             Message::PeerFailureNotice { node: r.node()?, incarnation: r.u64()? }
         }
         tags::MEMBERSHIP_DIGEST => Message::MembershipDigest { entries: r.digest()? },
+        tags::PING => Message::Ping { origin: r.node()?, probe_id: r.u64()?, gossip: r.gossip()? },
+        tags::ACK => Message::Ack { probe_id: r.u64()?, gossip: r.gossip()? },
+        tags::PING_REQ => {
+            Message::PingReq { target: r.node()?, probe_id: r.u64()?, gossip: r.gossip()? }
+        }
         other => return Err(malformed(&format!("unknown frame tag {other}"))),
     };
     r.finish()?;
@@ -1311,6 +1360,9 @@ fn tag_may_pin(tag: u8) -> bool {
             | tags::HELLO
             | tags::PEER_FAILURE_NOTICE
             | tags::MEMBERSHIP_DIGEST
+            | tags::PING
+            | tags::ACK
+            | tags::PING_REQ
     )
 }
 
@@ -2064,9 +2116,22 @@ mod tests {
                 .collect()
         }
 
+        fn gossip(&mut self) -> Vec<GossipEntry> {
+            (0..self.range(0, 7))
+                .map(|_| {
+                    let state = match self.range(0, 3) {
+                        0 => GossipState::Alive,
+                        1 => GossipState::Suspect,
+                        _ => GossipState::Dead,
+                    };
+                    (self.node(), self.next_u64(), state)
+                })
+                .collect()
+        }
+
         fn message(&mut self) -> Message {
             use hoplite_core::protocol::ReduceParent;
-            match self.range(0, 30) {
+            match self.range(0, 33) {
                 0 => Message::PushBlock {
                     object: self.object(),
                     offset: self.next_u64(),
@@ -2209,6 +2274,17 @@ mod tests {
                     Message::PeerFailureNotice { node: self.node(), incarnation: self.next_u64() }
                 }
                 29 => Message::MembershipDigest { entries: self.digest() },
+                30 => Message::Ping {
+                    origin: self.node(),
+                    probe_id: self.next_u64(),
+                    gossip: self.gossip(),
+                },
+                31 => Message::Ack { probe_id: self.next_u64(), gossip: self.gossip() },
+                32 => Message::PingReq {
+                    target: self.node(),
+                    probe_id: self.next_u64(),
+                    gossip: self.gossip(),
+                },
                 _ => Message::DirConfirm {
                     object: self.object(),
                     kind: match self.range(0, 3) {
@@ -2227,8 +2303,8 @@ mod tests {
     #[test]
     fn fuzz_vectored_encoding_matches_contiguous_for_every_variant() {
         let mut rng = Rng(0x5CA7_7E2F);
-        let mut variants_seen = [false; 30];
-        for case in 0..600 {
+        let mut variants_seen = [false; 33];
+        for case in 0..700 {
             let msg = rng.message();
             let contiguous = encode_frame(&msg).unwrap();
             let vectored = encode_frame_vectored(&msg).unwrap();
@@ -2245,7 +2321,7 @@ mod tests {
         }
         assert!(
             variants_seen.iter().all(|&seen| seen),
-            "600 cases should cover all 30 tags: {variants_seen:?}"
+            "700 cases should cover all 33 tags: {variants_seen:?}"
         );
     }
 
